@@ -1,0 +1,120 @@
+//! The common interface the benchmark harness drives.
+
+use std::hash::Hash;
+
+use rp_hash::RpHashMap;
+
+/// A concurrent map abstraction over every hash-table implementation in the
+/// workspace (the relativistic table and all baselines).
+///
+/// The benchmark harness and the cross-implementation equivalence tests are
+/// written against this trait so every design runs the exact same workload.
+pub trait ConcurrentMap<K, V>: Send + Sync
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// Human-readable name used in benchmark output.
+    fn name(&self) -> &'static str;
+
+    /// Inserts `key → value`; returns `true` if the key was newly inserted.
+    fn insert(&self, key: K, value: V) -> bool;
+
+    /// Removes `key`; returns `true` if it was present.
+    fn remove(&self, key: &K) -> bool;
+
+    /// Looks up `key`, cloning the value out.
+    fn lookup(&self, key: &K) -> Option<V>;
+
+    /// Returns `true` if `key` is present.
+    fn contains(&self, key: &K) -> bool {
+        self.lookup(key).is_some()
+    }
+
+    /// Number of entries.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if the map is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current number of buckets.
+    fn num_buckets(&self) -> usize;
+
+    /// Whether this implementation supports online resizing.
+    fn supports_resize(&self) -> bool {
+        true
+    }
+
+    /// Resizes the table to approximately `buckets` buckets (a no-op for
+    /// fixed-size implementations; see [`ConcurrentMap::supports_resize`]).
+    fn resize_to(&self, buckets: usize);
+}
+
+impl<K, V, S> ConcurrentMap<K, V> for RpHashMap<K, V, S>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    S: std::hash::BuildHasher + Send + Sync,
+{
+    fn name(&self) -> &'static str {
+        "rp"
+    }
+
+    fn insert(&self, key: K, value: V) -> bool {
+        RpHashMap::insert(self, key, value)
+    }
+
+    fn remove(&self, key: &K) -> bool {
+        RpHashMap::remove(self, key)
+    }
+
+    fn lookup(&self, key: &K) -> Option<V> {
+        self.get_cloned(key)
+    }
+
+    fn len(&self) -> usize {
+        RpHashMap::len(self)
+    }
+
+    fn num_buckets(&self) -> usize {
+        RpHashMap::num_buckets(self)
+    }
+
+    fn resize_to(&self, buckets: usize) {
+        RpHashMap::resize_to(self, buckets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_hash::FnvBuildHasher;
+
+    fn exercise(map: &dyn ConcurrentMap<u64, u64>) {
+        assert!(map.is_empty());
+        assert!(map.insert(1, 10));
+        assert!(!map.insert(1, 11));
+        assert!(map.insert(2, 20));
+        assert_eq!(map.lookup(&1), Some(11));
+        assert_eq!(map.lookup(&3), None);
+        assert!(map.contains(&2));
+        assert_eq!(map.len(), 2);
+        assert!(map.remove(&1));
+        assert!(!map.remove(&1));
+        assert_eq!(map.len(), 1);
+        if map.supports_resize() {
+            map.resize_to(64);
+            assert_eq!(map.lookup(&2), Some(20));
+        }
+    }
+
+    #[test]
+    fn rp_hash_map_implements_the_trait() {
+        let map: RpHashMap<u64, u64, FnvBuildHasher> =
+            RpHashMap::with_buckets_and_hasher(8, FnvBuildHasher);
+        exercise(&map);
+        assert_eq!(ConcurrentMap::name(&map), "rp");
+    }
+}

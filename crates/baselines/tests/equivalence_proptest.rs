@@ -1,0 +1,92 @@
+//! Property-based equivalence: every table implementation in the workspace
+//! (the relativistic map and all baselines) must produce identical results
+//! for arbitrary operation sequences, because the benchmark harness treats
+//! them as drop-in replacements for one another.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use rp_baselines::{BucketLockTable, ConcurrentMap, DddsTable, MutexTable, RwLockTable, XuTable};
+use rp_hash::{FnvBuildHasher, RpHashMap};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, u32),
+    Remove(u16),
+    Lookup(u16),
+    Resize(u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        3 => any::<u16>().prop_map(Op::Remove),
+        6 => any::<u16>().prop_map(Op::Lookup),
+        1 => (1_u16..256).prop_map(Op::Resize),
+    ]
+}
+
+fn implementations() -> Vec<Box<dyn ConcurrentMap<u16, u32>>> {
+    vec![
+        Box::new(RpHashMap::<u16, u32, FnvBuildHasher>::with_buckets_and_hasher(
+            8,
+            FnvBuildHasher,
+        )),
+        Box::new(DddsTable::<u16, u32>::with_buckets(8)),
+        Box::new(RwLockTable::<u16, u32>::with_buckets(8)),
+        Box::new(MutexTable::<u16, u32>::with_buckets(8)),
+        Box::new(BucketLockTable::<u16, u32>::with_buckets(8)),
+        Box::new(XuTable::<u16, u32>::with_buckets(8)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn all_implementations_agree(ops in proptest::collection::vec(op_strategy(), 1..150)) {
+        let maps = implementations();
+        let mut model: HashMap<u16, u32> = HashMap::new();
+
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => {
+                    let expected = model.insert(k, v).is_none();
+                    for map in &maps {
+                        prop_assert_eq!(
+                            map.insert(k, v),
+                            expected,
+                            "{}: insert({}, {})",
+                            map.name(),
+                            k,
+                            v
+                        );
+                    }
+                }
+                Op::Remove(k) => {
+                    let expected = model.remove(&k).is_some();
+                    for map in &maps {
+                        prop_assert_eq!(map.remove(&k), expected, "{}: remove({})", map.name(), k);
+                    }
+                }
+                Op::Lookup(k) => {
+                    let expected = model.get(&k).copied();
+                    for map in &maps {
+                        prop_assert_eq!(map.lookup(&k), expected, "{}: lookup({})", map.name(), k);
+                    }
+                }
+                Op::Resize(n) => {
+                    for map in &maps {
+                        if map.supports_resize() {
+                            map.resize_to(n as usize);
+                        }
+                    }
+                }
+            }
+            for map in &maps {
+                prop_assert_eq!(map.len(), model.len(), "{}: len", map.name());
+            }
+        }
+    }
+}

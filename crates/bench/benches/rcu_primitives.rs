@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks for the RCU substrate: read-side entry/exit
+//! cost per flavor, pointer publication, and grace-period latency.
+//!
+//! These support the paper's methodology discussion: relativistic readers
+//! pay a small constant cost (no locks, no RMW) regardless of writer
+//! activity, and the QSBR flavor removes even the memory fence.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rp_rcu::qsbr::QsbrDomain;
+use rp_rcu::{pin, RcuCell, RcuDomain};
+
+fn bench_read_side(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rcu_read_side");
+    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+
+    group.bench_function("mb_flavor_pin_unpin", |b| {
+        b.iter(|| {
+            let guard = pin();
+            black_box(&guard);
+        })
+    });
+
+    group.bench_function("mb_flavor_nested_pin", |b| {
+        let _outer = pin();
+        b.iter(|| {
+            let guard = pin();
+            black_box(&guard);
+        })
+    });
+
+    let qsbr = QsbrDomain::new();
+    let handle = qsbr.register();
+    group.bench_function("qsbr_read_lock_and_quiescent", |b| {
+        b.iter(|| {
+            {
+                let guard = handle.read_lock();
+                black_box(&guard);
+            }
+            handle.quiescent_state();
+        })
+    });
+
+    let cell = RcuCell::new(Box::new(42_u64));
+    group.bench_function("rcu_cell_load", |b| {
+        let guard = pin();
+        b.iter(|| black_box(cell.load(&guard)))
+    });
+
+    group.finish();
+}
+
+fn bench_grace_periods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rcu_grace_period");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+
+    group.bench_function("synchronize_no_readers", |b| {
+        let domain = RcuDomain::new();
+        b.iter(|| domain.synchronize())
+    });
+
+    group.bench_function("synchronize_global_domain", |b| {
+        b.iter(|| RcuDomain::global().synchronize())
+    });
+
+    group.bench_function("defer_and_reclaim_batch_of_64", |b| {
+        let domain = RcuDomain::new();
+        b.iter(|| {
+            for _ in 0..64 {
+                domain.defer(|| {});
+            }
+            domain.synchronize_and_reclaim();
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_read_side, bench_grace_periods);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Criterion micro-benchmarks for the cost of a resize step itself (as
+//! opposed to its effect on concurrent readers, which the figure harnesses
+//! measure): the relativistic unzip/zip versus DDDS's copy-everything resize
+//! versus Xu's dual-chain relink, at several table sizes.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rp_baselines::{ConcurrentMap, DddsTable, XuTable};
+use rp_hash::{FnvBuildHasher, RpHashMap};
+
+const SIZES: &[u64] = &[1024, 4096, 16384];
+
+fn bench_resize_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grow_then_shrink_cycle");
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+
+    for &entries in SIZES {
+        let buckets = entries as usize;
+
+        let rp: RpHashMap<u64, u64, FnvBuildHasher> =
+            RpHashMap::with_buckets_and_hasher(buckets, FnvBuildHasher);
+        for k in 0..entries {
+            rp.insert(k, k);
+        }
+        group.bench_with_input(BenchmarkId::new("rp_unzip", entries), &rp, |b, rp| {
+            b.iter(|| {
+                rp.expand();
+                rp.shrink();
+            })
+        });
+
+        let ddds: DddsTable<u64, u64> = DddsTable::with_buckets(buckets);
+        for k in 0..entries {
+            ddds.insert(k, k);
+        }
+        group.bench_with_input(BenchmarkId::new("ddds_copy", entries), &ddds, |b, ddds| {
+            b.iter(|| {
+                ddds.resize(buckets * 2);
+                ddds.resize(buckets);
+            })
+        });
+
+        let xu: XuTable<u64, u64> = XuTable::with_buckets(buckets);
+        for k in 0..entries {
+            xu.insert(k, k);
+        }
+        group.bench_with_input(BenchmarkId::new("xu_dual_chain", entries), &xu, |b, xu| {
+            b.iter(|| {
+                xu.resize(buckets * 2);
+                xu.resize(buckets);
+            })
+        });
+    }
+
+    group.finish();
+}
+
+fn bench_shrink_only(c: &mut Criterion) {
+    // The paper's shrink needs exactly one grace period regardless of size;
+    // expansion needs one per unzip round. This bench quantifies both sides
+    // separately for the relativistic table.
+    let mut group = c.benchmark_group("rp_resize_direction");
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+
+    let entries = 8192_u64;
+    let map: RpHashMap<u64, u64, FnvBuildHasher> =
+        RpHashMap::with_buckets_and_hasher(entries as usize, FnvBuildHasher);
+    for k in 0..entries {
+        map.insert(k, k);
+    }
+
+    group.bench_function("expand_8k_to_16k_then_back", |b| {
+        b.iter(|| {
+            map.expand();
+            map.shrink();
+        })
+    });
+
+    group.bench_function("shrink_8k_to_4k_then_back", |b| {
+        b.iter(|| {
+            map.shrink();
+            map.expand();
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_resize_cycle, bench_shrink_only);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Reproduces the paper's "Results: fixed-size table baseline" figure:
+//! lookups/second versus reader threads for RP, DDDS and rwlock with no
+//! resizing.
+
+fn main() -> std::io::Result<()> {
+    let cfg = rp_bench::BenchConfig::from_env();
+    eprintln!("fixed-size baseline on {}", cfg.host);
+    let report = rp_bench::fig_baseline(&cfg);
+    report.write_files(&cfg.out_dir, "fig_baseline")?;
+    print!("{}", report.to_markdown());
+    Ok(())
+}

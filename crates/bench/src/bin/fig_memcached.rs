@@ -1,0 +1,12 @@
+//! Reproduces the paper's "memcached results" figure: requests/second versus
+//! client count for GETs and SETs against the default (global-lock) cache
+//! engine and the relativistic engine.
+
+fn main() -> std::io::Result<()> {
+    let cfg = rp_bench::BenchConfig::from_env();
+    eprintln!("memcached-style cache benchmark on {}", cfg.host);
+    let report = rp_bench::fig_memcached(&cfg);
+    report.write_files(&cfg.out_dir, "fig_memcached")?;
+    print!("{}", report.to_markdown());
+    Ok(())
+}

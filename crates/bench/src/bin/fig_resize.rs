@@ -1,0 +1,13 @@
+//! Reproduces the paper's "Results – continuous resizing" figure:
+//! lookups/second versus reader threads for RP and DDDS while a background
+//! thread resizes the table continuously between the small and large bucket
+//! counts.
+
+fn main() -> std::io::Result<()> {
+    let cfg = rp_bench::BenchConfig::from_env();
+    eprintln!("continuous-resize comparison on {}", cfg.host);
+    let report = rp_bench::fig_resize(&cfg);
+    report.write_files(&cfg.out_dir, "fig_resize")?;
+    print!("{}", report.to_markdown());
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! Reproduces the paper's "Results – our resize versus fixed" figure: the
+//! relativistic table at the small fixed size, the large fixed size, and
+//! continuously resizing between the two.
+
+fn main() -> std::io::Result<()> {
+    let cfg = rp_bench::BenchConfig::from_env();
+    eprintln!("RP resize-vs-fixed on {}", cfg.host);
+    let report = rp_bench::fig_rp_vs_fixed(&cfg);
+    report.write_files(&cfg.out_dir, "fig_rp_vs_fixed")?;
+    print!("{}", report.to_markdown());
+    Ok(())
+}

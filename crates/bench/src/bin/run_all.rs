@@ -1,0 +1,17 @@
+//! Regenerates every figure of the paper's evaluation and writes CSV +
+//! markdown (including a combined `summary.md`) into the output directory.
+
+fn main() -> std::io::Result<()> {
+    let cfg = rp_bench::BenchConfig::from_env();
+    eprintln!(
+        "regenerating all figures on {} (output: {})",
+        cfg.host,
+        cfg.out_dir.display()
+    );
+    let reports = rp_bench::run_all(&cfg)?;
+    for report in &reports {
+        print!("{}", report.to_markdown());
+    }
+    eprintln!("wrote {} figures to {}", reports.len(), cfg.out_dir.display());
+    Ok(())
+}

@@ -1,0 +1,449 @@
+//! Benchmark harnesses that regenerate every figure in the paper's
+//! evaluation.
+//!
+//! Each figure is produced by a library function returning a
+//! [`rp_workload::Report`]; the `fig_*` binaries are thin wrappers, and the
+//! `run_all` binary regenerates everything and writes CSV + markdown under
+//! `results/`.
+//!
+//! | Binary | Paper figure |
+//! |---|---|
+//! | `fig_baseline` | "Results: fixed-size table baseline" — lookups/s vs reader threads, RP vs DDDS vs rwlock, no resizing |
+//! | `fig_resize` | "Results – continuous resizing" — RP vs DDDS while a resizer thread toggles the bucket count continuously |
+//! | `fig_rp_vs_fixed` | "Results – our resize versus fixed" — RP at 8k fixed, 16k fixed, and continuously resizing |
+//! | `fig_ddds_vs_fixed` | "Results – DDDS resize versus fixed" — same three series for DDDS |
+//! | `fig_memcached` | "memcached results" — requests/s vs client count for GET and SET against the default (global-lock) and RP engines |
+//!
+//! Parameters are read from environment variables so CI and the
+//! EXPERIMENTS.md runs can trade accuracy for time:
+//!
+//! * `RP_BENCH_ENTRIES` — number of entries pre-loaded into the table
+//!   (default 8192).
+//! * `RP_BENCH_SMALL_BUCKETS` / `RP_BENCH_LARGE_BUCKETS` — the two table
+//!   sizes the resize figures toggle between (defaults 8192 / 16384, the
+//!   paper's values).
+//! * `RP_BENCH_DURATION_MS` — measurement window per data point (default
+//!   500).
+//! * `RP_BENCH_MAX_THREADS` — cap on the reader-thread ladder (default 16).
+//! * `RP_BENCH_CLIENTS` — maximum client count for the memcached figure
+//!   (default 12).
+//! * `RP_BENCH_OUT_DIR` — output directory (default `results/`).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rp_baselines::{ConcurrentMap, DddsTable, RwLockTable};
+use rp_hash::{FnvBuildHasher, RpHashMap};
+use rp_kvcache::{CacheEngine, Item, LockEngine, RpEngine};
+use rp_workload::driver::BackgroundHandle;
+use rp_workload::sysinfo::HostInfo;
+use rp_workload::{measure, KeyDist, KeyGen, Report, Series};
+
+/// Benchmark parameters (see the crate docs for the environment variables).
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Entries pre-loaded into every table.
+    pub entries: u64,
+    /// The smaller bucket count (baseline tables and the resize lower bound).
+    pub small_buckets: usize,
+    /// The larger bucket count (the resize upper bound).
+    pub large_buckets: usize,
+    /// Measurement window per data point.
+    pub duration: Duration,
+    /// Reader-thread counts to sweep.
+    pub threads: Vec<usize>,
+    /// Client counts for the memcached figure.
+    pub clients: Vec<usize>,
+    /// Where CSV/markdown results are written.
+    pub out_dir: PathBuf,
+    /// Host description (recorded in the summary).
+    pub host: HostInfo,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+fn env_num<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+impl BenchConfig {
+    /// Builds a configuration from environment variables and host
+    /// introspection.
+    pub fn from_env() -> Self {
+        let host = HostInfo::collect();
+        let max_threads = env_num("RP_BENCH_MAX_THREADS", 16_usize);
+        let max_clients = env_num("RP_BENCH_CLIENTS", 12_usize);
+        let clients_cap = host.logical_cpus.min(max_clients).max(1);
+        BenchConfig {
+            entries: env_num("RP_BENCH_ENTRIES", 8192_u64),
+            small_buckets: env_num("RP_BENCH_SMALL_BUCKETS", 8192_usize),
+            large_buckets: env_num("RP_BENCH_LARGE_BUCKETS", 16384_usize),
+            duration: Duration::from_millis(env_num("RP_BENCH_DURATION_MS", 500_u64)),
+            threads: host.thread_ladder(max_threads),
+            clients: (1..=clients_cap).collect(),
+            out_dir: PathBuf::from(
+                std::env::var("RP_BENCH_OUT_DIR").unwrap_or_else(|_| "results".to_string()),
+            ),
+            host,
+        }
+    }
+
+    /// A tiny configuration for tests (milliseconds per point, few threads).
+    pub fn smoke_test() -> Self {
+        BenchConfig {
+            entries: 512,
+            small_buckets: 128,
+            large_buckets: 256,
+            duration: Duration::from_millis(30),
+            threads: vec![1, 2],
+            clients: vec![1, 2],
+            out_dir: std::env::temp_dir().join("rp-bench-smoke"),
+            host: HostInfo::collect(),
+        }
+    }
+}
+
+/// Pre-loads `entries` keys (`0..entries`, value = key) into a table.
+pub fn fill(map: &dyn ConcurrentMap<u64, u64>, entries: u64) {
+    for key in 0..entries {
+        map.insert(key, key);
+    }
+}
+
+/// Measures lookup throughput for one table at each reader-thread count,
+/// optionally with a background thread resizing the table continuously
+/// between `resize_between.0` and `resize_between.1` buckets.
+///
+/// Returns a [`Series`] of (reader threads, millions of lookups per second)
+/// — the exact axes of the paper's microbenchmark figures.
+pub fn lookup_scalability(
+    name: &str,
+    map: Arc<dyn ConcurrentMap<u64, u64>>,
+    cfg: &BenchConfig,
+    resize_between: Option<(usize, usize)>,
+) -> Series {
+    let mut series = Series::new(name);
+    for &threads in &cfg.threads {
+        let map_ref: &dyn ConcurrentMap<u64, u64> = &*map;
+        let entries = cfg.entries;
+        let background = match resize_between {
+            Some((small, large)) => vec![BackgroundHandle::new("resizer", move |iteration| {
+                // Toggle between the two sizes as fast as the algorithm
+                // allows — the paper's "continuous resizing" worst case.
+                let target = if iteration % 2 == 0 { large } else { small };
+                map_ref.resize_to(target);
+            })],
+            None => Vec::new(),
+        };
+        let result = measure(
+            threads,
+            cfg.duration,
+            |idx| {
+                let mut keys = KeyGen::new(KeyDist::Uniform, entries, 0xC0FFEE + idx as u64);
+                let map = Arc::clone(&map);
+                move || {
+                    let key = keys.next_key();
+                    black_box(map.lookup(black_box(&key)));
+                }
+            },
+            background,
+        );
+        eprintln!(
+            "  {name}: {threads} reader(s) -> {:.2} Mlookups/s (resizes: {:?})",
+            result.mops_per_sec(),
+            result.background_iterations
+        );
+        series.push(threads as f64, result.mops_per_sec());
+    }
+    series
+}
+
+/// Figure "Results: fixed-size table baseline" — RP vs DDDS vs rwlock,
+/// lookups only, no resizing, at the smaller table size.
+pub fn fig_baseline(cfg: &BenchConfig) -> Report {
+    let mut report = Report::new(
+        "Fixed-size table baseline (no resizing)",
+        "reader threads",
+        "lookups/second (millions)",
+    );
+
+    let rp: Arc<RpHashMap<u64, u64, FnvBuildHasher>> = Arc::new(RpHashMap::with_buckets_and_hasher(
+        cfg.small_buckets,
+        FnvBuildHasher,
+    ));
+    fill(&*rp, cfg.entries);
+    report.add_series(lookup_scalability("RP", rp, cfg, None));
+
+    let ddds: Arc<DddsTable<u64, u64>> = Arc::new(DddsTable::with_buckets(cfg.small_buckets));
+    fill(&*ddds, cfg.entries);
+    report.add_series(lookup_scalability("DDDS", ddds, cfg, None));
+
+    let rwlock: Arc<RwLockTable<u64, u64>> = Arc::new(RwLockTable::with_buckets(cfg.small_buckets));
+    fill(&*rwlock, cfg.entries);
+    report.add_series(lookup_scalability("rwlock", rwlock, cfg, None));
+
+    report
+}
+
+/// Figure "Results – continuous resizing" — RP vs DDDS while a background
+/// thread resizes the table between the small and large bucket counts.
+pub fn fig_resize(cfg: &BenchConfig) -> Report {
+    let mut report = Report::new(
+        "Lookups during continuous resizing",
+        "reader threads",
+        "lookups/second (millions)",
+    );
+    let toggle = Some((cfg.small_buckets, cfg.large_buckets));
+
+    let rp: Arc<RpHashMap<u64, u64, FnvBuildHasher>> = Arc::new(RpHashMap::with_buckets_and_hasher(
+        cfg.small_buckets,
+        FnvBuildHasher,
+    ));
+    fill(&*rp, cfg.entries);
+    report.add_series(lookup_scalability("RP", rp, cfg, toggle));
+
+    let ddds: Arc<DddsTable<u64, u64>> = Arc::new(DddsTable::with_buckets(cfg.small_buckets));
+    fill(&*ddds, cfg.entries);
+    report.add_series(lookup_scalability("DDDS", ddds, cfg, toggle));
+
+    report
+}
+
+/// Figure "Results – our resize versus fixed" — RP at the small size, the
+/// large size, and continuously resizing between the two.
+pub fn fig_rp_vs_fixed(cfg: &BenchConfig) -> Report {
+    resize_vs_fixed_report(
+        cfg,
+        "RP: resize overhead versus fixed-size tables",
+        |buckets| {
+            let map: Arc<RpHashMap<u64, u64, FnvBuildHasher>> =
+                Arc::new(RpHashMap::with_buckets_and_hasher(buckets, FnvBuildHasher));
+            map
+        },
+    )
+}
+
+/// Figure "Results – DDDS resize versus fixed" — the same three series for
+/// DDDS.
+pub fn fig_ddds_vs_fixed(cfg: &BenchConfig) -> Report {
+    resize_vs_fixed_report(cfg, "DDDS: resize overhead versus fixed-size tables", |buckets| {
+        let map: Arc<DddsTable<u64, u64>> = Arc::new(DddsTable::with_buckets(buckets));
+        map
+    })
+}
+
+fn resize_vs_fixed_report<M, F>(cfg: &BenchConfig, title: &str, make: F) -> Report
+where
+    M: ConcurrentMap<u64, u64> + 'static,
+    F: Fn(usize) -> Arc<M>,
+{
+    let mut report = Report::new(title, "reader threads", "lookups/second (millions)");
+
+    let small = make(cfg.small_buckets);
+    fill(&*small, cfg.entries);
+    report.add_series(lookup_scalability(
+        &format!("fixed {}k buckets", cfg.small_buckets / 1024),
+        small,
+        cfg,
+        None,
+    ));
+
+    let large = make(cfg.large_buckets);
+    fill(&*large, cfg.entries);
+    report.add_series(lookup_scalability(
+        &format!("fixed {}k buckets", cfg.large_buckets / 1024),
+        large,
+        cfg,
+        None,
+    ));
+
+    let resizing = make(cfg.small_buckets);
+    fill(&*resizing, cfg.entries);
+    report.add_series(lookup_scalability(
+        "continuous resize",
+        resizing,
+        cfg,
+        Some((cfg.small_buckets, cfg.large_buckets)),
+    ));
+
+    report
+}
+
+/// Pre-loads a cache engine with `entries` small values.
+pub fn fill_cache(engine: &dyn CacheEngine, entries: u64) {
+    for key in 0..entries {
+        engine.set(&cache_key(key), Item::new(0, format!("value-{key}")));
+    }
+}
+
+fn cache_key(key: u64) -> String {
+    format!("memtier-{key}")
+}
+
+/// Measures one memcached-style series: requests/second versus client count
+/// for either GETs or SETs against `engine`.
+pub fn cache_throughput(
+    name: &str,
+    engine: Arc<dyn CacheEngine>,
+    cfg: &BenchConfig,
+    sets: bool,
+) -> Series {
+    let mut series = Series::new(name);
+    for &clients in &cfg.clients {
+        let entries = cfg.entries;
+        let result = measure(
+            clients,
+            cfg.duration,
+            |idx| {
+                let mut keys = KeyGen::new(KeyDist::Uniform, entries, 0xFEED + idx as u64);
+                let engine = Arc::clone(&engine);
+                move || {
+                    let key = cache_key(keys.next_key());
+                    if sets {
+                        black_box(engine.set(&key, Item::new(0, "updated-value")));
+                    } else {
+                        black_box(engine.get(&key));
+                    }
+                }
+            },
+            Vec::new(),
+        );
+        eprintln!(
+            "  {name}: {clients} client(s) -> {:.0} kreq/s",
+            result.ops_per_sec() / 1e3
+        );
+        series.push(clients as f64, result.ops_per_sec() / 1e3);
+    }
+    series
+}
+
+/// Figure "memcached results" — GET and SET requests/second versus client
+/// count for the default (global-lock) engine and the relativistic engine.
+///
+/// The clients run in-process (closed loop, one thread per client) so the
+/// comparison isolates the engine's synchronisation — the quantity the paper
+/// varies — from network-stack noise. The TCP server in `rp-kvcache` speaks
+/// the same protocol for end-to-end runs.
+pub fn fig_memcached(cfg: &BenchConfig) -> Report {
+    let mut report = Report::new(
+        "memcached-style cache throughput",
+        "client threads",
+        "requests/second (thousands)",
+    );
+
+    let rp = Arc::new(RpEngine::new());
+    fill_cache(&*rp, cfg.entries);
+    report.add_series(cache_throughput("RP GET", rp.clone(), cfg, false));
+
+    let default_engine = Arc::new(LockEngine::new());
+    fill_cache(&*default_engine, cfg.entries);
+    report.add_series(cache_throughput(
+        "default GET",
+        default_engine.clone(),
+        cfg,
+        false,
+    ));
+
+    report.add_series(cache_throughput("default SET", default_engine, cfg, true));
+    report.add_series(cache_throughput("RP SET", rp, cfg, true));
+
+    report
+}
+
+/// Runs every figure and writes CSV + markdown into `cfg.out_dir`, plus a
+/// combined `summary.md`. Returns the reports in figure order.
+pub fn run_all(cfg: &BenchConfig) -> std::io::Result<Vec<Report>> {
+    let figures: Vec<(&str, fn(&BenchConfig) -> Report)> = vec![
+        ("fig_baseline", fig_baseline),
+        ("fig_resize", fig_resize),
+        ("fig_rp_vs_fixed", fig_rp_vs_fixed),
+        ("fig_ddds_vs_fixed", fig_ddds_vs_fixed),
+        ("fig_memcached", fig_memcached),
+    ];
+    let mut reports = Vec::new();
+    let mut summary = String::new();
+    summary.push_str("# Relativist benchmark summary\n\n");
+    summary.push_str(&format!(
+        "Host: {}. Entries: {}. Buckets: {} / {}. Window: {:?} per point.\n\n",
+        cfg.host, cfg.entries, cfg.small_buckets, cfg.large_buckets, cfg.duration
+    ));
+    for (stem, f) in figures {
+        eprintln!("== {stem} ==");
+        let report = f(cfg);
+        report.write_files(&cfg.out_dir, stem)?;
+        summary.push_str(&report.to_markdown());
+        reports.push(report);
+    }
+    std::fs::create_dir_all(&cfg.out_dir)?;
+    std::fs::write(cfg.out_dir.join("summary.md"), summary)?;
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_from_env_has_sane_defaults() {
+        let cfg = BenchConfig::from_env();
+        assert!(cfg.entries > 0);
+        assert!(cfg.small_buckets < cfg.large_buckets);
+        assert!(!cfg.threads.is_empty());
+        assert!(!cfg.clients.is_empty());
+    }
+
+    #[test]
+    fn fill_populates_the_table() {
+        let map: RpHashMap<u64, u64, FnvBuildHasher> =
+            RpHashMap::with_buckets_and_hasher(64, FnvBuildHasher);
+        fill(&map, 100);
+        assert_eq!(ConcurrentMap::len(&map), 100);
+        assert_eq!(map.lookup(&42), Some(42));
+    }
+
+    #[test]
+    fn lookup_scalability_produces_one_point_per_thread_count() {
+        let cfg = BenchConfig::smoke_test();
+        let map: Arc<RpHashMap<u64, u64, FnvBuildHasher>> =
+            Arc::new(RpHashMap::with_buckets_and_hasher(cfg.small_buckets, FnvBuildHasher));
+        fill(&*map, cfg.entries);
+        let series = lookup_scalability("RP", map, &cfg, None);
+        assert_eq!(series.points.len(), cfg.threads.len());
+        assert!(series.points.iter().all(|(_, mops)| *mops > 0.0));
+    }
+
+    #[test]
+    fn resize_series_keeps_readers_running() {
+        let cfg = BenchConfig::smoke_test();
+        let map: Arc<RpHashMap<u64, u64, FnvBuildHasher>> =
+            Arc::new(RpHashMap::with_buckets_and_hasher(cfg.small_buckets, FnvBuildHasher));
+        fill(&*map, cfg.entries);
+        let series = lookup_scalability("RP resize", map, &cfg, Some((cfg.small_buckets, cfg.large_buckets)));
+        assert!(series.points.iter().all(|(_, mops)| *mops > 0.0));
+    }
+
+    #[test]
+    fn cache_throughput_measures_gets_and_sets() {
+        let cfg = BenchConfig::smoke_test();
+        let engine = Arc::new(RpEngine::new());
+        fill_cache(&*engine, cfg.entries);
+        let gets = cache_throughput("RP GET", engine.clone(), &cfg, false);
+        let sets = cache_throughput("RP SET", engine, &cfg, true);
+        assert_eq!(gets.points.len(), cfg.clients.len());
+        assert_eq!(sets.points.len(), cfg.clients.len());
+        assert!(gets.points.iter().all(|(_, kops)| *kops > 0.0));
+        assert!(sets.points.iter().all(|(_, kops)| *kops > 0.0));
+    }
+}

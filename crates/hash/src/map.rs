@@ -1,0 +1,917 @@
+//! The resizable relativistic hash map.
+
+use std::borrow::Borrow;
+use std::collections::hash_map::RandomState;
+use std::hash::{BuildHasher, Hash};
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use rp_rcu::{RcuDomain, RcuGuard};
+
+use crate::iter::{Iter, Keys, Values};
+use crate::node::Node;
+use crate::policy::ResizePolicy;
+use crate::stats::{AtomicMapStats, MapStats};
+use crate::table::BucketArray;
+
+/// A concurrent hash map with wait-free relativistic readers and
+/// reader-transparent resizing.
+///
+/// * **Lookups** ([`RpHashMap::get`] and friends) run under an [`RcuGuard`]
+///   and never block, never retry and never execute atomic
+///   read-modify-write instructions, regardless of concurrent insertions,
+///   removals or resizes. They scale linearly with reader threads.
+/// * **Updates** (insert/remove/rename/resize) serialise on an internal
+///   mutex and publish their changes with release stores; unlinked nodes are
+///   retired through the global RCU domain and freed only after a grace
+///   period.
+/// * **Resizing** uses the paper's zip (shrink) and unzip (expand)
+///   algorithms: the table stays *consistent for readers at every instant* —
+///   a reader traversing a bucket always observes every element that belongs
+///   to that bucket (possibly plus a few that don't, which the key
+///   comparison filters out).
+///
+/// The map uses the process-wide RCU domain ([`RcuDomain::global`]); guards
+/// obtained from [`RpHashMap::pin`] or [`rp_rcu::pin`] are interchangeable.
+pub struct RpHashMap<K, V, S = RandomState> {
+    /// Published pointer to the current bucket array.
+    table: AtomicPtr<BucketArray<K, V>>,
+    /// Serialises writers (updates and resizes). Readers never touch it.
+    writer: Mutex<()>,
+    len: AtomicUsize,
+    hasher: S,
+    policy: ResizePolicy,
+    pub(crate) stats: AtomicMapStats,
+}
+
+// SAFETY: the map shares `&K`/`&V` with concurrent reader threads and drops
+// keys/values on whichever thread runs reclamation, so `K` and `V` must be
+// `Send + Sync`. The hasher is used from `&self` by any thread. The raw
+// pointers are managed by the publication/retire protocol implemented here.
+unsafe impl<K: Send + Sync, V: Send + Sync, S: Send> Send for RpHashMap<K, V, S> {}
+// SAFETY: see above.
+unsafe impl<K: Send + Sync, V: Send + Sync, S: Sync> Sync for RpHashMap<K, V, S> {}
+
+impl<K, V> RpHashMap<K, V, RandomState> {
+    /// Creates an empty map with a small default bucket count.
+    pub fn new() -> Self {
+        Self::with_buckets(16)
+    }
+
+    /// Creates an empty map with `buckets` buckets (rounded up to a power of
+    /// two).
+    pub fn with_buckets(buckets: usize) -> Self {
+        Self::with_buckets_and_hasher(buckets, RandomState::new())
+    }
+}
+
+impl<K, V> Default for RpHashMap<K, V, RandomState> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V, S> RpHashMap<K, V, S> {
+    /// Creates an empty map with `buckets` buckets and the given hasher.
+    pub fn with_buckets_and_hasher(buckets: usize, hasher: S) -> Self {
+        Self::with_buckets_hasher_and_policy(buckets, hasher, ResizePolicy::default())
+    }
+
+    /// Creates an empty map with the given bucket count, hasher and resize
+    /// policy.
+    pub fn with_buckets_hasher_and_policy(
+        buckets: usize,
+        hasher: S,
+        policy: ResizePolicy,
+    ) -> Self {
+        let buckets = policy.clamp_buckets(buckets.max(1));
+        let table = Box::into_raw(BucketArray::new(buckets));
+        RpHashMap {
+            table: AtomicPtr::new(table),
+            writer: Mutex::new(()),
+            len: AtomicUsize::new(0),
+            hasher,
+            policy,
+            stats: AtomicMapStats::default(),
+        }
+    }
+
+    /// Enters a read-side critical section of the global RCU domain.
+    ///
+    /// Equivalent to [`rp_rcu::pin`]; provided here for convenience.
+    pub fn pin(&self) -> RcuGuard<'static> {
+        rp_rcu::pin()
+    }
+
+    /// Number of key/value pairs in the map (a racy snapshot under
+    /// concurrent updates).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Returns `true` if the map contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current number of hash buckets.
+    pub fn num_buckets(&self) -> usize {
+        // SAFETY: the table pointer is always valid; it is only freed by a
+        // resize after a grace period, and we only read its immutable
+        // `mask`/length here. The transient borrow cannot outlive the call.
+        unsafe { (*self.table.load(Ordering::Acquire)).len() }
+    }
+
+    /// Current load factor (`len / num_buckets`).
+    pub fn load_factor(&self) -> f64 {
+        self.len() as f64 / self.num_buckets() as f64
+    }
+
+    /// The map's resize policy.
+    pub fn policy(&self) -> &ResizePolicy {
+        &self.policy
+    }
+
+    /// A snapshot of the map's operation and resize counters.
+    pub fn stats(&self) -> MapStats {
+        self.stats.snapshot()
+    }
+
+    /// The RCU domain protecting this map's readers.
+    pub fn domain(&self) -> &'static RcuDomain {
+        RcuDomain::global()
+    }
+
+    /// Loads the current bucket array for use by a reader holding `_guard`.
+    pub(crate) fn table_for_read<'g>(&'g self, _guard: &'g RcuGuard<'_>) -> &'g BucketArray<K, V> {
+        // SAFETY: the bucket array is published with release ordering and
+        // only freed after a grace period following its replacement; the
+        // guard keeps the current grace period open, so the array outlives
+        // `'g`.
+        unsafe { &*self.table.load(Ordering::Acquire) }
+    }
+
+    /// Loads the current bucket array from writer context.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold the writer lock (resizes — the only operations
+    /// that free bucket arrays — run under that lock).
+    pub(crate) unsafe fn table_locked(&self) -> &BucketArray<K, V> {
+        // SAFETY: per the caller contract the writer lock is held, so no
+        // resize can retire the array during the borrow.
+        unsafe { &*self.table.load(Ordering::Acquire) }
+    }
+
+    /// Publishes a new bucket array, returning the previous one.
+    pub(crate) fn publish_table(&self, new: Box<BucketArray<K, V>>) -> *mut BucketArray<K, V> {
+        self.table.swap(Box::into_raw(new), Ordering::AcqRel)
+    }
+
+    pub(crate) fn writer_lock(&self) -> parking_lot::MutexGuard<'_, ()> {
+        self.writer.lock()
+    }
+}
+
+impl<K, V, S> RpHashMap<K, V, S>
+where
+    K: Hash + Eq + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+    S: BuildHasher,
+{
+    /// Hashes a key with this map's hasher.
+    pub(crate) fn hash_of<Q>(&self, key: &Q) -> u64
+    where
+        Q: Hash + ?Sized,
+    {
+        self.hasher.hash_one(key)
+    }
+
+    /// Looks up `key`, returning a reference valid for the guard borrow.
+    ///
+    /// This is the paper's wait-free lookup: a bucket-head load, a short
+    /// chain traversal and per-node key comparisons. Concurrent resizes may
+    /// make the traversed chain *imprecise* (contain foreign elements), but
+    /// never make it miss an element that is present throughout the lookup.
+    pub fn get<'g, Q>(&'g self, key: &Q, guard: &'g RcuGuard<'_>) -> Option<&'g V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.get_key_value(key, guard).map(|(_, v)| v)
+    }
+
+    /// Looks up `key`, returning references to the stored key and value.
+    pub fn get_key_value<'g, Q>(&'g self, key: &Q, guard: &'g RcuGuard<'_>) -> Option<(&'g K, &'g V)>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let hash = self.hash_of(key);
+        let table = self.table_for_read(guard);
+        let bucket = table.bucket_of(hash);
+        let mut cur = table.head_acquire(bucket);
+        while !cur.is_null() {
+            // SAFETY: `cur` was reached from a published bucket head / next
+            // pointer while the guard's read-side critical section is open;
+            // nodes are freed only after a grace period following their
+            // unlinking, so the node is alive and its key/value/hash are
+            // immutable.
+            let node = unsafe { &*cur };
+            if node.hash == hash && node.key.borrow() == key {
+                return Some((&node.key, &node.value));
+            }
+            cur = node.next_acquire();
+        }
+        None
+    }
+
+    /// Returns `true` if the map contains `key`.
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let guard = rp_rcu::pin();
+        self.get(key, &guard).is_some()
+    }
+
+    /// Looks up `key` and clones the value.
+    pub fn get_cloned<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+        V: Clone,
+    {
+        let guard = rp_rcu::pin();
+        self.get(key, &guard).cloned()
+    }
+
+    /// Looks up `key` and applies `f` to the value under the read-side
+    /// critical section (the relativistic "copy out what you need" pattern).
+    pub fn get_with<Q, F, R>(&self, key: &Q, f: F) -> Option<R>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+        F: FnOnce(&V) -> R,
+    {
+        let guard = rp_rcu::pin();
+        self.get(key, &guard).map(f)
+    }
+
+    /// Inserts `key → value`. Returns `true` if the key was newly inserted,
+    /// `false` if an existing value was replaced.
+    ///
+    /// Replacement is atomic from a reader's perspective: a concurrent
+    /// lookup observes either the old or the new value, never neither.
+    pub fn insert(&self, key: K, value: V) -> bool {
+        let hash = self.hash_of(&key);
+        let guard = self.writer_lock();
+        // SAFETY: writer lock held.
+        let table = unsafe { self.table_locked() };
+        let bucket = table.bucket_of(hash);
+
+        let new = Node::alloc(hash, key, value);
+        // SAFETY: `new` is unpublished; we have exclusive access to it.
+        let new_ref = unsafe { &*new };
+
+        match self.find_locked(table, hash, &new_ref.key) {
+            Some((prev, old)) => {
+                // SAFETY: `old` is a live node reachable under the writer
+                // lock (see `find_locked`).
+                let old_ref = unsafe { &*old };
+                // Initialise the replacement's successor before publishing.
+                new_ref
+                    .next
+                    .store(old_ref.next_acquire(), Ordering::Relaxed);
+                self.link_after(table, bucket, prev, new);
+                self.stats.bump(&self.stats.replaces);
+                // SAFETY: `old` has just been unlinked (unreachable to new
+                // readers), was allocated by `Node::alloc`, and readers of
+                // this map pin the global domain.
+                unsafe { RcuDomain::global().defer_free(old) };
+                self.maybe_reclaim();
+                drop(guard);
+                false
+            }
+            None => {
+                new_ref
+                    .next
+                    .store(table.head_acquire(bucket), Ordering::Relaxed);
+                table.publish_head(bucket, new);
+                let len = self.len.fetch_add(1, Ordering::Relaxed) + 1;
+                self.stats.bump(&self.stats.inserts);
+                // Automatic resizing waits for grace periods; skip it when
+                // the inserting thread holds a read guard (it would
+                // self-deadlock) and let a later insert trigger it.
+                if self.policy.should_expand(len, table.len()) && rp_rcu::global_read_nesting() == 0
+                {
+                    self.expand_locked();
+                }
+                drop(guard);
+                true
+            }
+        }
+    }
+
+    /// Inserts `key → value`, returning a clone of the previous value if the
+    /// key was already present.
+    pub fn insert_replacing(&self, key: K, value: V) -> Option<V>
+    where
+        V: Clone,
+    {
+        // Clone-under-guard first so the previous value can be returned even
+        // though the old node is reclaimed asynchronously.
+        let previous = self.get_cloned(&key);
+        self.insert(key, value);
+        previous
+    }
+
+    /// Removes `key`. Returns `true` if it was present.
+    pub fn remove<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let hash = self.hash_of(key);
+        let guard = self.writer_lock();
+        // SAFETY: writer lock held.
+        let table = unsafe { self.table_locked() };
+        let bucket = table.bucket_of(hash);
+
+        match self.find_locked(table, hash, key) {
+            Some((prev, node)) => {
+                // SAFETY: live node reachable under the writer lock.
+                let node_ref = unsafe { &*node };
+                let next = node_ref.next_acquire();
+                match prev {
+                    Some(p) => {
+                        // SAFETY: `p` is `node`'s predecessor in the chain,
+                        // also alive under the writer lock.
+                        unsafe { p.as_ref() }.next.store(next, Ordering::Release);
+                    }
+                    None => table.publish_head(bucket, next),
+                }
+                let len = self.len.fetch_sub(1, Ordering::Relaxed) - 1;
+                self.stats.bump(&self.stats.removes);
+                // SAFETY: unlinked above, allocated by `Node::alloc`,
+                // readers pin the global domain.
+                unsafe { RcuDomain::global().defer_free(node) };
+                self.maybe_reclaim();
+                if self.policy.should_shrink(len, table.len()) && rp_rcu::global_read_nesting() == 0
+                {
+                    self.shrink_locked();
+                }
+                drop(guard);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes `key`, returning a clone of its value if it was present.
+    pub fn remove_cloned<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+        V: Clone,
+    {
+        let previous = self.get_cloned(key);
+        if self.remove(key) {
+            previous
+        } else {
+            None
+        }
+    }
+
+    /// Atomically renames `old_key` to `new_key`, keeping the value (the
+    /// relativistic *move* operation from the authors' earlier work).
+    ///
+    /// A concurrent lookup for the entry observes the old key, the new key,
+    /// or briefly both — but never neither. Returns `false` (and does
+    /// nothing) if `old_key` is absent. If `new_key` already exists its
+    /// value is replaced.
+    pub fn rename<Q>(&self, old_key: &Q, new_key: K) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+        V: Clone,
+    {
+        let old_hash = self.hash_of(old_key);
+        let new_hash = self.hash_of(&new_key);
+        if old_hash == new_hash && new_key.borrow() == old_key {
+            // Renaming a key to itself: nothing to move.
+            return self.contains_key(old_key);
+        }
+        let guard = self.writer_lock();
+        // SAFETY: writer lock held.
+        let table = unsafe { self.table_locked() };
+
+        let Some((_, old_node)) = self.find_locked(table, old_hash, old_key) else {
+            return false;
+        };
+        // SAFETY: live node under the writer lock; value is immutable.
+        let value = unsafe { &*old_node }.value.clone();
+
+        // 1. Publish the entry under the new key (insert-or-replace at the
+        //    head of the new bucket).
+        let new_bucket = table.bucket_of(new_hash);
+        let new_node = Node::alloc(new_hash, new_key, value);
+        // SAFETY: unpublished node, exclusive access.
+        let new_ref = unsafe { &*new_node };
+        let displaced = self.find_locked::<K>(table, new_hash, &new_ref.key);
+        new_ref
+            .next
+            .store(table.head_acquire(new_bucket), Ordering::Relaxed);
+        table.publish_head(new_bucket, new_node);
+
+        // 2. Unlink any entry the new key displaced (it is now shadowed by
+        //    the head insertion, so readers already prefer the new node).
+        if let Some((prev, dup)) = displaced {
+            // Re-locate the predecessor: the head insertion may have made
+            // the recorded predecessor stale only if the duplicate was the
+            // head, in which case its new predecessor is `new_node`.
+            // SAFETY: live nodes under the writer lock.
+            let dup_next = unsafe { &*dup }.next_acquire();
+            match prev {
+                Some(p) => unsafe { p.as_ref() }.next.store(dup_next, Ordering::Release),
+                None => new_ref.next.store(dup_next, Ordering::Release),
+            }
+            // SAFETY: unlinked, allocated by `Node::alloc`, global domain.
+            unsafe { RcuDomain::global().defer_free(dup) };
+            self.len.fetch_sub(1, Ordering::Relaxed);
+        }
+
+        // 3. Unlink the old entry. Readers searching for the old key during
+        //    this window still find it; readers searching for the new key
+        //    already find the new node.
+        let old_bucket = table.bucket_of(old_hash);
+        if let Some((prev, node)) = self.find_locked(table, old_hash, old_key) {
+            // SAFETY: live nodes under the writer lock.
+            let next = unsafe { &*node }.next_acquire();
+            match prev {
+                Some(p) => unsafe { p.as_ref() }.next.store(next, Ordering::Release),
+                None => table.publish_head(old_bucket, next),
+            }
+            // SAFETY: unlinked, allocated by `Node::alloc`, global domain.
+            unsafe { RcuDomain::global().defer_free(node) };
+        }
+        self.stats.bump(&self.stats.replaces);
+        self.maybe_reclaim();
+        drop(guard);
+        true
+    }
+
+    /// Removes every entry for which `f` returns `false`.
+    pub fn retain<F>(&self, mut f: F)
+    where
+        F: FnMut(&K, &V) -> bool,
+    {
+        let _guard = self.writer_lock();
+        // SAFETY: writer lock held.
+        let table = unsafe { self.table_locked() };
+        for bucket in 0..table.len() {
+            let mut prev: Option<NonNull<Node<K, V>>> = None;
+            let mut cur = table.head_acquire(bucket);
+            while !cur.is_null() {
+                // SAFETY: live node under the writer lock.
+                let cur_ref = unsafe { &*cur };
+                let next = cur_ref.next_acquire();
+                if f(&cur_ref.key, &cur_ref.value) {
+                    prev = NonNull::new(cur);
+                } else {
+                    match prev {
+                        Some(p) => {
+                            // SAFETY: predecessor node, alive under the lock.
+                            unsafe { p.as_ref() }.next.store(next, Ordering::Release);
+                        }
+                        None => table.publish_head(bucket, next),
+                    }
+                    self.len.fetch_sub(1, Ordering::Relaxed);
+                    self.stats.bump(&self.stats.removes);
+                    // SAFETY: unlinked, allocated by `Node::alloc`.
+                    unsafe { RcuDomain::global().defer_free(cur) };
+                }
+                cur = next;
+            }
+        }
+        self.maybe_reclaim();
+    }
+
+    /// Removes all entries.
+    pub fn clear(&self) {
+        self.retain(|_, _| false);
+    }
+
+    /// Iterates over all key/value pairs under `guard`.
+    ///
+    /// Entries present for the whole iteration are yielded exactly once;
+    /// entries inserted or removed concurrently may or may not be observed.
+    pub fn iter<'g>(&'g self, guard: &'g RcuGuard<'_>) -> Iter<'g, K, V> {
+        Iter::new(self.table_for_read(guard))
+    }
+
+    /// Iterates over all keys under `guard`.
+    pub fn keys<'g>(&'g self, guard: &'g RcuGuard<'_>) -> Keys<'g, K, V> {
+        Keys::new(self.iter(guard))
+    }
+
+    /// Iterates over all values under `guard`.
+    pub fn values<'g>(&'g self, guard: &'g RcuGuard<'_>) -> Values<'g, K, V> {
+        Values::new(self.iter(guard))
+    }
+
+    /// Collects all entries into a `Vec` (cloning), a convenience for tests
+    /// and examples.
+    pub fn to_vec(&self) -> Vec<(K, V)>
+    where
+        K: Clone,
+        V: Clone,
+    {
+        let guard = rp_rcu::pin();
+        self.iter(&guard)
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Flushes retired nodes: waits for a grace period and frees everything
+    /// retired before the call.
+    pub fn flush_retired(&self) {
+        RcuDomain::global().synchronize_and_reclaim();
+    }
+
+    /// Locates `key`'s node and its predecessor in the current table.
+    ///
+    /// Returns `(predecessor, node)`; `predecessor == None` means the node
+    /// is the bucket head. Must be called with the writer lock held.
+    fn find_locked<Q>(
+        &self,
+        table: &BucketArray<K, V>,
+        hash: u64,
+        key: &Q,
+    ) -> Option<(Option<NonNull<Node<K, V>>>, *mut Node<K, V>)>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let bucket = table.bucket_of(hash);
+        let mut prev: Option<NonNull<Node<K, V>>> = None;
+        let mut cur = table.head_acquire(bucket);
+        while !cur.is_null() {
+            // SAFETY: nodes reachable from the table cannot be freed while
+            // the writer lock is held: only writers retire nodes, retiring
+            // happens under the same lock, and freeing waits for a grace
+            // period besides.
+            let cur_ref = unsafe { &*cur };
+            if cur_ref.hash == hash && cur_ref.key.borrow() == key {
+                return Some((prev, cur));
+            }
+            prev = NonNull::new(cur);
+            cur = cur_ref.next_acquire();
+        }
+        None
+    }
+
+    /// Publishes `node` in place of the successor of `prev` (or as the
+    /// bucket head if `prev` is `None`).
+    fn link_after(
+        &self,
+        table: &BucketArray<K, V>,
+        bucket: usize,
+        prev: Option<NonNull<Node<K, V>>>,
+        node: *mut Node<K, V>,
+    ) {
+        match prev {
+            Some(p) => {
+                // SAFETY: `p` is a live predecessor node under the writer
+                // lock.
+                unsafe { p.as_ref() }.next.store(node, Ordering::Release);
+            }
+            None => table.publish_head(bucket, node),
+        }
+    }
+
+    fn maybe_reclaim(&self) {
+        // Reclamation waits for a grace period, which can never complete if
+        // the calling thread itself holds a read guard; postpone it in that
+        // case (a later update from a quiescent thread will catch up).
+        if rp_rcu::global_read_nesting() == 0 {
+            RcuDomain::global().reclaim_if_pending(self.policy.reclaim_threshold);
+        }
+    }
+}
+
+impl<K, V, S> Drop for RpHashMap<K, V, S> {
+    fn drop(&mut self) {
+        // Exclusive access: no readers or writers exist. Chains are precise
+        // (no resize is in progress), so every node is reachable from
+        // exactly one bucket and can be freed directly.
+        let table_ptr = *self.table.get_mut();
+        // SAFETY: the table pointer is always a live `BucketArray` allocated
+        // by `BucketArray::new`; we own it exclusively here.
+        let table = unsafe { Box::from_raw(table_ptr) };
+        for bucket in table.buckets.iter() {
+            let mut cur = bucket.load(Ordering::Relaxed);
+            while !cur.is_null() {
+                // SAFETY: nodes were allocated by `Node::alloc` and are
+                // freed exactly once (each node is reachable from exactly
+                // one bucket at rest; retired nodes were unlinked first and
+                // are owned by the RCU domain's deferred queue instead).
+                let node = unsafe { Box::from_raw(cur) };
+                cur = node.next.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl<K, V, S> std::fmt::Debug for RpHashMap<K, V, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RpHashMap")
+            .field("len", &self.len())
+            .field("buckets", &self.num_buckets())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FnvBuildHasher;
+
+    type Map = RpHashMap<u64, u64, FnvBuildHasher>;
+
+    fn fnv_map(buckets: usize) -> Map {
+        RpHashMap::with_buckets_and_hasher(buckets, FnvBuildHasher)
+    }
+
+    #[test]
+    fn new_map_is_empty() {
+        let map: RpHashMap<u32, u32> = RpHashMap::new();
+        assert!(map.is_empty());
+        assert_eq!(map.len(), 0);
+        assert_eq!(map.num_buckets(), 16);
+        assert!(!map.contains_key(&1));
+    }
+
+    #[test]
+    fn bucket_count_rounds_to_power_of_two() {
+        let map: RpHashMap<u32, u32> = RpHashMap::with_buckets(20);
+        assert_eq!(map.num_buckets(), 32);
+        let map: RpHashMap<u32, u32> = RpHashMap::with_buckets(0);
+        assert_eq!(map.num_buckets(), 1);
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let map = fnv_map(8);
+        assert!(map.insert(1, 100));
+        assert!(map.insert(2, 200));
+        assert_eq!(map.len(), 2);
+
+        let guard = map.pin();
+        assert_eq!(map.get(&1, &guard), Some(&100));
+        assert_eq!(map.get(&2, &guard), Some(&200));
+        assert_eq!(map.get(&3, &guard), None);
+        drop(guard);
+
+        assert!(map.remove(&1));
+        assert!(!map.remove(&1));
+        assert_eq!(map.len(), 1);
+        assert!(!map.contains_key(&1));
+        assert!(map.contains_key(&2));
+    }
+
+    #[test]
+    fn insert_replaces_existing_value() {
+        let map = fnv_map(4);
+        assert!(map.insert(7, 1));
+        assert!(!map.insert(7, 2));
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.get_cloned(&7), Some(2));
+        assert_eq!(map.stats().replaces, 1);
+    }
+
+    #[test]
+    fn insert_replacing_returns_previous_value() {
+        let map = fnv_map(4);
+        assert_eq!(map.insert_replacing(1, 10), None);
+        assert_eq!(map.insert_replacing(1, 20), Some(10));
+        assert_eq!(map.get_cloned(&1), Some(20));
+    }
+
+    #[test]
+    fn remove_cloned_returns_value() {
+        let map = fnv_map(4);
+        map.insert(5, 50);
+        assert_eq!(map.remove_cloned(&5), Some(50));
+        assert_eq!(map.remove_cloned(&5), None);
+    }
+
+    #[test]
+    fn get_key_value_returns_stored_key() {
+        let map: RpHashMap<String, u32> = RpHashMap::with_buckets(8);
+        map.insert("alpha".to_string(), 1);
+        let guard = map.pin();
+        let (k, v) = map.get_key_value("alpha", &guard).unwrap();
+        assert_eq!(k, "alpha");
+        assert_eq!(*v, 1);
+    }
+
+    #[test]
+    fn borrowed_key_lookup_works() {
+        let map: RpHashMap<String, u32> = RpHashMap::new();
+        map.insert("hello".to_string(), 5);
+        let guard = map.pin();
+        // Look up with &str against String keys.
+        assert_eq!(map.get("hello", &guard), Some(&5));
+        assert!(map.remove("hello"));
+    }
+
+    #[test]
+    fn many_keys_collide_into_few_buckets() {
+        // A 2-bucket table forces long chains; correctness must not depend
+        // on distribution.
+        let map = fnv_map(2);
+        for i in 0..200 {
+            assert!(map.insert(i, i * 10));
+        }
+        assert_eq!(map.len(), 200);
+        let guard = map.pin();
+        for i in 0..200 {
+            assert_eq!(map.get(&i, &guard), Some(&(i * 10)));
+        }
+    }
+
+    #[test]
+    fn get_with_copies_under_guard() {
+        let map: RpHashMap<u32, String> = RpHashMap::new();
+        map.insert(1, "value".to_string());
+        let len = map.get_with(&1, |v| v.len());
+        assert_eq!(len, Some(5));
+        assert_eq!(map.get_with(&2, |v| v.len()), None);
+    }
+
+    #[test]
+    fn rename_moves_value_to_new_key() {
+        let map: RpHashMap<String, u64> = RpHashMap::with_buckets(8);
+        map.insert("old".to_string(), 7);
+        assert!(map.rename("old", "new".to_string()));
+        assert!(!map.contains_key("old"));
+        assert_eq!(map.get_cloned("new"), Some(7));
+        assert_eq!(map.len(), 1);
+        // Renaming a missing key is a no-op.
+        assert!(!map.rename("missing", "other".to_string()));
+    }
+
+    #[test]
+    fn rename_onto_existing_key_replaces_it() {
+        let map: RpHashMap<String, u64> = RpHashMap::with_buckets(8);
+        map.insert("a".to_string(), 1);
+        map.insert("b".to_string(), 2);
+        assert!(map.rename("a", "b".to_string()));
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.get_cloned("b"), Some(1));
+        assert!(!map.contains_key("a"));
+    }
+
+    #[test]
+    fn retain_keeps_matching_entries() {
+        let map = fnv_map(8);
+        for i in 0..20 {
+            map.insert(i, i);
+        }
+        map.retain(|k, _| k % 2 == 0);
+        assert_eq!(map.len(), 10);
+        for i in 0..20 {
+            assert_eq!(map.contains_key(&i), i % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn clear_removes_everything() {
+        let map = fnv_map(8);
+        for i in 0..50 {
+            map.insert(i, i);
+        }
+        map.clear();
+        assert!(map.is_empty());
+        assert!(!map.contains_key(&10));
+        map.flush_retired();
+    }
+
+    #[test]
+    fn len_and_load_factor_track_inserts() {
+        let map = fnv_map(8);
+        for i in 0..16 {
+            map.insert(i, i);
+        }
+        assert_eq!(map.len(), 16);
+        assert!((map.load_factor() - 2.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn reader_reference_survives_removal_until_guard_drop() {
+        let map: RpHashMap<u32, String> = RpHashMap::new();
+        map.insert(1, "payload".to_string());
+        let guard = map.pin();
+        let v = map.get(&1, &guard).unwrap();
+        assert!(map.remove(&1));
+        // The node is retired but cannot be freed while `guard` is alive.
+        assert_eq!(v, "payload");
+        drop(guard);
+        map.flush_retired();
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let map = fnv_map(8);
+        map.insert(1, 1);
+        map.insert(1, 2);
+        map.insert(2, 2);
+        map.remove(&2);
+        let stats = map.stats();
+        assert_eq!(stats.inserts, 2);
+        assert_eq!(stats.replaces, 1);
+        assert_eq!(stats.removes, 1);
+    }
+
+    #[test]
+    fn drop_frees_all_nodes_without_reclaim() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+
+        #[derive(Clone)]
+        struct CountsDrop(Arc<AtomicUsize>);
+        impl Drop for CountsDrop {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let map: RpHashMap<u32, CountsDrop> = RpHashMap::with_buckets(4);
+            for i in 0..10 {
+                map.insert(i, CountsDrop(Arc::clone(&drops)));
+            }
+        }
+        // All ten values dropped by the map's Drop (no removals happened, so
+        // nothing is sitting in the deferred queue).
+        assert_eq!(drops.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn auto_expand_policy_grows_table() {
+        let map: RpHashMap<u64, u64, FnvBuildHasher> = RpHashMap::with_buckets_hasher_and_policy(
+            4,
+            FnvBuildHasher,
+            ResizePolicy {
+                auto_expand: true,
+                max_load_factor: 1.0,
+                ..ResizePolicy::default()
+            },
+        );
+        for i in 0..64 {
+            map.insert(i, i);
+        }
+        assert!(
+            map.num_buckets() >= 64,
+            "expected auto-expansion, got {} buckets",
+            map.num_buckets()
+        );
+        let guard = map.pin();
+        for i in 0..64 {
+            assert_eq!(map.get(&i, &guard), Some(&i));
+        }
+        assert!(map.stats().expands >= 4);
+    }
+
+    #[test]
+    fn auto_shrink_policy_shrinks_table() {
+        let map: RpHashMap<u64, u64, FnvBuildHasher> = RpHashMap::with_buckets_hasher_and_policy(
+            64,
+            FnvBuildHasher,
+            ResizePolicy {
+                auto_shrink: true,
+                min_load_factor: 0.5,
+                min_buckets: 4,
+                ..ResizePolicy::default()
+            },
+        );
+        for i in 0..64 {
+            map.insert(i, i);
+        }
+        assert_eq!(map.num_buckets(), 64);
+        for i in 0..64 {
+            map.remove(&i);
+        }
+        assert!(
+            map.num_buckets() <= 8,
+            "expected auto-shrink, got {} buckets",
+            map.num_buckets()
+        );
+        assert!(map.stats().shrinks >= 3);
+    }
+}

@@ -1,0 +1,54 @@
+//! Chain nodes.
+
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+/// A single chain node.
+///
+/// The key, the cached hash and the value are immutable once the node has
+/// been published into a bucket chain; only the `next` pointer is ever
+/// mutated afterwards (by insertion, removal and the unzip splices), always
+/// with release stores paired with readers' acquire loads.
+pub(crate) struct Node<K, V> {
+    pub(crate) next: AtomicPtr<Node<K, V>>,
+    /// The key's hash, cached so resize operations never need to re-hash
+    /// (and therefore never need to touch the key type's `Hash` impl while
+    /// restructuring chains).
+    pub(crate) hash: u64,
+    pub(crate) key: K,
+    pub(crate) value: V,
+}
+
+impl<K, V> Node<K, V> {
+    /// Allocates a detached node.
+    pub(crate) fn alloc(hash: u64, key: K, value: V) -> *mut Node<K, V> {
+        Box::into_raw(Box::new(Node {
+            next: AtomicPtr::new(std::ptr::null_mut()),
+            hash,
+            key,
+            value,
+        }))
+    }
+
+    /// Loads the successor with acquire ordering (`rcu_dereference`).
+    pub(crate) fn next_acquire(&self) -> *mut Node<K, V> {
+        self.next.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_produces_detached_node() {
+        let raw = Node::alloc(0xdead, 7_u32, "seven");
+        // SAFETY: freshly allocated, exclusively owned by the test.
+        let node = unsafe { &*raw };
+        assert!(node.next_acquire().is_null());
+        assert_eq!(node.hash, 0xdead);
+        assert_eq!(node.key, 7);
+        assert_eq!(node.value, "seven");
+        // SAFETY: freeing the test allocation exactly once.
+        unsafe { drop(Box::from_raw(raw)) };
+    }
+}

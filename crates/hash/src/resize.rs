@@ -1,0 +1,461 @@
+//! The paper's resize algorithms: zip (shrink) and unzip (expand).
+//!
+//! Both algorithms preserve the reader-visible invariant at every instant:
+//! *every bucket reachable from the published table contains every element
+//! that hashes to it* (it may temporarily contain extra elements — an
+//! "imprecise" bucket — which lookups filter out by key comparison).
+
+use std::hash::{BuildHasher, Hash};
+
+use rp_rcu::RcuDomain;
+
+use crate::map::RpHashMap;
+use crate::node::Node;
+use crate::table::BucketArray;
+
+impl<K, V, S> RpHashMap<K, V, S>
+where
+    K: Hash + Eq + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+    S: BuildHasher,
+{
+    /// Doubles the number of buckets (one unzip expansion step).
+    ///
+    /// Lookups proceed at full speed throughout; the call itself waits for
+    /// one grace period to publish the new table plus one per unzip round.
+    pub fn expand(&self) {
+        let _w = self.writer_lock();
+        self.expand_locked();
+    }
+
+    /// Halves the number of buckets (one zip shrink step).
+    ///
+    /// Lookups proceed at full speed throughout; the call waits for a single
+    /// grace period regardless of table size.
+    pub fn shrink(&self) {
+        let _w = self.writer_lock();
+        self.shrink_locked();
+    }
+
+    /// Resizes the table to `target_buckets` (rounded up to a power of two
+    /// and clamped to the policy bounds), doubling or halving repeatedly.
+    pub fn resize_to(&self, target_buckets: usize) {
+        let target = self.policy().clamp_buckets(target_buckets.max(1));
+        let _w = self.writer_lock();
+        loop {
+            // SAFETY: writer lock held for the whole loop.
+            let current = unsafe { self.table_locked() }.len();
+            if current < target {
+                self.expand_locked();
+            } else if current > target {
+                self.shrink_locked();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Expansion step; the writer lock must be held.
+    pub(crate) fn expand_locked(&self) {
+        let domain = RcuDomain::global();
+        // SAFETY: writer lock held by the caller.
+        let old_table = unsafe { self.table_locked() };
+        let old_buckets = old_table.len();
+        let new_buckets = match old_buckets.checked_mul(2) {
+            Some(n) if n <= self.policy().max_buckets => n,
+            _ => return,
+        };
+
+        // Phase 1: allocate the new table and point every new bucket at the
+        // first node of the corresponding old chain that belongs to it. Old
+        // bucket `b` splits into new buckets `b` and `b + old_buckets`; its
+        // chain contains both new buckets' elements, interleaved.
+        let new_table: Box<BucketArray<K, V>> = BucketArray::new(new_buckets);
+        let new_mask = new_buckets - 1;
+        for new_index in 0..new_buckets {
+            let old_index = new_index & old_table.mask;
+            let mut candidate = old_table.head_acquire(old_index);
+            while !candidate.is_null() {
+                // SAFETY: nodes reachable from the table cannot be freed
+                // while the writer lock is held (all retiring happens under
+                // it, and freeing additionally waits for a grace period).
+                let node = unsafe { &*candidate };
+                if (node.hash as usize) & new_mask == new_index {
+                    break;
+                }
+                candidate = node.next_acquire();
+            }
+            new_table.publish_head(new_index, candidate);
+        }
+
+        // Phase 2: publish the new table and wait for readers. After the
+        // grace period every reader starts from the new (imprecise) buckets;
+        // nobody starts from the old bucket array anymore.
+        let old_ptr = self.publish_table(new_table);
+        domain.synchronize();
+        self.stats.bump(&self.stats.resize_grace_periods);
+
+        // SAFETY: `old_ptr` was the previously published table; after the
+        // grace period above no reader references the *array* (readers may
+        // still be traversing the shared nodes, which stay live). We keep it
+        // as a local cursor table during the unzip and free it at the end.
+        let old_table = unsafe { Box::from_raw(old_ptr) };
+        // SAFETY: writer lock held; this is the table we just published.
+        let new_table = unsafe { self.table_locked() };
+
+        // Phase 3: unzip. Each old chain is a zipper of runs destined
+        // alternately for the two sibling buckets. Per round, splice out the
+        // single cross-link at the end of the current run in every chain,
+        // then wait for readers before touching the same chain again —
+        // splicing twice in one grace period could hide elements from a
+        // reader already inside the chain.
+        let mut cursors: Vec<*mut Node<K, V>> = (0..old_buckets)
+            .map(|i| old_table.head_acquire(i))
+            .collect();
+
+        loop {
+            let mut spliced_any = false;
+            for cursor in cursors.iter_mut() {
+                let mut p = *cursor;
+                if p.is_null() {
+                    continue;
+                }
+                // SAFETY (for this block's dereferences): all nodes reached
+                // here are still reachable from the published table (via the
+                // new buckets) and can only be retired under the writer
+                // lock, which we hold.
+                let p_bucket = unsafe { &*p }.hash as usize & new_mask;
+
+                // Advance to the last node of the current run.
+                loop {
+                    let next = unsafe { &*p }.next_acquire();
+                    if next.is_null() {
+                        break;
+                    }
+                    if (unsafe { &*next }.hash as usize & new_mask) != p_bucket {
+                        break;
+                    }
+                    p = next;
+                }
+                let run_end = p;
+                let foreign_head = unsafe { &*run_end }.next_acquire();
+                if foreign_head.is_null() {
+                    // No cross-link remains after the cursor: this chain is
+                    // fully unzipped.
+                    *cursor = std::ptr::null_mut();
+                    continue;
+                }
+
+                // Find the end of the foreign run.
+                let foreign_bucket = unsafe { &*foreign_head }.hash as usize & new_mask;
+                let mut q = foreign_head;
+                loop {
+                    let next = unsafe { &*q }.next_acquire();
+                    if next.is_null() || (unsafe { &*next }.hash as usize & new_mask) != foreign_bucket
+                    {
+                        break;
+                    }
+                    q = next;
+                }
+                let after_foreign = unsafe { &*q }.next_acquire();
+
+                // Splice: the current run now skips the foreign run. Readers
+                // of `p_bucket` that already entered the foreign run still
+                // see a consistent chain (it leads to `after_foreign`, which
+                // belongs to `p_bucket` or is the end); new traversals skip
+                // it entirely.
+                unsafe { &*run_end }
+                    .next
+                    .store(after_foreign, std::sync::atomic::Ordering::Release);
+                self.stats.bump(&self.stats.unzip_splices);
+                spliced_any = true;
+
+                // The next splice for this chain happens at the end of the
+                // foreign run, but only after a grace period.
+                *cursor = foreign_head;
+            }
+
+            if !spliced_any {
+                break;
+            }
+            self.stats.bump(&self.stats.unzip_rounds);
+            domain.synchronize();
+            self.stats.bump(&self.stats.resize_grace_periods);
+        }
+
+        // Phase 4: the old bucket array is no longer referenced by anyone.
+        drop(old_table);
+        let _ = new_table;
+        self.stats.bump(&self.stats.expands);
+    }
+
+    /// Shrink step; the writer lock must be held.
+    pub(crate) fn shrink_locked(&self) {
+        let domain = RcuDomain::global();
+        // SAFETY: writer lock held by the caller.
+        let old_table = unsafe { self.table_locked() };
+        let old_buckets = old_table.len();
+        if old_buckets <= self.policy().min_buckets.max(1) || old_buckets == 1 {
+            return;
+        }
+        let new_buckets = old_buckets / 2;
+
+        // Phase 1: initialise the new buckets. New bucket `b` collects old
+        // buckets `b` and `b + new_buckets`; point it at whichever old chain
+        // comes first (preferring old bucket `b`).
+        let new_table: Box<BucketArray<K, V>> = BucketArray::new(new_buckets);
+        for new_index in 0..new_buckets {
+            let low = old_table.head_acquire(new_index);
+            let high = old_table.head_acquire(new_index + new_buckets);
+            let head = if low.is_null() { high } else { low };
+            new_table.publish_head(new_index, head);
+        }
+
+        // Phase 2: link the old chains. Appending the "high" chain to the
+        // tail of the "low" chain makes the low old bucket imprecise (its
+        // readers see extra elements — harmless) while readers of the high
+        // old bucket are untouched.
+        for new_index in 0..new_buckets {
+            let low = old_table.head_acquire(new_index);
+            let high = old_table.head_acquire(new_index + new_buckets);
+            if low.is_null() || high.is_null() {
+                continue;
+            }
+            // Find the tail of the low chain.
+            let mut tail = low;
+            loop {
+                // SAFETY: nodes reachable from the table are protected from
+                // reclamation by the writer lock (see `expand_locked`).
+                let next = unsafe { &*tail }.next_acquire();
+                if next.is_null() {
+                    break;
+                }
+                tail = next;
+            }
+            // SAFETY: as above.
+            unsafe { &*tail }
+                .next
+                .store(high, std::sync::atomic::Ordering::Release);
+        }
+
+        // Phase 3: publish the new table, wait for readers, and reclaim the
+        // old bucket array. A single grace period suffices regardless of
+        // table size.
+        let old_ptr = self.publish_table(new_table);
+        domain.synchronize();
+        self.stats.bump(&self.stats.resize_grace_periods);
+        // SAFETY: `old_ptr` was the previously published bucket array; after
+        // the grace period no reader can reference it (the nodes it pointed
+        // to remain reachable through the new table and stay live).
+        drop(unsafe { Box::from_raw(old_ptr) });
+        self.stats.bump(&self.stats.shrinks);
+    }
+
+    /// Verifies the reader-visible invariant: every entry is reachable from
+    /// the bucket its hash maps to in the current table.
+    ///
+    /// Intended for tests and debugging; takes the writer lock so it sees a
+    /// quiescent table.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let _w = self.writer_lock();
+        // SAFETY: writer lock held.
+        let table = unsafe { self.table_locked() };
+        let mut reachable = 0_usize;
+        for bucket in 0..table.len() {
+            let mut cur = table.head_acquire(bucket);
+            let mut steps = 0_usize;
+            while !cur.is_null() {
+                // SAFETY: reachable node under the writer lock.
+                let node = unsafe { &*cur };
+                let home = table.bucket_of(node.hash);
+                if home == bucket {
+                    reachable += 1;
+                } else {
+                    return Err(format!(
+                        "bucket {bucket} contains a node whose home bucket is {home} \
+                         while no resize is in progress"
+                    ));
+                }
+                steps += 1;
+                if steps > self.len() + 1 {
+                    return Err(format!("cycle detected in bucket {bucket}"));
+                }
+                cur = node.next_acquire();
+            }
+        }
+        if reachable != self.len() {
+            return Err(format!(
+                "{} entries reachable but len() reports {}",
+                reachable,
+                self.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{FnvBuildHasher, ResizePolicy, RpHashMap};
+
+    type Map = RpHashMap<u64, u64, FnvBuildHasher>;
+
+    fn filled(buckets: usize, n: u64) -> Map {
+        let map = RpHashMap::with_buckets_and_hasher(buckets, FnvBuildHasher);
+        for i in 0..n {
+            map.insert(i, i * 2);
+        }
+        map
+    }
+
+    fn assert_all_present(map: &Map, n: u64) {
+        let guard = map.pin();
+        for i in 0..n {
+            assert_eq!(map.get(&i, &guard), Some(&(i * 2)), "missing key {i}");
+        }
+    }
+
+    #[test]
+    fn expand_preserves_all_entries() {
+        let map = filled(8, 500);
+        map.expand();
+        assert_eq!(map.num_buckets(), 16);
+        assert_all_present(&map, 500);
+        map.check_invariants().unwrap();
+        assert_eq!(map.stats().expands, 1);
+        assert!(map.stats().unzip_splices > 0);
+    }
+
+    #[test]
+    fn shrink_preserves_all_entries() {
+        let map = filled(16, 500);
+        map.shrink();
+        assert_eq!(map.num_buckets(), 8);
+        assert_all_present(&map, 500);
+        map.check_invariants().unwrap();
+        assert_eq!(map.stats().shrinks, 1);
+    }
+
+    #[test]
+    fn expand_then_shrink_round_trips() {
+        let map = filled(8, 300);
+        map.expand();
+        map.expand();
+        assert_eq!(map.num_buckets(), 32);
+        map.shrink();
+        map.shrink();
+        assert_eq!(map.num_buckets(), 8);
+        assert_all_present(&map, 300);
+        map.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn resize_to_reaches_target_in_one_call() {
+        let map = filled(8, 200);
+        map.resize_to(128);
+        assert_eq!(map.num_buckets(), 128);
+        assert_all_present(&map, 200);
+        map.resize_to(4);
+        assert_eq!(map.num_buckets(), 4);
+        assert_all_present(&map, 200);
+        map.check_invariants().unwrap();
+        // 8 -> 128 is four doublings; 128 -> 4 is five halvings.
+        let stats = map.stats();
+        assert_eq!(stats.expands, 4);
+        assert_eq!(stats.shrinks, 5);
+    }
+
+    #[test]
+    fn resize_respects_policy_bounds() {
+        let map: Map = RpHashMap::with_buckets_hasher_and_policy(
+            16,
+            FnvBuildHasher,
+            ResizePolicy {
+                min_buckets: 8,
+                max_buckets: 32,
+                ..ResizePolicy::default()
+            },
+        );
+        for i in 0..100 {
+            map.insert(i, i * 2);
+        }
+        map.resize_to(1);
+        assert_eq!(map.num_buckets(), 8);
+        map.resize_to(1 << 20);
+        assert_eq!(map.num_buckets(), 32);
+        assert_all_present(&map, 100);
+    }
+
+    #[test]
+    fn expand_on_empty_and_tiny_tables() {
+        let map: Map = RpHashMap::with_buckets_and_hasher(1, FnvBuildHasher);
+        map.expand();
+        assert_eq!(map.num_buckets(), 2);
+        map.shrink();
+        assert_eq!(map.num_buckets(), 1);
+        // Shrinking a one-bucket table is a no-op.
+        map.shrink();
+        assert_eq!(map.num_buckets(), 1);
+        map.insert(1, 2);
+        map.expand();
+        assert_eq!(map.get_cloned(&1), Some(2));
+        map.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn single_bucket_chain_unzips_correctly() {
+        // Everything starts in one bucket; expanding repeatedly must fan the
+        // chain out without losing or duplicating entries.
+        let map = filled(1, 64);
+        for _ in 0..4 {
+            map.expand();
+        }
+        assert_eq!(map.num_buckets(), 16);
+        assert_all_present(&map, 64);
+        map.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn updates_after_resize_use_precise_buckets() {
+        let map = filled(4, 100);
+        map.expand();
+        // Mutations after the resize must still work against the new table.
+        for i in 0..50 {
+            assert!(map.remove(&i));
+        }
+        for i in 100..120 {
+            assert!(map.insert(i, i * 2));
+        }
+        assert_eq!(map.len(), 70);
+        let guard = map.pin();
+        for i in 50..120 {
+            assert_eq!(map.get(&i, &guard), Some(&(i * 2)));
+        }
+        map.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn grace_periods_accounted_per_resize() {
+        let map = filled(4, 64);
+        let before = map.stats().resize_grace_periods;
+        map.shrink();
+        let after_shrink = map.stats().resize_grace_periods;
+        assert_eq!(
+            after_shrink - before,
+            1,
+            "shrink must wait exactly one grace period"
+        );
+        map.expand();
+        let after_expand = map.stats().resize_grace_periods;
+        assert!(
+            after_expand - after_shrink >= 2,
+            "expand waits one grace period to publish plus one per unzip round"
+        );
+    }
+
+    #[test]
+    fn check_invariants_detects_length_mismatch() {
+        let map = filled(4, 10);
+        assert!(map.check_invariants().is_ok());
+    }
+}

@@ -1,0 +1,207 @@
+//! A hash set built on [`crate::RpHashMap`].
+
+use std::borrow::Borrow;
+use std::collections::hash_map::RandomState;
+use std::hash::{BuildHasher, Hash};
+
+use rp_rcu::RcuGuard;
+
+use crate::map::RpHashMap;
+use crate::policy::ResizePolicy;
+
+/// A concurrent hash set with wait-free relativistic readers and
+/// reader-transparent resizing.
+///
+/// A thin wrapper around [`RpHashMap<T, ()>`] exposing set semantics.
+pub struct RpHashSet<T, S = RandomState> {
+    map: RpHashMap<T, (), S>,
+}
+
+impl<T> RpHashSet<T, RandomState> {
+    /// Creates an empty set with a small default bucket count.
+    pub fn new() -> Self {
+        RpHashSet {
+            map: RpHashMap::new(),
+        }
+    }
+
+    /// Creates an empty set with `buckets` buckets.
+    pub fn with_buckets(buckets: usize) -> Self {
+        RpHashSet {
+            map: RpHashMap::with_buckets(buckets),
+        }
+    }
+}
+
+impl<T> Default for RpHashSet<T, RandomState> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T, S> RpHashSet<T, S> {
+    /// Creates an empty set with the given bucket count and hasher.
+    pub fn with_buckets_and_hasher(buckets: usize, hasher: S) -> Self {
+        RpHashSet {
+            map: RpHashMap::with_buckets_and_hasher(buckets, hasher),
+        }
+    }
+
+    /// Creates an empty set with the given bucket count, hasher and policy.
+    pub fn with_buckets_hasher_and_policy(buckets: usize, hasher: S, policy: ResizePolicy) -> Self {
+        RpHashSet {
+            map: RpHashMap::with_buckets_hasher_and_policy(buckets, hasher, policy),
+        }
+    }
+
+    /// Enters a read-side critical section.
+    pub fn pin(&self) -> RcuGuard<'static> {
+        self.map.pin()
+    }
+
+    /// Number of elements in the set.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Current number of hash buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.map.num_buckets()
+    }
+
+    /// The underlying map, for advanced use (stats, policy, resize).
+    pub fn as_map(&self) -> &RpHashMap<T, (), S> {
+        &self.map
+    }
+}
+
+impl<T, S> RpHashSet<T, S>
+where
+    T: Hash + Eq + Send + Sync + 'static,
+    S: BuildHasher,
+{
+    /// Adds `value` to the set. Returns `true` if it was not already
+    /// present.
+    pub fn insert(&self, value: T) -> bool {
+        self.map.insert(value, ())
+    }
+
+    /// Removes `value`. Returns `true` if it was present.
+    pub fn remove<Q>(&self, value: &Q) -> bool
+    where
+        T: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.map.remove(value)
+    }
+
+    /// Returns `true` if the set contains `value`.
+    pub fn contains<Q>(&self, value: &Q) -> bool
+    where
+        T: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.map.contains_key(value)
+    }
+
+    /// Returns a reference to the stored element equal to `value`, if any.
+    pub fn get<'g, Q>(&'g self, value: &Q, guard: &'g RcuGuard<'_>) -> Option<&'g T>
+    where
+        T: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.map.get_key_value(value, guard).map(|(k, ())| k)
+    }
+
+    /// Iterates over the elements under `guard`.
+    pub fn iter<'g>(&'g self, guard: &'g RcuGuard<'_>) -> impl Iterator<Item = &'g T> + 'g {
+        self.map.keys(guard)
+    }
+
+    /// Removes all elements.
+    pub fn clear(&self) {
+        self.map.clear()
+    }
+
+    /// Doubles the number of buckets.
+    pub fn expand(&self) {
+        self.map.expand()
+    }
+
+    /// Halves the number of buckets.
+    pub fn shrink(&self) {
+        self.map.shrink()
+    }
+
+    /// Resizes the table to approximately `target_buckets`.
+    pub fn resize_to(&self, target_buckets: usize) {
+        self.map.resize_to(target_buckets)
+    }
+}
+
+impl<T, S> std::fmt::Debug for RpHashSet<T, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RpHashSet")
+            .field("len", &self.len())
+            .field("buckets", &self.num_buckets())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FnvBuildHasher;
+
+    #[test]
+    fn insert_contains_remove() {
+        let set: RpHashSet<u32> = RpHashSet::new();
+        assert!(set.insert(1));
+        assert!(!set.insert(1));
+        assert!(set.contains(&1));
+        assert!(!set.contains(&2));
+        assert!(set.remove(&1));
+        assert!(!set.remove(&1));
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn string_set_with_borrowed_lookup() {
+        let set: RpHashSet<String> = RpHashSet::with_buckets(8);
+        set.insert("hello".to_string());
+        assert!(set.contains("hello"));
+        let guard = set.pin();
+        assert_eq!(set.get("hello", &guard).map(String::as_str), Some("hello"));
+    }
+
+    #[test]
+    fn iter_and_resize() {
+        let set: RpHashSet<u64, FnvBuildHasher> =
+            RpHashSet::with_buckets_and_hasher(4, FnvBuildHasher);
+        for i in 0..50 {
+            set.insert(i);
+        }
+        set.expand();
+        set.resize_to(64);
+        assert_eq!(set.num_buckets(), 64);
+        let guard = set.pin();
+        assert_eq!(set.iter(&guard).count(), 50);
+        drop(guard);
+        set.shrink();
+        set.clear();
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn as_map_exposes_stats() {
+        let set: RpHashSet<u8> = RpHashSet::with_buckets(4);
+        set.insert(1);
+        set.expand();
+        assert_eq!(set.as_map().stats().expands, 1);
+    }
+}

@@ -1,0 +1,86 @@
+//! Per-map operation and resize statistics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal atomic counters.
+#[derive(Debug, Default)]
+pub(crate) struct AtomicMapStats {
+    pub(crate) expands: AtomicU64,
+    pub(crate) shrinks: AtomicU64,
+    pub(crate) unzip_rounds: AtomicU64,
+    pub(crate) unzip_splices: AtomicU64,
+    pub(crate) resize_grace_periods: AtomicU64,
+    pub(crate) inserts: AtomicU64,
+    pub(crate) replaces: AtomicU64,
+    pub(crate) removes: AtomicU64,
+}
+
+impl AtomicMapStats {
+    pub(crate) fn snapshot(&self) -> MapStats {
+        MapStats {
+            expands: self.expands.load(Ordering::Relaxed),
+            shrinks: self.shrinks.load(Ordering::Relaxed),
+            unzip_rounds: self.unzip_rounds.load(Ordering::Relaxed),
+            unzip_splices: self.unzip_splices.load(Ordering::Relaxed),
+            resize_grace_periods: self.resize_grace_periods.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            replaces: self.replaces.load(Ordering::Relaxed),
+            removes: self.removes.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn bump(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time snapshot of an [`crate::RpHashMap`]'s counters.
+///
+/// Useful for the benchmark harness (e.g. reporting how many grace periods a
+/// continuous-resize run waited for) and for the ablation experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MapStats {
+    /// Completed expand (doubling) steps.
+    pub expands: u64,
+    /// Completed shrink (halving) steps.
+    pub shrinks: u64,
+    /// Unzip rounds performed across all expands (each round ends with one
+    /// grace period).
+    pub unzip_rounds: u64,
+    /// Individual cross-link splices performed by unzip rounds.
+    pub unzip_splices: u64,
+    /// Grace periods waited for by resize operations.
+    pub resize_grace_periods: u64,
+    /// Keys newly inserted.
+    pub inserts: u64,
+    /// Values replaced for an existing key.
+    pub replaces: u64,
+    /// Keys removed.
+    pub removes: u64,
+}
+
+impl MapStats {
+    /// Total resize steps (expands + shrinks).
+    pub fn resizes(&self) -> u64 {
+        self.expands + self.shrinks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_round_trips() {
+        let s = AtomicMapStats::default();
+        s.bump(&s.expands);
+        s.bump(&s.expands);
+        s.bump(&s.shrinks);
+        s.bump(&s.inserts);
+        let snap = s.snapshot();
+        assert_eq!(snap.expands, 2);
+        assert_eq!(snap.shrinks, 1);
+        assert_eq!(snap.inserts, 1);
+        assert_eq!(snap.resizes(), 3);
+    }
+}

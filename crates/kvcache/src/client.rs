@@ -1,0 +1,181 @@
+//! A small blocking client speaking the memcached text protocol.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A blocking connection to a [`crate::server::CacheServer`] (or to real
+/// memcached — the protocol subset is compatible).
+pub struct CacheClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl CacheClient {
+    /// Connects to `addr`.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(CacheClient { stream, reader })
+    }
+
+    /// Issues `set` and waits for the reply. Returns `true` when the server
+    /// answered `STORED`.
+    pub fn set(&mut self, key: &str, flags: u32, exptime_secs: u64, data: &[u8]) -> std::io::Result<bool> {
+        write!(
+            self.stream,
+            "set {key} {flags} {exptime_secs} {}\r\n",
+            data.len()
+        )?;
+        self.stream.write_all(data)?;
+        self.stream.write_all(b"\r\n")?;
+        let line = self.read_line()?;
+        Ok(line.trim_end() == "STORED")
+    }
+
+    /// Issues `get` for a single key and returns the value bytes if present.
+    pub fn get(&mut self, key: &str) -> std::io::Result<Option<Vec<u8>>> {
+        write!(self.stream, "get {key}\r\n")?;
+        let header = self.read_line()?;
+        let header = header.trim_end();
+        if header == "END" {
+            return Ok(None);
+        }
+        // "VALUE <key> <flags> <bytes>"
+        let nbytes: usize = header
+            .split_ascii_whitespace()
+            .nth(3)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad VALUE header"))?;
+        let mut data = vec![0_u8; nbytes + 2];
+        std::io::Read::read_exact(&mut self.reader, &mut data)?;
+        data.truncate(nbytes);
+        // Trailing "END\r\n".
+        let end = self.read_line()?;
+        if end.trim_end() != "END" {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "missing END after VALUE block",
+            ));
+        }
+        Ok(Some(data))
+    }
+
+    /// Issues `delete`; returns `true` when the server answered `DELETED`.
+    pub fn delete(&mut self, key: &str) -> std::io::Result<bool> {
+        write!(self.stream, "delete {key}\r\n")?;
+        let line = self.read_line()?;
+        Ok(line.trim_end() == "DELETED")
+    }
+
+    /// Issues `version` and returns the server's version string.
+    pub fn version(&mut self) -> std::io::Result<String> {
+        self.stream.write_all(b"version\r\n")?;
+        let line = self.read_line()?;
+        Ok(line.trim_end().trim_start_matches("VERSION ").to_string())
+    }
+
+    /// Issues `stats` and returns the `STAT` pairs.
+    pub fn stats(&mut self) -> std::io::Result<Vec<(String, String)>> {
+        self.stream.write_all(b"stats\r\n")?;
+        let mut out = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            let line = line.trim_end();
+            if line == "END" {
+                return Ok(out);
+            }
+            if let Some(rest) = line.strip_prefix("STAT ") {
+                if let Some((name, value)) = rest.split_once(' ') {
+                    out.push((name.to_string(), value.to_string()));
+                }
+            }
+        }
+    }
+
+    /// Sends `quit`, closing the connection server-side.
+    pub fn quit(&mut self) -> std::io::Result<()> {
+        self.stream.write_all(b"quit\r\n")
+    }
+
+    fn read_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        if line.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::CacheServer;
+    use crate::{LockEngine, RpEngine};
+    use std::sync::Arc;
+
+    fn round_trip(engine: Arc<dyn crate::CacheEngine>) {
+        let mut server = CacheServer::start(engine, 0).expect("bind");
+        let mut client = CacheClient::connect(server.addr()).expect("connect");
+
+        assert!(client.get("missing").unwrap().is_none());
+        assert!(client.set("key", 5, 0, b"payload").unwrap());
+        assert_eq!(client.get("key").unwrap().as_deref(), Some(&b"payload"[..]));
+        assert!(client.delete("key").unwrap());
+        assert!(!client.delete("key").unwrap());
+        assert!(client.version().unwrap().contains("relativist"));
+        let stats = client.stats().unwrap();
+        assert!(stats.iter().any(|(k, _)| k == "get_hits"));
+        client.quit().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn tcp_round_trip_against_lock_engine() {
+        round_trip(Arc::new(LockEngine::new()));
+    }
+
+    #[test]
+    fn tcp_round_trip_against_rp_engine() {
+        round_trip(Arc::new(RpEngine::new()));
+    }
+
+    #[test]
+    fn binary_values_survive_the_protocol() {
+        let mut server = CacheServer::start(Arc::new(RpEngine::new()), 0).unwrap();
+        let mut client = CacheClient::connect(server.addr()).unwrap();
+        let payload: Vec<u8> = (0_u16..512).map(|b| (b % 256) as u8).collect();
+        assert!(client.set("bin", 0, 0, &payload).unwrap());
+        assert_eq!(client.get("bin").unwrap().unwrap(), payload);
+        server.shutdown();
+    }
+
+    #[test]
+    fn multiple_clients_share_one_server() {
+        let mut server = CacheServer::start(Arc::new(RpEngine::new()), 0).unwrap();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..4)
+            .map(|id| {
+                std::thread::spawn(move || {
+                    let mut client = CacheClient::connect(addr).unwrap();
+                    let key = format!("key-{id}");
+                    assert!(client.set(&key, 0, 0, key.as_bytes()).unwrap());
+                    assert_eq!(
+                        client.get(&key).unwrap().as_deref(),
+                        Some(key.as_bytes())
+                    );
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        server.shutdown();
+    }
+}

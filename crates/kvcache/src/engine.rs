@@ -1,0 +1,103 @@
+//! The storage-engine abstraction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::item::Item;
+
+/// Outcome of a store operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreOutcome {
+    /// The item was stored.
+    Stored,
+    /// The item was not stored (e.g. the payload exceeds the per-item limit).
+    NotStored,
+}
+
+/// Operation counters an engine maintains (mirrors the subset of memcached's
+/// `stats` output the experiment cares about).
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// GET requests that found a live item.
+    pub get_hits: AtomicU64,
+    /// GET requests that found nothing (or only an expired item).
+    pub get_misses: AtomicU64,
+    /// Successful SETs.
+    pub sets: AtomicU64,
+    /// Successful DELETEs.
+    pub deletes: AtomicU64,
+    /// Items evicted to stay under the capacity limit.
+    pub evictions: AtomicU64,
+    /// Items dropped because they were found expired.
+    pub expirations: AtomicU64,
+}
+
+impl CacheStats {
+    pub(crate) fn bump(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// GET hit count.
+    pub fn hits(&self) -> u64 {
+        self.get_hits.load(Ordering::Relaxed)
+    }
+
+    /// GET miss count.
+    pub fn misses(&self) -> u64 {
+        self.get_misses.load(Ordering::Relaxed)
+    }
+
+    /// Eviction count.
+    pub fn evicted(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+/// A cache storage engine: the component the paper swaps out between stock
+/// memcached (global lock) and the relativistic patch.
+pub trait CacheEngine: Send + Sync {
+    /// Engine name used in benchmark output (`"default"` / `"rp"`).
+    fn name(&self) -> &'static str;
+
+    /// Looks up `key`, returning a copy of the item if present and not
+    /// expired.
+    fn get(&self, key: &str) -> Option<Item>;
+
+    /// Stores `item` under `key`, replacing any previous value.
+    fn set(&self, key: &str, item: Item) -> StoreOutcome;
+
+    /// Deletes `key`. Returns `true` if it was present.
+    fn delete(&self, key: &str) -> bool;
+
+    /// Number of items currently stored (including not-yet-collected
+    /// expired items).
+    fn len(&self) -> usize;
+
+    /// Returns `true` if the cache holds no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Operation counters.
+    fn stats(&self) -> &CacheStats;
+
+    /// Removes expired items eagerly (both engines also expire lazily on
+    /// GET). Returns how many were removed.
+    fn purge_expired(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_counters_accumulate() {
+        let stats = CacheStats::default();
+        stats.bump(&stats.get_hits);
+        stats.bump(&stats.get_hits);
+        stats.bump(&stats.get_misses);
+        stats.bump(&stats.evictions);
+        assert_eq!(stats.hits(), 2);
+        assert_eq!(stats.misses(), 1);
+        assert_eq!(stats.evicted(), 1);
+    }
+}

@@ -1,0 +1,100 @@
+//! Stored values.
+
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+
+/// A value stored in the cache: opaque client flags, an optional expiry
+/// deadline and the payload bytes.
+///
+/// Cloning an `Item` is cheap: the payload is reference-counted
+/// ([`Bytes`]), which is what lets the relativistic GET fast path copy the
+/// value out of the read-side critical section without copying the bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Item {
+    /// Opaque client-supplied flags (returned verbatim on GET).
+    pub flags: u32,
+    /// Absolute expiry deadline; `None` means the item never expires.
+    pub expires_at: Option<Instant>,
+    /// The payload.
+    pub data: Bytes,
+}
+
+impl Item {
+    /// Creates an item that never expires.
+    pub fn new(flags: u32, data: impl Into<Bytes>) -> Self {
+        Item {
+            flags,
+            expires_at: None,
+            data: data.into(),
+        }
+    }
+
+    /// Creates an item that expires `ttl` from now; a zero `ttl` means the
+    /// item never expires (memcached's `exptime 0` convention).
+    pub fn with_ttl(flags: u32, data: impl Into<Bytes>, ttl: Duration) -> Self {
+        Item {
+            flags,
+            expires_at: if ttl.is_zero() {
+                None
+            } else {
+                Some(Instant::now() + ttl)
+            },
+            data: data.into(),
+        }
+    }
+
+    /// Returns `true` if the item has passed its expiry deadline.
+    pub fn is_expired(&self, now: Instant) -> bool {
+        match self.expires_at {
+            Some(deadline) => now >= deadline,
+            None => false,
+        }
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_item_never_expires() {
+        let item = Item::new(7, "hello");
+        assert_eq!(item.flags, 7);
+        assert_eq!(item.len(), 5);
+        assert!(!item.is_empty());
+        assert!(!item.is_expired(Instant::now() + Duration::from_secs(3600)));
+    }
+
+    #[test]
+    fn zero_ttl_means_no_expiry() {
+        let item = Item::with_ttl(0, "x", Duration::ZERO);
+        assert!(item.expires_at.is_none());
+    }
+
+    #[test]
+    fn ttl_expiry_is_respected() {
+        let item = Item::with_ttl(0, "x", Duration::from_millis(10));
+        let deadline = item.expires_at.unwrap();
+        assert!(!item.is_expired(deadline - Duration::from_millis(5)));
+        assert!(item.is_expired(deadline));
+        assert!(item.is_expired(deadline + Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn clone_shares_the_payload_allocation() {
+        let item = Item::new(0, vec![1_u8; 1024]);
+        let copy = item.clone();
+        assert_eq!(item.data.as_ptr(), copy.data.as_ptr());
+    }
+}

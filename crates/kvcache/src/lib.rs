@@ -1,0 +1,45 @@
+//! A memcached-style key-value cache with two storage engines.
+//!
+//! The paper's real-world evaluation patches memcached: stock memcached 1.4
+//! protects its item hash table with a single global lock (`cache_lock`),
+//! while the patched version adds a **relativistic GET fast path** — lookups
+//! run inside an RCU read-side critical section, copy the value out, and
+//! never take the lock; SETs, deletions, expiry and eviction still use the
+//! lock. This crate rebuilds that experiment end to end in Rust:
+//!
+//! * [`protocol`] — a subset of the memcached **text protocol** (GET / SET /
+//!   DELETE plus a few diagnostics) with an incremental parser suitable for
+//!   a streaming socket.
+//! * [`Item`] — a stored value: flags, optional expiry, payload bytes.
+//! * [`CacheEngine`] — the storage-engine trait the server dispatches to.
+//! * [`LockEngine`] — the **default** engine: one global mutex around a hash
+//!   map plus LRU bookkeeping, the `cache_lock` architecture.
+//! * [`RpEngine`] — the **relativistic** engine: the index is an
+//!   [`rp_hash::RpHashMap`]; GETs are wait-free lookups that copy the value
+//!   inside the read-side critical section; writes serialise on the map's
+//!   writer lock; expiry is lazy and eviction is approximate-LRU, both on
+//!   the slow path.
+//! * [`server`] / [`client`] — a threaded TCP server and a small blocking
+//!   client speaking the protocol, used by the end-to-end tests, the
+//!   `kv_server` example and (optionally) the memcached figure harness.
+//!
+//! The `fig_memcached` benchmark in `rp-bench` drives both engines with an
+//! mc-benchmark-style closed-loop workload and reports requests/second for
+//! GETs and SETs separately, reproducing the paper's memcached figure.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod engine;
+mod item;
+mod lock_engine;
+pub mod protocol;
+mod rp_engine;
+
+pub mod client;
+pub mod server;
+
+pub use engine::{CacheEngine, CacheStats, StoreOutcome};
+pub use item::Item;
+pub use lock_engine::LockEngine;
+pub use rp_engine::RpEngine;

@@ -1,0 +1,399 @@
+//! A subset of the memcached text protocol.
+//!
+//! Supported commands:
+//!
+//! ```text
+//! get <key> [<key>...]\r\n
+//! set <key> <flags> <exptime> <bytes> [noreply]\r\n<data>\r\n
+//! delete <key> [noreply]\r\n
+//! stats\r\n
+//! version\r\n
+//! quit\r\n
+//! ```
+//!
+//! Responses follow the memcached conventions (`VALUE`, `END`, `STORED`,
+//! `DELETED`, `NOT_FOUND`, `ERROR`, ...). The parser is incremental: it
+//! consumes complete commands from the front of a byte buffer and reports
+//! how many bytes it used, so the server can read from a socket in chunks.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use crate::item::Item;
+
+/// A parsed client command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `get` with one or more keys.
+    Get(Vec<String>),
+    /// `set <key> <flags> <exptime> <bytes>` plus the data block.
+    Set {
+        /// Item key.
+        key: String,
+        /// Opaque client flags.
+        flags: u32,
+        /// Expiry in seconds (0 = never).
+        exptime: u64,
+        /// Payload bytes.
+        data: Bytes,
+        /// Suppress the reply if set.
+        noreply: bool,
+    },
+    /// `delete <key>`.
+    Delete {
+        /// Item key.
+        key: String,
+        /// Suppress the reply if set.
+        noreply: bool,
+    },
+    /// `stats`.
+    Stats,
+    /// `version`.
+    Version,
+    /// `quit` (close the connection).
+    Quit,
+}
+
+impl Command {
+    /// Builds the [`Item`] described by a `set` command.
+    pub fn to_item(&self) -> Option<Item> {
+        match self {
+            Command::Set {
+                flags,
+                exptime,
+                data,
+                ..
+            } => Some(Item::with_ttl(
+                *flags,
+                data.clone(),
+                Duration::from_secs(*exptime),
+            )),
+            _ => None,
+        }
+    }
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// One `VALUE` block per hit followed by `END`.
+    Values(Vec<(String, u32, Bytes)>),
+    /// `STORED`.
+    Stored,
+    /// `NOT_STORED`.
+    NotStored,
+    /// `DELETED`.
+    Deleted,
+    /// `NOT_FOUND`.
+    NotFound,
+    /// `STAT` lines followed by `END`.
+    Stats(Vec<(String, String)>),
+    /// `VERSION <x>`.
+    Version(String),
+    /// `ERROR` (unknown command).
+    Error,
+    /// `CLIENT_ERROR <msg>`.
+    ClientError(String),
+}
+
+impl Response {
+    /// Serialises the response into protocol bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Values(values) => {
+                for (key, flags, data) in values {
+                    out.extend_from_slice(
+                        format!("VALUE {key} {flags} {}\r\n", data.len()).as_bytes(),
+                    );
+                    out.extend_from_slice(data);
+                    out.extend_from_slice(b"\r\n");
+                }
+                out.extend_from_slice(b"END\r\n");
+            }
+            Response::Stored => out.extend_from_slice(b"STORED\r\n"),
+            Response::NotStored => out.extend_from_slice(b"NOT_STORED\r\n"),
+            Response::Deleted => out.extend_from_slice(b"DELETED\r\n"),
+            Response::NotFound => out.extend_from_slice(b"NOT_FOUND\r\n"),
+            Response::Stats(stats) => {
+                for (name, value) in stats {
+                    out.extend_from_slice(format!("STAT {name} {value}\r\n").as_bytes());
+                }
+                out.extend_from_slice(b"END\r\n");
+            }
+            Response::Version(v) => out.extend_from_slice(format!("VERSION {v}\r\n").as_bytes()),
+            Response::Error => out.extend_from_slice(b"ERROR\r\n"),
+            Response::ClientError(msg) => {
+                out.extend_from_slice(format!("CLIENT_ERROR {msg}\r\n").as_bytes())
+            }
+        }
+        out
+    }
+}
+
+/// The result of attempting to parse one command from the buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseOutcome {
+    /// A complete command was parsed; `consumed` bytes should be drained.
+    Complete {
+        /// The parsed command.
+        command: Command,
+        /// Number of bytes consumed from the front of the buffer.
+        consumed: usize,
+    },
+    /// More bytes are needed before a command can be parsed.
+    Incomplete,
+    /// The buffer starts with a malformed command; `consumed` bytes (up to
+    /// and including the offending line) should be drained and the message
+    /// reported to the client.
+    Invalid {
+        /// Number of bytes to drain.
+        consumed: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+/// Attempts to parse one command from the front of `buf`.
+pub fn parse_command(buf: &[u8]) -> ParseOutcome {
+    let Some(line_end) = find_crlf(buf) else {
+        return ParseOutcome::Incomplete;
+    };
+    let line = &buf[..line_end];
+    let after_line = line_end + 2;
+    let Ok(line) = std::str::from_utf8(line) else {
+        return ParseOutcome::Invalid {
+            consumed: after_line,
+            reason: "command line is not valid UTF-8".to_string(),
+        };
+    };
+    let mut parts = line.split_ascii_whitespace();
+    let Some(verb) = parts.next() else {
+        // Empty line: just skip it.
+        return ParseOutcome::Invalid {
+            consumed: after_line,
+            reason: "empty command".to_string(),
+        };
+    };
+
+    match verb {
+        "get" | "gets" => {
+            let keys: Vec<String> = parts.map(str::to_string).collect();
+            if keys.is_empty() {
+                ParseOutcome::Invalid {
+                    consumed: after_line,
+                    reason: "get requires at least one key".to_string(),
+                }
+            } else {
+                ParseOutcome::Complete {
+                    command: Command::Get(keys),
+                    consumed: after_line,
+                }
+            }
+        }
+        "set" => {
+            let (Some(key), Some(flags), Some(exptime), Some(bytes)) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return ParseOutcome::Invalid {
+                    consumed: after_line,
+                    reason: "set requires <key> <flags> <exptime> <bytes>".to_string(),
+                };
+            };
+            let noreply = matches!(parts.next(), Some("noreply"));
+            let (Ok(flags), Ok(exptime), Ok(nbytes)) = (
+                flags.parse::<u32>(),
+                exptime.parse::<u64>(),
+                bytes.parse::<usize>(),
+            ) else {
+                return ParseOutcome::Invalid {
+                    consumed: after_line,
+                    reason: "bad numeric field in set".to_string(),
+                };
+            };
+            // The data block is <bytes> bytes followed by \r\n.
+            let needed = after_line + nbytes + 2;
+            if buf.len() < needed {
+                return ParseOutcome::Incomplete;
+            }
+            let data = &buf[after_line..after_line + nbytes];
+            if &buf[after_line + nbytes..needed] != b"\r\n" {
+                return ParseOutcome::Invalid {
+                    consumed: needed,
+                    reason: "data block not terminated by CRLF".to_string(),
+                };
+            }
+            ParseOutcome::Complete {
+                command: Command::Set {
+                    key: key.to_string(),
+                    flags,
+                    exptime,
+                    data: Bytes::copy_from_slice(data),
+                    noreply,
+                },
+                consumed: needed,
+            }
+        }
+        "delete" => {
+            let Some(key) = parts.next() else {
+                return ParseOutcome::Invalid {
+                    consumed: after_line,
+                    reason: "delete requires a key".to_string(),
+                };
+            };
+            let noreply = matches!(parts.next(), Some("noreply"));
+            ParseOutcome::Complete {
+                command: Command::Delete {
+                    key: key.to_string(),
+                    noreply,
+                },
+                consumed: after_line,
+            }
+        }
+        "stats" => ParseOutcome::Complete {
+            command: Command::Stats,
+            consumed: after_line,
+        },
+        "version" => ParseOutcome::Complete {
+            command: Command::Version,
+            consumed: after_line,
+        },
+        "quit" => ParseOutcome::Complete {
+            command: Command::Quit,
+            consumed: after_line,
+        },
+        other => ParseOutcome::Invalid {
+            consumed: after_line,
+            reason: format!("unknown command {other:?}"),
+        },
+    }
+}
+
+fn find_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(2).position(|w| w == b"\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(buf: &[u8]) -> (Command, usize) {
+        match parse_command(buf) {
+            ParseOutcome::Complete { command, consumed } => (command, consumed),
+            other => panic!("expected complete command, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_get_with_multiple_keys() {
+        let (cmd, consumed) = complete(b"get a bb ccc\r\n");
+        assert_eq!(
+            cmd,
+            Command::Get(vec!["a".into(), "bb".into(), "ccc".into()])
+        );
+        assert_eq!(consumed, 14);
+    }
+
+    #[test]
+    fn parses_set_with_data_block() {
+        let (cmd, consumed) = complete(b"set key 7 0 5\r\nhello\r\nget x\r\n");
+        match cmd {
+            Command::Set {
+                key,
+                flags,
+                exptime,
+                data,
+                noreply,
+            } => {
+                assert_eq!(key, "key");
+                assert_eq!(flags, 7);
+                assert_eq!(exptime, 0);
+                assert_eq!(&data[..], b"hello");
+                assert!(!noreply);
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        assert_eq!(consumed, b"set key 7 0 5\r\nhello\r\n".len());
+    }
+
+    #[test]
+    fn set_with_binary_payload_and_noreply() {
+        let mut buf = b"set k 0 0 3 noreply\r\n".to_vec();
+        buf.extend_from_slice(&[0, 255, 10]);
+        buf.extend_from_slice(b"\r\n");
+        let (cmd, _) = complete(&buf);
+        match cmd {
+            Command::Set { data, noreply, .. } => {
+                assert_eq!(&data[..], &[0, 255, 10]);
+                assert!(noreply);
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incomplete_inputs_ask_for_more() {
+        assert_eq!(parse_command(b"get a"), ParseOutcome::Incomplete);
+        assert_eq!(parse_command(b"set k 0 0 5\r\nhel"), ParseOutcome::Incomplete);
+        assert_eq!(parse_command(b""), ParseOutcome::Incomplete);
+    }
+
+    #[test]
+    fn malformed_commands_are_rejected_with_reason() {
+        match parse_command(b"set k x 0 5\r\n") {
+            ParseOutcome::Invalid { reason, .. } => assert!(reason.contains("numeric")),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_command(b"bogus\r\n") {
+            ParseOutcome::Invalid { reason, .. } => assert!(reason.contains("unknown")),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_command(b"get\r\n") {
+            ParseOutcome::Invalid { reason, .. } => assert!(reason.contains("at least one key")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delete_stats_version_quit_parse() {
+        assert_eq!(
+            complete(b"delete k noreply\r\n").0,
+            Command::Delete {
+                key: "k".into(),
+                noreply: true
+            }
+        );
+        assert_eq!(complete(b"stats\r\n").0, Command::Stats);
+        assert_eq!(complete(b"version\r\n").0, Command::Version);
+        assert_eq!(complete(b"quit\r\n").0, Command::Quit);
+    }
+
+    #[test]
+    fn responses_serialize_to_protocol_text() {
+        let values = Response::Values(vec![("k".into(), 5, Bytes::from_static(b"abc"))]);
+        assert_eq!(values.to_bytes(), b"VALUE k 5 3\r\nabc\r\nEND\r\n");
+        assert_eq!(Response::Stored.to_bytes(), b"STORED\r\n");
+        assert_eq!(Response::NotFound.to_bytes(), b"NOT_FOUND\r\n");
+        assert_eq!(
+            Response::Version("0.1".into()).to_bytes(),
+            b"VERSION 0.1\r\n"
+        );
+        let stats = Response::Stats(vec![("get_hits".into(), "3".into())]);
+        assert_eq!(stats.to_bytes(), b"STAT get_hits 3\r\nEND\r\n");
+        assert_eq!(
+            Response::ClientError("oops".into()).to_bytes(),
+            b"CLIENT_ERROR oops\r\n"
+        );
+    }
+
+    #[test]
+    fn set_command_builds_an_item() {
+        let (cmd, _) = complete(b"set k 9 60 2\r\nhi\r\n");
+        let item = cmd.to_item().unwrap();
+        assert_eq!(item.flags, 9);
+        assert!(item.expires_at.is_some());
+        assert_eq!(&item.data[..], b"hi");
+        assert!(Command::Quit.to_item().is_none());
+    }
+}

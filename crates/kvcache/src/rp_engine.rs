@@ -1,0 +1,304 @@
+//! The relativistic engine: wait-free GETs over an [`RpHashMap`] index.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use rp_hash::{FnvBuildHasher, ResizePolicy, RpHashMap};
+
+use crate::engine::{CacheEngine, CacheStats, StoreOutcome};
+use crate::item::Item;
+use crate::lock_engine::EngineConfig;
+
+/// A stored item plus its approximate-LRU access stamp.
+///
+/// The payload is immutable after publication; only the access stamp is
+/// updated by readers, with a relaxed store (the relativistic equivalent of
+/// memcached's "don't bump the LRU on every GET" optimisation — readers
+/// never take a lock or move list nodes).
+struct StoredItem {
+    item: Item,
+    last_access: AtomicU64,
+}
+
+/// The relativistic engine, mirroring the paper's memcached patch:
+///
+/// * **GET** pins an RCU guard, looks the key up in the relativistic hash
+///   table, checks expiry and copies the (reference-counted) value out — all
+///   without taking any lock. Expired entries fall back to the slow path
+///   (`delete`) exactly as the patch "falls back to the slow path for
+///   expiry, eviction".
+/// * **SET / DELETE** go through the hash table's writer side (a mutex) and
+///   retire replaced items through the RCU domain.
+/// * **Eviction** is approximate LRU: when the cache exceeds its capacity,
+///   the writer samples the table and evicts the stalest entries it saw.
+pub struct RpEngine {
+    index: RpHashMap<String, Arc<StoredItem>, FnvBuildHasher>,
+    config: EngineConfig,
+    clock: AtomicU64,
+    stats: CacheStats,
+}
+
+impl Default for RpEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RpEngine {
+    /// Creates an engine with a large default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(1 << 20)
+    }
+
+    /// Creates an engine that holds at most `capacity` items.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let buckets = (capacity.max(16)).next_power_of_two().min(1 << 16);
+        RpEngine {
+            index: RpHashMap::with_buckets_hasher_and_policy(
+                buckets.min(1024),
+                FnvBuildHasher,
+                ResizePolicy {
+                    auto_expand: true,
+                    auto_shrink: true,
+                    max_load_factor: 2.0,
+                    min_load_factor: 0.125,
+                    min_buckets: 16,
+                    ..ResizePolicy::default()
+                },
+            ),
+            config: EngineConfig {
+                capacity: capacity.max(1),
+                ..EngineConfig::default()
+            },
+            clock: AtomicU64::new(0),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of buckets currently used by the index (exposed so the
+    /// benchmark can confirm the table resizes itself under load).
+    pub fn index_buckets(&self) -> usize {
+        self.index.num_buckets()
+    }
+
+    fn evict_if_needed(&self) {
+        // Approximate LRU: collect (key, stamp) pairs under a guard, then
+        // evict the oldest entries until we are back under capacity. Runs on
+        // the writer (SET) path only.
+        while self.index.len() > self.config.capacity {
+            let over = self.index.len() - self.config.capacity;
+            let mut candidates: Vec<(String, u64)> = {
+                let guard = self.index.pin();
+                self.index
+                    .iter(&guard)
+                    .map(|(k, v)| (k.clone(), v.last_access.load(Ordering::Relaxed)))
+                    .collect()
+            };
+            if candidates.is_empty() {
+                break;
+            }
+            candidates.sort_by_key(|(_, stamp)| *stamp);
+            for (key, _) in candidates.into_iter().take(over.max(1)) {
+                if self.index.remove(&key) {
+                    self.stats.bump(&self.stats.evictions);
+                }
+            }
+        }
+    }
+}
+
+impl CacheEngine for RpEngine {
+    fn name(&self) -> &'static str {
+        "rp"
+    }
+
+    fn get(&self, key: &str) -> Option<Item> {
+        let now = Instant::now();
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        // Fast path: a relativistic lookup. No locks, no waiting; the value
+        // is copied (cheaply — the payload is reference counted) while still
+        // inside the read-side critical section.
+        let result = {
+            let guard = self.index.pin();
+            match self.index.get(key, &guard) {
+                Some(stored) if !stored.item.is_expired(now) => {
+                    stored.last_access.store(stamp, Ordering::Relaxed);
+                    Some(stored.item.clone())
+                }
+                Some(_) => None, // expired: handle on the slow path below
+                None => {
+                    self.stats.bump(&self.stats.get_misses);
+                    return None;
+                }
+            }
+        };
+        match result {
+            Some(item) => {
+                self.stats.bump(&self.stats.get_hits);
+                Some(item)
+            }
+            None => {
+                // Slow path: the entry exists but is expired; remove it
+                // through the writer side (the guard is already dropped).
+                if self.index.remove(key) {
+                    self.stats.bump(&self.stats.expirations);
+                }
+                self.stats.bump(&self.stats.get_misses);
+                None
+            }
+        }
+    }
+
+    fn set(&self, key: &str, item: Item) -> StoreOutcome {
+        if item.len() > self.config.max_item_size {
+            return StoreOutcome::NotStored;
+        }
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let stored = Arc::new(StoredItem {
+            item,
+            last_access: AtomicU64::new(stamp),
+        });
+        self.index.insert(key.to_string(), stored);
+        self.evict_if_needed();
+        self.stats.bump(&self.stats.sets);
+        StoreOutcome::Stored
+    }
+
+    fn delete(&self, key: &str) -> bool {
+        let removed = self.index.remove(key);
+        if removed {
+            self.stats.bump(&self.stats.deletes);
+        }
+        removed
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn purge_expired(&self) -> usize {
+        let now = Instant::now();
+        let before = self.index.len();
+        self.index.retain(|_, stored| !stored.item.is_expired(now));
+        let purged = before.saturating_sub(self.index.len());
+        for _ in 0..purged {
+            self.stats.bump(&self.stats.expirations);
+        }
+        purged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn get_set_delete_round_trip() {
+        let engine = RpEngine::new();
+        assert_eq!(engine.get("k"), None);
+        assert_eq!(engine.set("k", Item::new(3, "value")), StoreOutcome::Stored);
+        let item = engine.get("k").unwrap();
+        assert_eq!(item.flags, 3);
+        assert_eq!(&item.data[..], b"value");
+        assert!(engine.delete("k"));
+        assert_eq!(engine.get("k"), None);
+        assert_eq!(engine.stats().hits(), 1);
+        assert_eq!(engine.stats().misses(), 2);
+    }
+
+    #[test]
+    fn expired_items_fall_back_to_the_slow_path() {
+        let engine = RpEngine::new();
+        let mut item = Item::new(0, "stale");
+        item.expires_at = Some(Instant::now() - Duration::from_millis(1));
+        engine.set("k", item);
+        assert_eq!(engine.len(), 1);
+        assert_eq!(engine.get("k"), None);
+        assert_eq!(engine.len(), 0, "expired item must be removed lazily");
+        assert_eq!(engine.stats().expirations.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn capacity_is_enforced_with_approximate_lru() {
+        let engine = RpEngine::with_capacity(4);
+        for i in 0..4 {
+            engine.set(&format!("k{i}"), Item::new(0, "x"));
+        }
+        // Touch k0..k2 so k3 is the coldest.
+        for i in 0..3 {
+            engine.get(&format!("k{i}"));
+        }
+        engine.set("k4", Item::new(0, "x"));
+        assert_eq!(engine.len(), 4);
+        assert!(engine.stats().evicted() >= 1);
+        assert!(engine.get("k4").is_some(), "newly inserted key must survive");
+    }
+
+    #[test]
+    fn purge_expired_removes_only_stale_items() {
+        let engine = RpEngine::new();
+        for i in 0..6 {
+            let mut item = Item::new(0, "x");
+            if i % 2 == 0 {
+                item.expires_at = Some(Instant::now() - Duration::from_millis(1));
+            }
+            engine.set(&format!("k{i}"), item);
+        }
+        assert_eq!(engine.purge_expired(), 3);
+        assert_eq!(engine.len(), 3);
+    }
+
+    #[test]
+    fn index_resizes_itself_under_insert_load() {
+        let engine = RpEngine::with_capacity(100_000);
+        let before = engine.index_buckets();
+        for i in 0..8192 {
+            engine.set(&format!("key-{i}"), Item::new(0, "v"));
+        }
+        assert!(
+            engine.index_buckets() > before,
+            "expected the relativistic index to auto-expand ({} -> {})",
+            before,
+            engine.index_buckets()
+        );
+        assert_eq!(engine.len(), 8192);
+    }
+
+    #[test]
+    fn concurrent_gets_and_sets() {
+        use std::sync::atomic::AtomicBool;
+        let engine = Arc::new(RpEngine::new());
+        for i in 0..256 {
+            engine.set(&format!("k{i}"), Item::new(0, format!("v{i}")));
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..3)
+            .map(|seed| {
+                let engine = Arc::clone(&engine);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut k = seed;
+                    while !stop.load(Ordering::Relaxed) {
+                        k = (k * 13 + 1) % 256;
+                        let item = engine.get(&format!("k{k}")).expect("stable key present");
+                        assert!(item.data.starts_with(b"v"));
+                    }
+                })
+            })
+            .collect();
+        for round in 0..2000_u32 {
+            let k = round % 256;
+            engine.set(&format!("k{k}"), Item::new(round, format!("v{k}-{round}")));
+        }
+        stop.store(true, Ordering::SeqCst);
+        for r in readers {
+            r.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! A threaded TCP server speaking the memcached text protocol.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::engine::{CacheEngine, StoreOutcome};
+use crate::protocol::{parse_command, Command, ParseOutcome, Response};
+
+/// Version string reported by the `version` command.
+pub const SERVER_VERSION: &str = "relativist-kvcache 0.1.0";
+
+/// A running cache server.
+///
+/// One OS thread per connection (memcached uses an event loop; a
+/// thread-per-connection server keeps the reproduction simple while
+/// preserving the property under study — whether GETs contend on a global
+/// lock inside the *engine*).
+pub struct CacheServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    engine: Arc<dyn CacheEngine>,
+}
+
+impl CacheServer {
+    /// Binds to `127.0.0.1:<port>` (port 0 picks a free port) and starts
+    /// serving `engine`.
+    pub fn start(engine: Arc<dyn CacheEngine>, port: u16) -> std::io::Result<CacheServer> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let accept_thread = {
+            let engine = Arc::clone(&engine);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("kvcache-accept".to_string())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        match stream {
+                            Ok(stream) => {
+                                let engine = Arc::clone(&engine);
+                                let shutdown = Arc::clone(&shutdown);
+                                std::thread::Builder::new()
+                                    .name("kvcache-conn".to_string())
+                                    .spawn(move || {
+                                        let _ = serve_connection(stream, &*engine, &shutdown);
+                                    })
+                                    .expect("spawn connection thread");
+                            }
+                            Err(_) => continue,
+                        }
+                    }
+                })?
+        };
+
+        Ok(CacheServer {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            engine,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine behind this server.
+    pub fn engine(&self) -> &Arc<dyn CacheEngine> {
+        &self.engine
+    }
+
+    /// Stops accepting new connections and joins the accept thread.
+    ///
+    /// Existing connections finish their current request and close when the
+    /// client disconnects (or sends `quit`).
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for CacheServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serves one client connection until EOF, `quit`, or server shutdown.
+fn serve_connection(
+    mut stream: TcpStream,
+    engine: &dyn CacheEngine,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut chunk = [0_u8; 4096];
+
+    loop {
+        // Drain every complete command already buffered.
+        loop {
+            match parse_command(&buf) {
+                ParseOutcome::Incomplete => break,
+                ParseOutcome::Invalid { consumed, reason } => {
+                    buf.drain(..consumed);
+                    stream.write_all(&Response::ClientError(reason).to_bytes())?;
+                }
+                ParseOutcome::Complete { command, consumed } => {
+                    buf.drain(..consumed);
+                    let quit = matches!(command, Command::Quit);
+                    if let Some(reply) = execute(engine, command) {
+                        stream.write_all(&reply.to_bytes())?;
+                    }
+                    if quit {
+                        return Ok(());
+                    }
+                }
+            }
+        }
+
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(()), // client closed the connection
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue; // timeout: re-check the shutdown flag
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Executes a command against the engine, returning the reply to send (or
+/// `None` for `noreply` commands).
+pub fn execute(engine: &dyn CacheEngine, command: Command) -> Option<Response> {
+    match command {
+        Command::Get(keys) => {
+            let mut values = Vec::with_capacity(keys.len());
+            for key in keys {
+                if let Some(item) = engine.get(&key) {
+                    values.push((key, item.flags, item.data));
+                }
+            }
+            Some(Response::Values(values))
+        }
+        Command::Set { noreply, ref key, .. } => {
+            let item = command.to_item().expect("set command always builds an item");
+            let outcome = engine.set(key, item);
+            if noreply {
+                None
+            } else {
+                Some(match outcome {
+                    StoreOutcome::Stored => Response::Stored,
+                    StoreOutcome::NotStored => Response::NotStored,
+                })
+            }
+        }
+        Command::Delete { key, noreply } => {
+            let deleted = engine.delete(&key);
+            if noreply {
+                None
+            } else {
+                Some(if deleted {
+                    Response::Deleted
+                } else {
+                    Response::NotFound
+                })
+            }
+        }
+        Command::Stats => {
+            let stats = engine.stats();
+            Some(Response::Stats(vec![
+                ("engine".to_string(), engine.name().to_string()),
+                ("curr_items".to_string(), engine.len().to_string()),
+                ("get_hits".to_string(), stats.hits().to_string()),
+                ("get_misses".to_string(), stats.misses().to_string()),
+                ("evictions".to_string(), stats.evicted().to_string()),
+            ]))
+        }
+        Command::Version => Some(Response::Version(SERVER_VERSION.to_string())),
+        Command::Quit => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Item, LockEngine, RpEngine};
+    use bytes::Bytes;
+
+    #[test]
+    fn execute_get_set_delete() {
+        let engine = LockEngine::new();
+        let reply = execute(
+            &engine,
+            Command::Set {
+                key: "k".into(),
+                flags: 2,
+                exptime: 0,
+                data: Bytes::from_static(b"v"),
+                noreply: false,
+            },
+        );
+        assert_eq!(reply, Some(Response::Stored));
+
+        let reply = execute(&engine, Command::Get(vec!["k".into(), "missing".into()]));
+        assert_eq!(
+            reply,
+            Some(Response::Values(vec![(
+                "k".into(),
+                2,
+                Bytes::from_static(b"v")
+            )]))
+        );
+
+        assert_eq!(
+            execute(
+                &engine,
+                Command::Delete {
+                    key: "k".into(),
+                    noreply: false
+                }
+            ),
+            Some(Response::Deleted)
+        );
+        assert_eq!(
+            execute(
+                &engine,
+                Command::Delete {
+                    key: "k".into(),
+                    noreply: false
+                }
+            ),
+            Some(Response::NotFound)
+        );
+    }
+
+    #[test]
+    fn noreply_commands_return_nothing() {
+        let engine = RpEngine::new();
+        assert_eq!(
+            execute(
+                &engine,
+                Command::Set {
+                    key: "a".into(),
+                    flags: 0,
+                    exptime: 0,
+                    data: Bytes::from_static(b"1"),
+                    noreply: true,
+                }
+            ),
+            None
+        );
+        assert_eq!(engine.get("a").map(|i| i.data), Some(Bytes::from_static(b"1")));
+    }
+
+    #[test]
+    fn stats_and_version_replies() {
+        let engine = RpEngine::new();
+        engine.set("x", Item::new(0, "y"));
+        engine.get("x");
+        match execute(&engine, Command::Stats) {
+            Some(Response::Stats(stats)) => {
+                assert!(stats.iter().any(|(k, v)| k == "engine" && v == "rp"));
+                assert!(stats.iter().any(|(k, v)| k == "get_hits" && v == "1"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            execute(&engine, Command::Version),
+            Some(Response::Version(SERVER_VERSION.to_string()))
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the memcached text protocol: serialised
+//! commands parse back to themselves regardless of how the byte stream is
+//! chunked, and arbitrary junk never panics the parser.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use rp_kvcache::protocol::{parse_command, Command, ParseOutcome};
+
+fn key_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9:_-]{1,32}"
+}
+
+fn value_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..256)
+}
+
+/// Renders a command back into wire format (the inverse of the parser).
+fn encode(cmd: &Command) -> Vec<u8> {
+    match cmd {
+        Command::Get(keys) => format!("get {}\r\n", keys.join(" ")).into_bytes(),
+        Command::Set {
+            key,
+            flags,
+            exptime,
+            data,
+            noreply,
+        } => {
+            let mut out = format!(
+                "set {key} {flags} {exptime} {}{}\r\n",
+                data.len(),
+                if *noreply { " noreply" } else { "" }
+            )
+            .into_bytes();
+            out.extend_from_slice(data);
+            out.extend_from_slice(b"\r\n");
+            out
+        }
+        Command::Delete { key, noreply } => format!(
+            "delete {key}{}\r\n",
+            if *noreply { " noreply" } else { "" }
+        )
+        .into_bytes(),
+        Command::Stats => b"stats\r\n".to_vec(),
+        Command::Version => b"version\r\n".to_vec(),
+        Command::Quit => b"quit\r\n".to_vec(),
+    }
+}
+
+fn command_strategy() -> impl Strategy<Value = Command> {
+    prop_oneof![
+        proptest::collection::vec(key_strategy(), 1..4).prop_map(Command::Get),
+        (key_strategy(), any::<u32>(), 0_u64..100_000, value_strategy(), any::<bool>()).prop_map(
+            |(key, flags, exptime, data, noreply)| Command::Set {
+                key,
+                flags,
+                exptime,
+                data: Bytes::from(data),
+                noreply,
+            }
+        ),
+        (key_strategy(), any::<bool>()).prop_map(|(key, noreply)| Command::Delete { key, noreply }),
+        Just(Command::Stats),
+        Just(Command::Version),
+        Just(Command::Quit),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn encode_parse_round_trip(cmd in command_strategy()) {
+        let wire = encode(&cmd);
+        match parse_command(&wire) {
+            ParseOutcome::Complete { command, consumed } => {
+                prop_assert_eq!(command, cmd);
+                prop_assert_eq!(consumed, wire.len());
+            }
+            other => prop_assert!(false, "expected Complete, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn parsing_is_chunking_independent(cmds in proptest::collection::vec(command_strategy(), 1..8), split in 1_usize..64) {
+        // Concatenate several commands, feed the bytes in arbitrary chunk
+        // sizes, and check the same command sequence comes out.
+        let mut stream = Vec::new();
+        for cmd in &cmds {
+            stream.extend_from_slice(&encode(cmd));
+        }
+
+        let mut parsed = Vec::new();
+        let mut buf: Vec<u8> = Vec::new();
+        for chunk in stream.chunks(split) {
+            buf.extend_from_slice(chunk);
+            loop {
+                match parse_command(&buf) {
+                    ParseOutcome::Complete { command, consumed } => {
+                        buf.drain(..consumed);
+                        parsed.push(command);
+                    }
+                    ParseOutcome::Incomplete => break,
+                    ParseOutcome::Invalid { reason, .. } => {
+                        prop_assert!(false, "valid stream parsed as invalid: {}", reason);
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(parsed, cmds);
+        prop_assert!(buf.is_empty(), "unconsumed trailing bytes");
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_parser(junk in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Whatever happens, the parser must not panic and must not claim to
+        // have consumed more bytes than it was given.
+        match parse_command(&junk) {
+            ParseOutcome::Complete { consumed, .. } | ParseOutcome::Invalid { consumed, .. } => {
+                prop_assert!(consumed <= junk.len());
+            }
+            ParseOutcome::Incomplete => {}
+        }
+    }
+}

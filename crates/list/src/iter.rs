@@ -1,0 +1,77 @@
+//! Guard-scoped iteration.
+
+use std::marker::PhantomData;
+use std::sync::atomic::Ordering;
+
+use rp_rcu::RcuGuard;
+
+use crate::node::Node;
+
+/// An iterator over an [`crate::RpList`], valid for the lifetime of the
+/// guard borrow it was created with.
+pub struct Iter<'g, T> {
+    cur: *const Node<T>,
+    _guard: PhantomData<&'g RcuGuard<'g>>,
+}
+
+impl<'g, T> Iter<'g, T> {
+    pub(crate) fn new(head: *const Node<T>, _guard: &'g RcuGuard<'_>) -> Self {
+        Iter {
+            cur: head,
+            _guard: PhantomData,
+        }
+    }
+}
+
+impl<'g, T: 'g> Iterator for Iter<'g, T> {
+    type Item = &'g T;
+
+    fn next(&mut self) -> Option<&'g T> {
+        if self.cur.is_null() {
+            return None;
+        }
+        // SAFETY: `cur` was reached from a published head/next pointer while
+        // the read-side critical section (the guard this iterator borrows)
+        // is open, so the node cannot have been freed: writers retire nodes
+        // only after a grace period that cannot complete while the guard is
+        // alive. The payload is immutable after publication.
+        let node = unsafe { &*self.cur };
+        self.cur = node.next.load(Ordering::Acquire);
+        Some(&node.data)
+    }
+}
+
+impl<T> std::fmt::Debug for Iter<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rp_list::Iter({:p})", self.cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::RpList;
+    use rp_rcu::pin;
+
+    #[test]
+    fn iterator_is_fused_at_end() {
+        let list: RpList<u8> = RpList::new();
+        list.push_front(1);
+        let guard = pin();
+        let mut it = list.iter(&guard);
+        assert_eq!(it.next(), Some(&1));
+        assert_eq!(it.next(), None);
+        assert_eq!(it.next(), None);
+    }
+
+    #[test]
+    fn multiple_iterators_under_one_guard() {
+        let list: RpList<u8> = RpList::new();
+        for i in 0..4 {
+            list.push_front(i);
+        }
+        let guard = pin();
+        let a: Vec<u8> = list.iter(&guard).copied().collect();
+        let b: Vec<u8> = list.iter(&guard).copied().collect();
+        assert_eq!(a, b);
+    }
+}

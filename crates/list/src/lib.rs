@@ -1,0 +1,45 @@
+//! A relativistic (RCU-protected) singly linked list.
+//!
+//! This is the building block the paper's hash table is constructed from:
+//! an open chain whose readers traverse `next` pointers with no locks, no
+//! retries and no atomic read-modify-write instructions, while writers
+//! mutate the chain using *publication* (release-ordered pointer stores) and
+//! *wait-for-readers* (grace periods) so that every intermediate state a
+//! reader can observe is consistent.
+//!
+//! * **Insertion** initialises the new node's `next` pointer first and then
+//!   publishes the node with a single release store; readers either see the
+//!   node (fully initialised) or don't see it yet.
+//! * **Removal** unlinks the node with a single pointer store — readers that
+//!   already hold a reference keep a valid view — and frees the node only
+//!   after a grace period.
+//!
+//! # Example
+//!
+//! ```
+//! use rp_list::RpList;
+//! use rp_rcu::pin;
+//!
+//! let list: RpList<u32> = RpList::new();
+//! list.push_front(3);
+//! list.push_front(2);
+//! list.push_front(1);
+//!
+//! let guard = pin();
+//! let values: Vec<u32> = list.iter(&guard).copied().collect();
+//! assert_eq!(values, [1, 2, 3]);
+//!
+//! assert!(list.remove_first(|v| *v == 2));
+//! let values: Vec<u32> = list.iter(&guard).copied().collect();
+//! assert_eq!(values, [1, 3]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod iter;
+mod list;
+mod node;
+
+pub use iter::Iter;
+pub use list::RpList;

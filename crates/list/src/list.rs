@@ -1,0 +1,386 @@
+//! The relativistic list itself.
+
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use rp_rcu::{RcuDomain, RcuGuard};
+
+use crate::iter::Iter;
+use crate::node::Node;
+
+/// A concurrent singly linked list with relativistic (RCU) readers.
+///
+/// Readers traverse the list under an [`RcuGuard`] without any locking;
+/// writers serialise on an internal mutex and retire unlinked nodes through
+/// the global RCU domain, so reclaimed memory is never freed while a reader
+/// might still reference it.
+///
+/// The element type must be `Send + Sync` (it is shared with readers and
+/// reclaimed on arbitrary threads) and `'static` (nodes are retired through
+/// a type-erased deferred-free queue).
+pub struct RpList<T> {
+    head: AtomicPtr<Node<T>>,
+    len: AtomicUsize,
+    writer: Mutex<()>,
+}
+
+// SAFETY: the list hands `&T` to concurrent readers and moves nodes between
+// threads during reclamation; `T: Send + Sync` makes both sound. The raw
+// pointers are managed exclusively by the list (publication / retire
+// protocol), mirroring how standard collections encapsulate raw pointers.
+unsafe impl<T: Send + Sync> Send for RpList<T> {}
+// SAFETY: see above.
+unsafe impl<T: Send + Sync> Sync for RpList<T> {}
+
+impl<T: Send + Sync + 'static> RpList<T> {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        RpList {
+            head: AtomicPtr::new(std::ptr::null_mut()),
+            len: AtomicUsize::new(0),
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// Number of elements currently in the list.
+    ///
+    /// The value is a snapshot; concurrent writers may change it immediately.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Returns `true` if the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts `value` at the front of the list.
+    pub fn push_front(&self, value: T) {
+        let _w = self.writer.lock().unwrap();
+        let node = Node::alloc(value);
+        let head = self.head.load(Ordering::Relaxed);
+        // Initialise before publication: readers that observe the new head
+        // must also observe its `next` pointer and payload.
+        // SAFETY: `node` is freshly allocated and not yet published, so we
+        // have exclusive access to it.
+        unsafe { (*node).next.store(head, Ordering::Relaxed) };
+        // Publish (rcu_assign_pointer).
+        self.head.store(node, Ordering::Release);
+        self.len.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Inserts `value` immediately after the first element matching `pred`,
+    /// or at the front if none matches. Returns `true` if it was inserted
+    /// after a match.
+    pub fn insert_after<F>(&self, value: T, mut pred: F) -> bool
+    where
+        F: FnMut(&T) -> bool,
+    {
+        let _w = self.writer.lock().unwrap();
+        // Writer-side traversal: the writer lock excludes other writers, so
+        // plain acquire loads give a stable view of the chain.
+        let mut cur = self.head.load(Ordering::Acquire);
+        while !cur.is_null() {
+            // SAFETY: `cur` is reachable from the list and cannot be freed
+            // while we hold the writer lock (only writers retire nodes, and
+            // retirement happens under this same lock).
+            let cur_ref = unsafe { &*cur };
+            if pred(&cur_ref.data) {
+                let node = Node::alloc(value);
+                let next = cur_ref.next.load(Ordering::Acquire);
+                // SAFETY: freshly allocated, unpublished.
+                unsafe { (*node).next.store(next, Ordering::Relaxed) };
+                cur_ref.next.store(node, Ordering::Release);
+                self.len.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+            cur = cur_ref.next.load(Ordering::Acquire);
+        }
+        drop(_w);
+        self.push_front(value);
+        false
+    }
+
+    /// Removes the first element matching `pred`. Returns `true` if an
+    /// element was removed.
+    ///
+    /// The removed node is retired through the global RCU domain and freed
+    /// after a subsequent grace period.
+    pub fn remove_first<F>(&self, mut pred: F) -> bool
+    where
+        F: FnMut(&T) -> bool,
+    {
+        let _w = self.writer.lock().unwrap();
+        let mut prev: Option<&Node<T>> = None;
+        let mut cur = self.head.load(Ordering::Acquire);
+        while !cur.is_null() {
+            // SAFETY: reachable node, protected from reclamation by the
+            // writer lock (see `insert_after`).
+            let cur_ref = unsafe { &*cur };
+            if pred(&cur_ref.data) {
+                let next = cur_ref.next.load(Ordering::Acquire);
+                match prev {
+                    Some(p) => p.next.store(next, Ordering::Release),
+                    None => self.head.store(next, Ordering::Release),
+                }
+                self.len.fetch_sub(1, Ordering::Relaxed);
+                // SAFETY: `cur` is now unreachable to new readers (it has
+                // been unlinked while holding the writer lock) and was
+                // allocated by `Node::alloc` (Box). Readers of this list pin
+                // the global domain, so deferring the free there is correct.
+                unsafe { RcuDomain::global().defer_free(cur) };
+                return true;
+            }
+            prev = Some(cur_ref);
+            cur = cur_ref.next.load(Ordering::Acquire);
+        }
+        false
+    }
+
+    /// Removes every element matching `pred`, returning how many were
+    /// removed.
+    pub fn remove_all<F>(&self, mut pred: F) -> usize
+    where
+        F: FnMut(&T) -> bool,
+    {
+        let _w = self.writer.lock().unwrap();
+        let mut removed = 0;
+        let mut prev: Option<&Node<T>> = None;
+        let mut cur = self.head.load(Ordering::Acquire);
+        while !cur.is_null() {
+            // SAFETY: as in `remove_first`.
+            let cur_ref = unsafe { &*cur };
+            let next = cur_ref.next.load(Ordering::Acquire);
+            if pred(&cur_ref.data) {
+                match prev {
+                    Some(p) => p.next.store(next, Ordering::Release),
+                    None => self.head.store(next, Ordering::Release),
+                }
+                self.len.fetch_sub(1, Ordering::Relaxed);
+                // SAFETY: as in `remove_first`.
+                unsafe { RcuDomain::global().defer_free(cur) };
+                removed += 1;
+                // `prev` stays where it is: the node after `cur` is now its
+                // successor.
+            } else {
+                prev = Some(cur_ref);
+            }
+            cur = next;
+        }
+        removed
+    }
+
+    /// Returns a reference to the first element matching `pred`, valid for
+    /// the lifetime of the guard borrow.
+    pub fn find<'g, F>(&'g self, guard: &'g RcuGuard<'_>, mut pred: F) -> Option<&'g T>
+    where
+        F: FnMut(&T) -> bool,
+    {
+        self.iter(guard).find(|v| pred(v))
+    }
+
+    /// Returns `true` if any element matches `pred`.
+    pub fn contains<F>(&self, mut pred: F) -> bool
+    where
+        F: FnMut(&T) -> bool,
+    {
+        let guard = rp_rcu::pin();
+        self.iter(&guard).any(|v| pred(v))
+    }
+
+    /// Iterates over the list under `guard`.
+    ///
+    /// The iterator observes a consistent chain: every element present for
+    /// the whole traversal is observed; elements inserted or removed
+    /// concurrently may or may not be.
+    pub fn iter<'g>(&'g self, guard: &'g RcuGuard<'_>) -> Iter<'g, T> {
+        Iter::new(self.head.load(Ordering::Acquire), guard)
+    }
+
+    /// Removes all elements.
+    pub fn clear(&self) {
+        self.remove_all(|_| true);
+    }
+}
+
+impl<T: Send + Sync + 'static> Default for RpList<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Drop for RpList<T> {
+    fn drop(&mut self) {
+        // Exclusive access: no readers or writers can exist. Free the chain
+        // directly without grace periods.
+        let mut cur = *self.head.get_mut();
+        while !cur.is_null() {
+            // SAFETY: exclusive access; every node was allocated by
+            // `Node::alloc` and is freed exactly once here (nodes already
+            // retired were unlinked first and are not reachable from head).
+            let boxed = unsafe { Box::from_raw(cur) };
+            cur = boxed.next.load(Ordering::Relaxed);
+        }
+    }
+}
+
+impl<T: Send + Sync + 'static + std::fmt::Debug> std::fmt::Debug for RpList<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let guard = rp_rcu::pin();
+        f.debug_list().entries(self.iter(&guard)).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_rcu::pin;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn collect(list: &RpList<u32>) -> Vec<u32> {
+        let guard = pin();
+        list.iter(&guard).copied().collect()
+    }
+
+    #[test]
+    fn new_list_is_empty() {
+        let list: RpList<u32> = RpList::new();
+        assert!(list.is_empty());
+        assert_eq!(list.len(), 0);
+        assert_eq!(collect(&list), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn push_front_orders_lifo() {
+        let list = RpList::new();
+        for i in 0..5 {
+            list.push_front(i);
+        }
+        assert_eq!(collect(&list), [4, 3, 2, 1, 0]);
+        assert_eq!(list.len(), 5);
+    }
+
+    #[test]
+    fn insert_after_places_element_correctly() {
+        let list = RpList::new();
+        list.push_front(3);
+        list.push_front(1);
+        assert!(list.insert_after(2, |v| *v == 1));
+        assert_eq!(collect(&list), [1, 2, 3]);
+        // No match: falls back to push_front.
+        assert!(!list.insert_after(0, |v| *v == 99));
+        assert_eq!(collect(&list), [0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn remove_first_unlinks_single_match() {
+        let list = RpList::new();
+        for i in (0..5).rev() {
+            list.push_front(i);
+        }
+        assert!(list.remove_first(|v| *v == 2));
+        assert_eq!(collect(&list), [0, 1, 3, 4]);
+        assert!(!list.remove_first(|v| *v == 2));
+        assert_eq!(list.len(), 4);
+    }
+
+    #[test]
+    fn remove_all_and_clear() {
+        let list = RpList::new();
+        for i in 0..10 {
+            list.push_front(i);
+        }
+        let removed = list.remove_all(|v| v % 2 == 0);
+        assert_eq!(removed, 5);
+        assert_eq!(collect(&list), [9, 7, 5, 3, 1]);
+        list.clear();
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn find_and_contains() {
+        let list = RpList::new();
+        list.push_front(10);
+        list.push_front(20);
+        let guard = pin();
+        assert_eq!(list.find(&guard, |v| *v > 15).copied(), Some(20));
+        assert!(list.contains(|v| *v == 10));
+        assert!(!list.contains(|v| *v == 11));
+    }
+
+    #[test]
+    fn reader_holds_reference_across_removal() {
+        // The core RCU guarantee: a reference obtained under a guard stays
+        // valid even after the element is removed, until the guard is
+        // dropped.
+        let list = RpList::new();
+        list.push_front(String::from("stale"));
+        let guard = pin();
+        let r = list.find(&guard, |_| true).unwrap();
+        assert!(list.remove_first(|_| true));
+        // The node has been retired but cannot be freed while `guard` lives.
+        assert_eq!(r, "stale");
+        drop(guard);
+        RcuDomain::global().synchronize_and_reclaim();
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer_stress() {
+        let list = Arc::new(RpList::new());
+        let stop = Arc::new(AtomicBool::new(false));
+
+        // Sentinel values that are always present.
+        for i in 0..8_u32 {
+            list.push_front(i * 1000);
+        }
+
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let list = Arc::clone(&list);
+                let stop = Arc::clone(&stop);
+                thread::spawn(move || {
+                    let mut iterations = 0_u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let guard = pin();
+                        let mut sentinels = 0;
+                        for v in list.iter(&guard) {
+                            if v % 1000 == 0 {
+                                sentinels += 1;
+                            }
+                        }
+                        // All 8 sentinels must always be observed: the
+                        // writer only churns non-sentinel values.
+                        assert_eq!(sentinels, 8, "reader missed a stable element");
+                        iterations += 1;
+                    }
+                    iterations
+                })
+            })
+            .collect();
+
+        let writer = {
+            let list = Arc::clone(&list);
+            thread::spawn(move || {
+                for round in 0..200_u32 {
+                    for i in 1..20 {
+                        list.push_front(round * 100 + i);
+                    }
+                    let removed = list.remove_all(|v| v % 1000 != 0);
+                    assert!(removed >= 19);
+                    if round % 16 == 0 {
+                        RcuDomain::global().synchronize_and_reclaim();
+                    }
+                }
+            })
+        };
+
+        writer.join().unwrap();
+        stop.store(true, Ordering::SeqCst);
+        for r in readers {
+            assert!(r.join().unwrap() > 0);
+        }
+        RcuDomain::global().synchronize_and_reclaim();
+    }
+}

@@ -1,0 +1,40 @@
+//! Chain nodes.
+
+use std::sync::atomic::AtomicPtr;
+
+/// A single list node.
+///
+/// The `next` pointer is the only mutable field; the payload is immutable
+/// once the node has been published, which is what lets readers dereference
+/// it without synchronisation.
+pub(crate) struct Node<T> {
+    pub(crate) next: AtomicPtr<Node<T>>,
+    pub(crate) data: T,
+}
+
+impl<T> Node<T> {
+    /// Allocates a detached node (its `next` pointer is null).
+    pub(crate) fn alloc(data: T) -> *mut Node<T> {
+        Box::into_raw(Box::new(Node {
+            next: AtomicPtr::new(std::ptr::null_mut()),
+            data,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn alloc_produces_detached_node() {
+        let raw = Node::alloc(7_u32);
+        // SAFETY: freshly allocated by `alloc`, exclusively owned here.
+        let node = unsafe { &*raw };
+        assert!(node.next.load(Ordering::Relaxed).is_null());
+        assert_eq!(node.data, 7);
+        // SAFETY: reclaim the test allocation exactly once.
+        unsafe { drop(Box::from_raw(raw)) };
+    }
+}

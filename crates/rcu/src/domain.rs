@@ -1,0 +1,419 @@
+//! Grace-period machinery: the writer side of relativistic programming.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use crossbeam_utils::CachePadded;
+use parking_lot::Mutex;
+
+use crate::deferred::Deferred;
+use crate::stats::{AtomicStats, DomainStats};
+use crate::{GP_COUNT, GP_PHASE, NEST_MASK};
+
+/// Per-reader-thread state scanned by the grace-period machinery.
+///
+/// The single counter word encodes both the read-side critical-section
+/// nesting depth (low half) and a snapshot of the domain's grace-period
+/// phase bit (taken when the outermost critical section is entered), exactly
+/// as liburcu's "memory barrier" flavor does.
+#[derive(Debug, Default)]
+pub(crate) struct ReaderState {
+    pub(crate) ctr: AtomicUsize,
+}
+
+impl ReaderState {
+    /// Returns `true` if this reader is currently inside a read-side
+    /// critical section that began before the current grace-period phase.
+    fn blocks_grace_period(&self, gp_ctr: usize) -> bool {
+        let c = self.ctr.load(Ordering::SeqCst);
+        if c & NEST_MASK == 0 {
+            // Not in a read-side critical section at all.
+            return false;
+        }
+        // In a critical section: it only blocks the grace period if it began
+        // in the *previous* phase (its phase snapshot differs from the
+        // current one).
+        (c ^ gp_ctr) & GP_PHASE != 0
+    }
+}
+
+/// An RCU domain: a set of registered reader threads plus the grace-period
+/// and deferred-reclamation state that covers them.
+///
+/// Most users interact with the process-wide domain returned by
+/// [`RcuDomain::global`], which is the one the [`crate::pin`] guards and all
+/// relativistic data structures in this workspace use. Independent domains
+/// can be created with [`RcuDomain::new`] for isolation (e.g. in tests);
+/// readers of an independent domain must register explicitly via
+/// [`crate::LocalHandle::new`].
+#[derive(Debug)]
+pub struct RcuDomain {
+    /// Global grace-period counter; only the phase bit and the low `1`
+    /// (folded nesting seed) are meaningful.
+    gp_ctr: AtomicUsize,
+    /// Serialises grace periods (writers waiting for readers).
+    gp_lock: Mutex<()>,
+    /// Registered reader threads.
+    registry: Mutex<Vec<Arc<CachePadded<ReaderState>>>>,
+    /// Deferred reclamation queue (`call_rcu` equivalent).
+    deferred: Mutex<Vec<Deferred>>,
+    /// Cheap length mirror of `deferred` so writers can poll without locking.
+    deferred_len: AtomicUsize,
+    stats: AtomicStats,
+}
+
+impl Default for RcuDomain {
+    fn default() -> Self {
+        Self::new_unregistered()
+    }
+}
+
+impl RcuDomain {
+    fn new_unregistered() -> Self {
+        RcuDomain {
+            // Start with the nesting seed set so readers copying this value
+            // enter their critical section with a nesting count of one.
+            gp_ctr: AtomicUsize::new(GP_COUNT),
+            gp_lock: Mutex::new(()),
+            registry: Mutex::new(Vec::new()),
+            deferred: Mutex::new(Vec::new()),
+            deferred_len: AtomicUsize::new(0),
+            stats: AtomicStats::default(),
+        }
+    }
+
+    /// Creates a fresh, independent domain.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::new_unregistered())
+    }
+
+    /// Returns the process-wide global domain.
+    ///
+    /// This is the domain used by [`crate::pin`] and by every relativistic
+    /// data structure in this workspace.
+    pub fn global() -> &'static Arc<RcuDomain> {
+        static GLOBAL: OnceLock<Arc<RcuDomain>> = OnceLock::new();
+        GLOBAL.get_or_init(RcuDomain::new)
+    }
+
+    /// Registers a new reader with this domain and returns its state record.
+    pub(crate) fn register_reader(&self) -> Arc<CachePadded<ReaderState>> {
+        let state = Arc::new(CachePadded::new(ReaderState::default()));
+        self.registry.lock().push(Arc::clone(&state));
+        self.stats.readers_registered.fetch_add(1, Ordering::Relaxed);
+        state
+    }
+
+    /// Removes a reader's state record from the registry.
+    ///
+    /// The caller must guarantee the reader is not inside a read-side
+    /// critical section (its nesting count is zero); [`crate::LocalHandle`]
+    /// enforces this by leaking the record otherwise.
+    pub(crate) fn unregister_reader(&self, state: &Arc<CachePadded<ReaderState>>) {
+        let mut registry = self.registry.lock();
+        if let Some(pos) = registry.iter().position(|s| Arc::ptr_eq(s, state)) {
+            registry.swap_remove(pos);
+            self.stats
+                .readers_unregistered
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value of the grace-period counter (read by `read_lock`).
+    pub(crate) fn gp_ctr_relaxed(&self) -> usize {
+        self.gp_ctr.load(Ordering::Relaxed)
+    }
+
+    /// Waits for a grace period: every read-side critical section that was
+    /// in progress when this call began is guaranteed to have completed when
+    /// it returns.
+    ///
+    /// This is the `synchronize_rcu` equivalent. It never blocks readers; it
+    /// only blocks the calling (writer) thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called from inside a read-side critical section of the
+    /// global domain (that would otherwise self-deadlock: the grace period
+    /// can never end while the caller's own guard is alive).
+    pub fn synchronize(&self) {
+        if std::ptr::eq(self, Arc::as_ptr(Self::global())) && crate::local::global_read_nesting() > 0
+        {
+            panic!(
+                "RcuDomain::synchronize called from inside a read-side critical section; \
+                 drop the RcuGuard first (this would otherwise deadlock)"
+            );
+        }
+        let _gp = self.gp_lock.lock();
+        self.stats.synchronize_calls.fetch_add(1, Ordering::Relaxed);
+
+        // Order all prior writes by this thread (e.g. unlinking a node)
+        // before the phase flips and registry scans below.
+        std::sync::atomic::fence(Ordering::SeqCst);
+
+        // Snapshot the registry. Readers that register after this point
+        // start outside any critical section (counter zero) and therefore
+        // never need to be waited on: their critical sections necessarily
+        // begin after ours did. Readers that unregister during the wait are
+        // kept alive by the cloned `Arc`s and show a zero nesting count.
+        let snapshot: Vec<Arc<CachePadded<ReaderState>>> = self.registry.lock().clone();
+
+        // Two phase flips are required: a reader may have sampled the old
+        // phase just before the first flip and entered its critical section
+        // just after we scanned it, so a single flip can miss it; it cannot
+        // survive two (see liburcu's `urcu_common_wait_for_readers`).
+        for _ in 0..2 {
+            let new_phase = self.gp_ctr.load(Ordering::Relaxed) ^ GP_PHASE;
+            self.gp_ctr.store(new_phase, Ordering::SeqCst);
+            std::sync::atomic::fence(Ordering::SeqCst);
+
+            for reader in &snapshot {
+                let mut spins = 0_u32;
+                while reader.blocks_grace_period(new_phase) {
+                    spins += 1;
+                    if spins < 64 {
+                        std::hint::spin_loop();
+                    } else if spins < 256 {
+                        std::thread::yield_now();
+                    } else {
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                }
+            }
+        }
+
+        // Order the registry scans before any reclamation the caller
+        // performs after this function returns.
+        std::sync::atomic::fence(Ordering::SeqCst);
+        self.stats.grace_periods.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Queues a closure to run after a subsequent grace period.
+    ///
+    /// This is the `call_rcu` equivalent. The closure is *not* run
+    /// immediately and is not guaranteed to run until
+    /// [`RcuDomain::synchronize_and_reclaim`] (or a drop of the domain) is
+    /// called; writers in this workspace call that at natural flush points.
+    pub fn defer(&self, f: impl FnOnce() + Send + 'static) {
+        self.push_deferred(Deferred::new(f));
+    }
+
+    /// Queues `ptr` to be freed (as a `Box<T>`) after a subsequent grace
+    /// period.
+    ///
+    /// # Safety
+    ///
+    /// * `ptr` must have been produced by [`Box::into_raw`] and must not be
+    ///   freed through any other path.
+    /// * `ptr` must already be unreachable to new readers (unpublished), so
+    ///   that after one grace period no reader can reference it.
+    /// * Readers that may still reference `ptr` must be readers of *this*
+    ///   domain.
+    pub unsafe fn defer_free<T: Send>(&self, ptr: *mut T) {
+        // SAFETY: forwarded caller contract.
+        self.push_deferred(unsafe { Deferred::free(ptr) });
+    }
+
+    /// Queues an already-constructed [`Deferred`] unit.
+    pub fn defer_unit(&self, d: Deferred) {
+        self.push_deferred(d);
+    }
+
+    fn push_deferred(&self, d: Deferred) {
+        self.deferred.lock().push(d);
+        self.deferred_len.fetch_add(1, Ordering::Relaxed);
+        self.stats.callbacks_queued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of deferred callbacks currently queued.
+    pub fn deferred_pending(&self) -> usize {
+        self.deferred_len.load(Ordering::Relaxed)
+    }
+
+    /// Waits for a grace period, then executes every callback that was
+    /// queued *before* this call began.
+    ///
+    /// Callbacks queued concurrently with the grace period are left for the
+    /// next reclamation pass (they may not yet be covered by it).
+    pub fn synchronize_and_reclaim(&self) {
+        // Take the batch first: a grace period only covers callbacks whose
+        // unpublish happened before the grace period started.
+        let batch: Vec<Deferred> = {
+            let mut queue = self.deferred.lock();
+            let batch = std::mem::take(&mut *queue);
+            self.deferred_len.store(queue.len(), Ordering::Relaxed);
+            batch
+        };
+        self.synchronize();
+        let executed = batch.len() as u64;
+        for d in batch {
+            d.call();
+        }
+        self.stats
+            .callbacks_executed
+            .fetch_add(executed, Ordering::Relaxed);
+    }
+
+    /// Runs `synchronize_and_reclaim` only if at least `threshold` callbacks
+    /// are pending. Returns `true` if a reclamation pass ran.
+    pub fn reclaim_if_pending(&self, threshold: usize) -> bool {
+        if self.deferred_pending() >= threshold {
+            self.synchronize_and_reclaim();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Waits until every callback queued before this call has executed
+    /// (the `rcu_barrier` equivalent).
+    pub fn barrier(&self) {
+        self.synchronize_and_reclaim();
+    }
+
+    /// Returns a snapshot of this domain's counters.
+    pub fn stats(&self) -> DomainStats {
+        self.stats.snapshot()
+    }
+
+    /// Number of readers currently registered with this domain.
+    pub fn registered_readers(&self) -> usize {
+        self.registry.lock().len()
+    }
+}
+
+impl Drop for RcuDomain {
+    fn drop(&mut self) {
+        // Exclusive access: no readers can exist (they would hold an `Arc`
+        // to this domain), so pending callbacks can run immediately.
+        let batch = std::mem::take(&mut *self.deferred.lock());
+        for d in batch {
+            d.call();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LocalHandle;
+    use std::sync::atomic::AtomicUsize;
+    use std::thread;
+
+    #[test]
+    fn fresh_domain_has_no_readers() {
+        let d = RcuDomain::new();
+        assert_eq!(d.registered_readers(), 0);
+        assert_eq!(d.stats().grace_periods, 0);
+    }
+
+    #[test]
+    fn synchronize_counts_grace_periods() {
+        let d = RcuDomain::new();
+        d.synchronize();
+        d.synchronize();
+        let s = d.stats();
+        assert_eq!(s.grace_periods, 2);
+        assert_eq!(s.synchronize_calls, 2);
+    }
+
+    #[test]
+    fn register_and_unregister_update_registry() {
+        let d = RcuDomain::new();
+        let h1 = LocalHandle::new(&d);
+        let h2 = LocalHandle::new(&d);
+        assert_eq!(d.registered_readers(), 2);
+        drop(h1);
+        assert_eq!(d.registered_readers(), 1);
+        drop(h2);
+        assert_eq!(d.registered_readers(), 0);
+        let s = d.stats();
+        assert_eq!(s.readers_registered, 2);
+        assert_eq!(s.readers_unregistered, 2);
+    }
+
+    #[test]
+    fn reader_in_old_phase_blocks_grace_period() {
+        let state = ReaderState::default();
+        // Simulate a reader that entered with phase 0 while the writer has
+        // flipped to phase 1.
+        state.ctr.store(GP_COUNT, Ordering::SeqCst);
+        assert!(state.blocks_grace_period(GP_COUNT | GP_PHASE));
+        // Same phase: does not block.
+        assert!(!state.blocks_grace_period(GP_COUNT));
+        // Not in a critical section: never blocks.
+        state.ctr.store(0, Ordering::SeqCst);
+        assert!(!state.blocks_grace_period(GP_COUNT | GP_PHASE));
+    }
+
+    #[test]
+    fn deferred_batch_taken_before_grace_period() {
+        let d = RcuDomain::new();
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..5 {
+            let counter = Arc::clone(&counter);
+            d.defer(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(d.deferred_pending(), 5);
+        d.synchronize_and_reclaim();
+        assert_eq!(counter.load(Ordering::SeqCst), 5);
+        assert_eq!(d.deferred_pending(), 0);
+        assert_eq!(d.stats().callbacks_executed, 5);
+    }
+
+    #[test]
+    fn reclaim_if_pending_respects_threshold() {
+        let d = RcuDomain::new();
+        d.defer(|| {});
+        assert!(!d.reclaim_if_pending(2));
+        d.defer(|| {});
+        assert!(d.reclaim_if_pending(2));
+        assert_eq!(d.deferred_pending(), 0);
+    }
+
+    #[test]
+    fn dropping_domain_runs_pending_callbacks() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let d = RcuDomain::new();
+            let counter = Arc::clone(&counter);
+            d.defer(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn concurrent_synchronize_calls_serialize_safely() {
+        let d = RcuDomain::new();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let d = Arc::clone(&d);
+                thread::spawn(move || {
+                    for _ in 0..50 {
+                        d.synchronize();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(d.stats().grace_periods, 200);
+    }
+
+    #[test]
+    fn custom_domain_reader_blocks_only_its_domain() {
+        let d1 = RcuDomain::new();
+        let d2 = RcuDomain::new();
+        let h1 = LocalHandle::new(&d1);
+        let _guard = h1.read_lock();
+        // A reader of d1 must not prevent grace periods of d2.
+        d2.synchronize();
+        assert_eq!(d2.stats().grace_periods, 1);
+    }
+}

@@ -1,0 +1,212 @@
+//! Per-thread reader registration.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crossbeam_utils::CachePadded;
+
+use crate::domain::{RcuDomain, ReaderState};
+use crate::guard::RcuGuard;
+use crate::NEST_MASK;
+
+/// A thread's registration with an [`RcuDomain`].
+///
+/// Creating a `LocalHandle` registers the calling thread as a reader of the
+/// domain; dropping it unregisters the thread. Read-side critical sections
+/// are entered with [`LocalHandle::read_lock`].
+///
+/// For the global domain, [`pin`] manages a thread-local handle
+/// automatically; explicit handles are only needed for custom domains.
+pub struct LocalHandle {
+    domain: Arc<RcuDomain>,
+    state: Arc<CachePadded<ReaderState>>,
+}
+
+impl LocalHandle {
+    /// Registers the calling thread with `domain`.
+    pub fn new(domain: &Arc<RcuDomain>) -> Self {
+        LocalHandle {
+            domain: Arc::clone(domain),
+            state: domain.register_reader(),
+        }
+    }
+
+    /// Enters a read-side critical section.
+    pub fn read_lock(&self) -> RcuGuard<'_> {
+        RcuGuard::enter(&self.state, self.domain.gp_ctr_relaxed())
+    }
+
+    /// The domain this handle is registered with.
+    pub fn domain(&self) -> &Arc<RcuDomain> {
+        &self.domain
+    }
+
+    /// Returns `true` if the owning thread is currently inside a read-side
+    /// critical section entered through this handle.
+    pub fn in_critical_section(&self) -> bool {
+        self.state.ctr.load(Ordering::Relaxed) & NEST_MASK != 0
+    }
+}
+
+impl Drop for LocalHandle {
+    fn drop(&mut self) {
+        if self.in_critical_section() {
+            // A guard created from this handle is still alive (this can only
+            // happen through unusual TLS-destructor interleavings). The
+            // reader record must stay both allocated and registered so that
+            // (a) the outstanding guard's counter accesses remain valid and
+            // (b) writers keep waiting for the still-open critical section.
+            // Leak one reference to keep it alive forever.
+            std::mem::forget(Arc::clone(&self.state));
+            return;
+        }
+        self.domain.unregister_reader(&self.state);
+    }
+}
+
+impl std::fmt::Debug for LocalHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalHandle")
+            .field("in_critical_section", &self.in_critical_section())
+            .finish()
+    }
+}
+
+std::thread_local! {
+    /// The calling thread's registration with the global domain, created
+    /// lazily on first use of [`pin`].
+    static GLOBAL_HANDLE: LocalHandle = LocalHandle::new(RcuDomain::global());
+}
+
+/// Enters a read-side critical section of the global domain.
+///
+/// The calling thread is registered with [`RcuDomain::global`] on first use.
+/// The returned guard keeps the critical section open until it is dropped;
+/// nesting is allowed and cheap.
+///
+/// # Panics
+///
+/// Panics if called while the thread's local storage is being destroyed
+/// (i.e. from another thread-local's destructor after the handle has been
+/// torn down).
+pub fn pin() -> RcuGuard<'static> {
+    GLOBAL_HANDLE.with(|handle| {
+        let guard = handle.read_lock();
+        // SAFETY: extending the guard's lifetime to `'static` is sound
+        // because (a) the guard is `!Send`, so it stays on this thread, and
+        // (b) the thread-local `LocalHandle` outlives any guard created on
+        // this thread: it is destroyed only at thread exit, and if a guard
+        // is somehow still active at that point the handle leaks its reader
+        // record rather than freeing it (see `LocalHandle::drop`).
+        unsafe { std::mem::transmute::<RcuGuard<'_>, RcuGuard<'static>>(guard) }
+    })
+}
+
+/// Returns the calling thread's current read-side nesting depth in the
+/// global domain (0 means "not in a read-side critical section").
+///
+/// Waiting for readers from inside a read-side critical section of the same
+/// domain would self-deadlock; [`crate::RcuDomain::synchronize`] uses this to
+/// turn that mistake into a panic, and data structures use it to postpone
+/// optional grace-period work (reclamation, automatic resizing) when the
+/// calling thread happens to hold a guard.
+pub fn global_read_nesting() -> usize {
+    GLOBAL_HANDLE
+        .try_with(|handle| handle.state.ctr.load(Ordering::Relaxed) & NEST_MASK)
+        .unwrap_or(0)
+}
+
+/// Runs `f` outside any read-side critical section and then issues a
+/// quiescent hint.
+///
+/// This is a convenience for long-running reader loops of the global domain:
+/// calling it periodically guarantees the thread is seen as quiescent even
+/// if the surrounding code never fully drains its guards (it asserts that no
+/// guard is active).
+pub fn quiescent_with<R>(f: impl FnOnce() -> R) -> R {
+    GLOBAL_HANDLE.with(|handle| {
+        assert!(
+            !handle.in_critical_section(),
+            "quiescent_with called while a read-side critical section is active"
+        );
+        f()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn handle_registers_and_unregisters() {
+        let domain = RcuDomain::new();
+        assert_eq!(domain.registered_readers(), 0);
+        {
+            let _h = LocalHandle::new(&domain);
+            assert_eq!(domain.registered_readers(), 1);
+        }
+        assert_eq!(domain.registered_readers(), 0);
+    }
+
+    #[test]
+    fn read_lock_tracks_critical_section() {
+        let domain = RcuDomain::new();
+        let handle = LocalHandle::new(&domain);
+        assert!(!handle.in_critical_section());
+        {
+            let _g = handle.read_lock();
+            assert!(handle.in_critical_section());
+        }
+        assert!(!handle.in_critical_section());
+    }
+
+    #[test]
+    fn pin_registers_thread_with_global_domain() {
+        let before = RcuDomain::global().registered_readers();
+        let t = thread::spawn(|| {
+            let _g = pin();
+            RcuDomain::global().registered_readers()
+        });
+        let during = t.join().unwrap();
+        assert!(during >= 1);
+        // After the spawned thread exits, its handle unregisters; the count
+        // should not keep growing without bound.
+        let after = RcuDomain::global().registered_readers();
+        assert!(after <= during.max(before + 1));
+    }
+
+    #[test]
+    fn quiescent_with_runs_closure() {
+        let x = quiescent_with(|| 41 + 1);
+        assert_eq!(x, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "critical section is active")]
+    fn quiescent_with_panics_inside_guard() {
+        let _g = pin();
+        quiescent_with(|| ());
+    }
+
+    #[test]
+    fn many_threads_pin_concurrently() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                thread::spawn(|| {
+                    for _ in 0..100 {
+                        let g1 = pin();
+                        let g2 = pin();
+                        assert!(g2.nesting() >= 2);
+                        drop(g2);
+                        drop(g1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        RcuDomain::global().synchronize();
+    }
+}

@@ -1,0 +1,356 @@
+//! Quiescent-state-based reclamation (QSBR): the barrier-free reader flavor.
+//!
+//! In the QSBR flavor, entering and leaving a read-side critical section
+//! costs *nothing at all* — not even a memory fence — which matches the
+//! read-side cost of kernel RCU more closely than the memory-barrier flavor
+//! in [`crate`]. The price is that every registered thread must periodically
+//! announce a *quiescent state* (a point at which it holds no RCU-protected
+//! references) or declare itself offline; a grace period completes only once
+//! every online thread has done so.
+//!
+//! The benchmark harness uses this flavor to quantify the gap between the
+//! two read-side costs (see the `rcu_primitives` Criterion bench).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam_utils::CachePadded;
+use parking_lot::Mutex;
+
+use crate::stats::{AtomicStats, DomainStats};
+
+/// Sentinel counter value meaning "this thread is offline".
+const OFFLINE: u64 = 0;
+
+/// Per-thread QSBR state.
+#[derive(Debug)]
+struct QsbrReader {
+    /// Last grace-period value this thread has passed through, or
+    /// [`OFFLINE`].
+    ctr: AtomicU64,
+}
+
+/// A QSBR domain: registered threads plus the grace-period counter.
+#[derive(Debug)]
+pub struct QsbrDomain {
+    gp_ctr: AtomicU64,
+    gp_lock: Mutex<()>,
+    registry: Mutex<Vec<Arc<CachePadded<QsbrReader>>>>,
+    stats: AtomicStats,
+}
+
+impl Default for QsbrDomain {
+    fn default() -> Self {
+        QsbrDomain {
+            // Start at 1 so that 0 can mean "offline".
+            gp_ctr: AtomicU64::new(1),
+            gp_lock: Mutex::new(()),
+            registry: Mutex::new(Vec::new()),
+            stats: AtomicStats::default(),
+        }
+    }
+}
+
+impl QsbrDomain {
+    /// Creates a fresh QSBR domain.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Registers the calling thread; it starts *online* and quiescent.
+    pub fn register(self: &Arc<Self>) -> QsbrHandle {
+        let state = Arc::new(CachePadded::new(QsbrReader {
+            ctr: AtomicU64::new(self.gp_ctr.load(Ordering::SeqCst)),
+        }));
+        self.registry.lock().push(Arc::clone(&state));
+        self.stats.readers_registered.fetch_add(1, Ordering::Relaxed);
+        QsbrHandle {
+            domain: Arc::clone(self),
+            state,
+        }
+    }
+
+    /// Waits until every online registered thread has passed through a
+    /// quiescent state after this call began.
+    pub fn synchronize(&self) {
+        let _gp = self.gp_lock.lock();
+        self.stats.synchronize_calls.fetch_add(1, Ordering::Relaxed);
+        std::sync::atomic::fence(Ordering::SeqCst);
+
+        // Advance the grace-period counter; readers must observe a value at
+        // least this large (or be offline) before the grace period ends.
+        let target = self.gp_ctr.load(Ordering::Relaxed) + 1;
+        self.gp_ctr.store(target, Ordering::SeqCst);
+        std::sync::atomic::fence(Ordering::SeqCst);
+
+        let snapshot: Vec<Arc<CachePadded<QsbrReader>>> = self.registry.lock().clone();
+        for reader in &snapshot {
+            let mut spins = 0_u32;
+            loop {
+                let c = reader.ctr.load(Ordering::SeqCst);
+                if c == OFFLINE || c >= target {
+                    break;
+                }
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else if spins < 256 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            }
+        }
+
+        std::sync::atomic::fence(Ordering::SeqCst);
+        self.stats.grace_periods.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Returns a snapshot of this domain's counters.
+    pub fn stats(&self) -> DomainStats {
+        self.stats.snapshot()
+    }
+
+    /// Number of threads currently registered.
+    pub fn registered_readers(&self) -> usize {
+        self.registry.lock().len()
+    }
+
+    fn unregister(&self, state: &Arc<CachePadded<QsbrReader>>) {
+        let mut registry = self.registry.lock();
+        if let Some(pos) = registry.iter().position(|s| Arc::ptr_eq(s, state)) {
+            registry.swap_remove(pos);
+            self.stats
+                .readers_unregistered
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A thread's registration with a [`QsbrDomain`].
+///
+/// The owning thread must call [`QsbrHandle::quiescent_state`] regularly (or
+/// go [`QsbrHandle::offline`]) — otherwise writers calling
+/// [`QsbrDomain::synchronize`] will wait forever.
+pub struct QsbrHandle {
+    domain: Arc<QsbrDomain>,
+    state: Arc<CachePadded<QsbrReader>>,
+}
+
+impl QsbrHandle {
+    /// Announces a quiescent state: the thread holds no references to
+    /// RCU-protected data at this instant.
+    pub fn quiescent_state(&self) {
+        // Order all reads of protected data before the announcement...
+        std::sync::atomic::fence(Ordering::SeqCst);
+        self.state
+            .ctr
+            .store(self.domain.gp_ctr.load(Ordering::SeqCst), Ordering::SeqCst);
+        // ...and the announcement before any subsequent reads.
+        std::sync::atomic::fence(Ordering::SeqCst);
+    }
+
+    /// Marks the thread offline: it promises not to access RCU-protected
+    /// data until [`QsbrHandle::online`] is called, and writers stop waiting
+    /// for it.
+    pub fn offline(&self) {
+        std::sync::atomic::fence(Ordering::SeqCst);
+        self.state.ctr.store(OFFLINE, Ordering::SeqCst);
+    }
+
+    /// Marks the thread online again (implies a quiescent state).
+    pub fn online(&self) {
+        self.state
+            .ctr
+            .store(self.domain.gp_ctr.load(Ordering::SeqCst), Ordering::SeqCst);
+        std::sync::atomic::fence(Ordering::SeqCst);
+    }
+
+    /// Returns `true` if the thread is currently online.
+    pub fn is_online(&self) -> bool {
+        self.state.ctr.load(Ordering::Relaxed) != OFFLINE
+    }
+
+    /// Enters a read-side critical section.
+    ///
+    /// In QSBR this is free — the guard exists only to delimit the region in
+    /// the source and to assert (in debug builds) that the thread is online.
+    pub fn read_lock(&self) -> QsbrReadGuard<'_> {
+        debug_assert!(
+            self.is_online(),
+            "QSBR read-side critical section entered while offline"
+        );
+        QsbrReadGuard { _handle: self }
+    }
+
+    /// The domain this handle is registered with.
+    pub fn domain(&self) -> &Arc<QsbrDomain> {
+        &self.domain
+    }
+
+    /// Runs `f` with the thread marked offline, restoring the online state
+    /// afterwards. Useful around blocking operations.
+    pub fn offline_scope<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.offline();
+        let r = f();
+        self.online();
+        r
+    }
+}
+
+impl Drop for QsbrHandle {
+    fn drop(&mut self) {
+        self.domain.unregister(&self.state);
+    }
+}
+
+impl std::fmt::Debug for QsbrHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QsbrHandle")
+            .field("online", &self.is_online())
+            .finish()
+    }
+}
+
+/// A QSBR read-side critical section (zero-cost marker).
+pub struct QsbrReadGuard<'a> {
+    _handle: &'a QsbrHandle,
+}
+
+impl std::fmt::Debug for QsbrReadGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("QsbrReadGuard")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::thread;
+
+    #[test]
+    fn register_and_drop() {
+        let d = QsbrDomain::new();
+        let h = d.register();
+        assert_eq!(d.registered_readers(), 1);
+        assert!(h.is_online());
+        drop(h);
+        assert_eq!(d.registered_readers(), 0);
+    }
+
+    #[test]
+    fn synchronize_completes_with_quiescent_readers() {
+        let d = QsbrDomain::new();
+        let h = d.register();
+        h.quiescent_state();
+        // The registered thread is the caller itself; go offline so the
+        // grace period does not wait on us.
+        h.offline();
+        d.synchronize();
+        h.online();
+        assert_eq!(d.stats().grace_periods, 1);
+    }
+
+    #[test]
+    fn synchronize_waits_for_online_reader() {
+        let d = QsbrDomain::new();
+        let started = Arc::new(AtomicBool::new(false));
+        let release = Arc::new(AtomicBool::new(false));
+        let done = Arc::new(AtomicBool::new(false));
+
+        let reader = {
+            let d = Arc::clone(&d);
+            let started = Arc::clone(&started);
+            let release = Arc::clone(&release);
+            thread::spawn(move || {
+                let h = d.register();
+                let _g = h.read_lock();
+                started.store(true, Ordering::SeqCst);
+                while !release.load(Ordering::SeqCst) {
+                    std::hint::spin_loop();
+                }
+                drop(_g);
+                h.quiescent_state();
+            })
+        };
+
+        while !started.load(Ordering::SeqCst) {
+            std::hint::spin_loop();
+        }
+
+        let waiter = {
+            let d = Arc::clone(&d);
+            let done = Arc::clone(&done);
+            thread::spawn(move || {
+                d.synchronize();
+                done.store(true, Ordering::SeqCst);
+            })
+        };
+
+        thread::sleep(Duration::from_millis(50));
+        assert!(
+            !done.load(Ordering::SeqCst),
+            "grace period completed before the online reader passed a quiescent state"
+        );
+
+        release.store(true, Ordering::SeqCst);
+        reader.join().unwrap();
+        waiter.join().unwrap();
+        assert!(done.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn offline_readers_do_not_block_grace_periods() {
+        let d = QsbrDomain::new();
+        let h = d.register();
+        h.offline();
+        assert!(!h.is_online());
+        d.synchronize();
+        d.synchronize();
+        assert_eq!(d.stats().grace_periods, 2);
+    }
+
+    #[test]
+    fn offline_scope_restores_online_state() {
+        let d = QsbrDomain::new();
+        let h = d.register();
+        let x = h.offline_scope(|| {
+            assert!(!h.is_online());
+            5
+        });
+        assert_eq!(x, 5);
+        assert!(h.is_online());
+    }
+
+    #[test]
+    fn concurrent_quiescence_stress() {
+        let d = QsbrDomain::new();
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let d = Arc::clone(&d);
+                let stop = Arc::clone(&stop);
+                thread::spawn(move || {
+                    let h = d.register();
+                    while !stop.load(Ordering::Relaxed) {
+                        {
+                            let _g = h.read_lock();
+                        }
+                        h.quiescent_state();
+                    }
+                })
+            })
+            .collect();
+
+        for _ in 0..50 {
+            d.synchronize();
+        }
+        stop.store(true, Ordering::SeqCst);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(d.stats().grace_periods, 50);
+    }
+}

@@ -1,0 +1,170 @@
+//! A background reclaimer thread (the `call_rcu` helper-thread equivalent).
+//!
+//! Writers that retire memory with [`RcuDomain::defer`] / `defer_free` can
+//! either reclaim synchronously at convenient points
+//! ([`RcuDomain::synchronize_and_reclaim`]) or hand the work to a
+//! [`Reclaimer`], which wakes periodically — or when kicked — and runs a
+//! grace period plus the pending callbacks on its own thread, keeping
+//! grace-period latency entirely off the writer's fast path.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::domain::RcuDomain;
+
+struct Shared {
+    stop: AtomicBool,
+    kicked: Mutex<bool>,
+    wakeup: Condvar,
+}
+
+/// Handle to a background reclamation thread for one [`RcuDomain`].
+///
+/// Dropping the handle stops the thread after one final reclamation pass, so
+/// callbacks queued before the drop are guaranteed to run.
+pub struct Reclaimer {
+    shared: Arc<Shared>,
+    thread: Option<std::thread::JoinHandle<u64>>,
+}
+
+impl Reclaimer {
+    /// Spawns a reclaimer for `domain` that wakes at least every `interval`.
+    pub fn spawn(domain: Arc<RcuDomain>, interval: Duration) -> Self {
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            kicked: Mutex::new(false),
+            wakeup: Condvar::new(),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("rcu-reclaimer".to_string())
+            .spawn(move || {
+                let mut passes = 0_u64;
+                loop {
+                    {
+                        let mut kicked = thread_shared.kicked.lock();
+                        if !*kicked && !thread_shared.stop.load(Ordering::SeqCst) {
+                            thread_shared.wakeup.wait_for(&mut kicked, interval);
+                        }
+                        *kicked = false;
+                    }
+                    let stopping = thread_shared.stop.load(Ordering::SeqCst);
+                    if domain.deferred_pending() > 0 || stopping {
+                        domain.synchronize_and_reclaim();
+                        passes += 1;
+                    }
+                    if stopping {
+                        return passes;
+                    }
+                }
+            })
+            .expect("spawn rcu-reclaimer thread");
+        Reclaimer {
+            shared,
+            thread: Some(thread),
+        }
+    }
+
+    /// Spawns a reclaimer for the global domain with a 10 ms wake interval.
+    pub fn spawn_global() -> Self {
+        Self::spawn(Arc::clone(RcuDomain::global()), Duration::from_millis(10))
+    }
+
+    /// Wakes the reclaimer immediately (e.g. after retiring a large batch).
+    pub fn kick(&self) {
+        let mut kicked = self.shared.kicked.lock();
+        *kicked = true;
+        self.shared.wakeup.notify_one();
+    }
+
+    /// Stops the thread after one final reclamation pass and returns the
+    /// number of passes it performed over its lifetime.
+    pub fn shutdown(mut self) -> u64 {
+        self.stop_and_join().unwrap_or(0)
+    }
+
+    fn stop_and_join(&mut self) -> Option<u64> {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.kick();
+        self.thread.take().map(|t| t.join().expect("reclaimer thread panicked"))
+    }
+}
+
+impl Drop for Reclaimer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+impl std::fmt::Debug for Reclaimer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reclaimer")
+            .field("running", &self.thread.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn reclaimer_runs_queued_callbacks_without_writer_involvement() {
+        let domain = RcuDomain::new();
+        let reclaimer = Reclaimer::spawn(Arc::clone(&domain), Duration::from_millis(5));
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let ran = Arc::clone(&ran);
+            domain.defer(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        reclaimer.kick();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while ran.load(Ordering::SeqCst) < 32 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 32);
+        assert!(reclaimer.shutdown() >= 1);
+    }
+
+    #[test]
+    fn shutdown_flushes_remaining_callbacks() {
+        let domain = RcuDomain::new();
+        let reclaimer = Reclaimer::spawn(Arc::clone(&domain), Duration::from_secs(3600));
+        let ran = Arc::new(AtomicUsize::new(0));
+        {
+            let ran = Arc::clone(&ran);
+            domain.defer(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // The interval is huge, so only the shutdown pass can run it.
+        reclaimer.shutdown();
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        assert_eq!(domain.deferred_pending(), 0);
+    }
+
+    #[test]
+    fn dropping_the_handle_stops_the_thread() {
+        let domain = RcuDomain::new();
+        {
+            let _reclaimer = Reclaimer::spawn(Arc::clone(&domain), Duration::from_millis(5));
+            domain.defer(|| {});
+        }
+        // After drop, the callback queued above must have been executed.
+        assert_eq!(domain.deferred_pending(), 0);
+    }
+
+    #[test]
+    fn global_reclaimer_spawns_and_shuts_down() {
+        let reclaimer = Reclaimer::spawn_global();
+        RcuDomain::global().defer(|| {});
+        reclaimer.kick();
+        reclaimer.shutdown();
+    }
+}

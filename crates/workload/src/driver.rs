@@ -1,0 +1,241 @@
+//! The multi-threaded measurement harness.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use crossbeam_utils::CachePadded;
+
+/// The result of one measurement run.
+#[derive(Debug, Clone)]
+pub struct MeasureResult {
+    /// Total operations completed by all reader threads.
+    pub total_ops: u64,
+    /// Operations per reader thread (same order the threads were spawned).
+    pub per_thread: Vec<u64>,
+    /// Iterations completed by each background task.
+    pub background_iterations: Vec<u64>,
+    /// Wall-clock measurement time.
+    pub elapsed: Duration,
+}
+
+impl MeasureResult {
+    /// Aggregate throughput in operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.total_ops as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Aggregate throughput in millions of operations per second (the unit
+    /// the paper's figures use).
+    pub fn mops_per_sec(&self) -> f64 {
+        self.ops_per_sec() / 1.0e6
+    }
+
+    /// Ratio between the fastest and slowest reader thread, as a fairness
+    /// indicator (1.0 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        let min = self.per_thread.iter().copied().min().unwrap_or(0).max(1);
+        let max = self.per_thread.iter().copied().max().unwrap_or(0).max(1);
+        max as f64 / min as f64
+    }
+}
+
+/// Handle describing a background task to run alongside the readers (e.g. a
+/// continuous resizer or an update thread).
+pub struct BackgroundHandle<'a> {
+    /// Human-readable label (reported in logs).
+    pub name: &'static str,
+    /// Body executed repeatedly until the measurement stops. The iteration
+    /// counter passed in is the number of completed iterations so far.
+    pub body: Box<dyn FnMut(u64) + Send + 'a>,
+    /// Pause inserted between iterations (zero for a tight loop).
+    pub pause: Duration,
+}
+
+impl<'a> BackgroundHandle<'a> {
+    /// Creates a background task that runs `body` in a tight loop.
+    pub fn new(name: &'static str, body: impl FnMut(u64) + Send + 'a) -> Self {
+        BackgroundHandle {
+            name,
+            body: Box::new(body),
+            pause: Duration::ZERO,
+        }
+    }
+
+    /// Sets a pause between iterations.
+    pub fn with_pause(mut self, pause: Duration) -> Self {
+        self.pause = pause;
+        self
+    }
+}
+
+/// Runs a timed measurement.
+///
+/// Spawns `reader_threads` threads; each repeatedly invokes the closure
+/// produced for it by `make_reader` (one invocation = one operation) until
+/// `duration` has elapsed. `background` tasks run concurrently in their own
+/// threads for the same window. All threads start together on a barrier, so
+/// the measured window excludes setup cost.
+///
+/// The per-thread operation counters are cache-padded; the only shared
+/// mutable state touched by readers on the measurement path is the stop
+/// flag, which is read-only until the end of the run.
+pub fn measure<'scope, F>(
+    reader_threads: usize,
+    duration: Duration,
+    make_reader: impl Fn(usize) -> F,
+    background: Vec<BackgroundHandle<'scope>>,
+) -> MeasureResult
+where
+    F: FnMut() + Send + 'scope,
+{
+    assert!(reader_threads > 0, "need at least one reader thread");
+
+    let stop = AtomicBool::new(false);
+    let counters: Vec<CachePadded<AtomicU64>> = (0..reader_threads)
+        .map(|_| CachePadded::new(AtomicU64::new(0)))
+        .collect();
+    let bg_counters: Vec<CachePadded<AtomicU64>> = (0..background.len())
+        .map(|_| CachePadded::new(AtomicU64::new(0)))
+        .collect();
+    // Readers + background tasks + the timer (this thread).
+    let barrier = Arc::new(Barrier::new(reader_threads + background.len() + 1));
+
+    let mut readers: Vec<F> = (0..reader_threads).map(&make_reader).collect();
+
+    let elapsed = std::thread::scope(|scope| {
+        for (idx, reader) in readers.iter_mut().enumerate() {
+            let stop = &stop;
+            let counter = &counters[idx];
+            let barrier = Arc::clone(&barrier);
+            scope.spawn(move || {
+                barrier.wait();
+                let mut local: u64 = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    reader();
+                    local += 1;
+                    // Publish in batches to keep the shared store rate low
+                    // without losing more than a batch at the end.
+                    if local % 1024 == 0 {
+                        counter.store(local, Ordering::Relaxed);
+                    }
+                }
+                counter.store(local, Ordering::Relaxed);
+            });
+        }
+
+        for (idx, task) in background.into_iter().enumerate() {
+            let stop = &stop;
+            let counter = &bg_counters[idx];
+            let barrier = Arc::clone(&barrier);
+            let BackgroundHandle {
+                name: _name,
+                mut body,
+                pause,
+            } = task;
+            scope.spawn(move || {
+                barrier.wait();
+                let mut iterations: u64 = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    body(iterations);
+                    iterations += 1;
+                    counter.store(iterations, Ordering::Relaxed);
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                }
+            });
+        }
+
+        barrier.wait();
+        let start = Instant::now();
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::SeqCst);
+        let elapsed = start.elapsed();
+        // Leaving the scope joins every thread.
+        elapsed
+    });
+
+    let per_thread: Vec<u64> = counters.iter().map(|c| c.load(Ordering::SeqCst)).collect();
+    let background_iterations: Vec<u64> =
+        bg_counters.iter().map(|c| c.load(Ordering::SeqCst)).collect();
+    MeasureResult {
+        total_ops: per_thread.iter().sum(),
+        per_thread,
+        background_iterations,
+        elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn counts_operations_from_all_threads() {
+        let result = measure(
+            4,
+            Duration::from_millis(50),
+            |_| || std::hint::spin_loop(),
+            Vec::new(),
+        );
+        assert_eq!(result.per_thread.len(), 4);
+        assert!(result.total_ops > 0);
+        assert!(result.ops_per_sec() > 0.0);
+        assert!(result.elapsed >= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn background_task_runs_alongside_readers() {
+        let resizes = AtomicUsize::new(0);
+        let result = measure(
+            2,
+            Duration::from_millis(50),
+            |_| || std::hint::spin_loop(),
+            vec![BackgroundHandle::new("toggler", |_| {
+                resizes.fetch_add(1, Ordering::Relaxed);
+            })
+            .with_pause(Duration::from_millis(5))],
+        );
+        assert_eq!(result.background_iterations.len(), 1);
+        assert!(result.background_iterations[0] > 0);
+        assert!(resizes.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn reader_closures_receive_their_index() {
+        let seen = [AtomicUsize::new(0), AtomicUsize::new(0)];
+        let seen_ref = &seen;
+        measure(
+            2,
+            Duration::from_millis(20),
+            |idx| {
+                move || {
+                    seen_ref[idx].store(idx + 1, Ordering::Relaxed);
+                }
+            },
+            Vec::new(),
+        );
+        assert_eq!(seen[0].load(Ordering::Relaxed), 1);
+        assert_eq!(seen[1].load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn mops_conversion_is_consistent() {
+        let r = MeasureResult {
+            total_ops: 2_000_000,
+            per_thread: vec![1_000_000, 1_000_000],
+            background_iterations: vec![],
+            elapsed: Duration::from_secs(1),
+        };
+        assert!((r.mops_per_sec() - 2.0).abs() < 1e-9);
+        assert!((r.imbalance() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one reader")]
+    fn zero_readers_panics() {
+        let _ = measure(0, Duration::from_millis(1), |_| || (), Vec::new());
+    }
+}

@@ -1,0 +1,30 @@
+//! Workload generation and throughput measurement for the relativist
+//! benchmarks.
+//!
+//! The paper's microbenchmark (a Linux kernel module called `rcuhashbash`)
+//! spawns a configurable number of reader threads that perform hash-table
+//! lookups for a fixed duration, optionally while a resizer thread resizes
+//! the table continuously, and reports lookups per second. This crate is the
+//! userspace equivalent:
+//!
+//! * [`keys`] — key-space generators (uniform, Zipfian, sequential).
+//! * [`driver`] — the measurement harness: spawns reader threads with
+//!   cache-padded per-thread counters, optional background threads (writers,
+//!   resizers), runs for a fixed duration and aggregates throughput.
+//! * [`report`] — turns measured series into CSV and markdown tables so the
+//!   benchmark binaries can print exactly the rows the paper's figures plot.
+//! * [`sysinfo`] — records the host configuration alongside results.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod driver;
+pub mod keys;
+pub mod report;
+pub mod sysinfo;
+mod zipf;
+
+pub use driver::{measure, BackgroundHandle, MeasureResult};
+pub use keys::{KeyDist, KeyGen};
+pub use report::{Report, Series};
+pub use zipf::Zipf;

@@ -1,0 +1,116 @@
+//! Zipf-distributed sampling.
+
+use rand::Rng;
+
+/// A Zipf distribution over `1..=n` with exponent `s`, sampled by inverting
+/// a precomputed CDF.
+///
+/// Key popularity in caches (the memcached experiment's natural workload) is
+/// approximately Zipfian; the microbenchmark figures use uniform keys, and
+/// the memcached harness can use either.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution for `n` items with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative or non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf distribution needs at least one item");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be finite and non-negative");
+        let mut weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in weights.iter_mut() {
+            acc += *w / total;
+            *w = acc;
+        }
+        // Guard against floating-point shortfall in the last bucket.
+        if let Some(last) = weights.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf: weights }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns `true` if the distribution is over a single item.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Samples an index in `0..n` (0-based; index 0 is the most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // Find the first CDF entry >= u.
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("CDF is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cdf_is_monotone_and_complete() {
+        let z = Zipf::new(100, 0.99);
+        assert_eq!(z.len(), 100);
+        let mut prev = 0.0;
+        for &p in &z.cdf {
+            assert!(p >= prev);
+            prev = p;
+        }
+        assert!((z.cdf.last().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_stay_in_range_and_skew_low() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut low = 0_usize;
+        for _ in 0..10_000 {
+            let s = z.sample(&mut rng);
+            assert!(s < 1000);
+            if s < 10 {
+                low += 1;
+            }
+        }
+        // With s=1.0 the top-10 items carry roughly 39% of the mass; allow a
+        // generous band.
+        assert!(low > 2500, "only {low} of 10000 samples hit the top 10");
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0_u32; 4];
+        for _ in 0..8000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((1600..=2400).contains(&c), "counts not uniform: {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zero_items_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

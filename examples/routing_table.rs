@@ -1,0 +1,154 @@
+//! A kernel-flavoured scenario: a connection-tracking table (the kind of
+//! workload that motivated resizable RCU hash tables in the Linux kernel).
+//!
+//! Flows are keyed by a 5-tuple; the fast path looks flows up on every
+//! "packet" without taking any lock, new flows are inserted and old flows
+//! expire concurrently, NAT rewrites *rename* a flow key atomically, and the
+//! table resizes itself as the flow count grows and shrinks.
+//!
+//! Run with: `cargo run --release --example routing_table`
+
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use relativist::hash::{FnvBuildHasher, ResizePolicy, RpHashMap};
+
+/// A flow key: the classic 5-tuple.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct FlowKey {
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    src_port: u16,
+    dst_port: u16,
+    proto: u8,
+}
+
+impl FlowKey {
+    fn new(i: u64) -> Self {
+        FlowKey {
+            src: Ipv4Addr::from(0x0a00_0000 | (i as u32 & 0xffff)),
+            dst: Ipv4Addr::from(0xc0a8_0000 | ((i >> 4) as u32 & 0xffff)),
+            src_port: 1024 + (i % 50_000) as u16,
+            dst_port: 443,
+            proto: 6,
+        }
+    }
+}
+
+/// Per-flow state the fast path reads.
+#[derive(Debug, Clone)]
+struct FlowState {
+    #[allow(dead_code)] // Carried to give entries realistic size; the demo only reads `action`.
+    packets: u64,
+    action: &'static str,
+}
+
+fn main() {
+    let table: Arc<RpHashMap<FlowKey, FlowState, FnvBuildHasher>> =
+        Arc::new(RpHashMap::with_buckets_hasher_and_policy(
+            256,
+            FnvBuildHasher,
+            ResizePolicy::automatic(),
+        ));
+
+    // Seed some long-lived flows.
+    for i in 0..20_000_u64 {
+        table.insert(
+            FlowKey::new(i),
+            FlowState {
+                packets: 0,
+                action: if i % 7 == 0 { "drop" } else { "accept" },
+            },
+        );
+    }
+    println!(
+        "seeded {} flows; table auto-expanded to {} buckets",
+        table.len(),
+        table.num_buckets()
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let lookups = Arc::new(AtomicU64::new(0));
+    let drops = Arc::new(AtomicU64::new(0));
+
+    // Packet-processing threads: pure lookups on the fast path.
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let workers: Vec<_> = (0..cpus.max(2) - 1)
+        .map(|w| {
+            let table = Arc::clone(&table);
+            let stop = Arc::clone(&stop);
+            let lookups = Arc::clone(&lookups);
+            let drops = Arc::clone(&drops);
+            std::thread::spawn(move || {
+                let mut i = w as u64;
+                let mut local_lookups = 0_u64;
+                let mut local_drops = 0_u64;
+                while !stop.load(Ordering::Relaxed) {
+                    i = (i.wrapping_mul(48271)) % 20_000;
+                    let key = FlowKey::new(i);
+                    let guard = table.pin();
+                    if let Some(state) = table.get(&key, &guard) {
+                        if state.action == "drop" {
+                            local_drops += 1;
+                        }
+                    }
+                    local_lookups += 1;
+                }
+                lookups.fetch_add(local_lookups, Ordering::Relaxed);
+                drops.fetch_add(local_drops, Ordering::Relaxed);
+            })
+        })
+        .collect();
+
+    // Control-plane thread: expire old flows, add new ones, and NAT-rename a
+    // few existing flows (the atomic move operation).
+    let control = {
+        let table = Arc::clone(&table);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut renames = 0_u64;
+            let mut next_flow = 20_000_u64;
+            while !stop.load(Ordering::Relaxed) {
+                // Expire a slice of old flows and admit new ones.
+                for i in 0..200 {
+                    table.remove(&FlowKey::new((next_flow - 20_000 + i) % 20_000));
+                    table.insert(
+                        FlowKey::new(next_flow + i),
+                        FlowState { packets: 0, action: "accept" },
+                    );
+                }
+                next_flow += 200;
+                // NAT rewrite: the flow keeps its state but changes key.
+                let old = FlowKey::new(next_flow - 100);
+                let mut new = old.clone();
+                new.src_port = new.src_port.wrapping_add(1);
+                if table.rename(&old, new) {
+                    renames += 1;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            renames
+        })
+    };
+
+    std::thread::sleep(Duration::from_secs(2));
+    stop.store(true, Ordering::SeqCst);
+    for w in workers {
+        w.join().unwrap();
+    }
+    let renames = control.join().unwrap();
+
+    println!(
+        "fast path processed {:.1} million packets/s ({} drops) while the control plane churned flows",
+        lookups.load(Ordering::Relaxed) as f64 / 2.0 / 1e6,
+        drops.load(Ordering::Relaxed)
+    );
+    println!(
+        "control plane performed {renames} NAT renames; final table: {} flows in {} buckets, stats {:?}",
+        table.len(),
+        table.num_buckets(),
+        table.stats()
+    );
+}

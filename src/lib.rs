@@ -1,0 +1,51 @@
+//! # relativist
+//!
+//! A Rust reproduction of *Resizable, Scalable, Concurrent Hash Tables via
+//! Relativistic Programming* (Triplett, McKenney & Walpole, USENIX ATC'11).
+//!
+//! This facade crate re-exports the workspace crates so applications can
+//! depend on a single package:
+//!
+//! * [`rcu`] — userspace relativistic-programming (RCU) primitives:
+//!   delimited readers, pointer publication, grace periods, deferred
+//!   reclamation.
+//! * [`list`] — a relativistic singly linked list.
+//! * [`hash`] — the paper's contribution: [`hash::RpHashMap`], a hash table
+//!   with wait-free lookups that can be grown and shrunk while readers run
+//!   at full speed.
+//! * [`baselines`] — the designs the paper compares against (DDDS,
+//!   reader-writer locking, per-bucket locking, Herbert Xu's dual-chain
+//!   tables).
+//! * [`kvcache`] — a memcached-style key-value cache with a global-lock
+//!   engine and a relativistic GET fast-path engine.
+//! * [`workload`] — key-distribution generators and the multi-threaded
+//!   measurement harness used by the benchmarks.
+//!
+//! # Quick start
+//!
+//! ```
+//! use relativist::hash::RpHashMap;
+//!
+//! let map: RpHashMap<u64, String> = RpHashMap::new();
+//! map.insert(1, "one".to_string());
+//! map.insert(2, "two".to_string());
+//!
+//! // Readers pin a guard (enter a read-side critical section); lookups
+//! // never block, even while another thread resizes the table.
+//! {
+//!     let guard = map.pin();
+//!     assert_eq!(map.get(&1, &guard).map(String::as_str), Some("one"));
+//! }
+//!
+//! // Resize; the data stays reachable for readers the whole time.
+//! map.resize_to(1024);
+//! let guard = map.pin();
+//! assert_eq!(map.get(&2, &guard).map(String::as_str), Some("two"));
+//! ```
+
+pub use rp_baselines as baselines;
+pub use rp_hash as hash;
+pub use rp_kvcache as kvcache;
+pub use rp_list as list;
+pub use rp_rcu as rcu;
+pub use rp_workload as workload;

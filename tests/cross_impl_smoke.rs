@@ -1,0 +1,111 @@
+//! Cross-implementation concurrent smoke test: every table implementation
+//! must survive the same mixed concurrent workload with correct results for
+//! a stable key set (the deterministic sequential equivalence is covered by
+//! the proptest suites; this adds multi-threaded execution).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use relativist::baselines::{
+    BucketLockTable, ConcurrentMap, DddsTable, MutexTable, RwLockTable, XuTable,
+};
+use relativist::hash::{FnvBuildHasher, RpHashMap};
+
+const STABLE: u64 = 1024;
+
+fn hammer(map: Arc<dyn ConcurrentMap<u64, u64>>) {
+    let name = map.name();
+    for k in 0..STABLE {
+        map.insert(k, k + 1);
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+
+    // Readers check the stable keys.
+    for seed in 0..3_u64 {
+        let map = Arc::clone(&map);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut k = seed;
+            while !stop.load(Ordering::Relaxed) {
+                k = (k * 25214903917 + 11) % STABLE;
+                assert_eq!(map.lookup(&k), Some(k + 1), "{name}: stable key {k} missing");
+            }
+        }));
+    }
+
+    // A writer churns volatile keys above the stable range.
+    {
+        let map = Arc::clone(&map);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut i = 0_u64;
+            while !stop.load(Ordering::Relaxed) {
+                let k = STABLE + (i % 256);
+                map.insert(k, i);
+                if i % 2 == 1 {
+                    map.remove(&k);
+                }
+                i += 1;
+            }
+        }));
+    }
+
+    // A resizer toggles the table size if the implementation supports it.
+    if map.supports_resize() {
+        let map = Arc::clone(&map);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut round = 0_u64;
+            while !stop.load(Ordering::Relaxed) {
+                map.resize_to(if round % 2 == 0 { 4096 } else { 256 });
+                round += 1;
+            }
+        }));
+    }
+
+    std::thread::sleep(Duration::from_millis(400));
+    stop.store(true, Ordering::SeqCst);
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    for k in 0..STABLE {
+        assert_eq!(map.lookup(&k), Some(k + 1), "{name}: stable key {k} after stress");
+    }
+    relativist::rcu::RcuDomain::global().synchronize_and_reclaim();
+}
+
+#[test]
+fn rp_hash_map_survives_concurrent_mixed_workload() {
+    hammer(Arc::new(
+        RpHashMap::<u64, u64, FnvBuildHasher>::with_buckets_and_hasher(256, FnvBuildHasher),
+    ));
+}
+
+#[test]
+fn ddds_survives_concurrent_mixed_workload() {
+    hammer(Arc::new(DddsTable::<u64, u64>::with_buckets(256)));
+}
+
+#[test]
+fn rwlock_table_survives_concurrent_mixed_workload() {
+    hammer(Arc::new(RwLockTable::<u64, u64>::with_buckets(256)));
+}
+
+#[test]
+fn mutex_table_survives_concurrent_mixed_workload() {
+    hammer(Arc::new(MutexTable::<u64, u64>::with_buckets(256)));
+}
+
+#[test]
+fn bucket_lock_table_survives_concurrent_mixed_workload() {
+    hammer(Arc::new(BucketLockTable::<u64, u64>::with_buckets(256)));
+}
+
+#[test]
+fn xu_table_survives_concurrent_mixed_workload() {
+    hammer(Arc::new(XuTable::<u64, u64>::with_buckets(256)));
+}
