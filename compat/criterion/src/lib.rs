@@ -1,0 +1,259 @@
+//! An in-tree, API-compatible subset of the `criterion` crate (see
+//! `compat/parking_lot` for why these shims exist).
+//!
+//! Runs each benchmark closure in a timed loop and prints median
+//! nanoseconds per iteration. No statistical analysis, HTML reports or
+//! outlier detection — enough to compare implementations locally and to
+//! keep `cargo bench` compiling and running offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export so existing `criterion::black_box` callers keep working.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(500),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            measurement_time: Duration::from_millis(500),
+            sample_size: 20,
+        }
+    }
+
+    /// Sets the default measurement window (builder style).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the default sample count (builder style).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &format!("{id}"),
+            self.measurement_time,
+            self.sample_size,
+            &mut f,
+        );
+        self
+    }
+}
+
+/// A named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets this group's measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets this group's sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &format!("{}/{id}", self.name),
+            self.measurement_time,
+            self.sample_size,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &format!("{}/{id}", self.name),
+            self.measurement_time,
+            self.sample_size,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (report already printed incrementally).
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    label: &str,
+    measurement_time: Duration,
+    sample_size: usize,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        budget_per_sample: measurement_time
+            .checked_div(sample_size.max(1) as u32)
+            .unwrap_or(Duration::from_millis(10)),
+        target_samples: sample_size.max(1),
+    };
+    f(&mut bencher);
+    bencher.samples.sort_unstable_by(f64::total_cmp);
+    let median = bencher
+        .samples
+        .get(bencher.samples.len() / 2)
+        .copied()
+        .unwrap_or(0.0);
+    eprintln!(
+        "  {label}: median {median:.1} ns/iter ({} samples)",
+        bencher.samples.len()
+    );
+}
+
+/// Timing helper handed to benchmark closures.
+pub struct Bencher {
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+    budget_per_sample: Duration,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Measures `f` repeatedly, recording time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and estimate the per-iteration cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < Duration::from_millis(5) {
+            black_box(f());
+            warmup_iters += 1;
+        }
+        let est_per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters.max(1) as f64;
+        let iters_per_sample = ((self.budget_per_sample.as_secs_f64() / est_per_iter.max(1e-9))
+            as u64)
+            .clamp(1, 1_000_000);
+
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let nanos = start.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            self.samples.push(nanos);
+        }
+    }
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a name and a parameter value.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(20))
+            .sample_size(3);
+        let mut group = c.benchmark_group("shim");
+        group
+            .measurement_time(Duration::from_millis(10))
+            .sample_size(2);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("id", 4), &4, |b, n| b.iter(|| n * 2));
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("a", 1).to_string(), "a/1");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,68 @@
+//! Collection strategies (`proptest::collection::{vec, hash_set}`).
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.size.end - self.size.start;
+        assert!(span > 0, "empty collection size range");
+        let len = self.size.start + rng.below(span as u64) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates a `Vec` whose length is in `size` (half-open, like proptest).
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// Strategy for `HashSet<S::Value>` with a size drawn from `size`.
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let span = self.size.end - self.size.start;
+        assert!(span > 0, "empty collection size range");
+        let target = self.size.start + rng.below(span as u64) as usize;
+        let mut set = HashSet::with_capacity(target);
+        // Duplicates are retried a bounded number of times; tiny value
+        // domains may produce a smaller set, exactly like real proptest's
+        // best-effort set filling.
+        let mut attempts = 0;
+        while set.len() < target && attempts < 10 * (target + 1) {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+/// Generates a `HashSet` whose size is in `size` (best-effort for small
+/// value domains).
+pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    HashSetStrategy { element, size }
+}

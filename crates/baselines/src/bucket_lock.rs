@@ -17,6 +17,7 @@ use crate::traits::ConcurrentMap;
 /// design removes.
 pub struct BucketLockTable<K, V, S = FnvBuildHasher> {
     mask: usize,
+    #[allow(clippy::type_complexity)]
     buckets: Box<[RwLock<Vec<(K, V)>>]>,
     len: std::sync::atomic::AtomicUsize,
     hasher: S,
@@ -57,7 +58,10 @@ where
         V: Clone,
     {
         let bucket = self.buckets[self.bucket_of(key)].read();
-        bucket.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
+        bucket
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
     }
 
     /// Inserts `key → value` under its bucket's write lock.
@@ -68,8 +72,7 @@ where
             false
         } else {
             bucket.push((key, value));
-            self.len
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.len.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             true
         }
     }
@@ -79,8 +82,7 @@ where
         let mut bucket = self.buckets[self.bucket_of(key)].write();
         if let Some(pos) = bucket.iter().position(|(k, _)| k == key) {
             bucket.swap_remove(pos);
-            self.len
-                .fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+            self.len.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
             true
         } else {
             false

@@ -50,7 +50,9 @@ impl<K, V> DBuckets<K, V> {
         let n = n.max(1).next_power_of_two();
         Box::new(DBuckets {
             mask: n - 1,
-            heads: (0..n).map(|_| AtomicPtr::new(std::ptr::null_mut())).collect(),
+            heads: (0..n)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
         })
     }
 }

@@ -3,6 +3,7 @@
 use std::hash::Hash;
 
 use rp_hash::RpHashMap;
+use rp_shard::ShardedRpMap;
 
 /// A concurrent map abstraction over every hash-table implementation in the
 /// workspace (the relativistic table and all baselines).
@@ -87,6 +88,41 @@ where
     }
 }
 
+impl<K, V, S> ConcurrentMap<K, V> for ShardedRpMap<K, V, S>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    S: std::hash::BuildHasher + Send + Sync,
+{
+    fn name(&self) -> &'static str {
+        "rp-shard"
+    }
+
+    fn insert(&self, key: K, value: V) -> bool {
+        ShardedRpMap::insert(self, key, value)
+    }
+
+    fn remove(&self, key: &K) -> bool {
+        ShardedRpMap::remove(self, key)
+    }
+
+    fn lookup(&self, key: &K) -> Option<V> {
+        self.get_cloned(key)
+    }
+
+    fn len(&self) -> usize {
+        ShardedRpMap::len(self)
+    }
+
+    fn num_buckets(&self) -> usize {
+        ShardedRpMap::num_buckets(self)
+    }
+
+    fn resize_to(&self, buckets: usize) {
+        self.resize_total_to(buckets)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,5 +152,12 @@ mod tests {
             RpHashMap::with_buckets_and_hasher(8, FnvBuildHasher);
         exercise(&map);
         assert_eq!(ConcurrentMap::name(&map), "rp");
+    }
+
+    #[test]
+    fn sharded_rp_map_implements_the_trait() {
+        let map: ShardedRpMap<u64, u64> = ShardedRpMap::with_shards(4);
+        exercise(&map);
+        assert_eq!(ConcurrentMap::name(&map), "rp-shard");
     }
 }

@@ -39,7 +39,9 @@ impl<K, V> XBuckets<K, V> {
         let n = n.max(1).next_power_of_two();
         Box::new(XBuckets {
             mask: n - 1,
-            heads: (0..n).map(|_| AtomicPtr::new(std::ptr::null_mut())).collect(),
+            heads: (0..n)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
         })
     }
 }
@@ -159,7 +161,10 @@ where
             value,
         }));
         // SAFETY: freshly allocated, unpublished.
-        unsafe { &*node }.next[active].store(table.heads[bucket].load(Ordering::Acquire), Ordering::Relaxed);
+        unsafe { &*node }.next[active].store(
+            table.heads[bucket].load(Ordering::Acquire),
+            Ordering::Relaxed,
+        );
         table.heads[bucket].store(node, Ordering::Release);
         if !existed {
             self.len.fetch_add(1, Ordering::Relaxed);
@@ -225,7 +230,10 @@ where
                 // SAFETY: reachable node under the writer lock.
                 let node = unsafe { &*cur };
                 let bucket = (node.hash as usize) & new_table.mask;
-                node.next[inactive].store(new_table.heads[bucket].load(Ordering::Relaxed), Ordering::Relaxed);
+                node.next[inactive].store(
+                    new_table.heads[bucket].load(Ordering::Relaxed),
+                    Ordering::Relaxed,
+                );
                 new_table.heads[bucket].store(cur, Ordering::Relaxed);
                 cur = node.next[active].load(Ordering::Acquire);
             }

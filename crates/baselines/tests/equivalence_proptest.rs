@@ -29,10 +29,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 
 fn implementations() -> Vec<Box<dyn ConcurrentMap<u16, u32>>> {
     vec![
-        Box::new(RpHashMap::<u16, u32, FnvBuildHasher>::with_buckets_and_hasher(
-            8,
-            FnvBuildHasher,
-        )),
+        Box::new(RpHashMap::<u16, u32, FnvBuildHasher>::with_buckets_and_hasher(8, FnvBuildHasher)),
         Box::new(DddsTable::<u16, u32>::with_buckets(8)),
         Box::new(RwLockTable::<u16, u32>::with_buckets(8)),
         Box::new(MutexTable::<u16, u32>::with_buckets(8)),

@@ -13,18 +13,30 @@ use rp_hash::{FnvBuildHasher, RpHashMap};
 const ENTRIES: u64 = 4096;
 const BUCKETS: usize = 4096;
 
+#[allow(clippy::type_complexity)]
 fn implementations() -> Vec<(&'static str, Box<dyn ConcurrentMap<u64, u64>>)> {
     vec![
         (
             "rp",
-            Box::new(RpHashMap::<u64, u64, FnvBuildHasher>::with_buckets_and_hasher(
-                BUCKETS,
-                FnvBuildHasher,
-            )),
+            Box::new(
+                RpHashMap::<u64, u64, FnvBuildHasher>::with_buckets_and_hasher(
+                    BUCKETS,
+                    FnvBuildHasher,
+                ),
+            ),
         ),
-        ("ddds", Box::new(DddsTable::<u64, u64>::with_buckets(BUCKETS))),
-        ("rwlock", Box::new(RwLockTable::<u64, u64>::with_buckets(BUCKETS))),
-        ("mutex", Box::new(MutexTable::<u64, u64>::with_buckets(BUCKETS))),
+        (
+            "ddds",
+            Box::new(DddsTable::<u64, u64>::with_buckets(BUCKETS)),
+        ),
+        (
+            "rwlock",
+            Box::new(RwLockTable::<u64, u64>::with_buckets(BUCKETS)),
+        ),
+        (
+            "mutex",
+            Box::new(MutexTable::<u64, u64>::with_buckets(BUCKETS)),
+        ),
         (
             "bucket-lock",
             Box::new(BucketLockTable::<u64, u64>::with_buckets(BUCKETS)),
@@ -35,7 +47,9 @@ fn implementations() -> Vec<(&'static str, Box<dyn ConcurrentMap<u64, u64>>)> {
 
 fn bench_lookup_hit(c: &mut Criterion) {
     let mut group = c.benchmark_group("lookup_hit");
-    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
     for (name, map) in implementations() {
         for key in 0..ENTRIES {
             map.insert(key, key);
@@ -43,7 +57,10 @@ fn bench_lookup_hit(c: &mut Criterion) {
         let mut key = 0_u64;
         group.bench_with_input(BenchmarkId::from_parameter(name), &map, |b, map| {
             b.iter(|| {
-                key = (key.wrapping_mul(2862933555777941757).wrapping_add(3037000493)) % ENTRIES;
+                key = (key
+                    .wrapping_mul(2862933555777941757)
+                    .wrapping_add(3037000493))
+                    % ENTRIES;
                 black_box(map.lookup(black_box(&key)))
             })
         });
@@ -53,7 +70,9 @@ fn bench_lookup_hit(c: &mut Criterion) {
 
 fn bench_lookup_miss(c: &mut Criterion) {
     let mut group = c.benchmark_group("lookup_miss");
-    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
     for (name, map) in implementations() {
         for key in 0..ENTRIES {
             map.insert(key, key);
@@ -71,7 +90,9 @@ fn bench_lookup_miss(c: &mut Criterion) {
 
 fn bench_insert_remove(c: &mut Criterion) {
     let mut group = c.benchmark_group("insert_then_remove");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     for (name, map) in implementations() {
         for key in 0..ENTRIES {
             map.insert(key, key);
@@ -88,5 +109,10 @@ fn bench_insert_remove(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_lookup_hit, bench_lookup_miss, bench_insert_remove);
+criterion_group!(
+    benches,
+    bench_lookup_hit,
+    bench_lookup_miss,
+    bench_insert_remove
+);
 criterion_main!(benches);

@@ -15,7 +15,9 @@ use rp_rcu::{pin, RcuCell, RcuDomain};
 
 fn bench_read_side(c: &mut Criterion) {
     let mut group = c.benchmark_group("rcu_read_side");
-    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
 
     group.bench_function("mb_flavor_pin_unpin", |b| {
         b.iter(|| {
@@ -55,7 +57,9 @@ fn bench_read_side(c: &mut Criterion) {
 
 fn bench_grace_periods(c: &mut Criterion) {
     let mut group = c.benchmark_group("rcu_grace_period");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
 
     group.bench_function("synchronize_no_readers", |b| {
         let domain = RcuDomain::new();

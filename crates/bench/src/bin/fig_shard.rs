@@ -1,0 +1,44 @@
+//! Sharded write-throughput figure: insert throughput versus writer
+//! threads for the single-table relativistic map and `rp-shard` at
+//! 1/4/16/64 shards under Zipf-distributed keys, plus an end-to-end check
+//! that the batched `multi_get` path returns exactly what per-key `get`
+//! returns.
+
+fn main() -> std::io::Result<()> {
+    let cfg = rp_bench::BenchConfig::from_env();
+    eprintln!("sharded write scalability on {}", cfg.host);
+
+    match rp_bench::verify_shard_multi_get(&cfg) {
+        Ok(checked) => {
+            eprintln!("multi_get consistency: OK ({checked} keys identical to per-key get)")
+        }
+        Err(e) => {
+            eprintln!("multi_get consistency: FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let report = rp_bench::fig_shard(&cfg);
+    report.write_files(&cfg.out_dir, "fig_shard")?;
+    print!("{}", report.to_markdown());
+
+    // Summarise the scaling headline: sharded vs single-table write
+    // throughput at the largest measured thread count.
+    let single = report
+        .series
+        .iter()
+        .find(|s| s.name.contains("single-table"));
+    let sharded16 = report.series.iter().find(|s| s.name.contains("16 shards"));
+    if let (Some(single), Some(sharded)) = (single, sharded16) {
+        if let (Some((threads, base)), Some((_, fast))) =
+            (single.points.last(), sharded.points.last())
+        {
+            println!();
+            println!(
+                "16 shards vs single table at {threads} writers: {:.2}x",
+                fast / base.max(1e-9)
+            );
+        }
+    }
+    Ok(())
+}

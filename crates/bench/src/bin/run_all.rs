@@ -12,6 +12,10 @@ fn main() -> std::io::Result<()> {
     for report in &reports {
         print!("{}", report.to_markdown());
     }
-    eprintln!("wrote {} figures to {}", reports.len(), cfg.out_dir.display());
+    eprintln!(
+        "wrote {} figures to {}",
+        reports.len(),
+        cfg.out_dir.display()
+    );
     Ok(())
 }

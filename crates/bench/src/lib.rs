@@ -40,9 +40,13 @@ use std::time::Duration;
 use rp_baselines::{ConcurrentMap, DddsTable, RwLockTable};
 use rp_hash::{FnvBuildHasher, RpHashMap};
 use rp_kvcache::{CacheEngine, Item, LockEngine, RpEngine};
+use rp_shard::{ShardPolicy, ShardedRpMap};
 use rp_workload::driver::BackgroundHandle;
 use rp_workload::sysinfo::HostInfo;
 use rp_workload::{measure, KeyDist, KeyGen, Report, Series};
+
+/// Zipf exponent used by the sharded-write figure (a cache-like skew).
+pub const SHARD_ZIPF_EXPONENT: f64 = 0.99;
 
 /// Benchmark parameters (see the crate docs for the environment variables).
 #[derive(Debug, Clone)]
@@ -57,6 +61,9 @@ pub struct BenchConfig {
     pub duration: Duration,
     /// Reader-thread counts to sweep.
     pub threads: Vec<usize>,
+    /// Writer-thread counts for the sharded-write figure (may exceed the
+    /// CPU count; see `RP_BENCH_WRITE_THREADS`).
+    pub write_threads: Vec<usize>,
     /// Client counts for the memcached figure.
     pub clients: Vec<usize>,
     /// Where CSV/markdown results are written.
@@ -92,6 +99,8 @@ impl BenchConfig {
             large_buckets: env_num("RP_BENCH_LARGE_BUCKETS", 16384_usize),
             duration: Duration::from_millis(env_num("RP_BENCH_DURATION_MS", 500_u64)),
             threads: host.thread_ladder(max_threads),
+            write_threads: host
+                .oversubscribed_ladder(env_num("RP_BENCH_WRITE_THREADS", host.logical_cpus.max(8))),
             clients: (1..=clients_cap).collect(),
             out_dir: PathBuf::from(
                 std::env::var("RP_BENCH_OUT_DIR").unwrap_or_else(|_| "results".to_string()),
@@ -108,6 +117,7 @@ impl BenchConfig {
             large_buckets: 256,
             duration: Duration::from_millis(30),
             threads: vec![1, 2],
+            write_threads: vec![1, 2],
             clients: vec![1, 2],
             out_dir: std::env::temp_dir().join("rp-bench-smoke"),
             host: HostInfo::collect(),
@@ -179,10 +189,9 @@ pub fn fig_baseline(cfg: &BenchConfig) -> Report {
         "lookups/second (millions)",
     );
 
-    let rp: Arc<RpHashMap<u64, u64, FnvBuildHasher>> = Arc::new(RpHashMap::with_buckets_and_hasher(
-        cfg.small_buckets,
-        FnvBuildHasher,
-    ));
+    let rp: Arc<RpHashMap<u64, u64, FnvBuildHasher>> = Arc::new(
+        RpHashMap::with_buckets_and_hasher(cfg.small_buckets, FnvBuildHasher),
+    );
     fill(&*rp, cfg.entries);
     report.add_series(lookup_scalability("RP", rp, cfg, None));
 
@@ -207,10 +216,9 @@ pub fn fig_resize(cfg: &BenchConfig) -> Report {
     );
     let toggle = Some((cfg.small_buckets, cfg.large_buckets));
 
-    let rp: Arc<RpHashMap<u64, u64, FnvBuildHasher>> = Arc::new(RpHashMap::with_buckets_and_hasher(
-        cfg.small_buckets,
-        FnvBuildHasher,
-    ));
+    let rp: Arc<RpHashMap<u64, u64, FnvBuildHasher>> = Arc::new(
+        RpHashMap::with_buckets_and_hasher(cfg.small_buckets, FnvBuildHasher),
+    );
     fill(&*rp, cfg.entries);
     report.add_series(lookup_scalability("RP", rp, cfg, toggle));
 
@@ -238,10 +246,14 @@ pub fn fig_rp_vs_fixed(cfg: &BenchConfig) -> Report {
 /// Figure "Results – DDDS resize versus fixed" — the same three series for
 /// DDDS.
 pub fn fig_ddds_vs_fixed(cfg: &BenchConfig) -> Report {
-    resize_vs_fixed_report(cfg, "DDDS: resize overhead versus fixed-size tables", |buckets| {
-        let map: Arc<DddsTable<u64, u64>> = Arc::new(DddsTable::with_buckets(buckets));
-        map
-    })
+    resize_vs_fixed_report(
+        cfg,
+        "DDDS: resize overhead versus fixed-size tables",
+        |buckets| {
+            let map: Arc<DddsTable<u64, u64>> = Arc::new(DddsTable::with_buckets(buckets));
+            map
+        },
+    )
 }
 
 fn resize_vs_fixed_report<M, F>(cfg: &BenchConfig, title: &str, make: F) -> Report
@@ -279,6 +291,110 @@ where
     ));
 
     report
+}
+
+/// Measures *write* throughput for one table at each thread count: every
+/// thread performs Zipf-distributed insert-or-replace operations (the
+/// workload where a single writer mutex is the wall and shard-local locks
+/// win).
+pub fn write_scalability(
+    name: &str,
+    map: Arc<dyn ConcurrentMap<u64, u64>>,
+    cfg: &BenchConfig,
+) -> Series {
+    let mut series = Series::new(name);
+    for &threads in &cfg.write_threads {
+        let entries = cfg.entries;
+        let result = measure(
+            threads,
+            cfg.duration,
+            |idx| {
+                let mut keys = KeyGen::new(
+                    KeyDist::Zipf(SHARD_ZIPF_EXPONENT),
+                    entries,
+                    0x5EED + idx as u64,
+                );
+                let map = Arc::clone(&map);
+                move || {
+                    let key = keys.next_key();
+                    black_box(map.insert(black_box(key), key));
+                }
+            },
+            Vec::new(),
+        );
+        eprintln!(
+            "  {name}: {threads} writer(s) -> {:.2} Minserts/s",
+            result.mops_per_sec()
+        );
+        series.push(threads as f64, result.mops_per_sec());
+    }
+    series
+}
+
+/// Builds a [`ShardedRpMap`] whose *total* initial bucket count matches the
+/// single-table configurations, split evenly across `shards`.
+pub fn sharded_map(shards: usize, total_buckets: usize) -> ShardedRpMap<u64, u64> {
+    ShardedRpMap::with_policy(ShardPolicy {
+        shards,
+        initial_buckets_per_shard: (total_buckets / shards.max(1)).max(1),
+        ..ShardPolicy::default()
+    })
+}
+
+/// Figure "sharded writes" — insert throughput versus writer threads for
+/// the single-table relativistic map and `rp-shard` at 1/4/16/64 shards,
+/// under the Zipfian workload driver. Every configuration starts with the
+/// same total bucket count, so the only variable is write-side contention.
+pub fn fig_shard(cfg: &BenchConfig) -> Report {
+    let mut report = Report::new(
+        "Sharded write throughput (Zipfian keys)",
+        "writer threads",
+        "inserts/second (millions)",
+    );
+
+    let single: Arc<RpHashMap<u64, u64, FnvBuildHasher>> = Arc::new(
+        RpHashMap::with_buckets_and_hasher(cfg.small_buckets, FnvBuildHasher),
+    );
+    fill(&*single, cfg.entries);
+    report.add_series(write_scalability("RP single-table", single, cfg));
+
+    for shards in [1_usize, 4, 16, 64] {
+        let map = Arc::new(sharded_map(shards, cfg.small_buckets));
+        fill(&*map, cfg.entries);
+        report.add_series(write_scalability(
+            &format!("rp-shard ({shards} shards)"),
+            map,
+            cfg,
+        ));
+    }
+
+    report
+}
+
+/// Verifies the batched read path end to end: for a Zipf-keyed population,
+/// `multi_get` must return exactly what per-key `get` returns. Returns the
+/// number of keys checked.
+pub fn verify_shard_multi_get(cfg: &BenchConfig) -> Result<usize, String> {
+    let map = sharded_map(16, cfg.small_buckets);
+    let mut keys = KeyGen::new(KeyDist::Zipf(SHARD_ZIPF_EXPONENT), cfg.entries, 0xABBA);
+    for _ in 0..cfg.entries {
+        let k = keys.next_key();
+        map.insert(k, k.wrapping_mul(7));
+    }
+    // Probe present and absent keys alike.
+    let probes: Vec<u64> = (0..cfg.entries * 2).collect();
+    let batched = map.multi_get(&probes);
+    let mut checked = 0;
+    for (key, got) in probes.iter().zip(batched) {
+        let per_key = map.get_cloned(key);
+        if got != per_key {
+            return Err(format!(
+                "multi_get({key}) = {got:?} but get({key}) = {per_key:?}"
+            ));
+        }
+        checked += 1;
+    }
+    Ok(checked)
 }
 
 /// Pre-loads a cache engine with `entries` small values.
@@ -365,12 +481,14 @@ pub fn fig_memcached(cfg: &BenchConfig) -> Report {
 /// Runs every figure and writes CSV + markdown into `cfg.out_dir`, plus a
 /// combined `summary.md`. Returns the reports in figure order.
 pub fn run_all(cfg: &BenchConfig) -> std::io::Result<Vec<Report>> {
+    #[allow(clippy::type_complexity)]
     let figures: Vec<(&str, fn(&BenchConfig) -> Report)> = vec![
         ("fig_baseline", fig_baseline),
         ("fig_resize", fig_resize),
         ("fig_rp_vs_fixed", fig_rp_vs_fixed),
         ("fig_ddds_vs_fixed", fig_ddds_vs_fixed),
         ("fig_memcached", fig_memcached),
+        ("fig_shard", fig_shard),
     ];
     let mut reports = Vec::new();
     let mut summary = String::new();
@@ -416,8 +534,9 @@ mod tests {
     #[test]
     fn lookup_scalability_produces_one_point_per_thread_count() {
         let cfg = BenchConfig::smoke_test();
-        let map: Arc<RpHashMap<u64, u64, FnvBuildHasher>> =
-            Arc::new(RpHashMap::with_buckets_and_hasher(cfg.small_buckets, FnvBuildHasher));
+        let map: Arc<RpHashMap<u64, u64, FnvBuildHasher>> = Arc::new(
+            RpHashMap::with_buckets_and_hasher(cfg.small_buckets, FnvBuildHasher),
+        );
         fill(&*map, cfg.entries);
         let series = lookup_scalability("RP", map, &cfg, None);
         assert_eq!(series.points.len(), cfg.threads.len());
@@ -427,10 +546,16 @@ mod tests {
     #[test]
     fn resize_series_keeps_readers_running() {
         let cfg = BenchConfig::smoke_test();
-        let map: Arc<RpHashMap<u64, u64, FnvBuildHasher>> =
-            Arc::new(RpHashMap::with_buckets_and_hasher(cfg.small_buckets, FnvBuildHasher));
+        let map: Arc<RpHashMap<u64, u64, FnvBuildHasher>> = Arc::new(
+            RpHashMap::with_buckets_and_hasher(cfg.small_buckets, FnvBuildHasher),
+        );
         fill(&*map, cfg.entries);
-        let series = lookup_scalability("RP resize", map, &cfg, Some((cfg.small_buckets, cfg.large_buckets)));
+        let series = lookup_scalability(
+            "RP resize",
+            map,
+            &cfg,
+            Some((cfg.small_buckets, cfg.large_buckets)),
+        );
         assert!(series.points.iter().all(|(_, mops)| *mops > 0.0));
     }
 

@@ -62,7 +62,9 @@ impl<'g, K: 'g, V: 'g> Iterator for Iter<'g, K, V> {
 
 impl<K, V> std::fmt::Debug for Iter<'_, K, V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Iter").field("bucket", &self.bucket).finish()
+        f.debug_struct("Iter")
+            .field("bucket", &self.bucket)
+            .finish()
     }
 }
 

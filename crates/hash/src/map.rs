@@ -81,11 +81,7 @@ impl<K, V, S> RpHashMap<K, V, S> {
 
     /// Creates an empty map with the given bucket count, hasher and resize
     /// policy.
-    pub fn with_buckets_hasher_and_policy(
-        buckets: usize,
-        hasher: S,
-        policy: ResizePolicy,
-    ) -> Self {
+    pub fn with_buckets_hasher_and_policy(buckets: usize, hasher: S, policy: ResizePolicy) -> Self {
         let buckets = policy.clamp_buckets(buckets.max(1));
         let table = Box::into_raw(BucketArray::new(buckets));
         RpHashMap {
@@ -204,12 +200,50 @@ where
     }
 
     /// Looks up `key`, returning references to the stored key and value.
-    pub fn get_key_value<'g, Q>(&'g self, key: &Q, guard: &'g RcuGuard<'_>) -> Option<(&'g K, &'g V)>
+    pub fn get_key_value<'g, Q>(
+        &'g self,
+        key: &Q,
+        guard: &'g RcuGuard<'_>,
+    ) -> Option<(&'g K, &'g V)>
     where
         K: Borrow<Q>,
         Q: Hash + Eq + ?Sized,
     {
-        let hash = self.hash_of(key);
+        self.get_key_value_prehashed(self.hash_of(key), key, guard)
+    }
+
+    /// Looks up `key` using a caller-supplied `hash`, skipping the map's own
+    /// hashing pass.
+    ///
+    /// `hash` must be the value this map's hasher produces for `key`
+    /// (callers like `rp-shard` compute it once with an identical hasher and
+    /// reuse it for both shard selection and the per-shard lookup).
+    pub fn get_prehashed<'g, Q>(
+        &'g self,
+        hash: u64,
+        key: &Q,
+        guard: &'g RcuGuard<'_>,
+    ) -> Option<&'g V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.get_key_value_prehashed(hash, key, guard)
+            .map(|(_, v)| v)
+    }
+
+    /// [`RpHashMap::get_key_value`] with a caller-supplied hash (see
+    /// [`RpHashMap::get_prehashed`] for the contract on `hash`).
+    pub fn get_key_value_prehashed<'g, Q>(
+        &'g self,
+        hash: u64,
+        key: &Q,
+        guard: &'g RcuGuard<'_>,
+    ) -> Option<(&'g K, &'g V)>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
         let table = self.table_for_read(guard);
         let bucket = table.bucket_of(hash);
         let mut cur = table.head_acquire(bucket);
@@ -267,9 +301,47 @@ where
     /// Replacement is atomic from a reader's perspective: a concurrent
     /// lookup observes either the old or the new value, never neither.
     pub fn insert(&self, key: K, value: V) -> bool {
-        let hash = self.hash_of(&key);
+        self.insert_prehashed(self.hash_of(&key), key, value)
+    }
+
+    /// [`RpHashMap::insert`] with a caller-supplied hash (see
+    /// [`RpHashMap::get_prehashed`] for the contract on `hash`).
+    pub fn insert_prehashed(&self, hash: u64, key: K, value: V) -> bool {
         let guard = self.writer_lock();
         // SAFETY: writer lock held.
+        let newly = unsafe { self.insert_one_locked(hash, key, value) };
+        self.maybe_reclaim();
+        drop(guard);
+        newly
+    }
+
+    /// Inserts a batch of pre-hashed entries under a single writer-lock
+    /// acquisition, amortising lock traffic for shard-grouped bulk puts.
+    ///
+    /// Returns the number of keys that were newly inserted (as opposed to
+    /// replaced). Automatic resizing and reclamation behave exactly as for
+    /// per-key [`RpHashMap::insert`] calls.
+    pub fn insert_many_prehashed(&self, entries: impl IntoIterator<Item = (u64, K, V)>) -> usize {
+        let guard = self.writer_lock();
+        let mut newly = 0;
+        for (hash, key, value) in entries {
+            // SAFETY: writer lock held for the whole batch.
+            if unsafe { self.insert_one_locked(hash, key, value) } {
+                newly += 1;
+            }
+        }
+        self.maybe_reclaim();
+        drop(guard);
+        newly
+    }
+
+    /// One insert-or-replace step.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold the writer lock.
+    unsafe fn insert_one_locked(&self, hash: u64, key: K, value: V) -> bool {
+        // SAFETY: writer lock held per the caller contract.
         let table = unsafe { self.table_locked() };
         let bucket = table.bucket_of(hash);
 
@@ -292,8 +364,6 @@ where
                 // readers), was allocated by `Node::alloc`, and readers of
                 // this map pin the global domain.
                 unsafe { RcuDomain::global().defer_free(old) };
-                self.maybe_reclaim();
-                drop(guard);
                 false
             }
             None => {
@@ -310,7 +380,6 @@ where
                 {
                     self.expand_locked();
                 }
-                drop(guard);
                 true
             }
         }
@@ -335,7 +404,16 @@ where
         K: Borrow<Q>,
         Q: Hash + Eq + ?Sized,
     {
-        let hash = self.hash_of(key);
+        self.remove_prehashed(self.hash_of(key), key)
+    }
+
+    /// [`RpHashMap::remove`] with a caller-supplied hash (see
+    /// [`RpHashMap::get_prehashed`] for the contract on `hash`).
+    pub fn remove_prehashed<Q>(&self, hash: u64, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
         let guard = self.writer_lock();
         // SAFETY: writer lock held.
         let table = unsafe { self.table_locked() };
@@ -436,7 +514,9 @@ where
             // SAFETY: live nodes under the writer lock.
             let dup_next = unsafe { &*dup }.next_acquire();
             match prev {
-                Some(p) => unsafe { p.as_ref() }.next.store(dup_next, Ordering::Release),
+                Some(p) => unsafe { p.as_ref() }
+                    .next
+                    .store(dup_next, Ordering::Release),
                 None => new_ref.next.store(dup_next, Ordering::Release),
             }
             // SAFETY: unlinked, allocated by `Node::alloc`, global domain.
@@ -546,6 +626,7 @@ where
     ///
     /// Returns `(predecessor, node)`; `predecessor == None` means the node
     /// is the bucket head. Must be called with the writer lock held.
+    #[allow(clippy::type_complexity)]
     fn find_locked<Q>(
         &self,
         table: &BucketArray<K, V>,

@@ -115,7 +115,10 @@ mod tests {
             max_buckets: 64,
             ..ResizePolicy::automatic()
         };
-        assert!(!p.should_expand(1_000, 64), "must not grow past max_buckets");
+        assert!(
+            !p.should_expand(1_000, 64),
+            "must not grow past max_buckets"
+        );
         assert!(!p.should_shrink(0, 4), "must not shrink below min_buckets");
         assert_eq!(p.clamp_buckets(1), 4);
         assert_eq!(p.clamp_buckets(100), 64);

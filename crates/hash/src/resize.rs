@@ -151,7 +151,8 @@ where
                 let mut q = foreign_head;
                 loop {
                     let next = unsafe { &*q }.next_acquire();
-                    if next.is_null() || (unsafe { &*next }.hash as usize & new_mask) != foreign_bucket
+                    if next.is_null()
+                        || (unsafe { &*next }.hash as usize & new_mask) != foreign_bucket
                     {
                         break;
                     }

@@ -83,7 +83,7 @@ proptest! {
         }
 
         // Structural invariants hold after any sequence.
-        map.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+        map.check_invariants().map_err(TestCaseError::fail)?;
 
         // Final contents match exactly.
         let mut contents = map.to_vec();
@@ -107,7 +107,7 @@ proptest! {
             map.resize_to(target as usize);
             prop_assert_eq!(map.len(), keys.len());
         }
-        map.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+        map.check_invariants().map_err(TestCaseError::fail)?;
         let guard = map.pin();
         for &k in &keys {
             prop_assert_eq!(map.get(&k, &guard).copied(), Some(k.wrapping_mul(3)));
@@ -135,6 +135,6 @@ proptest! {
         for &(k, _) in &entries {
             prop_assert_eq!(auto.get(&k, &guard), manual.get(&k, &guard));
         }
-        auto.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+        auto.check_invariants().map_err(TestCaseError::fail)?;
     }
 }

@@ -23,7 +23,13 @@ impl CacheClient {
 
     /// Issues `set` and waits for the reply. Returns `true` when the server
     /// answered `STORED`.
-    pub fn set(&mut self, key: &str, flags: u32, exptime_secs: u64, data: &[u8]) -> std::io::Result<bool> {
+    pub fn set(
+        &mut self,
+        key: &str,
+        flags: u32,
+        exptime_secs: u64,
+        data: &[u8],
+    ) -> std::io::Result<bool> {
         write!(
             self.stream,
             "set {key} {flags} {exptime_secs} {}\r\n",
@@ -48,7 +54,9 @@ impl CacheClient {
             .split_ascii_whitespace()
             .nth(3)
             .and_then(|s| s.parse().ok())
-            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad VALUE header"))?;
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "bad VALUE header")
+            })?;
         let mut data = vec![0_u8; nbytes + 2];
         std::io::Read::read_exact(&mut self.reader, &mut data)?;
         data.truncate(nbytes);
@@ -166,10 +174,7 @@ mod tests {
                     let mut client = CacheClient::connect(addr).unwrap();
                     let key = format!("key-{id}");
                     assert!(client.set(&key, 0, 0, key.as_bytes()).unwrap());
-                    assert_eq!(
-                        client.get(&key).unwrap().as_deref(),
-                        Some(key.as_bytes())
-                    );
+                    assert_eq!(client.get(&key).unwrap().as_deref(), Some(key.as_bytes()));
                 })
             })
             .collect();

@@ -62,6 +62,16 @@ pub trait CacheEngine: Send + Sync {
     /// expired.
     fn get(&self, key: &str) -> Option<Item>;
 
+    /// Looks up several keys, returning results in the same order.
+    ///
+    /// The default implementation loops over [`CacheEngine::get`]; engines
+    /// with a batched read path (the sharded relativistic engine groups
+    /// keys by shard and pins one guard per shard) override it. Multi-key
+    /// `get` protocol commands are served through this method.
+    fn get_many(&self, keys: &[&str]) -> Vec<Option<Item>> {
+        keys.iter().map(|key| self.get(key)).collect()
+    }
+
     /// Stores `item` under `key`, replacing any previous value.
     fn set(&self, key: &str, item: Item) -> StoreOutcome;
 

@@ -19,6 +19,10 @@
 //!   inside the read-side critical section; writes serialise on the map's
 //!   writer lock; expiry is lazy and eviction is approximate-LRU, both on
 //!   the slow path.
+//! * [`ShardedRpEngine`] — the **sharded relativistic** engine: the index
+//!   is an [`rp_shard::ShardedRpMap`], so SETs and index resizes only
+//!   contend within one shard and multi-key GETs use the batched,
+//!   shard-grouped read path.
 //! * [`server`] / [`client`] — a threaded TCP server and a small blocking
 //!   client speaking the protocol, used by the end-to-end tests, the
 //!   `kv_server` example and (optionally) the memcached figure harness.
@@ -35,6 +39,7 @@ mod item;
 mod lock_engine;
 pub mod protocol;
 mod rp_engine;
+mod sharded_engine;
 
 pub mod client;
 pub mod server;
@@ -43,3 +48,4 @@ pub use engine::{CacheEngine, CacheStats, StoreOutcome};
 pub use item::Item;
 pub use lock_engine::LockEngine;
 pub use rp_engine::RpEngine;
+pub use sharded_engine::ShardedRpEngine;

@@ -335,7 +335,10 @@ mod tests {
     #[test]
     fn incomplete_inputs_ask_for_more() {
         assert_eq!(parse_command(b"get a"), ParseOutcome::Incomplete);
-        assert_eq!(parse_command(b"set k 0 0 5\r\nhel"), ParseOutcome::Incomplete);
+        assert_eq!(
+            parse_command(b"set k 0 0 5\r\nhel"),
+            ParseOutcome::Incomplete
+        );
         assert_eq!(parse_command(b""), ParseOutcome::Incomplete);
     }
 

@@ -16,9 +16,9 @@ use crate::lock_engine::EngineConfig;
 /// updated by readers, with a relaxed store (the relativistic equivalent of
 /// memcached's "don't bump the LRU on every GET" optimisation — readers
 /// never take a lock or move list nodes).
-struct StoredItem {
-    item: Item,
-    last_access: AtomicU64,
+pub(crate) struct StoredItem {
+    pub(crate) item: Item,
+    pub(crate) last_access: AtomicU64,
 }
 
 /// The relativistic engine, mirroring the paper's memcached patch:
@@ -237,7 +237,10 @@ mod tests {
         engine.set("k4", Item::new(0, "x"));
         assert_eq!(engine.len(), 4);
         assert!(engine.stats().evicted() >= 1);
-        assert!(engine.get("k4").is_some(), "newly inserted key must survive");
+        assert!(
+            engine.get("k4").is_some(),
+            "newly inserted key must survive"
+        );
     }
 
     #[test]

@@ -155,16 +155,36 @@ fn serve_connection(
 pub fn execute(engine: &dyn CacheEngine, command: Command) -> Option<Response> {
     match command {
         Command::Get(keys) => {
-            let mut values = Vec::with_capacity(keys.len());
-            for key in keys {
-                if let Some(item) = engine.get(&key) {
-                    values.push((key, item.flags, item.data));
+            // Single-key GETs (the dominant op) stay on the allocation-free
+            // direct path; multi-key GETs go through the engine's batched
+            // path (the sharded engine groups keys by shard; other engines
+            // loop).
+            let values = if let [key] = &keys[..] {
+                match engine.get(key) {
+                    Some(item) => {
+                        let [key] = <[String; 1]>::try_from(keys).expect("one key");
+                        vec![(key, item.flags, item.data)]
+                    }
+                    None => Vec::new(),
                 }
-            }
+            } else {
+                let items = {
+                    let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+                    engine.get_many(&key_refs)
+                };
+                keys.into_iter()
+                    .zip(items)
+                    .filter_map(|(key, item)| item.map(|item| (key, item.flags, item.data)))
+                    .collect()
+            };
             Some(Response::Values(values))
         }
-        Command::Set { noreply, ref key, .. } => {
-            let item = command.to_item().expect("set command always builds an item");
+        Command::Set {
+            noreply, ref key, ..
+        } => {
+            let item = command
+                .to_item()
+                .expect("set command always builds an item");
             let outcome = engine.set(key, item);
             if noreply {
                 None
@@ -271,7 +291,10 @@ mod tests {
             ),
             None
         );
-        assert_eq!(engine.get("a").map(|i| i.data), Some(Bytes::from_static(b"1")));
+        assert_eq!(
+            engine.get("a").map(|i| i.data),
+            Some(Bytes::from_static(b"1"))
+        );
     }
 
     #[test]

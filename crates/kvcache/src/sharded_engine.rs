@@ -1,0 +1,349 @@
+//! The sharded relativistic engine: the [`RpEngine`](crate::RpEngine)
+//! architecture with a [`ShardedRpMap`] index, so SETs and automatic
+//! resizes of the index only contend within one shard, and multi-key GETs
+//! use the batched, shard-grouped read path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use rp_hash::ResizePolicy;
+use rp_shard::{ShardPolicy, ShardedRpMap};
+
+use crate::engine::{CacheEngine, CacheStats, StoreOutcome};
+use crate::item::Item;
+use crate::lock_engine::EngineConfig;
+use crate::rp_engine::StoredItem;
+
+/// A cache engine whose index is a [`ShardedRpMap`].
+///
+/// GETs are the same wait-free relativistic lookups as
+/// [`RpEngine`](crate::RpEngine); a multi-key GET
+/// ([`CacheEngine::get_many`]) groups keys by shard and pins one guard per
+/// shard. SETs, deletes and index resizes serialise only within the target
+/// key's shard, so write throughput scales with the shard count.
+pub struct ShardedRpEngine {
+    index: ShardedRpMap<String, Arc<StoredItem>>,
+    config: EngineConfig,
+    clock: AtomicU64,
+    stats: CacheStats,
+}
+
+impl Default for ShardedRpEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShardedRpEngine {
+    /// Creates an engine with 16 shards and a large default capacity.
+    pub fn new() -> Self {
+        Self::with_shards_and_capacity(16, 1 << 20)
+    }
+
+    /// Creates an engine with `shards` index shards holding at most
+    /// `capacity` items.
+    pub fn with_shards_and_capacity(shards: usize, capacity: usize) -> Self {
+        let per_shard_buckets = (capacity / shards.max(1)).clamp(16, 1024);
+        ShardedRpEngine {
+            index: ShardedRpMap::with_policy(ShardPolicy {
+                shards,
+                initial_buckets_per_shard: per_shard_buckets,
+                per_shard: ResizePolicy {
+                    auto_expand: true,
+                    auto_shrink: true,
+                    max_load_factor: 2.0,
+                    min_load_factor: 0.125,
+                    min_buckets: 16,
+                    ..ResizePolicy::default()
+                },
+            }),
+            config: EngineConfig {
+                capacity: capacity.max(1),
+                ..EngineConfig::default()
+            },
+            clock: AtomicU64::new(0),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of index shards.
+    pub fn shard_count(&self) -> usize {
+        self.index.shard_count()
+    }
+
+    /// Total buckets across all index shards (exposed so benchmarks can
+    /// confirm the shards resize themselves under load).
+    pub fn index_buckets(&self) -> usize {
+        self.index.num_buckets()
+    }
+
+    /// Per-shard occupancy, for balance diagnostics.
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.index.stats().shard_lens
+    }
+
+    fn evict_if_needed(&self) {
+        // Approximate LRU, as in RpEngine: sample everything under a guard,
+        // evict the stalest entries. Runs on the SET path only.
+        while self.index.len() > self.config.capacity {
+            let over = self.index.len() - self.config.capacity;
+            let mut candidates: Vec<(String, u64)> = {
+                let guard = self.index.pin();
+                self.index
+                    .iter(&guard)
+                    .map(|(k, v)| (k.clone(), v.last_access.load(Ordering::Relaxed)))
+                    .collect()
+            };
+            if candidates.is_empty() {
+                break;
+            }
+            candidates.sort_by_key(|(_, stamp)| *stamp);
+            for (key, _) in candidates.into_iter().take(over.max(1)) {
+                if self.index.remove(&key) {
+                    self.stats.bump(&self.stats.evictions);
+                }
+            }
+        }
+    }
+}
+
+impl CacheEngine for ShardedRpEngine {
+    fn name(&self) -> &'static str {
+        "rp-shard"
+    }
+
+    fn get(&self, key: &str) -> Option<Item> {
+        let now = Instant::now();
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let result = {
+            let guard = self.index.pin();
+            match self.index.get(key, &guard) {
+                Some(stored) if !stored.item.is_expired(now) => {
+                    stored.last_access.store(stamp, Ordering::Relaxed);
+                    Some(stored.item.clone())
+                }
+                Some(_) => None, // expired: slow path below
+                None => {
+                    self.stats.bump(&self.stats.get_misses);
+                    return None;
+                }
+            }
+        };
+        match result {
+            Some(item) => {
+                self.stats.bump(&self.stats.get_hits);
+                Some(item)
+            }
+            None => {
+                if self.index.remove(key) {
+                    self.stats.bump(&self.stats.expirations);
+                }
+                self.stats.bump(&self.stats.get_misses);
+                None
+            }
+        }
+    }
+
+    fn get_many(&self, keys: &[&str]) -> Vec<Option<Item>> {
+        let now = Instant::now();
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        // The batched read path: keys grouped by shard, one guard pin per
+        // shard. Expired entries are copied out as None and deleted on the
+        // slow path afterwards, preserving per-key `get` semantics.
+        let stored = self.index.multi_get_with(keys, |found| {
+            if found.item.is_expired(now) {
+                None
+            } else {
+                found.last_access.store(stamp, Ordering::Relaxed);
+                Some(found.item.clone())
+            }
+        });
+        stored
+            .into_iter()
+            .zip(keys)
+            .map(|(slot, key)| match slot {
+                Some(Some(item)) => {
+                    self.stats.bump(&self.stats.get_hits);
+                    Some(item)
+                }
+                Some(None) => {
+                    // Present but expired: remove through the writer side.
+                    if self.index.remove(*key) {
+                        self.stats.bump(&self.stats.expirations);
+                    }
+                    self.stats.bump(&self.stats.get_misses);
+                    None
+                }
+                None => {
+                    self.stats.bump(&self.stats.get_misses);
+                    None
+                }
+            })
+            .collect()
+    }
+
+    fn set(&self, key: &str, item: Item) -> StoreOutcome {
+        if item.len() > self.config.max_item_size {
+            return StoreOutcome::NotStored;
+        }
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let stored = Arc::new(StoredItem {
+            item,
+            last_access: AtomicU64::new(stamp),
+        });
+        self.index.insert(key.to_string(), stored);
+        self.evict_if_needed();
+        self.stats.bump(&self.stats.sets);
+        StoreOutcome::Stored
+    }
+
+    fn delete(&self, key: &str) -> bool {
+        let removed = self.index.remove(key);
+        if removed {
+            self.stats.bump(&self.stats.deletes);
+        }
+        removed
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn purge_expired(&self) -> usize {
+        let now = Instant::now();
+        let before = self.index.len();
+        self.index.retain(|_, stored| !stored.item.is_expired(now));
+        let purged = before.saturating_sub(self.index.len());
+        for _ in 0..purged {
+            self.stats.bump(&self.stats.expirations);
+        }
+        purged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn get_set_delete_round_trip() {
+        let engine = ShardedRpEngine::new();
+        assert_eq!(engine.get("k"), None);
+        assert_eq!(engine.set("k", Item::new(3, "value")), StoreOutcome::Stored);
+        let item = engine.get("k").unwrap();
+        assert_eq!(item.flags, 3);
+        assert_eq!(&item.data[..], b"value");
+        assert!(engine.delete("k"));
+        assert_eq!(engine.get("k"), None);
+        assert_eq!(engine.stats().hits(), 1);
+        assert_eq!(engine.stats().misses(), 2);
+    }
+
+    #[test]
+    fn get_many_matches_per_key_get() {
+        let engine = ShardedRpEngine::with_shards_and_capacity(8, 10_000);
+        for i in 0..200 {
+            engine.set(&format!("k{i}"), Item::new(i, format!("v{i}")));
+        }
+        let keys: Vec<String> = (0..250).map(|i| format!("k{i}")).collect();
+        let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+        let batched = engine.get_many(&key_refs);
+        for (key, got) in key_refs.iter().zip(batched) {
+            assert_eq!(got, engine.get(key), "key {key}");
+        }
+    }
+
+    #[test]
+    fn get_many_handles_expired_items() {
+        let engine = ShardedRpEngine::new();
+        engine.set("live", Item::new(0, "x"));
+        let mut stale = Item::new(0, "y");
+        stale.expires_at = Some(Instant::now() - Duration::from_millis(1));
+        engine.set("stale", stale);
+        assert_eq!(engine.len(), 2);
+        let got = engine.get_many(&["live", "stale", "missing"]);
+        assert!(got[0].is_some());
+        assert!(got[1].is_none());
+        assert!(got[2].is_none());
+        assert_eq!(engine.len(), 1, "expired item removed lazily by the batch");
+        assert_eq!(engine.stats().expirations.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let engine = ShardedRpEngine::with_shards_and_capacity(4, 8);
+        for i in 0..12 {
+            engine.set(&format!("k{i}"), Item::new(0, "x"));
+        }
+        assert!(engine.len() <= 8);
+        assert!(engine.stats().evicted() >= 4);
+    }
+
+    #[test]
+    fn index_shards_resize_independently_under_load() {
+        let engine = ShardedRpEngine::with_shards_and_capacity(4, 100_000);
+        let before = engine.index_buckets();
+        for i in 0..16_384 {
+            engine.set(&format!("key-{i}"), Item::new(0, "v"));
+        }
+        assert!(
+            engine.index_buckets() > before,
+            "expected sharded index auto-expansion ({} -> {})",
+            before,
+            engine.index_buckets()
+        );
+        assert_eq!(engine.len(), 16_384);
+        let lens = engine.shard_lens();
+        assert!(lens.iter().all(|&l| l > 0), "unbalanced shards: {lens:?}");
+    }
+
+    #[test]
+    fn concurrent_gets_sets_and_batches() {
+        use std::sync::atomic::AtomicBool;
+        let engine = Arc::new(ShardedRpEngine::with_shards_and_capacity(8, 100_000));
+        for i in 0..256 {
+            engine.set(&format!("k{i}"), Item::new(0, format!("v{i}")));
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for seed in 0..2_u64 {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let mut k = seed;
+                while !stop.load(Ordering::Relaxed) {
+                    k = (k * 13 + 1) % 256;
+                    let item = engine.get(&format!("k{k}")).expect("stable key present");
+                    assert!(item.data.starts_with(b"v"));
+                }
+            }));
+        }
+        {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let keys: Vec<String> = (0..64).map(|i| format!("k{i}")).collect();
+                    let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+                    for got in engine.get_many(&key_refs) {
+                        assert!(got.expect("stable key present").data.starts_with(b"v"));
+                    }
+                }
+            }));
+        }
+        for round in 0..2000_u32 {
+            let k = round % 256;
+            engine.set(&format!("k{k}"), Item::new(round, format!("v{k}-{round}")));
+        }
+        stop.store(true, Ordering::SeqCst);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

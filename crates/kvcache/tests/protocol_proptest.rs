@@ -36,11 +36,9 @@ fn encode(cmd: &Command) -> Vec<u8> {
             out.extend_from_slice(b"\r\n");
             out
         }
-        Command::Delete { key, noreply } => format!(
-            "delete {key}{}\r\n",
-            if *noreply { " noreply" } else { "" }
-        )
-        .into_bytes(),
+        Command::Delete { key, noreply } => {
+            format!("delete {key}{}\r\n", if *noreply { " noreply" } else { "" }).into_bytes()
+        }
         Command::Stats => b"stats\r\n".to_vec(),
         Command::Version => b"version\r\n".to_vec(),
         Command::Quit => b"quit\r\n".to_vec(),
@@ -50,15 +48,20 @@ fn encode(cmd: &Command) -> Vec<u8> {
 fn command_strategy() -> impl Strategy<Value = Command> {
     prop_oneof![
         proptest::collection::vec(key_strategy(), 1..4).prop_map(Command::Get),
-        (key_strategy(), any::<u32>(), 0_u64..100_000, value_strategy(), any::<bool>()).prop_map(
-            |(key, flags, exptime, data, noreply)| Command::Set {
+        (
+            key_strategy(),
+            any::<u32>(),
+            0_u64..100_000,
+            value_strategy(),
+            any::<bool>()
+        )
+            .prop_map(|(key, flags, exptime, data, noreply)| Command::Set {
                 key,
                 flags,
                 exptime,
                 data: Bytes::from(data),
                 noreply,
-            }
-        ),
+            }),
         (key_strategy(), any::<bool>()).prop_map(|(key, noreply)| Command::Delete { key, noreply }),
         Just(Command::Stats),
         Just(Command::Version),

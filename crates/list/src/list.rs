@@ -180,12 +180,12 @@ impl<T: Send + Sync + 'static> RpList<T> {
     }
 
     /// Returns `true` if any element matches `pred`.
-    pub fn contains<F>(&self, mut pred: F) -> bool
+    pub fn contains<F>(&self, pred: F) -> bool
     where
         F: FnMut(&T) -> bool,
     {
         let guard = rp_rcu::pin();
-        self.iter(&guard).any(|v| pred(v))
+        self.iter(&guard).any(pred)
     }
 
     /// Iterates over the list under `guard`.

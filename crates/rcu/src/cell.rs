@@ -187,7 +187,10 @@ impl<T> RetiredPtr<T> {
     /// `domain` must be the domain whose guards protect readers of the cell
     /// this value was published in; otherwise a reader in a different domain
     /// could still hold a reference when the value is freed.
-    pub unsafe fn retire(self, domain: &RcuDomain) where T: Send {
+    pub unsafe fn retire(self, domain: &RcuDomain)
+    where
+        T: Send,
+    {
         // SAFETY: the pointer came from `Box::into_raw` (all cell stores go
         // through `Box`), is unpublished, and per the caller contract the
         // domain covers every reader that might still reference it.
@@ -204,7 +207,10 @@ impl<T> RetiredPtr<T> {
     /// [`RetiredPtr::retire`] with that domain instead; retiring through the
     /// wrong domain is the same mistake as calling `synchronize_rcu` on the
     /// wrong flavor in C.
-    pub fn retire_global(self) where T: Send {
+    pub fn retire_global(self)
+    where
+        T: Send,
+    {
         // SAFETY: see doc comment — the global domain covers `pin()` guards.
         unsafe { self.retire(RcuDomain::global()) }
     }

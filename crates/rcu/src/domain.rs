@@ -101,7 +101,9 @@ impl RcuDomain {
     pub(crate) fn register_reader(&self) -> Arc<CachePadded<ReaderState>> {
         let state = Arc::new(CachePadded::new(ReaderState::default()));
         self.registry.lock().push(Arc::clone(&state));
-        self.stats.readers_registered.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .readers_registered
+            .fetch_add(1, Ordering::Relaxed);
         state
     }
 
@@ -138,7 +140,8 @@ impl RcuDomain {
     /// global domain (that would otherwise self-deadlock: the grace period
     /// can never end while the caller's own guard is alive).
     pub fn synchronize(&self) {
-        if std::ptr::eq(self, Arc::as_ptr(Self::global())) && crate::local::global_read_nesting() > 0
+        if std::ptr::eq(self, Arc::as_ptr(Self::global()))
+            && crate::local::global_read_nesting() > 0
         {
             panic!(
                 "RcuDomain::synchronize called from inside a read-side critical section; \

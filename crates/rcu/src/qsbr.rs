@@ -64,7 +64,9 @@ impl QsbrDomain {
             ctr: AtomicU64::new(self.gp_ctr.load(Ordering::SeqCst)),
         }));
         self.registry.lock().push(Arc::clone(&state));
-        self.stats.readers_registered.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .readers_registered
+            .fetch_add(1, Ordering::Relaxed);
         QsbrHandle {
             domain: Arc::clone(self),
             state,
@@ -271,6 +273,7 @@ mod tests {
                 while !release.load(Ordering::SeqCst) {
                     std::hint::spin_loop();
                 }
+                #[allow(clippy::drop_non_drop)] // explicit end of the read section
                 drop(_g);
                 h.quiescent_state();
             })

@@ -89,7 +89,9 @@ impl Reclaimer {
     fn stop_and_join(&mut self) -> Option<u64> {
         self.shared.stop.store(true, Ordering::SeqCst);
         self.kick();
-        self.thread.take().map(|t| t.join().expect("reclaimer thread panicked"))
+        self.thread
+            .take()
+            .map(|t| t.join().expect("reclaimer thread panicked"))
     }
 }
 

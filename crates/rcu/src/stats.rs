@@ -49,7 +49,8 @@ pub struct DomainStats {
 impl DomainStats {
     /// Number of deferred callbacks still waiting for a grace period.
     pub fn callbacks_pending(&self) -> u64 {
-        self.callbacks_queued.saturating_sub(self.callbacks_executed)
+        self.callbacks_queued
+            .saturating_sub(self.callbacks_executed)
     }
 
     /// Number of readers currently registered with the domain.

@@ -1,0 +1,107 @@
+//! Shard-count and per-shard resize policy.
+
+use rp_hash::ResizePolicy;
+
+/// Controls how a [`crate::ShardedRpMap`] is partitioned and how each shard
+/// resizes itself.
+///
+/// The per-shard behaviour reuses [`rp_hash::ResizePolicy`] unchanged: every
+/// shard runs the paper's zip/shrink and unzip/expand algorithms
+/// independently, triggered by its *own* load factor. A hot shard can double
+/// while a cold one shrinks, with no coordination between them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardPolicy {
+    /// Number of shards (rounded up to a power of two, clamped to
+    /// `1..=MAX_SHARDS`).
+    pub shards: usize,
+    /// Buckets each shard starts with (rounded up to a power of two by the
+    /// shard's own policy).
+    pub initial_buckets_per_shard: usize,
+    /// Resize policy applied independently by every shard.
+    pub per_shard: ResizePolicy,
+}
+
+/// Upper bound on the shard count (2^10; beyond this the per-shard state
+/// outweighs any contention win).
+pub const MAX_SHARDS: usize = 1 << 10;
+
+impl Default for ShardPolicy {
+    fn default() -> Self {
+        ShardPolicy {
+            shards: 16,
+            initial_buckets_per_shard: 16,
+            per_shard: ResizePolicy::default(),
+        }
+    }
+}
+
+impl ShardPolicy {
+    /// A policy with `shards` shards and defaults for everything else.
+    pub fn with_shards(shards: usize) -> Self {
+        ShardPolicy {
+            shards,
+            ..ShardPolicy::default()
+        }
+    }
+
+    /// A policy whose shards grow and shrink automatically.
+    pub fn automatic(shards: usize) -> Self {
+        ShardPolicy {
+            shards,
+            per_shard: ResizePolicy::automatic(),
+            ..ShardPolicy::default()
+        }
+    }
+
+    /// A policy sized for an expected total entry count: enough initial
+    /// buckets that the target load factor is met without any resizes, split
+    /// evenly across shards.
+    pub fn for_capacity(shards: usize, expected_entries: usize) -> Self {
+        let shards = clamp_shards(shards);
+        let per_shard_entries = expected_entries.div_ceil(shards).max(1);
+        ShardPolicy {
+            shards,
+            initial_buckets_per_shard: per_shard_entries.next_power_of_two(),
+            per_shard: ResizePolicy::automatic(),
+        }
+    }
+
+    /// The effective (power-of-two, clamped) shard count.
+    pub fn effective_shards(&self) -> usize {
+        clamp_shards(self.shards)
+    }
+}
+
+pub(crate) fn clamp_shards(requested: usize) -> usize {
+    requested.clamp(1, MAX_SHARDS).next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_counts_round_to_powers_of_two() {
+        assert_eq!(clamp_shards(0), 1);
+        assert_eq!(clamp_shards(1), 1);
+        assert_eq!(clamp_shards(3), 4);
+        assert_eq!(clamp_shards(16), 16);
+        assert_eq!(clamp_shards(usize::MAX), MAX_SHARDS);
+        assert_eq!(ShardPolicy::with_shards(5).effective_shards(), 8);
+    }
+
+    #[test]
+    fn for_capacity_sizes_buckets_per_shard() {
+        let p = ShardPolicy::for_capacity(4, 1000);
+        assert_eq!(p.shards, 4);
+        assert_eq!(p.initial_buckets_per_shard, 256); // ceil(1000/4)=250 -> 256
+        assert!(p.per_shard.auto_expand);
+    }
+
+    #[test]
+    fn default_is_sixteen_manual_shards() {
+        let p = ShardPolicy::default();
+        assert_eq!(p.effective_shards(), 16);
+        assert!(!p.per_shard.auto_expand);
+    }
+}

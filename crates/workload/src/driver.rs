@@ -116,7 +116,7 @@ where
                     local += 1;
                     // Publish in batches to keep the shared store rate low
                     // without losing more than a batch at the end.
-                    if local % 1024 == 0 {
+                    if local.is_multiple_of(1024) {
                         counter.store(local, Ordering::Relaxed);
                     }
                 }
@@ -157,8 +157,10 @@ where
     });
 
     let per_thread: Vec<u64> = counters.iter().map(|c| c.load(Ordering::SeqCst)).collect();
-    let background_iterations: Vec<u64> =
-        bg_counters.iter().map(|c| c.load(Ordering::SeqCst)).collect();
+    let background_iterations: Vec<u64> = bg_counters
+        .iter()
+        .map(|c| c.load(Ordering::SeqCst))
+        .collect();
     MeasureResult {
         total_ops: per_thread.iter().sum(),
         per_thread,

@@ -1,43 +1,70 @@
-//! End-to-end memcached-style demo: start the cache server with the
-//! relativistic engine, talk to it over TCP with the bundled client, and
-//! print the engine's statistics — the miniature version of the paper's
-//! memcached experiment.
+//! End-to-end memcached-style demo: start the cache server, talk to it over
+//! TCP with the bundled client, and print the engine's statistics — the
+//! miniature version of the paper's memcached experiment.
 //!
 //! Run with: `cargo run --release --example kv_server`
+//!
+//! Environment:
+//!
+//! * `RP_KV_ENGINE` — `rp` (default; single relativistic table), `rp-shard`
+//!   (sharded relativistic index), or `lock` (global-lock baseline).
+//! * `RP_KV_PORT` — TCP port (default 0 = pick a free one).
+//! * `RP_KV_STAY` — set to keep serving until the process is killed instead
+//!   of exiting after the demo workload.
 
 use std::sync::Arc;
 
 use relativist::kvcache::client::CacheClient;
 use relativist::kvcache::server::CacheServer;
-use relativist::kvcache::{CacheEngine, RpEngine};
+use relativist::kvcache::{CacheEngine, LockEngine, RpEngine, ShardedRpEngine};
 
 fn main() -> std::io::Result<()> {
-    // The relativistic engine: GETs are wait-free lookups in an RpHashMap,
-    // SETs go through the writer lock, the index resizes itself.
-    let engine: Arc<RpEngine> = Arc::new(RpEngine::with_capacity(100_000));
-    let engine_dyn: Arc<dyn CacheEngine> = engine.clone();
-    let mut server = CacheServer::start(engine_dyn, 0)?;
-    println!("cache server listening on {}", server.addr());
+    let engine_name = std::env::var("RP_KV_ENGINE").unwrap_or_else(|_| "rp".to_string());
+    let engine: Arc<dyn CacheEngine> = match engine_name.as_str() {
+        // GETs are wait-free lookups in an RpHashMap, SETs go through the
+        // single writer lock, the index resizes itself.
+        "rp" => Arc::new(RpEngine::with_capacity(100_000)),
+        // Same read side, but the index is sharded: SETs and resizes only
+        // contend within one shard and multi-key GETs batch per shard.
+        "rp-shard" => Arc::new(ShardedRpEngine::with_shards_and_capacity(16, 100_000)),
+        "lock" => Arc::new(LockEngine::with_capacity(100_000)),
+        other => {
+            eprintln!("unknown RP_KV_ENGINE {other:?} (expected rp | rp-shard | lock)");
+            std::process::exit(2);
+        }
+    };
+    let port = std::env::var("RP_KV_PORT")
+        .ok()
+        .and_then(|p| p.parse().ok())
+        .unwrap_or(0_u16);
+    let mut server = CacheServer::start(Arc::clone(&engine), port)?;
+    println!(
+        "cache server ({}) listening on {}",
+        engine.name(),
+        server.addr()
+    );
 
     // A few clients hammer the server concurrently.
     let addr = server.addr();
     let mut workers = Vec::new();
     for worker in 0..4 {
-        workers.push(std::thread::spawn(move || -> std::io::Result<(u64, u64)> {
-            let mut client = CacheClient::connect(addr)?;
-            let mut sets = 0_u64;
-            let mut hits = 0_u64;
-            for i in 0..2_000_u64 {
-                let key = format!("user:{worker}:{i}");
-                if client.set(&key, 0, 0, format!("profile-data-{i}").as_bytes())? {
-                    sets += 1;
+        workers.push(std::thread::spawn(
+            move || -> std::io::Result<(u64, u64)> {
+                let mut client = CacheClient::connect(addr)?;
+                let mut sets = 0_u64;
+                let mut hits = 0_u64;
+                for i in 0..2_000_u64 {
+                    let key = format!("user:{worker}:{i}");
+                    if client.set(&key, 0, 0, format!("profile-data-{i}").as_bytes())? {
+                        sets += 1;
+                    }
+                    if client.get(&key)?.is_some() {
+                        hits += 1;
+                    }
                 }
-                if client.get(&key)?.is_some() {
-                    hits += 1;
-                }
-            }
-            Ok((sets, hits))
-        }));
+                Ok((sets, hits))
+            },
+        ));
     }
 
     let mut total_sets = 0;
@@ -55,11 +82,14 @@ fn main() -> std::io::Result<()> {
     for (name, value) in client.stats()? {
         println!("  STAT {name} {value}");
     }
-    println!(
-        "relativistic index grew to {} buckets for {} items",
-        engine.index_buckets(),
-        engine.len()
-    );
+    println!("engine holds {} items", engine.len());
+
+    if std::env::var("RP_KV_STAY").is_ok() {
+        println!("RP_KV_STAY set: serving until killed");
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
 
     server.shutdown();
     Ok(())

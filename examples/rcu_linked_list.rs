@@ -13,7 +13,10 @@ use relativist::rcu::{pin, RcuDomain};
 fn main() {
     // --- The raw primitives -------------------------------------------------
     let domain = RcuDomain::global();
-    println!("grace periods completed so far: {}", domain.stats().grace_periods);
+    println!(
+        "grace periods completed so far: {}",
+        domain.stats().grace_periods
+    );
 
     // --- A relativistic linked list under concurrent churn ------------------
     let list: Arc<RpList<u64>> = Arc::new(RpList::new());
@@ -57,9 +60,7 @@ fn main() {
     let total_scans: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
     RcuDomain::global().synchronize_and_reclaim();
 
-    println!(
-        "readers completed {total_scans} full traversals while the writer churned 200 rounds"
-    );
+    println!("readers completed {total_scans} full traversals while the writer churned 200 rounds");
     println!(
         "list length is back to {} sentinels; domain stats: {:?}",
         list.len(),

@@ -26,7 +26,10 @@ fn main() {
 
     let stop = Arc::new(AtomicBool::new(false));
     let total_lookups = Arc::new(AtomicU64::new(0));
-    let readers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4) - 1;
+    let readers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        - 1;
 
     let mut handles = Vec::new();
     for reader in 0..readers.max(1) {
@@ -55,7 +58,11 @@ fn main() {
         std::thread::spawn(move || {
             let mut resizes = 0_u64;
             while !stop.load(Ordering::Relaxed) {
-                map.resize_to(if resizes % 2 == 0 { LARGE } else { SMALL });
+                map.resize_to(if resizes.is_multiple_of(2) {
+                    LARGE
+                } else {
+                    SMALL
+                });
                 resizes += 1;
             }
             resizes

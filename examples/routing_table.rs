@@ -46,12 +46,9 @@ struct FlowState {
 }
 
 fn main() {
-    let table: Arc<RpHashMap<FlowKey, FlowState, FnvBuildHasher>> =
-        Arc::new(RpHashMap::with_buckets_hasher_and_policy(
-            256,
-            FnvBuildHasher,
-            ResizePolicy::automatic(),
-        ));
+    let table: Arc<RpHashMap<FlowKey, FlowState, FnvBuildHasher>> = Arc::new(
+        RpHashMap::with_buckets_hasher_and_policy(256, FnvBuildHasher, ResizePolicy::automatic()),
+    );
 
     // Seed some long-lived flows.
     for i in 0..20_000_u64 {
@@ -74,7 +71,9 @@ fn main() {
     let drops = Arc::new(AtomicU64::new(0));
 
     // Packet-processing threads: pure lookups on the fast path.
-    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let workers: Vec<_> = (0..cpus.max(2) - 1)
         .map(|w| {
             let table = Arc::clone(&table);
@@ -116,7 +115,10 @@ fn main() {
                     table.remove(&FlowKey::new((next_flow - 20_000 + i) % 20_000));
                     table.insert(
                         FlowKey::new(next_flow + i),
-                        FlowState { packets: 0, action: "accept" },
+                        FlowState {
+                            packets: 0,
+                            action: "accept",
+                        },
                     );
                 }
                 next_flow += 200;

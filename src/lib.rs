@@ -13,6 +13,10 @@
 //! * [`hash`] — the paper's contribution: [`hash::RpHashMap`], a hash table
 //!   with wait-free lookups that can be grown and shrunk while readers run
 //!   at full speed.
+//! * [`shard`] — [`shard::ShardedRpMap`], a power-of-two array of
+//!   independent relativistic tables: shard-local writer locks and resizes
+//!   for parallel updates, plus batched `multi_get` / `multi_put` that
+//!   amortise guard and lock acquisition per shard.
 //! * [`baselines`] — the designs the paper compares against (DDDS,
 //!   reader-writer locking, per-bucket locking, Herbert Xu's dual-chain
 //!   tables).
@@ -48,4 +52,5 @@ pub use rp_hash as hash;
 pub use rp_kvcache as kvcache;
 pub use rp_list as list;
 pub use rp_rcu as rcu;
+pub use rp_shard as shard;
 pub use rp_workload as workload;

@@ -11,6 +11,7 @@ use relativist::baselines::{
     BucketLockTable, ConcurrentMap, DddsTable, MutexTable, RwLockTable, XuTable,
 };
 use relativist::hash::{FnvBuildHasher, RpHashMap};
+use relativist::shard::ShardedRpMap;
 
 const STABLE: u64 = 1024;
 
@@ -31,7 +32,11 @@ fn hammer(map: Arc<dyn ConcurrentMap<u64, u64>>) {
             let mut k = seed;
             while !stop.load(Ordering::Relaxed) {
                 k = (k * 25214903917 + 11) % STABLE;
-                assert_eq!(map.lookup(&k), Some(k + 1), "{name}: stable key {k} missing");
+                assert_eq!(
+                    map.lookup(&k),
+                    Some(k + 1),
+                    "{name}: stable key {k} missing"
+                );
             }
         }));
     }
@@ -60,7 +65,7 @@ fn hammer(map: Arc<dyn ConcurrentMap<u64, u64>>) {
         handles.push(std::thread::spawn(move || {
             let mut round = 0_u64;
             while !stop.load(Ordering::Relaxed) {
-                map.resize_to(if round % 2 == 0 { 4096 } else { 256 });
+                map.resize_to(if round.is_multiple_of(2) { 4096 } else { 256 });
                 round += 1;
             }
         }));
@@ -73,7 +78,11 @@ fn hammer(map: Arc<dyn ConcurrentMap<u64, u64>>) {
     }
 
     for k in 0..STABLE {
-        assert_eq!(map.lookup(&k), Some(k + 1), "{name}: stable key {k} after stress");
+        assert_eq!(
+            map.lookup(&k),
+            Some(k + 1),
+            "{name}: stable key {k} after stress"
+        );
     }
     relativist::rcu::RcuDomain::global().synchronize_and_reclaim();
 }
@@ -83,6 +92,11 @@ fn rp_hash_map_survives_concurrent_mixed_workload() {
     hammer(Arc::new(
         RpHashMap::<u64, u64, FnvBuildHasher>::with_buckets_and_hasher(256, FnvBuildHasher),
     ));
+}
+
+#[test]
+fn sharded_rp_map_survives_concurrent_mixed_workload() {
+    hammer(Arc::new(ShardedRpMap::<u64, u64>::with_shards(8)));
 }
 
 #[test]

@@ -25,7 +25,9 @@ fn exercise_over_tcp(engine: Arc<dyn CacheEngine>) {
                 let mut client = CacheClient::connect(addr).expect("connect");
                 for i in 0..per_client_keys {
                     let key = format!("c{c}-k{i}");
-                    assert!(client.set(&key, c, 0, format!("{c}:{i}").as_bytes()).unwrap());
+                    assert!(client
+                        .set(&key, c, 0, format!("{c}:{i}").as_bytes())
+                        .unwrap());
                 }
                 for i in 0..per_client_keys {
                     let key = format!("c{c}-k{i}");

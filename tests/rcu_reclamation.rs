@@ -99,7 +99,10 @@ fn map_values_dropped_exactly_once_and_never_early() {
     // node) and resize now and then.
     for round in 1..=ROUNDS {
         for k in 0..KEYS {
-            map.insert(k, Tracked::new(k.wrapping_add(round << 32), Arc::clone(&drops)));
+            map.insert(
+                k,
+                Tracked::new(k.wrapping_add(round << 32), Arc::clone(&drops)),
+            );
         }
         if round % 8 == 0 {
             map.expand();
@@ -147,7 +150,11 @@ fn list_reader_keeps_removed_node_alive_until_guard_drop() {
         RcuDomain::global().synchronize_and_reclaim();
     });
     std::thread::sleep(Duration::from_millis(100));
-    assert_eq!(drops.load(Ordering::SeqCst), 0, "freed while still referenced");
+    assert_eq!(
+        drops.load(Ordering::SeqCst),
+        0,
+        "freed while still referenced"
+    );
     node.verify();
 
     drop(guard);

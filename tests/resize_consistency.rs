@@ -26,7 +26,9 @@ fn lookups_never_miss_during_continuous_resizing() {
 
     let stop = Arc::new(AtomicBool::new(false));
     let lookups_done = Arc::new(AtomicU64::new(0));
-    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let reader_threads = (cpus - 1).clamp(2, 6);
 
     let readers: Vec<_> = (0..reader_threads)
@@ -38,7 +40,9 @@ fn lookups_never_miss_during_continuous_resizing() {
                 let mut key = seed as u64;
                 let mut local = 0_u64;
                 while !stop.load(Ordering::Relaxed) {
-                    key = (key.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407))
+                    key = (key
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407))
                         % STABLE_KEYS;
                     let guard = map.pin();
                     let value = map.get(&key, &guard).copied();
@@ -62,7 +66,7 @@ fn lookups_never_miss_during_continuous_resizing() {
         std::thread::spawn(move || {
             let mut rounds = 0_u64;
             while !stop.load(Ordering::Relaxed) {
-                map.resize_to(if rounds % 2 == 0 { 2048 } else { 64 });
+                map.resize_to(if rounds.is_multiple_of(2) { 2048 } else { 64 });
                 rounds += 1;
             }
             rounds
