@@ -1,0 +1,30 @@
+//! Maintained-resize latency figure: p99 insert latency under a Zipfian
+//! write storm, inline-resize versus background-maintained resize, at 4 and
+//! 16 shards. Also prints the grace periods the writer threads themselves
+//! waited for — 0 on the maintained path, which is the whole point.
+
+fn main() -> std::io::Result<()> {
+    let cfg = rp_bench::BenchConfig::from_env();
+    eprintln!("resize-maintenance insert latency on {}", cfg.host);
+
+    let report = rp_bench::fig_maint(&cfg);
+    report.write_files(&cfg.out_dir, "fig_maint")?;
+    print!("{}", report.to_markdown());
+
+    // Headline: the inline/maintained p99 ratio per shard count.
+    let inline = report.series.iter().find(|s| s.name.contains("inline"));
+    let maintained = report.series.iter().find(|s| s.name.contains("maintained"));
+    if let (Some(inline), Some(maintained)) = (inline, maintained) {
+        println!();
+        for &(shards, inline_p99) in &inline.points {
+            if let Some(maint_p99) = maintained.y_at(shards) {
+                println!(
+                    "{shards:.0} shards: inline p99 {inline_p99:.1} µs vs maintained p99 \
+                     {maint_p99:.1} µs ({:.2}x)",
+                    inline_p99 / maint_p99.max(1e-9)
+                );
+            }
+        }
+    }
+    Ok(())
+}

@@ -13,6 +13,8 @@
 //! | `fig_rp_vs_fixed` | "Results – our resize versus fixed" — RP at 8k fixed, 16k fixed, and continuously resizing |
 //! | `fig_ddds_vs_fixed` | "Results – DDDS resize versus fixed" — same three series for DDDS |
 //! | `fig_memcached` | "memcached results" — requests/s vs client count for GET and SET against the default (global-lock) and RP engines |
+//! | `fig_shard` | (repo addition) sharded write throughput — Zipf-keyed inserts/s vs writer threads at 1/4/16/64 shards |
+//! | `fig_maint` | (repo addition) resize maintenance — p99 insert latency under a Zipfian write storm, inline vs background-maintained resizes |
 //!
 //! Parameters are read from environment variables so CI and the
 //! EXPERIMENTS.md runs can trade accuracy for time:
@@ -27,6 +29,8 @@
 //! * `RP_BENCH_MAX_THREADS` — cap on the reader-thread ladder (default 16).
 //! * `RP_BENCH_CLIENTS` — maximum client count for the memcached figure
 //!   (default 12).
+//! * `RP_BENCH_WRITE_THREADS` — top of the writer ladder for `fig_shard`,
+//!   and (clamped to 4) the writer count for `fig_maint`.
 //! * `RP_BENCH_OUT_DIR` — output directory (default `results/`).
 
 #![warn(missing_docs)]
@@ -371,6 +375,159 @@ pub fn fig_shard(cfg: &BenchConfig) -> Report {
     report
 }
 
+/// Per-shard policy used by the maintenance-latency figure: small initial
+/// tables with automatic expansion, so a write storm forces many unzip
+/// resizes during the measurement window.
+fn maint_storm_policy(shards: usize) -> ShardPolicy {
+    ShardPolicy {
+        shards,
+        initial_buckets_per_shard: 16,
+        per_shard: rp_hash::ResizePolicy {
+            auto_expand: true,
+            max_load_factor: 2.0,
+            min_buckets: 16,
+            ..rp_hash::ResizePolicy::default()
+        },
+    }
+}
+
+/// Runs a Zipfian write storm against `map` and returns the merged
+/// per-insert latency histogram plus the total number of grace periods the
+/// *writer threads themselves* waited for (0 on the maintained path — the
+/// claim `fig_maint` exists to demonstrate).
+///
+/// Every writer alternates between a fresh key (monotonic growth that keeps
+/// crossing the expand trigger) and a Zipf-distributed replace; one reader
+/// thread iterates continuously so grace periods have real cost.
+pub fn maint_write_storm(
+    map: &Arc<ShardedRpMap<u64, u64>>,
+    writers: usize,
+    duration: Duration,
+) -> (rp_workload::LatencyHistogram, u64) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Instant;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut merged = rp_workload::LatencyHistogram::new();
+    let mut writer_grace_waits = 0_u64;
+    std::thread::scope(|s| {
+        let reader = {
+            let map = Arc::clone(map);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let guard = map.pin();
+                    let mut seen = 0_usize;
+                    for _ in map.iter(&guard) {
+                        seen += 1;
+                    }
+                    black_box(seen);
+                }
+            })
+        };
+        let handles: Vec<_> = (0..writers.max(1))
+            .map(|w| {
+                let map = Arc::clone(map);
+                s.spawn(move || {
+                    let waits_before = rp_rcu::thread_synchronize_count();
+                    let mut hist = rp_workload::LatencyHistogram::new();
+                    let mut zipf = KeyGen::new(
+                        KeyDist::Zipf(SHARD_ZIPF_EXPONENT),
+                        1 << 20,
+                        0xC0FFEE + w as u64,
+                    );
+                    let mut fresh = w as u64;
+                    let deadline = Instant::now() + duration;
+                    let mut i = 0_u64;
+                    loop {
+                        let key = if i.is_multiple_of(2) {
+                            fresh += writers as u64;
+                            (1 << 40) | fresh
+                        } else {
+                            zipf.next_key()
+                        };
+                        let started = Instant::now();
+                        map.insert(key, i);
+                        hist.record(started.elapsed());
+                        i += 1;
+                        if started >= deadline {
+                            break;
+                        }
+                    }
+                    (hist, rp_rcu::thread_synchronize_count() - waits_before)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (hist, waits) = handle.join().unwrap();
+            merged.merge(&hist);
+            writer_grace_waits += waits;
+        }
+        stop.store(true, Ordering::SeqCst);
+        reader.join().unwrap();
+    });
+    (merged, writer_grace_waits)
+}
+
+/// Figure "maintained resize latency" — p99 insert latency under a Zipfian
+/// write storm, with resizes driven **inline by the triggering writer**
+/// versus **in the background by the `rp-maint` thread**, at 4 and 16
+/// shards.
+///
+/// This is the latency counterpart of `fig_shard`'s throughput story: the
+/// paper makes resizes invisible to *readers*; the maintenance subsystem
+/// additionally makes their grace-period waits invisible to *writers*. The
+/// run also reports how many grace periods the writers themselves waited
+/// for — by construction 0 on the maintained path.
+pub fn fig_maint(cfg: &BenchConfig) -> Report {
+    let mut report = Report::new(
+        "Resize maintenance: p99 insert latency (Zipfian write storm)",
+        "shards",
+        "p99 insert latency (µs)",
+    );
+    let writers = cfg
+        .write_threads
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(2)
+        .clamp(1, 4);
+    let mut inline_series = Series::new("inline resize");
+    let mut maintained_series = Series::new("maintained resize");
+    for shards in [4_usize, 16] {
+        for maintained in [false, true] {
+            let map: Arc<ShardedRpMap<u64, u64>> = Arc::new(if maintained {
+                ShardedRpMap::with_maintenance(
+                    maint_storm_policy(shards),
+                    rp_maint::MaintConfig::default(),
+                )
+            } else {
+                ShardedRpMap::with_policy(maint_storm_policy(shards))
+            });
+            let (hist, writer_waits) = maint_write_storm(&map, writers, cfg.duration);
+            let p99 = hist.percentile_us(0.99);
+            let label = if maintained { "maintained" } else { "inline" };
+            eprintln!(
+                "  {shards} shards / {label}: p99 {:.1} µs, p50 {:.1} µs, max {:.1} µs, \
+                 {} inserts, writer grace waits: {writer_waits}, resizes: {}",
+                p99,
+                hist.percentile_us(0.50),
+                hist.max_ns() as f64 / 1e3,
+                hist.count(),
+                map.stats().total().resizes(),
+            );
+            if maintained {
+                maintained_series.push(shards as f64, p99);
+            } else {
+                inline_series.push(shards as f64, p99);
+            }
+        }
+    }
+    report.add_series(inline_series);
+    report.add_series(maintained_series);
+    report
+}
+
 /// Verifies the batched read path end to end: for a Zipf-keyed population,
 /// `multi_get` must return exactly what per-key `get` returns. Returns the
 /// number of keys checked.
@@ -489,6 +646,7 @@ pub fn run_all(cfg: &BenchConfig) -> std::io::Result<Vec<Report>> {
         ("fig_ddds_vs_fixed", fig_ddds_vs_fixed),
         ("fig_memcached", fig_memcached),
         ("fig_shard", fig_shard),
+        ("fig_maint", fig_maint),
     ];
     let mut reports = Vec::new();
     let mut summary = String::new();
@@ -512,6 +670,31 @@ pub fn run_all(cfg: &BenchConfig) -> std::io::Result<Vec<Report>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn maint_storm_measures_latency_for_both_variants() {
+        let cfg = BenchConfig::smoke_test();
+        for maintained in [false, true] {
+            let map: Arc<ShardedRpMap<u64, u64>> = Arc::new(if maintained {
+                ShardedRpMap::with_maintenance(
+                    maint_storm_policy(4),
+                    rp_maint::MaintConfig::default(),
+                )
+            } else {
+                ShardedRpMap::with_policy(maint_storm_policy(4))
+            });
+            let (hist, writer_waits) = maint_write_storm(&map, 2, cfg.duration);
+            assert!(hist.count() > 0, "storm recorded no inserts");
+            assert!(hist.percentile_ns(0.99) >= hist.percentile_ns(0.50));
+            if maintained {
+                assert_eq!(
+                    writer_waits, 0,
+                    "maintained writers must never wait for a grace period"
+                );
+            }
+            map.check_invariants().unwrap();
+        }
+    }
 
     #[test]
     fn config_from_env_has_sane_defaults() {

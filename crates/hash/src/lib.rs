@@ -71,6 +71,7 @@ pub use fnv::{FnvBuildHasher, FnvHasher};
 pub use iter::{Iter, Keys, Values};
 pub use map::RpHashMap;
 pub use policy::ResizePolicy;
+pub use resize::ResizeStep;
 pub use set::RpHashSet;
 pub use stats::MapStats;
 

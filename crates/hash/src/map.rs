@@ -1,10 +1,11 @@
 //! The resizable relativistic hash map.
 
 use std::borrow::Borrow;
+use std::cell::UnsafeCell;
 use std::collections::hash_map::RandomState;
 use std::hash::{BuildHasher, Hash};
 use std::ptr::NonNull;
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 
@@ -13,6 +14,7 @@ use rp_rcu::{RcuDomain, RcuGuard};
 use crate::iter::{Iter, Keys, Values};
 use crate::node::Node;
 use crate::policy::ResizePolicy;
+use crate::resize::ResizeOp;
 use crate::stats::{AtomicMapStats, MapStats};
 use crate::table::BucketArray;
 
@@ -43,13 +45,30 @@ pub struct RpHashMap<K, V, S = RandomState> {
     len: AtomicUsize,
     hasher: S,
     policy: ResizePolicy,
+    /// The in-progress incremental resize, if any. Guarded by `writer`:
+    /// every access goes through [`RpHashMap::resize_op_locked`], whose
+    /// contract is that the writer lock is held.
+    resize_op: UnsafeCell<Option<ResizeOp<K, V>>>,
+    /// Lock-free mirror of `resize_op.is_some()` for
+    /// [`RpHashMap::resize_in_progress`].
+    resize_active: AtomicBool,
+    /// Monotonic id generator for resize operations (grace-wait
+    /// bookkeeping).
+    resize_ids: AtomicU64,
+    /// Writer-side reclamation threshold, initialised from
+    /// `policy.reclaim_threshold` but adjustable at runtime (the maintained
+    /// path sets it to `usize::MAX` while a maintenance thread reclaims on
+    /// the writers' behalf, and restores it when maintenance stops).
+    reclaim_threshold: AtomicUsize,
     pub(crate) stats: AtomicMapStats,
 }
 
 // SAFETY: the map shares `&K`/`&V` with concurrent reader threads and drops
 // keys/values on whichever thread runs reclamation, so `K` and `V` must be
 // `Send + Sync`. The hasher is used from `&self` by any thread. The raw
-// pointers are managed by the publication/retire protocol implemented here.
+// pointers — including those inside `resize_op`, which is only touched under
+// the writer lock — are managed by the publication/retire protocol
+// implemented here.
 unsafe impl<K: Send + Sync, V: Send + Sync, S: Send> Send for RpHashMap<K, V, S> {}
 // SAFETY: see above.
 unsafe impl<K: Send + Sync, V: Send + Sync, S: Sync> Sync for RpHashMap<K, V, S> {}
@@ -90,6 +109,10 @@ impl<K, V, S> RpHashMap<K, V, S> {
             len: AtomicUsize::new(0),
             hasher,
             policy,
+            resize_op: UnsafeCell::new(None),
+            resize_active: AtomicBool::new(false),
+            resize_ids: AtomicU64::new(0),
+            reclaim_threshold: AtomicUsize::new(policy.reclaim_threshold),
             stats: AtomicMapStats::default(),
         }
     }
@@ -128,6 +151,17 @@ impl<K, V, S> RpHashMap<K, V, S> {
     /// The map's resize policy.
     pub fn policy(&self) -> &ResizePolicy {
         &self.policy
+    }
+
+    /// Overrides the writer-side deferred-reclamation threshold (initially
+    /// `policy.reclaim_threshold`).
+    ///
+    /// `usize::MAX` disables writer-side reclamation entirely — the
+    /// maintained path uses this while a background thread reclaims on the
+    /// writers' behalf, and restores the policy's value when maintenance
+    /// stops (otherwise retired nodes would accumulate without bound).
+    pub fn set_reclaim_threshold(&self, threshold: usize) {
+        self.reclaim_threshold.store(threshold, Ordering::Relaxed);
     }
 
     /// A snapshot of the map's operation and resize counters.
@@ -169,6 +203,97 @@ impl<K, V, S> RpHashMap<K, V, S> {
     pub(crate) fn writer_lock(&self) -> parking_lot::MutexGuard<'_, ()> {
         self.writer.lock()
     }
+
+    /// The in-progress resize operation slot.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold the writer lock, and must not call this again
+    /// while the returned borrow is live (all uses below are short and
+    /// non-overlapping).
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn resize_op_locked(&self) -> &mut Option<ResizeOp<K, V>> {
+        // SAFETY: the writer lock (caller contract) serialises every access
+        // to the cell.
+        unsafe { &mut *self.resize_op.get() }
+    }
+
+    pub(crate) fn resize_active(&self) -> bool {
+        self.resize_active.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn set_resize_active(&self, active: bool) {
+        self.resize_active.store(active, Ordering::Release);
+    }
+
+    pub(crate) fn next_resize_id(&self) -> u64 {
+        self.resize_ids.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// If an unzip is in progress, its pre-expansion bucket count.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold the writer lock.
+    unsafe fn unzip_old_buckets_locked(&self) -> Option<usize> {
+        // SAFETY: forwarded caller contract.
+        match unsafe { self.resize_op_locked() } {
+            Some(ResizeOp::Unzip(op)) => Some(op.old_buckets),
+            _ => None,
+        }
+    }
+
+    /// Repoints any link to `node` from the *other* bucket of its unzip pair
+    /// at `replacement`. A no-op unless an unzip is in progress.
+    ///
+    /// Mid-unzip, a node can be reachable from both buckets of its pair —
+    /// the chains are still interleaved — so unlinking it from its home
+    /// chain alone would leave the sibling chain pointing at memory that is
+    /// about to be retired. Writers call this after every unlink
+    /// (`replacement` is the unlinked node's successor) and after every
+    /// in-place replacement (`replacement` is the new node, whose successor
+    /// was copied from the old one).
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold the writer lock; `node` must have just been
+    /// unlinked from (or replaced in) its home chain in `table`.
+    unsafe fn fixup_unzip_links_locked(
+        &self,
+        table: &BucketArray<K, V>,
+        hash: u64,
+        node: *mut Node<K, V>,
+        replacement: *mut Node<K, V>,
+    ) {
+        // SAFETY (this fn body): writer lock held per the caller contract;
+        // all traversed nodes are reachable and therefore stable.
+        unsafe {
+            let Some(old_buckets) = self.unzip_old_buckets_locked() else {
+                return;
+            };
+            let pair = (hash as usize) & (old_buckets - 1);
+            let home = table.bucket_of(hash);
+            for bucket in [pair, pair + old_buckets] {
+                if bucket == home {
+                    continue;
+                }
+                let mut cur = table.head_acquire(bucket);
+                if cur == node {
+                    table.publish_head(bucket, replacement);
+                    continue;
+                }
+                while !cur.is_null() {
+                    let cur_ref = &*cur;
+                    let next = cur_ref.next_acquire();
+                    if next == node {
+                        cur_ref.next.store(replacement, Ordering::Release);
+                        break;
+                    }
+                    cur = next;
+                }
+            }
+        }
+    }
 }
 
 impl<K, V, S> RpHashMap<K, V, S>
@@ -191,6 +316,20 @@ where
     /// chain traversal and per-node key comparisons. Concurrent resizes may
     /// make the traversed chain *imprecise* (contain foreign elements), but
     /// never make it miss an element that is present throughout the lookup.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rp_hash::RpHashMap;
+    ///
+    /// let map: RpHashMap<&str, u32> = RpHashMap::new();
+    /// map.insert("answer", 42);
+    ///
+    /// // Lookups borrow a reference valid while the guard is alive.
+    /// let guard = map.pin();
+    /// assert_eq!(map.get(&"answer", &guard), Some(&42));
+    /// assert_eq!(map.get(&"question", &guard), None);
+    /// ```
     pub fn get<'g, Q>(&'g self, key: &Q, guard: &'g RcuGuard<'_>) -> Option<&'g V>
     where
         K: Borrow<Q>,
@@ -300,6 +439,18 @@ where
     ///
     /// Replacement is atomic from a reader's perspective: a concurrent
     /// lookup observes either the old or the new value, never neither.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rp_hash::RpHashMap;
+    ///
+    /// let map: RpHashMap<u64, &str> = RpHashMap::new();
+    /// assert!(map.insert(1, "one"));
+    /// assert!(!map.insert(1, "uno"), "second insert replaces");
+    /// assert_eq!(map.len(), 1);
+    /// assert_eq!(map.get_cloned(&1), Some("uno"));
+    /// ```
     pub fn insert(&self, key: K, value: V) -> bool {
         self.insert_prehashed(self.hash_of(&key), key, value)
     }
@@ -359,6 +510,9 @@ where
                     .next
                     .store(old_ref.next_acquire(), Ordering::Relaxed);
                 self.link_after(table, bucket, prev, new);
+                // SAFETY: writer lock held; `old` was just replaced in its
+                // home chain by `new`.
+                unsafe { self.fixup_unzip_links_locked(table, hash, old, new) };
                 self.stats.bump(&self.stats.replaces);
                 // SAFETY: `old` has just been unlinked (unreachable to new
                 // readers), was allocated by `Node::alloc`, and readers of
@@ -375,10 +529,16 @@ where
                 self.stats.bump(&self.stats.inserts);
                 // Automatic resizing waits for grace periods; skip it when
                 // the inserting thread holds a read guard (it would
-                // self-deadlock) and let a later insert trigger it.
-                if self.policy.should_expand(len, table.len()) && rp_rcu::global_read_nesting() == 0
+                // self-deadlock) or an incremental resize is already in
+                // flight, and let a later insert (or the maintainer) catch
+                // up.
+                if self.policy.should_expand(len, table.len())
+                    && rp_rcu::global_read_nesting() == 0
+                    // SAFETY: writer lock held.
+                    && unsafe { self.resize_op_locked() }.is_none()
                 {
-                    self.expand_locked();
+                    // SAFETY: writer lock held.
+                    unsafe { self.expand_locked() };
                 }
                 true
             }
@@ -399,6 +559,22 @@ where
     }
 
     /// Removes `key`. Returns `true` if it was present.
+    ///
+    /// The removed entry is retired through the RCU domain and freed only
+    /// after a grace period, so concurrent readers that still hold a
+    /// reference to it remain safe.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rp_hash::RpHashMap;
+    ///
+    /// let map: RpHashMap<u64, String> = RpHashMap::new();
+    /// map.insert(7, "seven".to_string());
+    /// assert!(map.remove(&7));
+    /// assert!(!map.remove(&7), "already gone");
+    /// assert!(map.is_empty());
+    /// ```
     pub fn remove<Q>(&self, key: &Q) -> bool
     where
         K: Borrow<Q>,
@@ -416,6 +592,54 @@ where
     {
         let guard = self.writer_lock();
         // SAFETY: writer lock held.
+        let removed = unsafe { self.remove_one_locked(hash, key) };
+        if removed {
+            self.maybe_reclaim();
+        }
+        drop(guard);
+        removed
+    }
+
+    /// Removes a batch of pre-hashed keys under a single writer-lock
+    /// acquisition, the removal counterpart of
+    /// [`RpHashMap::insert_many_prehashed`] (used by `rp-shard`'s
+    /// `multi_remove` so a batch pays one lock round-trip per shard).
+    ///
+    /// Returns the number of keys that were present and removed. Automatic
+    /// shrinking and reclamation behave exactly as for per-key
+    /// [`RpHashMap::remove`] calls.
+    pub fn remove_many_prehashed<'a, Q>(
+        &self,
+        keys: impl IntoIterator<Item = (u64, &'a Q)>,
+    ) -> usize
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized + 'a,
+    {
+        let guard = self.writer_lock();
+        let mut removed = 0;
+        for (hash, key) in keys {
+            // SAFETY: writer lock held for the whole batch.
+            if unsafe { self.remove_one_locked(hash, key) } {
+                removed += 1;
+            }
+        }
+        self.maybe_reclaim();
+        drop(guard);
+        removed
+    }
+
+    /// One remove step.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold the writer lock.
+    unsafe fn remove_one_locked<Q>(&self, hash: u64, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        // SAFETY: writer lock held per the caller contract.
         let table = unsafe { self.table_locked() };
         let bucket = table.bucket_of(hash);
 
@@ -432,17 +656,22 @@ where
                     }
                     None => table.publish_head(bucket, next),
                 }
+                // SAFETY: writer lock held; `node` was just unlinked from
+                // its home chain.
+                unsafe { self.fixup_unzip_links_locked(table, hash, node, next) };
                 let len = self.len.fetch_sub(1, Ordering::Relaxed) - 1;
                 self.stats.bump(&self.stats.removes);
                 // SAFETY: unlinked above, allocated by `Node::alloc`,
                 // readers pin the global domain.
                 unsafe { RcuDomain::global().defer_free(node) };
-                self.maybe_reclaim();
-                if self.policy.should_shrink(len, table.len()) && rp_rcu::global_read_nesting() == 0
+                if self.policy.should_shrink(len, table.len())
+                    && rp_rcu::global_read_nesting() == 0
+                    // SAFETY: writer lock held.
+                    && unsafe { self.resize_op_locked() }.is_none()
                 {
-                    self.shrink_locked();
+                    // SAFETY: writer lock held.
+                    unsafe { self.shrink_locked() };
                 }
-                drop(guard);
                 true
             }
             None => false,
@@ -519,6 +748,8 @@ where
                     .store(dup_next, Ordering::Release),
                 None => new_ref.next.store(dup_next, Ordering::Release),
             }
+            // SAFETY: writer lock held; `dup` was just unlinked.
+            unsafe { self.fixup_unzip_links_locked(table, new_hash, dup, dup_next) };
             // SAFETY: unlinked, allocated by `Node::alloc`, global domain.
             unsafe { RcuDomain::global().defer_free(dup) };
             self.len.fetch_sub(1, Ordering::Relaxed);
@@ -535,6 +766,8 @@ where
                 Some(p) => unsafe { p.as_ref() }.next.store(next, Ordering::Release),
                 None => table.publish_head(old_bucket, next),
             }
+            // SAFETY: writer lock held; `node` was just unlinked.
+            unsafe { self.fixup_unzip_links_locked(table, old_hash, node, next) };
             // SAFETY: unlinked, allocated by `Node::alloc`, global domain.
             unsafe { RcuDomain::global().defer_free(node) };
         }
@@ -545,6 +778,10 @@ where
     }
 
     /// Removes every entry for which `f` returns `false`.
+    ///
+    /// Each entry is visited exactly once, even while an incremental resize
+    /// is in progress (entries temporarily reachable from a bucket they do
+    /// not belong to are visited from their home bucket only).
     pub fn retain<F>(&self, mut f: F)
     where
         F: FnMut(&K, &V) -> bool,
@@ -559,7 +796,11 @@ where
                 // SAFETY: live node under the writer lock.
                 let cur_ref = unsafe { &*cur };
                 let next = cur_ref.next_acquire();
-                if f(&cur_ref.key, &cur_ref.value) {
+                // Mid-unzip a chain can hold foreign nodes; those are
+                // judged from their home bucket (they remain valid
+                // predecessors in this chain either way).
+                let foreign = table.bucket_of(cur_ref.hash) != bucket;
+                if foreign || f(&cur_ref.key, &cur_ref.value) {
                     prev = NonNull::new(cur);
                 } else {
                     match prev {
@@ -569,6 +810,9 @@ where
                         }
                         None => table.publish_head(bucket, next),
                     }
+                    // SAFETY: writer lock held; `cur` was just unlinked from
+                    // its home chain.
+                    unsafe { self.fixup_unzip_links_locked(table, cur_ref.hash, cur, next) };
                     self.len.fetch_sub(1, Ordering::Relaxed);
                     self.stats.bump(&self.stats.removes);
                     // SAFETY: unlinked, allocated by `Node::alloc`.
@@ -679,20 +923,25 @@ where
         // the calling thread itself holds a read guard; postpone it in that
         // case (a later update from a quiescent thread will catch up).
         if rp_rcu::global_read_nesting() == 0 {
-            RcuDomain::global().reclaim_if_pending(self.policy.reclaim_threshold);
+            RcuDomain::global().reclaim_if_pending(self.reclaim_threshold.load(Ordering::Relaxed));
         }
     }
 }
 
 impl<K, V, S> Drop for RpHashMap<K, V, S> {
     fn drop(&mut self) {
-        // Exclusive access: no readers or writers exist. Chains are precise
-        // (no resize is in progress), so every node is reachable from
-        // exactly one bucket and can be freed directly.
+        // Exclusive access: no readers or writers exist. An incremental
+        // resize may still be mid-flight, though; complete its chain surgery
+        // first (no grace periods are needed without readers) so that every
+        // node is reachable from exactly one bucket and can be freed
+        // directly.
         let table_ptr = *self.table.get_mut();
         // SAFETY: the table pointer is always a live `BucketArray` allocated
         // by `BucketArray::new`; we own it exclusively here.
         let table = unsafe { Box::from_raw(table_ptr) };
+        if let Some(mut op) = self.resize_op.get_mut().take() {
+            Self::complete_resize_for_drop(&table, &mut op, &self.stats);
+        }
         for bucket in table.buckets.iter() {
             let mut cur = bucket.load(Ordering::Relaxed);
             while !cur.is_null() {

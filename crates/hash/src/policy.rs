@@ -61,15 +61,29 @@ impl ResizePolicy {
 
     /// Returns `true` if a map with `len` entries and `buckets` buckets
     /// should grow.
-    pub(crate) fn should_expand(&self, len: usize, buckets: usize) -> bool {
+    ///
+    /// Exposed so that out-of-band resize drivers (the `rp-maint`
+    /// maintenance thread, via `rp-shard`) can apply the same load-factor
+    /// thresholds a map would apply inline.
+    ///
+    /// Only returns `true` when a doubling is actually possible
+    /// (`2 * buckets <= max_buckets`) — the same condition the expand
+    /// itself checks — so a `true` trigger can never pair with a resize
+    /// that refuses to start (which would retry forever on the maintained
+    /// path).
+    pub fn should_expand(&self, len: usize, buckets: usize) -> bool {
         self.auto_expand
-            && buckets < self.max_buckets
+            && buckets
+                .checked_mul(2)
+                .is_some_and(|doubled| doubled <= self.max_buckets)
             && (len as f64) > (buckets as f64) * self.max_load_factor
     }
 
     /// Returns `true` if a map with `len` entries and `buckets` buckets
     /// should shrink.
-    pub(crate) fn should_shrink(&self, len: usize, buckets: usize) -> bool {
+    ///
+    /// See [`ResizePolicy::should_expand`] for why this is public.
+    pub fn should_shrink(&self, len: usize, buckets: usize) -> bool {
         self.auto_shrink
             && buckets > self.min_buckets.max(1)
             && (len as f64) < (buckets as f64) * self.min_load_factor
@@ -104,6 +118,20 @@ mod tests {
         assert!(!p.should_expand(16, 8)); // exactly 2: not strictly above
         assert!(p.should_shrink(1, 8)); // load factor 0.125 < 0.25
         assert!(!p.should_shrink(2, 8)); // exactly 0.25: not strictly below
+    }
+
+    #[test]
+    fn should_expand_requires_a_possible_doubling() {
+        // A trigger that fires when the expand itself would refuse to start
+        // (2 * buckets > max_buckets) would retry forever on the maintained
+        // path; the trigger must use the expand's own feasibility check.
+        let p = ResizePolicy {
+            auto_expand: true,
+            max_buckets: 24, // not a power of two: 16 < 24 but 32 > 24
+            ..ResizePolicy::automatic()
+        };
+        assert!(p.should_expand(1_000, 8));
+        assert!(!p.should_expand(1_000, 16));
     }
 
     #[test]

@@ -1,9 +1,52 @@
-//! The paper's resize algorithms: zip (shrink) and unzip (expand).
+//! The paper's resize algorithms: zip (shrink) and unzip (expand), split
+//! into an **incremental state machine**.
 //!
 //! Both algorithms preserve the reader-visible invariant at every instant:
 //! *every bucket reachable from the published table contains every element
 //! that hashes to it* (it may temporarily contain extra elements — an
 //! "imprecise" bucket — which lookups filter out by key comparison).
+//!
+//! # The state machine
+//!
+//! Historically a resize ran to completion inside the triggering writer,
+//! which therefore paid every grace-period wait inline. The resize is now a
+//! first-class *operation object* ([`UnzipOp`] / [`ZipOp`], stored inside
+//! the map) that any thread can push forward one bounded [`ResizeStep`] at a
+//! time:
+//!
+//! ```text
+//! expand:  begin(+publish new table) → grace → [splice round → grace]* → finish
+//! shrink:  begin(+publish new table) → grace → finish
+//! ```
+//!
+//! * **begin** allocates and links the new bucket array and publishes it in
+//!   one writer-lock critical section (linking and publishing cannot be
+//!   separated: the links are computed against the chains as they are at
+//!   that instant).
+//! * **grace** steps wait for readers with the writer lock *released*, so
+//!   concurrent writers keep updating the map while the maintenance thread
+//!   absorbs the wait.
+//! * **splice rounds** perform at most one cross-link splice per in-progress
+//!   bucket pair under the writer lock (bounded work, no waiting), then
+//!   require a grace period before the next round.
+//! * **finish** tears down the operation bookkeeping.
+//!
+//! The inline entry points ([`RpHashMap::expand`], [`RpHashMap::shrink`],
+//! [`RpHashMap::resize_to`] and the load-factor triggers) drive the same
+//! machine to completion synchronously, so their semantics — and their
+//! grace-period accounting — are unchanged.
+//!
+//! # Writer mutations between steps
+//!
+//! Because the writer lock is released between steps, insertions and
+//! removals interleave with an in-progress unzip. Mid-unzip a node can be
+//! reachable from *both* buckets of its pair (the chains have not been
+//! split apart yet), so unlinking it from its home chain alone would leave
+//! the sibling chain pointing at retired memory. Writers therefore call
+//! [`RpHashMap::fixup_unzip_links_locked`] after every unlink, and the
+//! splice rounds re-derive splice points from the published bucket heads
+//! each round (no stored cursors that a removal could invalidate) with a
+//! reachability check that refuses any splice that would orphan a run.
 
 use std::hash::{BuildHasher, Hash};
 
@@ -13,28 +56,143 @@ use crate::map::RpHashMap;
 use crate::node::Node;
 use crate::table::BucketArray;
 
+/// Sentinel for a fully-unzipped bucket pair in [`UnzipOp::turn`].
+const PAIR_DONE: usize = usize::MAX;
+
+/// The outcome of one [`RpHashMap::advance_resize`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResizeStep {
+    /// No resize is in progress; nothing was done.
+    Idle,
+    /// Waited for one grace period (with the writer lock released).
+    Grace,
+    /// Performed one splice round: at most one cross-link splice per
+    /// in-progress bucket pair, under the writer lock, without waiting.
+    Splice,
+    /// The resize completed and its bookkeeping was torn down.
+    Finished,
+}
+
+/// An in-progress incremental resize (guarded by the map's writer lock).
+pub(crate) enum ResizeOp<K, V> {
+    Unzip(UnzipOp<K, V>),
+    Zip(ZipOp<K, V>),
+}
+
+impl<K, V> ResizeOp<K, V> {
+    /// If the op is waiting on a grace period, its `(op id, round)` key.
+    fn grace_key(&self) -> Option<(u64, u64)> {
+        match self {
+            ResizeOp::Unzip(u) if u.grace_pending => Some((u.id, u.round)),
+            ResizeOp::Zip(z) if z.grace_pending => Some((z.id, 0)),
+            _ => None,
+        }
+    }
+
+    fn id(&self) -> u64 {
+        match self {
+            ResizeOp::Unzip(u) => u.id,
+            ResizeOp::Zip(z) => z.id,
+        }
+    }
+
+    /// Marks the pending grace period as elapsed and releases the superseded
+    /// bucket array (no reader can hold it any more).
+    fn grace_done(&mut self) {
+        match self {
+            ResizeOp::Unzip(u) => {
+                u.grace_pending = false;
+                drop(u.old_table.take());
+            }
+            ResizeOp::Zip(z) => {
+                z.grace_pending = false;
+                drop(z.old_table.take());
+            }
+        }
+    }
+}
+
+/// An in-progress expansion (unzip).
+pub(crate) struct UnzipOp<K, V> {
+    /// Unique id (per map) used by grace-wait bookkeeping.
+    id: u64,
+    /// Bucket count before the expansion; pair `o` is new buckets `o` and
+    /// `o + old_buckets`.
+    pub(crate) old_buckets: usize,
+    /// `new_buckets - 1`.
+    new_mask: usize,
+    /// The superseded bucket array, freed once the publish grace period has
+    /// elapsed (its chain nodes live on, shared with the new table).
+    old_table: Option<Box<BucketArray<K, V>>>,
+    /// Per old bucket: the new-bucket index whose chain receives the next
+    /// splice, or [`PAIR_DONE`].
+    turn: Vec<usize>,
+    /// Number of pairs not yet fully unzipped.
+    remaining: usize,
+    /// A grace period must elapse before the next structural step.
+    grace_pending: bool,
+    /// Bumped each time `grace_pending` is set, so concurrent advancers can
+    /// tell exactly which wait they resolved.
+    round: u64,
+}
+
+/// An in-progress shrink (zip): after `begin` the only outstanding work is
+/// one grace period and then freeing the superseded array.
+pub(crate) struct ZipOp<K, V> {
+    id: u64,
+    old_table: Option<Box<BucketArray<K, V>>>,
+    grace_pending: bool,
+}
+
+/// Where a splice cuts the chain: at the bucket head slot or after a node.
+enum CutPoint<K, V> {
+    Head(usize),
+    After(*mut Node<K, V>),
+}
+
+/// A candidate splice: cut `cut` so the chain skips the foreign run
+/// `[foreign_head ..= run tail]` and continues at `after_foreign`.
+struct CrossLink<K, V> {
+    cut: CutPoint<K, V>,
+    foreign_head: *mut Node<K, V>,
+    foreign_bucket: usize,
+    after_foreign: *mut Node<K, V>,
+}
+
 impl<K, V, S> RpHashMap<K, V, S>
 where
     K: Hash + Eq + Send + Sync + 'static,
     V: Send + Sync + 'static,
     S: BuildHasher,
 {
-    /// Doubles the number of buckets (one unzip expansion step).
+    /// Doubles the number of buckets (one unzip expansion step), driving the
+    /// resize to completion before returning.
     ///
     /// Lookups proceed at full speed throughout; the call itself waits for
     /// one grace period to publish the new table plus one per unzip round.
+    /// Any background resize already in progress is completed first.
     pub fn expand(&self) {
         let _w = self.writer_lock();
-        self.expand_locked();
+        // SAFETY: writer lock held for the whole call.
+        unsafe {
+            self.finish_resize_locked();
+            self.expand_locked();
+        }
     }
 
-    /// Halves the number of buckets (one zip shrink step).
+    /// Halves the number of buckets (one zip shrink step), driving the
+    /// resize to completion before returning.
     ///
     /// Lookups proceed at full speed throughout; the call waits for a single
-    /// grace period regardless of table size.
+    /// grace period regardless of table size. Any background resize already
+    /// in progress is completed first.
     pub fn shrink(&self) {
         let _w = self.writer_lock();
-        self.shrink_locked();
+        // SAFETY: writer lock held for the whole call.
+        unsafe {
+            self.finish_resize_locked();
+            self.shrink_locked();
+        }
     }
 
     /// Resizes the table to `target_buckets` (rounded up to a power of two
@@ -42,223 +200,385 @@ where
     pub fn resize_to(&self, target_buckets: usize) {
         let target = self.policy().clamp_buckets(target_buckets.max(1));
         let _w = self.writer_lock();
-        loop {
-            // SAFETY: writer lock held for the whole loop.
-            let current = unsafe { self.table_locked() }.len();
-            if current < target {
-                self.expand_locked();
-            } else if current > target {
-                self.shrink_locked();
-            } else {
-                break;
+        // SAFETY: writer lock held for the whole loop.
+        unsafe {
+            self.finish_resize_locked();
+            loop {
+                let current = self.table_locked().len();
+                if current < target {
+                    self.expand_locked();
+                } else if current > target {
+                    self.shrink_locked();
+                } else {
+                    break;
+                }
             }
         }
     }
 
-    /// Expansion step; the writer lock must be held.
-    pub(crate) fn expand_locked(&self) {
-        let domain = RcuDomain::global();
-        // SAFETY: writer lock held by the caller.
-        let old_table = unsafe { self.table_locked() };
-        let old_buckets = old_table.len();
-        let new_buckets = match old_buckets.checked_mul(2) {
-            Some(n) if n <= self.policy().max_buckets => n,
-            _ => return,
+    /// Returns `true` if an incremental resize (begun with
+    /// [`RpHashMap::begin_expand`] or [`RpHashMap::begin_shrink`]) has not
+    /// yet reached its [`ResizeStep::Finished`] step.
+    ///
+    /// This is a lock-free snapshot; it can be stale by the time the caller
+    /// acts on it.
+    pub fn resize_in_progress(&self) -> bool {
+        self.resize_active()
+    }
+
+    /// Starts an incremental expansion: allocates the doubled bucket array,
+    /// links every new bucket into the corresponding old chain, and
+    /// publishes it — all in one bounded writer-lock critical section, with
+    /// **no grace-period wait**.
+    ///
+    /// Returns `false` (and does nothing) if a resize is already in progress
+    /// or the policy's `max_buckets` bound is reached. On success the caller
+    /// (or any other thread) must repeatedly call
+    /// [`RpHashMap::advance_resize`] until it reports
+    /// [`ResizeStep::Finished`].
+    pub fn begin_expand(&self) -> bool {
+        let _w = self.writer_lock();
+        // SAFETY: writer lock held.
+        unsafe { self.begin_expand_locked() }
+    }
+
+    /// Starts an incremental shrink: links the collapsing chains together
+    /// and publishes the halved bucket array in one bounded writer-lock
+    /// critical section, with **no grace-period wait**.
+    ///
+    /// Returns `false` (and does nothing) if a resize is already in progress
+    /// or the policy's `min_buckets` bound is reached. Drive it with
+    /// [`RpHashMap::advance_resize`] like an expansion.
+    pub fn begin_shrink(&self) -> bool {
+        let _w = self.writer_lock();
+        // SAFETY: writer lock held.
+        unsafe { self.begin_shrink_locked() }
+    }
+
+    /// Advances the in-progress resize by one bounded step and reports what
+    /// was done.
+    ///
+    /// *Grace steps* release the writer lock for the duration of the wait,
+    /// so concurrent writers keep making progress — this is what lets a
+    /// maintenance thread absorb every `synchronize` on behalf of the
+    /// writers. *Splice* and *finish* steps take the writer lock for a
+    /// bounded amount of restructuring work.
+    ///
+    /// Safe to call from any thread, including concurrently with writers
+    /// and with other advancers; the only requirement is the usual one for
+    /// grace periods — the calling thread must not hold an [`rp_rcu`] read
+    /// guard.
+    pub fn advance_resize(&self) -> ResizeStep {
+        let guard = self.writer_lock();
+        // SAFETY: writer lock held.
+        let pending = match unsafe { self.resize_op_locked() } {
+            None => return ResizeStep::Idle,
+            Some(op) => op.grace_key(),
         };
-
-        // Phase 1: allocate the new table and point every new bucket at the
-        // first node of the corresponding old chain that belongs to it. Old
-        // bucket `b` splits into new buckets `b` and `b + old_buckets`; its
-        // chain contains both new buckets' elements, interleaved.
-        let new_table: Box<BucketArray<K, V>> = BucketArray::new(new_buckets);
-        let new_mask = new_buckets - 1;
-        for new_index in 0..new_buckets {
-            let old_index = new_index & old_table.mask;
-            let mut candidate = old_table.head_acquire(old_index);
-            while !candidate.is_null() {
-                // SAFETY: nodes reachable from the table cannot be freed
-                // while the writer lock is held (all retiring happens under
-                // it, and freeing additionally waits for a grace period).
-                let node = unsafe { &*candidate };
-                if (node.hash as usize) & new_mask == new_index {
-                    break;
-                }
-                candidate = node.next_acquire();
+        match pending {
+            Some((id, round)) => {
+                // Wait for readers with the writer lock released: this is
+                // the step a background maintainer spends nearly all its
+                // time in, and writers must not be blocked behind it.
+                drop(guard);
+                RcuDomain::global().synchronize();
+                let _w = self.writer_lock();
+                // SAFETY: writer lock held.
+                unsafe { self.resolve_grace_locked(id, round) };
+                ResizeStep::Grace
             }
-            new_table.publish_head(new_index, candidate);
+            // SAFETY: writer lock still held (guard is alive).
+            None => unsafe { self.resize_work_step_locked() },
         }
+    }
 
-        // Phase 2: publish the new table and wait for readers. After the
-        // grace period every reader starts from the new (imprecise) buckets;
-        // nobody starts from the old bucket array anymore.
-        let old_ptr = self.publish_table(new_table);
-        domain.synchronize();
-        self.stats.bump(&self.stats.resize_grace_periods);
+    /// Expansion entry point for writer-side triggers; the writer lock must
+    /// be held and no resize may be in progress. Drives the resize to
+    /// completion inline (grace periods are waited for under the lock,
+    /// matching the historical inline behavior).
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold the writer lock.
+    pub(crate) unsafe fn expand_locked(&self) {
+        // SAFETY: writer lock held per the caller contract.
+        unsafe {
+            if self.begin_expand_locked() {
+                self.finish_resize_locked();
+            }
+        }
+    }
 
-        // SAFETY: `old_ptr` was the previously published table; after the
-        // grace period above no reader references the *array* (readers may
-        // still be traversing the shared nodes, which stay live). We keep it
-        // as a local cursor table during the unzip and free it at the end.
-        let old_table = unsafe { Box::from_raw(old_ptr) };
-        // SAFETY: writer lock held; this is the table we just published.
-        let new_table = unsafe { self.table_locked() };
+    /// Shrink counterpart of [`RpHashMap::expand_locked`].
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold the writer lock.
+    pub(crate) unsafe fn shrink_locked(&self) {
+        // SAFETY: writer lock held per the caller contract.
+        unsafe {
+            if self.begin_shrink_locked() {
+                self.finish_resize_locked();
+            }
+        }
+    }
 
-        // Phase 3: unzip. Each old chain is a zipper of runs destined
-        // alternately for the two sibling buckets. Per round, splice out the
-        // single cross-link at the end of the current run in every chain,
-        // then wait for readers before touching the same chain again —
-        // splicing twice in one grace period could hide elements from a
-        // reader already inside the chain.
-        let mut cursors: Vec<*mut Node<K, V>> = (0..old_buckets)
-            .map(|i| old_table.head_acquire(i))
-            .collect();
-
+    /// Drives any in-progress resize to completion, waiting for grace
+    /// periods while holding the writer lock.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold the writer lock (and, as for any grace-period
+    /// wait, must not be inside a read-side critical section).
+    pub(crate) unsafe fn finish_resize_locked(&self) {
         loop {
-            let mut spliced_any = false;
-            for cursor in cursors.iter_mut() {
-                let mut p = *cursor;
-                if p.is_null() {
+            // SAFETY: writer lock held per the caller contract.
+            let pending = match unsafe { self.resize_op_locked() } {
+                None => return,
+                Some(op) => op.grace_key(),
+            };
+            if let Some((id, round)) = pending {
+                RcuDomain::global().synchronize();
+                // SAFETY: writer lock held.
+                unsafe { self.resolve_grace_locked(id, round) };
+                continue;
+            }
+            // SAFETY: writer lock held.
+            if unsafe { self.resize_work_step_locked() } == ResizeStep::Finished {
+                return;
+            }
+        }
+    }
+
+    /// `begin` for expansion. Requires the writer lock; returns `false` if a
+    /// resize is in progress or the table cannot grow.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold the writer lock.
+    unsafe fn begin_expand_locked(&self) -> bool {
+        // SAFETY (this fn body): writer lock held per the caller contract,
+        // so the op slot, the published table and all reachable nodes are
+        // stable (nodes are only retired under this lock and freed a grace
+        // period later).
+        unsafe {
+            if self.resize_op_locked().is_some() {
+                return false;
+            }
+            let old_table = self.table_locked();
+            let old_buckets = old_table.len();
+            let new_buckets = match old_buckets.checked_mul(2) {
+                Some(n) if n <= self.policy().max_buckets => n,
+                _ => return false,
+            };
+
+            // Phase 1: allocate the new table and point every new bucket at
+            // the first node of the corresponding old chain that belongs to
+            // it. Old bucket `o` splits into new buckets `o` and
+            // `o + old_buckets`; its chain contains both new buckets'
+            // elements, interleaved.
+            let new_table: Box<BucketArray<K, V>> = BucketArray::new(new_buckets);
+            let new_mask = new_buckets - 1;
+            for new_index in 0..new_buckets {
+                let old_index = new_index & old_table.mask;
+                let mut candidate = old_table.head_acquire(old_index);
+                while !candidate.is_null() {
+                    let node = &*candidate;
+                    if (node.hash as usize) & new_mask == new_index {
+                        break;
+                    }
+                    candidate = node.next_acquire();
+                }
+                new_table.publish_head(new_index, candidate);
+            }
+
+            // A pair whose chain feeds both new buckets is interleaved and
+            // needs unzipping; the first splice belongs to the chain of the
+            // old head's bucket (the zipper's first run).
+            let mut turn = vec![PAIR_DONE; old_buckets];
+            let mut remaining = 0;
+            for (old_index, slot) in turn.iter_mut().enumerate() {
+                let head = old_table.head_acquire(old_index);
+                if head.is_null()
+                    || new_table.head_acquire(old_index).is_null()
+                    || new_table.head_acquire(old_index + old_buckets).is_null()
+                {
                     continue;
                 }
-                // SAFETY (for this block's dereferences): all nodes reached
-                // here are still reachable from the published table (via the
-                // new buckets) and can only be retired under the writer
-                // lock, which we hold.
-                let p_bucket = unsafe { &*p }.hash as usize & new_mask;
+                *slot = ((*head).hash as usize) & new_mask;
+                remaining += 1;
+            }
 
-                // Advance to the last node of the current run.
+            // Phase 2: publish the new table. After one grace period every
+            // reader starts from the new (imprecise) buckets and the old
+            // array can be freed; that wait is the op's first pending step.
+            let old_ptr = self.publish_table(new_table);
+            let op = UnzipOp {
+                id: self.next_resize_id(),
+                old_buckets,
+                new_mask,
+                // SAFETY: `old_ptr` was the previously published table,
+                // allocated by `BucketArray::new`; it is owned by the op and
+                // freed only after the publish grace period.
+                old_table: Some(Box::from_raw(old_ptr)),
+                turn,
+                remaining,
+                grace_pending: true,
+                round: 0,
+            };
+            *self.resize_op_locked() = Some(ResizeOp::Unzip(op));
+            self.set_resize_active(true);
+            true
+        }
+    }
+
+    /// `begin` for shrinking. Requires the writer lock; returns `false` if a
+    /// resize is in progress or the table cannot shrink.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold the writer lock.
+    unsafe fn begin_shrink_locked(&self) -> bool {
+        // SAFETY (this fn body): writer lock held per the caller contract;
+        // see `begin_expand_locked`.
+        unsafe {
+            if self.resize_op_locked().is_some() {
+                return false;
+            }
+            let old_table = self.table_locked();
+            let old_buckets = old_table.len();
+            if old_buckets <= self.policy().min_buckets.max(1) || old_buckets == 1 {
+                return false;
+            }
+            let new_buckets = old_buckets / 2;
+
+            // Phase 1: initialise the new buckets. New bucket `b` collects
+            // old buckets `b` and `b + new_buckets`; point it at whichever
+            // old chain comes first (preferring old bucket `b`).
+            let new_table: Box<BucketArray<K, V>> = BucketArray::new(new_buckets);
+            for new_index in 0..new_buckets {
+                let low = old_table.head_acquire(new_index);
+                let high = old_table.head_acquire(new_index + new_buckets);
+                let head = if low.is_null() { high } else { low };
+                new_table.publish_head(new_index, head);
+            }
+
+            // Phase 2: link the old chains. Appending the "high" chain to
+            // the tail of the "low" chain makes the low old bucket imprecise
+            // (its readers see extra elements — harmless) while readers of
+            // the high old bucket are untouched.
+            for new_index in 0..new_buckets {
+                let low = old_table.head_acquire(new_index);
+                let high = old_table.head_acquire(new_index + new_buckets);
+                if low.is_null() || high.is_null() {
+                    continue;
+                }
+                let mut tail = low;
                 loop {
-                    let next = unsafe { &*p }.next_acquire();
+                    let next = (*tail).next_acquire();
                     if next.is_null() {
                         break;
                     }
-                    if (unsafe { &*next }.hash as usize & new_mask) != p_bucket {
-                        break;
-                    }
-                    p = next;
+                    tail = next;
                 }
-                let run_end = p;
-                let foreign_head = unsafe { &*run_end }.next_acquire();
-                if foreign_head.is_null() {
-                    // No cross-link remains after the cursor: this chain is
-                    // fully unzipped.
-                    *cursor = std::ptr::null_mut();
-                    continue;
-                }
-
-                // Find the end of the foreign run.
-                let foreign_bucket = unsafe { &*foreign_head }.hash as usize & new_mask;
-                let mut q = foreign_head;
-                loop {
-                    let next = unsafe { &*q }.next_acquire();
-                    if next.is_null()
-                        || (unsafe { &*next }.hash as usize & new_mask) != foreign_bucket
-                    {
-                        break;
-                    }
-                    q = next;
-                }
-                let after_foreign = unsafe { &*q }.next_acquire();
-
-                // Splice: the current run now skips the foreign run. Readers
-                // of `p_bucket` that already entered the foreign run still
-                // see a consistent chain (it leads to `after_foreign`, which
-                // belongs to `p_bucket` or is the end); new traversals skip
-                // it entirely.
-                unsafe { &*run_end }
+                (*tail)
                     .next
-                    .store(after_foreign, std::sync::atomic::Ordering::Release);
-                self.stats.bump(&self.stats.unzip_splices);
-                spliced_any = true;
-
-                // The next splice for this chain happens at the end of the
-                // foreign run, but only after a grace period.
-                *cursor = foreign_head;
+                    .store(high, std::sync::atomic::Ordering::Release);
             }
 
-            if !spliced_any {
-                break;
-            }
-            self.stats.bump(&self.stats.unzip_rounds);
-            domain.synchronize();
-            self.stats.bump(&self.stats.resize_grace_periods);
+            // Phase 3: publish the new table; the grace period that lets the
+            // old array be freed is the op's one pending step.
+            let old_ptr = self.publish_table(new_table);
+            let op = ZipOp {
+                id: self.next_resize_id(),
+                // SAFETY: as in `begin_expand_locked`.
+                old_table: Some(Box::from_raw(old_ptr)),
+                grace_pending: true,
+            };
+            *self.resize_op_locked() = Some(ResizeOp::Zip(op));
+            self.set_resize_active(true);
+            true
         }
-
-        // Phase 4: the old bucket array is no longer referenced by anyone.
-        drop(old_table);
-        let _ = new_table;
-        self.stats.bump(&self.stats.expands);
     }
 
-    /// Shrink step; the writer lock must be held.
-    pub(crate) fn shrink_locked(&self) {
-        let domain = RcuDomain::global();
-        // SAFETY: writer lock held by the caller.
-        let old_table = unsafe { self.table_locked() };
-        let old_buckets = old_table.len();
-        if old_buckets <= self.policy().min_buckets.max(1) || old_buckets == 1 {
-            return;
-        }
-        let new_buckets = old_buckets / 2;
-
-        // Phase 1: initialise the new buckets. New bucket `b` collects old
-        // buckets `b` and `b + new_buckets`; point it at whichever old chain
-        // comes first (preferring old bucket `b`).
-        let new_table: Box<BucketArray<K, V>> = BucketArray::new(new_buckets);
-        for new_index in 0..new_buckets {
-            let low = old_table.head_acquire(new_index);
-            let high = old_table.head_acquire(new_index + new_buckets);
-            let head = if low.is_null() { high } else { low };
-            new_table.publish_head(new_index, head);
-        }
-
-        // Phase 2: link the old chains. Appending the "high" chain to the
-        // tail of the "low" chain makes the low old bucket imprecise (its
-        // readers see extra elements — harmless) while readers of the high
-        // old bucket are untouched.
-        for new_index in 0..new_buckets {
-            let low = old_table.head_acquire(new_index);
-            let high = old_table.head_acquire(new_index + new_buckets);
-            if low.is_null() || high.is_null() {
-                continue;
+    /// Marks the grace period identified by `(id, round)` as elapsed, if the
+    /// op still matches (a concurrent advancer may have resolved it, or the
+    /// op may have finished and been replaced).
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold the writer lock.
+    unsafe fn resolve_grace_locked(&self, id: u64, round: u64) {
+        // SAFETY: writer lock held per the caller contract.
+        if let Some(op) = unsafe { self.resize_op_locked() } {
+            if op.id() == id && op.grace_key() == Some((id, round)) {
+                op.grace_done();
+                self.stats.bump(&self.stats.resize_grace_periods);
             }
-            // Find the tail of the low chain.
-            let mut tail = low;
-            loop {
-                // SAFETY: nodes reachable from the table are protected from
-                // reclamation by the writer lock (see `expand_locked`).
-                let next = unsafe { &*tail }.next_acquire();
-                if next.is_null() {
-                    break;
+        }
+    }
+
+    /// Performs one non-grace step: a splice round, or finish. Must only be
+    /// called when no grace period is pending.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold the writer lock.
+    unsafe fn resize_work_step_locked(&self) -> ResizeStep {
+        // SAFETY (this fn body): writer lock held per the caller contract.
+        unsafe {
+            let Some(op) = self.resize_op_locked() else {
+                return ResizeStep::Idle;
+            };
+            debug_assert!(op.grace_key().is_none(), "grace period still pending");
+            match op {
+                ResizeOp::Zip(_) => {
+                    // The publish grace period has elapsed and the old array
+                    // has been freed; nothing else to do.
+                    *self.resize_op_locked() = None;
+                    self.set_resize_active(false);
+                    self.stats.bump(&self.stats.shrinks);
+                    ResizeStep::Finished
                 }
-                tail = next;
+                ResizeOp::Unzip(u) => {
+                    if u.remaining > 0 {
+                        let table = self.table_locked();
+                        let splices = Self::splice_round(table, u, &self.stats);
+                        if splices > 0 {
+                            self.stats.bump(&self.stats.unzip_rounds);
+                            u.grace_pending = true;
+                            u.round += 1;
+                            return ResizeStep::Splice;
+                        }
+                    }
+                    debug_assert_eq!(u.remaining, 0, "no splice found for unfinished pair");
+                    *self.resize_op_locked() = None;
+                    self.set_resize_active(false);
+                    self.stats.bump(&self.stats.expands);
+                    ResizeStep::Finished
+                }
             }
-            // SAFETY: as above.
-            unsafe { &*tail }
-                .next
-                .store(high, std::sync::atomic::Ordering::Release);
         }
-
-        // Phase 3: publish the new table, wait for readers, and reclaim the
-        // old bucket array. A single grace period suffices regardless of
-        // table size.
-        let old_ptr = self.publish_table(new_table);
-        domain.synchronize();
-        self.stats.bump(&self.stats.resize_grace_periods);
-        // SAFETY: `old_ptr` was the previously published bucket array; after
-        // the grace period no reader can reference it (the nodes it pointed
-        // to remain reachable through the new table and stay live).
-        drop(unsafe { Box::from_raw(old_ptr) });
-        self.stats.bump(&self.stats.shrinks);
     }
 
     /// Verifies the reader-visible invariant: every entry is reachable from
     /// the bucket its hash maps to in the current table.
     ///
-    /// Intended for tests and debugging; takes the writer lock so it sees a
-    /// quiescent table.
+    /// Intended for tests and debugging; takes the writer lock — and drives
+    /// any in-progress incremental resize to completion — so it sees a
+    /// quiescent, precise table.
+    ///
+    /// # Panics
+    ///
+    /// Because completing an in-progress resize waits for grace periods,
+    /// calling this while the current thread holds an [`rp_rcu`] read guard
+    /// *and* a resize is in flight panics (via
+    /// [`rp_rcu::RcuDomain::synchronize`]'s self-deadlock check); drop the
+    /// guard first.
     pub fn check_invariants(&self) -> Result<(), String> {
         let _w = self.writer_lock();
+        // SAFETY: writer lock held.
+        unsafe { self.finish_resize_locked() };
         // SAFETY: writer lock held.
         let table = unsafe { self.table_locked() };
         let mut reachable = 0_usize;
@@ -295,8 +615,188 @@ where
     }
 }
 
+/// Pointer-level chain surgery. These are deliberately free of the map's
+/// `Hash`/`BuildHasher` bounds (they operate on cached hashes only) so that
+/// `Drop` — implemented for every `RpHashMap` — can complete an in-progress
+/// unzip before freeing nodes.
+impl<K, V, S> RpHashMap<K, V, S> {
+    /// One splice round: at most one cross-link splice per in-progress
+    /// bucket pair. Returns the number of splices performed and updates the
+    /// op's per-pair turn/remaining bookkeeping.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold the writer lock (so all reachable nodes are
+    /// stable), and a grace period must have elapsed since the previous
+    /// round's splices (so no reader still traverses pre-splice links).
+    pub(crate) unsafe fn splice_round(
+        table: &BucketArray<K, V>,
+        op: &mut UnzipOp<K, V>,
+        stats: &crate::stats::AtomicMapStats,
+    ) -> usize {
+        let mut splices = 0;
+        for o in 0..op.old_buckets {
+            if op.turn[o] == PAIR_DONE {
+                continue;
+            }
+            let first = op.turn[o];
+            let second = o + op.old_buckets + o - first; // the pair's other bucket
+            let mut found_any = false;
+            let mut spliced = false;
+            for c in [first, second] {
+                // SAFETY: forwarded caller contract (writer lock held).
+                let Some(cross) = (unsafe { Self::find_cross_link(table, c, op.new_mask) }) else {
+                    continue;
+                };
+                found_any = true;
+                // SAFETY: as above.
+                if !unsafe { Self::splice_is_safe(table, &cross) } {
+                    // Cutting here would orphan the foreign run (its home
+                    // chain reaches it only through the link we would cut);
+                    // the other chain's cross-link is the zipper-earlier one.
+                    continue;
+                }
+                match cross.cut {
+                    CutPoint::Head(bucket) => table.publish_head(bucket, cross.after_foreign),
+                    CutPoint::After(run_end) => {
+                        // SAFETY: `run_end` is reachable under the writer
+                        // lock (found by `find_cross_link` above).
+                        unsafe { &*run_end }
+                            .next
+                            .store(cross.after_foreign, std::sync::atomic::Ordering::Release);
+                    }
+                }
+                stats.bump(&stats.unzip_splices);
+                // The next splice for this pair belongs to the chain the
+                // foreign run we just removed is headed for.
+                op.turn[o] = cross.foreign_bucket;
+                splices += 1;
+                spliced = true;
+                break;
+            }
+            if !found_any {
+                op.turn[o] = PAIR_DONE;
+                op.remaining -= 1;
+            } else {
+                // At least one of the two chains always has a safely
+                // spliceable cross-link (see `splice_is_safe`); a round that
+                // finds cross-links but cannot cut any would stall the
+                // resize.
+                debug_assert!(spliced, "cross-links present but no safe splice");
+            }
+        }
+        splices
+    }
+
+    /// Finds the first cross-link in the chain of new bucket `c`: the
+    /// earliest maximal run of nodes that do not belong to `c`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold the writer lock.
+    unsafe fn find_cross_link(
+        table: &BucketArray<K, V>,
+        c: usize,
+        new_mask: usize,
+    ) -> Option<CrossLink<K, V>> {
+        // SAFETY (this fn body): nodes reachable from the published table
+        // cannot be freed while the writer lock is held (retiring happens
+        // under it, and freeing additionally waits for a grace period).
+        unsafe {
+            let mut cut = CutPoint::Head(c);
+            let mut cur = table.head_acquire(c);
+            // Skip the leading run of nodes that belong to `c` (the head can
+            // itself be foreign if a removal promoted a foreign node).
+            while !cur.is_null() && ((*cur).hash as usize) & new_mask == c {
+                cut = CutPoint::After(cur);
+                cur = (*cur).next_acquire();
+            }
+            if cur.is_null() {
+                return None;
+            }
+            let foreign_head = cur;
+            let foreign_bucket = ((*cur).hash as usize) & new_mask;
+            let mut tail = cur;
+            loop {
+                let next = (*tail).next_acquire();
+                if next.is_null() || ((*next).hash as usize) & new_mask != foreign_bucket {
+                    break;
+                }
+                tail = next;
+            }
+            Some(CrossLink {
+                cut,
+                foreign_head,
+                foreign_bucket,
+                after_foreign: (*tail).next_acquire(),
+            })
+        }
+    }
+
+    /// Returns `true` if cutting `cross` cannot orphan its foreign run: the
+    /// run's home chain must reach it without passing through the link being
+    /// cut.
+    ///
+    /// Head cuts are always safe (a chain traversal never passes through
+    /// another bucket's head *slot*). For a node cut, walk the foreign
+    /// bucket's chain: reaching `foreign_head` first proves an independent
+    /// path; reaching the cut node first means the only path goes through
+    /// the link we want to remove.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold the writer lock.
+    unsafe fn splice_is_safe(table: &BucketArray<K, V>, cross: &CrossLink<K, V>) -> bool {
+        let run_end = match cross.cut {
+            CutPoint::Head(_) => return true,
+            CutPoint::After(node) => node,
+        };
+        let mut cur = table.head_acquire(cross.foreign_bucket);
+        while !cur.is_null() {
+            if cur == cross.foreign_head {
+                return true;
+            }
+            if cur == run_end {
+                return false;
+            }
+            // SAFETY: reachable node under the writer lock (caller
+            // contract).
+            cur = unsafe { &*cur }.next_acquire();
+        }
+        debug_assert!(false, "foreign run unreachable from its home chain");
+        false
+    }
+
+    /// Completes the chain surgery of an in-progress unzip without waiting
+    /// for any grace period. Only sound when no readers can exist — used by
+    /// `Drop`, which has `&mut self`.
+    pub(crate) fn complete_resize_for_drop(
+        table: &BucketArray<K, V>,
+        op: &mut ResizeOp<K, V>,
+        stats: &crate::stats::AtomicMapStats,
+    ) {
+        let ResizeOp::Unzip(u) = op else {
+            return; // a zip leaves single-path chains; nothing to do
+        };
+        drop(u.old_table.take());
+        // Each round splices at least one cross-link per unfinished pair and
+        // splices strictly reduce the (finite) cross-link count, so this
+        // terminates; a round that makes no progress would mean corrupted
+        // chains, and freeing from them would be worse than leaking.
+        while u.remaining > 0 {
+            // SAFETY: exclusive access (no readers, no writers) is strictly
+            // stronger than the writer-lock + grace-period contract.
+            if unsafe { Self::splice_round(table, u, stats) } == 0 && u.remaining > 0 {
+                debug_assert!(false, "unzip stalled during drop");
+                break;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::ResizeStep;
     use crate::{FnvBuildHasher, ResizePolicy, RpHashMap};
 
     type Map = RpHashMap<u64, u64, FnvBuildHasher>;
@@ -458,5 +958,252 @@ mod tests {
     fn check_invariants_detects_length_mismatch() {
         let map = filled(4, 10);
         assert!(map.check_invariants().is_ok());
+    }
+
+    // ---- incremental state-machine tests ----
+
+    #[test]
+    fn incremental_expand_steps_through_the_machine() {
+        let map = filled(4, 128);
+        assert!(!map.resize_in_progress());
+        assert!(map.begin_expand());
+        assert!(map.resize_in_progress());
+        // The new table is published immediately; lookups work throughout.
+        assert_eq!(map.num_buckets(), 8);
+        assert!(!map.begin_expand(), "only one resize at a time");
+        assert!(!map.begin_shrink(), "only one resize at a time");
+
+        let mut steps = Vec::new();
+        loop {
+            let step = map.advance_resize();
+            if step == ResizeStep::Finished {
+                break;
+            }
+            assert_all_present(&map, 128);
+            steps.push(step);
+            assert!(steps.len() < 1000, "resize failed to converge: {steps:?}");
+        }
+        assert!(!map.resize_in_progress());
+        assert_eq!(map.advance_resize(), ResizeStep::Idle);
+        assert_eq!(steps[0], ResizeStep::Grace, "publish grace comes first");
+        assert!(steps.contains(&ResizeStep::Splice));
+        assert_all_present(&map, 128);
+        map.check_invariants().unwrap();
+        assert_eq!(map.stats().expands, 1);
+    }
+
+    #[test]
+    fn incremental_shrink_steps_through_the_machine() {
+        let map = filled(16, 64);
+        assert!(map.begin_shrink());
+        assert_eq!(map.num_buckets(), 8);
+        assert_eq!(map.advance_resize(), ResizeStep::Grace);
+        assert_eq!(map.advance_resize(), ResizeStep::Finished);
+        assert_eq!(map.advance_resize(), ResizeStep::Idle);
+        assert_all_present(&map, 64);
+        map.check_invariants().unwrap();
+        assert_eq!(map.stats().shrinks, 1);
+        assert_eq!(map.stats().resize_grace_periods, 1);
+    }
+
+    #[test]
+    fn begin_respects_policy_bounds() {
+        let map: Map = RpHashMap::with_buckets_hasher_and_policy(
+            8,
+            FnvBuildHasher,
+            ResizePolicy {
+                min_buckets: 8,
+                max_buckets: 8,
+                ..ResizePolicy::default()
+            },
+        );
+        assert!(!map.begin_expand());
+        assert!(!map.begin_shrink());
+        assert!(!map.resize_in_progress());
+    }
+
+    #[test]
+    fn writers_mutate_between_resize_steps() {
+        // The heart of the maintained path: inserts and removes interleave
+        // with every step of an in-progress unzip, including removes of
+        // nodes that are still reachable from both buckets of their pair.
+        let map = filled(2, 200);
+        assert!(map.begin_expand());
+        let mut inserted = 200_u64;
+        let mut removed = 0_u64;
+        loop {
+            // Remove a few existing keys and add a few new ones per step.
+            for _ in 0..3 {
+                if removed < inserted {
+                    assert!(map.remove(&removed), "key {removed} missing");
+                    removed += 1;
+                }
+            }
+            for _ in 0..2 {
+                assert!(map.insert(inserted, inserted * 2));
+                inserted += 1;
+            }
+            if map.advance_resize() == ResizeStep::Finished {
+                break;
+            }
+        }
+        assert_eq!(map.len() as u64, inserted - removed);
+        let guard = map.pin();
+        for i in removed..inserted {
+            assert_eq!(map.get(&i, &guard), Some(&(i * 2)), "missing key {i}");
+        }
+        drop(guard);
+        map.check_invariants().unwrap();
+        map.flush_retired();
+    }
+
+    #[test]
+    fn removals_mid_unzip_fix_both_sibling_chains() {
+        // Stress the dual-path fixup: drain *every* key while an unzip is
+        // paused between steps, then finish the resize.
+        for keys in [16_u64, 33, 64] {
+            let map = filled(1, keys);
+            assert!(map.begin_expand());
+            assert_eq!(map.advance_resize(), ResizeStep::Grace);
+            // Mid-unzip: every node still sits in one shared chain.
+            for i in 0..keys {
+                assert!(map.remove(&i), "key {i} missing mid-unzip");
+            }
+            assert!(map.is_empty());
+            while map.resize_in_progress() {
+                map.advance_resize();
+            }
+            map.check_invariants().unwrap();
+            map.flush_retired();
+        }
+    }
+
+    #[test]
+    fn replacements_mid_unzip_keep_both_chains_consistent() {
+        let map = filled(1, 40);
+        assert!(map.begin_expand());
+        assert_eq!(map.advance_resize(), ResizeStep::Grace);
+        for i in 0..40 {
+            assert!(!map.insert(i, i * 10), "key {i} should be replaced");
+        }
+        while map.resize_in_progress() {
+            map.advance_resize();
+        }
+        let guard = map.pin();
+        for i in 0..40 {
+            assert_eq!(map.get(&i, &guard), Some(&(i * 10)));
+        }
+        drop(guard);
+        map.check_invariants().unwrap();
+        map.flush_retired();
+    }
+
+    #[test]
+    fn retain_mid_unzip_visits_each_entry_once() {
+        let map = filled(2, 100);
+        assert!(map.begin_expand());
+        assert_eq!(map.advance_resize(), ResizeStep::Grace);
+        let mut calls = 0_u64;
+        map.retain(|_, _| {
+            calls += 1;
+            false
+        });
+        assert_eq!(calls, 100, "retain must visit shared nodes exactly once");
+        assert!(map.is_empty());
+        while map.resize_in_progress() {
+            map.advance_resize();
+        }
+        map.check_invariants().unwrap();
+        map.flush_retired();
+    }
+
+    #[test]
+    fn drop_mid_unzip_frees_every_node_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        struct CountsDrop(Arc<AtomicUsize>);
+        impl Drop for CountsDrop {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let map: RpHashMap<u64, CountsDrop, FnvBuildHasher> =
+                RpHashMap::with_buckets_and_hasher(2, FnvBuildHasher);
+            for i in 0..50 {
+                map.insert(i, CountsDrop(Arc::clone(&drops)));
+            }
+            assert!(map.begin_expand());
+            assert_eq!(map.advance_resize(), ResizeStep::Grace);
+            // Drop with the unzip mid-flight: shared chains must be split
+            // before the node walk frees them.
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn manual_resize_completes_inflight_incremental_op() {
+        let map = filled(4, 64);
+        assert!(map.begin_expand());
+        // `resize_to` must first finish the in-flight expansion (4 -> 8),
+        // then carry on to the requested size.
+        map.resize_to(32);
+        assert!(!map.resize_in_progress());
+        assert_eq!(map.num_buckets(), 32);
+        assert_all_present(&map, 64);
+        map.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn concurrent_advancers_and_writers_converge() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let map = Arc::new(filled(2, 256));
+        assert!(map.begin_expand());
+        let stop = Arc::new(AtomicBool::new(false));
+
+        // A reader thread keeps grace periods meaningful.
+        let reader = {
+            let map = Arc::clone(&map);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let guard = map.pin();
+                    let mut n = 0;
+                    for _ in map.iter(&guard) {
+                        n += 1;
+                    }
+                    assert!(n >= 1);
+                }
+            })
+        };
+        // Two advancers race to drive the same resize.
+        let advancers: Vec<_> = (0..2)
+            .map(|_| {
+                let map = Arc::clone(&map);
+                std::thread::spawn(move || {
+                    while map.resize_in_progress() {
+                        map.advance_resize();
+                    }
+                })
+            })
+            .collect();
+        // A writer mutates throughout.
+        for i in 256..512_u64 {
+            map.insert(i, i * 2);
+            map.remove(&(i - 256));
+        }
+        for a in advancers {
+            a.join().unwrap();
+        }
+        stop.store(true, Ordering::SeqCst);
+        reader.join().unwrap();
+        assert_eq!(map.len(), 256);
+        map.check_invariants().unwrap();
+        assert_eq!(map.stats().expands, 1);
     }
 }

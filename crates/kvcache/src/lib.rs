@@ -22,7 +22,9 @@
 //! * [`ShardedRpEngine`] — the **sharded relativistic** engine: the index
 //!   is an [`rp_shard::ShardedRpMap`], so SETs and index resizes only
 //!   contend within one shard and multi-key GETs use the batched,
-//!   shard-grouped read path.
+//!   shard-grouped read path. Index resizes run on a background `rp-maint`
+//!   maintenance thread by default, so SETs never wait for grace periods;
+//!   `RP_KV_MAINT=off` reverts to inline resizing.
 //! * [`server`] / [`client`] — a threaded TCP server and a small blocking
 //!   client speaking the protocol, used by the end-to-end tests, the
 //!   `kv_server` example and (optionally) the memcached figure harness.

@@ -8,6 +8,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use rp_hash::ResizePolicy;
+use rp_maint::{MaintConfig, MaintStats};
 use rp_shard::{ShardPolicy, ShardedRpMap};
 
 use crate::engine::{CacheEngine, CacheStats, StoreOutcome};
@@ -22,6 +23,14 @@ use crate::rp_engine::StoredItem;
 /// ([`CacheEngine::get_many`]) groups keys by shard and pins one guard per
 /// shard. SETs, deletes and index resizes serialise only within the target
 /// key's shard, so write throughput scales with the shard count.
+///
+/// **Background resizes are on by default**: index resizes are driven by an
+/// `rp-maint` maintenance thread, so a SET that pushes a shard past its
+/// load-factor threshold only *requests* the resize and never waits for a
+/// grace period. Set the environment variable `RP_KV_MAINT=off` (or `0` /
+/// `false`) before constructing the engine to fall back to inline resizing
+/// in the triggering SET, e.g. for A/B latency comparisons — that is
+/// exactly what the `fig_maint` benchmark measures.
 pub struct ShardedRpEngine {
     index: ShardedRpMap<String, Arc<StoredItem>>,
     config: EngineConfig,
@@ -35,6 +44,22 @@ impl Default for ShardedRpEngine {
     }
 }
 
+/// Reads the `RP_KV_MAINT` escape hatch: `off`, `0`, `false` and `no`
+/// (case-insensitive) disable background resize maintenance.
+fn maint_enabled_by_env() -> bool {
+    maint_flag(std::env::var("RP_KV_MAINT").ok().as_deref())
+}
+
+fn maint_flag(value: Option<&str>) -> bool {
+    match value {
+        Some(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "off" | "0" | "false" | "no"
+        ),
+        None => true,
+    }
+}
+
 impl ShardedRpEngine {
     /// Creates an engine with 16 shards and a large default capacity.
     pub fn new() -> Self {
@@ -42,22 +67,40 @@ impl ShardedRpEngine {
     }
 
     /// Creates an engine with `shards` index shards holding at most
-    /// `capacity` items.
+    /// `capacity` items. Background resize maintenance is on unless
+    /// `RP_KV_MAINT=off` is set in the environment.
     pub fn with_shards_and_capacity(shards: usize, capacity: usize) -> Self {
+        Self::with_shards_capacity_and_maintenance(shards, capacity, maint_enabled_by_env())
+    }
+
+    /// [`ShardedRpEngine::with_shards_and_capacity`] with the maintenance
+    /// choice made explicitly (ignoring the environment); used by tests and
+    /// the `fig_maint` benchmark for deterministic A/B comparisons.
+    pub fn with_shards_capacity_and_maintenance(
+        shards: usize,
+        capacity: usize,
+        maintained: bool,
+    ) -> Self {
         let per_shard_buckets = (capacity / shards.max(1)).clamp(16, 1024);
+        let policy = ShardPolicy {
+            shards,
+            initial_buckets_per_shard: per_shard_buckets,
+            per_shard: ResizePolicy {
+                auto_expand: true,
+                auto_shrink: true,
+                max_load_factor: 2.0,
+                min_load_factor: 0.125,
+                min_buckets: 16,
+                ..ResizePolicy::default()
+            },
+        };
+        let index = if maintained {
+            ShardedRpMap::with_maintenance(policy, MaintConfig::default())
+        } else {
+            ShardedRpMap::with_policy(policy)
+        };
         ShardedRpEngine {
-            index: ShardedRpMap::with_policy(ShardPolicy {
-                shards,
-                initial_buckets_per_shard: per_shard_buckets,
-                per_shard: ResizePolicy {
-                    auto_expand: true,
-                    auto_shrink: true,
-                    max_load_factor: 2.0,
-                    min_load_factor: 0.125,
-                    min_buckets: 16,
-                    ..ResizePolicy::default()
-                },
-            }),
+            index,
             config: EngineConfig {
                 capacity: capacity.max(1),
                 ..EngineConfig::default()
@@ -70,6 +113,18 @@ impl ShardedRpEngine {
     /// Number of index shards.
     pub fn shard_count(&self) -> usize {
         self.index.shard_count()
+    }
+
+    /// Returns `true` if index resizes run on a background maintenance
+    /// thread (the default; see the type docs for the `RP_KV_MAINT` escape
+    /// hatch).
+    pub fn maintained(&self) -> bool {
+        self.index.maintained()
+    }
+
+    /// Counters of the index's maintenance thread, when maintained.
+    pub fn maint_stats(&self) -> Option<MaintStats> {
+        self.index.maint_stats()
     }
 
     /// Total buckets across all index shards (exposed so benchmarks can
@@ -287,7 +342,8 @@ mod tests {
 
     #[test]
     fn index_shards_resize_independently_under_load() {
-        let engine = ShardedRpEngine::with_shards_and_capacity(4, 100_000);
+        // Inline-resize flavor: growth is synchronous with the SETs.
+        let engine = ShardedRpEngine::with_shards_capacity_and_maintenance(4, 100_000, false);
         let before = engine.index_buckets();
         for i in 0..16_384 {
             engine.set(&format!("key-{i}"), Item::new(0, "v"));
@@ -301,6 +357,57 @@ mod tests {
         assert_eq!(engine.len(), 16_384);
         let lens = engine.shard_lens();
         assert!(lens.iter().all(|&l| l > 0), "unbalanced shards: {lens:?}");
+    }
+
+    #[test]
+    fn maintained_sets_never_wait_and_index_grows_in_background() {
+        let engine = ShardedRpEngine::with_shards_capacity_and_maintenance(4, 100_000, true);
+        assert!(engine.maintained());
+        let before_buckets = engine.index_buckets();
+        let before_waits = rp_rcu::thread_synchronize_count();
+        for i in 0..16_384 {
+            engine.set(&format!("key-{i}"), Item::new(0, "v"));
+        }
+        assert_eq!(
+            rp_rcu::thread_synchronize_count(),
+            before_waits,
+            "maintained SETs must never wait for readers"
+        );
+        // The maintenance thread grows the index asynchronously. Poll for a
+        // *completed* resize (buckets grow at begin, before any grace wait
+        // has been recorded, so polling on bucket count alone would race).
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while engine
+            .maint_stats()
+            .expect("maintained engine has stats")
+            .resizes_finished
+            == 0
+        {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "index never grew in the background: {:?}",
+                engine.maint_stats()
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(engine.index_buckets() > before_buckets);
+        let maint = engine.maint_stats().expect("maintained engine has stats");
+        assert!(maint.grace_waits >= 1);
+        assert_eq!(engine.len(), 16_384);
+        assert_eq!(
+            engine.get("key-7").map(|i| i.data.to_vec()),
+            Some(b"v".to_vec())
+        );
+    }
+
+    #[test]
+    fn rp_kv_maint_env_values_parse() {
+        assert!(super::maint_flag(None), "maintenance defaults to on");
+        assert!(super::maint_flag(Some("on")));
+        assert!(super::maint_flag(Some("1")));
+        for off in ["off", "OFF", "0", "false", "no", " Off "] {
+            assert!(!super::maint_flag(Some(off)), "{off:?} must disable");
+        }
     }
 
     #[test]

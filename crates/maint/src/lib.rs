@@ -1,0 +1,124 @@
+//! Background resize maintenance: take grace-period waits off the writer
+//! path.
+//!
+//! The paper's zip/unzip resizes proceed concurrently with lock-free
+//! readers, but a resize still *waits* — one grace period to publish the new
+//! bucket array plus one per unzip round — and historically the writer whose
+//! insert crossed the load-factor threshold paid those waits inline. On a
+//! write-heavy workload that is exactly the latency spike resizable tables
+//! are blamed for (Maier & Sanders, "Concurrent Hash Tables: Fast and
+//! General?(!)", make the same observation: decoupling migration work from
+//! the writer fast path is what keeps resizable tables competitive).
+//!
+//! `rp-maint` provides the decoupling as a small, reusable subsystem:
+//!
+//! * A [`MaintTarget`] is anything owning a set of *units* (shards) whose
+//!   maintenance can be advanced one bounded step at a time —
+//!   `rp_shard::ShardedRpMap`'s shard set implements it on top of
+//!   `rp_hash::RpHashMap`'s incremental resize state machine.
+//! * A [`MaintThread`] owns a work queue of unit indices plus a condvar.
+//!   Writers that hit a resize trigger *request* maintenance (a queue push
+//!   and a wakeup — no waiting) and continue; the thread pops units and
+//!   calls [`MaintTarget::step`] repeatedly, absorbing every
+//!   `synchronize_rcu` on the writers' behalf.
+//! * **Fairness:** a unit only receives [`MaintConfig::fairness_slice`]
+//!   steps before being re-queued behind other waiting units, so one
+//!   storming shard cannot starve the rest.
+//! * **Shutdown handshake:** dropping the [`MaintHandle`] (or calling
+//!   [`MaintHandle::shutdown`]) stops accepting requests, then *drains*: the
+//!   thread steps every unit in [`StepMode::Drain`] until idle, so no resize
+//!   is ever left half-published.
+//! * **Reclamation heartbeat:** between work items (and periodically while
+//!   idle) the thread runs a deferred-reclamation pass on the global RCU
+//!   domain, so maintained maps can disable writer-side reclamation
+//!   entirely — the other place writers used to wait for readers.
+//!
+//! The observable guarantee, asserted by `rp-shard`'s maintenance tests via
+//! [`rp_rcu::thread_synchronize_count`]: **on the maintained path, writer
+//! threads never call `synchronize`** — not for resizes and not for
+//! reclamation.
+//!
+//! # Example
+//!
+//! A toy target whose single unit needs three steps of "maintenance":
+//!
+//! ```
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//! use std::sync::Arc;
+//! use rp_maint::{MaintConfig, MaintStep, MaintTarget, MaintThread, StepMode};
+//!
+//! struct Toy(AtomicUsize);
+//! impl MaintTarget for Toy {
+//!     fn units(&self) -> usize {
+//!         1
+//!     }
+//!     fn step(&self, _unit: usize, _mode: StepMode) -> MaintStep {
+//!         match self.0.load(Ordering::SeqCst) {
+//!             0 => MaintStep::Idle,
+//!             n => {
+//!                 self.0.store(n - 1, Ordering::SeqCst);
+//!                 if n == 1 { MaintStep::Finished } else { MaintStep::Splice }
+//!             }
+//!         }
+//!     }
+//! }
+//!
+//! let toy = Arc::new(Toy(AtomicUsize::new(3)));
+//! let handle = MaintThread::spawn(Arc::clone(&toy) as Arc<dyn MaintTarget>, MaintConfig::default());
+//! handle.request(0);
+//! handle.shutdown(); // drains before returning
+//! assert_eq!(toy.0.load(Ordering::SeqCst), 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod stats;
+mod thread;
+
+pub use stats::MaintStats;
+pub use thread::{MaintConfig, MaintHandle, MaintThread};
+
+/// What one [`MaintTarget::step`] call did. Mirrors the steps of
+/// `rp_hash`'s incremental resize state machine, plus [`MaintStep::Began`]
+/// for the step that starts a requested resize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintStep {
+    /// Nothing to do for this unit; the driver moves on.
+    Idle,
+    /// A requested resize was started (new table published, no waiting).
+    Began,
+    /// One grace period was waited for on behalf of the unit's writers.
+    Grace,
+    /// One bounded batch of restructuring work (e.g. an unzip splice round).
+    Splice,
+    /// A resize completed.
+    Finished,
+}
+
+/// Whether a step may start new work or should only finish what is already
+/// in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepMode {
+    /// Normal operation: start requested resizes and advance them.
+    Normal,
+    /// Shutdown drain: complete in-progress resizes so nothing is left
+    /// half-published, but do not begin new ones.
+    Drain,
+}
+
+/// A set of maintenance units (shards) that a [`MaintThread`] can drive.
+///
+/// Implementations must make `step` safe to call from the maintenance
+/// thread concurrently with the target's own writers and readers; each call
+/// should perform one *bounded* unit of work (begin, one splice round, one
+/// grace wait, or finish) and report what it did. The maintenance thread
+/// never holds a read-side critical section, so `step` may wait for grace
+/// periods.
+pub trait MaintTarget: Send + Sync + 'static {
+    /// Number of units (used by the shutdown drain to visit everything).
+    fn units(&self) -> usize;
+
+    /// Advances maintenance on `unit` by one bounded step.
+    fn step(&self, unit: usize, mode: StepMode) -> MaintStep;
+}

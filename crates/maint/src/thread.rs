@@ -1,0 +1,446 @@
+//! The maintenance thread: work queue, condvar wakeups, fairness and the
+//! shutdown drain handshake.
+
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+use rp_rcu::RcuDomain;
+
+use crate::stats::AtomicMaintStats;
+use crate::{MaintStats, MaintStep, MaintTarget, StepMode};
+
+/// Tuning knobs for a [`MaintThread`].
+#[derive(Debug, Clone)]
+pub struct MaintConfig {
+    /// Maximum steps applied to one unit before it is re-queued behind the
+    /// other waiting units (per-shard fairness under multi-shard storms).
+    pub fairness_slice: usize,
+    /// Run a deferred-reclamation pass on the global RCU domain whenever at
+    /// least this many retired objects are pending (the maintained
+    /// counterpart of `rp_hash::ResizePolicy::reclaim_threshold`).
+    pub reclaim_threshold: usize,
+    /// How long the thread sleeps waiting for requests before running an
+    /// idle reclamation heartbeat.
+    pub idle_wakeup: Duration,
+}
+
+impl Default for MaintConfig {
+    fn default() -> Self {
+        MaintConfig {
+            fairness_slice: 8,
+            reclaim_threshold: 256,
+            idle_wakeup: Duration::from_millis(50),
+        }
+    }
+}
+
+/// State shared between requesters, the maintenance thread and the handle.
+struct MaintShared {
+    queue: Mutex<QueueState>,
+    wakeup: Condvar,
+    stats: AtomicMaintStats,
+}
+
+struct QueueState {
+    items: VecDeque<usize>,
+    shutdown: bool,
+}
+
+/// Spawns and owns maintenance threads. This is a namespace type; see
+/// [`MaintThread::spawn`].
+pub struct MaintThread;
+
+impl MaintThread {
+    /// Spawns a maintenance thread driving `target` and returns its handle.
+    ///
+    /// The thread sleeps until a unit is requested via
+    /// [`MaintHandle::request`], runs periodic reclamation heartbeats while
+    /// idle, and exits — after draining all in-progress resizes — when the
+    /// handle shuts down.
+    pub fn spawn(target: Arc<dyn MaintTarget>, config: MaintConfig) -> MaintHandle {
+        let shared = Arc::new(MaintShared {
+            queue: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                shutdown: false,
+            }),
+            wakeup: Condvar::new(),
+            stats: AtomicMaintStats::default(),
+        });
+        let thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("rp-maint".into())
+                .spawn(move || run(target, shared, config))
+                .expect("failed to spawn maintenance thread")
+        };
+        MaintHandle {
+            shared,
+            thread: Some(thread),
+        }
+    }
+}
+
+/// Owner handle for a running maintenance thread.
+///
+/// Dropping the handle shuts the thread down: no further requests are
+/// accepted, every in-progress resize is drained to completion, and the
+/// thread is joined. Use [`MaintHandle::shutdown`] for an explicit,
+/// nameable version of the same handshake.
+pub struct MaintHandle {
+    shared: Arc<MaintShared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MaintHandle {
+    /// Enqueues maintenance for `unit` and wakes the thread. Never blocks
+    /// and never waits for readers — this is the entire cost a writer pays
+    /// for triggering a resize on the maintained path.
+    ///
+    /// Requests made after shutdown began are ignored.
+    pub fn request(&self, unit: usize) {
+        let depth = {
+            let mut q = self.shared.queue.lock();
+            if q.shutdown {
+                return;
+            }
+            q.items.push_back(unit);
+            q.items.len() as u64
+        };
+        self.shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        // `depth` is the resize debt this writer observed: how many units
+        // were waiting for the maintainer at the moment of its request.
+        self.shared.stats.observe_debt(depth);
+        self.shared.wakeup.notify_one();
+    }
+
+    /// A snapshot of the thread's counters.
+    pub fn stats(&self) -> MaintStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Number of units currently waiting on the work queue.
+    pub fn pending(&self) -> usize {
+        self.shared.queue.lock().items.len()
+    }
+
+    /// Shuts the thread down: stops accepting requests, waits for it to
+    /// drain every in-progress resize, and joins it.
+    ///
+    /// Idempotent; also runs on drop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called (or dropped) from inside a read-side critical
+    /// section of the global RCU domain: the drain waits for grace periods,
+    /// which can never complete while the calling thread holds a guard, so
+    /// the join would deadlock silently otherwise.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        {
+            let mut q = self.shared.queue.lock();
+            q.shutdown = true;
+        }
+        self.shared.wakeup.notify_all();
+        let Some(thread) = self.thread.take() else {
+            return;
+        };
+        if rp_rcu::global_read_nesting() > 0 {
+            // The drain synchronizes; joining here would wait forever for
+            // our own guard to drop. Detach the thread (it exits once the
+            // guard is gone) and make the bug loud — unless we are already
+            // unwinding, where a second panic would abort.
+            if std::thread::panicking() {
+                return;
+            }
+            panic!(
+                "MaintHandle shut down while inside a read-side critical section; \
+                 drop the RcuGuard first (the drain would otherwise deadlock)"
+            );
+        }
+        let _ = thread.join();
+    }
+}
+
+impl Drop for MaintHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl std::fmt::Debug for MaintHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MaintHandle")
+            .field("pending", &self.pending())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// What the queue handed the worker loop.
+enum Next {
+    Unit(usize),
+    Heartbeat,
+    Shutdown,
+}
+
+fn run(target: Arc<dyn MaintTarget>, shared: Arc<MaintShared>, config: MaintConfig) {
+    loop {
+        let next = {
+            let mut q = shared.queue.lock();
+            if let Some(unit) = q.items.pop_front() {
+                Next::Unit(unit)
+            } else if q.shutdown {
+                Next::Shutdown
+            } else {
+                shared.wakeup.wait_for(&mut q, config.idle_wakeup);
+                if let Some(unit) = q.items.pop_front() {
+                    Next::Unit(unit)
+                } else if q.shutdown {
+                    Next::Shutdown
+                } else {
+                    Next::Heartbeat
+                }
+            }
+        };
+        match next {
+            Next::Shutdown => break,
+            Next::Heartbeat => {
+                // Idle: absorb deferred reclamation so maintained maps never
+                // have to run it from a writer.
+                if RcuDomain::global().reclaim_if_pending(config.reclaim_threshold) {
+                    shared.stats.reclaim_passes.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Next::Unit(unit) => {
+                let mut steps = 0_usize;
+                loop {
+                    let step = target.step(unit, StepMode::Normal);
+                    record(&shared.stats, step);
+                    if step == MaintStep::Idle {
+                        break;
+                    }
+                    steps += 1;
+                    if steps >= config.fairness_slice.max(1) {
+                        // Fairness: give other units a turn; this one goes
+                        // to the back of the queue.
+                        let requeue = {
+                            let mut q = shared.queue.lock();
+                            if q.shutdown {
+                                false // the drain below will finish it
+                            } else {
+                                q.items.push_back(unit);
+                                true
+                            }
+                        };
+                        if requeue {
+                            shared.stats.requeues.fetch_add(1, Ordering::Relaxed);
+                        }
+                        break;
+                    }
+                }
+                if RcuDomain::global().reclaim_if_pending(config.reclaim_threshold) {
+                    shared.stats.reclaim_passes.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    // Shutdown drain: every unit is stepped in Drain mode until idle, so no
+    // resize is left half-published. Requested-but-unstarted resizes are
+    // dropped (Drain mode never begins new work); in-progress ones complete.
+    for unit in 0..target.units() {
+        loop {
+            let step = target.step(unit, StepMode::Drain);
+            if step == MaintStep::Idle {
+                break;
+            }
+            record(&shared.stats, step);
+        }
+    }
+    // Leave no deferred destructors behind either.
+    if RcuDomain::global().reclaim_if_pending(1) {
+        shared.stats.reclaim_passes.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn record(stats: &AtomicMaintStats, step: MaintStep) {
+    if step != MaintStep::Idle {
+        stats.steps.fetch_add(1, Ordering::Relaxed);
+    }
+    let counter = match step {
+        MaintStep::Idle => return,
+        MaintStep::Began => &stats.began,
+        MaintStep::Grace => &stats.grace_waits,
+        MaintStep::Splice => &stats.splice_rounds,
+        MaintStep::Finished => &stats.resizes_finished,
+    };
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A target where each unit is a countdown: `step` decrements it, the
+    /// step before zero reports `Finished`, and zero reports `Idle`. In
+    /// `Drain` mode, countdowns at their initial value (never started) stay
+    /// untouched.
+    struct Countdown {
+        units: Vec<AtomicUsize>,
+        initial: usize,
+        drain_steps: AtomicUsize,
+        normal_step_delay_ms: u64,
+    }
+
+    impl Countdown {
+        fn new(units: usize, initial: usize) -> Self {
+            Self::with_delay(units, initial, 0)
+        }
+
+        fn with_delay(units: usize, initial: usize, normal_step_delay_ms: u64) -> Self {
+            Countdown {
+                units: (0..units).map(|_| AtomicUsize::new(initial)).collect(),
+                initial,
+                drain_steps: AtomicUsize::new(0),
+                normal_step_delay_ms,
+            }
+        }
+    }
+
+    impl MaintTarget for Countdown {
+        fn units(&self) -> usize {
+            self.units.len()
+        }
+
+        fn step(&self, unit: usize, mode: StepMode) -> MaintStep {
+            let remaining = self.units[unit].load(Ordering::SeqCst);
+            if remaining == 0 {
+                return MaintStep::Idle;
+            }
+            match mode {
+                StepMode::Drain => {
+                    if remaining == self.initial {
+                        // Not started: a drain must not begin new work.
+                        return MaintStep::Idle;
+                    }
+                    self.drain_steps.fetch_add(1, Ordering::SeqCst);
+                }
+                StepMode::Normal => {
+                    // Slow normal steps let the shutdown test reliably catch
+                    // the unit mid-flight.
+                    std::thread::sleep(Duration::from_millis(self.normal_step_delay_ms));
+                }
+            }
+            self.units[unit].store(remaining - 1, Ordering::SeqCst);
+            match remaining {
+                1 => MaintStep::Finished,
+                r if r == self.initial => MaintStep::Began,
+                _ => MaintStep::Splice,
+            }
+        }
+    }
+
+    #[test]
+    fn requested_units_run_to_completion() {
+        let target = Arc::new(Countdown::new(4, 3));
+        let handle = MaintThread::spawn(
+            Arc::clone(&target) as Arc<dyn MaintTarget>,
+            MaintConfig::default(),
+        );
+        handle.request(1);
+        handle.request(3);
+        // Wait (bounded) for the thread to drain both units.
+        for _ in 0..1000 {
+            if target.units[1].load(Ordering::SeqCst) == 0
+                && target.units[3].load(Ordering::SeqCst) == 0
+            {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(target.units[1].load(Ordering::SeqCst), 0);
+        assert_eq!(target.units[3].load(Ordering::SeqCst), 0);
+        assert_eq!(target.units[0].load(Ordering::SeqCst), 3, "unrequested");
+        let stats = handle.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.resizes_finished, 2);
+        assert_eq!(stats.began, 2);
+        assert!(stats.max_debt >= 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn fairness_slice_requeues_long_units() {
+        let target = Arc::new(Countdown::new(2, 10));
+        let handle = MaintThread::spawn(
+            Arc::clone(&target) as Arc<dyn MaintTarget>,
+            MaintConfig {
+                fairness_slice: 2,
+                ..MaintConfig::default()
+            },
+        );
+        handle.request(0);
+        handle.request(1);
+        for _ in 0..1000 {
+            if target.units.iter().all(|u| u.load(Ordering::SeqCst) == 0) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(target.units.iter().all(|u| u.load(Ordering::SeqCst) == 0));
+        let stats = handle.stats();
+        assert!(
+            stats.requeues >= 2,
+            "10-step units with a 2-step slice must be re-queued: {stats:?}"
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_in_progress_work_only() {
+        let target = Arc::new(Countdown::with_delay(3, 100, 5));
+        let handle = MaintThread::spawn(
+            Arc::clone(&target) as Arc<dyn MaintTarget>,
+            MaintConfig {
+                fairness_slice: 1,
+                ..MaintConfig::default()
+            },
+        );
+        handle.request(0);
+        // Let the thread take at least one step on unit 0.
+        for _ in 0..1000 {
+            if target.units[0].load(Ordering::SeqCst) < 100 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        handle.shutdown();
+        // The in-progress unit was drained to completion...
+        assert_eq!(target.units[0].load(Ordering::SeqCst), 0);
+        assert!(target.drain_steps.load(Ordering::SeqCst) > 0);
+        // ...while never-started units were left alone.
+        assert_eq!(target.units[1].load(Ordering::SeqCst), 100);
+        assert_eq!(target.units[2].load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn requests_after_shutdown_are_ignored() {
+        let target = Arc::new(Countdown::new(1, 5));
+        let mut handle = MaintThread::spawn(
+            Arc::clone(&target) as Arc<dyn MaintTarget>,
+            MaintConfig::default(),
+        );
+        handle.shutdown_inner();
+        handle.request(0);
+        assert_eq!(handle.stats().requests, 0);
+        assert_eq!(target.units[0].load(Ordering::SeqCst), 5);
+    }
+}

@@ -150,6 +150,7 @@ impl RcuDomain {
         }
         let _gp = self.gp_lock.lock();
         self.stats.synchronize_calls.fetch_add(1, Ordering::Relaxed);
+        crate::local::note_synchronize();
 
         // Order all prior writes by this thread (e.g. unlinking a node)
         // before the phase flips and registry scans below.

@@ -66,7 +66,7 @@ pub use cell::{RcuCell, RetiredPtr};
 pub use deferred::Deferred;
 pub use domain::RcuDomain;
 pub use guard::RcuGuard;
-pub use local::{global_read_nesting, pin, quiescent_with, LocalHandle};
+pub use local::{global_read_nesting, pin, quiescent_with, thread_synchronize_count, LocalHandle};
 pub use reclaimer::Reclaimer;
 pub use stats::DomainStats;
 

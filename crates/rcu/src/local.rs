@@ -76,6 +76,30 @@ std::thread_local! {
     /// The calling thread's registration with the global domain, created
     /// lazily on first use of [`pin`].
     static GLOBAL_HANDLE: LocalHandle = LocalHandle::new(RcuDomain::global());
+
+    /// Grace periods this thread has waited for (see
+    /// [`thread_synchronize_count`]).
+    static SYNCHRONIZE_CALLS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Records that the calling thread performed a `synchronize` (called by
+/// [`RcuDomain::synchronize`]).
+pub(crate) fn note_synchronize() {
+    let _ = SYNCHRONIZE_CALLS.try_with(|c| c.set(c.get() + 1));
+}
+
+/// Number of grace periods the *calling thread* has waited for (via
+/// [`RcuDomain::synchronize`] on any domain, including the waits inside
+/// `synchronize_and_reclaim`) since the thread started.
+///
+/// This is the observable side of the "writers never wait for readers"
+/// property that background resize maintenance provides: a writer thread on
+/// the maintained path can snapshot this counter, perform its updates, and
+/// assert the counter did not move — every grace period was absorbed by the
+/// maintenance thread instead. The counter is thread-local, so readings are
+/// exact and race-free.
+pub fn thread_synchronize_count() -> u64 {
+    SYNCHRONIZE_CALLS.try_with(|c| c.get()).unwrap_or(0)
 }
 
 /// Enters a read-side critical section of the global domain.
@@ -187,6 +211,22 @@ mod tests {
     fn quiescent_with_panics_inside_guard() {
         let _g = pin();
         quiescent_with(|| ());
+    }
+
+    #[test]
+    fn thread_synchronize_count_tracks_waits() {
+        thread::spawn(|| {
+            assert_eq!(thread_synchronize_count(), 0);
+            RcuDomain::global().synchronize();
+            RcuDomain::global().synchronize_and_reclaim();
+            assert_eq!(thread_synchronize_count(), 2);
+            // Reads never bump the counter.
+            let g = pin();
+            drop(g);
+            assert_eq!(thread_synchronize_count(), 2);
+        })
+        .join()
+        .unwrap();
     }
 
     #[test]

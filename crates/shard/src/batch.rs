@@ -23,6 +23,22 @@ where
     /// are grouped by shard first and each shard is visited under a single
     /// guard pin, amortising the read-side entry/exit fence across the
     /// batch.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rp_shard::ShardedRpMap;
+    ///
+    /// let map: ShardedRpMap<u64, &'static str> = ShardedRpMap::with_shards(4);
+    /// map.insert(1, "one");
+    /// map.insert(2, "two");
+    ///
+    /// // Results come back in caller order, misses as `None`.
+    /// assert_eq!(
+    ///     map.multi_get(&[2, 7, 1]),
+    ///     vec![Some("two"), None, Some("one")],
+    /// );
+    /// ```
     pub fn multi_get<Q>(&self, keys: &[Q]) -> Vec<Option<V>>
     where
         K: Borrow<Q>,
@@ -118,15 +134,18 @@ where
                 continue;
             }
             newly += self.shard(shard_idx).insert_many_prehashed(group);
+            self.maybe_request_resize(shard_idx);
         }
         newly
     }
 
     /// Removes every key in `keys`, returning how many were present.
     ///
-    /// Keys are grouped by shard so each shard's writer lock is taken in one
-    /// burst (per-key, but consecutively — keeping the lock's cache line
-    /// hot) rather than interleaved across shards.
+    /// Keys are grouped by shard and each shard's group is applied under a
+    /// single writer-lock acquisition
+    /// ([`rp_hash::RpHashMap::remove_many_prehashed`]), matching
+    /// [`ShardedRpMap::multi_put`]: a batch pays `O(shards touched)` lock
+    /// round-trips instead of `O(keys)`.
     pub fn multi_remove<Q>(&self, keys: &[Q]) -> usize
     where
         K: Borrow<Q>,
@@ -139,12 +158,13 @@ where
         }
         let mut removed = 0;
         for (shard_idx, group) in groups.into_iter().enumerate() {
-            let shard = self.shard(shard_idx);
-            for (hash, idx) in group {
-                if shard.remove_prehashed(hash, &keys[idx]) {
-                    removed += 1;
-                }
+            if group.is_empty() {
+                continue;
             }
+            removed += self
+                .shard(shard_idx)
+                .remove_many_prehashed(group.iter().map(|&(hash, idx)| (hash, &keys[idx])));
+            self.maybe_request_resize(shard_idx);
         }
         removed
     }

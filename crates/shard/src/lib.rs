@@ -25,6 +25,11 @@
 //!   [`ShardedRpMap::multi_put`], [`ShardedRpMap::multi_remove`]) group keys
 //!   by shard first, then visit each shard once — one guard pin per shard
 //!   per read batch, one writer-lock acquisition per shard per write batch.
+//! * **Background resize maintenance**
+//!   ([`ShardedRpMap::with_maintenance`]): writers that cross a load-factor
+//!   threshold only *request* a resize; an `rp-maint` thread drives the
+//!   incremental zip/unzip state machine and absorbs every grace-period
+//!   wait, so maintained writers never wait for readers.
 //!
 //! A note on domains: per-shard *grace-period domains* would not buy
 //! anything here — readers enter through the global [`rp_rcu::pin`], so any
@@ -63,3 +68,7 @@ pub use stats::ShardStats;
 
 /// Re-export of the guard type readers use to delimit lookups.
 pub use rp_rcu::RcuGuard;
+
+/// Re-exports of the background-maintenance types used with
+/// [`ShardedRpMap::with_maintenance`].
+pub use rp_maint::{MaintConfig, MaintStats};

@@ -2,12 +2,144 @@
 
 use std::borrow::Borrow;
 use std::hash::{BuildHasher, Hash};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
 
-use rp_hash::{FnvBuildHasher, RpHashMap};
+use rp_hash::{FnvBuildHasher, ResizePolicy, ResizeStep, RpHashMap};
+use rp_maint::{
+    MaintConfig, MaintHandle, MaintStats, MaintStep, MaintTarget, MaintThread, StepMode,
+};
 use rp_rcu::{RcuDomain, RcuGuard};
 
 use crate::policy::ShardPolicy;
 use crate::stats::ShardStats;
+
+/// Per-shard resize request state on the maintained path.
+const RESIZE_IDLE: u8 = 0;
+/// A resize has been requested (or is being driven); writers stop
+/// re-requesting until the maintainer returns the flag to idle.
+const RESIZE_REQUESTED: u8 = 1;
+
+/// The shard array plus the per-shard maintenance request flags.
+///
+/// Split out of [`ShardedRpMap`] so that a background [`MaintThread`] can
+/// share ownership of the shards (via `Arc`) with the map handle itself.
+pub(crate) struct ShardCore<K, V, S> {
+    shards: Box<[RpHashMap<K, V, S>]>,
+    /// One request flag per shard ([`RESIZE_IDLE`] / [`RESIZE_REQUESTED`]).
+    resize_flags: Box<[AtomicU8]>,
+    /// Load-factor thresholds the maintained path uses to *request* resizes
+    /// (the shards' own inline automatic resizing is disabled there).
+    trigger: ResizePolicy,
+}
+
+impl<K, V, S> ShardCore<K, V, S> {
+    fn new(shards: Box<[RpHashMap<K, V, S>]>, trigger: ResizePolicy) -> Self {
+        let resize_flags = (0..shards.len())
+            .map(|_| AtomicU8::new(RESIZE_IDLE))
+            .collect();
+        ShardCore {
+            shards,
+            resize_flags,
+            trigger,
+        }
+    }
+}
+
+impl<K, V, S> MaintTarget for ShardCore<K, V, S>
+where
+    K: Hash + Eq + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+    S: BuildHasher + Send + Sync + 'static,
+{
+    fn units(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn step(&self, unit: usize, mode: StepMode) -> MaintStep {
+        /// One `advance_resize` step, translated to maintenance terms.
+        fn advance<K, V, S>(shard: &RpHashMap<K, V, S>) -> MaintStep
+        where
+            K: Hash + Eq + Send + Sync + 'static,
+            V: Send + Sync + 'static,
+            S: BuildHasher,
+        {
+            match shard.advance_resize() {
+                ResizeStep::Grace => MaintStep::Grace,
+                ResizeStep::Splice => MaintStep::Splice,
+                // The request flag stays set; the driver keeps stepping this
+                // unit, and the next call re-arms or disarms it.
+                ResizeStep::Finished => MaintStep::Finished,
+                // Someone drove the resize to completion inline (e.g. a
+                // manual `resize_to`) between our check and the advance.
+                ResizeStep::Idle => MaintStep::Idle,
+            }
+        }
+
+        let shard = &self.shards[unit];
+        // An in-progress resize always takes priority: it must reach
+        // `Finished` before anything else can happen to this shard (and
+        // before a shutdown may complete).
+        if shard.resize_in_progress() {
+            return advance(shard);
+        }
+        if mode == StepMode::Drain {
+            // Nothing in flight: a drain must not begin new work.
+            self.resize_flags[unit].store(RESIZE_IDLE, Ordering::Release);
+            return MaintStep::Idle;
+        }
+        // Begin-or-disarm. Disarming must re-check the trigger afterwards:
+        // a writer may have crossed a threshold just before we stored
+        // RESIZE_IDLE — its CAS failed against the still-set flag, so no
+        // request was queued, and without the re-check the shard would stay
+        // over/under-loaded until some later write happened to re-fire.
+        // Two passes always suffice (disarm, then begin after re-arming);
+        // the bound keeps a trigger/begin policy disagreement — which
+        // `ResizePolicy::should_expand` rules out — from ever spinning.
+        for _attempt in 0..2 {
+            if self.resize_flags[unit].load(Ordering::Acquire) == RESIZE_REQUESTED {
+                let len = shard.len();
+                let buckets = shard.num_buckets();
+                if self.trigger.should_expand(len, buckets) && shard.begin_expand() {
+                    return MaintStep::Began;
+                }
+                if self.trigger.should_shrink(len, buckets) && shard.begin_shrink() {
+                    return MaintStep::Began;
+                }
+                if shard.resize_in_progress() {
+                    // `begin_*` lost a race against an inline resize (e.g. a
+                    // manual `resize_to`); help advance it instead of
+                    // spinning — the flag stays set for re-evaluation.
+                    return advance(shard);
+                }
+                // Spurious or stale request (the load factor moved back),
+                // or a trigger the shard cannot act on.
+                self.resize_flags[unit].store(RESIZE_IDLE, Ordering::Release);
+            }
+            let len = shard.len();
+            let buckets = shard.num_buckets();
+            if !(self.trigger.should_expand(len, buckets)
+                || self.trigger.should_shrink(len, buckets))
+                || self.resize_flags[unit]
+                    .compare_exchange(
+                        RESIZE_IDLE,
+                        RESIZE_REQUESTED,
+                        Ordering::AcqRel,
+                        Ordering::Relaxed,
+                    )
+                    .is_err()
+            {
+                return MaintStep::Idle;
+            }
+            // The trigger is (still) crossed and nobody else has the
+            // request in hand: service it ourselves on the next pass.
+        }
+        // Re-armed but could not begin: leave the flag idle so writers can
+        // request again rather than wedging the shard.
+        self.resize_flags[unit].store(RESIZE_IDLE, Ordering::Release);
+        MaintStep::Idle
+    }
+}
 
 /// A power-of-two array of independent [`RpHashMap`] shards.
 ///
@@ -21,12 +153,20 @@ use crate::stats::ShardStats;
 /// the shard's buckets use the low bits. Both decisions share one hashing
 /// pass: the outer map hashes, then hands the hash down through the
 /// `*_prehashed` entry points of [`RpHashMap`].
+///
+/// With [`ShardedRpMap::with_maintenance`], resizes move off the writer
+/// path entirely: writers that cross a load-factor threshold only *request*
+/// a resize and continue, and a background [`MaintThread`] drives the
+/// incremental zip/unzip state machine, absorbing every grace-period wait.
 pub struct ShardedRpMap<K, V, S = FnvBuildHasher> {
-    shards: Box<[RpHashMap<K, V, S>]>,
+    core: Arc<ShardCore<K, V, S>>,
     /// `log2(shards.len())`; 0 means a single shard.
     shard_bits: u32,
     hasher: S,
     policy: ShardPolicy,
+    /// Background maintenance, if enabled. Dropping the map drops the
+    /// handle, which shuts the thread down after draining in-flight resizes.
+    maint: Option<MaintHandle>,
 }
 
 impl<K, V> ShardedRpMap<K, V, FnvBuildHasher> {
@@ -47,6 +187,55 @@ impl<K, V> ShardedRpMap<K, V, FnvBuildHasher> {
     }
 }
 
+impl<K, V> ShardedRpMap<K, V, FnvBuildHasher>
+where
+    K: std::hash::Hash + Eq + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
+    /// Creates a map whose resizes are driven by a background maintenance
+    /// thread instead of by the writers that trigger them.
+    ///
+    /// On this path a writer that pushes a shard past one of the policy's
+    /// load-factor thresholds (`per_shard.auto_expand` / `auto_shrink` must
+    /// be set for the respective direction) only **requests** a resize — a
+    /// queue push and a condvar wakeup — and continues immediately. The
+    /// maintenance thread begins the resize and advances the incremental
+    /// zip/unzip state machine step by step, absorbing every grace-period
+    /// wait; writer-side deferred reclamation is disabled too (the thread
+    /// runs it instead). The net effect: **writers never wait for
+    /// readers** — no `synchronize` ever runs on an insert/remove path.
+    ///
+    /// Dropping the map drops the embedded [`MaintHandle`], which completes
+    /// any in-flight resize before the thread exits — no resize is ever
+    /// left half-published. Use [`ShardedRpMap::stop_maintenance`] to do
+    /// that explicitly while keeping the map.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rp_shard::{ShardPolicy, ShardedRpMap};
+    /// use rp_maint::MaintConfig;
+    ///
+    /// let mut map: ShardedRpMap<u64, u64> =
+    ///     ShardedRpMap::with_maintenance(ShardPolicy::automatic(4), MaintConfig::default());
+    /// assert!(map.maintained());
+    ///
+    /// for i in 0..100 {
+    ///     map.insert(i, i * 7); // resize triggers only *request* work
+    /// }
+    /// assert_eq!(map.multi_get(&[3, 999]), vec![Some(21), None]);
+    ///
+    /// // Shut the maintainer down deterministically; nothing is left
+    /// // half-resized.
+    /// map.stop_maintenance();
+    /// assert!(!map.maintained());
+    /// map.check_invariants().unwrap();
+    /// ```
+    pub fn with_maintenance(policy: ShardPolicy, config: MaintConfig) -> Self {
+        Self::with_maintenance_and_hasher(policy, FnvBuildHasher, config)
+    }
+}
+
 impl<K, V> Default for ShardedRpMap<K, V, FnvBuildHasher> {
     fn default() -> Self {
         Self::new()
@@ -61,28 +250,79 @@ impl<K, V, S: BuildHasher + Clone> ShardedRpMap<K, V, S> {
     /// `RandomState`, and every `BuildHasher` whose clone shares its keys) —
     /// shard routing and in-shard bucket selection use the same hash value.
     pub fn with_policy_and_hasher(policy: ShardPolicy, hasher: S) -> Self {
+        let (policy, shard_bits) = Self::normalize(policy);
+        let shards = Self::make_shards(&policy, &hasher, policy.per_shard);
+        ShardedRpMap {
+            core: Arc::new(ShardCore::new(shards, policy.per_shard)),
+            shard_bits,
+            hasher,
+            policy,
+            maint: None,
+        }
+    }
+
+    fn normalize(policy: ShardPolicy) -> (ShardPolicy, u32) {
         // Store the normalized policy so `policy().shards` always agrees
         // with `shard_count()`.
         let policy = ShardPolicy {
             shards: policy.effective_shards(),
             ..policy
         };
-        let shards = policy.shards;
-        let shard_bits = shards.trailing_zeros();
-        let shards: Box<[RpHashMap<K, V, S>]> = (0..shards)
+        let shard_bits = policy.shards.trailing_zeros();
+        (policy, shard_bits)
+    }
+
+    fn make_shards(
+        policy: &ShardPolicy,
+        hasher: &S,
+        per_shard: ResizePolicy,
+    ) -> Box<[RpHashMap<K, V, S>]> {
+        (0..policy.shards)
             .map(|_| {
                 RpHashMap::with_buckets_hasher_and_policy(
                     policy.initial_buckets_per_shard,
                     hasher.clone(),
-                    policy.per_shard,
+                    per_shard,
                 )
             })
-            .collect();
+            .collect()
+    }
+}
+
+impl<K, V, S> ShardedRpMap<K, V, S>
+where
+    K: Hash + Eq + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+    S: BuildHasher + Clone + Send + Sync + 'static,
+{
+    /// [`ShardedRpMap::with_maintenance`] with an explicit hasher (see
+    /// [`ShardedRpMap::with_policy_and_hasher`] for the hasher contract).
+    pub fn with_maintenance_and_hasher(
+        policy: ShardPolicy,
+        hasher: S,
+        config: MaintConfig,
+    ) -> Self {
+        let (policy, shard_bits) = Self::normalize(policy);
+        // The maintained path disables everything that would make a writer
+        // wait for readers: inline automatic resizing (requests go to the
+        // maintainer instead, judged against the *original* thresholds) and
+        // writer-side deferred reclamation (the maintainer's heartbeat runs
+        // it).
+        let quiet = ResizePolicy {
+            auto_expand: false,
+            auto_shrink: false,
+            reclaim_threshold: usize::MAX,
+            ..policy.per_shard
+        };
+        let shards = Self::make_shards(&policy, &hasher, quiet);
+        let core = Arc::new(ShardCore::new(shards, policy.per_shard));
+        let maint = MaintThread::spawn(Arc::clone(&core) as Arc<dyn MaintTarget>, config);
         ShardedRpMap {
-            shards,
+            core,
             shard_bits,
             hasher,
             policy,
+            maint: Some(maint),
         }
     }
 }
@@ -95,7 +335,7 @@ impl<K, V, S> ShardedRpMap<K, V, S> {
 
     /// Number of shards (a power of two).
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.core.shards.len()
     }
 
     /// The policy this map was built with.
@@ -106,28 +346,28 @@ impl<K, V, S> ShardedRpMap<K, V, S> {
     /// Direct access to one shard (benchmarks and tests drive per-shard
     /// resizes through this).
     pub fn shard(&self, index: usize) -> &RpHashMap<K, V, S> {
-        &self.shards[index]
+        &self.core.shards[index]
     }
 
     /// All shards, in routing order.
     pub fn shards(&self) -> &[RpHashMap<K, V, S>] {
-        &self.shards
+        &self.core.shards
     }
 
     /// Number of entries across all shards (a racy snapshot under
     /// concurrent updates, like [`RpHashMap::len`]).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.len()).sum()
+        self.core.shards.iter().map(|s| s.len()).sum()
     }
 
     /// Returns `true` if every shard is empty.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.is_empty())
+        self.core.shards.iter().all(|s| s.is_empty())
     }
 
     /// Total bucket count across all shards.
     pub fn num_buckets(&self) -> usize {
-        self.shards.iter().map(|s| s.num_buckets()).sum()
+        self.core.shards.iter().map(|s| s.num_buckets()).sum()
     }
 
     /// Aggregate load factor (`len / num_buckets`).
@@ -141,11 +381,47 @@ impl<K, V, S> ShardedRpMap<K, V, S> {
         RcuDomain::global()
     }
 
-    /// Snapshot of every shard's operation/resize counters and occupancy.
+    /// Snapshot of every shard's operation/resize counters and occupancy,
+    /// plus the maintenance thread's counters when background resizes are
+    /// enabled.
     pub fn stats(&self) -> ShardStats {
         ShardStats {
-            per_shard: self.shards.iter().map(|s| s.stats()).collect(),
-            shard_lens: self.shards.iter().map(|s| s.len()).collect(),
+            per_shard: self.core.shards.iter().map(|s| s.stats()).collect(),
+            shard_lens: self.core.shards.iter().map(|s| s.len()).collect(),
+            maint: self.maint.as_ref().map(|m| m.stats()),
+        }
+    }
+
+    /// Returns `true` if this map's resizes are driven by a background
+    /// maintenance thread (see [`ShardedRpMap::with_maintenance`]).
+    pub fn maintained(&self) -> bool {
+        self.maint.is_some()
+    }
+
+    /// The maintenance thread's counters, if background resizes are
+    /// enabled.
+    pub fn maint_stats(&self) -> Option<MaintStats> {
+        self.maint.as_ref().map(|m| m.stats())
+    }
+
+    /// Shuts the maintenance thread down (draining any in-flight resize to
+    /// completion) and reverts the map to inline resizing semantics for
+    /// subsequent manual resize calls. Idempotent; a no-op for maps built
+    /// without maintenance.
+    ///
+    /// Writer-side deferred reclamation — disabled while the maintenance
+    /// thread was the designated reclaimer — is re-enabled with the
+    /// policy's original threshold, so retired nodes cannot accumulate
+    /// without bound afterwards. Note that the load-factor triggers stay
+    /// inert — the shards were built with inline automatic resizing
+    /// disabled — so the map keeps its current shape unless resized
+    /// manually.
+    pub fn stop_maintenance(&mut self) {
+        if let Some(handle) = self.maint.take() {
+            handle.shutdown();
+            for shard in self.core.shards.iter() {
+                shard.set_reclaim_threshold(self.core.trigger.reclaim_threshold);
+            }
         }
     }
 
@@ -157,6 +433,32 @@ impl<K, V, S> ShardedRpMap<K, V, S> {
             0
         } else {
             (hash >> (64 - self.shard_bits)) as usize
+        }
+    }
+
+    /// On the maintained path, requests a background resize for `shard_idx`
+    /// if its load factor has crossed a trigger threshold. Writers call
+    /// this after updates; it never blocks and never waits for readers.
+    #[inline]
+    pub(crate) fn maybe_request_resize(&self, shard_idx: usize) {
+        let Some(maint) = &self.maint else {
+            return;
+        };
+        let shard = &self.core.shards[shard_idx];
+        let len = shard.len();
+        let buckets = shard.num_buckets();
+        let trigger = &self.core.trigger;
+        if (trigger.should_expand(len, buckets) || trigger.should_shrink(len, buckets))
+            && self.core.resize_flags[shard_idx]
+                .compare_exchange(
+                    RESIZE_IDLE,
+                    RESIZE_REQUESTED,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                )
+                .is_ok()
+        {
+            maint.request(shard_idx);
         }
     }
 }
@@ -193,7 +495,7 @@ where
         Q: Hash + Eq + ?Sized,
     {
         let hash = self.hash_of(key);
-        self.shards[self.shard_of_hash(hash)].get_prehashed(hash, key, guard)
+        self.core.shards[self.shard_of_hash(hash)].get_prehashed(hash, key, guard)
     }
 
     /// Looks up `key`, returning references to the stored key and value.
@@ -207,7 +509,7 @@ where
         Q: Hash + Eq + ?Sized,
     {
         let hash = self.hash_of(key);
-        self.shards[self.shard_of_hash(hash)].get_key_value_prehashed(hash, key, guard)
+        self.core.shards[self.shard_of_hash(hash)].get_key_value_prehashed(hash, key, guard)
     }
 
     /// Looks up `key` and clones the value.
@@ -233,9 +535,15 @@ where
 
     /// Inserts `key → value` into its shard. Returns `true` if the key was
     /// newly inserted. Only writers of the same shard contend.
+    ///
+    /// On the maintained path a load-factor trigger only *requests* a
+    /// background resize; the insert itself never waits for readers.
     pub fn insert(&self, key: K, value: V) -> bool {
         let hash = self.hash_of(&key);
-        self.shards[self.shard_of_hash(hash)].insert_prehashed(hash, key, value)
+        let shard_idx = self.shard_of_hash(hash);
+        let newly = self.core.shards[shard_idx].insert_prehashed(hash, key, value);
+        self.maybe_request_resize(shard_idx);
+        newly
     }
 
     /// Removes `key` from its shard. Returns `true` if it was present.
@@ -245,7 +553,10 @@ where
         Q: Hash + Eq + ?Sized,
     {
         let hash = self.hash_of(key);
-        self.shards[self.shard_of_hash(hash)].remove_prehashed(hash, key)
+        let shard_idx = self.shard_of_hash(hash);
+        let removed = self.core.shards[shard_idx].remove_prehashed(hash, key);
+        self.maybe_request_resize(shard_idx);
+        removed
     }
 
     /// Removes every entry for which `f` returns `false`, shard by shard.
@@ -253,15 +564,20 @@ where
     where
         F: FnMut(&K, &V) -> bool,
     {
-        for shard in self.shards.iter() {
+        for (idx, shard) in self.core.shards.iter().enumerate() {
             shard.retain(&mut f);
+            // Bulk removal can drop a shard far below the shrink trigger;
+            // on the maintained path that must request a resize like any
+            // other write (inline auto-shrink is disabled there).
+            self.maybe_request_resize(idx);
         }
     }
 
     /// Removes all entries.
     pub fn clear(&self) {
-        for shard in self.shards.iter() {
+        for (idx, shard) in self.core.shards.iter().enumerate() {
             shard.clear();
+            self.maybe_request_resize(idx);
         }
     }
 
@@ -272,7 +588,7 @@ where
     /// visited in routing order, and concurrent *resizes of other shards*
     /// never disturb the iteration (resize is shard-local).
     pub fn iter<'g>(&'g self, guard: &'g RcuGuard<'_>) -> impl Iterator<Item = (&'g K, &'g V)> {
-        self.shards.iter().flat_map(move |s| s.iter(guard))
+        self.core.shards.iter().flat_map(move |s| s.iter(guard))
     }
 
     /// Collects all entries into a `Vec` (cloning), for tests and examples.
@@ -289,14 +605,14 @@ where
 
     /// Doubles every shard (each one an independent unzip expansion).
     pub fn expand_all(&self) {
-        for shard in self.shards.iter() {
+        for shard in self.core.shards.iter() {
             shard.expand();
         }
     }
 
     /// Halves every shard (each one an independent zip shrink).
     pub fn shrink_all(&self) {
-        for shard in self.shards.iter() {
+        for shard in self.core.shards.iter() {
             shard.shrink();
         }
     }
@@ -304,8 +620,8 @@ where
     /// Resizes the map to approximately `total_buckets` buckets overall by
     /// resizing each shard to its even share.
     pub fn resize_total_to(&self, total_buckets: usize) {
-        let per_shard = (total_buckets / self.shards.len()).max(1);
-        for shard in self.shards.iter() {
+        let per_shard = (total_buckets / self.core.shards.len()).max(1);
+        for shard in self.core.shards.iter() {
             shard.resize_to(per_shard);
         }
     }
@@ -313,7 +629,7 @@ where
     /// Checks every shard's structural invariants plus the routing
     /// invariant: each key's hash must route to the shard that stores it.
     pub fn check_invariants(&self) -> Result<(), String> {
-        for (i, shard) in self.shards.iter().enumerate() {
+        for (i, shard) in self.core.shards.iter().enumerate() {
             shard
                 .check_invariants()
                 .map_err(|e| format!("shard {i}: {e}"))?;
@@ -341,11 +657,19 @@ where
 impl<K, V, S> std::fmt::Debug for ShardedRpMap<K, V, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedRpMap")
-            .field("shards", &self.shards.len())
-            .field("len", &self.shards.iter().map(|s| s.len()).sum::<usize>())
+            .field("shards", &self.core.shards.len())
+            .field(
+                "len",
+                &self.core.shards.iter().map(|s| s.len()).sum::<usize>(),
+            )
             .field(
                 "buckets",
-                &self.shards.iter().map(|s| s.num_buckets()).sum::<usize>(),
+                &self
+                    .core
+                    .shards
+                    .iter()
+                    .map(|s| s.num_buckets())
+                    .sum::<usize>(),
             )
             .finish()
     }

@@ -1,6 +1,7 @@
 //! Aggregated statistics across shards.
 
 use rp_hash::MapStats;
+use rp_maint::MaintStats;
 
 /// A point-in-time snapshot of every shard's counters plus the aggregate,
 /// built by [`crate::ShardedRpMap::stats`].
@@ -10,6 +11,10 @@ pub struct ShardStats {
     pub per_shard: Vec<MapStats>,
     /// Entry count per shard at snapshot time, in shard order.
     pub shard_lens: Vec<usize>,
+    /// Counters of the background maintenance thread — steps run, grace
+    /// waits absorbed, max writer-observed resize debt — when the map was
+    /// built with [`crate::ShardedRpMap::with_maintenance`].
+    pub maint: Option<MaintStats>,
 }
 
 impl ShardStats {
@@ -86,6 +91,7 @@ mod tests {
                 },
             ],
             shard_lens: vec![3, 1],
+            maint: None,
         };
         let total = stats.total();
         assert_eq!(total.inserts, 5);

@@ -11,6 +11,8 @@
 //! * [`driver`] — the measurement harness: spawns reader threads with
 //!   cache-padded per-thread counters, optional background threads (writers,
 //!   resizers), runs for a fixed duration and aggregates throughput.
+//! * [`latency`] — a fixed-size log-linear histogram for per-operation
+//!   latency percentiles (used by the `fig_maint` resize-latency figure).
 //! * [`report`] — turns measured series into CSV and markdown tables so the
 //!   benchmark binaries can print exactly the rows the paper's figures plot.
 //! * [`sysinfo`] — records the host configuration alongside results.
@@ -20,11 +22,13 @@
 
 pub mod driver;
 pub mod keys;
+pub mod latency;
 pub mod report;
 pub mod sysinfo;
 mod zipf;
 
 pub use driver::{measure, BackgroundHandle, MeasureResult};
 pub use keys::{KeyDist, KeyGen};
+pub use latency::LatencyHistogram;
 pub use report::{Report, Series};
 pub use zipf::Zipf;

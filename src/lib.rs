@@ -15,8 +15,13 @@
 //!   at full speed.
 //! * [`shard`] — [`shard::ShardedRpMap`], a power-of-two array of
 //!   independent relativistic tables: shard-local writer locks and resizes
-//!   for parallel updates, plus batched `multi_get` / `multi_put` that
-//!   amortise guard and lock acquisition per shard.
+//!   for parallel updates, plus batched `multi_get` / `multi_put` /
+//!   `multi_remove` that amortise guard and lock acquisition per shard.
+//! * [`maint`] — [`maint::MaintThread`], the background resize maintenance
+//!   driver: with [`shard::ShardedRpMap::with_maintenance`], writers that
+//!   hit a load-factor trigger only *request* a resize and a maintenance
+//!   thread drives the incremental zip/unzip state machine, absorbing every
+//!   grace-period wait off the writer path.
 //! * [`baselines`] — the designs the paper compares against (DDDS,
 //!   reader-writer locking, per-bucket locking, Herbert Xu's dual-chain
 //!   tables).
@@ -51,6 +56,7 @@ pub use rp_baselines as baselines;
 pub use rp_hash as hash;
 pub use rp_kvcache as kvcache;
 pub use rp_list as list;
+pub use rp_maint as maint;
 pub use rp_rcu as rcu;
 pub use rp_shard as shard;
 pub use rp_workload as workload;
