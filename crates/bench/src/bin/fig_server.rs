@@ -1,0 +1,17 @@
+//! Regenerates the repo's server-architecture figure: requests/second and
+//! p99 latency versus connection count for the thread-per-connection
+//! server and the `rp-net` event-loop server (fixed worker pool), both
+//! over the maintained sharded relativistic engine.
+//!
+//! Knobs: `RP_BENCH_SERVER_CONNECTIONS` (ladder top, default 256),
+//! `RP_BENCH_SERVER_WORKERS` (event-loop workers, default 2),
+//! `RP_BENCH_DURATION_MS`, `RP_BENCH_ENTRIES`.
+
+fn main() -> std::io::Result<()> {
+    let cfg = rp_bench::BenchConfig::from_env();
+    eprintln!("cache server architecture benchmark on {}", cfg.host);
+    let report = rp_bench::fig_server(&cfg);
+    report.write_files(&cfg.out_dir, "fig_server")?;
+    print!("{}", report.to_markdown());
+    Ok(())
+}

@@ -15,6 +15,7 @@
 //! | `fig_memcached` | "memcached results" — requests/s vs client count for GET and SET against the default (global-lock) and RP engines |
 //! | `fig_shard` | (repo addition) sharded write throughput — Zipf-keyed inserts/s vs writer threads at 1/4/16/64 shards |
 //! | `fig_maint` | (repo addition) resize maintenance — p99 insert latency under a Zipfian write storm, inline vs background-maintained resizes |
+//! | `fig_server` | (repo addition) server architecture — requests/s and p99 vs connection count, thread-per-connection vs the `rp-net` event loop |
 //!
 //! Parameters are read from environment variables so CI and the
 //! EXPERIMENTS.md runs can trade accuracy for time:
@@ -31,6 +32,10 @@
 //!   (default 12).
 //! * `RP_BENCH_WRITE_THREADS` — top of the writer ladder for `fig_shard`,
 //!   and (clamped to 4) the writer count for `fig_maint`.
+//! * `RP_BENCH_SERVER_CONNECTIONS` — top of the connection ladder for
+//!   `fig_server` (default 256).
+//! * `RP_BENCH_SERVER_WORKERS` — event-loop worker threads for
+//!   `fig_server` (default 2).
 //! * `RP_BENCH_OUT_DIR` — output directory (default `results/`).
 
 #![warn(missing_docs)]
@@ -43,11 +48,13 @@ use std::time::Duration;
 
 use rp_baselines::{ConcurrentMap, DddsTable, RwLockTable};
 use rp_hash::{FnvBuildHasher, RpHashMap};
-use rp_kvcache::{CacheEngine, Item, LockEngine, RpEngine};
+use rp_kvcache::client::CacheClient;
+use rp_kvcache::server::{start_server, ServerConfig};
+use rp_kvcache::{CacheEngine, Item, LockEngine, RpEngine, ShardedRpEngine};
 use rp_shard::{ShardPolicy, ShardedRpMap};
 use rp_workload::driver::BackgroundHandle;
 use rp_workload::sysinfo::HostInfo;
-use rp_workload::{measure, KeyDist, KeyGen, Report, Series};
+use rp_workload::{drive_connections, measure, KeyDist, KeyGen, Report, Series};
 
 /// Zipf exponent used by the sharded-write figure (a cache-like skew).
 pub const SHARD_ZIPF_EXPONENT: f64 = 0.99;
@@ -70,6 +77,10 @@ pub struct BenchConfig {
     pub write_threads: Vec<usize>,
     /// Client counts for the memcached figure.
     pub clients: Vec<usize>,
+    /// Connection counts for the server figure (`fig_server`).
+    pub server_connections: Vec<usize>,
+    /// Event-loop worker threads for the server figure.
+    pub server_workers: usize,
     /// Where CSV/markdown results are written.
     pub out_dir: PathBuf,
     /// Host description (recorded in the summary).
@@ -106,6 +117,18 @@ impl BenchConfig {
             write_threads: host
                 .oversubscribed_ladder(env_num("RP_BENCH_WRITE_THREADS", host.logical_cpus.max(8))),
             clients: (1..=clients_cap).collect(),
+            server_connections: {
+                let max_conns = env_num("RP_BENCH_SERVER_CONNECTIONS", 256_usize).max(1);
+                let mut ladder = vec![1_usize];
+                while ladder.last().copied().unwrap_or(1) * 4 <= max_conns {
+                    ladder.push(ladder.last().unwrap() * 4);
+                }
+                if ladder.last() != Some(&max_conns) {
+                    ladder.push(max_conns);
+                }
+                ladder
+            },
+            server_workers: env_num("RP_BENCH_SERVER_WORKERS", 2_usize).max(1),
             out_dir: PathBuf::from(
                 std::env::var("RP_BENCH_OUT_DIR").unwrap_or_else(|_| "results".to_string()),
             ),
@@ -123,6 +146,8 @@ impl BenchConfig {
             threads: vec![1, 2],
             write_threads: vec![1, 2],
             clients: vec![1, 2],
+            server_connections: vec![1, 4],
+            server_workers: 2,
             out_dir: std::env::temp_dir().join("rp-bench-smoke"),
             host: HostInfo::collect(),
         }
@@ -635,6 +660,84 @@ pub fn fig_memcached(cfg: &BenchConfig) -> Report {
     report
 }
 
+/// One data point of the server figure: mixed 90/10 GET/SET traffic from
+/// `connections` connections (shared over at most 4 driver threads)
+/// against a fresh sharded-engine server started as `config` describes.
+/// Returns (requests/second, p99 latency µs).
+pub fn server_throughput(
+    config: &ServerConfig,
+    connections: usize,
+    cfg: &BenchConfig,
+) -> (f64, f64) {
+    let engine: Arc<dyn CacheEngine> = Arc::new(ShardedRpEngine::with_shards_and_capacity(
+        16,
+        (cfg.entries as usize).max(1024) * 2,
+    ));
+    fill_cache(&*engine, cfg.entries);
+    let mut server = start_server(Arc::clone(&engine), config).expect("start cache server");
+    let addr = server.addr();
+    let entries = cfg.entries;
+    let result = drive_connections(
+        connections,
+        connections.min(4),
+        cfg.duration,
+        |_idx| CacheClient::connect(addr),
+        |thread_idx| {
+            let mut keys = KeyGen::new(KeyDist::Uniform, entries, 0xC0FFEE + thread_idx as u64);
+            move |client: &mut CacheClient, ordinal: u64| {
+                let key = cache_key(keys.next_key());
+                if ordinal.is_multiple_of(10) {
+                    client.set(&key, 0, 0, b"updated-value").map(|_| ())
+                } else {
+                    client.get(&key).map(|_| ())
+                }
+            }
+        },
+    )
+    .expect("drive server workload");
+    server.shutdown();
+    assert_eq!(result.errors, 0, "server dropped connections mid-run");
+    (result.ops_per_sec(), result.latency.percentile_us(0.99))
+}
+
+/// Regenerates the repo's server figure: requests/second and p99 latency
+/// versus connection count, thread-per-connection versus the `rp-net`
+/// event loop (fixed worker pool), both over the maintained sharded
+/// relativistic engine.
+///
+/// The interesting regime is connections ≫ cores: the threaded server
+/// pays a stack and a scheduler entry per connection, the event loop pays
+/// two buffers. Run with `RP_BENCH_SERVER_CONNECTIONS=1000` (or more, fd
+/// limits permitting) on a real box.
+pub fn fig_server(cfg: &BenchConfig) -> Report {
+    let mut report = Report::new(
+        "cache server architecture: threaded vs event loop",
+        "connections",
+        "kreq/s (90/10 GET/SET) and p99 (µs)",
+    );
+    let modes = [
+        ("threaded", ServerConfig::threaded()),
+        ("event-loop", ServerConfig::event_loop(cfg.server_workers)),
+    ];
+    for (label, config) in modes {
+        let mut throughput = Series::new(format!("{label} kreq/s"));
+        let mut p99_series = Series::new(format!("{label} p99 µs"));
+        for &connections in &cfg.server_connections {
+            let (ops_per_sec, p99_us) = server_throughput(&config, connections, cfg);
+            eprintln!(
+                "  {label}: {connections} conn(s) -> {:.0} kreq/s, p99 {:.0} µs",
+                ops_per_sec / 1e3,
+                p99_us
+            );
+            throughput.push(connections as f64, ops_per_sec / 1e3);
+            p99_series.push(connections as f64, p99_us);
+        }
+        report.add_series(throughput);
+        report.add_series(p99_series);
+    }
+    report
+}
+
 /// Runs every figure and writes CSV + markdown into `cfg.out_dir`, plus a
 /// combined `summary.md`. Returns the reports in figure order.
 pub fn run_all(cfg: &BenchConfig) -> std::io::Result<Vec<Report>> {
@@ -647,6 +750,7 @@ pub fn run_all(cfg: &BenchConfig) -> std::io::Result<Vec<Report>> {
         ("fig_memcached", fig_memcached),
         ("fig_shard", fig_shard),
         ("fig_maint", fig_maint),
+        ("fig_server", fig_server),
     ];
     let mut reports = Vec::new();
     let mut summary = String::new();

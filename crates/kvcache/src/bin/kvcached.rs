@@ -1,0 +1,152 @@
+//! `kvcached` — the relativist cache server as a standalone daemon.
+//!
+//! See `kvcached --help` (or [`rp_kvcache::cli`]) for every flag and its
+//! `RP_KV_*` environment fallback. Two extra operational flags live here:
+//!
+//! * `--smoke` — instead of serving forever, drive a mixed workload
+//!   (SET / GET / multi-GET / expiry / DELETE) through the bundled client,
+//!   shut down gracefully, verify nothing was shed, print stats and exit
+//!   non-zero on any failure. CI uses this as the end-to-end server test.
+//! * `--smoke-ops N` — operations for the smoke workload (default 2000).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rp_kvcache::cli::ServerOptions;
+use rp_kvcache::client::CacheClient;
+use rp_kvcache::server::{start_server, ServerMode};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = take_flag(&mut args, "--smoke");
+    let smoke_ops: usize = take_value(&mut args, "--smoke-ops")
+        .map(|v| v.parse().expect("--smoke-ops needs a number"))
+        .unwrap_or(2000);
+
+    let mut opts = match ServerOptions::parse(&args, &|name| std::env::var(name).ok()) {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    if smoke {
+        // The smoke run must not collide with a real daemon's port.
+        opts.port = 0;
+    }
+
+    let engine = opts.build_engine();
+    let mut server = match start_server(Arc::clone(&engine), &opts.server_config()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("kvcached: cannot start: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mode = match server.mode() {
+        ServerMode::Threaded => "threaded",
+        ServerMode::EventLoop => "event-loop",
+    };
+    println!(
+        "kvcached ({} engine, {mode} mode, {} worker(s)) listening on {}",
+        engine.name(),
+        opts.workers,
+        server.addr()
+    );
+
+    if smoke {
+        let addr = server.addr();
+        if let Err(e) = smoke_workload(addr, smoke_ops) {
+            eprintln!("kvcached --smoke FAILED: {e}");
+            std::process::exit(1);
+        }
+        server.shutdown();
+        let stats = engine.stats();
+        println!(
+            "smoke ok: {} ops; hits={} misses={} sets={} expirations={}",
+            smoke_ops,
+            stats.hits(),
+            stats.misses(),
+            stats.sets.load(std::sync::atomic::Ordering::Relaxed),
+            stats.expirations.load(std::sync::atomic::Ordering::Relaxed),
+        );
+        return;
+    }
+
+    // Serve until the process is killed.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
+    match args.iter().position(|a| a == name) {
+        Some(idx) => {
+            args.remove(idx);
+            true
+        }
+        None => false,
+    }
+}
+
+fn take_value(args: &mut Vec<String>, name: &str) -> Option<String> {
+    let idx = args.iter().position(|a| a == name)?;
+    args.remove(idx);
+    if idx < args.len() {
+        Some(args.remove(idx))
+    } else {
+        eprintln!("flag {name} requires a value");
+        std::process::exit(2);
+    }
+}
+
+/// The CI end-to-end check: mixed SET / GET / multi-GET / expiry / DELETE
+/// traffic from several connections, then a clean drain.
+fn smoke_workload(addr: std::net::SocketAddr, ops: usize) -> std::io::Result<()> {
+    let err = |msg: String| std::io::Error::other(msg);
+
+    let mut client = CacheClient::connect(addr)?;
+    for i in 0..ops {
+        let key = format!("smoke:{}", i % 257);
+        let value = format!("value-{i}");
+        if !client.set(&key, 0, 0, value.as_bytes())? {
+            return Err(err(format!("SET {key} not stored")));
+        }
+        match client.get(&key)? {
+            Some(got) if got == value.as_bytes() => {}
+            other => return Err(err(format!("GET {key} returned {other:?}"))),
+        }
+    }
+
+    // Multi-GET across present and missing keys.
+    let hits = client.get_many(&["smoke:0", "definitely-missing", "smoke:1"])?;
+    if hits.len() != 2 {
+        return Err(err(format!("multi-GET expected 2 hits, got {hits:?}")));
+    }
+
+    // Expiry: a 1-second TTL item disappears.
+    client.set("smoke:ttl", 0, 1, b"short-lived")?;
+    if client.get("smoke:ttl")?.is_none() {
+        return Err(err("TTL item vanished immediately".to_string()));
+    }
+    std::thread::sleep(Duration::from_millis(1100));
+    if client.get("smoke:ttl")?.is_some() {
+        return Err(err("TTL item survived its expiry".to_string()));
+    }
+
+    if !client.delete("smoke:0")? {
+        return Err(err("DELETE smoke:0 failed".to_string()));
+    }
+
+    // A second connection must see the same data.
+    let mut other = CacheClient::connect(addr)?;
+    if other.get("smoke:1")?.is_none() {
+        return Err(err("second connection missed smoke:1".to_string()));
+    }
+    if !other.version()?.contains("relativist") {
+        return Err(err("unexpected version string".to_string()));
+    }
+    other.quit()?;
+    client.quit()?;
+    Ok(())
+}

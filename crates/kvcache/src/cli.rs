@@ -1,0 +1,339 @@
+//! Command-line / environment configuration for the `kvcached` binary.
+//!
+//! Kept in the library (rather than the binary) so the flag and env-var
+//! handling is unit-testable. Flags win over environment variables, which
+//! win over defaults:
+//!
+//! | Flag | Env | Default |
+//! |---|---|---|
+//! | `--engine rp\|rp-shard\|lock` | `RP_KV_ENGINE` | `rp-shard` |
+//! | `--port N` | `RP_KV_PORT` | `11211` |
+//! | `--mode threaded\|event-loop` | `RP_KV_MODE` | `event-loop` |
+//! | `--workers N` | `RP_KV_WORKERS` | `2` |
+//! | `--shards N` | `RP_KV_SHARDS` | `16` |
+//! | `--capacity N` | `RP_KV_CAPACITY` | `1048576` |
+//! | `--maint on\|off` | `RP_KV_MAINT` | `on` |
+//! | `--maint-fairness-slice N` | `RP_KV_MAINT_FAIRNESS_SLICE` | [`MaintConfig`] default |
+//! | `--maint-reclaim-threshold N` | `RP_KV_MAINT_RECLAIM_THRESHOLD` | [`MaintConfig`] default |
+//! | `--maint-idle-wakeup-ms N` | `RP_KV_MAINT_IDLE_WAKEUP_MS` | [`MaintConfig`] default |
+//! | `--drain-timeout-ms N` | `RP_KV_DRAIN_TIMEOUT_MS` | `5000` |
+//!
+//! The `--maint-*` family tunes the background resize maintenance thread
+//! (`rp-maint`) behind the `rp-shard` engine; `--maint off` reverts to
+//! inline resizing (writers absorb the grace-period waits themselves).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rp_maint::MaintConfig;
+
+use crate::engine::CacheEngine;
+use crate::server::{ServerConfig, ServerMode};
+use crate::{LockEngine, RpEngine, ShardedRpEngine};
+
+/// Which storage engine to serve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Single relativistic table ([`RpEngine`]).
+    Rp,
+    /// Sharded relativistic index ([`ShardedRpEngine`]).
+    RpShard,
+    /// Global-lock baseline ([`LockEngine`]).
+    Lock,
+}
+
+/// Parsed server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Storage engine.
+    pub engine: EngineKind,
+    /// TCP port (`0` picks a free one).
+    pub port: u16,
+    /// Connection-handling architecture.
+    pub mode: ServerMode,
+    /// Event-loop worker threads.
+    pub workers: usize,
+    /// Index shards (rp-shard engine only).
+    pub shards: usize,
+    /// Item capacity.
+    pub capacity: usize,
+    /// Maintenance-thread tuning, or `None` for inline resizes (rp-shard
+    /// engine only).
+    pub maint: Option<MaintConfig>,
+    /// Graceful-shutdown drain budget (event-loop mode).
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            engine: EngineKind::RpShard,
+            port: 11211,
+            mode: ServerMode::EventLoop,
+            workers: 2,
+            shards: 16,
+            capacity: 1 << 20,
+            maint: Some(MaintConfig::default()),
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Usage text for `kvcached --help`.
+pub const USAGE: &str = "\
+kvcached — the relativist cache server
+
+USAGE:
+    kvcached [FLAGS]
+
+FLAGS (each falls back to the env var in brackets, then to the default):
+    --engine rp|rp-shard|lock     storage engine                [RP_KV_ENGINE, rp-shard]
+    --port N                      TCP port, 0 = pick free       [RP_KV_PORT, 11211]
+    --mode threaded|event-loop    connection architecture       [RP_KV_MODE, event-loop]
+    --workers N                   event-loop worker threads     [RP_KV_WORKERS, 2]
+    --shards N                    index shards (rp-shard)       [RP_KV_SHARDS, 16]
+    --capacity N                  max items                     [RP_KV_CAPACITY, 1048576]
+    --maint on|off                background index resizes      [RP_KV_MAINT, on]
+    --maint-fairness-slice N      resize steps per shard turn   [RP_KV_MAINT_FAIRNESS_SLICE]
+    --maint-reclaim-threshold N   deferred-free batch trigger   [RP_KV_MAINT_RECLAIM_THRESHOLD]
+    --maint-idle-wakeup-ms N      idle reclamation heartbeat    [RP_KV_MAINT_IDLE_WAKEUP_MS]
+    --drain-timeout-ms N          graceful shutdown budget      [RP_KV_DRAIN_TIMEOUT_MS, 5000]
+    --help                        print this text
+";
+
+impl ServerOptions {
+    /// Parses `args` (without the program name), falling back to `env` for
+    /// unset flags. `env` is injected so tests need not mutate the process
+    /// environment.
+    pub fn parse(
+        args: &[String],
+        env: &dyn Fn(&str) -> Option<String>,
+    ) -> Result<ServerOptions, String> {
+        let mut opts = ServerOptions::default();
+
+        // Environment layer first, flags override below.
+        let mut engine = env("RP_KV_ENGINE");
+        let mut port = env("RP_KV_PORT");
+        let mut mode = env("RP_KV_MODE");
+        let mut workers = env("RP_KV_WORKERS");
+        let mut shards = env("RP_KV_SHARDS");
+        let mut capacity = env("RP_KV_CAPACITY");
+        let mut maint = env("RP_KV_MAINT");
+        let mut fairness = env("RP_KV_MAINT_FAIRNESS_SLICE");
+        let mut reclaim = env("RP_KV_MAINT_RECLAIM_THRESHOLD");
+        let mut idle_ms = env("RP_KV_MAINT_IDLE_WAKEUP_MS");
+        let mut drain_ms = env("RP_KV_DRAIN_TIMEOUT_MS");
+
+        let mut iter = args.iter();
+        while let Some(flag) = iter.next() {
+            if flag == "--help" || flag == "-h" {
+                return Err(USAGE.to_string());
+            }
+            let slot = match flag.as_str() {
+                "--engine" => &mut engine,
+                "--port" => &mut port,
+                "--mode" => &mut mode,
+                "--workers" => &mut workers,
+                "--shards" => &mut shards,
+                "--capacity" => &mut capacity,
+                "--maint" => &mut maint,
+                "--maint-fairness-slice" => &mut fairness,
+                "--maint-reclaim-threshold" => &mut reclaim,
+                "--maint-idle-wakeup-ms" => &mut idle_ms,
+                "--drain-timeout-ms" => &mut drain_ms,
+                other => return Err(format!("unknown flag {other:?}\n\n{USAGE}")),
+            };
+            let Some(value) = iter.next() else {
+                return Err(format!("flag {flag} requires a value"));
+            };
+            *slot = Some(value.clone());
+        }
+
+        if let Some(v) = engine {
+            opts.engine = match v.as_str() {
+                "rp" => EngineKind::Rp,
+                "rp-shard" => EngineKind::RpShard,
+                "lock" => EngineKind::Lock,
+                other => return Err(format!("bad engine {other:?} (rp | rp-shard | lock)")),
+            };
+        }
+        if let Some(v) = port {
+            opts.port = parse_num(&v, "--port")?;
+        }
+        if let Some(v) = mode {
+            opts.mode = match v.as_str() {
+                "threaded" => ServerMode::Threaded,
+                "event-loop" => ServerMode::EventLoop,
+                other => return Err(format!("bad mode {other:?} (threaded | event-loop)")),
+            };
+        }
+        if let Some(v) = workers {
+            opts.workers = parse_num::<usize>(&v, "--workers")?.max(1);
+        }
+        if let Some(v) = shards {
+            opts.shards = parse_num::<usize>(&v, "--shards")?.max(1);
+        }
+        if let Some(v) = capacity {
+            opts.capacity = parse_num::<usize>(&v, "--capacity")?.max(1);
+        }
+        if let Some(v) = maint {
+            let on = !matches!(
+                v.trim().to_ascii_lowercase().as_str(),
+                "off" | "0" | "false" | "no"
+            );
+            opts.maint = on.then(MaintConfig::default);
+        }
+        if let Some(config) = opts.maint.as_mut() {
+            if let Some(v) = fairness {
+                config.fairness_slice = parse_num::<usize>(&v, "--maint-fairness-slice")?.max(1);
+            }
+            if let Some(v) = reclaim {
+                config.reclaim_threshold = parse_num(&v, "--maint-reclaim-threshold")?;
+            }
+            if let Some(v) = idle_ms {
+                config.idle_wakeup =
+                    Duration::from_millis(parse_num(&v, "--maint-idle-wakeup-ms")?);
+            }
+        }
+        if let Some(v) = drain_ms {
+            opts.drain_timeout = Duration::from_millis(parse_num(&v, "--drain-timeout-ms")?);
+        }
+        Ok(opts)
+    }
+
+    /// Builds the configured engine. The `--maint-*` options only affect
+    /// the `rp-shard` engine (the others have no maintenance thread).
+    pub fn build_engine(&self) -> Arc<dyn CacheEngine> {
+        match self.engine {
+            EngineKind::Rp => Arc::new(RpEngine::with_capacity(self.capacity)),
+            EngineKind::RpShard => Arc::new(ShardedRpEngine::with_options(
+                self.shards,
+                self.capacity,
+                self.maint.clone(),
+            )),
+            EngineKind::Lock => Arc::new(LockEngine::with_capacity(self.capacity)),
+        }
+    }
+
+    /// The [`ServerConfig`] these options describe.
+    pub fn server_config(&self) -> ServerConfig {
+        ServerConfig {
+            port: self.port,
+            mode: self.mode,
+            workers: self.workers,
+            drain_timeout: self.drain_timeout,
+        }
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String> {
+    value
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad numeric value {value:?} for {flag}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_env(_: &str) -> Option<String> {
+        None
+    }
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_when_nothing_is_given() {
+        let opts = ServerOptions::parse(&[], &no_env).unwrap();
+        assert_eq!(opts.engine, EngineKind::RpShard);
+        assert_eq!(opts.mode, ServerMode::EventLoop);
+        assert_eq!(opts.port, 11211);
+        assert!(opts.maint.is_some());
+    }
+
+    #[test]
+    fn flags_parse_and_tune_maintenance() {
+        let opts = ServerOptions::parse(
+            &strings(&[
+                "--engine",
+                "rp-shard",
+                "--mode",
+                "event-loop",
+                "--workers",
+                "4",
+                "--port",
+                "0",
+                "--maint-fairness-slice",
+                "32",
+                "--maint-reclaim-threshold",
+                "1024",
+                "--maint-idle-wakeup-ms",
+                "10",
+                "--drain-timeout-ms",
+                "250",
+            ]),
+            &no_env,
+        )
+        .unwrap();
+        assert_eq!(opts.workers, 4);
+        assert_eq!(opts.port, 0);
+        let maint = opts.maint.as_ref().expect("maintenance on");
+        assert_eq!(maint.fairness_slice, 32);
+        assert_eq!(maint.reclaim_threshold, 1024);
+        assert_eq!(maint.idle_wakeup, Duration::from_millis(10));
+        assert_eq!(opts.drain_timeout, Duration::from_millis(250));
+    }
+
+    #[test]
+    fn env_fills_in_and_flags_override() {
+        let env = |name: &str| match name {
+            "RP_KV_ENGINE" => Some("lock".to_string()),
+            "RP_KV_WORKERS" => Some("8".to_string()),
+            "RP_KV_MAINT_FAIRNESS_SLICE" => Some("64".to_string()),
+            _ => None,
+        };
+        let opts = ServerOptions::parse(&strings(&["--engine", "rp"]), &env).unwrap();
+        assert_eq!(opts.engine, EngineKind::Rp, "flag beats env");
+        assert_eq!(opts.workers, 8, "env beats default");
+        // Engine rp has no maintenance thread, but the tuning still parses.
+        let opts = ServerOptions::parse(&[], &env).unwrap();
+        assert_eq!(opts.maint.as_ref().unwrap().fairness_slice, 64);
+    }
+
+    #[test]
+    fn maint_off_discards_tuning() {
+        let opts = ServerOptions::parse(
+            &strings(&["--maint", "off", "--maint-fairness-slice", "32"]),
+            &no_env,
+        )
+        .unwrap();
+        assert!(opts.maint.is_none());
+    }
+
+    #[test]
+    fn bad_values_report_errors() {
+        assert!(ServerOptions::parse(&strings(&["--engine", "redis"]), &no_env).is_err());
+        assert!(ServerOptions::parse(&strings(&["--port", "eleven"]), &no_env).is_err());
+        assert!(ServerOptions::parse(&strings(&["--mode", "forked"]), &no_env).is_err());
+        assert!(ServerOptions::parse(&strings(&["--port"]), &no_env).is_err());
+        assert!(ServerOptions::parse(&strings(&["--bogus", "1"]), &no_env).is_err());
+        let usage = ServerOptions::parse(&strings(&["--help"]), &no_env).unwrap_err();
+        assert!(usage.contains("--maint-fairness-slice"));
+    }
+
+    #[test]
+    fn built_engines_match_the_request() {
+        let opts = ServerOptions::parse(
+            &strings(&["--engine", "rp-shard", "--shards", "4", "--maint", "off"]),
+            &no_env,
+        )
+        .unwrap();
+        let engine = opts.build_engine();
+        assert_eq!(engine.name(), "rp-shard");
+        let opts = ServerOptions::parse(&strings(&["--engine", "lock"]), &no_env).unwrap();
+        assert_eq!(opts.build_engine().name(), "default");
+    }
+}

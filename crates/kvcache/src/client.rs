@@ -21,6 +21,18 @@ impl CacheClient {
         Ok(CacheClient { stream, reader })
     }
 
+    /// Writes one entire request.
+    ///
+    /// Every request is pre-assembled into a single buffer before this
+    /// call, so an error part-way can no longer tear a header from its
+    /// payload (the old code issued three separate writes per `set`);
+    /// `write_all` then guarantees the short-write/`EINTR` retry loop —
+    /// it resumes partial writes, retries on `Interrupted`, and turns a
+    /// zero-length write into `WriteZero` instead of spinning.
+    fn send(&mut self, request: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(request)
+    }
+
     /// Issues `set` and waits for the reply. Returns `true` when the server
     /// answered `STORED`.
     pub fn set(
@@ -30,36 +42,42 @@ impl CacheClient {
         exptime_secs: u64,
         data: &[u8],
     ) -> std::io::Result<bool> {
-        write!(
-            self.stream,
-            "set {key} {flags} {exptime_secs} {}\r\n",
-            data.len()
-        )?;
-        self.stream.write_all(data)?;
-        self.stream.write_all(b"\r\n")?;
+        let mut request =
+            format!("set {key} {flags} {exptime_secs} {}\r\n", data.len()).into_bytes();
+        request.extend_from_slice(data);
+        request.extend_from_slice(b"\r\n");
+        self.send(&request)?;
         let line = self.read_line()?;
         Ok(line.trim_end() == "STORED")
     }
 
+    /// Reads one `VALUE <key> <flags> <bytes>` block (header already read);
+    /// returns the key and payload.
+    fn read_value_block(&mut self, header: &str) -> std::io::Result<(String, Vec<u8>)> {
+        let mut fields = header.split_ascii_whitespace().skip(1);
+        let key = fields.next().map(str::to_string);
+        let nbytes: Option<usize> = fields.nth(1).and_then(|s| s.parse().ok());
+        let (Some(key), Some(nbytes)) = (key, nbytes) else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "bad VALUE header",
+            ));
+        };
+        let mut data = vec![0_u8; nbytes + 2];
+        std::io::Read::read_exact(&mut self.reader, &mut data)?;
+        data.truncate(nbytes);
+        Ok((key, data))
+    }
+
     /// Issues `get` for a single key and returns the value bytes if present.
     pub fn get(&mut self, key: &str) -> std::io::Result<Option<Vec<u8>>> {
-        write!(self.stream, "get {key}\r\n")?;
+        self.send(format!("get {key}\r\n").as_bytes())?;
         let header = self.read_line()?;
         let header = header.trim_end();
         if header == "END" {
             return Ok(None);
         }
-        // "VALUE <key> <flags> <bytes>"
-        let nbytes: usize = header
-            .split_ascii_whitespace()
-            .nth(3)
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| {
-                std::io::Error::new(std::io::ErrorKind::InvalidData, "bad VALUE header")
-            })?;
-        let mut data = vec![0_u8; nbytes + 2];
-        std::io::Read::read_exact(&mut self.reader, &mut data)?;
-        data.truncate(nbytes);
+        let (_, data) = self.read_value_block(header)?;
         // Trailing "END\r\n".
         let end = self.read_line()?;
         if end.trim_end() != "END" {
@@ -71,23 +89,44 @@ impl CacheClient {
         Ok(Some(data))
     }
 
+    /// Issues one multi-key `get`, returning the `(key, value)` pairs the
+    /// server found (missing keys are simply absent, as in the protocol).
+    pub fn get_many(&mut self, keys: &[&str]) -> std::io::Result<Vec<(String, Vec<u8>)>> {
+        let mut request = String::from("get");
+        for key in keys {
+            request.push(' ');
+            request.push_str(key);
+        }
+        request.push_str("\r\n");
+        self.send(request.as_bytes())?;
+        let mut hits = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            let line = line.trim_end();
+            if line == "END" {
+                return Ok(hits);
+            }
+            hits.push(self.read_value_block(line)?);
+        }
+    }
+
     /// Issues `delete`; returns `true` when the server answered `DELETED`.
     pub fn delete(&mut self, key: &str) -> std::io::Result<bool> {
-        write!(self.stream, "delete {key}\r\n")?;
+        self.send(format!("delete {key}\r\n").as_bytes())?;
         let line = self.read_line()?;
         Ok(line.trim_end() == "DELETED")
     }
 
     /// Issues `version` and returns the server's version string.
     pub fn version(&mut self) -> std::io::Result<String> {
-        self.stream.write_all(b"version\r\n")?;
+        self.send(b"version\r\n")?;
         let line = self.read_line()?;
         Ok(line.trim_end().trim_start_matches("VERSION ").to_string())
     }
 
     /// Issues `stats` and returns the `STAT` pairs.
     pub fn stats(&mut self) -> std::io::Result<Vec<(String, String)>> {
-        self.stream.write_all(b"stats\r\n")?;
+        self.send(b"stats\r\n")?;
         let mut out = Vec::new();
         loop {
             let line = self.read_line()?;
@@ -105,7 +144,7 @@ impl CacheClient {
 
     /// Sends `quit`, closing the connection server-side.
     pub fn quit(&mut self) -> std::io::Result<()> {
-        self.stream.write_all(b"quit\r\n")
+        self.send(b"quit\r\n")
     }
 
     fn read_line(&mut self) -> std::io::Result<String> {

@@ -1,0 +1,125 @@
+//! The cache server on the `rp-net` epoll reactor.
+//!
+//! Where [`CacheServer`](crate::server::CacheServer) spends a thread per
+//! connection, [`EventServer`] serves every connection from a fixed pool of
+//! reactor workers: requests are framed incrementally (a command may arrive
+//! one byte at a time), responses to pipelined requests are batched into
+//! single writes, a slow reader that stops draining its responses gets its
+//! *reads* paused instead of ballooning server memory, and graceful
+//! shutdown answers everything already received before closing.
+
+use std::io;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rp_net::{Action, EventLoop, NetConfig, NetStats, Service, WriteBuf};
+
+use crate::engine::CacheEngine;
+use crate::protocol::{DecodedRequest, RequestDecoder, Response};
+use crate::server::execute;
+
+/// The memcached text protocol as an [`rp_net::Service`].
+///
+/// Per-connection state is exactly one [`RequestDecoder`]; everything else
+/// (the engine, statistics) is shared. `on_data` drains every complete
+/// pipelined request, so N requests arriving in one read produce N replies
+/// in one write.
+pub struct KvService {
+    engine: Arc<dyn CacheEngine>,
+}
+
+impl KvService {
+    /// Wraps `engine` for the reactor.
+    pub fn new(engine: Arc<dyn CacheEngine>) -> KvService {
+        KvService { engine }
+    }
+}
+
+impl Service for KvService {
+    type Conn = RequestDecoder;
+
+    fn on_connect(&self, _peer: SocketAddr) -> RequestDecoder {
+        RequestDecoder::new()
+    }
+
+    fn on_data(
+        &self,
+        decoder: &mut RequestDecoder,
+        input: &mut Vec<u8>,
+        out: &mut WriteBuf,
+    ) -> Action {
+        decoder.absorb(input);
+        loop {
+            match decoder.next() {
+                Some(DecodedRequest::Command(command)) => {
+                    let quit = matches!(command, crate::protocol::Command::Quit);
+                    if let Some(reply) = execute(&*self.engine, command) {
+                        out.push(reply.to_bytes());
+                    }
+                    if quit {
+                        return Action::Close;
+                    }
+                }
+                Some(DecodedRequest::Invalid { reason }) => {
+                    out.push(Response::ClientError(reason).to_bytes());
+                }
+                None => return Action::Continue,
+            }
+        }
+    }
+}
+
+/// A running event-loop cache server.
+pub struct EventServer {
+    inner: EventLoop,
+    engine: Arc<dyn CacheEngine>,
+}
+
+impl EventServer {
+    /// Binds `127.0.0.1:<port>` (0 picks a free port) and serves `engine`
+    /// from `workers` reactor threads.
+    pub fn start(
+        engine: Arc<dyn CacheEngine>,
+        port: u16,
+        workers: usize,
+        drain_timeout: Duration,
+    ) -> io::Result<EventServer> {
+        let config = NetConfig {
+            workers,
+            drain_timeout,
+            ..NetConfig::default()
+        };
+        let service = Arc::new(KvService::new(Arc::clone(&engine)));
+        let addr: SocketAddr = ([127, 0, 0, 1], port).into();
+        let inner = EventLoop::bind(addr, service, config)?;
+        Ok(EventServer { inner, engine })
+    }
+
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.addr()
+    }
+
+    /// The engine behind this server.
+    pub fn engine(&self) -> &Arc<dyn CacheEngine> {
+        &self.engine
+    }
+
+    /// Number of reactor worker threads — the server's entire thread
+    /// budget, independent of the connection count.
+    pub fn worker_count(&self) -> usize {
+        self.inner.worker_count()
+    }
+
+    /// Reactor connection counters.
+    pub fn net_stats(&self) -> NetStats {
+        self.inner.stats()
+    }
+
+    /// Graceful shutdown: stop accepting, answer every request already
+    /// received, flush, close, join the workers. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.inner.shutdown();
+    }
+}

@@ -25,9 +25,16 @@
 //!   shard-grouped read path. Index resizes run on a background `rp-maint`
 //!   maintenance thread by default, so SETs never wait for grace periods;
 //!   `RP_KV_MAINT=off` reverts to inline resizing.
-//! * [`server`] / [`client`] — a threaded TCP server and a small blocking
+//! * [`server`] / [`client`] — the TCP front ends and a small blocking
 //!   client speaking the protocol, used by the end-to-end tests, the
 //!   `kv_server` example and (optionally) the memcached figure harness.
+//!   [`ServerConfig`] picks between the thread-per-connection baseline
+//!   ([`server::CacheServer`]) and the `rp-net` epoll event loop
+//!   ([`EventServer`]), which serves any number of connections from a
+//!   fixed worker pool with incremental request framing, pipelined
+//!   responses and write backpressure.
+//! * [`cli`] — flag/env parsing for the `kvcached` binary, including the
+//!   `--maint-*` knobs that tune the background resize maintenance thread.
 //!
 //! The `fig_memcached` benchmark in `rp-bench` drives both engines with an
 //! mc-benchmark-style closed-loop workload and reports requests/second for
@@ -43,11 +50,15 @@ pub mod protocol;
 mod rp_engine;
 mod sharded_engine;
 
+pub mod cli;
 pub mod client;
+pub mod event_server;
 pub mod server;
 
 pub use engine::{CacheEngine, CacheStats, StoreOutcome};
+pub use event_server::{EventServer, KvService};
 pub use item::Item;
 pub use lock_engine::LockEngine;
 pub use rp_engine::RpEngine;
+pub use server::{start_server, ServerConfig, ServerHandle, ServerMode};
 pub use sharded_engine::ShardedRpEngine;

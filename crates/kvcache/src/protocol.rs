@@ -212,8 +212,18 @@ pub fn parse_command(buf: &[u8]) -> ParseOutcome {
                     reason: "bad numeric field in set".to_string(),
                 };
             };
-            // The data block is <bytes> bytes followed by \r\n.
-            let needed = after_line + nbytes + 2;
+            // The data block is <bytes> bytes followed by \r\n. A byte
+            // count near usize::MAX would overflow the frame arithmetic;
+            // nothing legitimate comes within orders of magnitude of it.
+            let Some(needed) = after_line
+                .checked_add(nbytes)
+                .and_then(|n| n.checked_add(2))
+            else {
+                return ParseOutcome::Invalid {
+                    consumed: after_line,
+                    reason: "set byte count is absurdly large".to_string(),
+                };
+            };
             if buf.len() < needed {
                 return ParseOutcome::Incomplete;
             }
@@ -272,6 +282,187 @@ pub fn parse_command(buf: &[u8]) -> ParseOutcome {
 
 fn find_crlf(buf: &[u8]) -> Option<usize> {
     buf.windows(2).position(|w| w == b"\r\n")
+}
+
+/// Longest command line the decoder accepts before declaring the stream
+/// malformed (memcached applies the same defence).
+pub const MAX_LINE: usize = 8 * 1024;
+
+/// Largest complete frame (command line + data block) the decoder buffers.
+/// A `set` declaring more is rejected and its payload swallowed as it
+/// arrives, without ever holding it in memory.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// One request produced by [`RequestDecoder::next`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodedRequest {
+    /// A well-formed command.
+    Command(Command),
+    /// A malformed command; the offending bytes have been discarded and
+    /// `reason` should be reported to the client as `CLIENT_ERROR`.
+    Invalid {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+/// A stateful, fully incremental protocol decoder.
+///
+/// [`parse_command`] is stateless: callers re-present the whole buffer
+/// until a frame completes. `RequestDecoder` owns the buffer between
+/// reads — bytes can arrive one at a time, split anywhere (mid-verb,
+/// mid-CRLF, mid-data-block), across any number of [`RequestDecoder::feed`]
+/// calls — and adds the defensive limits a network-facing server needs:
+///
+/// * command lines longer than [`MAX_LINE`] produce one `Invalid` and the
+///   rest of the line is discarded as it streams in;
+/// * `set` frames declaring more than [`MAX_FRAME`] payload bytes produce
+///   one `Invalid` and the payload is swallowed without being buffered.
+///
+/// ```
+/// use rp_kvcache::protocol::{Command, DecodedRequest, RequestDecoder};
+///
+/// let mut decoder = RequestDecoder::new();
+/// // A pipelined stream, fed one byte at a time.
+/// for &b in b"version\r\nget k\r\n" {
+///     decoder.feed(&[b]);
+/// }
+/// assert_eq!(decoder.next(), Some(DecodedRequest::Command(Command::Version)));
+/// assert_eq!(
+///     decoder.next(),
+///     Some(DecodedRequest::Command(Command::Get(vec!["k".into()])))
+/// );
+/// assert_eq!(decoder.next(), None); // needs more bytes
+/// ```
+#[derive(Debug, Default)]
+pub struct RequestDecoder {
+    buf: Vec<u8>,
+    /// Bytes of an abandoned oversized frame still to swallow.
+    skip: usize,
+    /// When set, discard until the next CRLF (oversized command line).
+    skip_line: bool,
+}
+
+impl RequestDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> RequestDecoder {
+        RequestDecoder::default()
+    }
+
+    /// Appends raw bytes from the socket.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// [`RequestDecoder::feed`] that takes ownership of `input`'s contents
+    /// (leaving it empty), avoiding a copy when the decoder's own buffer is
+    /// empty — the common case for a well-behaved client.
+    pub fn absorb(&mut self, input: &mut Vec<u8>) {
+        if self.buf.is_empty() {
+            std::mem::swap(&mut self.buf, input);
+        } else {
+            self.buf.extend_from_slice(input);
+            input.clear();
+        }
+    }
+
+    /// Bytes buffered but not yet consumed by a complete request.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// [`Iterator::next`] extracts the next complete request, or `None` if
+/// more bytes are needed — the iterator is *resumable*: after another
+/// [`RequestDecoder::feed`] it may yield again. Typical use drains every
+/// pipelined request that has fully arrived after each socket read:
+///
+/// ```
+/// # use rp_kvcache::protocol::{DecodedRequest, RequestDecoder};
+/// # fn handle(_r: DecodedRequest) {}
+/// # let mut decoder = RequestDecoder::new();
+/// decoder.feed(b"stats\r\nversion\r\nqu");
+/// for request in &mut decoder {
+///     handle(request); // Stats, then Version; "qu" stays buffered
+/// }
+/// # assert_eq!(decoder.buffered(), 2);
+/// ```
+impl Iterator for RequestDecoder {
+    type Item = DecodedRequest;
+
+    fn next(&mut self) -> Option<DecodedRequest> {
+        // Swallow the remainder of an abandoned oversized frame.
+        if self.skip > 0 {
+            let n = self.skip.min(self.buf.len());
+            self.buf.drain(..n);
+            self.skip -= n;
+            if self.skip > 0 {
+                return None;
+            }
+        }
+        // Discard an overlong line up to its (eventual) CRLF.
+        if self.skip_line {
+            match find_crlf(&self.buf) {
+                Some(pos) => {
+                    self.buf.drain(..pos + 2);
+                    self.skip_line = false;
+                }
+                None => {
+                    // Keep a trailing '\r': its '\n' may be next.
+                    let keep = usize::from(self.buf.last() == Some(&b'\r'));
+                    let len = self.buf.len();
+                    self.buf.drain(..len - keep);
+                    return None;
+                }
+            }
+        }
+        match parse_command(&self.buf) {
+            ParseOutcome::Complete { command, consumed } => {
+                self.buf.drain(..consumed);
+                Some(DecodedRequest::Command(command))
+            }
+            ParseOutcome::Invalid { consumed, reason } => {
+                self.buf.drain(..consumed);
+                Some(DecodedRequest::Invalid { reason })
+            }
+            ParseOutcome::Incomplete => match find_crlf(&self.buf) {
+                None if self.buf.len() > MAX_LINE => {
+                    self.skip_line = true;
+                    Some(DecodedRequest::Invalid {
+                        reason: format!("command line exceeds {MAX_LINE} bytes"),
+                    })
+                }
+                Some(line_end) => {
+                    // A complete line that still parses Incomplete is a
+                    // `set` waiting for its data block; bound what we are
+                    // willing to buffer for it.
+                    match set_frame_len(&self.buf[..line_end], line_end) {
+                        Some(total) if total > MAX_FRAME => {
+                            self.skip = total;
+                            Some(DecodedRequest::Invalid {
+                                reason: format!("object larger than {MAX_FRAME} bytes"),
+                            })
+                        }
+                        _ => None,
+                    }
+                }
+                None => None,
+            },
+        }
+    }
+}
+
+/// For a complete `set` command line, the total frame length (line + CRLF +
+/// data block + CRLF). `None` for any other line, or on overflow (which
+/// [`parse_command`] has already rejected as `Invalid` by then).
+fn set_frame_len(line: &[u8], line_end: usize) -> Option<usize> {
+    let line = std::str::from_utf8(line).ok()?;
+    let mut parts = line.split_ascii_whitespace();
+    if parts.next() != Some("set") {
+        return None;
+    }
+    let nbytes: usize = parts.nth(3)?.parse().ok()?;
+    line_end.checked_add(2)?.checked_add(nbytes)?.checked_add(2)
 }
 
 #[cfg(test)]
@@ -387,6 +578,156 @@ mod tests {
         assert_eq!(
             Response::ClientError("oops".into()).to_bytes(),
             b"CLIENT_ERROR oops\r\n"
+        );
+    }
+
+    fn decode_all(decoder: &mut RequestDecoder) -> Vec<DecodedRequest> {
+        let mut out = Vec::new();
+        for req in decoder.by_ref() {
+            out.push(req);
+        }
+        out
+    }
+
+    #[test]
+    fn decoder_handles_byte_at_a_time_streams() {
+        let stream = b"set k 1 0 5\r\nhello\r\nget k missing\r\ndelete k\r\nquit\r\n";
+        let mut decoder = RequestDecoder::new();
+        let mut decoded = Vec::new();
+        for &b in stream.iter() {
+            decoder.feed(&[b]);
+            decoded.extend(decode_all(&mut decoder));
+        }
+        assert_eq!(decoded.len(), 4);
+        assert!(matches!(
+            &decoded[0],
+            DecodedRequest::Command(Command::Set { key, .. }) if key == "k"
+        ));
+        assert_eq!(
+            decoded[1],
+            DecodedRequest::Command(Command::Get(vec!["k".into(), "missing".into()]))
+        );
+        assert!(matches!(
+            &decoded[2],
+            DecodedRequest::Command(Command::Delete { key, .. }) if key == "k"
+        ));
+        assert_eq!(decoded[3], DecodedRequest::Command(Command::Quit));
+        assert_eq!(decoder.buffered(), 0);
+    }
+
+    #[test]
+    fn decoder_absorb_moves_bytes_out_of_the_input() {
+        let mut decoder = RequestDecoder::new();
+        let mut input = b"version\r\nver".to_vec();
+        decoder.absorb(&mut input);
+        assert!(input.is_empty());
+        assert_eq!(
+            decoder.next(),
+            Some(DecodedRequest::Command(Command::Version))
+        );
+        assert_eq!(decoder.next(), None);
+        let mut rest = b"sion\r\n".to_vec();
+        decoder.absorb(&mut rest);
+        assert_eq!(
+            decoder.next(),
+            Some(DecodedRequest::Command(Command::Version))
+        );
+    }
+
+    #[test]
+    fn decoder_rejects_and_skips_overlong_lines() {
+        let mut decoder = RequestDecoder::new();
+        // An endless line, fed in chunks: exactly one Invalid, bounded memory.
+        let chunk = vec![b'a'; 4096];
+        let mut invalids = 0;
+        for _ in 0..16 {
+            decoder.feed(&chunk);
+            for req in decode_all(&mut decoder) {
+                match req {
+                    DecodedRequest::Invalid { reason } => {
+                        invalids += 1;
+                        assert!(reason.contains("exceeds"));
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            assert!(decoder.buffered() <= MAX_LINE + chunk.len() + 2);
+        }
+        assert_eq!(invalids, 1);
+        // The stream recovers at the next CRLF.
+        decoder.feed(b"\r\nstats\r\n");
+        assert_eq!(
+            decode_all(&mut decoder),
+            vec![DecodedRequest::Command(Command::Stats)]
+        );
+    }
+
+    #[test]
+    fn decoder_swallows_oversized_set_payloads_without_buffering() {
+        let huge = MAX_FRAME + 100;
+        let mut decoder = RequestDecoder::new();
+        decoder.feed(format!("set big 0 0 {huge}\r\n").as_bytes());
+        match decoder.next() {
+            Some(DecodedRequest::Invalid { reason }) => assert!(reason.contains("larger")),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Stream the payload through; the decoder must not accumulate it.
+        let chunk = vec![b'x'; 1 << 20];
+        let mut sent = 0;
+        while sent < huge {
+            let n = chunk.len().min(huge - sent);
+            decoder.feed(&chunk[..n]);
+            assert_eq!(decoder.next(), None);
+            assert!(decoder.buffered() < 2 * chunk.len());
+            sent += n;
+        }
+        decoder.feed(b"\r\nversion\r\n");
+        assert_eq!(
+            decode_all(&mut decoder),
+            vec![DecodedRequest::Command(Command::Version)]
+        );
+    }
+
+    #[test]
+    fn absurd_set_byte_counts_are_rejected_without_panicking() {
+        // A byte count near usize::MAX would overflow the frame arithmetic
+        // (`after_line + nbytes + 2`) and panic the worker thread.
+        let line = format!("set k 0 0 {}\r\n", usize::MAX - 2);
+        match parse_command(line.as_bytes()) {
+            ParseOutcome::Invalid { reason, .. } => assert!(reason.contains("absurdly")),
+            other => panic!("unexpected {other:?}"),
+        }
+        let mut decoder = RequestDecoder::new();
+        decoder.feed(line.as_bytes());
+        assert!(matches!(
+            decoder.next(),
+            Some(DecodedRequest::Invalid { .. })
+        ));
+        // The stream recovers at the next command.
+        decoder.feed(b"version\r\n");
+        assert_eq!(
+            decoder.next(),
+            Some(DecodedRequest::Command(Command::Version))
+        );
+    }
+
+    #[test]
+    fn decoder_split_crlf_while_skipping_line() {
+        let mut decoder = RequestDecoder::new();
+        let mut junk = vec![b'j'; MAX_LINE + 1];
+        decoder.feed(&junk);
+        assert!(matches!(
+            decoder.next(),
+            Some(DecodedRequest::Invalid { .. })
+        ));
+        // CRLF split across feeds while in skip-line mode.
+        junk.clear();
+        decoder.feed(b"more junk\r");
+        assert_eq!(decoder.next(), None);
+        decoder.feed(b"\nquit\r\n");
+        assert_eq!(
+            decode_all(&mut decoder),
+            vec![DecodedRequest::Command(Command::Quit)]
         );
     }
 

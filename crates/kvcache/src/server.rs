@@ -1,4 +1,15 @@
-//! A threaded TCP server speaking the memcached text protocol.
+//! TCP servers speaking the memcached text protocol.
+//!
+//! Two front ends share one request-execution path ([`execute`]):
+//!
+//! * [`CacheServer`] — the original thread-per-connection server, kept as
+//!   the baseline the event loop is benchmarked against.
+//! * [`EventServer`] — the `rp-net` epoll event loop: a fixed worker pool
+//!   serves any number of connections.
+//!
+//! [`ServerConfig`] selects between them (and carries the tuning shared by
+//! the `kvcached` binary, the benchmarks and the tests); [`start_server`]
+//! returns a [`ServerHandle`] that erases the choice.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -7,10 +18,125 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::engine::{CacheEngine, StoreOutcome};
-use crate::protocol::{parse_command, Command, ParseOutcome, Response};
+use crate::event_server::EventServer;
+use crate::protocol::{Command, DecodedRequest, RequestDecoder, Response};
 
 /// Version string reported by the `version` command.
 pub const SERVER_VERSION: &str = "relativist-kvcache 0.1.0";
+
+/// Which connection-handling architecture a server uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerMode {
+    /// One OS thread per connection (the historical baseline).
+    Threaded,
+    /// The `rp-net` epoll reactor: a fixed pool of worker threads.
+    EventLoop,
+}
+
+/// How to run a cache server.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// TCP port on 127.0.0.1 (0 picks a free port).
+    pub port: u16,
+    /// Connection-handling architecture.
+    pub mode: ServerMode,
+    /// Event-loop worker threads (ignored by [`ServerMode::Threaded`]).
+    pub workers: usize,
+    /// How long a graceful event-loop shutdown keeps flushing responses.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            port: 0,
+            mode: ServerMode::EventLoop,
+            workers: 2,
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The thread-per-connection baseline.
+    pub fn threaded() -> ServerConfig {
+        ServerConfig {
+            mode: ServerMode::Threaded,
+            ..ServerConfig::default()
+        }
+    }
+
+    /// The epoll event loop with `workers` reactor threads.
+    pub fn event_loop(workers: usize) -> ServerConfig {
+        ServerConfig {
+            mode: ServerMode::EventLoop,
+            workers: workers.max(1),
+            ..ServerConfig::default()
+        }
+    }
+
+    /// Sets the port.
+    pub fn with_port(mut self, port: u16) -> ServerConfig {
+        self.port = port;
+        self
+    }
+}
+
+/// A running cache server of either [`ServerMode`].
+pub enum ServerHandle {
+    /// Thread-per-connection.
+    Threaded(CacheServer),
+    /// Epoll event loop.
+    EventLoop(EventServer),
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        match self {
+            ServerHandle::Threaded(s) => s.addr(),
+            ServerHandle::EventLoop(s) => s.addr(),
+        }
+    }
+
+    /// The engine behind this server.
+    pub fn engine(&self) -> &Arc<dyn CacheEngine> {
+        match self {
+            ServerHandle::Threaded(s) => s.engine(),
+            ServerHandle::EventLoop(s) => s.engine(),
+        }
+    }
+
+    /// The architecture this handle runs.
+    pub fn mode(&self) -> ServerMode {
+        match self {
+            ServerHandle::Threaded(_) => ServerMode::Threaded,
+            ServerHandle::EventLoop(_) => ServerMode::EventLoop,
+        }
+    }
+
+    /// Stops the server (graceful drain in event-loop mode).
+    pub fn shutdown(&mut self) {
+        match self {
+            ServerHandle::Threaded(s) => s.shutdown(),
+            ServerHandle::EventLoop(s) => s.shutdown(),
+        }
+    }
+}
+
+/// Starts a server for `engine` as described by `config`.
+pub fn start_server(
+    engine: Arc<dyn CacheEngine>,
+    config: &ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    match config.mode {
+        ServerMode::Threaded => CacheServer::start(engine, config.port).map(ServerHandle::Threaded),
+        ServerMode::EventLoop => {
+            EventServer::start(engine, config.port, config.workers, config.drain_timeout)
+                .map(ServerHandle::EventLoop)
+        }
+    }
+}
 
 /// A running cache server.
 ///
@@ -108,20 +234,17 @@ fn serve_connection(
 ) -> std::io::Result<()> {
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(Duration::from_millis(200)))?;
-    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut decoder = RequestDecoder::new();
     let mut chunk = [0_u8; 4096];
 
     loop {
         // Drain every complete command already buffered.
-        loop {
-            match parse_command(&buf) {
-                ParseOutcome::Incomplete => break,
-                ParseOutcome::Invalid { consumed, reason } => {
-                    buf.drain(..consumed);
+        for request in decoder.by_ref() {
+            match request {
+                DecodedRequest::Invalid { reason } => {
                     stream.write_all(&Response::ClientError(reason).to_bytes())?;
                 }
-                ParseOutcome::Complete { command, consumed } => {
-                    buf.drain(..consumed);
+                DecodedRequest::Command(command) => {
                     let quit = matches!(command, Command::Quit);
                     if let Some(reply) = execute(engine, command) {
                         stream.write_all(&reply.to_bytes())?;
@@ -138,7 +261,7 @@ fn serve_connection(
         }
         match stream.read(&mut chunk) {
             Ok(0) => return Ok(()), // client closed the connection
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Ok(n) => decoder.feed(&chunk[..n]),
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>

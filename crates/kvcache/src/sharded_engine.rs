@@ -81,6 +81,13 @@ impl ShardedRpEngine {
         capacity: usize,
         maintained: bool,
     ) -> Self {
+        Self::with_options(shards, capacity, maintained.then(MaintConfig::default))
+    }
+
+    /// The fully explicit constructor: `maint` carries the maintenance
+    /// thread's tuning ([`MaintConfig`]), or `None` for inline resizing.
+    /// This is what the `kvcached` command line (`--maint-*` flags) feeds.
+    pub fn with_options(shards: usize, capacity: usize, maint: Option<MaintConfig>) -> Self {
         let per_shard_buckets = (capacity / shards.max(1)).clamp(16, 1024);
         let policy = ShardPolicy {
             shards,
@@ -94,10 +101,9 @@ impl ShardedRpEngine {
                 ..ResizePolicy::default()
             },
         };
-        let index = if maintained {
-            ShardedRpMap::with_maintenance(policy, MaintConfig::default())
-        } else {
-            ShardedRpMap::with_policy(policy)
+        let index = match maint {
+            Some(config) => ShardedRpMap::with_maintenance(policy, config),
+            None => ShardedRpMap::with_policy(policy),
         };
         ShardedRpEngine {
             index,

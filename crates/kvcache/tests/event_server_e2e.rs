@@ -1,0 +1,196 @@
+//! End-to-end tests for the event-loop server: protocol parity with the
+//! threaded baseline, pipelining, incremental framing, and graceful
+//! shutdown that sheds no requests.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rp_kvcache::client::CacheClient;
+use rp_kvcache::server::{start_server, ServerConfig, ServerHandle, ServerMode};
+use rp_kvcache::{CacheEngine, LockEngine, RpEngine, ShardedRpEngine};
+
+fn event_loop_config(workers: usize) -> ServerConfig {
+    ServerConfig {
+        mode: ServerMode::EventLoop,
+        workers,
+        drain_timeout: Duration::from_secs(5),
+        port: 0,
+    }
+}
+
+/// The same session the threaded server's tests exercise, against either
+/// mode: miss, set, hit, delete, double delete, version, stats, quit.
+fn full_session(server: &ServerHandle) {
+    let mut client = CacheClient::connect(server.addr()).expect("connect");
+    assert!(client.get("missing").unwrap().is_none());
+    assert!(client.set("key", 5, 0, b"payload").unwrap());
+    assert_eq!(client.get("key").unwrap().as_deref(), Some(&b"payload"[..]));
+    let hits = client.get_many(&["key", "nope", "key"]).unwrap();
+    assert_eq!(hits.len(), 2);
+    assert!(hits.iter().all(|(k, v)| k == "key" && v == b"payload"));
+    assert!(client.delete("key").unwrap());
+    assert!(!client.delete("key").unwrap());
+    assert!(client.version().unwrap().contains("relativist"));
+    let stats = client.stats().unwrap();
+    assert!(stats.iter().any(|(k, _)| k == "get_hits"));
+    client.quit().unwrap();
+}
+
+#[test]
+fn event_loop_matches_threaded_for_every_engine() {
+    let engines: Vec<Arc<dyn CacheEngine>> = vec![
+        Arc::new(LockEngine::new()),
+        Arc::new(RpEngine::new()),
+        Arc::new(ShardedRpEngine::new()),
+    ];
+    for engine in engines {
+        for config in [ServerConfig::threaded(), event_loop_config(2)] {
+            let mut server = start_server(Arc::clone(&engine), &config).expect("start");
+            full_session(&server);
+            server.shutdown();
+        }
+    }
+}
+
+#[test]
+fn pipelined_requests_get_ordered_responses() {
+    let mut server = start_server(Arc::new(RpEngine::new()), &event_loop_config(1)).unwrap();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+
+    // Many commands in a single write; responses must come back complete
+    // and in order.
+    let mut batch = Vec::new();
+    for i in 0..50 {
+        batch.extend_from_slice(format!("set k{i} 0 0 4\r\nv{i:03}\r\n").as_bytes());
+    }
+    for i in 0..50 {
+        batch.extend_from_slice(format!("get k{i}\r\n").as_bytes());
+    }
+    stream.write_all(&batch).unwrap();
+
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    for _ in 0..50 {
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line, "STORED\r\n");
+    }
+    for i in 0..50 {
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line, format!("VALUE k{i} 0 4\r\n"));
+        let mut value = [0_u8; 6];
+        reader.read_exact(&mut value).unwrap();
+        assert_eq!(&value, format!("v{i:03}\r\n").as_bytes());
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line, "END\r\n");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn frames_arriving_one_byte_at_a_time_are_served() {
+    let mut server = start_server(Arc::new(RpEngine::new()), &event_loop_config(2)).unwrap();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    for &b in b"set trickle 0 0 5\r\ndrip!\r\n" {
+        stream.write_all(&[b]).unwrap();
+        stream.flush().unwrap();
+    }
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line, "STORED\r\n");
+
+    for &b in b"get trickle\r\n" {
+        stream.write_all(&[b]).unwrap();
+    }
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line, "VALUE trickle 0 5\r\n");
+    server.shutdown();
+}
+
+#[test]
+fn malformed_lines_get_client_error_and_the_stream_recovers() {
+    let mut server = start_server(Arc::new(RpEngine::new()), &event_loop_config(1)).unwrap();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.write_all(b"bogus nonsense\r\nversion\r\n").unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("CLIENT_ERROR"), "got {line:?}");
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("VERSION"), "got {line:?}");
+    server.shutdown();
+}
+
+#[test]
+fn expiry_works_through_the_event_loop() {
+    let mut server = start_server(Arc::new(ShardedRpEngine::new()), &event_loop_config(2)).unwrap();
+    let mut client = CacheClient::connect(server.addr()).unwrap();
+    assert!(client.set("ttl", 0, 1, b"fleeting").unwrap());
+    assert!(client.get("ttl").unwrap().is_some());
+    std::thread::sleep(Duration::from_millis(1100));
+    assert!(client.get("ttl").unwrap().is_none(), "item must expire");
+    server.shutdown();
+}
+
+#[test]
+fn binary_values_survive_the_event_loop() {
+    let mut server = start_server(Arc::new(RpEngine::new()), &event_loop_config(2)).unwrap();
+    let mut client = CacheClient::connect(server.addr()).unwrap();
+    let payload: Vec<u8> = (0_u32..100_000).map(|b| (b % 251) as u8).collect();
+    assert!(client.set("big-binary", 0, 0, &payload).unwrap());
+    assert_eq!(client.get("big-binary").unwrap().unwrap(), payload);
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_answers_every_received_request() {
+    let mut server = start_server(Arc::new(RpEngine::new()), &event_loop_config(2)).unwrap();
+    {
+        let mut seed = CacheClient::connect(server.addr()).unwrap();
+        assert!(seed.set("drain-key", 0, 0, b"present").unwrap());
+    }
+
+    // 32 clients send a GET each; none reads its response before the
+    // server is told to shut down. Every response must still arrive.
+    let mut clients: Vec<TcpStream> = (0..32)
+        .map(|_| TcpStream::connect(server.addr()).unwrap())
+        .collect();
+    for c in &mut clients {
+        c.write_all(b"get drain-key\r\n").unwrap();
+    }
+    server.shutdown();
+
+    for (i, c) in clients.into_iter().enumerate() {
+        let mut got = Vec::new();
+        let mut reader = BufReader::new(c);
+        reader.read_to_end(&mut got).unwrap();
+        let text = String::from_utf8_lossy(&got);
+        assert!(
+            text.contains("VALUE drain-key 0 7\r\npresent\r\nEND\r\n"),
+            "client {i} was shed: {text:?}"
+        );
+    }
+}
+
+#[test]
+fn shutdown_is_idempotent_and_drop_is_safe() {
+    let engine: Arc<dyn CacheEngine> = Arc::new(RpEngine::new());
+    let mut server = start_server(Arc::clone(&engine), &event_loop_config(2)).unwrap();
+    full_session(&server);
+    server.shutdown();
+    server.shutdown();
+    drop(server);
+    // A fresh server on the same engine still works.
+    let mut server = start_server(engine, &event_loop_config(1)).unwrap();
+    full_session(&server);
+    server.shutdown();
+}

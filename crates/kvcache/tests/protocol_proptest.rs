@@ -5,7 +5,7 @@
 use bytes::Bytes;
 use proptest::prelude::*;
 
-use rp_kvcache::protocol::{parse_command, Command, ParseOutcome};
+use rp_kvcache::protocol::{parse_command, Command, DecodedRequest, ParseOutcome, RequestDecoder};
 
 fn key_strategy() -> impl Strategy<Value = String> {
     "[a-zA-Z0-9:_-]{1,32}"
@@ -112,6 +112,76 @@ proptest! {
         }
         prop_assert_eq!(parsed, cmds);
         prop_assert!(buf.is_empty(), "unconsumed trailing bytes");
+    }
+
+    #[test]
+    fn decoder_handles_one_byte_at_a_time(cmds in proptest::collection::vec(command_strategy(), 1..6)) {
+        // The strictest chunking there is: every read(2) delivers a single
+        // byte. The decoder must produce the identical command sequence and
+        // never report a valid stream as invalid.
+        let mut stream = Vec::new();
+        for cmd in &cmds {
+            stream.extend_from_slice(&encode(cmd));
+        }
+        let mut decoder = RequestDecoder::new();
+        let mut decoded = Vec::new();
+        for &b in &stream {
+            decoder.feed(&[b]);
+            for req in decoder.by_ref() {
+                match req {
+                    DecodedRequest::Command(cmd) => decoded.push(cmd),
+                    DecodedRequest::Invalid { reason } => {
+                        prop_assert!(false, "valid stream decoded as invalid: {}", reason);
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(decoded, cmds);
+        prop_assert_eq!(decoder.buffered(), 0, "unconsumed trailing bytes");
+    }
+
+    #[test]
+    fn decoder_handles_a_split_at_every_boundary(cmds in proptest::collection::vec(command_strategy(), 1..4)) {
+        // For a stream of N bytes, try all N+1 two-chunk splits — including
+        // splits inside a verb, inside a length field, between '\r' and
+        // '\n', and inside a set data block.
+        let mut stream = Vec::new();
+        for cmd in &cmds {
+            stream.extend_from_slice(&encode(cmd));
+        }
+        for split in 0..=stream.len() {
+            let mut decoder = RequestDecoder::new();
+            let mut decoded = Vec::new();
+            for chunk in [&stream[..split], &stream[split..]] {
+                decoder.feed(chunk);
+                for req in decoder.by_ref() {
+                    match req {
+                        DecodedRequest::Command(cmd) => decoded.push(cmd),
+                        DecodedRequest::Invalid { reason } => {
+                            prop_assert!(false, "split at {}: decoded as invalid: {}", split, reason);
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(&decoded, &cmds, "split at byte {}", split);
+            prop_assert_eq!(decoder.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn arbitrary_chunks_never_panic_the_decoder(
+        chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 0..16)
+    ) {
+        // Junk streams may produce Invalid requests, but the decoder must
+        // neither panic nor grow without bound.
+        let mut decoder = RequestDecoder::new();
+        let mut total = 0_usize;
+        for chunk in &chunks {
+            total += chunk.len();
+            decoder.feed(chunk);
+            while decoder.next().is_some() {}
+            prop_assert!(decoder.buffered() <= total);
+        }
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! Per-connection output buffering with partial-write tracking and a
+//! backpressure watermark.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+
+use bytes::Bytes;
+
+/// Result of flushing a [`WriteBuf`] to a socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushState {
+    /// Every queued byte reached the kernel.
+    Drained,
+    /// The socket's send buffer filled up; the caller should request
+    /// `EPOLLOUT` and retry when the socket becomes writable again.
+    Blocked,
+}
+
+/// A queue of response segments awaiting transmission.
+///
+/// Responses are pushed as whole segments ([`Vec<u8>`] or [`Bytes`]);
+/// [`WriteBuf::flush_to`] writes them out honouring short writes — a
+/// partially written front segment is resumed at its cursor, never
+/// re-sent. Small segments are coalesced into the tail to keep pipelined
+/// replies from degenerating into one tiny `write(2)` each.
+pub struct WriteBuf {
+    segments: VecDeque<Segment>,
+    /// Bytes of the front segment already written.
+    cursor: usize,
+    /// Total unwritten bytes across all segments.
+    len: usize,
+    high_watermark: usize,
+}
+
+enum Segment {
+    Owned(Vec<u8>),
+    Shared(Bytes),
+}
+
+impl Segment {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Segment::Owned(v) => v,
+            Segment::Shared(b) => b,
+        }
+    }
+}
+
+/// Below this size a pushed segment is copied into the previous tail
+/// segment instead of queued separately.
+const COALESCE_LIMIT: usize = 1024;
+
+impl WriteBuf {
+    /// Creates an empty buffer. `high_watermark` is the queue size (bytes)
+    /// above which [`WriteBuf::over_watermark`] reports backpressure.
+    pub fn new(high_watermark: usize) -> WriteBuf {
+        WriteBuf {
+            segments: VecDeque::new(),
+            cursor: 0,
+            len: 0,
+            high_watermark: high_watermark.max(1),
+        }
+    }
+
+    /// Queues an owned segment.
+    pub fn push(&mut self, bytes: Vec<u8>) {
+        if bytes.is_empty() {
+            return;
+        }
+        self.len += bytes.len();
+        if bytes.len() <= COALESCE_LIMIT {
+            // Appending to the tail is safe even when the tail is also the
+            // part-written front: the cursor indexes the front segment and
+            // the new bytes land beyond it.
+            if let Some(Segment::Owned(tail)) = self.segments.back_mut() {
+                tail.extend_from_slice(&bytes);
+                return;
+            }
+        }
+        self.segments.push_back(Segment::Owned(bytes));
+    }
+
+    /// Queues a shared segment without copying it.
+    pub fn push_shared(&mut self, bytes: Bytes) {
+        if bytes.is_empty() {
+            return;
+        }
+        self.len += bytes.len();
+        self.segments.push_back(Segment::Shared(bytes));
+    }
+
+    /// Unwritten bytes queued.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` when the queue exceeds the high watermark — the signal to
+    /// stop reading (and thus stop producing responses) until the peer
+    /// drains what it already owes us.
+    pub fn over_watermark(&self) -> bool {
+        self.len > self.high_watermark
+    }
+
+    /// Writes as much queued data as the socket accepts.
+    ///
+    /// Retries on `EINTR`, resumes partial writes at the saved cursor,
+    /// returns [`FlushState::Blocked`] on `EWOULDBLOCK`, and surfaces any
+    /// other error (a zero-length write is reported as `WriteZero`).
+    pub fn flush_to(&mut self, sink: &mut impl Write) -> io::Result<FlushState> {
+        while let Some(front) = self.segments.front() {
+            let pending = &front.as_slice()[self.cursor..];
+            debug_assert!(!pending.is_empty());
+            match sink.write(pending) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => {
+                    self.cursor += n;
+                    self.len -= n;
+                    if self.cursor == front.as_slice().len() {
+                        self.segments.pop_front();
+                        self.cursor = 0;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(FlushState::Blocked),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(FlushState::Drained)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A sink that accepts at most `quota` bytes per write call and can be
+    /// told to report `WouldBlock` after a total budget.
+    struct Throttled {
+        accepted: Vec<u8>,
+        quota: usize,
+        budget: usize,
+    }
+
+    impl Write for Throttled {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.budget == 0 {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "full"));
+            }
+            let n = buf.len().min(self.quota).min(self.budget);
+            self.accepted.extend_from_slice(&buf[..n]);
+            self.budget -= n;
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn short_writes_resume_at_the_cursor() {
+        let mut buf = WriteBuf::new(1 << 20);
+        buf.push(b"hello ".to_vec());
+        buf.push_shared(Bytes::from_static(b"world"));
+        let mut sink = Throttled {
+            accepted: Vec::new(),
+            quota: 3,
+            budget: usize::MAX,
+        };
+        assert_eq!(buf.flush_to(&mut sink).unwrap(), FlushState::Drained);
+        assert_eq!(sink.accepted, b"hello world");
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn would_block_preserves_unwritten_bytes() {
+        let mut buf = WriteBuf::new(1 << 20);
+        buf.push(vec![b'x'; 2000]);
+        buf.push(vec![b'y'; 2000]);
+        let mut sink = Throttled {
+            accepted: Vec::new(),
+            quota: 512,
+            budget: 1500,
+        };
+        assert_eq!(buf.flush_to(&mut sink).unwrap(), FlushState::Blocked);
+        assert_eq!(buf.len(), 2500);
+        // Unblock and finish.
+        sink.budget = usize::MAX;
+        assert_eq!(buf.flush_to(&mut sink).unwrap(), FlushState::Drained);
+        assert_eq!(sink.accepted.len(), 4000);
+        assert_eq!(&sink.accepted[..2000], &vec![b'x'; 2000][..]);
+        assert_eq!(&sink.accepted[2000..], &vec![b'y'; 2000][..]);
+    }
+
+    #[test]
+    fn small_pushes_coalesce() {
+        let mut buf = WriteBuf::new(1 << 20);
+        for _ in 0..100 {
+            buf.push(b"END\r\n".to_vec());
+        }
+        assert_eq!(buf.len(), 500);
+        assert!(
+            buf.segments.len() <= 2,
+            "expected coalescing, got {} segments",
+            buf.segments.len()
+        );
+    }
+
+    #[test]
+    fn watermark_reports_backpressure() {
+        let mut buf = WriteBuf::new(100);
+        assert!(!buf.over_watermark());
+        buf.push(vec![0; 101]);
+        assert!(buf.over_watermark());
+        let mut sink = Throttled {
+            accepted: Vec::new(),
+            quota: usize::MAX,
+            budget: usize::MAX,
+        };
+        buf.flush_to(&mut sink).unwrap();
+        assert!(!buf.over_watermark());
+    }
+}

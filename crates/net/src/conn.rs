@@ -1,0 +1,173 @@
+//! The per-connection readiness-driven state machine.
+
+use std::io::{self, Read};
+use std::net::TcpStream;
+use std::os::unix::io::{AsRawFd, RawFd};
+
+use crate::buffer::{FlushState, WriteBuf};
+use crate::poller::{EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use crate::{Action, NetConfig, Service};
+
+/// Connection lifecycle.
+///
+/// ```text
+///        reads enabled            service said Close, peer EOF,
+///        (unless backpressured)   or server shutdown
+///   Open ────────────────────────────────────────────▶ Draining
+///     │                                                   │ flush
+///     │ io error                                          ▼
+///     └─────────────────────────────────────────────▶  Closed
+/// ```
+///
+/// *Open*: request bytes are read as they arrive, complete frames are
+/// handed to the service, responses queue in the write buffer. *Draining*:
+/// no more reads; queued responses still flush. *Closed*: the worker
+/// deregisters and drops the socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ConnState {
+    Open,
+    Draining,
+    Closed,
+}
+
+pub(crate) struct Connection<S: Service> {
+    stream: TcpStream,
+    state: S::Conn,
+    input: Vec<u8>,
+    out: WriteBuf,
+    phase: ConnState,
+    /// The interest mask currently registered with the poller.
+    registered: u32,
+}
+
+impl<S: Service> Connection<S> {
+    pub(crate) fn new(stream: TcpStream, state: S::Conn, config: &NetConfig) -> Self {
+        Connection {
+            stream,
+            state,
+            input: Vec::new(),
+            out: WriteBuf::new(config.high_watermark),
+            phase: ConnState::Open,
+            registered: EPOLLIN | EPOLLRDHUP,
+        }
+    }
+
+    pub(crate) fn fd(&self) -> RawFd {
+        self.stream.as_raw_fd()
+    }
+
+    /// The interest mask this connection wants right now: reads while open
+    /// and under the backpressure watermark, writes while bytes are queued.
+    pub(crate) fn desired_interest(&self) -> u32 {
+        let mut mask = EPOLLRDHUP;
+        if self.phase == ConnState::Open && !self.out.over_watermark() {
+            mask |= EPOLLIN;
+        }
+        if !self.out.is_empty() {
+            mask |= EPOLLOUT;
+        }
+        mask
+    }
+
+    /// The mask registered with the poller (tracked to skip no-op MODs).
+    pub(crate) fn registered_interest(&self) -> u32 {
+        self.registered
+    }
+
+    pub(crate) fn set_registered_interest(&mut self, mask: u32) {
+        self.registered = mask;
+    }
+
+    pub(crate) fn finished(&self) -> bool {
+        matches!(self.phase, ConnState::Closed)
+    }
+
+    /// Reads until `EWOULDBLOCK`, EOF, or the per-turn budget is exhausted
+    /// (level-triggered epoll re-arms if bytes remain), then processes and
+    /// flushes. Any I/O error closes the connection. `chunk` is the
+    /// worker's shared scratch buffer — allocating per readiness event
+    /// would put an alloc+memset on the hottest path.
+    pub(crate) fn on_readable(&mut self, service: &S, config: &NetConfig, chunk: &mut [u8]) {
+        if self.phase != ConnState::Open {
+            // Late readiness after Close/Drain: nothing to read any more.
+            return self.flush(service);
+        }
+        let mut budget = config.read_budget;
+        while budget > 0 {
+            match self.stream.read(chunk) {
+                Ok(0) => {
+                    // Peer finished sending. Answer what it already sent,
+                    // flush, close.
+                    self.phase = ConnState::Draining;
+                    break;
+                }
+                Ok(n) => {
+                    budget = budget.saturating_sub(n);
+                    self.input.extend_from_slice(&chunk[..n]);
+                    // Hand frames to the service between reads so one
+                    // pipelining-heavy peer cannot queue unbounded input.
+                    self.process(service);
+                    if self.out.over_watermark() || self.phase != ConnState::Open {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.phase = ConnState::Closed;
+                    return;
+                }
+            }
+        }
+        self.process(service);
+        self.flush(service);
+    }
+
+    pub(crate) fn on_writable(&mut self, service: &S) {
+        self.flush(service);
+    }
+
+    /// Server shutdown: one final opportunistic read (requests the kernel
+    /// has already buffered get answered), then stop reading and drain.
+    pub(crate) fn begin_drain(&mut self, service: &S, config: &NetConfig, chunk: &mut [u8]) {
+        if self.phase == ConnState::Open {
+            self.on_readable(service, config, chunk);
+        }
+        if self.phase == ConnState::Open {
+            self.phase = ConnState::Draining;
+        }
+        self.flush(service);
+    }
+
+    /// Forwards buffered input to the service and queues its responses.
+    fn process(&mut self, service: &S) {
+        if self.input.is_empty() || self.phase == ConnState::Closed {
+            return;
+        }
+        match service.on_data(&mut self.state, &mut self.input, &mut self.out) {
+            Action::Continue => {}
+            Action::Close => {
+                if self.phase == ConnState::Open {
+                    self.phase = ConnState::Draining;
+                }
+            }
+        }
+    }
+
+    fn flush(&mut self, _service: &S) {
+        match self.out.flush_to(&mut self.stream) {
+            Ok(FlushState::Drained) => {
+                if self.phase == ConnState::Draining {
+                    self.phase = ConnState::Closed;
+                }
+            }
+            Ok(FlushState::Blocked) => {}
+            Err(_) => self.phase = ConnState::Closed,
+        }
+    }
+
+    /// Abandons the connection regardless of queued data (drain deadline).
+    pub(crate) fn force_close(&mut self) {
+        self.phase = ConnState::Closed;
+    }
+}

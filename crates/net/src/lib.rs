@@ -1,0 +1,296 @@
+//! # rp-net
+//!
+//! A dependency-free epoll event-loop server for the kvcache front end.
+//!
+//! The thread-per-connection server caps the connection count long before
+//! the relativistic hash table does: ten thousand mostly idle clients cost
+//! ten thousand stacks and scheduler entries. This crate replaces that
+//! model with a classic readiness-driven reactor:
+//!
+//! * [`sys`] — raw `extern "C"` declarations of `epoll_create1` /
+//!   `epoll_ctl` / `epoll_wait` / `fcntl` / `eventfd` against the system
+//!   libc (the build environment has no crates.io access, so no `libc` or
+//!   `mio` dependency).
+//! * [`Poller`] — one epoll instance; [`Waker`] — an eventfd that
+//!   interrupts a blocked wait from another thread.
+//! * [`WriteBuf`] — the per-connection output queue: partial writes resume
+//!   at a cursor, small pipelined replies coalesce into one `write(2)`,
+//!   and a high watermark signals backpressure (the reactor stops
+//!   *reading* from a peer that is not draining its responses).
+//! * A per-connection state machine (`Open → Draining → Closed`) driving
+//!   incremental reads, pipelined writes and graceful shutdown.
+//! * [`EventLoop`] — N worker threads, each with its own poller and
+//!   connection table. All workers register the *single* listening socket
+//!   with `EPOLLEXCLUSIVE`, so the kernel shards accepts across workers
+//!   (`SO_REUSEPORT`-style without the extra sockets). The server never
+//!   spawns another thread, no matter how many connections arrive.
+//!
+//! Applications plug in with the [`Service`] trait; each accepted
+//! connection gets a `Service::Conn` value for protocol state (e.g. an
+//! incremental request decoder), and `Service::on_data` consumes raw bytes
+//! and queues response bytes:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use rp_net::{Action, EventLoop, NetConfig, Service, WriteBuf};
+//!
+//! /// Upper-cases every line it receives.
+//! struct Shout;
+//! impl Service for Shout {
+//!     type Conn = ();
+//!     fn on_connect(&self, _peer: std::net::SocketAddr) {}
+//!     fn on_data(&self, _conn: &mut (), input: &mut Vec<u8>, out: &mut WriteBuf) -> Action {
+//!         out.push(input.drain(..).map(|b| b.to_ascii_uppercase()).collect());
+//!         Action::Continue
+//!     }
+//! }
+//!
+//! let mut server = EventLoop::bind(
+//!     "127.0.0.1:0".parse().unwrap(),
+//!     Arc::new(Shout),
+//!     NetConfig::default(),
+//! ).unwrap();
+//!
+//! use std::io::{Read, Write};
+//! let mut client = std::net::TcpStream::connect(server.addr()).unwrap();
+//! client.write_all(b"hello\n").unwrap();
+//! let mut reply = [0_u8; 6];
+//! client.read_exact(&mut reply).unwrap();
+//! assert_eq!(&reply, b"HELLO\n");
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod buffer;
+mod conn;
+mod poller;
+mod server;
+pub mod sys;
+
+pub use buffer::{FlushState, WriteBuf};
+pub use poller::{waker_pair, Event, Poller, WakeReceiver, Waker};
+pub use server::{EventLoop, NetStats};
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// What the service wants done with a connection after handling input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Keep the connection open.
+    Continue,
+    /// Flush any queued responses, then close (e.g. the client sent
+    /// `quit`, or the protocol was violated beyond recovery).
+    Close,
+}
+
+/// A protocol handler driven by the event loop.
+///
+/// One `Service` value is shared by every worker thread (it must be cheap
+/// to call concurrently); per-connection state lives in `Service::Conn`.
+pub trait Service: Send + Sync + 'static {
+    /// Per-connection protocol state (parser position, session flags, …).
+    type Conn: Send + 'static;
+
+    /// Called once per accepted connection.
+    fn on_connect(&self, peer: SocketAddr) -> Self::Conn;
+
+    /// Called whenever new bytes arrive. `input` holds everything received
+    /// but not yet consumed: the implementation removes the bytes it used
+    /// (a frame may arrive across many reads — unconsumed bytes are
+    /// presented again, extended, after the next read) and queues any
+    /// responses on `out`. Responses may cover several pipelined requests.
+    fn on_data(&self, conn: &mut Self::Conn, input: &mut Vec<u8>, out: &mut WriteBuf) -> Action;
+}
+
+/// Reactor tuning knobs.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Worker threads (and epoll instances). The server's entire thread
+    /// budget — connections never get their own.
+    pub workers: usize,
+    /// Per-`epoll_wait` event batch size.
+    pub events_per_wait: usize,
+    /// Bytes read per `read(2)` call.
+    pub read_chunk: usize,
+    /// Max bytes read from one connection per readiness event before other
+    /// connections get a turn (level-triggered epoll re-arms the rest).
+    pub read_budget: usize,
+    /// Output-queue size above which the reactor stops reading from the
+    /// connection until the peer drains its responses.
+    pub high_watermark: usize,
+    /// Maximum concurrent connections; accepts beyond it are dropped.
+    pub max_connections: usize,
+    /// How long graceful shutdown keeps flushing queued responses before
+    /// force-closing stragglers.
+    pub drain_timeout: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            workers: 2,
+            events_per_wait: 256,
+            read_chunk: 16 * 1024,
+            read_budget: 256 * 1024,
+            high_watermark: 1024 * 1024,
+            max_connections: usize::MAX,
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// Echoes complete `\n`-terminated lines; `quit\n` closes.
+    struct LineEcho {
+        connects: AtomicUsize,
+    }
+
+    impl Service for LineEcho {
+        type Conn = ();
+        fn on_connect(&self, _peer: SocketAddr) {
+            self.connects.fetch_add(1, Ordering::Relaxed);
+        }
+        fn on_data(&self, _conn: &mut (), input: &mut Vec<u8>, out: &mut WriteBuf) -> Action {
+            while let Some(pos) = input.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = input.drain(..=pos).collect();
+                if line == b"quit\n" {
+                    return Action::Close;
+                }
+                out.push(line);
+            }
+            Action::Continue
+        }
+    }
+
+    fn start_echo(workers: usize) -> EventLoop {
+        EventLoop::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            Arc::new(LineEcho {
+                connects: AtomicUsize::new(0),
+            }),
+            NetConfig {
+                workers,
+                ..NetConfig::default()
+            },
+        )
+        .expect("bind event loop")
+    }
+
+    #[test]
+    fn echoes_lines_and_closes_on_quit() {
+        let mut server = start_echo(1);
+        let mut client = TcpStream::connect(server.addr()).unwrap();
+        client.write_all(b"one\ntwo\n").unwrap();
+        let mut buf = [0_u8; 8];
+        client.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"one\ntwo\n");
+
+        client.write_all(b"quit\n").unwrap();
+        let mut rest = Vec::new();
+        client.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "quit closes without echoing");
+        server.shutdown();
+    }
+
+    #[test]
+    fn frames_split_across_many_writes_reassemble() {
+        let mut server = start_echo(2);
+        let mut client = TcpStream::connect(server.addr()).unwrap();
+        for &b in b"spread over many tiny writes\n" {
+            client.write_all(&[b]).unwrap();
+            client.flush().unwrap();
+        }
+        let mut buf = [0_u8; 29];
+        client.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf[..], b"spread over many tiny writes\n");
+        server.shutdown();
+    }
+
+    #[test]
+    fn many_connections_share_two_workers() {
+        let mut server = start_echo(2);
+        assert_eq!(server.worker_count(), 2);
+        let mut clients: Vec<TcpStream> = (0..64)
+            .map(|_| TcpStream::connect(server.addr()).unwrap())
+            .collect();
+        for (i, c) in clients.iter_mut().enumerate() {
+            c.write_all(format!("client-{i}\n").as_bytes()).unwrap();
+        }
+        for (i, c) in clients.iter_mut().enumerate() {
+            let want = format!("client-{i}\n");
+            let mut buf = vec![0_u8; want.len()];
+            c.read_exact(&mut buf).unwrap();
+            assert_eq!(buf, want.into_bytes());
+        }
+        let stats = server.stats();
+        assert_eq!(stats.accepted, 64);
+        assert_eq!(stats.current_connections, 64);
+        drop(clients);
+        server.shutdown();
+    }
+
+    #[test]
+    fn graceful_shutdown_flushes_pending_responses() {
+        let mut server = start_echo(2);
+        let mut clients: Vec<TcpStream> = (0..16)
+            .map(|_| TcpStream::connect(server.addr()).unwrap())
+            .collect();
+        // Every client sends a request; none has read its response yet.
+        for (i, c) in clients.iter_mut().enumerate() {
+            c.write_all(format!("drain-{i}\n").as_bytes()).unwrap();
+        }
+        server.shutdown();
+        // All responses must still arrive, then EOF.
+        for (i, c) in clients.iter_mut().enumerate() {
+            let mut got = Vec::new();
+            c.read_to_end(&mut got).unwrap();
+            assert_eq!(got, format!("drain-{i}\n").into_bytes(), "client {i}");
+        }
+    }
+
+    #[test]
+    fn max_connections_sheds_excess_accepts() {
+        let mut server = EventLoop::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            Arc::new(LineEcho {
+                connects: AtomicUsize::new(0),
+            }),
+            NetConfig {
+                workers: 1,
+                max_connections: 2,
+                ..NetConfig::default()
+            },
+        )
+        .unwrap();
+        let mut keep: Vec<TcpStream> = (0..2)
+            .map(|_| TcpStream::connect(server.addr()).unwrap())
+            .collect();
+        for (i, c) in keep.iter_mut().enumerate() {
+            c.write_all(format!("keep-{i}\n").as_bytes()).unwrap();
+            let mut buf = vec![0_u8; 7];
+            c.read_exact(&mut buf).unwrap();
+        }
+        // The third connection is accepted then immediately dropped. The
+        // client sees clean EOF, or ECONNRESET if its bytes raced the drop
+        // into the server's kernel buffer — never a served request.
+        let mut extra = TcpStream::connect(server.addr()).unwrap();
+        extra.write_all(b"x\n").unwrap();
+        let mut buf = Vec::new();
+        match extra.read_to_end(&mut buf) {
+            Ok(_) => assert!(buf.is_empty(), "shed connection got data: {buf:?}"),
+            Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::ConnectionReset, "{e}"),
+        }
+        assert!(server.stats().refused >= 1);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,213 @@
+//! Safe wrappers over the raw epoll syscalls: [`Poller`] (one epoll
+//! instance) and [`Waker`] (an eventfd that interrupts a blocked
+//! [`Poller::wait`] from another thread).
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+use crate::sys;
+
+pub use crate::sys::{EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+
+/// One readiness notification returned by [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    readiness: u32,
+}
+
+impl Event {
+    /// The fd has bytes to read (or a pending accept).
+    pub fn readable(&self) -> bool {
+        self.readiness & (EPOLLIN | EPOLLHUP | EPOLLERR) != 0
+    }
+
+    /// The fd can accept more bytes.
+    pub fn writable(&self) -> bool {
+        self.readiness & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0
+    }
+
+    /// The peer closed its end (or the fd errored); the connection should
+    /// be read to EOF and torn down.
+    pub fn closed(&self) -> bool {
+        self.readiness & (EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0
+    }
+}
+
+/// An epoll instance plus a reusable event buffer.
+pub struct Poller {
+    epfd: RawFd,
+    buf: Vec<sys::EpollEvent>,
+}
+
+impl Poller {
+    /// Creates an epoll instance sized to deliver at most `capacity` events
+    /// per [`Poller::wait`] call.
+    pub fn new(capacity: usize) -> io::Result<Poller> {
+        Ok(Poller {
+            epfd: sys::sys_epoll_create()?,
+            buf: vec![sys::EpollEvent::zeroed(); capacity.max(1)],
+        })
+    }
+
+    /// Registers `fd` with the given interest mask and token.
+    pub fn add(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        sys::sys_epoll_add(self.epfd, fd, interest, token)
+    }
+
+    /// Registers `fd` for exclusive wakeups (`EPOLLEXCLUSIVE`): when several
+    /// pollers watch the same fd, the kernel wakes only one per readiness
+    /// edge. Falls back to a plain registration on kernels older than 4.5
+    /// (the reactor then degrades to thundering-herd accepts, which is
+    /// correct, just less efficient).
+    pub fn add_exclusive(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        match sys::sys_epoll_add(self.epfd, fd, interest | sys::EPOLLEXCLUSIVE, token) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::InvalidInput => {
+                sys::sys_epoll_add(self.epfd, fd, interest, token)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Changes `fd`'s interest mask.
+    pub fn modify(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        sys::sys_epoll_modify(self.epfd, fd, interest, token)
+    }
+
+    /// Deregisters `fd`.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        sys::sys_epoll_delete(self.epfd, fd)
+    }
+
+    /// Blocks until at least one registered fd is ready (or `timeout`
+    /// expires), invoking `on_event` for each notification.
+    ///
+    /// Events are copied out of the kernel buffer before dispatch, so
+    /// `on_event` may freely call [`Poller::add`] / [`Poller::modify`] /
+    /// [`Poller::delete`] on this same poller.
+    pub fn wait(
+        &mut self,
+        timeout: Option<Duration>,
+        mut on_event: impl FnMut(Event),
+    ) -> io::Result<usize> {
+        let n = sys::sys_epoll_wait(self.epfd, &mut self.buf, timeout)?;
+        for ev in &self.buf[..n] {
+            on_event(Event {
+                token: ev.token(),
+                readiness: ev.readiness(),
+            });
+        }
+        Ok(n)
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        sys::sys_close(self.epfd);
+    }
+}
+
+/// An eventfd-backed wakeup channel: any thread holding a [`Waker`] can
+/// interrupt the [`Poller`] the paired [`WakeReceiver`] is registered with.
+#[derive(Debug, Clone)]
+pub struct Waker {
+    fd: RawFd,
+}
+
+/// The poller-side half of a [`Waker`] pair; owns the fd.
+#[derive(Debug)]
+pub struct WakeReceiver {
+    fd: RawFd,
+}
+
+/// Creates a connected `(Waker, WakeReceiver)` pair.
+pub fn waker_pair() -> io::Result<(Waker, WakeReceiver)> {
+    let fd = sys::sys_eventfd()?;
+    Ok((Waker { fd }, WakeReceiver { fd }))
+}
+
+impl Waker {
+    /// Wakes the paired poller. Safe to call from any thread, any number of
+    /// times; wakeups coalesce.
+    pub fn wake(&self) -> io::Result<()> {
+        sys::sys_eventfd_signal(self.fd)
+    }
+}
+
+impl WakeReceiver {
+    /// The fd to register with the poller (level-triggered `EPOLLIN`).
+    pub fn raw_fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Clears pending wakeups so the poller can block again.
+    pub fn drain(&self) {
+        sys::sys_eventfd_drain(self.fd);
+    }
+}
+
+impl Drop for WakeReceiver {
+    fn drop(&mut self) {
+        sys::sys_close(self.fd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn waker_interrupts_a_blocked_wait() {
+        let mut poller = Poller::new(8).unwrap();
+        let (waker, receiver) = waker_pair().unwrap();
+        poller.add(receiver.raw_fd(), EPOLLIN, 7).unwrap();
+
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            waker.wake().unwrap();
+        });
+
+        let start = Instant::now();
+        let mut tokens = Vec::new();
+        let n = poller
+            .wait(Some(Duration::from_secs(5)), |ev| tokens.push(ev.token))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(tokens, vec![7]);
+        assert!(start.elapsed() < Duration::from_secs(4), "woke early");
+        receiver.drain();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn socket_readiness_flows_through_poller() {
+        use std::io::Write;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = std::net::TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let mut poller = Poller::new(8).unwrap();
+        let fd = std::os::unix::io::AsRawFd::as_raw_fd(&server);
+        poller.add(fd, EPOLLIN | EPOLLRDHUP, 1).unwrap();
+
+        client.write_all(b"ping").unwrap();
+        let mut readable = false;
+        poller
+            .wait(Some(Duration::from_secs(2)), |ev| readable = ev.readable())
+            .unwrap();
+        assert!(readable);
+
+        drop(client);
+        let mut closed = false;
+        poller
+            .wait(Some(Duration::from_secs(2)), |ev| closed = ev.closed())
+            .unwrap();
+        assert!(closed, "EPOLLRDHUP after client close");
+    }
+}

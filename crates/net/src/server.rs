@@ -1,0 +1,322 @@
+//! The N-worker event loop: one nonblocking listener shared by every
+//! worker's epoll instance (`EPOLLEXCLUSIVE`, so the kernel hands each
+//! ready accept to exactly one worker — `SO_REUSEPORT`-style sharding with
+//! a single socket), plus per-worker connection tables and wakeup
+//! eventfds.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::conn::Connection;
+use crate::poller::{waker_pair, Event, Poller, WakeReceiver, Waker, EPOLLIN};
+use crate::sys::sys_set_nonblocking;
+use crate::{NetConfig, Service};
+
+/// Token for the shared listener in every worker's poller.
+const TOKEN_LISTENER: u64 = u64::MAX;
+/// Token for a worker's wakeup eventfd.
+const TOKEN_WAKER: u64 = u64::MAX - 1;
+
+/// Counters aggregated across workers.
+#[derive(Debug, Clone, Default)]
+pub struct NetStats {
+    /// Connections accepted since the server started.
+    pub accepted: u64,
+    /// Connections currently open.
+    pub current_connections: usize,
+    /// Connections refused because `max_connections` was reached.
+    pub refused: u64,
+}
+
+struct Shared {
+    listener: TcpListener,
+    shutdown: AtomicBool,
+    accepted: AtomicU64,
+    refused: AtomicU64,
+    current: AtomicUsize,
+}
+
+/// A running epoll event-loop server.
+///
+/// Thousands of idle connections cost two buffers each, not a thread: the
+/// server spawns exactly [`NetConfig::workers`] threads, ever.
+pub struct EventLoop {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    wakers: Vec<Waker>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl EventLoop {
+    /// Binds `addr` and starts `config.workers` worker threads serving
+    /// `service`.
+    pub fn bind<S: Service>(
+        addr: SocketAddr,
+        service: Arc<S>,
+        config: NetConfig,
+    ) -> io::Result<EventLoop> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            listener,
+            shutdown: AtomicBool::new(false),
+            accepted: AtomicU64::new(0),
+            refused: AtomicU64::new(0),
+            current: AtomicUsize::new(0),
+        });
+
+        let workers_wanted = config.workers.max(1);
+        let mut wakers = Vec::with_capacity(workers_wanted);
+        let mut workers = Vec::with_capacity(workers_wanted);
+        for idx in 0..workers_wanted {
+            let (waker, receiver) = waker_pair()?;
+            let worker = Worker::new(
+                idx,
+                Arc::clone(&shared),
+                Arc::clone(&service),
+                config.clone(),
+                receiver,
+            )?;
+            wakers.push(waker);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("rp-net-worker-{idx}"))
+                    .spawn(move || worker.run())?,
+            );
+        }
+
+        Ok(EventLoop {
+            addr,
+            shared,
+            wakers,
+            workers,
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of worker threads (the server's entire thread budget).
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Aggregated connection counters.
+    pub fn stats(&self) -> NetStats {
+        NetStats {
+            accepted: self.shared.accepted.load(Ordering::Relaxed),
+            refused: self.shared.refused.load(Ordering::Relaxed),
+            current_connections: self.shared.current.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, answer every request already
+    /// received, flush every queued response (bounded by
+    /// [`NetConfig::drain_timeout`]), close, and join the workers.
+    /// Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Drain the wakers: joining a worker closes its eventfd, so a
+        // repeat shutdown (Drop always issues one) must not write to the
+        // stale — possibly kernel-reused — fd numbers.
+        for waker in self.wakers.drain(..) {
+            let _ = waker.wake();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for EventLoop {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+struct Worker<S: Service> {
+    #[allow(dead_code)]
+    idx: usize,
+    shared: Arc<Shared>,
+    service: Arc<S>,
+    config: NetConfig,
+    poller: Poller,
+    wake: WakeReceiver,
+    conns: HashMap<u64, Connection<S>>,
+    /// Shared read scratch buffer (one per worker, not per event).
+    scratch: Vec<u8>,
+}
+
+impl<S: Service> Worker<S> {
+    fn new(
+        idx: usize,
+        shared: Arc<Shared>,
+        service: Arc<S>,
+        config: NetConfig,
+        wake: WakeReceiver,
+    ) -> io::Result<Self> {
+        let poller = Poller::new(config.events_per_wait.max(8))?;
+        poller.add(wake.raw_fd(), EPOLLIN, TOKEN_WAKER)?;
+        poller.add_exclusive(shared.listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
+        let scratch = vec![0_u8; config.read_chunk.max(512)];
+        Ok(Worker {
+            idx,
+            shared,
+            service,
+            config,
+            poller,
+            wake,
+            conns: HashMap::new(),
+            scratch,
+        })
+    }
+
+    fn run(mut self) {
+        let mut pending: Vec<Event> = Vec::new();
+        let mut draining = false;
+        let mut drain_deadline = Instant::now();
+
+        loop {
+            let timeout = if draining {
+                Some(Duration::from_millis(10))
+            } else {
+                // Block indefinitely; shutdown arrives via the waker.
+                None
+            };
+            let waited = self.poller.wait(timeout, |ev| pending.push(ev));
+            if waited.is_err() {
+                // epoll itself failed; nothing useful left to drive.
+                break;
+            }
+
+            for ev in pending.drain(..) {
+                match ev.token {
+                    TOKEN_WAKER => self.wake.drain(),
+                    TOKEN_LISTENER => {
+                        if !draining {
+                            self.accept_ready();
+                        }
+                    }
+                    fd => self.connection_event(fd, ev),
+                }
+            }
+
+            if !draining && self.shared.shutdown.load(Ordering::SeqCst) {
+                draining = true;
+                drain_deadline = Instant::now() + self.config.drain_timeout;
+                let _ = self.poller.delete(self.shared.listener.as_raw_fd());
+                let tokens: Vec<u64> = self.conns.keys().copied().collect();
+                for token in tokens {
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        conn.begin_drain(&self.service, &self.config, &mut self.scratch);
+                    }
+                    self.reconcile(token);
+                }
+            }
+
+            if draining {
+                if self.conns.is_empty() {
+                    break;
+                }
+                if Instant::now() >= drain_deadline {
+                    let tokens: Vec<u64> = self.conns.keys().copied().collect();
+                    for token in tokens {
+                        if let Some(conn) = self.conns.get_mut(&token) {
+                            conn.force_close();
+                        }
+                        self.reconcile(token);
+                    }
+                    break;
+                }
+            }
+        }
+        self.shared
+            .current
+            .fetch_sub(self.conns.len(), Ordering::Relaxed);
+    }
+
+    /// Accepts until the backlog is empty (`EWOULDBLOCK`).
+    fn accept_ready(&mut self) {
+        loop {
+            match self.shared.listener.accept() {
+                Ok((stream, peer)) => {
+                    if self.shared.current.load(Ordering::Relaxed) >= self.config.max_connections {
+                        self.shared.refused.fetch_add(1, Ordering::Relaxed);
+                        drop(stream);
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    // The reactor's contract is nonblocking I/O everywhere;
+                    // the raw fcntl mirrors what std's set_nonblocking does.
+                    if sys_set_nonblocking(stream.as_raw_fd()).is_err() {
+                        continue;
+                    }
+                    let state = self.service.on_connect(peer);
+                    let conn = Connection::<S>::new(stream, state, &self.config);
+                    let token = conn.fd() as u64;
+                    if self
+                        .poller
+                        .add(conn.fd(), conn.registered_interest(), token)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.shared.accepted.fetch_add(1, Ordering::Relaxed);
+                    self.shared.current.fetch_add(1, Ordering::Relaxed);
+                    self.conns.insert(token, conn);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient accept errors (ECONNABORTED etc.): keep going.
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn connection_event(&mut self, token: u64, ev: Event) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if ev.writable() {
+            conn.on_writable(&self.service);
+        }
+        if ev.readable() || ev.closed() {
+            conn.on_readable(&self.service, &self.config, &mut self.scratch);
+        }
+        self.reconcile(token);
+    }
+
+    /// Applies a connection's post-event state to the poller: deregisters
+    /// finished connections, updates changed interest masks.
+    fn reconcile(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.finished() {
+            let _ = self.poller.delete(conn.fd());
+            self.conns.remove(&token);
+            self.shared.current.fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
+        let want = conn.desired_interest();
+        if want != conn.registered_interest() {
+            if self.poller.modify(conn.fd(), want, token).is_ok() {
+                conn.set_registered_interest(want);
+            } else {
+                conn.force_close();
+                let _ = self.poller.delete(conn.fd());
+                self.conns.remove(&token);
+                self.shared.current.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+}

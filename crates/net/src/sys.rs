@@ -1,0 +1,259 @@
+//! Raw Linux syscall bindings for the reactor.
+//!
+//! The build environment has no crates.io access, so instead of a `libc`
+//! dependency this module declares exactly the five entry points the
+//! reactor needs (`epoll_create1`, `epoll_ctl`, `epoll_wait`, `fcntl`,
+//! `eventfd`, plus `read`/`write`/`close` for the eventfd) directly
+//! against the system C library, with thin safe wrappers that translate
+//! `-1`/`errno` into [`std::io::Error`].
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+/// `EPOLLIN`: the fd is readable.
+pub const EPOLLIN: u32 = 0x001;
+/// `EPOLLOUT`: the fd is writable.
+pub const EPOLLOUT: u32 = 0x004;
+/// `EPOLLERR`: error condition (always reported, never requested).
+pub const EPOLLERR: u32 = 0x008;
+/// `EPOLLHUP`: hang-up (always reported, never requested).
+pub const EPOLLHUP: u32 = 0x010;
+/// `EPOLLRDHUP`: peer closed its writing half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+/// `EPOLLEXCLUSIVE`: wake only one of the epoll instances watching this fd
+/// (Linux ≥ 4.5); the kernel-side half of the sharded-accept model.
+pub const EPOLLEXCLUSIVE: u32 = 1 << 28;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+const F_GETFL: i32 = 3;
+const F_SETFL: i32 = 4;
+const O_NONBLOCK: i32 = 0o4000;
+
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+
+/// One readiness record, as filled in by `epoll_wait`.
+///
+/// On x86 the kernel ABI packs the struct (no padding between `events` and
+/// `data`); other architectures use natural alignment.
+#[cfg_attr(any(target_arch = "x86_64", target_arch = "x86"), repr(C, packed))]
+#[cfg_attr(not(any(target_arch = "x86_64", target_arch = "x86")), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Bitmask of `EPOLL*` readiness flags.
+    pub events: u32,
+    /// The token registered with the fd (we store the fd itself).
+    pub data: u64,
+}
+
+impl EpollEvent {
+    /// An empty (zeroed) event, used to size `epoll_wait` buffers.
+    pub const fn zeroed() -> Self {
+        EpollEvent { events: 0, data: 0 }
+    }
+
+    /// The readiness bitmask (copied out of the possibly-packed struct).
+    pub fn readiness(&self) -> u32 {
+        self.events
+    }
+
+    /// The registered token (copied out of the possibly-packed struct).
+    pub fn token(&self) -> u64 {
+        self.data
+    }
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+    fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// `epoll_create1(EPOLL_CLOEXEC)`.
+pub fn sys_epoll_create() -> io::Result<RawFd> {
+    // SAFETY: no pointers involved; the kernel validates the flag.
+    cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+}
+
+fn epoll_ctl_with(epfd: RawFd, op: i32, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+    let mut ev = EpollEvent {
+        events: interest,
+        data: token,
+    };
+    // SAFETY: `ev` outlives the call; the kernel copies it before returning.
+    cvt(unsafe { epoll_ctl(epfd, op, fd, &mut ev) }).map(|_| ())
+}
+
+/// `epoll_ctl(EPOLL_CTL_ADD)` registering `fd` with `interest` and `token`.
+pub fn sys_epoll_add(epfd: RawFd, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+    epoll_ctl_with(epfd, EPOLL_CTL_ADD, fd, interest, token)
+}
+
+/// `epoll_ctl(EPOLL_CTL_MOD)` changing `fd`'s interest set.
+pub fn sys_epoll_modify(epfd: RawFd, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+    epoll_ctl_with(epfd, EPOLL_CTL_MOD, fd, interest, token)
+}
+
+/// `epoll_ctl(EPOLL_CTL_DEL)` deregistering `fd`.
+pub fn sys_epoll_delete(epfd: RawFd, fd: RawFd) -> io::Result<()> {
+    // Linux < 2.6.9 required a non-null event for DEL; passing one keeps the
+    // call portable and costs nothing.
+    epoll_ctl_with(epfd, EPOLL_CTL_DEL, fd, 0, 0)
+}
+
+/// `epoll_wait`, retried on `EINTR`. Returns the number of events filled.
+pub fn sys_epoll_wait(
+    epfd: RawFd,
+    events: &mut [EpollEvent],
+    timeout: Option<std::time::Duration>,
+) -> io::Result<usize> {
+    let timeout_ms = match timeout {
+        // Round up so a 100µs timeout does not busy-spin as 0ms.
+        Some(t) => i32::try_from(t.as_millis().max(1)).unwrap_or(i32::MAX),
+        None => -1,
+    };
+    loop {
+        // SAFETY: the buffer pointer/length pair describes exclusively
+        // borrowed, properly sized memory for at most `events.len()` records.
+        let ret = unsafe {
+            epoll_wait(
+                epfd,
+                events.as_mut_ptr(),
+                events.len().min(i32::MAX as usize) as i32,
+                timeout_ms,
+            )
+        };
+        match cvt(ret) {
+            Ok(n) => return Ok(n as usize),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Sets `O_NONBLOCK` on `fd` via `fcntl(F_GETFL)`/`fcntl(F_SETFL)`.
+pub fn sys_set_nonblocking(fd: RawFd) -> io::Result<()> {
+    // SAFETY: fcntl with GETFL/SETFL takes no pointers.
+    let flags = cvt(unsafe { fcntl(fd, F_GETFL, 0) })?;
+    if flags & O_NONBLOCK != 0 {
+        return Ok(());
+    }
+    cvt(unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) }).map(|_| ())
+}
+
+/// `eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC)` — the reactor's wakeup channel.
+pub fn sys_eventfd() -> io::Result<RawFd> {
+    // SAFETY: no pointers involved.
+    cvt(unsafe { eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC) })
+}
+
+/// Writes one 8-byte counter increment to an eventfd (wakes its poller).
+pub fn sys_eventfd_signal(fd: RawFd) -> io::Result<()> {
+    let one: u64 = 1;
+    // SAFETY: 8 valid bytes, as the eventfd ABI requires.
+    let ret = unsafe { write(fd, (&one as *const u64).cast(), 8) };
+    if ret == 8 {
+        Ok(())
+    } else if ret < 0 {
+        let e = io::Error::last_os_error();
+        // A full counter still wakes the poller; treat it as success.
+        if e.kind() == io::ErrorKind::WouldBlock {
+            Ok(())
+        } else {
+            Err(e)
+        }
+    } else {
+        Err(io::Error::new(
+            io::ErrorKind::WriteZero,
+            "short eventfd write",
+        ))
+    }
+}
+
+/// Drains an eventfd's counter so it can signal again (nonblocking).
+pub fn sys_eventfd_drain(fd: RawFd) {
+    let mut buf = [0_u8; 8];
+    // SAFETY: 8 valid bytes for the counter read.
+    let _ = unsafe { read(fd, buf.as_mut_ptr(), 8) };
+}
+
+/// `close(fd)`; errors are ignored (nothing sensible to do in a destructor).
+pub fn sys_close(fd: RawFd) {
+    // SAFETY: the callers own `fd` and never use it after this call.
+    let _ = unsafe { close(fd) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoll_event_layout_matches_kernel_abi() {
+        // On x86 the kernel packs the struct to 12 bytes; elsewhere natural
+        // alignment gives 16. Either way `events` must sit at offset 0.
+        let expected = if cfg!(any(target_arch = "x86_64", target_arch = "x86")) {
+            12
+        } else {
+            16
+        };
+        assert_eq!(std::mem::size_of::<EpollEvent>(), expected);
+    }
+
+    #[test]
+    fn eventfd_signals_and_drains() {
+        let fd = sys_eventfd().expect("eventfd");
+        sys_eventfd_signal(fd).expect("signal");
+        sys_eventfd_signal(fd).expect("signal twice");
+        sys_eventfd_drain(fd);
+        sys_close(fd);
+    }
+
+    #[test]
+    fn epoll_reports_eventfd_readability() {
+        let ep = sys_epoll_create().expect("epoll_create1");
+        let ev = sys_eventfd().expect("eventfd");
+        sys_epoll_add(ep, ev, EPOLLIN, 42).expect("add");
+
+        let mut events = [EpollEvent::zeroed(); 4];
+        // Nothing signalled yet: a zero-ish timeout returns no events.
+        let n = sys_epoll_wait(ep, &mut events, Some(std::time::Duration::from_millis(1)))
+            .expect("wait");
+        assert_eq!(n, 0);
+
+        sys_eventfd_signal(ev).expect("signal");
+        let n = sys_epoll_wait(ep, &mut events, Some(std::time::Duration::from_millis(100)))
+            .expect("wait");
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 42);
+        assert_ne!(events[0].readiness() & EPOLLIN, 0);
+
+        sys_epoll_delete(ep, ev).expect("del");
+        sys_close(ev);
+        sys_close(ep);
+    }
+
+    #[test]
+    fn set_nonblocking_is_idempotent() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let fd = std::os::unix::io::AsRawFd::as_raw_fd(&listener);
+        sys_set_nonblocking(fd).expect("first");
+        sys_set_nonblocking(fd).expect("second");
+    }
+}

@@ -13,6 +13,10 @@
 //!   resizers), runs for a fixed duration and aggregates throughput.
 //! * [`latency`] — a fixed-size log-linear histogram for per-operation
 //!   latency percentiles (used by the `fig_maint` resize-latency figure).
+//! * [`netdriver`] — a multi-connection closed-loop *client* driver: N
+//!   connections shared across M driver threads with per-request latency
+//!   recording, used by `fig_server` to compare the thread-per-connection
+//!   and event-loop cache servers.
 //! * [`report`] — turns measured series into CSV and markdown tables so the
 //!   benchmark binaries can print exactly the rows the paper's figures plot.
 //! * [`sysinfo`] — records the host configuration alongside results.
@@ -23,6 +27,7 @@
 pub mod driver;
 pub mod keys;
 pub mod latency;
+pub mod netdriver;
 pub mod report;
 pub mod sysinfo;
 mod zipf;
@@ -30,5 +35,6 @@ mod zipf;
 pub use driver::{measure, BackgroundHandle, MeasureResult};
 pub use keys::{KeyDist, KeyGen};
 pub use latency::LatencyHistogram;
+pub use netdriver::{drive_connections, NetDriveResult};
 pub use report::{Report, Series};
 pub use zipf::Zipf;

@@ -8,14 +8,20 @@
 //!
 //! * `RP_KV_ENGINE` — `rp` (default; single relativistic table), `rp-shard`
 //!   (sharded relativistic index), or `lock` (global-lock baseline).
+//! * `RP_KV_MODE` — `event-loop` (default; the rp-net epoll reactor) or
+//!   `threaded` (one OS thread per connection).
 //! * `RP_KV_PORT` — TCP port (default 0 = pick a free one).
 //! * `RP_KV_STAY` — set to keep serving until the process is killed instead
 //!   of exiting after the demo workload.
+//!
+//! For the full flag set (worker counts, `--maint-*` resize-maintenance
+//! tuning, …) use the real daemon: `cargo run -p rp-kvcache --bin kvcached
+//! -- --help`.
 
 use std::sync::Arc;
 
 use relativist::kvcache::client::CacheClient;
-use relativist::kvcache::server::CacheServer;
+use relativist::kvcache::server::{start_server, ServerConfig, ServerMode};
 use relativist::kvcache::{CacheEngine, LockEngine, RpEngine, ShardedRpEngine};
 
 fn main() -> std::io::Result<()> {
@@ -37,10 +43,23 @@ fn main() -> std::io::Result<()> {
         .ok()
         .and_then(|p| p.parse().ok())
         .unwrap_or(0_u16);
-    let mut server = CacheServer::start(Arc::clone(&engine), port)?;
+    let mode = match std::env::var("RP_KV_MODE").as_deref() {
+        Ok("threaded") => ServerMode::Threaded,
+        _ => ServerMode::EventLoop,
+    };
+    let config = ServerConfig {
+        port,
+        mode,
+        ..ServerConfig::default()
+    };
+    let mut server = start_server(Arc::clone(&engine), &config)?;
     println!(
-        "cache server ({}) listening on {}",
+        "cache server ({}, {} mode) listening on {}",
         engine.name(),
+        match server.mode() {
+            ServerMode::Threaded => "threaded",
+            ServerMode::EventLoop => "event-loop",
+        },
         server.addr()
     );
 

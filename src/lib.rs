@@ -25,8 +25,14 @@
 //! * [`baselines`] — the designs the paper compares against (DDDS,
 //!   reader-writer locking, per-bucket locking, Herbert Xu's dual-chain
 //!   tables).
+//! * [`net`] — [`net::EventLoop`], a dependency-free epoll reactor:
+//!   N worker threads, one shared listener (`EPOLLEXCLUSIVE` sharded
+//!   accepts), per-connection read/write buffering with backpressure, and
+//!   graceful drain — the kvcache server's event-loop front end.
 //! * [`kvcache`] — a memcached-style key-value cache with a global-lock
-//!   engine and a relativistic GET fast-path engine.
+//!   engine and a relativistic GET fast-path engine, served either
+//!   thread-per-connection or via the `rp-net` event loop
+//!   ([`kvcache::ServerConfig`]).
 //! * [`workload`] — key-distribution generators and the multi-threaded
 //!   measurement harness used by the benchmarks.
 //!
@@ -57,6 +63,7 @@ pub use rp_hash as hash;
 pub use rp_kvcache as kvcache;
 pub use rp_list as list;
 pub use rp_maint as maint;
+pub use rp_net as net;
 pub use rp_rcu as rcu;
 pub use rp_shard as shard;
 pub use rp_workload as workload;
