@@ -1,0 +1,13 @@
+//! Regenerates the read-side flavor figure: lookup throughput and sampled
+//! p99 latency versus reader threads, EBR (per-lookup guard) versus QSBR
+//! (barrier-free lookups with periodic quiescent announcements), with and
+//! without a background thread continuously resizing the table.
+
+fn main() -> std::io::Result<()> {
+    let cfg = rp_bench::BenchConfig::from_env();
+    eprintln!("fig_qsbr on {}", cfg.host);
+    let report = rp_bench::fig_qsbr(&cfg);
+    report.write_files(&cfg.out_dir, "fig_qsbr")?;
+    print!("{}", report.to_markdown());
+    Ok(())
+}

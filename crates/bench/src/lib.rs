@@ -16,6 +16,7 @@
 //! | `fig_shard` | (repo addition) sharded write throughput — Zipf-keyed inserts/s vs writer threads at 1/4/16/64 shards |
 //! | `fig_maint` | (repo addition) resize maintenance — p99 insert latency under a Zipfian write storm, inline vs background-maintained resizes |
 //! | `fig_server` | (repo addition) server architecture — requests/s and p99 vs connection count, thread-per-connection vs the `rp-net` event loop |
+//! | `fig_qsbr` | (repo addition) read-side flavors — lookups/s and p99 vs reader threads, EBR guard vs barrier-free QSBR, with and without continuous resizing |
 //!
 //! Parameters are read from environment variables so CI and the
 //! EXPERIMENTS.md runs can trade accuracy for time:
@@ -47,14 +48,16 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use rp_baselines::{ConcurrentMap, DddsTable, RwLockTable};
-use rp_hash::{FnvBuildHasher, RpHashMap};
+use rp_hash::{FnvBuildHasher, QsbrReadHandle, RpHashMap};
 use rp_kvcache::client::CacheClient;
 use rp_kvcache::server::{start_server, ServerConfig};
 use rp_kvcache::{CacheEngine, Item, LockEngine, RpEngine, ShardedRpEngine};
 use rp_shard::{ShardPolicy, ShardedRpMap};
 use rp_workload::driver::BackgroundHandle;
 use rp_workload::sysinfo::HostInfo;
-use rp_workload::{drive_connections, measure, KeyDist, KeyGen, Report, Series};
+use rp_workload::{
+    drive_connections, measure, measure_thread_local, KeyDist, KeyGen, Report, Series,
+};
 
 /// Zipf exponent used by the sharded-write figure (a cache-like skew).
 pub const SHARD_ZIPF_EXPONENT: f64 = 0.99;
@@ -553,6 +556,133 @@ pub fn fig_maint(cfg: &BenchConfig) -> Report {
     report
 }
 
+/// How many lookups a QSBR reader performs between quiescent-state
+/// announcements in `fig_qsbr` (mirrors the event-loop server's
+/// once-per-batch rhythm).
+pub const QSBR_QUIESCENT_EVERY: u64 = 256;
+
+/// Latency sampling stride for `fig_qsbr` (every Nth lookup is timed, so
+/// the `Instant::now` overhead stays off the throughput path).
+const QSBR_SAMPLE_EVERY: u64 = 64;
+
+/// Measures lookup throughput and sampled p99 latency for one read-side
+/// flavor, at each reader-thread count, optionally under a continuously
+/// resizing table.
+///
+/// * `EBR` readers pin a guard per lookup (two thread-private stores + two
+///   full fences), exactly as the cache engines' GET paths do.
+/// * `QSBR` readers register a [`QsbrReadHandle`] on their worker thread
+///   (via [`measure_thread_local`] — the handle is `!Send`), perform
+///   entirely barrier-free lookups, and announce one quiescent state every
+///   [`QSBR_QUIESCENT_EVERY`] lookups.
+///
+/// Returns `(throughput series, p99 series)` in (Mlookups/s, µs).
+pub fn read_flavor_scalability(
+    name: &str,
+    map: Arc<RpHashMap<u64, u64, FnvBuildHasher>>,
+    cfg: &BenchConfig,
+    qsbr: bool,
+    resize_between: Option<(usize, usize)>,
+) -> (Series, Series) {
+    let mut throughput = Series::new(name);
+    let mut p99 = Series::new(format!("{name} p99 µs"));
+    for &threads in &cfg.threads {
+        let entries = cfg.entries;
+        let map_ref = &*map;
+        let background = match resize_between {
+            Some((small, large)) => vec![BackgroundHandle::new("resizer", move |iteration| {
+                let target = if iteration % 2 == 0 { large } else { small };
+                map_ref.resize_to(target);
+            })],
+            None => Vec::new(),
+        };
+        let (result, hist) = measure_thread_local(
+            threads,
+            cfg.duration,
+            QSBR_SAMPLE_EVERY,
+            |idx| {
+                let mut keys = KeyGen::new(KeyDist::Uniform, entries, 0xC0FFEE + idx as u64);
+                let map = Arc::clone(&map);
+                // One registration per reader thread, pinned to it; `None`
+                // for the EBR flavor.
+                let mut handle = qsbr.then(QsbrReadHandle::register);
+                let mut since_quiescent = 0_u64;
+                move || {
+                    let key = keys.next_key();
+                    match handle.as_mut() {
+                        Some(handle) => {
+                            black_box(map.get_qsbr(black_box(&key), handle));
+                            since_quiescent += 1;
+                            if since_quiescent >= QSBR_QUIESCENT_EVERY {
+                                handle.quiescent_state();
+                                since_quiescent = 0;
+                            }
+                        }
+                        None => {
+                            let guard = rp_rcu::pin();
+                            black_box(map.get(black_box(&key), &guard));
+                        }
+                    }
+                }
+            },
+            background,
+        );
+        let p99_us = hist.percentile_us(0.99);
+        eprintln!(
+            "  {name}: {threads} reader(s) -> {:.2} Mlookups/s, sampled p99 {:.2} µs (resizes: {:?})",
+            result.mops_per_sec(),
+            p99_us,
+            result.background_iterations
+        );
+        throughput.push(threads as f64, result.mops_per_sec());
+        p99.push(threads as f64, p99_us);
+    }
+    (throughput, p99)
+}
+
+/// Figure "read-side flavors" — lookup throughput and sampled p99 for EBR
+/// (per-lookup guard) versus QSBR (barrier-free lookups, one quiescent
+/// announcement per [`QSBR_QUIESCENT_EVERY`] lookups), with and without a
+/// background thread continuously resizing the table.
+///
+/// This quantifies the paper's central read-side claim at its cheapest
+/// realization: QSBR lookups pay *nothing* — the exact cost model kernel
+/// RCU gives the original authors — and keep paying nothing while the
+/// table resizes under them. The same flavor split is selectable end to
+/// end in the cache server (`kvcached --read-side qsbr|ebr`).
+pub fn fig_qsbr(cfg: &BenchConfig) -> Report {
+    let mut report = Report::new(
+        "Read-side flavors: EBR guard vs QSBR (barrier-free) lookups",
+        "reader threads",
+        "lookups/second (millions) and sampled p99 (µs)",
+    );
+    let toggle = Some((cfg.small_buckets, cfg.large_buckets));
+    let mut flavor_summary: Vec<(String, f64)> = Vec::new();
+    for (suffix, resize) in [("", None), (" +resize", toggle)] {
+        for (flavor, qsbr) in [("EBR", false), ("QSBR", true)] {
+            let map: Arc<RpHashMap<u64, u64, FnvBuildHasher>> = Arc::new(
+                RpHashMap::with_buckets_and_hasher(cfg.small_buckets, FnvBuildHasher),
+            );
+            fill(&*map, cfg.entries);
+            let name = format!("{flavor}{suffix}");
+            let (throughput, p99) = read_flavor_scalability(&name, map, cfg, qsbr, resize);
+            let total: f64 = throughput.points.iter().map(|(_, m)| m).sum();
+            flavor_summary.push((name, total));
+            report.add_series(throughput);
+            report.add_series(p99);
+        }
+    }
+    // The acceptance signal for the uncontended ladder, spelled out in the
+    // log: QSBR total across the ladder vs EBR total.
+    if let [(_, ebr), (_, qsbr), ..] = &flavor_summary[..] {
+        eprintln!(
+            "  uncontended ladder totals: QSBR {qsbr:.2} vs EBR {ebr:.2} Mlookups/s ({:.2}x)",
+            qsbr / ebr.max(1e-9)
+        );
+    }
+    report
+}
+
 /// Verifies the batched read path end to end: for a Zipf-keyed population,
 /// `multi_get` must return exactly what per-key `get` returns. Returns the
 /// number of keys checked.
@@ -751,6 +881,7 @@ pub fn run_all(cfg: &BenchConfig) -> std::io::Result<Vec<Report>> {
         ("fig_shard", fig_shard),
         ("fig_maint", fig_maint),
         ("fig_server", fig_server),
+        ("fig_qsbr", fig_qsbr),
     ];
     let mut reports = Vec::new();
     let mut summary = String::new();

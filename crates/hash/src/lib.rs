@@ -62,6 +62,7 @@ mod iter;
 mod map;
 mod node;
 mod policy;
+pub mod qsbr;
 mod resize;
 mod set;
 mod stats;
@@ -71,6 +72,7 @@ pub use fnv::{FnvBuildHasher, FnvHasher};
 pub use iter::{Iter, Keys, Values};
 pub use map::RpHashMap;
 pub use policy::ResizePolicy;
+pub use qsbr::{QsbrReadHandle, ReadProtect};
 pub use resize::ResizeStep;
 pub use set::RpHashSet;
 pub use stats::MapStats;

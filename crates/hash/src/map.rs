@@ -9,11 +9,12 @@ use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering}
 
 use parking_lot::Mutex;
 
-use rp_rcu::{RcuDomain, RcuGuard};
+use rp_rcu::{GraceSync, RcuDomain, RcuGuard};
 
 use crate::iter::{Iter, Keys, Values};
 use crate::node::Node;
 use crate::policy::ResizePolicy;
+use crate::qsbr::{QsbrReadHandle, ReadProtect};
 use crate::resize::ResizeOp;
 use crate::stats::{AtomicMapStats, MapStats};
 use crate::table::BucketArray;
@@ -174,12 +175,20 @@ impl<K, V, S> RpHashMap<K, V, S> {
         RcuDomain::global()
     }
 
-    /// Loads the current bucket array for use by a reader holding `_guard`.
-    pub(crate) fn table_for_read<'g>(&'g self, _guard: &'g RcuGuard<'_>) -> &'g BucketArray<K, V> {
+    /// Loads the current bucket array for use by a reader holding the
+    /// protection witness `_protect` (an EBR guard or an online QSBR
+    /// handle).
+    pub(crate) fn table_for_read<'g, P>(&'g self, _protect: &'g P) -> &'g BucketArray<K, V>
+    where
+        P: ReadProtect,
+    {
+        _protect.assert_protecting();
         // SAFETY: the bucket array is published with release ordering and
-        // only freed after a grace period following its replacement; the
-        // guard keeps the current grace period open, so the array outlives
-        // `'g`.
+        // only freed after a cross-flavor grace period (`GraceSync`)
+        // following its replacement; the witness keeps the relevant grace
+        // period from completing (EBR: the guard holds it open; QSBR: the
+        // owning thread cannot announce quiescence while `'g` borrows the
+        // handle), so the array outlives `'g`.
         unsafe { &*self.table.load(Ordering::Acquire) }
     }
 
@@ -310,12 +319,18 @@ where
         self.hasher.hash_one(key)
     }
 
-    /// Looks up `key`, returning a reference valid for the guard borrow.
+    /// Looks up `key`, returning a reference valid for the protection
+    /// borrow.
     ///
     /// This is the paper's wait-free lookup: a bucket-head load, a short
     /// chain traversal and per-node key comparisons. Concurrent resizes may
     /// make the traversed chain *imprecise* (contain foreign elements), but
     /// never make it miss an element that is present throughout the lookup.
+    ///
+    /// The lookup core is generic over the read-side flavor: pass an EBR
+    /// guard ([`RpHashMap::pin`]) or an online [`QsbrReadHandle`] — the
+    /// latter makes the lookup entirely barrier-free (see
+    /// [`RpHashMap::get_qsbr`]).
     ///
     /// # Examples
     ///
@@ -330,25 +345,23 @@ where
     /// assert_eq!(map.get(&"answer", &guard), Some(&42));
     /// assert_eq!(map.get(&"question", &guard), None);
     /// ```
-    pub fn get<'g, Q>(&'g self, key: &Q, guard: &'g RcuGuard<'_>) -> Option<&'g V>
+    pub fn get<'g, Q, P>(&'g self, key: &Q, protect: &'g P) -> Option<&'g V>
     where
         K: Borrow<Q>,
         Q: Hash + Eq + ?Sized,
+        P: ReadProtect,
     {
-        self.get_key_value(key, guard).map(|(_, v)| v)
+        self.get_key_value(key, protect).map(|(_, v)| v)
     }
 
     /// Looks up `key`, returning references to the stored key and value.
-    pub fn get_key_value<'g, Q>(
-        &'g self,
-        key: &Q,
-        guard: &'g RcuGuard<'_>,
-    ) -> Option<(&'g K, &'g V)>
+    pub fn get_key_value<'g, Q, P>(&'g self, key: &Q, protect: &'g P) -> Option<(&'g K, &'g V)>
     where
         K: Borrow<Q>,
         Q: Hash + Eq + ?Sized,
+        P: ReadProtect,
     {
-        self.get_key_value_prehashed(self.hash_of(key), key, guard)
+        self.get_key_value_prehashed(self.hash_of(key), key, protect)
     }
 
     /// Looks up `key` using a caller-supplied `hash`, skipping the map's own
@@ -357,41 +370,84 @@ where
     /// `hash` must be the value this map's hasher produces for `key`
     /// (callers like `rp-shard` compute it once with an identical hasher and
     /// reuse it for both shard selection and the per-shard lookup).
-    pub fn get_prehashed<'g, Q>(
-        &'g self,
-        hash: u64,
-        key: &Q,
-        guard: &'g RcuGuard<'_>,
-    ) -> Option<&'g V>
+    pub fn get_prehashed<'g, Q, P>(&'g self, hash: u64, key: &Q, protect: &'g P) -> Option<&'g V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+        P: ReadProtect,
+    {
+        self.get_key_value_prehashed(hash, key, protect)
+            .map(|(_, v)| v)
+    }
+
+    /// Looks up `key` through the QSBR read path: no lock, no fence, no
+    /// atomic read-modify-write — the zero-overhead lookup the paper's
+    /// read-side cost model assumes.
+    ///
+    /// This is [`RpHashMap::get`] with the flavor spelled out; the returned
+    /// reference borrows the handle, so the owning thread cannot announce a
+    /// quiescent state (or go offline) while it is alive — see
+    /// [`QsbrReadHandle`] for the full contract.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rp_hash::{QsbrReadHandle, RpHashMap};
+    ///
+    /// let map: RpHashMap<u64, &str> = RpHashMap::new();
+    /// map.insert(7, "seven");
+    ///
+    /// let mut handle = QsbrReadHandle::register();
+    /// assert_eq!(map.get_qsbr(&7, &handle), Some(&"seven"));
+    /// // Between batches of lookups, announce a quiescent state so writers
+    /// // and resizes can make progress reclaiming.
+    /// handle.quiescent_state();
+    /// ```
+    pub fn get_qsbr<'g, Q>(&'g self, key: &Q, handle: &'g QsbrReadHandle) -> Option<&'g V>
     where
         K: Borrow<Q>,
         Q: Hash + Eq + ?Sized,
     {
-        self.get_key_value_prehashed(hash, key, guard)
-            .map(|(_, v)| v)
+        self.get(key, handle)
+    }
+
+    /// Looks up every key in `keys` through the QSBR read path, returning
+    /// references in caller order — one barrier-free pass, all results tied
+    /// to a single quiescent window (the borrow of `handle`).
+    pub fn get_many_qsbr<'g, Q>(
+        &'g self,
+        keys: &[Q],
+        handle: &'g QsbrReadHandle,
+    ) -> Vec<Option<&'g V>>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq,
+    {
+        keys.iter().map(|key| self.get(key, handle)).collect()
     }
 
     /// [`RpHashMap::get_key_value`] with a caller-supplied hash (see
     /// [`RpHashMap::get_prehashed`] for the contract on `hash`).
-    pub fn get_key_value_prehashed<'g, Q>(
+    pub fn get_key_value_prehashed<'g, Q, P>(
         &'g self,
         hash: u64,
         key: &Q,
-        guard: &'g RcuGuard<'_>,
+        protect: &'g P,
     ) -> Option<(&'g K, &'g V)>
     where
         K: Borrow<Q>,
         Q: Hash + Eq + ?Sized,
+        P: ReadProtect,
     {
-        let table = self.table_for_read(guard);
+        let table = self.table_for_read(protect);
         let bucket = table.bucket_of(hash);
         let mut cur = table.head_acquire(bucket);
         while !cur.is_null() {
             // SAFETY: `cur` was reached from a published bucket head / next
-            // pointer while the guard's read-side critical section is open;
-            // nodes are freed only after a grace period following their
-            // unlinking, so the node is alive and its key/value/hash are
-            // immutable.
+            // pointer while the read-side protection witness is borrowed;
+            // nodes are freed only after a cross-flavor grace period
+            // following their unlinking, so the node is alive and its
+            // key/value/hash are immutable.
             let node = unsafe { &*cur };
             if node.hash == hash && node.key.borrow() == key {
                 return Some((&node.key, &node.value));
@@ -528,12 +584,13 @@ where
                 let len = self.len.fetch_add(1, Ordering::Relaxed) + 1;
                 self.stats.bump(&self.stats.inserts);
                 // Automatic resizing waits for grace periods; skip it when
-                // the inserting thread holds a read guard (it would
-                // self-deadlock) or an incremental resize is already in
-                // flight, and let a later insert (or the maintainer) catch
-                // up.
+                // the inserting thread holds a read guard or is an online
+                // QSBR reader (either would self-deadlock) or an
+                // incremental resize is already in flight, and let a later
+                // insert (or the maintainer) catch up.
                 if self.policy.should_expand(len, table.len())
                     && rp_rcu::global_read_nesting() == 0
+                    && !rp_rcu::qsbr::global_qsbr_online()
                     // SAFETY: writer lock held.
                     && unsafe { self.resize_op_locked() }.is_none()
                 {
@@ -666,6 +723,7 @@ where
                 unsafe { RcuDomain::global().defer_free(node) };
                 if self.policy.should_shrink(len, table.len())
                     && rp_rcu::global_read_nesting() == 0
+                    && !rp_rcu::qsbr::global_qsbr_online()
                     // SAFETY: writer lock held.
                     && unsafe { self.resize_op_locked() }.is_none()
                 {
@@ -829,22 +887,23 @@ where
         self.retain(|_, _| false);
     }
 
-    /// Iterates over all key/value pairs under `guard`.
+    /// Iterates over all key/value pairs under a read-side protection
+    /// witness (an EBR guard or an online QSBR handle).
     ///
     /// Entries present for the whole iteration are yielded exactly once;
     /// entries inserted or removed concurrently may or may not be observed.
-    pub fn iter<'g>(&'g self, guard: &'g RcuGuard<'_>) -> Iter<'g, K, V> {
-        Iter::new(self.table_for_read(guard))
+    pub fn iter<'g, P: ReadProtect>(&'g self, protect: &'g P) -> Iter<'g, K, V> {
+        Iter::new(self.table_for_read(protect))
     }
 
-    /// Iterates over all keys under `guard`.
-    pub fn keys<'g>(&'g self, guard: &'g RcuGuard<'_>) -> Keys<'g, K, V> {
-        Keys::new(self.iter(guard))
+    /// Iterates over all keys under a read-side protection witness.
+    pub fn keys<'g, P: ReadProtect>(&'g self, protect: &'g P) -> Keys<'g, K, V> {
+        Keys::new(self.iter(protect))
     }
 
-    /// Iterates over all values under `guard`.
-    pub fn values<'g>(&'g self, guard: &'g RcuGuard<'_>) -> Values<'g, K, V> {
-        Values::new(self.iter(guard))
+    /// Iterates over all values under a read-side protection witness.
+    pub fn values<'g, P: ReadProtect>(&'g self, protect: &'g P) -> Values<'g, K, V> {
+        Values::new(self.iter(protect))
     }
 
     /// Collects all entries into a `Vec` (cloning), a convenience for tests
@@ -860,10 +919,11 @@ where
             .collect()
     }
 
-    /// Flushes retired nodes: waits for a grace period and frees everything
-    /// retired before the call.
+    /// Flushes retired nodes: waits for a grace period of every read-side
+    /// flavor with registered readers and frees everything retired before
+    /// the call.
     pub fn flush_retired(&self) {
-        RcuDomain::global().synchronize_and_reclaim();
+        GraceSync::global().synchronize_and_reclaim();
     }
 
     /// Locates `key`'s node and its predecessor in the current table.
@@ -920,10 +980,13 @@ where
 
     fn maybe_reclaim(&self) {
         // Reclamation waits for a grace period, which can never complete if
-        // the calling thread itself holds a read guard; postpone it in that
-        // case (a later update from a quiescent thread will catch up).
-        if rp_rcu::global_read_nesting() == 0 {
-            RcuDomain::global().reclaim_if_pending(self.reclaim_threshold.load(Ordering::Relaxed));
+        // the calling thread itself holds a read guard or is an online QSBR
+        // reader; postpone it in those cases (a later update from a
+        // quiescent thread — or the maintenance thread / a background
+        // reclaimer — will catch up). The wait goes through `GraceSync` so
+        // it covers QSBR readers of this map too.
+        if rp_rcu::global_read_nesting() == 0 && !rp_rcu::qsbr::global_qsbr_online() {
+            GraceSync::global().reclaim_if_pending(self.reclaim_threshold.load(Ordering::Relaxed));
         }
     }
 }

@@ -50,7 +50,7 @@
 
 use std::hash::{BuildHasher, Hash};
 
-use rp_rcu::RcuDomain;
+use rp_rcu::GraceSync;
 
 use crate::map::RpHashMap;
 use crate::node::Node;
@@ -216,6 +216,62 @@ where
         }
     }
 
+    /// Catches up on automatic-resize work the writer paths postponed,
+    /// driving the table back inside its policy's load-factor bounds.
+    /// Returns `true` if any resize work was performed.
+    ///
+    /// Writers skip automatic resizing when the writing thread cannot wait
+    /// for readers — it holds an EBR guard, or it is an online QSBR reader
+    /// (an event-loop worker serving lookups). If *every* writer is such a
+    /// thread, nothing would ever resize; callers with a natural quiescent
+    /// point (the event-loop worker between batches, with its handle
+    /// offline) invoke this instead. The same self-deadlock conditions are
+    /// re-checked here, so a mistimed call is a no-op rather than a panic.
+    pub fn maintain(&self) -> bool {
+        if rp_rcu::global_read_nesting() > 0 || rp_rcu::qsbr::global_qsbr_online() {
+            // Still unable to wait for readers; stay postponed.
+            return false;
+        }
+        // Lock-free fast path: callers run this per event batch, so the
+        // nothing-to-do case must cost loads, not a writer-lock round trip.
+        if !self.resize_in_progress() {
+            let len = self.len();
+            let buckets = self.num_buckets();
+            if !self.policy().should_expand(len, buckets)
+                && !self.policy().should_shrink(len, buckets)
+            {
+                return false;
+            }
+        }
+        let mut worked = false;
+        let _w = self.writer_lock();
+        // SAFETY: writer lock held for the whole loop.
+        unsafe {
+            if self.resize_op_locked().is_some() {
+                self.finish_resize_locked();
+                worked = true;
+            }
+            loop {
+                let len = self.len();
+                let buckets = self.table_locked().len();
+                if self.policy().should_expand(len, buckets) {
+                    self.expand_locked();
+                } else if self.policy().should_shrink(len, buckets) {
+                    self.shrink_locked();
+                } else {
+                    break;
+                }
+                if self.table_locked().len() == buckets {
+                    // Policy bounds stopped the resize; no progress is
+                    // possible (defensive — `should_*` respect the bounds).
+                    break;
+                }
+                worked = true;
+            }
+        }
+        worked
+    }
+
     /// Returns `true` if an incremental resize (begun with
     /// [`RpHashMap::begin_expand`] or [`RpHashMap::begin_shrink`]) has not
     /// yet reached its [`ResizeStep::Finished`] step.
@@ -279,9 +335,11 @@ where
             Some((id, round)) => {
                 // Wait for readers with the writer lock released: this is
                 // the step a background maintainer spends nearly all its
-                // time in, and writers must not be blocked behind it.
+                // time in, and writers must not be blocked behind it. The
+                // wait goes through `GraceSync`, covering QSBR readers of
+                // this map's chains as well as EBR guards.
                 drop(guard);
-                RcuDomain::global().synchronize();
+                GraceSync::global().synchronize();
                 let _w = self.writer_lock();
                 // SAFETY: writer lock held.
                 unsafe { self.resolve_grace_locked(id, round) };
@@ -338,7 +396,7 @@ where
                 Some(op) => op.grace_key(),
             };
             if let Some((id, round)) = pending {
-                RcuDomain::global().synchronize();
+                GraceSync::global().synchronize();
                 // SAFETY: writer lock held.
                 unsafe { self.resolve_grace_locked(id, round) };
                 continue;
@@ -961,6 +1019,53 @@ mod tests {
     }
 
     // ---- incremental state-machine tests ----
+
+    #[test]
+    fn maintain_catches_up_resizes_postponed_by_qsbr_writers() {
+        // On a dedicated thread so the QSBR handle's thread-local online
+        // state cannot leak into other tests.
+        std::thread::spawn(|| {
+            let map: Map = RpHashMap::with_buckets_hasher_and_policy(
+                4,
+                FnvBuildHasher,
+                ResizePolicy {
+                    auto_expand: true,
+                    max_load_factor: 1.0,
+                    ..ResizePolicy::default()
+                },
+            );
+            let mut handle = crate::QsbrReadHandle::register();
+            for i in 0..64 {
+                map.insert(i, i * 2);
+            }
+            assert_eq!(
+                map.num_buckets(),
+                4,
+                "auto-expansion must be postponed while the writer is QSBR-online"
+            );
+            assert!(
+                !map.maintain(),
+                "maintain is a no-op while the thread is still an online QSBR reader"
+            );
+            handle.offline();
+            assert!(map.maintain(), "postponed expansion work exists");
+            assert!(
+                map.num_buckets() >= 64,
+                "maintain must drive the table inside its policy bounds, got {}",
+                map.num_buckets()
+            );
+            assert!(!map.maintain(), "second call has nothing to do");
+            handle.online();
+            for i in 0..64 {
+                assert_eq!(map.get_qsbr(&i, &handle), Some(&(i * 2)));
+            }
+            handle.offline();
+            drop(handle);
+            map.check_invariants().unwrap();
+        })
+        .join()
+        .unwrap();
+    }
 
     #[test]
     fn incremental_expand_steps_through_the_machine() {

@@ -8,6 +8,7 @@ use rp_rcu::RcuGuard;
 
 use crate::map::RpHashMap;
 use crate::policy::ResizePolicy;
+use crate::qsbr::ReadProtect;
 
 /// A concurrent hash set with wait-free relativistic readers and
 /// reader-transparent resizing.
@@ -110,17 +111,20 @@ where
     }
 
     /// Returns a reference to the stored element equal to `value`, if any.
-    pub fn get<'g, Q>(&'g self, value: &Q, guard: &'g RcuGuard<'_>) -> Option<&'g T>
+    /// Accepts either read-side protection witness (EBR guard or online
+    /// QSBR handle).
+    pub fn get<'g, Q, P>(&'g self, value: &Q, protect: &'g P) -> Option<&'g T>
     where
         T: Borrow<Q>,
         Q: Hash + Eq + ?Sized,
+        P: ReadProtect,
     {
-        self.map.get_key_value(value, guard).map(|(k, ())| k)
+        self.map.get_key_value(value, protect).map(|(k, ())| k)
     }
 
-    /// Iterates over the elements under `guard`.
-    pub fn iter<'g>(&'g self, guard: &'g RcuGuard<'_>) -> impl Iterator<Item = &'g T> + 'g {
-        self.map.keys(guard)
+    /// Iterates over the elements under a read-side protection witness.
+    pub fn iter<'g, P: ReadProtect>(&'g self, protect: &'g P) -> impl Iterator<Item = &'g T> + 'g {
+        self.map.keys(protect)
     }
 
     /// Removes all elements.

@@ -10,6 +10,7 @@
 //! | `--port N` | `RP_KV_PORT` | `11211` |
 //! | `--mode threaded\|event-loop` | `RP_KV_MODE` | `event-loop` |
 //! | `--workers N` | `RP_KV_WORKERS` | `2` |
+//! | `--read-side qsbr\|ebr` | `RP_KV_READ_SIDE` | `qsbr` |
 //! | `--shards N` | `RP_KV_SHARDS` | `16` |
 //! | `--capacity N` | `RP_KV_CAPACITY` | `1048576` |
 //! | `--maint on\|off` | `RP_KV_MAINT` | `on` |
@@ -18,7 +19,11 @@
 //! | `--maint-idle-wakeup-ms N` | `RP_KV_MAINT_IDLE_WAKEUP_MS` | [`MaintConfig`] default |
 //! | `--drain-timeout-ms N` | `RP_KV_DRAIN_TIMEOUT_MS` | `5000` |
 //!
-//! The `--maint-*` family tunes the background resize maintenance thread
+//! `--read-side` selects the RCU flavor serving event-loop GETs: `qsbr`
+//! (the default — barrier-free lookups, quiescent states announced per
+//! event batch) or `ebr` (per-lookup guards; what the threaded server
+//! always uses). The `--maint-*` family tunes the background resize
+//! maintenance thread
 //! (`rp-maint`) behind the `rp-shard` engine; `--maint off` reverts to
 //! inline resizing (writers absorb the grace-period waits themselves).
 
@@ -27,7 +32,7 @@ use std::time::Duration;
 
 use rp_maint::MaintConfig;
 
-use crate::engine::CacheEngine;
+use crate::engine::{CacheEngine, ReadSide};
 use crate::server::{ServerConfig, ServerMode};
 use crate::{LockEngine, RpEngine, ShardedRpEngine};
 
@@ -53,6 +58,9 @@ pub struct ServerOptions {
     pub mode: ServerMode,
     /// Event-loop worker threads.
     pub workers: usize,
+    /// Read-side RCU flavor for event-loop GETs (the threaded server
+    /// always uses EBR).
+    pub read_side: ReadSide,
     /// Index shards (rp-shard engine only).
     pub shards: usize,
     /// Item capacity.
@@ -71,6 +79,7 @@ impl Default for ServerOptions {
             port: 11211,
             mode: ServerMode::EventLoop,
             workers: 2,
+            read_side: ReadSide::Qsbr,
             shards: 16,
             capacity: 1 << 20,
             maint: Some(MaintConfig::default()),
@@ -91,6 +100,7 @@ FLAGS (each falls back to the env var in brackets, then to the default):
     --port N                      TCP port, 0 = pick free       [RP_KV_PORT, 11211]
     --mode threaded|event-loop    connection architecture       [RP_KV_MODE, event-loop]
     --workers N                   event-loop worker threads     [RP_KV_WORKERS, 2]
+    --read-side qsbr|ebr          GET read-side RCU flavor      [RP_KV_READ_SIDE, qsbr]
     --shards N                    index shards (rp-shard)       [RP_KV_SHARDS, 16]
     --capacity N                  max items                     [RP_KV_CAPACITY, 1048576]
     --maint on|off                background index resizes      [RP_KV_MAINT, on]
@@ -116,6 +126,7 @@ impl ServerOptions {
         let mut port = env("RP_KV_PORT");
         let mut mode = env("RP_KV_MODE");
         let mut workers = env("RP_KV_WORKERS");
+        let mut read_side = env("RP_KV_READ_SIDE");
         let mut shards = env("RP_KV_SHARDS");
         let mut capacity = env("RP_KV_CAPACITY");
         let mut maint = env("RP_KV_MAINT");
@@ -134,6 +145,7 @@ impl ServerOptions {
                 "--port" => &mut port,
                 "--mode" => &mut mode,
                 "--workers" => &mut workers,
+                "--read-side" => &mut read_side,
                 "--shards" => &mut shards,
                 "--capacity" => &mut capacity,
                 "--maint" => &mut maint,
@@ -169,6 +181,9 @@ impl ServerOptions {
         }
         if let Some(v) = workers {
             opts.workers = parse_num::<usize>(&v, "--workers")?.max(1);
+        }
+        if let Some(v) = read_side {
+            opts.read_side = ReadSide::parse(&v)?;
         }
         if let Some(v) = shards {
             opts.shards = parse_num::<usize>(&v, "--shards")?.max(1);
@@ -221,6 +236,7 @@ impl ServerOptions {
             port: self.port,
             mode: self.mode,
             workers: self.workers,
+            read_side: self.read_side,
             drain_timeout: self.drain_timeout,
         }
     }
@@ -311,6 +327,24 @@ mod tests {
         )
         .unwrap();
         assert!(opts.maint.is_none());
+    }
+
+    #[test]
+    fn read_side_parses_from_flag_and_env() {
+        let opts = ServerOptions::parse(&[], &no_env).unwrap();
+        assert_eq!(opts.read_side, ReadSide::Qsbr, "qsbr is the default");
+        let opts = ServerOptions::parse(&strings(&["--read-side", "ebr"]), &no_env).unwrap();
+        assert_eq!(opts.read_side, ReadSide::Ebr);
+        assert_eq!(opts.server_config().read_side, ReadSide::Ebr);
+        let env = |name: &str| match name {
+            "RP_KV_READ_SIDE" => Some("ebr".to_string()),
+            _ => None,
+        };
+        let opts = ServerOptions::parse(&[], &env).unwrap();
+        assert_eq!(opts.read_side, ReadSide::Ebr, "env beats default");
+        let opts = ServerOptions::parse(&strings(&["--read-side", "QSBR"]), &env).unwrap();
+        assert_eq!(opts.read_side, ReadSide::Qsbr, "flag beats env");
+        assert!(ServerOptions::parse(&strings(&["--read-side", "hazard"]), &no_env).is_err());
     }
 
     #[test]

@@ -2,7 +2,132 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use rp_hash::QsbrReadHandle;
+
 use crate::item::Item;
+
+/// Which read-side RCU flavor serves GET lookups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadSide {
+    /// Epoch-style delimited readers ([`rp_rcu::pin`]): two thread-private
+    /// stores and two fences per lookup section, no registration duties.
+    /// The threaded server always uses this flavor.
+    Ebr,
+    /// Quiescent-state-based readers ([`rp_hash::QsbrReadHandle`]): the
+    /// lookup itself is entirely free — no store, no fence — but the
+    /// serving thread must announce quiescent states between batches and go
+    /// offline while blocked. The event-loop server's default: its pinned
+    /// workers have natural quiescent points between `epoll_wait` batches.
+    #[default]
+    Qsbr,
+}
+
+impl ReadSide {
+    /// Parses `ebr` / `qsbr` (case-insensitive).
+    pub fn parse(value: &str) -> Result<ReadSide, String> {
+        match value.trim().to_ascii_lowercase().as_str() {
+            "ebr" => Ok(ReadSide::Ebr),
+            "qsbr" => Ok(ReadSide::Qsbr),
+            other => Err(format!("bad read side {other:?} (ebr | qsbr)")),
+        }
+    }
+
+    /// The flag/env spelling of this flavor.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ReadSide::Ebr => "ebr",
+            ReadSide::Qsbr => "qsbr",
+        }
+    }
+}
+
+/// A serving thread's read-side context, passed down to the engine's GET
+/// path.
+///
+/// For [`ReadSide::Ebr`] this is empty — the engine pins a guard per lookup
+/// as it always did. For [`ReadSide::Qsbr`] it owns the thread's
+/// [`QsbrReadHandle`]; engines with a QSBR read path route lookups through
+/// it, and the owner (an event-loop worker) drives the quiescent rhythm via
+/// [`EngineReadCtx::quiescent`] / [`EngineReadCtx::park`] /
+/// [`EngineReadCtx::unpark`].
+///
+/// The context is `!Send` in its QSBR form (the handle is pinned to its
+/// thread); the event loop creates one per worker, on the worker.
+#[derive(Debug, Default)]
+pub struct EngineReadCtx {
+    qsbr: Option<QsbrReadHandle>,
+}
+
+impl EngineReadCtx {
+    /// Creates the context for `read_side`, registering a QSBR handle for
+    /// the calling thread if that flavor was chosen.
+    pub fn new(read_side: ReadSide) -> EngineReadCtx {
+        EngineReadCtx {
+            qsbr: match read_side {
+                ReadSide::Ebr => None,
+                ReadSide::Qsbr => Some(QsbrReadHandle::register()),
+            },
+        }
+    }
+
+    /// The EBR context (what [`crate::server::execute`] uses).
+    pub fn ebr() -> EngineReadCtx {
+        EngineReadCtx::default()
+    }
+
+    /// The flavor this context serves.
+    pub fn read_side(&self) -> ReadSide {
+        if self.qsbr.is_some() {
+            ReadSide::Qsbr
+        } else {
+            ReadSide::Ebr
+        }
+    }
+
+    /// The QSBR handle, when this context serves the QSBR flavor.
+    ///
+    /// Returned as a shared borrow of `self`: references the engine obtains
+    /// through the handle keep `self` borrowed, so the quiescent-rhythm
+    /// methods (`&mut self`) cannot be called while any lookup result is
+    /// alive — the same compile-time guarantee [`QsbrReadHandle`] itself
+    /// provides.
+    pub fn qsbr_handle(&self) -> Option<&QsbrReadHandle> {
+        self.qsbr.as_ref()
+    }
+
+    /// Announces a quiescent state (no-op for EBR). Event-loop workers call
+    /// this once per event batch.
+    pub fn quiescent(&mut self) {
+        if let Some(handle) = self.qsbr.as_mut() {
+            handle.quiescent_state();
+        }
+    }
+
+    /// Marks the thread offline before blocking (no-op for EBR), so a long
+    /// `epoll_wait` park never stalls writers waiting for readers.
+    pub fn park(&mut self) {
+        if let Some(handle) = self.qsbr.as_mut() {
+            handle.offline();
+        }
+    }
+
+    /// Marks the thread online again after waking (no-op for EBR).
+    pub fn unpark(&mut self) {
+        if let Some(handle) = self.qsbr.as_mut() {
+            handle.online();
+        }
+    }
+
+    /// Runs `f` with the QSBR handle offline (directly for EBR), so `f`
+    /// may wait for grace periods without deadlocking on this thread's own
+    /// read-side state — the window [`CacheEngine::housekeeping`] runs in.
+    pub fn with_offline<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        match self.qsbr.as_mut() {
+            Some(handle) => handle.offline_scope(f),
+            None => f(),
+        }
+    }
+}
 
 /// Outcome of a store operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +196,39 @@ pub trait CacheEngine: Send + Sync {
     fn get_many(&self, keys: &[&str]) -> Vec<Option<Item>> {
         keys.iter().map(|key| self.get(key)).collect()
     }
+
+    /// [`CacheEngine::get`] through an explicit read-side context.
+    ///
+    /// The default ignores the context and uses the engine's ordinary
+    /// (EBR) lookup; relativistic engines override it to serve
+    /// [`ReadSide::Qsbr`] contexts through their barrier-free QSBR path.
+    fn get_via(&self, key: &str, ctx: &mut EngineReadCtx) -> Option<Item> {
+        let _ = ctx;
+        self.get(key)
+    }
+
+    /// [`CacheEngine::get_many`] through an explicit read-side context (see
+    /// [`CacheEngine::get_via`]).
+    ///
+    /// The default loops over [`CacheEngine::get_via`], so an engine that
+    /// overrides only the single-key method still serves batches through
+    /// its chosen flavor; engines with a batched read path (the sharded
+    /// engine) override this too.
+    fn get_many_via(&self, keys: &[&str], ctx: &mut EngineReadCtx) -> Vec<Option<Item>> {
+        keys.iter().map(|key| self.get_via(key, ctx)).collect()
+    }
+
+    /// Housekeeping an external caller with a natural quiescent point can
+    /// drive on the engine's behalf: postponed automatic index resizes and
+    /// deferred reclamation.
+    ///
+    /// Threads serving QSBR reads postpone all grace-period work (waiting
+    /// would deadlock on their own read-side state); the event-loop worker
+    /// calls this between batches **while its QSBR handle is offline**
+    /// ([`EngineReadCtx::with_offline`]), so an all-QSBR-worker deployment
+    /// still resizes its index. Must be cheap when there is nothing to do;
+    /// the default does nothing.
+    fn housekeeping(&self) {}
 
     /// Stores `item` under `key`, replacing any previous value.
     fn set(&self, key: &str, item: Item) -> StoreOutcome;

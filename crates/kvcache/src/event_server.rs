@@ -7,6 +7,22 @@
 //! single writes, a slow reader that stops draining its responses gets its
 //! *reads* paused instead of ballooning server memory, and graceful
 //! shutdown answers everything already received before closing.
+//!
+//! # The QSBR read path
+//!
+//! By default the reactor workers serve GETs through the QSBR read-side
+//! flavor ([`ReadSide::Qsbr`]): each worker registers a
+//! [`rp_hash::QsbrReadHandle`] at startup ([`rp_net::Service`]'s
+//! `on_worker_start` hook runs on the worker thread), lookups inside a
+//! batch pay **no locks, no fences, no atomic RMW at all**, one quiescent
+//! state is announced per event batch (`on_batch_end`), and the handle goes
+//! offline while the worker parks in `epoll_wait` (`on_park`/`on_unpark`)
+//! so an idle worker never stalls writers. Because the serving threads are
+//! QSBR readers, they postpone all grace-period work; a background
+//! [`Reclaimer`] (plus the engine's maintenance thread, when enabled)
+//! absorbs deferred frees instead. `--read-side ebr` restores the guard
+//! path for A/B comparisons — that flavor difference is what the
+//! `fig_qsbr` benchmark measures.
 
 use std::io;
 use std::net::SocketAddr;
@@ -14,30 +30,40 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use rp_net::{Action, EventLoop, NetConfig, NetStats, Service, WriteBuf};
+use rp_rcu::Reclaimer;
 
-use crate::engine::CacheEngine;
+use crate::engine::{CacheEngine, EngineReadCtx, ReadSide};
 use crate::protocol::{DecodedRequest, RequestDecoder, Response};
-use crate::server::execute;
+use crate::server::execute_via;
 
 /// The memcached text protocol as an [`rp_net::Service`].
 ///
-/// Per-connection state is exactly one [`RequestDecoder`]; everything else
-/// (the engine, statistics) is shared. `on_data` drains every complete
-/// pipelined request, so N requests arriving in one read produce N replies
-/// in one write.
+/// Per-connection state is exactly one [`RequestDecoder`]; per-worker state
+/// is the read-side context ([`EngineReadCtx`] — a registered QSBR handle,
+/// or nothing for EBR); everything else (the engine, statistics) is shared.
+/// `on_data` drains every complete pipelined request, so N requests
+/// arriving in one read produce N replies in one write.
 pub struct KvService {
     engine: Arc<dyn CacheEngine>,
+    read_side: ReadSide,
 }
 
 impl KvService {
-    /// Wraps `engine` for the reactor.
-    pub fn new(engine: Arc<dyn CacheEngine>) -> KvService {
-        KvService { engine }
+    /// Wraps `engine` for the reactor, serving GETs through `read_side`.
+    pub fn new(engine: Arc<dyn CacheEngine>, read_side: ReadSide) -> KvService {
+        KvService { engine, read_side }
     }
 }
 
 impl Service for KvService {
     type Conn = RequestDecoder;
+    type Worker = EngineReadCtx;
+
+    fn on_worker_start(&self, _worker: usize) -> EngineReadCtx {
+        // Runs on the worker thread, so the QSBR registration (when chosen)
+        // is pinned to the thread that will serve the lookups.
+        EngineReadCtx::new(self.read_side)
+    }
 
     fn on_connect(&self, _peer: SocketAddr) -> RequestDecoder {
         RequestDecoder::new()
@@ -45,6 +71,7 @@ impl Service for KvService {
 
     fn on_data(
         &self,
+        ctx: &mut EngineReadCtx,
         decoder: &mut RequestDecoder,
         input: &mut Vec<u8>,
         out: &mut WriteBuf,
@@ -54,7 +81,7 @@ impl Service for KvService {
             match decoder.next() {
                 Some(DecodedRequest::Command(command)) => {
                     let quit = matches!(command, crate::protocol::Command::Quit);
-                    if let Some(reply) = execute(&*self.engine, command) {
+                    if let Some(reply) = execute_via(&*self.engine, command, ctx) {
                         out.push(reply.to_bytes());
                     }
                     if quit {
@@ -68,21 +95,63 @@ impl Service for KvService {
             }
         }
     }
+
+    fn on_batch_end(&self, ctx: &mut EngineReadCtx) {
+        // Every response of the batch has been copied out; the worker holds
+        // no references into the engine's index. One announcement per
+        // batch, amortised over every lookup the batch served.
+        ctx.quiescent();
+        // QSBR workers postpone writer-side grace work (auto-resize); if
+        // every writer is a QSBR worker, someone must catch up or the
+        // index never resizes. This is that someone: between batches, with
+        // the handle offline so grace waits cannot deadlock on this
+        // thread. A cheap threshold no-op when the index is maintained or
+        // inside its load-factor bounds.
+        if matches!(self.read_side, ReadSide::Qsbr) {
+            let engine = &self.engine;
+            ctx.with_offline(|| engine.housekeeping());
+        }
+    }
+
+    fn on_park(&self, ctx: &mut EngineReadCtx) {
+        ctx.park();
+    }
+
+    fn on_unpark(&self, ctx: &mut EngineReadCtx) {
+        ctx.unpark();
+    }
 }
 
 /// A running event-loop cache server.
 pub struct EventServer {
     inner: EventLoop,
     engine: Arc<dyn CacheEngine>,
+    read_side: ReadSide,
+    /// Absorbs deferred frees while the workers are QSBR readers (QSBR
+    /// workers postpone all grace-period work; without maintenance or this
+    /// thread, retired nodes would accumulate unboundedly).
+    _reclaimer: Option<Reclaimer>,
 }
 
 impl EventServer {
     /// Binds `127.0.0.1:<port>` (0 picks a free port) and serves `engine`
-    /// from `workers` reactor threads.
+    /// from `workers` reactor threads with the default read-side flavor
+    /// ([`ReadSide::Qsbr`]).
     pub fn start(
         engine: Arc<dyn CacheEngine>,
         port: u16,
         workers: usize,
+        drain_timeout: Duration,
+    ) -> io::Result<EventServer> {
+        Self::start_with_read_side(engine, port, workers, ReadSide::default(), drain_timeout)
+    }
+
+    /// [`EventServer::start`] with the read-side flavor spelled out.
+    pub fn start_with_read_side(
+        engine: Arc<dyn CacheEngine>,
+        port: u16,
+        workers: usize,
+        read_side: ReadSide,
         drain_timeout: Duration,
     ) -> io::Result<EventServer> {
         let config = NetConfig {
@@ -90,10 +159,19 @@ impl EventServer {
             drain_timeout,
             ..NetConfig::default()
         };
-        let service = Arc::new(KvService::new(Arc::clone(&engine)));
+        let service = Arc::new(KvService::new(Arc::clone(&engine), read_side));
         let addr: SocketAddr = ([127, 0, 0, 1], port).into();
         let inner = EventLoop::bind(addr, service, config)?;
-        Ok(EventServer { inner, engine })
+        let reclaimer = match read_side {
+            ReadSide::Ebr => None,
+            ReadSide::Qsbr => Some(Reclaimer::spawn_global()),
+        };
+        Ok(EventServer {
+            inner,
+            engine,
+            read_side,
+            _reclaimer: reclaimer,
+        })
     }
 
     /// The address the server is listening on.
@@ -104,6 +182,11 @@ impl EventServer {
     /// The engine behind this server.
     pub fn engine(&self) -> &Arc<dyn CacheEngine> {
         &self.engine
+    }
+
+    /// The read-side flavor serving this server's GETs.
+    pub fn read_side(&self) -> ReadSide {
+        self.read_side
     }
 
     /// Number of reactor worker threads — the server's entire thread

@@ -32,7 +32,12 @@
 //!   ([`server::CacheServer`]) and the `rp-net` epoll event loop
 //!   ([`EventServer`]), which serves any number of connections from a
 //!   fixed worker pool with incremental request framing, pipelined
-//!   responses and write backpressure.
+//!   responses and write backpressure. Event-loop workers serve GETs
+//!   through the **QSBR read path** by default ([`ReadSide`]): each worker
+//!   registers a `rp_hash::QsbrReadHandle` at startup, lookups are
+//!   entirely barrier-free, one quiescent state is announced per event
+//!   batch, and workers go offline while parked in `epoll_wait`;
+//!   `--read-side ebr` restores the guard path.
 //! * [`cli`] — flag/env parsing for the `kvcached` binary, including the
 //!   `--maint-*` knobs that tune the background resize maintenance thread.
 //!
@@ -55,7 +60,7 @@ pub mod client;
 pub mod event_server;
 pub mod server;
 
-pub use engine::{CacheEngine, CacheStats, StoreOutcome};
+pub use engine::{CacheEngine, CacheStats, EngineReadCtx, ReadSide, StoreOutcome};
 pub use event_server::{EventServer, KvService};
 pub use item::Item;
 pub use lock_engine::LockEngine;

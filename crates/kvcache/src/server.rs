@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crate::engine::{CacheEngine, StoreOutcome};
+use crate::engine::{CacheEngine, EngineReadCtx, ReadSide, StoreOutcome};
 use crate::event_server::EventServer;
 use crate::protocol::{Command, DecodedRequest, RequestDecoder, Response};
 
@@ -42,6 +42,12 @@ pub struct ServerConfig {
     pub mode: ServerMode,
     /// Event-loop worker threads (ignored by [`ServerMode::Threaded`]).
     pub workers: usize,
+    /// Read-side RCU flavor serving GETs in event-loop mode (the threaded
+    /// server always uses EBR — its per-connection threads block in
+    /// `read(2)` with no natural quiescent points). Defaults to QSBR: the
+    /// pinned reactor workers announce a quiescent state per event batch
+    /// and go offline while parked, making lookups entirely barrier-free.
+    pub read_side: ReadSide,
     /// How long a graceful event-loop shutdown keeps flushing responses.
     pub drain_timeout: Duration,
 }
@@ -52,6 +58,7 @@ impl Default for ServerConfig {
             port: 0,
             mode: ServerMode::EventLoop,
             workers: 2,
+            read_side: ReadSide::default(),
             drain_timeout: Duration::from_secs(5),
         }
     }
@@ -78,6 +85,12 @@ impl ServerConfig {
     /// Sets the port.
     pub fn with_port(mut self, port: u16) -> ServerConfig {
         self.port = port;
+        self
+    }
+
+    /// Sets the read-side flavor (event-loop mode only).
+    pub fn with_read_side(mut self, read_side: ReadSide) -> ServerConfig {
+        self.read_side = read_side;
         self
     }
 }
@@ -131,10 +144,14 @@ pub fn start_server(
 ) -> std::io::Result<ServerHandle> {
     match config.mode {
         ServerMode::Threaded => CacheServer::start(engine, config.port).map(ServerHandle::Threaded),
-        ServerMode::EventLoop => {
-            EventServer::start(engine, config.port, config.workers, config.drain_timeout)
-                .map(ServerHandle::EventLoop)
-        }
+        ServerMode::EventLoop => EventServer::start_with_read_side(
+            engine,
+            config.port,
+            config.workers,
+            config.read_side,
+            config.drain_timeout,
+        )
+        .map(ServerHandle::EventLoop),
     }
 }
 
@@ -274,8 +291,23 @@ fn serve_connection(
 }
 
 /// Executes a command against the engine, returning the reply to send (or
-/// `None` for `noreply` commands).
+/// `None` for `noreply` commands). GETs use the engine's default (EBR)
+/// read path; servers with per-thread read-side contexts call
+/// [`execute_via`] instead.
 pub fn execute(engine: &dyn CacheEngine, command: Command) -> Option<Response> {
+    execute_via(engine, command, &mut EngineReadCtx::ebr())
+}
+
+/// [`execute`] with an explicit read-side context: GET lookups go through
+/// [`CacheEngine::get_via`] / [`CacheEngine::get_many_via`], so a QSBR
+/// context serves them through the engine's barrier-free read path. All
+/// other commands are unaffected — writes always go through the engine's
+/// writer side.
+pub fn execute_via(
+    engine: &dyn CacheEngine,
+    command: Command,
+    ctx: &mut EngineReadCtx,
+) -> Option<Response> {
     match command {
         Command::Get(keys) => {
             // Single-key GETs (the dominant op) stay on the allocation-free
@@ -283,7 +315,7 @@ pub fn execute(engine: &dyn CacheEngine, command: Command) -> Option<Response> {
             // path (the sharded engine groups keys by shard; other engines
             // loop).
             let values = if let [key] = &keys[..] {
-                match engine.get(key) {
+                match engine.get_via(key, ctx) {
                     Some(item) => {
                         let [key] = <[String; 1]>::try_from(keys).expect("one key");
                         vec![(key, item.flags, item.data)]
@@ -293,7 +325,7 @@ pub fn execute(engine: &dyn CacheEngine, command: Command) -> Option<Response> {
             } else {
                 let items = {
                     let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
-                    engine.get_many(&key_refs)
+                    engine.get_many_via(&key_refs, ctx)
                 };
                 keys.into_iter()
                     .zip(items)

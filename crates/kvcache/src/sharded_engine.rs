@@ -11,7 +11,7 @@ use rp_hash::ResizePolicy;
 use rp_maint::{MaintConfig, MaintStats};
 use rp_shard::{ShardPolicy, ShardedRpMap};
 
-use crate::engine::{CacheEngine, CacheStats, StoreOutcome};
+use crate::engine::{CacheEngine, CacheStats, EngineReadCtx, StoreOutcome};
 use crate::item::Item;
 use crate::lock_engine::EngineConfig;
 use crate::rp_engine::StoredItem;
@@ -244,6 +244,81 @@ impl CacheEngine for ShardedRpEngine {
             .collect()
     }
 
+    fn get_via(&self, key: &str, ctx: &mut EngineReadCtx) -> Option<Item> {
+        // Flavor check first so the EBR fallback does not pay for a
+        // timestamp and clock stamp it recomputes inside `get`.
+        let Some(handle) = ctx.qsbr_handle() else {
+            return self.get(key);
+        };
+        let now = Instant::now();
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let result = match self.index.get_qsbr(key, handle) {
+            Some(stored) if !stored.item.is_expired(now) => {
+                stored.last_access.store(stamp, Ordering::Relaxed);
+                Some(stored.item.clone())
+            }
+            Some(_) => None, // expired: slow path below
+            None => {
+                self.stats.bump(&self.stats.get_misses);
+                return None;
+            }
+        };
+        match result {
+            Some(item) => {
+                self.stats.bump(&self.stats.get_hits);
+                Some(item)
+            }
+            None => {
+                if self.index.remove(key) {
+                    self.stats.bump(&self.stats.expirations);
+                }
+                self.stats.bump(&self.stats.get_misses);
+                None
+            }
+        }
+    }
+
+    fn get_many_via(&self, keys: &[&str], ctx: &mut EngineReadCtx) -> Vec<Option<Item>> {
+        let Some(handle) = ctx.qsbr_handle() else {
+            return self.get_many(keys);
+        };
+        let now = Instant::now();
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        // The QSBR batch: every key served inside one quiescent window (the
+        // borrow of the worker's handle), with no per-shard guard pins at
+        // all. Expired entries are copied out as None and deleted on the
+        // slow path afterwards, preserving per-key `get` semantics.
+        let stored = self.index.multi_get_with_qsbr(keys, handle, |found| {
+            if found.item.is_expired(now) {
+                None
+            } else {
+                found.last_access.store(stamp, Ordering::Relaxed);
+                Some(found.item.clone())
+            }
+        });
+        stored
+            .into_iter()
+            .zip(keys)
+            .map(|(slot, key)| match slot {
+                Some(Some(item)) => {
+                    self.stats.bump(&self.stats.get_hits);
+                    Some(item)
+                }
+                Some(None) => {
+                    if self.index.remove(*key) {
+                        self.stats.bump(&self.stats.expirations);
+                    }
+                    self.stats.bump(&self.stats.get_misses);
+                    None
+                }
+                None => {
+                    self.stats.bump(&self.stats.get_misses);
+                    None
+                }
+            })
+            .collect()
+    }
+
     fn set(&self, key: &str, item: Item) -> StoreOutcome {
         if item.len() > self.config.max_item_size {
             return StoreOutcome::NotStored;
@@ -269,6 +344,13 @@ impl CacheEngine for ShardedRpEngine {
 
     fn len(&self) -> usize {
         self.index.len()
+    }
+
+    fn housekeeping(&self) {
+        // No-op on the (default) maintained path — the rp-maint thread
+        // absorbs resize work; with `--maint off` this is what keeps an
+        // all-QSBR-worker deployment resizing its shards.
+        self.index.maintain();
     }
 
     fn stats(&self) -> &CacheStats {
@@ -404,6 +486,37 @@ mod tests {
             engine.get("key-7").map(|i| i.data.to_vec()),
             Some(b"v".to_vec())
         );
+    }
+
+    #[test]
+    fn qsbr_worker_housekeeping_grows_unmaintained_shards() {
+        use crate::engine::{EngineReadCtx, ReadSide};
+        std::thread::spawn(|| {
+            // `--maint off` + QSBR workers: without housekeeping nothing
+            // would ever resize the shards.
+            let engine = ShardedRpEngine::with_shards_capacity_and_maintenance(4, 100_000, false);
+            let mut ctx = EngineReadCtx::new(ReadSide::Qsbr);
+            let before = engine.index_buckets();
+            for i in 0..16_384 {
+                engine.set(&format!("key-{i}"), Item::new(0, "v"));
+            }
+            assert_eq!(
+                engine.index_buckets(),
+                before,
+                "shard resizes must be postponed while the worker is QSBR-online"
+            );
+            ctx.quiescent();
+            ctx.with_offline(|| engine.housekeeping());
+            assert!(
+                engine.index_buckets() > before,
+                "housekeeping must expand the postponed shards ({} -> {})",
+                before,
+                engine.index_buckets()
+            );
+            assert!(engine.get_via("key-9", &mut ctx).is_some());
+        })
+        .join()
+        .unwrap();
     }
 
     #[test]

@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use rp_kvcache::client::CacheClient;
 use rp_kvcache::server::{start_server, ServerConfig, ServerHandle, ServerMode};
-use rp_kvcache::{CacheEngine, LockEngine, RpEngine, ShardedRpEngine};
+use rp_kvcache::{CacheEngine, LockEngine, ReadSide, RpEngine, ShardedRpEngine};
 
 fn event_loop_config(workers: usize) -> ServerConfig {
     ServerConfig {
@@ -17,6 +17,7 @@ fn event_loop_config(workers: usize) -> ServerConfig {
         workers,
         drain_timeout: Duration::from_secs(5),
         port: 0,
+        ..ServerConfig::default()
     }
 }
 
@@ -39,18 +40,50 @@ fn full_session(server: &ServerHandle) {
 }
 
 #[test]
-fn event_loop_matches_threaded_for_every_engine() {
+fn event_loop_matches_threaded_for_every_engine_and_read_side() {
+    // The full parity matrix: every engine, under the threaded baseline and
+    // under the event loop with each read-side flavor. Engines without a
+    // QSBR read path (LockEngine) fall back to their ordinary lookups, so
+    // the protocol-visible behaviour must be identical everywhere.
     let engines: Vec<Arc<dyn CacheEngine>> = vec![
         Arc::new(LockEngine::new()),
         Arc::new(RpEngine::new()),
         Arc::new(ShardedRpEngine::new()),
     ];
     for engine in engines {
-        for config in [ServerConfig::threaded(), event_loop_config(2)] {
+        for config in [
+            ServerConfig::threaded(),
+            event_loop_config(2).with_read_side(ReadSide::Ebr),
+            event_loop_config(2).with_read_side(ReadSide::Qsbr),
+        ] {
             let mut server = start_server(Arc::clone(&engine), &config).expect("start");
             full_session(&server);
             server.shutdown();
         }
+    }
+}
+
+#[test]
+fn explicit_read_side_flavors_serve_expiry_and_batches() {
+    // The expiry slow path (a write from the serving worker) and the
+    // multi-GET batch path, explicitly under each flavor.
+    for read_side in [ReadSide::Ebr, ReadSide::Qsbr] {
+        let config = event_loop_config(2).with_read_side(read_side);
+        let mut server = start_server(Arc::new(ShardedRpEngine::new()), &config).expect("start");
+        let mut client = CacheClient::connect(server.addr()).unwrap();
+        assert!(client.set("ttl", 0, 1, b"fleeting").unwrap());
+        for i in 0..32 {
+            assert!(client.set(&format!("b{i}"), 0, 0, b"v").unwrap());
+        }
+        let hits = client.get_many(&["b0", "b31", "missing", "b7"]).unwrap();
+        assert_eq!(hits.len(), 3, "{read_side:?}");
+        std::thread::sleep(Duration::from_millis(1100));
+        assert!(
+            client.get("ttl").unwrap().is_none(),
+            "{read_side:?}: item must expire through the worker's slow path"
+        );
+        client.quit().unwrap();
+        server.shutdown();
     }
 }
 

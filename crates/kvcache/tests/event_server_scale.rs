@@ -39,6 +39,7 @@ fn a_thousand_connections_on_a_fixed_worker_pool() {
         workers: WORKERS,
         drain_timeout: Duration::from_secs(10),
         port: 0,
+        ..ServerConfig::default()
     };
     let mut server = start_server(engine, &config).expect("start event-loop server");
     match &server {

@@ -32,6 +32,12 @@
 //!   idle) the thread runs a deferred-reclamation pass on the global RCU
 //!   domain, so maintained maps can disable writer-side reclamation
 //!   entirely — the other place writers used to wait for readers.
+//! * **Cross-flavor grace waits:** every wait the thread absorbs — both the
+//!   resize grace steps (via `rp_hash`'s incremental state machine) and the
+//!   reclamation passes — goes through [`rp_rcu::GraceSync`], so it covers
+//!   registered QSBR readers (`rp_hash::QsbrReadHandle`) as well as EBR
+//!   guards. Maintenance is what lets QSBR-serving worker threads never
+//!   synchronize at all.
 //!
 //! The observable guarantee, asserted by `rp-shard`'s maintenance tests via
 //! [`rp_rcu::thread_synchronize_count`]: **on the maintained path, writer

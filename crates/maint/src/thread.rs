@@ -8,7 +8,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
-use rp_rcu::RcuDomain;
+use rp_rcu::GraceSync;
 
 use crate::stats::AtomicMaintStats;
 use crate::{MaintStats, MaintStep, MaintTarget, StepMode};
@@ -213,8 +213,10 @@ fn run(target: Arc<dyn MaintTarget>, shared: Arc<MaintShared>, config: MaintConf
             Next::Shutdown => break,
             Next::Heartbeat => {
                 // Idle: absorb deferred reclamation so maintained maps never
-                // have to run it from a writer.
-                if RcuDomain::global().reclaim_if_pending(config.reclaim_threshold) {
+                // have to run it from a writer. The pass goes through
+                // `GraceSync`, so it waits for QSBR readers too whenever the
+                // QSBR read path is in use.
+                if GraceSync::global().reclaim_if_pending(config.reclaim_threshold) {
                     shared.stats.reclaim_passes.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -245,7 +247,7 @@ fn run(target: Arc<dyn MaintTarget>, shared: Arc<MaintShared>, config: MaintConf
                         break;
                     }
                 }
-                if RcuDomain::global().reclaim_if_pending(config.reclaim_threshold) {
+                if GraceSync::global().reclaim_if_pending(config.reclaim_threshold) {
                     shared.stats.reclaim_passes.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -265,7 +267,7 @@ fn run(target: Arc<dyn MaintTarget>, shared: Arc<MaintShared>, config: MaintConf
         }
     }
     // Leave no deferred destructors behind either.
-    if RcuDomain::global().reclaim_if_pending(1) {
+    if GraceSync::global().reclaim_if_pending(1) {
         shared.stats.reclaim_passes.fetch_add(1, Ordering::Relaxed);
     }
 }

@@ -87,7 +87,13 @@ impl<S: Service> Connection<S> {
     /// flushes. Any I/O error closes the connection. `chunk` is the
     /// worker's shared scratch buffer — allocating per readiness event
     /// would put an alloc+memset on the hottest path.
-    pub(crate) fn on_readable(&mut self, service: &S, config: &NetConfig, chunk: &mut [u8]) {
+    pub(crate) fn on_readable(
+        &mut self,
+        service: &S,
+        worker: &mut S::Worker,
+        config: &NetConfig,
+        chunk: &mut [u8],
+    ) {
         if self.phase != ConnState::Open {
             // Late readiness after Close/Drain: nothing to read any more.
             return self.flush(service);
@@ -106,7 +112,7 @@ impl<S: Service> Connection<S> {
                     self.input.extend_from_slice(&chunk[..n]);
                     // Hand frames to the service between reads so one
                     // pipelining-heavy peer cannot queue unbounded input.
-                    self.process(service);
+                    self.process(service, worker);
                     if self.out.over_watermark() || self.phase != ConnState::Open {
                         break;
                     }
@@ -119,7 +125,7 @@ impl<S: Service> Connection<S> {
                 }
             }
         }
-        self.process(service);
+        self.process(service, worker);
         self.flush(service);
     }
 
@@ -129,9 +135,15 @@ impl<S: Service> Connection<S> {
 
     /// Server shutdown: one final opportunistic read (requests the kernel
     /// has already buffered get answered), then stop reading and drain.
-    pub(crate) fn begin_drain(&mut self, service: &S, config: &NetConfig, chunk: &mut [u8]) {
+    pub(crate) fn begin_drain(
+        &mut self,
+        service: &S,
+        worker: &mut S::Worker,
+        config: &NetConfig,
+        chunk: &mut [u8],
+    ) {
         if self.phase == ConnState::Open {
-            self.on_readable(service, config, chunk);
+            self.on_readable(service, worker, config, chunk);
         }
         if self.phase == ConnState::Open {
             self.phase = ConnState::Draining;
@@ -140,11 +152,11 @@ impl<S: Service> Connection<S> {
     }
 
     /// Forwards buffered input to the service and queues its responses.
-    fn process(&mut self, service: &S) {
+    fn process(&mut self, service: &S, worker: &mut S::Worker) {
         if self.input.is_empty() || self.phase == ConnState::Closed {
             return;
         }
-        match service.on_data(&mut self.state, &mut self.input, &mut self.out) {
+        match service.on_data(worker, &mut self.state, &mut self.input, &mut self.out) {
             Action::Continue => {}
             Action::Close => {
                 if self.phase == ConnState::Open {

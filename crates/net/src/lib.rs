@@ -38,8 +38,16 @@
 //! struct Shout;
 //! impl Service for Shout {
 //!     type Conn = ();
+//!     type Worker = ();
+//!     fn on_worker_start(&self, _worker: usize) {}
 //!     fn on_connect(&self, _peer: std::net::SocketAddr) {}
-//!     fn on_data(&self, _conn: &mut (), input: &mut Vec<u8>, out: &mut WriteBuf) -> Action {
+//!     fn on_data(
+//!         &self,
+//!         _worker: &mut (),
+//!         _conn: &mut (),
+//!         input: &mut Vec<u8>,
+//!         out: &mut WriteBuf,
+//!     ) -> Action {
 //!         out.push(input.drain(..).map(|b| b.to_ascii_uppercase()).collect());
 //!         Action::Continue
 //!     }
@@ -89,10 +97,29 @@ pub enum Action {
 /// A protocol handler driven by the event loop.
 ///
 /// One `Service` value is shared by every worker thread (it must be cheap
-/// to call concurrently); per-connection state lives in `Service::Conn`.
+/// to call concurrently); per-connection state lives in `Service::Conn`,
+/// and per-*worker* state — created on the worker thread itself — lives in
+/// `Service::Worker`.
+///
+/// The worker lifecycle hooks exist because reactor workers are pinned
+/// threads with a natural rhythm: wake from `epoll_wait`, service a batch
+/// of events, park again. Protocol handlers can attach per-thread resources
+/// to that rhythm — the kvcache server registers a QSBR read handle per
+/// worker ([`Service::on_worker_start`]), announces a quiescent state once
+/// per event batch ([`Service::on_batch_end`]), and goes offline while
+/// parked ([`Service::on_park`] / [`Service::on_unpark`]), which is the
+/// textbook quiescent-state-based RCU deployment.
 pub trait Service: Send + Sync + 'static {
     /// Per-connection protocol state (parser position, session flags, …).
     type Conn: Send + 'static;
+
+    /// Per-worker state. Created by [`Service::on_worker_start`] **on the
+    /// worker thread**, so it may hold thread-pinned (`!Send`) resources
+    /// such as read-side registration handles; it never leaves the worker.
+    type Worker: 'static;
+
+    /// Called once on each worker thread before its event loop starts.
+    fn on_worker_start(&self, worker: usize) -> Self::Worker;
 
     /// Called once per accepted connection.
     fn on_connect(&self, peer: SocketAddr) -> Self::Conn;
@@ -102,7 +129,24 @@ pub trait Service: Send + Sync + 'static {
     /// (a frame may arrive across many reads — unconsumed bytes are
     /// presented again, extended, after the next read) and queues any
     /// responses on `out`. Responses may cover several pipelined requests.
-    fn on_data(&self, conn: &mut Self::Conn, input: &mut Vec<u8>, out: &mut WriteBuf) -> Action;
+    fn on_data(
+        &self,
+        worker: &mut Self::Worker,
+        conn: &mut Self::Conn,
+        input: &mut Vec<u8>,
+        out: &mut WriteBuf,
+    ) -> Action;
+
+    /// Called after each batch of readiness events has been fully serviced
+    /// (all responses queued and flushed as far as the sockets allow). The
+    /// worker holds no connection state across this call.
+    fn on_batch_end(&self, _worker: &mut Self::Worker) {}
+
+    /// Called immediately before the worker blocks in `epoll_wait`.
+    fn on_park(&self, _worker: &mut Self::Worker) {}
+
+    /// Called immediately after the worker wakes from `epoll_wait`.
+    fn on_unpark(&self, _worker: &mut Self::Worker) {}
 }
 
 /// Reactor tuning knobs.
@@ -157,10 +201,18 @@ mod tests {
 
     impl Service for LineEcho {
         type Conn = ();
+        type Worker = ();
+        fn on_worker_start(&self, _worker: usize) {}
         fn on_connect(&self, _peer: SocketAddr) {
             self.connects.fetch_add(1, Ordering::Relaxed);
         }
-        fn on_data(&self, _conn: &mut (), input: &mut Vec<u8>, out: &mut WriteBuf) -> Action {
+        fn on_data(
+            &self,
+            _worker: &mut (),
+            _conn: &mut (),
+            input: &mut Vec<u8>,
+            out: &mut WriteBuf,
+        ) -> Action {
             while let Some(pos) = input.iter().position(|&b| b == b'\n') {
                 let line: Vec<u8> = input.drain(..=pos).collect();
                 if line == b"quit\n" {
@@ -237,6 +289,88 @@ mod tests {
         assert_eq!(stats.current_connections, 64);
         drop(clients);
         server.shutdown();
+    }
+
+    #[test]
+    fn worker_lifecycle_hooks_fire_on_worker_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+
+        struct Hooked {
+            started: Mutex<HashSet<(usize, std::thread::ThreadId)>>,
+            batches: AtomicUsize,
+            parks: AtomicUsize,
+            unparks: AtomicUsize,
+        }
+
+        impl Service for Hooked {
+            type Conn = ();
+            /// Worker state deliberately `!Send` to prove the reactor never
+            /// moves it off its thread.
+            type Worker = std::rc::Rc<std::thread::ThreadId>;
+
+            fn on_worker_start(&self, worker: usize) -> Self::Worker {
+                let id = std::thread::current().id();
+                self.started.lock().unwrap().insert((worker, id));
+                std::rc::Rc::new(id)
+            }
+            fn on_connect(&self, _peer: SocketAddr) {}
+            fn on_data(
+                &self,
+                worker: &mut Self::Worker,
+                _conn: &mut (),
+                input: &mut Vec<u8>,
+                out: &mut WriteBuf,
+            ) -> Action {
+                assert_eq!(**worker, std::thread::current().id());
+                out.push(std::mem::take(input));
+                Action::Continue
+            }
+            fn on_batch_end(&self, worker: &mut Self::Worker) {
+                assert_eq!(**worker, std::thread::current().id());
+                self.batches.fetch_add(1, Ordering::Relaxed);
+            }
+            fn on_park(&self, _worker: &mut Self::Worker) {
+                self.parks.fetch_add(1, Ordering::Relaxed);
+            }
+            fn on_unpark(&self, _worker: &mut Self::Worker) {
+                self.unparks.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let service = Arc::new(Hooked {
+            started: Mutex::new(HashSet::new()),
+            batches: AtomicUsize::new(0),
+            parks: AtomicUsize::new(0),
+            unparks: AtomicUsize::new(0),
+        });
+        let mut server = EventLoop::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            Arc::clone(&service),
+            NetConfig {
+                workers: 2,
+                ..NetConfig::default()
+            },
+        )
+        .unwrap();
+
+        let mut client = TcpStream::connect(server.addr()).unwrap();
+        client.write_all(b"ping").unwrap();
+        let mut buf = [0_u8; 4];
+        client.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        drop(client);
+        server.shutdown();
+
+        let started = service.started.lock().unwrap();
+        let workers: HashSet<usize> = started.iter().map(|(w, _)| *w).collect();
+        assert_eq!(workers, HashSet::from([0, 1]), "one start per worker");
+        let threads: HashSet<std::thread::ThreadId> = started.iter().map(|(_, t)| *t).collect();
+        assert_eq!(threads.len(), 2, "each worker started on its own thread");
+        assert!(service.batches.load(Ordering::Relaxed) >= 1);
+        // Every wait is bracketed by park/unpark.
+        assert!(service.parks.load(Ordering::Relaxed) >= 2);
+        assert!(service.unparks.load(Ordering::Relaxed) >= 2);
     }
 
     #[test]

@@ -144,7 +144,6 @@ impl Drop for EventLoop {
 }
 
 struct Worker<S: Service> {
-    #[allow(dead_code)]
     idx: usize,
     shared: Arc<Shared>,
     service: Arc<S>,
@@ -184,6 +183,9 @@ impl<S: Service> Worker<S> {
         let mut pending: Vec<Event> = Vec::new();
         let mut draining = false;
         let mut drain_deadline = Instant::now();
+        // Created here — on the worker thread — so services can pin
+        // thread-local resources (e.g. a QSBR read handle) to this worker.
+        let mut wstate = self.service.on_worker_start(self.idx);
 
         loop {
             let timeout = if draining {
@@ -192,7 +194,9 @@ impl<S: Service> Worker<S> {
                 // Block indefinitely; shutdown arrives via the waker.
                 None
             };
+            self.service.on_park(&mut wstate);
             let waited = self.poller.wait(timeout, |ev| pending.push(ev));
+            self.service.on_unpark(&mut wstate);
             if waited.is_err() {
                 // epoll itself failed; nothing useful left to drive.
                 break;
@@ -206,9 +210,12 @@ impl<S: Service> Worker<S> {
                             self.accept_ready();
                         }
                     }
-                    fd => self.connection_event(fd, ev),
+                    fd => self.connection_event(fd, ev, &mut wstate),
                 }
             }
+            // The batch is fully serviced: every response queued and
+            // flushed as far as the sockets allow, no borrowed state held.
+            self.service.on_batch_end(&mut wstate);
 
             if !draining && self.shared.shutdown.load(Ordering::SeqCst) {
                 draining = true;
@@ -217,10 +224,16 @@ impl<S: Service> Worker<S> {
                 let tokens: Vec<u64> = self.conns.keys().copied().collect();
                 for token in tokens {
                     if let Some(conn) = self.conns.get_mut(&token) {
-                        conn.begin_drain(&self.service, &self.config, &mut self.scratch);
+                        conn.begin_drain(
+                            &self.service,
+                            &mut wstate,
+                            &self.config,
+                            &mut self.scratch,
+                        );
                     }
                     self.reconcile(token);
                 }
+                self.service.on_batch_end(&mut wstate);
             }
 
             if draining {
@@ -282,7 +295,7 @@ impl<S: Service> Worker<S> {
         }
     }
 
-    fn connection_event(&mut self, token: u64, ev: Event) {
+    fn connection_event(&mut self, token: u64, ev: Event, wstate: &mut S::Worker) {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
@@ -290,7 +303,7 @@ impl<S: Service> Worker<S> {
             conn.on_writable(&self.service);
         }
         if ev.readable() || ev.closed() {
-            conn.on_readable(&self.service, &self.config, &mut self.scratch);
+            conn.on_readable(&self.service, wstate, &self.config, &mut self.scratch);
         }
         self.reconcile(token);
     }

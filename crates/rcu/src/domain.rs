@@ -235,21 +235,22 @@ impl RcuDomain {
         self.deferred_len.load(Ordering::Relaxed)
     }
 
-    /// Waits for a grace period, then executes every callback that was
-    /// queued *before* this call began.
+    /// Takes the current deferred batch, leaving later arrivals queued.
     ///
-    /// Callbacks queued concurrently with the grace period are left for the
-    /// next reclamation pass (they may not yet be covered by it).
-    pub fn synchronize_and_reclaim(&self) {
-        // Take the batch first: a grace period only covers callbacks whose
-        // unpublish happened before the grace period started.
-        let batch: Vec<Deferred> = {
-            let mut queue = self.deferred.lock();
-            let batch = std::mem::take(&mut *queue);
-            self.deferred_len.store(queue.len(), Ordering::Relaxed);
-            batch
-        };
-        self.synchronize();
+    /// A grace period only covers callbacks whose unpublish happened before
+    /// the grace period started, so reclaimers take the batch *first*, wait,
+    /// then run it with [`RcuDomain::execute_deferred`].
+    pub(crate) fn take_deferred(&self) -> Vec<Deferred> {
+        let mut queue = self.deferred.lock();
+        let batch = std::mem::take(&mut *queue);
+        self.deferred_len.store(queue.len(), Ordering::Relaxed);
+        batch
+    }
+
+    /// Runs a batch previously taken with [`RcuDomain::take_deferred`]. The
+    /// caller must have waited for a full grace period (of every flavor with
+    /// readers of the protected data) in between.
+    pub(crate) fn execute_deferred(&self, batch: Vec<Deferred>) {
         let executed = batch.len() as u64;
         for d in batch {
             d.call();
@@ -257,6 +258,22 @@ impl RcuDomain {
         self.stats
             .callbacks_executed
             .fetch_add(executed, Ordering::Relaxed);
+    }
+
+    /// Waits for a grace period, then executes every callback that was
+    /// queued *before* this call began.
+    ///
+    /// Callbacks queued concurrently with the grace period are left for the
+    /// next reclamation pass (they may not yet be covered by it).
+    ///
+    /// This waits on *this domain only*. Data structures whose readers may
+    /// also be QSBR readers reclaim through
+    /// [`crate::GraceSync::synchronize_and_reclaim`] instead, which widens
+    /// the wait to every global flavor with registered readers.
+    pub fn synchronize_and_reclaim(&self) {
+        let batch = self.take_deferred();
+        self.synchronize();
+        self.execute_deferred(batch);
     }
 
     /// Runs `synchronize_and_reclaim` only if at least `threshold` callbacks

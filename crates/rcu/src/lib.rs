@@ -23,7 +23,12 @@
 //! * **QSBR flavor** — [`qsbr::QsbrDomain`] provides the quiescent-state
 //!   based flavor whose read side is entirely free of barriers, matching
 //!   kernel-RCU reader cost more closely; it requires threads to announce
-//!   quiescent states explicitly.
+//!   quiescent states explicitly. [`qsbr::QsbrDomain::global`] is the
+//!   process-wide domain behind `rp_hash`'s QSBR lookup path.
+//! * **Cross-flavor grace periods** — [`GraceSync`] funnels writer-side
+//!   waits so they cover *every* global flavor with registered readers:
+//!   structures whose readers may be either EBR or QSBR readers synchronize
+//!   and reclaim through it instead of a single domain.
 //!
 //! # Example
 //!
@@ -61,6 +66,7 @@ mod local;
 pub mod qsbr;
 mod reclaimer;
 mod stats;
+mod sync;
 
 pub use cell::{RcuCell, RetiredPtr};
 pub use deferred::Deferred;
@@ -69,6 +75,7 @@ pub use guard::RcuGuard;
 pub use local::{global_read_nesting, pin, quiescent_with, thread_synchronize_count, LocalHandle};
 pub use reclaimer::Reclaimer;
 pub use stats::DomainStats;
+pub use sync::GraceSync;
 
 /// Per-reader counter bit used to track read-side critical-section nesting.
 pub(crate) const GP_COUNT: usize = 1;

@@ -11,8 +11,10 @@
 //! The benchmark harness uses this flavor to quantify the gap between the
 //! two read-side costs (see the `rcu_primitives` Criterion bench).
 
+use std::cell::RefCell;
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use crossbeam_utils::CachePadded;
@@ -22,6 +24,55 @@ use crate::stats::{AtomicStats, DomainStats};
 
 /// Sentinel counter value meaning "this thread is offline".
 const OFFLINE: u64 = 0;
+
+std::thread_local! {
+    /// The calling thread's registered QSBR readers, keyed by domain
+    /// address. [`QsbrHandle`] is `!Send`, so every handle a thread creates
+    /// stays on that thread and this registry is exact. It powers two
+    /// safety nets:
+    ///
+    /// * [`QsbrDomain::synchronize`] panics instead of self-deadlocking when
+    ///   the calling thread's own handle is still online.
+    /// * [`global_qsbr_online`] lets data structures postpone optional
+    ///   grace-period work (reclamation, automatic resizing) on threads that
+    ///   are currently QSBR readers, exactly as they already do for a held
+    ///   EBR guard.
+    static THREAD_READERS: RefCell<Vec<(usize, Arc<CachePadded<QsbrReader>>)>> =
+        const { RefCell::new(Vec::new()) };
+}
+
+fn domain_key(domain: &QsbrDomain) -> usize {
+    domain as *const QsbrDomain as usize
+}
+
+/// Returns `true` if the calling thread has an **online** [`QsbrHandle`]
+/// registered with `domain`.
+///
+/// A thread's own online handle would make any `synchronize` it performs on
+/// that domain wait for itself; callers use this to postpone or refuse such
+/// waits.
+pub fn thread_is_online_reader(domain: &QsbrDomain) -> bool {
+    let key = domain_key(domain);
+    THREAD_READERS
+        .try_with(|readers| {
+            readers
+                .borrow()
+                .iter()
+                .any(|(d, state)| *d == key && state.ctr.load(Ordering::Relaxed) != OFFLINE)
+        })
+        .unwrap_or(false)
+}
+
+/// Returns `true` if the calling thread is currently an online reader of the
+/// **global** QSBR domain ([`QsbrDomain::global`]).
+///
+/// This is the QSBR analogue of [`crate::global_read_nesting`]` > 0`: data
+/// structures check it before optional grace-period work (deferred
+/// reclamation, automatic resizing) so that a thread serving QSBR reads
+/// never waits for — or deadlocks on — its own read-side activity.
+pub fn global_qsbr_online() -> bool {
+    thread_is_online_reader(QsbrDomain::global())
+}
 
 /// Per-thread QSBR state.
 #[derive(Debug)]
@@ -58,26 +109,63 @@ impl QsbrDomain {
         Arc::new(Self::default())
     }
 
+    /// Returns the process-wide global QSBR domain.
+    ///
+    /// This is the domain behind `rp_hash`'s QSBR read path; writers of the
+    /// global data structures synchronize it (through
+    /// [`crate::GraceSync`]) whenever it has registered readers.
+    pub fn global() -> &'static Arc<QsbrDomain> {
+        static GLOBAL: OnceLock<Arc<QsbrDomain>> = OnceLock::new();
+        GLOBAL.get_or_init(QsbrDomain::new)
+    }
+
     /// Registers the calling thread; it starts *online* and quiescent.
+    ///
+    /// The returned handle is `!Send`: QSBR bookkeeping is inherently
+    /// per-thread (the whole point is that the *owning thread* announces its
+    /// own quiescent states), and pinning the handle to its thread is what
+    /// makes [`thread_is_online_reader`] exact.
     pub fn register(self: &Arc<Self>) -> QsbrHandle {
         let state = Arc::new(CachePadded::new(QsbrReader {
             ctr: AtomicU64::new(self.gp_ctr.load(Ordering::SeqCst)),
         }));
         self.registry.lock().push(Arc::clone(&state));
+        let _ = THREAD_READERS.try_with(|readers| {
+            readers
+                .borrow_mut()
+                .push((domain_key(self), Arc::clone(&state)));
+        });
         self.stats
             .readers_registered
             .fetch_add(1, Ordering::Relaxed);
         QsbrHandle {
             domain: Arc::clone(self),
             state,
+            _not_send: PhantomData,
         }
     }
 
     /// Waits until every online registered thread has passed through a
     /// quiescent state after this call began.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling thread itself has an online [`QsbrHandle`]
+    /// registered with this domain — the grace period could never complete
+    /// while the caller counts as a reader (announce a quiescent state won't
+    /// help: a *new* grace period needs a *new* announcement, which the
+    /// caller, busy waiting, would never make). Go
+    /// [`QsbrHandle::offline`] first.
     pub fn synchronize(&self) {
+        if thread_is_online_reader(self) {
+            panic!(
+                "QsbrDomain::synchronize called while the calling thread's own QSBR handle \
+                 is online; go offline first (this would otherwise deadlock)"
+            );
+        }
         let _gp = self.gp_lock.lock();
         self.stats.synchronize_calls.fetch_add(1, Ordering::Relaxed);
+        crate::local::note_synchronize();
         std::sync::atomic::fence(Ordering::SeqCst);
 
         // Advance the grace-period counter; readers must observe a value at
@@ -135,9 +223,14 @@ impl QsbrDomain {
 /// The owning thread must call [`QsbrHandle::quiescent_state`] regularly (or
 /// go [`QsbrHandle::offline`]) — otherwise writers calling
 /// [`QsbrDomain::synchronize`] will wait forever.
+///
+/// Handles are `!Send`: the registration belongs to the thread that created
+/// it (see [`QsbrDomain::register`]).
 pub struct QsbrHandle {
     domain: Arc<QsbrDomain>,
     state: Arc<CachePadded<QsbrReader>>,
+    /// `!Send + !Sync`: quiescent bookkeeping is thread-private.
+    _not_send: PhantomData<*mut ()>,
 }
 
 impl QsbrHandle {
@@ -203,6 +296,22 @@ impl QsbrHandle {
 
 impl Drop for QsbrHandle {
     fn drop(&mut self) {
+        // Go offline before unregistering: a `synchronize` that snapshotted
+        // the registry while this handle was still listed keeps polling the
+        // snapshot's `Arc` even after `unregister` removes it, and an
+        // online-but-gone reader would stall that grace period forever.
+        // Offline is sound here — dropping the handle proves the thread
+        // holds no references obtained through it (they borrow the handle).
+        self.offline();
+        let _ = THREAD_READERS.try_with(|readers| {
+            let mut readers = readers.borrow_mut();
+            if let Some(pos) = readers
+                .iter()
+                .position(|(_, s)| Arc::ptr_eq(s, &self.state))
+            {
+                readers.swap_remove(pos);
+            }
+        });
         self.domain.unregister(&self.state);
     }
 }
@@ -325,6 +434,108 @@ mod tests {
         });
         assert_eq!(x, 5);
         assert!(h.is_online());
+    }
+
+    #[test]
+    fn dropping_an_online_handle_does_not_stall_synchronize() {
+        // Regression: `synchronize` snapshots the registry; a handle
+        // dropped *while online* after the snapshot must not leave a stale
+        // counter the grace period spins on forever. Drop goes offline
+        // first, so the snapshot entry resolves.
+        let d = QsbrDomain::new();
+        let registered = Arc::new(AtomicBool::new(false));
+        let release = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let d = Arc::clone(&d);
+            let registered = Arc::clone(&registered);
+            let release = Arc::clone(&release);
+            thread::spawn(move || {
+                let h = d.register();
+                assert!(h.is_online());
+                registered.store(true, Ordering::SeqCst);
+                while !release.load(Ordering::SeqCst) {
+                    std::hint::spin_loop();
+                }
+                // Exit without ever announcing quiescence or going offline
+                // explicitly: Drop must handle it.
+                drop(h);
+            })
+        };
+        while !registered.load(Ordering::SeqCst) {
+            std::hint::spin_loop();
+        }
+        let waiter = {
+            let d = Arc::clone(&d);
+            thread::spawn(move || d.synchronize())
+        };
+        thread::sleep(Duration::from_millis(20));
+        release.store(true, Ordering::SeqCst);
+        reader.join().unwrap();
+        waiter.join().unwrap();
+        assert_eq!(d.stats().grace_periods, 1);
+    }
+
+    #[test]
+    fn global_domain_is_a_singleton() {
+        let a = Arc::as_ptr(QsbrDomain::global());
+        let b = Arc::as_ptr(QsbrDomain::global());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thread_online_tracking_follows_handle_state() {
+        // Run on a dedicated thread so other tests' handles cannot
+        // interfere with the thread-local bookkeeping.
+        thread::spawn(|| {
+            let d = QsbrDomain::new();
+            assert!(!thread_is_online_reader(&d));
+            let h = d.register();
+            assert!(thread_is_online_reader(&d));
+            h.offline();
+            assert!(!thread_is_online_reader(&d));
+            h.online();
+            assert!(thread_is_online_reader(&d));
+            drop(h);
+            assert!(!thread_is_online_reader(&d));
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn online_state_is_per_domain() {
+        thread::spawn(|| {
+            let d1 = QsbrDomain::new();
+            let d2 = QsbrDomain::new();
+            let _h = d1.register();
+            assert!(thread_is_online_reader(&d1));
+            assert!(!thread_is_online_reader(&d2));
+            // A reader of d1 must not stop this thread synchronizing d2.
+            d2.synchronize();
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "own QSBR handle")]
+    fn synchronize_while_online_panics_instead_of_deadlocking() {
+        let d = QsbrDomain::new();
+        let _h = d.register();
+        d.synchronize();
+    }
+
+    #[test]
+    fn synchronize_after_going_offline_succeeds() {
+        thread::spawn(|| {
+            let d = QsbrDomain::new();
+            let h = d.register();
+            h.offline();
+            d.synchronize();
+            assert_eq!(d.stats().grace_periods, 1);
+        })
+        .join()
+        .unwrap();
     }
 
     #[test]

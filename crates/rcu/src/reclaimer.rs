@@ -14,6 +14,7 @@ use std::time::Duration;
 use parking_lot::{Condvar, Mutex};
 
 use crate::domain::RcuDomain;
+use crate::sync::GraceSync;
 
 struct Shared {
     stop: AtomicBool,
@@ -32,12 +33,18 @@ pub struct Reclaimer {
 
 impl Reclaimer {
     /// Spawns a reclaimer for `domain` that wakes at least every `interval`.
+    ///
+    /// When `domain` is the global domain, reclamation passes go through
+    /// [`GraceSync`] so the wait also covers registered QSBR readers —
+    /// nodes retired by global-domain writers may be referenced by either
+    /// flavor.
     pub fn spawn(domain: Arc<RcuDomain>, interval: Duration) -> Self {
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
             kicked: Mutex::new(false),
             wakeup: Condvar::new(),
         });
+        let covers_global = Arc::ptr_eq(&domain, RcuDomain::global());
         let thread_shared = Arc::clone(&shared);
         let thread = std::thread::Builder::new()
             .name("rcu-reclaimer".to_string())
@@ -53,7 +60,11 @@ impl Reclaimer {
                     }
                     let stopping = thread_shared.stop.load(Ordering::SeqCst);
                     if domain.deferred_pending() > 0 || stopping {
-                        domain.synchronize_and_reclaim();
+                        if covers_global {
+                            GraceSync::global().synchronize_and_reclaim();
+                        } else {
+                            domain.synchronize_and_reclaim();
+                        }
                         passes += 1;
                     }
                     if stopping {
@@ -69,6 +80,8 @@ impl Reclaimer {
     }
 
     /// Spawns a reclaimer for the global domain with a 10 ms wake interval.
+    /// Its passes cover both global read-side flavors (see
+    /// [`Reclaimer::spawn`]).
     pub fn spawn_global() -> Self {
         Self::spawn(Arc::clone(RcuDomain::global()), Duration::from_millis(10))
     }

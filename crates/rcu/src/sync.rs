@@ -1,0 +1,196 @@
+//! [`GraceSync`]: one grace-period wait covering every read-side flavor.
+//!
+//! The workspace's data structures historically had exactly one kind of
+//! reader — threads pinning the global EBR domain ([`crate::pin`]) — so
+//! every writer-side wait was a plain [`RcuDomain::synchronize`]. With the
+//! QSBR read path ([`crate::qsbr`]) a second population of readers exists,
+//! registered with [`QsbrDomain::global`], and a node (or bucket array) is
+//! only safe to free once **both** populations have passed a grace period.
+//!
+//! `GraceSync` is the funnel: resize and reclamation code calls
+//! [`GraceSync::synchronize`] (or the reclaiming variants) instead of
+//! touching a single domain, and the funnel waits on whichever global
+//! domains currently have registered readers. When no QSBR reader is
+//! registered — the common case for programs that never opt into the QSBR
+//! path — the extra wait costs one atomic load and nothing else, keeping
+//! the EBR-only fast path unchanged.
+
+use std::sync::{Arc, OnceLock};
+
+use crate::domain::RcuDomain;
+use crate::qsbr::QsbrDomain;
+
+/// Synchronizes writers against every global read-side flavor at once.
+///
+/// See the module docs for motivation. All methods operate on the
+/// process-wide global domains ([`RcuDomain::global`] and
+/// [`QsbrDomain::global`]); deferred callbacks live in the EBR domain's
+/// queue, as before — only the *wait* is widened.
+///
+/// # Panics
+///
+/// Every method that waits inherits the self-deadlock checks of the
+/// underlying domains: it panics if the calling thread is inside an EBR
+/// read-side critical section of the global domain, or has an online QSBR
+/// handle registered with the global QSBR domain.
+#[derive(Debug)]
+pub struct GraceSync {
+    ebr: &'static Arc<RcuDomain>,
+    qsbr: &'static Arc<QsbrDomain>,
+}
+
+impl GraceSync {
+    /// Returns the process-wide funnel.
+    pub fn global() -> &'static GraceSync {
+        static GLOBAL: OnceLock<GraceSync> = OnceLock::new();
+        GLOBAL.get_or_init(|| GraceSync {
+            ebr: RcuDomain::global(),
+            qsbr: QsbrDomain::global(),
+        })
+    }
+
+    /// The EBR side of the funnel (where deferred callbacks queue).
+    pub fn ebr(&self) -> &Arc<RcuDomain> {
+        self.ebr
+    }
+
+    /// The QSBR side of the funnel.
+    pub fn qsbr(&self) -> &Arc<QsbrDomain> {
+        self.qsbr
+    }
+
+    /// Waits for a grace period of every flavor that has registered
+    /// readers.
+    ///
+    /// The EBR domain is always synchronized (its registry is maintained
+    /// lazily by [`crate::pin`], so "has readers" is the steady state); the
+    /// QSBR domain is synchronized only when at least one handle is
+    /// registered, so programs that never use the QSBR path pay one atomic
+    /// load here and nothing more.
+    pub fn synchronize(&self) {
+        self.ebr.synchronize();
+        if self.qsbr.registered_readers() > 0 {
+            self.qsbr.synchronize();
+        }
+    }
+
+    /// Number of deferred callbacks currently queued (in the EBR domain).
+    pub fn deferred_pending(&self) -> usize {
+        self.ebr.deferred_pending()
+    }
+
+    /// Waits for a grace period of every flavor with registered readers,
+    /// then executes every callback that was queued *before* this call
+    /// began — the flavor-covering version of
+    /// [`RcuDomain::synchronize_and_reclaim`].
+    pub fn synchronize_and_reclaim(&self) {
+        let batch = self.ebr.take_deferred();
+        self.synchronize();
+        self.ebr.execute_deferred(batch);
+    }
+
+    /// Runs [`GraceSync::synchronize_and_reclaim`] only if at least
+    /// `threshold` callbacks are pending. Returns `true` if a reclamation
+    /// pass ran.
+    pub fn reclaim_if_pending(&self, threshold: usize) -> bool {
+        if self.ebr.deferred_pending() >= threshold {
+            self.synchronize_and_reclaim();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn reclaim_runs_queued_callbacks() {
+        let sync = GraceSync::global();
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..4 {
+            let ran = Arc::clone(&ran);
+            RcuDomain::global().defer(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        sync.synchronize_and_reclaim();
+        assert_eq!(ran.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn reclaim_if_pending_respects_threshold() {
+        let sync = GraceSync::global();
+        // Flush whatever other tests queued so the threshold check below is
+        // about *our* callbacks.
+        sync.synchronize_and_reclaim();
+        RcuDomain::global().defer(|| {});
+        assert!(!sync.reclaim_if_pending(1_000_000));
+        assert!(sync.reclaim_if_pending(1));
+    }
+
+    #[test]
+    fn synchronize_waits_for_online_qsbr_reader() {
+        let started = Arc::new(AtomicBool::new(false));
+        let release = Arc::new(AtomicBool::new(false));
+        let done = Arc::new(AtomicBool::new(false));
+
+        let reader = {
+            let started = Arc::clone(&started);
+            let release = Arc::clone(&release);
+            thread::spawn(move || {
+                let h = QsbrDomain::global().register();
+                started.store(true, Ordering::SeqCst);
+                while !release.load(Ordering::SeqCst) {
+                    std::hint::spin_loop();
+                }
+                h.quiescent_state();
+                h.offline();
+            })
+        };
+        while !started.load(Ordering::SeqCst) {
+            std::hint::spin_loop();
+        }
+
+        let waiter = {
+            let done = Arc::clone(&done);
+            thread::spawn(move || {
+                GraceSync::global().synchronize();
+                done.store(true, Ordering::SeqCst);
+            })
+        };
+        thread::sleep(Duration::from_millis(50));
+        assert!(
+            !done.load(Ordering::SeqCst),
+            "GraceSync completed while a QSBR reader had not passed a quiescent state"
+        );
+        release.store(true, Ordering::SeqCst);
+        reader.join().unwrap();
+        waiter.join().unwrap();
+        assert!(done.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn without_qsbr_readers_only_the_ebr_domain_is_synchronized() {
+        // The global QSBR domain may transiently have readers from other
+        // tests; use the counters to check the skip logic indirectly: a
+        // fresh wait with no registered readers must not bump the QSBR
+        // grace-period counter.
+        let sync = GraceSync::global();
+        if sync.qsbr().registered_readers() > 0 {
+            return; // another test is using the global domain right now
+        }
+        let before = sync.qsbr().stats().grace_periods;
+        sync.synchronize();
+        // Readers may have registered concurrently (making a wait
+        // legitimate); only assert when the domain stayed empty.
+        if sync.qsbr().registered_readers() == 0 {
+            assert_eq!(sync.qsbr().stats().grace_periods, before);
+        }
+    }
+}

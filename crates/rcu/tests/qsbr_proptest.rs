@@ -1,0 +1,290 @@
+//! Property tests for the QSBR domain's grace-period protocol, checked
+//! against a reference counter model.
+//!
+//! The model is the protocol's paper description: each registered handle is
+//! either *offline* or *online at some generation*; a `synchronize` that
+//! begins now completes exactly when every handle is offline, unregistered,
+//! or has announced a quiescent state **after** the call began. Two
+//! properties follow, and both are tested against random op interleavings:
+//!
+//! * **Never early:** while any handle the model calls *blocking* (alive
+//!   and online at the moment the grace period starts) has not yet
+//!   announced or gone offline, `synchronize` must not return.
+//! * **Never stuck:** once every alive handle is offline, `synchronize`
+//!   must return — regardless of the op history that led there
+//!   (re-registrations, online/offline flapping, drops mid-wait).
+//!
+//! Handles are `!Send`, so each generated case runs its op sequence on a
+//! dedicated actor thread while the main thread drives `synchronize`
+//! concurrently from another.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+use rp_rcu::qsbr::QsbrDomain;
+
+/// One operation applied to the actor thread's set of handles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Quiescent(usize),
+    Offline(usize),
+    Online(usize),
+    /// Drop the handle (deregistration). Ops addressing a dropped slot are
+    /// skipped, matching the model.
+    Unregister(usize),
+    /// Register a fresh handle into the slot (if empty).
+    Register(usize),
+}
+
+const SLOTS: usize = 3;
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0_usize..SLOTS).prop_map(Op::Quiescent),
+        2 => (0_usize..SLOTS).prop_map(Op::Offline),
+        2 => (0_usize..SLOTS).prop_map(Op::Online),
+        1 => (0_usize..SLOTS).prop_map(Op::Unregister),
+        1 => (0_usize..SLOTS).prop_map(Op::Register),
+    ]
+}
+
+/// The reference model: per-slot, is a handle alive and is it online.
+/// (Generations collapse to "online": any online handle blocks a *new*
+/// grace period until its next announcement, because the grace period
+/// advances the target past every previously announced value.)
+#[derive(Clone)]
+struct Model {
+    alive: [bool; SLOTS],
+    online: [bool; SLOTS],
+}
+
+impl Model {
+    fn initial() -> Model {
+        Model {
+            alive: [true; SLOTS],
+            online: [true; SLOTS],
+        }
+    }
+
+    fn apply(&mut self, op: Op) {
+        match op {
+            Op::Quiescent(i) | Op::Online(i) => {
+                if self.alive[i] {
+                    self.online[i] = true;
+                }
+            }
+            Op::Offline(i) => {
+                if self.alive[i] {
+                    self.online[i] = false;
+                }
+            }
+            Op::Unregister(i) => {
+                self.alive[i] = false;
+                self.online[i] = false;
+            }
+            Op::Register(i) => {
+                if !self.alive[i] {
+                    self.alive[i] = true;
+                    self.online[i] = true; // registration starts online
+                }
+            }
+        }
+    }
+
+    fn any_online(&self) -> bool {
+        (0..SLOTS).any(|i| self.alive[i] && self.online[i])
+    }
+}
+
+/// Runs `ops` on an actor thread (handles live there), then checks a
+/// `synchronize` started against the resulting state completes exactly when
+/// the model says it may: blocked while any handle is online, released once
+/// the actor offlines everything.
+fn check_case(ops: &[Op]) -> Result<(), TestCaseError> {
+    let domain = QsbrDomain::new();
+    let mut model = Model::initial();
+
+    let (op_tx, op_rx) = mpsc::channel::<Option<Op>>();
+    let (ack_tx, ack_rx) = mpsc::channel::<()>();
+    let actor = {
+        let domain = Arc::clone(&domain);
+        std::thread::spawn(move || {
+            let mut handles: Vec<Option<_>> = (0..SLOTS).map(|_| Some(domain.register())).collect();
+            while let Ok(msg) = op_rx.recv() {
+                match msg {
+                    Some(op) => {
+                        match op {
+                            Op::Quiescent(i) => {
+                                if let Some(h) = handles[i].as_ref() {
+                                    h.quiescent_state();
+                                }
+                            }
+                            Op::Offline(i) => {
+                                if let Some(h) = handles[i].as_ref() {
+                                    h.offline();
+                                }
+                            }
+                            Op::Online(i) => {
+                                if let Some(h) = handles[i].as_ref() {
+                                    h.online();
+                                }
+                            }
+                            Op::Unregister(i) => {
+                                handles[i] = None;
+                            }
+                            Op::Register(i) => {
+                                if handles[i].is_none() {
+                                    handles[i] = Some(domain.register());
+                                }
+                            }
+                        }
+                        ack_tx.send(()).unwrap();
+                    }
+                    None => {
+                        // Release phase: everything still alive goes
+                        // offline, which must unblock any waiter.
+                        for h in handles.iter().flatten() {
+                            h.offline();
+                        }
+                        ack_tx.send(()).unwrap();
+                    }
+                }
+            }
+        })
+    };
+
+    // Phase 1: apply the random prefix, mirrored in the model.
+    for &op in ops {
+        op_tx.send(Some(op)).unwrap();
+        ack_rx.recv().unwrap();
+        model.apply(op);
+    }
+
+    // Phase 2: start a synchronize against the settled state.
+    let done = Arc::new(AtomicBool::new(false));
+    let waiter = {
+        let domain = Arc::clone(&domain);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            domain.synchronize();
+            done.store(true, Ordering::SeqCst);
+        })
+    };
+
+    if model.any_online() {
+        // Never early: the model says at least one reader blocks this
+        // grace period, so it must still be pending after a real delay.
+        std::thread::sleep(Duration::from_millis(15));
+        prop_assert!(
+            !done.load(Ordering::SeqCst),
+            "synchronize returned early: model says {:?}/{:?} blocks it",
+            model.alive,
+            model.online
+        );
+    }
+
+    // Phase 3 (release): the actor offlines everything alive; the model now
+    // allows completion, so the waiter must finish promptly.
+    op_tx.send(None).unwrap();
+    ack_rx.recv().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !done.load(Ordering::SeqCst) {
+        prop_assert!(
+            Instant::now() < deadline,
+            "synchronize deadlocked after every handle went offline \
+             (alive {:?}, online-before-release {:?})",
+            model.alive,
+            model.online
+        );
+        std::thread::yield_now();
+    }
+
+    drop(op_tx);
+    actor.join().unwrap();
+    waiter.join().unwrap();
+    prop_assert_eq!(domain.stats().grace_periods, 1);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Random op interleavings against a concurrent `synchronize`: never
+    /// early (model-checked), never deadlocked.
+    #[test]
+    fn synchronize_agrees_with_the_counter_model(
+        ops in proptest::collection::vec(op_strategy(), 0..24)
+    ) {
+        check_case(&ops)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Ops racing a free-running synchronize loop: no interleaving may
+    /// deadlock once the actor goes offline, and every completed grace
+    /// period is counted.
+    #[test]
+    fn racing_synchronize_never_deadlocks(
+        ops in proptest::collection::vec(op_strategy(), 1..48)
+    ) {
+        let domain = QsbrDomain::new();
+        let stop = Arc::new(AtomicBool::new(false));
+        let syncer = {
+            let domain = Arc::clone(&domain);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut completed = 0_u64;
+                while !stop.load(Ordering::Relaxed) {
+                    domain.synchronize();
+                    completed += 1;
+                }
+                completed
+            })
+        };
+
+        let actor = {
+            let domain = Arc::clone(&domain);
+            let ops = ops.clone();
+            std::thread::spawn(move || {
+                let mut handles: Vec<Option<_>> =
+                    (0..SLOTS).map(|_| Some(domain.register())).collect();
+                for op in ops {
+                    match op {
+                        Op::Quiescent(i) => {
+                            if let Some(h) = handles[i].as_ref() {
+                                h.quiescent_state();
+                            }
+                        }
+                        Op::Offline(i) => {
+                            if let Some(h) = handles[i].as_ref() {
+                                h.offline();
+                            }
+                        }
+                        Op::Online(i) => {
+                            if let Some(h) = handles[i].as_ref() {
+                                h.online();
+                            }
+                        }
+                        Op::Unregister(i) => handles[i] = None,
+                        Op::Register(i) => {
+                            if handles[i].is_none() {
+                                handles[i] = Some(domain.register());
+                            }
+                        }
+                    }
+                }
+                // Handles drop here (Drop goes offline first), so the
+                // syncer can always finish its in-flight grace period.
+            })
+        };
+
+        actor.join().unwrap();
+        stop.store(true, Ordering::SeqCst);
+        let completed = syncer.join().unwrap();
+        prop_assert_eq!(domain.stats().grace_periods, completed);
+    }
+}

@@ -9,6 +9,8 @@
 use std::borrow::Borrow;
 use std::hash::{BuildHasher, Hash};
 
+use rp_hash::QsbrReadHandle;
+
 use crate::map::ShardedRpMap;
 
 impl<K, V, S> ShardedRpMap<K, V, S>
@@ -108,6 +110,74 @@ where
             }
         }
         results
+    }
+
+    /// Looks up every key in `keys` through the QSBR read path, returning
+    /// cloned values in caller order.
+    ///
+    /// Where [`ShardedRpMap::multi_get`] pins one EBR guard per shard
+    /// visited (amortising the entry/exit fences), the QSBR batch needs no
+    /// per-shard protection at all: the whole batch runs inside **one
+    /// quiescent window** — the shared borrow of `handle` — so per-shard
+    /// costs drop to the lookups themselves. Announce a quiescent state
+    /// between batches, not within one.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rp_hash::QsbrReadHandle;
+    /// use rp_shard::ShardedRpMap;
+    ///
+    /// let map: ShardedRpMap<u64, &'static str> = ShardedRpMap::with_shards(4);
+    /// map.insert(1, "one");
+    /// map.insert(2, "two");
+    ///
+    /// let mut handle = QsbrReadHandle::register();
+    /// assert_eq!(
+    ///     map.multi_get_qsbr(&[2, 7, 1], &handle),
+    ///     vec![Some("two"), None, Some("one")],
+    /// );
+    /// handle.quiescent_state();
+    /// ```
+    pub fn multi_get_qsbr<Q>(&self, keys: &[Q], handle: &QsbrReadHandle) -> Vec<Option<V>>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq,
+        V: Clone,
+    {
+        keys.iter()
+            .map(|key| {
+                let hash = self.hash_of(key);
+                self.shard(self.shard_of_hash(hash))
+                    .get_prehashed(hash, key, handle)
+                    .cloned()
+            })
+            .collect()
+    }
+
+    /// The QSBR counterpart of [`ShardedRpMap::multi_get_with`]: looks up
+    /// every key under the single quiescent window of `handle` and applies
+    /// `f` to each found value, returning outputs in caller order. The
+    /// values need not be `Clone`.
+    pub fn multi_get_with_qsbr<Q, F, R>(
+        &self,
+        keys: &[&Q],
+        handle: &QsbrReadHandle,
+        mut f: F,
+    ) -> Vec<Option<R>>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+        F: FnMut(&V) -> R,
+    {
+        keys.iter()
+            .map(|key| {
+                let hash = self.hash_of(*key);
+                self.shard(self.shard_of_hash(hash))
+                    .get_prehashed(hash, *key, handle)
+                    .map(&mut f)
+            })
+            .collect()
     }
 
     /// Inserts every `(key, value)` pair, returning how many keys were
@@ -218,6 +288,24 @@ mod tests {
         assert_eq!(newly, 1);
         assert_eq!(map.get_cloned(&7), Some(3));
         assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn multi_get_qsbr_matches_multi_get() {
+        let map = Map::with_shards(8);
+        for i in 0..300 {
+            map.insert(i, i * 7);
+        }
+        let keys: Vec<u64> = (0..400).collect();
+        let mut handle = rp_hash::QsbrReadHandle::register();
+        let qsbr = map.multi_get_qsbr(&keys, &handle);
+        handle.quiescent_state();
+        assert_eq!(qsbr, map.multi_get(&keys));
+        let key_refs: Vec<&u64> = keys.iter().collect();
+        let with = map.multi_get_with_qsbr(&key_refs, &handle, |v| *v + 1);
+        for (i, got) in with.iter().enumerate() {
+            assert_eq!(*got, qsbr[i].map(|v| v + 1));
+        }
     }
 
     #[test]

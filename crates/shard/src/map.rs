@@ -5,11 +5,11 @@ use std::hash::{BuildHasher, Hash};
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
-use rp_hash::{FnvBuildHasher, ResizePolicy, ResizeStep, RpHashMap};
+use rp_hash::{FnvBuildHasher, QsbrReadHandle, ReadProtect, ResizePolicy, ResizeStep, RpHashMap};
 use rp_maint::{
     MaintConfig, MaintHandle, MaintStats, MaintStep, MaintTarget, MaintThread, StepMode,
 };
-use rp_rcu::{RcuDomain, RcuGuard};
+use rp_rcu::{GraceSync, RcuDomain, RcuGuard};
 
 use crate::policy::ShardPolicy;
 use crate::stats::ShardStats;
@@ -488,28 +488,42 @@ where
         self.shard_of_hash(self.hash_of(key))
     }
 
-    /// Looks up `key` (wait-free; see [`RpHashMap::get`]).
-    pub fn get<'g, Q>(&'g self, key: &Q, guard: &'g RcuGuard<'_>) -> Option<&'g V>
+    /// Looks up `key` (wait-free; see [`RpHashMap::get`]). Accepts either
+    /// read-side protection witness: an EBR guard from
+    /// [`ShardedRpMap::pin`], or an online QSBR handle (see
+    /// [`ShardedRpMap::get_qsbr`]). One witness covers every shard — the
+    /// hash is computed once and routes to the right shard internally.
+    pub fn get<'g, Q, P>(&'g self, key: &Q, protect: &'g P) -> Option<&'g V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+        P: ReadProtect,
+    {
+        let hash = self.hash_of(key);
+        self.core.shards[self.shard_of_hash(hash)].get_prehashed(hash, key, protect)
+    }
+
+    /// Looks up `key` through the QSBR read path: barrier-free shard
+    /// routing plus the in-shard barrier-free lookup. The returned
+    /// reference borrows the handle, so the owning thread cannot announce a
+    /// quiescent state while it is alive.
+    pub fn get_qsbr<'g, Q>(&'g self, key: &Q, handle: &'g QsbrReadHandle) -> Option<&'g V>
     where
         K: Borrow<Q>,
         Q: Hash + Eq + ?Sized,
     {
-        let hash = self.hash_of(key);
-        self.core.shards[self.shard_of_hash(hash)].get_prehashed(hash, key, guard)
+        self.get(key, handle)
     }
 
     /// Looks up `key`, returning references to the stored key and value.
-    pub fn get_key_value<'g, Q>(
-        &'g self,
-        key: &Q,
-        guard: &'g RcuGuard<'_>,
-    ) -> Option<(&'g K, &'g V)>
+    pub fn get_key_value<'g, Q, P>(&'g self, key: &Q, protect: &'g P) -> Option<(&'g K, &'g V)>
     where
         K: Borrow<Q>,
         Q: Hash + Eq + ?Sized,
+        P: ReadProtect,
     {
         let hash = self.hash_of(key);
-        self.core.shards[self.shard_of_hash(hash)].get_key_value_prehashed(hash, key, guard)
+        self.core.shards[self.shard_of_hash(hash)].get_key_value_prehashed(hash, key, protect)
     }
 
     /// Looks up `key` and clones the value.
@@ -587,8 +601,11 @@ where
     /// concurrent inserts/removes may or may not be observed. Shards are
     /// visited in routing order, and concurrent *resizes of other shards*
     /// never disturb the iteration (resize is shard-local).
-    pub fn iter<'g>(&'g self, guard: &'g RcuGuard<'_>) -> impl Iterator<Item = (&'g K, &'g V)> {
-        self.core.shards.iter().flat_map(move |s| s.iter(guard))
+    pub fn iter<'g, P: ReadProtect>(
+        &'g self,
+        protect: &'g P,
+    ) -> impl Iterator<Item = (&'g K, &'g V)> {
+        self.core.shards.iter().flat_map(move |s| s.iter(protect))
     }
 
     /// Collects all entries into a `Vec` (cloning), for tests and examples.
@@ -647,10 +664,32 @@ where
         Ok(())
     }
 
-    /// Flushes retired nodes: waits for a grace period and frees everything
-    /// retired before the call.
+    /// Catches up on automatic-resize work the writer paths postponed (see
+    /// [`RpHashMap::maintain`]), shard by shard. Returns `true` if any
+    /// resize work was performed.
+    ///
+    /// On the maintained path this is a no-op — the background
+    /// [`MaintThread`] already absorbs postponed work; writers only ever
+    /// *request*. It exists for unmaintained maps whose writers all run on
+    /// threads that cannot wait for readers (e.g. QSBR event-loop
+    /// workers): such a caller invokes this from a quiescent point
+    /// instead.
+    pub fn maintain(&self) -> bool {
+        if self.maint.is_some() {
+            return false;
+        }
+        let mut worked = false;
+        for shard in self.core.shards.iter() {
+            worked |= shard.maintain();
+        }
+        worked
+    }
+
+    /// Flushes retired nodes: waits for a grace period of every read-side
+    /// flavor with registered readers and frees everything retired before
+    /// the call.
     pub fn flush_retired(&self) {
-        RcuDomain::global().synchronize_and_reclaim();
+        GraceSync::global().synchronize_and_reclaim();
     }
 }
 

@@ -6,6 +6,8 @@ use std::time::{Duration, Instant};
 
 use crossbeam_utils::CachePadded;
 
+use crate::latency::LatencyHistogram;
+
 /// The result of one measurement run.
 #[derive(Debug, Clone)]
 pub struct MeasureResult {
@@ -169,6 +171,122 @@ where
     }
 }
 
+/// Runs a timed measurement whose per-thread operation closures are created
+/// **on their worker threads**, with per-operation latency sampling.
+///
+/// [`measure`] calls its factory on the driving thread and moves the
+/// closures into the workers, which requires them to be `Send`. Read-side
+/// state that is pinned to its thread — an `rp_hash::QsbrReadHandle`, whose
+/// whole design is that the owning thread announces its own quiescent
+/// states — cannot be built that way. Here the factory itself is shared
+/// (`Sync`) and invoked from inside each spawned thread, so the closure may
+/// own `!Send` state; it never leaves its thread.
+///
+/// Every `sample_every`-th operation is timed and recorded into a
+/// per-thread [`LatencyHistogram`]; the histograms are merged after the run
+/// (sampling keeps the `Instant::now` overhead off the other operations, so
+/// throughput numbers stay honest). Use `sample_every = 1` to time every
+/// operation.
+pub fn measure_thread_local<F>(
+    reader_threads: usize,
+    duration: Duration,
+    sample_every: u64,
+    make_reader: impl Fn(usize) -> F + Sync,
+    background: Vec<BackgroundHandle<'_>>,
+) -> (MeasureResult, LatencyHistogram)
+where
+    F: FnMut(),
+{
+    assert!(reader_threads > 0, "need at least one reader thread");
+    let sample_every = sample_every.max(1);
+
+    let stop = AtomicBool::new(false);
+    let bg_counters: Vec<CachePadded<AtomicU64>> = (0..background.len())
+        .map(|_| CachePadded::new(AtomicU64::new(0)))
+        .collect();
+    let barrier = Arc::new(Barrier::new(reader_threads + background.len() + 1));
+    let make_reader = &make_reader;
+
+    let (elapsed, per_thread, merged) = std::thread::scope(|scope| {
+        let mut readers = Vec::with_capacity(reader_threads);
+        for idx in 0..reader_threads {
+            let stop = &stop;
+            let barrier = Arc::clone(&barrier);
+            readers.push(scope.spawn(move || {
+                // Created here, on the worker thread: the closure may own
+                // thread-pinned (!Send) read-side state.
+                let mut reader = make_reader(idx);
+                let mut hist = LatencyHistogram::new();
+                barrier.wait();
+                let mut local: u64 = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    if local.is_multiple_of(sample_every) {
+                        let started = Instant::now();
+                        reader();
+                        hist.record(started.elapsed());
+                    } else {
+                        reader();
+                    }
+                    local += 1;
+                }
+                (local, hist)
+            }));
+        }
+
+        for (idx, task) in background.into_iter().enumerate() {
+            let stop = &stop;
+            let counter = &bg_counters[idx];
+            let barrier = Arc::clone(&barrier);
+            let BackgroundHandle {
+                name: _name,
+                mut body,
+                pause,
+            } = task;
+            scope.spawn(move || {
+                barrier.wait();
+                let mut iterations: u64 = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    body(iterations);
+                    iterations += 1;
+                    counter.store(iterations, Ordering::Relaxed);
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                }
+            });
+        }
+
+        barrier.wait();
+        let start = Instant::now();
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::SeqCst);
+        let elapsed = start.elapsed();
+
+        let mut per_thread = Vec::with_capacity(reader_threads);
+        let mut merged = LatencyHistogram::new();
+        for handle in readers {
+            let (ops, hist) = handle.join().expect("reader thread panicked");
+            per_thread.push(ops);
+            merged.merge(&hist);
+        }
+        (elapsed, per_thread, merged)
+    });
+
+    let background_iterations: Vec<u64> = bg_counters
+        .iter()
+        .map(|c| c.load(Ordering::SeqCst))
+        .collect();
+    (
+        MeasureResult {
+            total_ops: per_thread.iter().sum(),
+            per_thread,
+            background_iterations,
+            elapsed,
+        },
+        merged,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,6 +339,40 @@ mod tests {
         );
         assert_eq!(seen[0].load(Ordering::Relaxed), 1);
         assert_eq!(seen[1].load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn thread_local_factory_runs_on_worker_threads_and_samples_latency() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+
+        let spawn_threads = Mutex::new(HashSet::new());
+        let driver_thread = std::thread::current().id();
+        let (result, hist) = measure_thread_local(
+            3,
+            Duration::from_millis(40),
+            4,
+            |idx| {
+                // Factory runs on the worker thread itself; a !Send value
+                // can live inside the closure.
+                let not_send = std::rc::Rc::new(idx);
+                spawn_threads
+                    .lock()
+                    .unwrap()
+                    .insert(std::thread::current().id());
+                move || {
+                    std::hint::black_box(*not_send);
+                }
+            },
+            Vec::new(),
+        );
+        let threads = spawn_threads.lock().unwrap();
+        assert_eq!(threads.len(), 3, "one factory call per worker thread");
+        assert!(!threads.contains(&driver_thread));
+        assert_eq!(result.per_thread.len(), 3);
+        assert!(result.total_ops > 0);
+        assert!(hist.count() > 0, "sampled latencies recorded");
+        assert!(hist.count() <= result.total_ops);
     }
 
     #[test]

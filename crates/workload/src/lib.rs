@@ -32,7 +32,7 @@ pub mod report;
 pub mod sysinfo;
 mod zipf;
 
-pub use driver::{measure, BackgroundHandle, MeasureResult};
+pub use driver::{measure, measure_thread_local, BackgroundHandle, MeasureResult};
 pub use keys::{KeyDist, KeyGen};
 pub use latency::LatencyHistogram;
 pub use netdriver::{drive_connections, NetDriveResult};

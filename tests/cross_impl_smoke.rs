@@ -87,6 +87,108 @@ fn hammer(map: Arc<dyn ConcurrentMap<u64, u64>>) {
     relativist::rcu::RcuDomain::global().synchronize_and_reclaim();
 }
 
+/// The relativistic maps again, with the reader population split across
+/// both read-side flavors: EBR guards *and* QSBR handles verify the stable
+/// keys while a writer churns and a resizer toggles the table — the
+/// map-level counterpart of running the server matrix under both
+/// `--read-side` flavors.
+fn hammer_with_qsbr_readers<L, R>(lookup_ebr: L, lookup_qsbr: R, resize: impl Fn(u64) + Send + Sync)
+where
+    L: Fn(u64) -> Option<u64> + Send + Sync,
+    R: Fn(u64, &relativist::hash::QsbrReadHandle) -> Option<u64> + Send + Sync,
+{
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        for seed in 0..2_u64 {
+            let lookup = &lookup_ebr;
+            let stop = &stop;
+            s.spawn(move || {
+                let mut k = seed;
+                while !stop.load(Ordering::Relaxed) {
+                    k = (k * 25214903917 + 11) % STABLE;
+                    assert_eq!(lookup(k), Some(k + 1), "EBR: stable key {k} missing");
+                }
+            });
+        }
+        for seed in 0..2_u64 {
+            let lookup = &lookup_qsbr;
+            let stop = &stop;
+            s.spawn(move || {
+                let mut handle = relativist::hash::QsbrReadHandle::register();
+                let mut k = seed.wrapping_mul(77);
+                let mut ops = 0_u64;
+                while !stop.load(Ordering::Relaxed) {
+                    k = k
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407)
+                        % STABLE;
+                    assert_eq!(
+                        lookup(k, &handle),
+                        Some(k + 1),
+                        "QSBR: stable key {k} missing"
+                    );
+                    ops += 1;
+                    if ops.is_multiple_of(64) {
+                        handle.quiescent_state();
+                    }
+                }
+            });
+        }
+        {
+            let resize = &resize;
+            let stop = &stop;
+            s.spawn(move || {
+                let mut round = 0_u64;
+                while !stop.load(Ordering::Relaxed) {
+                    resize(round);
+                    round += 1;
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_millis(400));
+        stop.store(true, Ordering::SeqCst);
+    });
+    relativist::rcu::GraceSync::global().synchronize_and_reclaim();
+}
+
+#[test]
+fn rp_hash_map_qsbr_and_ebr_readers_survive_resizes() {
+    let map = RpHashMap::<u64, u64, FnvBuildHasher>::with_buckets_and_hasher(256, FnvBuildHasher);
+    for k in 0..STABLE {
+        map.insert(k, k + 1);
+    }
+    hammer_with_qsbr_readers(
+        |k| {
+            let guard = map.pin();
+            map.get(&k, &guard).copied()
+        },
+        |k, handle| map.get_qsbr(&k, handle).copied(),
+        |round| map.resize_to(if round.is_multiple_of(2) { 4096 } else { 256 }),
+    );
+    map.check_invariants().unwrap();
+}
+
+#[test]
+fn sharded_rp_map_qsbr_and_ebr_readers_survive_resizes() {
+    let map = ShardedRpMap::<u64, u64>::with_shards(8);
+    for k in 0..STABLE {
+        map.insert(k, k + 1);
+    }
+    hammer_with_qsbr_readers(
+        |k| map.get_cloned(&k),
+        |k, handle| {
+            // Exercise both the single-key and the batched QSBR paths.
+            if k.is_multiple_of(7) {
+                map.multi_get_qsbr(&[k], handle).remove(0)
+            } else {
+                map.get_qsbr(&k, handle).copied()
+            }
+        },
+        |round| map.resize_total_to(if round.is_multiple_of(2) { 4096 } else { 256 }),
+    );
+    map.check_invariants().unwrap();
+}
+
 #[test]
 fn rp_hash_map_survives_concurrent_mixed_workload() {
     hammer(Arc::new(
