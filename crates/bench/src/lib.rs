@@ -17,6 +17,7 @@
 //! | `fig_maint` | (repo addition) resize maintenance — p99 insert latency under a Zipfian write storm, inline vs background-maintained resizes |
 //! | `fig_server` | (repo addition) server architecture — requests/s and p99 vs connection count, thread-per-connection vs the `rp-net` event loop |
 //! | `fig_qsbr` | (repo addition) read-side flavors — lookups/s and p99 vs reader threads, EBR guard vs barrier-free QSBR, with and without continuous resizing |
+//! | `fig_hotpath` | (repo addition) zero-allocation serving — allocations/op for steady-state event-loop GETs (counting allocator; gated at 0) and pipelined GET throughput vs pipeline depth |
 //!
 //! Parameters are read from environment variables so CI and the
 //! EXPERIMENTS.md runs can trade accuracy for time:
@@ -37,6 +38,10 @@
 //!   `fig_server` (default 256).
 //! * `RP_BENCH_SERVER_WORKERS` — event-loop worker threads for
 //!   `fig_server` (default 2).
+//! * `RP_BENCH_HOTPATH_CONNECTIONS` — connection count for `fig_hotpath`'s
+//!   pipeline-depth ladder (default 16).
+//! * `RP_BENCH_HOTPATH_AUDIT_OPS` — operations measured (after as many of
+//!   warmup) by `fig_hotpath`'s allocation audit (default 4000).
 //! * `RP_BENCH_OUT_DIR` — output directory (default `results/`).
 
 #![warn(missing_docs)]
@@ -84,6 +89,11 @@ pub struct BenchConfig {
     pub server_connections: Vec<usize>,
     /// Event-loop worker threads for the server figure.
     pub server_workers: usize,
+    /// Connection count for the hot-path figure (`fig_hotpath`).
+    pub hotpath_connections: usize,
+    /// GETs measured (after as many of warmup) by the `fig_hotpath`
+    /// allocation audit.
+    pub hotpath_audit_ops: u64,
     /// Where CSV/markdown results are written.
     pub out_dir: PathBuf,
     /// Host description (recorded in the summary).
@@ -132,6 +142,8 @@ impl BenchConfig {
                 ladder
             },
             server_workers: env_num("RP_BENCH_SERVER_WORKERS", 2_usize).max(1),
+            hotpath_connections: env_num("RP_BENCH_HOTPATH_CONNECTIONS", 16_usize).max(1),
+            hotpath_audit_ops: env_num("RP_BENCH_HOTPATH_AUDIT_OPS", 4000_u64).max(100),
             out_dir: PathBuf::from(
                 std::env::var("RP_BENCH_OUT_DIR").unwrap_or_else(|_| "results".to_string()),
             ),
@@ -151,6 +163,8 @@ impl BenchConfig {
             clients: vec![1, 2],
             server_connections: vec![1, 4],
             server_workers: 2,
+            hotpath_connections: 4,
+            hotpath_audit_ops: 500,
             out_dir: std::env::temp_dir().join("rp-bench-smoke"),
             host: HostInfo::collect(),
         }
@@ -868,6 +882,315 @@ pub fn fig_server(cfg: &BenchConfig) -> Report {
     report
 }
 
+/// Pipeline depths the hot-path figure sweeps (depth 1 *is* the
+/// closed-loop driver: one request per window).
+pub const HOTPATH_DEPTHS: [usize; 3] = [1, 8, 32];
+
+/// Allocations-per-GET ceiling `fig_hotpath` enforces when the counting
+/// allocator is installed. The expected value is exactly 0; the epsilon
+/// only forgives a stray background allocation (e.g. a maintenance-thread
+/// wakeup racing the measurement window) without letting a real
+/// per-request allocation (1.0/op) anywhere near passing.
+pub const HOTPATH_ALLOC_EPSILON: f64 = 0.005;
+
+/// Allocation audit result: exact allocation-event deltas over the audited
+/// window, process-wide (the audit runs against an otherwise idle server,
+/// so the delta *is* the serving path's traffic plus this client's — and
+/// the client loop below is itself allocation-free).
+#[derive(Debug, Clone, Copy)]
+pub struct HotpathAllocs {
+    /// Operations audited per command.
+    pub ops: u64,
+    /// Allocation events during the GET window.
+    pub get_allocs: u64,
+    /// Allocation events during the SET window.
+    pub set_allocs: u64,
+}
+
+impl HotpathAllocs {
+    /// Allocations per steady-state GET.
+    pub fn get_allocs_per_op(&self) -> f64 {
+        self.get_allocs as f64 / self.ops as f64
+    }
+
+    /// Allocations per steady-state SET.
+    pub fn set_allocs_per_op(&self) -> f64 {
+        self.set_allocs as f64 / self.ops as f64
+    }
+}
+
+fn read_until_suffix(
+    stream: &mut std::net::TcpStream,
+    buf: &mut Vec<u8>,
+    suffix: &[u8],
+) -> std::io::Result<()> {
+    use std::io::Read;
+    buf.clear();
+    let mut chunk = [0_u8; 4096];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed mid-response",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.ends_with(suffix) {
+            return Ok(());
+        }
+    }
+}
+
+/// Measures allocations-per-operation for steady-state GETs and SETs
+/// against the event-loop server at `addr`, using the process-wide
+/// counting-allocator delta over `ops` operations (after an equal warmup
+/// that lets every buffer on both sides reach its steady capacity).
+///
+/// Returns `None` when [`rp_workload::alloc::CountingAllocator`] is not
+/// this process's global allocator (e.g. under `run_all`) — the audit is
+/// only meaningful from the `fig_hotpath` binary, which installs it.
+pub fn hotpath_alloc_audit(addr: std::net::SocketAddr, ops: u64) -> Option<HotpathAllocs> {
+    use std::io::Write;
+
+    if !rp_workload::alloc::counting_installed() {
+        return None;
+    }
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect audit client");
+    stream.set_nodelay(true).expect("nodelay");
+
+    // Pre-build everything the measured loops touch, so the client side of
+    // the exchange is allocation-free too: the measured delta then isolates
+    // the serving path (plus literally nothing else — the process is
+    // otherwise idle).
+    let keys: Vec<String> = (0..64).map(cache_key).collect();
+    let get_reqs: Vec<Vec<u8>> = keys
+        .iter()
+        .map(|k| format!("get {k}\r\n").into_bytes())
+        .collect();
+    let set_reqs: Vec<Vec<u8>> = keys
+        .iter()
+        .map(|k| format!("set {k} 0 0 13\r\nupdated-value\r\n").into_bytes())
+        .collect();
+    let mut rbuf: Vec<u8> = Vec::with_capacity(16 * 1024);
+
+    let mut run_gets = |count: u64, rbuf: &mut Vec<u8>| {
+        for i in 0..count {
+            let req = &get_reqs[(i % get_reqs.len() as u64) as usize];
+            stream.write_all(req).expect("write get");
+            read_until_suffix(&mut stream, rbuf, b"END\r\n").expect("read get reply");
+        }
+    };
+    // Warmup: both sides reach steady buffer capacity (the server's
+    // per-connection input buffer, pooled response segments, and this
+    // client's read buffer all stop growing).
+    run_gets(ops, &mut rbuf);
+    let before = rp_workload::alloc::total_allocations();
+    run_gets(ops, &mut rbuf);
+    let get_allocs = rp_workload::alloc::total_allocations() - before;
+
+    let mut run_sets = |count: u64, rbuf: &mut Vec<u8>| {
+        for i in 0..count {
+            let req = &set_reqs[(i % set_reqs.len() as u64) as usize];
+            stream.write_all(req).expect("write set");
+            read_until_suffix(&mut stream, rbuf, b"STORED\r\n").expect("read set reply");
+        }
+    };
+    run_sets(ops, &mut rbuf);
+    let before = rp_workload::alloc::total_allocations();
+    run_sets(ops, &mut rbuf);
+    let set_allocs = rp_workload::alloc::total_allocations() - before;
+
+    Some(HotpathAllocs {
+        ops,
+        get_allocs,
+        set_allocs,
+    })
+}
+
+/// A pipelining raw client connection for the hot-path figure.
+struct PipeConn {
+    stream: std::net::TcpStream,
+    wbuf: Vec<u8>,
+    rbuf: Vec<u8>,
+}
+
+/// Runs one window of `depth` pipelined GETs: one `write(2)` carrying all
+/// the requests, then reads until `depth` `END\r\n` terminators arrived.
+fn pipelined_get_window(
+    conn: &mut PipeConn,
+    get_reqs: &[Vec<u8>],
+    depth: usize,
+    window_ordinal: u64,
+) -> std::io::Result<u64> {
+    use std::io::{Read, Write};
+
+    conn.wbuf.clear();
+    let base = window_ordinal.wrapping_mul(depth as u64);
+    for i in 0..depth {
+        let req = &get_reqs[((base + i as u64) % get_reqs.len() as u64) as usize];
+        conn.wbuf.extend_from_slice(req);
+    }
+    conn.stream.write_all(&conn.wbuf)?;
+
+    conn.rbuf.clear();
+    let mut terminators = 0_usize;
+    let mut chunk = [0_u8; 16 * 1024];
+    while terminators < depth {
+        let n = conn.stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed mid-window",
+            ));
+        }
+        // Rescan only the suffix that could contain new (possibly
+        // boundary-spanning) terminators.
+        let scan_from = conn.rbuf.len().saturating_sub(4);
+        conn.rbuf.extend_from_slice(&chunk[..n]);
+        terminators += conn.rbuf[scan_from..]
+            .windows(5)
+            .filter(|w| w == b"END\r\n")
+            .count();
+    }
+    Ok(depth as u64)
+}
+
+/// Throughput + p99 of GET traffic at one pipeline depth (`depth == 1` is
+/// the closed-loop regime) against the server at `addr`.
+pub fn hotpath_throughput(
+    addr: std::net::SocketAddr,
+    connections: usize,
+    depth: usize,
+    duration: Duration,
+    entries: u64,
+) -> (f64, f64) {
+    let keyspace = entries.clamp(1, 1024);
+    let get_reqs: Arc<Vec<Vec<u8>>> = Arc::new(
+        (0..keyspace)
+            .map(|k| format!("get {}\r\n", cache_key(k)).into_bytes())
+            .collect(),
+    );
+    let result = rp_workload::drive_connections_windowed(
+        connections,
+        connections.min(4),
+        duration,
+        |_idx| {
+            let stream = std::net::TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            Ok(PipeConn {
+                stream,
+                wbuf: Vec::with_capacity(depth * 32),
+                rbuf: Vec::with_capacity(depth * 64),
+            })
+        },
+        |_thread| {
+            let get_reqs = Arc::clone(&get_reqs);
+            move |conn: &mut PipeConn, ordinal: u64| {
+                pipelined_get_window(conn, &get_reqs, depth, ordinal)
+            }
+        },
+    )
+    .expect("drive hotpath workload");
+    assert_eq!(result.errors, 0, "server dropped connections mid-run");
+    (result.ops_per_sec(), result.latency.percentile_us(0.99))
+}
+
+/// Figure "hot path" — the zero-allocation serving pipeline, measured two
+/// ways:
+///
+/// 1. **Allocations per operation** (exact, via the counting global
+///    allocator the `fig_hotpath` binary installs): steady-state
+///    event-loop GETs must perform **0** heap allocations end to end —
+///    borrowed request decoding, byte-keyed index probe, in-place response
+///    serialisation, pooled buffers. Enforced against
+///    [`HOTPATH_ALLOC_EPSILON`]; SET allocations (the key + payload that
+///    go *into* the table) are reported for context.
+/// 2. **Pipelined throughput**: GET requests/second and p99 at pipeline
+///    depths [`HOTPATH_DEPTHS`] on the same connection count. Depth ≥ 8
+///    must beat the closed-loop depth-1 driver — the ceiling the
+///    allocation-free path exists to serve.
+pub fn fig_hotpath(cfg: &BenchConfig) -> Report {
+    let mut report = Report::new(
+        "hot path: allocations/op and pipelined GET throughput (event loop)",
+        "pipeline depth",
+        "kreq/s and p99 (µs)",
+    );
+    let engine: Arc<dyn CacheEngine> = Arc::new(ShardedRpEngine::with_shards_and_capacity(
+        16,
+        (cfg.entries as usize).max(1024) * 2,
+    ));
+    fill_cache(&*engine, cfg.entries);
+    let config = ServerConfig::event_loop(cfg.server_workers);
+    let mut server = start_server(engine, &config).expect("start cache server");
+    let addr = server.addr();
+
+    match hotpath_alloc_audit(addr, cfg.hotpath_audit_ops) {
+        Some(audit) => {
+            eprintln!(
+                "  alloc audit over {} ops: GET {} allocs ({:.4}/op), SET {} allocs ({:.2}/op)",
+                audit.ops,
+                audit.get_allocs,
+                audit.get_allocs_per_op(),
+                audit.set_allocs,
+                audit.set_allocs_per_op(),
+            );
+            let mut allocs = Series::new("GET allocs/op");
+            allocs.push(1.0, audit.get_allocs_per_op());
+            report.add_series(allocs);
+            assert!(
+                audit.get_allocs_per_op() <= HOTPATH_ALLOC_EPSILON,
+                "steady-state event-loop GETs must not allocate: {} allocations over {} ops \
+                 ({:.4}/op, gate {})",
+                audit.get_allocs,
+                audit.ops,
+                audit.get_allocs_per_op(),
+                HOTPATH_ALLOC_EPSILON,
+            );
+        }
+        None => eprintln!(
+            "  alloc audit unavailable (counting allocator not installed in this binary; \
+             run the fig_hotpath binary for the gate)"
+        ),
+    }
+
+    let mut throughput = Series::new("GET kreq/s");
+    let mut p99_series = Series::new("GET p99 µs");
+    let mut by_depth = Vec::new();
+    for depth in HOTPATH_DEPTHS {
+        let (ops_per_sec, p99_us) = hotpath_throughput(
+            addr,
+            cfg.hotpath_connections,
+            depth,
+            cfg.duration,
+            cfg.entries,
+        );
+        eprintln!(
+            "  depth {depth}: {} conn(s) -> {:.0} kreq/s, p99 {:.0} µs",
+            cfg.hotpath_connections,
+            ops_per_sec / 1e3,
+            p99_us
+        );
+        throughput.push(depth as f64, ops_per_sec / 1e3);
+        p99_series.push(depth as f64, p99_us);
+        by_depth.push((depth, ops_per_sec));
+    }
+    report.add_series(throughput);
+    report.add_series(p99_series);
+    server.shutdown();
+
+    let closed_loop = by_depth[0].1;
+    for &(depth, ops_per_sec) in &by_depth[1..] {
+        assert!(
+            ops_per_sec > closed_loop,
+            "pipelining at depth {depth} ({ops_per_sec:.0} req/s) must beat the closed loop \
+             ({closed_loop:.0} req/s) on the same {} connections",
+            cfg.hotpath_connections,
+        );
+    }
+    report
+}
+
 /// Runs every figure and writes CSV + markdown into `cfg.out_dir`, plus a
 /// combined `summary.md`. Returns the reports in figure order.
 pub fn run_all(cfg: &BenchConfig) -> std::io::Result<Vec<Report>> {
@@ -882,6 +1205,7 @@ pub fn run_all(cfg: &BenchConfig) -> std::io::Result<Vec<Report>> {
         ("fig_maint", fig_maint),
         ("fig_server", fig_server),
         ("fig_qsbr", fig_qsbr),
+        ("fig_hotpath", fig_hotpath),
     ];
     let mut reports = Vec::new();
     let mut summary = String::new();

@@ -319,6 +319,15 @@ where
         self.hasher.hash_one(key)
     }
 
+    /// The hash this map's hasher produces for `key` — the value the
+    /// `*_prehashed` and `*_matching_prehashed` entry points expect.
+    pub fn hash_one<Q>(&self, key: &Q) -> u64
+    where
+        Q: Hash + ?Sized,
+    {
+        self.hash_of(key)
+    }
+
     /// Looks up `key`, returning a reference valid for the protection
     /// borrow.
     ///
@@ -439,6 +448,29 @@ where
         Q: Hash + Eq + ?Sized,
         P: ReadProtect,
     {
+        self.get_key_value_matching_prehashed(hash, |k| k.borrow() == key, protect)
+    }
+
+    /// The "raw entry" lookup: finds the entry with `hash` whose key
+    /// satisfies `matches`, without requiring a probe key type that `K` can
+    /// [`Borrow`].
+    ///
+    /// This is what lets the cache server probe a `String`-keyed map with a
+    /// `&[u8]` slice borrowed straight out of a connection's read buffer —
+    /// hash once, compare bytes, allocate nothing. The contract mirrors
+    /// [`RpHashMap::get_prehashed`]: `hash` must be exactly what this map's
+    /// hasher produces for any key `matches` accepts, and `matches` must be
+    /// consistent with `K`'s `Eq`.
+    pub fn get_key_value_matching_prehashed<'g, P, F>(
+        &'g self,
+        hash: u64,
+        mut matches: F,
+        protect: &'g P,
+    ) -> Option<(&'g K, &'g V)>
+    where
+        P: ReadProtect,
+        F: FnMut(&K) -> bool,
+    {
         let table = self.table_for_read(protect);
         let bucket = table.bucket_of(hash);
         let mut cur = table.head_acquire(bucket);
@@ -449,12 +481,28 @@ where
             // following their unlinking, so the node is alive and its
             // key/value/hash are immutable.
             let node = unsafe { &*cur };
-            if node.hash == hash && node.key.borrow() == key {
+            if node.hash == hash && matches(&node.key) {
                 return Some((&node.key, &node.value));
             }
             cur = node.next_acquire();
         }
         None
+    }
+
+    /// [`RpHashMap::get_key_value_matching_prehashed`], returning only the
+    /// value.
+    pub fn get_matching_prehashed<'g, P, F>(
+        &'g self,
+        hash: u64,
+        matches: F,
+        protect: &'g P,
+    ) -> Option<&'g V>
+    where
+        P: ReadProtect,
+        F: FnMut(&K) -> bool,
+    {
+        self.get_key_value_matching_prehashed(hash, matches, protect)
+            .map(|(_, v)| v)
     }
 
     /// Returns `true` if the map contains `key`.
@@ -1046,6 +1094,45 @@ mod tests {
         assert_eq!(map.len(), 0);
         assert_eq!(map.num_buckets(), 16);
         assert!(!map.contains_key(&1));
+    }
+
+    #[test]
+    fn matching_prehashed_probes_without_a_borrowable_key() {
+        // A String-keyed map probed by a byte slice: no Borrow<[u8]> for
+        // String exists, so the matching lookup is the only alloc-free way.
+        let map: RpHashMap<String, u64, FnvBuildHasher> =
+            RpHashMap::with_buckets_and_hasher(16, FnvBuildHasher);
+        map.insert("alpha".to_string(), 1);
+        map.insert("beta".to_string(), 2);
+
+        let probe: &[u8] = b"beta";
+        let hash = map.hash_one("beta"); // hash once, as a str
+        let guard = map.pin();
+        assert_eq!(
+            map.get_matching_prehashed(hash, |k| k.as_bytes() == probe, &guard),
+            Some(&2)
+        );
+        assert_eq!(
+            map.get_key_value_matching_prehashed(hash, |k| k.as_bytes() == probe, &guard)
+                .map(|(k, _)| k.as_str()),
+            Some("beta")
+        );
+        // A wrong hash misses even when the predicate would match.
+        assert_eq!(
+            map.get_matching_prehashed(hash ^ 1, |k| k.as_bytes() == probe, &guard),
+            None
+        );
+        // The QSBR witness drives the same core.
+        drop(guard);
+        std::thread::spawn(move || {
+            let handle = crate::QsbrReadHandle::register();
+            assert_eq!(
+                map.get_matching_prehashed(hash, |k| k.as_bytes() == probe, &handle),
+                Some(&2)
+            );
+        })
+        .join()
+        .unwrap();
     }
 
     #[test]

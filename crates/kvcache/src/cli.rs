@@ -18,6 +18,8 @@
 //! | `--maint-reclaim-threshold N` | `RP_KV_MAINT_RECLAIM_THRESHOLD` | [`MaintConfig`] default |
 //! | `--maint-idle-wakeup-ms N` | `RP_KV_MAINT_IDLE_WAKEUP_MS` | [`MaintConfig`] default |
 //! | `--drain-timeout-ms N` | `RP_KV_DRAIN_TIMEOUT_MS` | `5000` |
+//! | `--idle-timeout-ms N` (0 = off) | `RP_KV_IDLE_TIMEOUT_MS` | `0` |
+//! | `--max-requests-per-conn N` (0 = off) | `RP_KV_MAX_REQUESTS_PER_CONN` | `0` |
 //!
 //! `--read-side` selects the RCU flavor serving event-loop GETs: `qsbr`
 //! (the default — barrier-free lookups, quiescent states announced per
@@ -70,6 +72,11 @@ pub struct ServerOptions {
     pub maint: Option<MaintConfig>,
     /// Graceful-shutdown drain budget (event-loop mode).
     pub drain_timeout: Duration,
+    /// Idle-connection reap timeout (event-loop mode; `None` = off).
+    pub idle_timeout: Option<Duration>,
+    /// Per-connection served-request budget (event-loop mode; `None` =
+    /// unlimited).
+    pub max_requests_per_conn: Option<u64>,
 }
 
 impl Default for ServerOptions {
@@ -84,6 +91,8 @@ impl Default for ServerOptions {
             capacity: 1 << 20,
             maint: Some(MaintConfig::default()),
             drain_timeout: Duration::from_secs(5),
+            idle_timeout: None,
+            max_requests_per_conn: None,
         }
     }
 }
@@ -108,6 +117,8 @@ FLAGS (each falls back to the env var in brackets, then to the default):
     --maint-reclaim-threshold N   deferred-free batch trigger   [RP_KV_MAINT_RECLAIM_THRESHOLD]
     --maint-idle-wakeup-ms N      idle reclamation heartbeat    [RP_KV_MAINT_IDLE_WAKEUP_MS]
     --drain-timeout-ms N          graceful shutdown budget      [RP_KV_DRAIN_TIMEOUT_MS, 5000]
+    --idle-timeout-ms N           reap idle connections, 0=off  [RP_KV_IDLE_TIMEOUT_MS, 0]
+    --max-requests-per-conn N     per-connection budget, 0=off  [RP_KV_MAX_REQUESTS_PER_CONN, 0]
     --help                        print this text
 ";
 
@@ -134,6 +145,8 @@ impl ServerOptions {
         let mut reclaim = env("RP_KV_MAINT_RECLAIM_THRESHOLD");
         let mut idle_ms = env("RP_KV_MAINT_IDLE_WAKEUP_MS");
         let mut drain_ms = env("RP_KV_DRAIN_TIMEOUT_MS");
+        let mut idle_timeout_ms = env("RP_KV_IDLE_TIMEOUT_MS");
+        let mut max_requests = env("RP_KV_MAX_REQUESTS_PER_CONN");
 
         let mut iter = args.iter();
         while let Some(flag) = iter.next() {
@@ -153,6 +166,8 @@ impl ServerOptions {
                 "--maint-reclaim-threshold" => &mut reclaim,
                 "--maint-idle-wakeup-ms" => &mut idle_ms,
                 "--drain-timeout-ms" => &mut drain_ms,
+                "--idle-timeout-ms" => &mut idle_timeout_ms,
+                "--max-requests-per-conn" => &mut max_requests,
                 other => return Err(format!("unknown flag {other:?}\n\n{USAGE}")),
             };
             let Some(value) = iter.next() else {
@@ -213,6 +228,14 @@ impl ServerOptions {
         if let Some(v) = drain_ms {
             opts.drain_timeout = Duration::from_millis(parse_num(&v, "--drain-timeout-ms")?);
         }
+        if let Some(v) = idle_timeout_ms {
+            let ms: u64 = parse_num(&v, "--idle-timeout-ms")?;
+            opts.idle_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+        }
+        if let Some(v) = max_requests {
+            let n: u64 = parse_num(&v, "--max-requests-per-conn")?;
+            opts.max_requests_per_conn = (n > 0).then_some(n);
+        }
         Ok(opts)
     }
 
@@ -238,6 +261,8 @@ impl ServerOptions {
             workers: self.workers,
             read_side: self.read_side,
             drain_timeout: self.drain_timeout,
+            idle_timeout: self.idle_timeout,
+            max_requests_per_conn: self.max_requests_per_conn,
         }
     }
 }
@@ -345,6 +370,36 @@ mod tests {
         let opts = ServerOptions::parse(&strings(&["--read-side", "QSBR"]), &env).unwrap();
         assert_eq!(opts.read_side, ReadSide::Qsbr, "flag beats env");
         assert!(ServerOptions::parse(&strings(&["--read-side", "hazard"]), &no_env).is_err());
+    }
+
+    #[test]
+    fn defensive_limits_parse_with_zero_meaning_off() {
+        let opts = ServerOptions::parse(&[], &no_env).unwrap();
+        assert_eq!(opts.idle_timeout, None);
+        assert_eq!(opts.max_requests_per_conn, None);
+        let opts = ServerOptions::parse(
+            &strings(&[
+                "--idle-timeout-ms",
+                "1500",
+                "--max-requests-per-conn",
+                "10000",
+            ]),
+            &no_env,
+        )
+        .unwrap();
+        assert_eq!(opts.idle_timeout, Some(Duration::from_millis(1500)));
+        assert_eq!(opts.max_requests_per_conn, Some(10_000));
+        let config = opts.server_config();
+        assert_eq!(config.idle_timeout, Some(Duration::from_millis(1500)));
+        assert_eq!(config.max_requests_per_conn, Some(10_000));
+        let env = |name: &str| match name {
+            "RP_KV_IDLE_TIMEOUT_MS" => Some("0".to_string()),
+            "RP_KV_MAX_REQUESTS_PER_CONN" => Some("7".to_string()),
+            _ => None,
+        };
+        let opts = ServerOptions::parse(&[], &env).unwrap();
+        assert_eq!(opts.idle_timeout, None, "0 disables");
+        assert_eq!(opts.max_requests_per_conn, Some(7));
     }
 
     #[test]

@@ -218,6 +218,22 @@ pub trait CacheEngine: Send + Sync {
         keys.iter().map(|key| self.get_via(key, ctx)).collect()
     }
 
+    /// [`CacheEngine::get_via`] keyed by raw bytes — the zero-allocation
+    /// lookup the event-loop server's borrowed request path uses, with the
+    /// key a slice straight out of the connection's read buffer.
+    ///
+    /// The default validates UTF-8 (a scan, not a copy) and delegates to
+    /// [`CacheEngine::get_via`]; the relativistic engines override it to
+    /// hash the bytes once and probe their `String`-keyed index through a
+    /// raw matching lookup, skipping even the validation scan. Keys that
+    /// are not valid UTF-8 cannot exist in the cache (every stored key came
+    /// from a validated command line), so they simply miss.
+    fn get_ref(&self, key: &[u8], ctx: &mut EngineReadCtx) -> Option<Item> {
+        std::str::from_utf8(key)
+            .ok()
+            .and_then(|key| self.get_via(key, ctx))
+    }
+
     /// Housekeeping an external caller with a natural quiescent point can
     /// drive on the engine's behalf: postponed automatic index resizes and
     /// deferred reclamation.

@@ -29,20 +29,30 @@ use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Duration;
 
-use rp_net::{Action, EventLoop, NetConfig, NetStats, Service, WriteBuf};
+use rp_net::{Action, ConnIo, EventLoop, NetConfig, NetStats, Service};
 use rp_rcu::Reclaimer;
 
 use crate::engine::{CacheEngine, EngineReadCtx, ReadSide};
-use crate::protocol::{DecodedRequest, RequestDecoder, Response};
-use crate::server::execute_via;
+use crate::protocol::{Decoded, RefDecoder};
+use crate::server::{execute_ref, ServerConfig};
 
 /// The memcached text protocol as an [`rp_net::Service`].
 ///
-/// Per-connection state is exactly one [`RequestDecoder`]; per-worker state
-/// is the read-side context ([`EngineReadCtx`] — a registered QSBR handle,
-/// or nothing for EBR); everything else (the engine, statistics) is shared.
-/// `on_data` drains every complete pipelined request, so N requests
-/// arriving in one read produce N replies in one write.
+/// Per-connection state is exactly one [`RefDecoder`] (two words of
+/// defensive skip state — the bytes themselves stay in the reactor's
+/// per-connection input buffer); per-worker state is the read-side context
+/// ([`EngineReadCtx`] — a registered QSBR handle, or nothing for EBR);
+/// everything else (the engine, statistics) is shared.
+///
+/// `on_data` is the repo's hottest loop, and it is **allocation-free in
+/// steady state**: requests are decoded *in place* (keys and payloads
+/// borrow from [`ConnIo::input`]), executed through the engines'
+/// byte-keyed [`CacheEngine::get_ref`] lookups, and their replies
+/// serialised straight into the connection's pooled output queue
+/// ([`ConnIo::out`]) — no owned `Command`, no intermediate `Vec<u8>`, no
+/// copy of a cached value smaller than the coalescing threshold. N
+/// pipelined requests arriving in one read still produce N replies in one
+/// write.
 pub struct KvService {
     engine: Arc<dyn CacheEngine>,
     read_side: ReadSide,
@@ -56,7 +66,7 @@ impl KvService {
 }
 
 impl Service for KvService {
-    type Conn = RequestDecoder;
+    type Conn = RefDecoder;
     type Worker = EngineReadCtx;
 
     fn on_worker_start(&self, _worker: usize) -> EngineReadCtx {
@@ -65,35 +75,41 @@ impl Service for KvService {
         EngineReadCtx::new(self.read_side)
     }
 
-    fn on_connect(&self, _peer: SocketAddr) -> RequestDecoder {
-        RequestDecoder::new()
+    fn on_connect(&self, _peer: SocketAddr) -> RefDecoder {
+        RefDecoder::new()
     }
 
     fn on_data(
         &self,
         ctx: &mut EngineReadCtx,
-        decoder: &mut RequestDecoder,
-        input: &mut Vec<u8>,
-        out: &mut WriteBuf,
+        decoder: &mut RefDecoder,
+        io: &mut ConnIo<'_>,
     ) -> Action {
-        decoder.absorb(input);
-        loop {
-            match decoder.next() {
-                Some(DecodedRequest::Command(command)) => {
-                    let quit = matches!(command, crate::protocol::Command::Quit);
-                    if let Some(reply) = execute_via(&*self.engine, command, ctx) {
-                        out.push(reply.to_bytes());
-                    }
-                    if quit {
-                        return Action::Close;
-                    }
-                }
-                Some(DecodedRequest::Invalid { reason }) => {
-                    out.push(Response::ClientError(reason).to_bytes());
-                }
-                None => return Action::Continue,
+        let mut offset = 0;
+        let action = loop {
+            if io.requests >= io.request_quota {
+                // Per-connection budget spent; the reactor drains what has
+                // been answered and closes.
+                break Action::Continue;
             }
-        }
+            let (used, decoded) = decoder.step(&io.input[offset..]);
+            offset += used;
+            match decoded {
+                Decoded::Request(request) => {
+                    io.requests += 1;
+                    if execute_ref(&*self.engine, &request, ctx, &mut io.out) {
+                        break Action::Close;
+                    }
+                }
+                Decoded::Bad(error) => {
+                    io.requests += 1;
+                    error.write_wire(&mut io.out);
+                }
+                Decoded::NeedMore => break Action::Continue,
+            }
+        };
+        io.input.drain(..offset);
+        action
     }
 
     fn on_batch_end(&self, ctx: &mut EngineReadCtx) {
@@ -154,14 +170,34 @@ impl EventServer {
         read_side: ReadSide,
         drain_timeout: Duration,
     ) -> io::Result<EventServer> {
-        let config = NetConfig {
+        let config = ServerConfig {
+            port,
             workers,
+            read_side,
             drain_timeout,
+            ..ServerConfig::default()
+        };
+        Self::start_from(engine, &config)
+    }
+
+    /// Starts an event-loop server exactly as `config` describes,
+    /// including the defensive limits (`idle_timeout`,
+    /// `max_requests_per_conn`).
+    pub fn start_from(
+        engine: Arc<dyn CacheEngine>,
+        config: &ServerConfig,
+    ) -> io::Result<EventServer> {
+        let read_side = config.read_side;
+        let net = NetConfig {
+            workers: config.workers.max(1),
+            drain_timeout: config.drain_timeout,
+            idle_timeout: config.idle_timeout,
+            max_requests_per_conn: config.max_requests_per_conn,
             ..NetConfig::default()
         };
         let service = Arc::new(KvService::new(Arc::clone(&engine), read_side));
-        let addr: SocketAddr = ([127, 0, 0, 1], port).into();
-        let inner = EventLoop::bind(addr, service, config)?;
+        let addr: SocketAddr = ([127, 0, 0, 1], config.port).into();
+        let inner = EventLoop::bind(addr, service, net)?;
         let reclaimer = match read_side {
             ReadSide::Ebr => None,
             ReadSide::Qsbr => Some(Reclaimer::spawn_global()),

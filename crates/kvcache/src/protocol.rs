@@ -12,17 +12,36 @@
 //! ```
 //!
 //! Responses follow the memcached conventions (`VALUE`, `END`, `STORED`,
-//! `DELETED`, `NOT_FOUND`, `ERROR`, ...). The parser is incremental: it
-//! consumes complete commands from the front of a byte buffer and reports
-//! how many bytes it used, so the server can read from a socket in chunks.
+//! `DELETED`, `NOT_FOUND`, `ERROR`, ...).
+//!
+//! Two request representations share one grammar:
+//!
+//! * [`RequestRef`] — the **borrowed** form the event-loop server's hot
+//!   path uses: keys and `set` payloads are `&[u8]` slices into the
+//!   connection's read buffer, parsing allocates nothing, and malformed
+//!   input is reported as a [`BadRequest`] code whose message renders
+//!   lazily (only if it actually reaches the wire). Produced by
+//!   [`parse_request_ref`] / [`RefDecoder`].
+//! * [`Command`] — the **owned** form (`String` keys, [`Bytes`] payloads)
+//!   used by the threaded server, the client-visible API and the tests.
+//!   Produced by [`parse_command`] / [`RequestDecoder`], both of which are
+//!   thin owning wrappers over the borrowed parser, so the two forms cannot
+//!   drift. [`RequestRef::to_owned`] bridges explicitly.
+//!
+//! Serialisation is symmetric: [`Response::write_to`] streams a response
+//! directly into any [`BufWrite`] sink (the event loop passes the
+//! connection's pooled output queue — no intermediate `Vec<u8>` per
+//! reply), and [`Response::to_bytes`] is the owned convenience built on
+//! top of it.
 
 use std::time::Duration;
 
 use bytes::Bytes;
+use rp_net::BufWrite;
 
 use crate::item::Item;
 
-/// A parsed client command.
+/// A parsed client command (owned form).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
     /// `get` with one or more keys.
@@ -74,6 +93,162 @@ impl Command {
     }
 }
 
+/// Why a request was rejected.
+///
+/// The hot path constructs these freely — they are a plain `Copy` code, so
+/// rejection costs nothing until the error is actually serialised by
+/// [`BadRequest::write_wire`] (and even then the message is a static
+/// string: error rendering never allocates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BadRequest {
+    /// The command line contained invalid UTF-8.
+    NotUtf8,
+    /// The line held no command at all.
+    Empty,
+    /// `get` with no keys.
+    GetNeedsKey,
+    /// `set` missing one of `<key> <flags> <exptime> <bytes>`.
+    SetNeedsFields,
+    /// A numeric field of `set` did not parse.
+    BadNumber,
+    /// A `set` byte count so large the frame arithmetic would overflow.
+    AbsurdByteCount,
+    /// The `set` data block was not terminated by CRLF.
+    DataUnterminated,
+    /// `delete` with no key.
+    DeleteNeedsKey,
+    /// Unrecognised verb.
+    UnknownCommand,
+    /// A command line longer than [`MAX_LINE`].
+    LineTooLong,
+    /// A `set` frame declaring more than [`MAX_FRAME`] payload bytes.
+    FrameTooLarge,
+}
+
+impl BadRequest {
+    /// The human-readable reason, as a static string.
+    pub fn message(self) -> &'static str {
+        match self {
+            BadRequest::NotUtf8 => "command line is not valid UTF-8",
+            BadRequest::Empty => "empty command",
+            BadRequest::GetNeedsKey => "get requires at least one key",
+            BadRequest::SetNeedsFields => "set requires <key> <flags> <exptime> <bytes>",
+            BadRequest::BadNumber => "bad numeric field in set",
+            BadRequest::AbsurdByteCount => "set byte count is absurdly large",
+            BadRequest::DataUnterminated => "data block not terminated by CRLF",
+            BadRequest::DeleteNeedsKey => "delete requires a key",
+            BadRequest::UnknownCommand => "unknown command",
+            BadRequest::LineTooLong => "command line exceeds the 8 KiB line limit",
+            BadRequest::FrameTooLarge => "object larger than the 16 MiB frame limit",
+        }
+    }
+
+    /// Writes the exact `CLIENT_ERROR <msg>\r\n` wire bytes, with no
+    /// intermediate allocation.
+    pub fn write_wire(self, out: &mut impl BufWrite) {
+        out.put(b"CLIENT_ERROR ");
+        out.put(self.message().as_bytes());
+        out.put(b"\r\n");
+    }
+}
+
+/// The keys of a multi-key `get`, borrowed from the command line.
+///
+/// Iteration re-tokenises the stored line tail lazily, so a multi-key GET
+/// never materialises a `Vec` of keys. Keys are yielded as byte slices but
+/// are guaranteed valid UTF-8 (they are sub-slices of a validated line).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GetKeys<'a> {
+    rest: &'a str,
+}
+
+impl<'a> GetKeys<'a> {
+    /// Iterates the keys in request order.
+    pub fn iter(&self) -> impl Iterator<Item = &'a [u8]> + 'a {
+        self.rest.split_ascii_whitespace().map(str::as_bytes)
+    }
+
+    /// Number of keys (re-tokenises; cheap for protocol-sized lines).
+    pub fn count(&self) -> usize {
+        self.rest.split_ascii_whitespace().count()
+    }
+}
+
+/// A parsed request **borrowing** from the read buffer: keys and payloads
+/// are slices into the bytes the connection received, so steady-state
+/// parsing performs zero heap allocations.
+///
+/// All key slices (and the line-derived fields of every variant) are
+/// guaranteed valid UTF-8 — the whole command line is validated before
+/// tokenisation. `set` payloads are arbitrary bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestRef<'a> {
+    /// Single-key `get`/`gets` — the dominant request, kept `Vec`-free.
+    Get {
+        /// The key, borrowed from the read buffer.
+        key: &'a [u8],
+    },
+    /// Multi-key `get`/`gets`.
+    GetMulti(GetKeys<'a>),
+    /// `set` plus its data block.
+    Set {
+        /// Item key, borrowed from the read buffer.
+        key: &'a [u8],
+        /// Opaque client flags.
+        flags: u32,
+        /// Expiry in seconds (0 = never).
+        exptime: u64,
+        /// Payload bytes, borrowed from the read buffer.
+        data: &'a [u8],
+        /// Suppress the reply if set.
+        noreply: bool,
+    },
+    /// `delete <key>`.
+    Delete {
+        /// Item key, borrowed from the read buffer.
+        key: &'a [u8],
+        /// Suppress the reply if set.
+        noreply: bool,
+    },
+    /// `stats`.
+    Stats,
+    /// `version`.
+    Version,
+    /// `quit`.
+    Quit,
+}
+
+impl RequestRef<'_> {
+    /// Copies the borrowed request into the owned [`Command`] form.
+    pub fn to_owned(&self) -> Command {
+        let owned_key = |key: &[u8]| String::from_utf8_lossy(key).into_owned();
+        match self {
+            RequestRef::Get { key } => Command::Get(vec![owned_key(key)]),
+            RequestRef::GetMulti(keys) => Command::Get(keys.iter().map(&owned_key).collect()),
+            RequestRef::Set {
+                key,
+                flags,
+                exptime,
+                data,
+                noreply,
+            } => Command::Set {
+                key: owned_key(key),
+                flags: *flags,
+                exptime: *exptime,
+                data: Bytes::copy_from_slice(data),
+                noreply: *noreply,
+            },
+            RequestRef::Delete { key, noreply } => Command::Delete {
+                key: owned_key(key),
+                noreply: *noreply,
+            },
+            RequestRef::Stats => Command::Stats,
+            RequestRef::Version => Command::Version,
+            RequestRef::Quit => Command::Quit,
+        }
+    }
+}
+
 /// A server response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
@@ -97,42 +272,247 @@ pub enum Response {
     ClientError(String),
 }
 
+/// Writes `n` in decimal with no formatting machinery (a 20-byte stack
+/// buffer covers `u64::MAX`).
+fn put_decimal(out: &mut impl BufWrite, mut n: u64) {
+    let mut tmp = [0_u8; 20];
+    let mut i = tmp.len();
+    loop {
+        i -= 1;
+        tmp[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    out.put(&tmp[i..]);
+}
+
+/// Writes a `VALUE <key> <flags> <bytes>\r\n` header straight into `out`
+/// with no intermediate buffer — the hot-path GET reply header.
+pub fn write_value_header(out: &mut impl BufWrite, key: &[u8], flags: u32, len: usize) {
+    out.put(b"VALUE ");
+    out.put(key);
+    out.put(b" ");
+    put_decimal(out, u64::from(flags));
+    out.put(b" ");
+    put_decimal(out, len as u64);
+    out.put(b"\r\n");
+}
+
 impl Response {
-    /// Serialises the response into protocol bytes.
-    pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::new();
+    /// Serialises the response directly into `out`, with no intermediate
+    /// per-response buffer. Payloads queue as shared [`Bytes`] segments
+    /// when large (see [`BufWrite::put_shared`]), so a big cached value is
+    /// never copied on its way to the socket.
+    pub fn write_to(&self, out: &mut impl BufWrite) {
         match self {
             Response::Values(values) => {
                 for (key, flags, data) in values {
-                    out.extend_from_slice(
-                        format!("VALUE {key} {flags} {}\r\n", data.len()).as_bytes(),
-                    );
-                    out.extend_from_slice(data);
-                    out.extend_from_slice(b"\r\n");
+                    write_value_header(out, key.as_bytes(), *flags, data.len());
+                    out.put_shared(data.clone());
+                    out.put(b"\r\n");
                 }
-                out.extend_from_slice(b"END\r\n");
+                out.put(b"END\r\n");
             }
-            Response::Stored => out.extend_from_slice(b"STORED\r\n"),
-            Response::NotStored => out.extend_from_slice(b"NOT_STORED\r\n"),
-            Response::Deleted => out.extend_from_slice(b"DELETED\r\n"),
-            Response::NotFound => out.extend_from_slice(b"NOT_FOUND\r\n"),
+            Response::Stored => out.put(b"STORED\r\n"),
+            Response::NotStored => out.put(b"NOT_STORED\r\n"),
+            Response::Deleted => out.put(b"DELETED\r\n"),
+            Response::NotFound => out.put(b"NOT_FOUND\r\n"),
             Response::Stats(stats) => {
                 for (name, value) in stats {
-                    out.extend_from_slice(format!("STAT {name} {value}\r\n").as_bytes());
+                    out.put(b"STAT ");
+                    out.put(name.as_bytes());
+                    out.put(b" ");
+                    out.put(value.as_bytes());
+                    out.put(b"\r\n");
                 }
-                out.extend_from_slice(b"END\r\n");
+                out.put(b"END\r\n");
             }
-            Response::Version(v) => out.extend_from_slice(format!("VERSION {v}\r\n").as_bytes()),
-            Response::Error => out.extend_from_slice(b"ERROR\r\n"),
+            Response::Version(v) => {
+                out.put(b"VERSION ");
+                out.put(v.as_bytes());
+                out.put(b"\r\n");
+            }
+            Response::Error => out.put(b"ERROR\r\n"),
             Response::ClientError(msg) => {
-                out.extend_from_slice(format!("CLIENT_ERROR {msg}\r\n").as_bytes())
+                out.put(b"CLIENT_ERROR ");
+                out.put(msg.as_bytes());
+                out.put(b"\r\n");
             }
         }
+    }
+
+    /// Serialises the response into a fresh buffer ([`Response::write_to`]
+    /// is the allocation-free primitive this wraps).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_to(&mut out);
         out
     }
 }
 
-/// The result of attempting to parse one command from the buffer.
+/// The outcome of attempting to parse one borrowed request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefOutcome<'a> {
+    /// A complete request was parsed; `consumed` bytes should be drained.
+    Complete {
+        /// The parsed request, borrowing from the input buffer.
+        request: RequestRef<'a>,
+        /// Number of bytes consumed from the front of the buffer.
+        consumed: usize,
+    },
+    /// More bytes are needed before a request can be parsed.
+    Incomplete,
+    /// The buffer starts with a malformed command; `consumed` bytes (up to
+    /// and including the offending line) should be drained and the error
+    /// reported to the client.
+    Invalid {
+        /// Number of bytes to drain.
+        consumed: usize,
+        /// Rejection reason (rendered lazily; see [`BadRequest`]).
+        error: BadRequest,
+    },
+}
+
+/// Attempts to parse one request from the front of `buf`, borrowing keys
+/// and payloads from it. This is the single grammar implementation — the
+/// owned [`parse_command`] wraps it.
+pub fn parse_request_ref(buf: &[u8]) -> RefOutcome<'_> {
+    let Some(line_end) = find_crlf(buf) else {
+        return RefOutcome::Incomplete;
+    };
+    let after_line = line_end + 2;
+    let Ok(line) = std::str::from_utf8(&buf[..line_end]) else {
+        return RefOutcome::Invalid {
+            consumed: after_line,
+            error: BadRequest::NotUtf8,
+        };
+    };
+    let trimmed = line.trim_start_matches(|c: char| c.is_ascii_whitespace());
+    if trimmed.is_empty() {
+        return RefOutcome::Invalid {
+            consumed: after_line,
+            error: BadRequest::Empty,
+        };
+    }
+    let verb_end = trimmed
+        .find(|c: char| c.is_ascii_whitespace())
+        .unwrap_or(trimmed.len());
+    let (verb, rest) = trimmed.split_at(verb_end);
+
+    match verb {
+        "get" | "gets" => {
+            let mut keys = rest.split_ascii_whitespace();
+            let Some(first) = keys.next() else {
+                return RefOutcome::Invalid {
+                    consumed: after_line,
+                    error: BadRequest::GetNeedsKey,
+                };
+            };
+            let request = if keys.next().is_none() {
+                RequestRef::Get {
+                    key: first.as_bytes(),
+                }
+            } else {
+                RequestRef::GetMulti(GetKeys { rest })
+            };
+            RefOutcome::Complete {
+                request,
+                consumed: after_line,
+            }
+        }
+        "set" => {
+            let mut parts = rest.split_ascii_whitespace();
+            let (Some(key), Some(flags), Some(exptime), Some(bytes)) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return RefOutcome::Invalid {
+                    consumed: after_line,
+                    error: BadRequest::SetNeedsFields,
+                };
+            };
+            let noreply = matches!(parts.next(), Some("noreply"));
+            let (Ok(flags), Ok(exptime), Ok(nbytes)) = (
+                flags.parse::<u32>(),
+                exptime.parse::<u64>(),
+                bytes.parse::<usize>(),
+            ) else {
+                return RefOutcome::Invalid {
+                    consumed: after_line,
+                    error: BadRequest::BadNumber,
+                };
+            };
+            // The data block is <bytes> bytes followed by \r\n. A byte
+            // count near usize::MAX would overflow the frame arithmetic;
+            // nothing legitimate comes within orders of magnitude of it.
+            let Some(needed) = after_line
+                .checked_add(nbytes)
+                .and_then(|n| n.checked_add(2))
+            else {
+                return RefOutcome::Invalid {
+                    consumed: after_line,
+                    error: BadRequest::AbsurdByteCount,
+                };
+            };
+            if buf.len() < needed {
+                return RefOutcome::Incomplete;
+            }
+            if &buf[after_line + nbytes..needed] != b"\r\n" {
+                return RefOutcome::Invalid {
+                    consumed: needed,
+                    error: BadRequest::DataUnterminated,
+                };
+            }
+            RefOutcome::Complete {
+                request: RequestRef::Set {
+                    key: key.as_bytes(),
+                    flags,
+                    exptime,
+                    data: &buf[after_line..after_line + nbytes],
+                    noreply,
+                },
+                consumed: needed,
+            }
+        }
+        "delete" => {
+            let mut parts = rest.split_ascii_whitespace();
+            let Some(key) = parts.next() else {
+                return RefOutcome::Invalid {
+                    consumed: after_line,
+                    error: BadRequest::DeleteNeedsKey,
+                };
+            };
+            let noreply = matches!(parts.next(), Some("noreply"));
+            RefOutcome::Complete {
+                request: RequestRef::Delete {
+                    key: key.as_bytes(),
+                    noreply,
+                },
+                consumed: after_line,
+            }
+        }
+        "stats" => RefOutcome::Complete {
+            request: RequestRef::Stats,
+            consumed: after_line,
+        },
+        "version" => RefOutcome::Complete {
+            request: RequestRef::Version,
+            consumed: after_line,
+        },
+        "quit" => RefOutcome::Complete {
+            request: RequestRef::Quit,
+            consumed: after_line,
+        },
+        _ => RefOutcome::Invalid {
+            consumed: after_line,
+            error: BadRequest::UnknownCommand,
+        },
+    }
+}
+
+/// The result of attempting to parse one command from the buffer (owned
+/// form; see [`parse_request_ref`] for the underlying grammar).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseOutcome {
     /// A complete command was parsed; `consumed` bytes should be drained.
@@ -155,127 +535,18 @@ pub enum ParseOutcome {
     },
 }
 
-/// Attempts to parse one command from the front of `buf`.
+/// Attempts to parse one command from the front of `buf`, copying it into
+/// the owned [`Command`] form.
 pub fn parse_command(buf: &[u8]) -> ParseOutcome {
-    let Some(line_end) = find_crlf(buf) else {
-        return ParseOutcome::Incomplete;
-    };
-    let line = &buf[..line_end];
-    let after_line = line_end + 2;
-    let Ok(line) = std::str::from_utf8(line) else {
-        return ParseOutcome::Invalid {
-            consumed: after_line,
-            reason: "command line is not valid UTF-8".to_string(),
-        };
-    };
-    let mut parts = line.split_ascii_whitespace();
-    let Some(verb) = parts.next() else {
-        // Empty line: just skip it.
-        return ParseOutcome::Invalid {
-            consumed: after_line,
-            reason: "empty command".to_string(),
-        };
-    };
-
-    match verb {
-        "get" | "gets" => {
-            let keys: Vec<String> = parts.map(str::to_string).collect();
-            if keys.is_empty() {
-                ParseOutcome::Invalid {
-                    consumed: after_line,
-                    reason: "get requires at least one key".to_string(),
-                }
-            } else {
-                ParseOutcome::Complete {
-                    command: Command::Get(keys),
-                    consumed: after_line,
-                }
-            }
-        }
-        "set" => {
-            let (Some(key), Some(flags), Some(exptime), Some(bytes)) =
-                (parts.next(), parts.next(), parts.next(), parts.next())
-            else {
-                return ParseOutcome::Invalid {
-                    consumed: after_line,
-                    reason: "set requires <key> <flags> <exptime> <bytes>".to_string(),
-                };
-            };
-            let noreply = matches!(parts.next(), Some("noreply"));
-            let (Ok(flags), Ok(exptime), Ok(nbytes)) = (
-                flags.parse::<u32>(),
-                exptime.parse::<u64>(),
-                bytes.parse::<usize>(),
-            ) else {
-                return ParseOutcome::Invalid {
-                    consumed: after_line,
-                    reason: "bad numeric field in set".to_string(),
-                };
-            };
-            // The data block is <bytes> bytes followed by \r\n. A byte
-            // count near usize::MAX would overflow the frame arithmetic;
-            // nothing legitimate comes within orders of magnitude of it.
-            let Some(needed) = after_line
-                .checked_add(nbytes)
-                .and_then(|n| n.checked_add(2))
-            else {
-                return ParseOutcome::Invalid {
-                    consumed: after_line,
-                    reason: "set byte count is absurdly large".to_string(),
-                };
-            };
-            if buf.len() < needed {
-                return ParseOutcome::Incomplete;
-            }
-            let data = &buf[after_line..after_line + nbytes];
-            if &buf[after_line + nbytes..needed] != b"\r\n" {
-                return ParseOutcome::Invalid {
-                    consumed: needed,
-                    reason: "data block not terminated by CRLF".to_string(),
-                };
-            }
-            ParseOutcome::Complete {
-                command: Command::Set {
-                    key: key.to_string(),
-                    flags,
-                    exptime,
-                    data: Bytes::copy_from_slice(data),
-                    noreply,
-                },
-                consumed: needed,
-            }
-        }
-        "delete" => {
-            let Some(key) = parts.next() else {
-                return ParseOutcome::Invalid {
-                    consumed: after_line,
-                    reason: "delete requires a key".to_string(),
-                };
-            };
-            let noreply = matches!(parts.next(), Some("noreply"));
-            ParseOutcome::Complete {
-                command: Command::Delete {
-                    key: key.to_string(),
-                    noreply,
-                },
-                consumed: after_line,
-            }
-        }
-        "stats" => ParseOutcome::Complete {
-            command: Command::Stats,
-            consumed: after_line,
+    match parse_request_ref(buf) {
+        RefOutcome::Complete { request, consumed } => ParseOutcome::Complete {
+            command: request.to_owned(),
+            consumed,
         },
-        "version" => ParseOutcome::Complete {
-            command: Command::Version,
-            consumed: after_line,
-        },
-        "quit" => ParseOutcome::Complete {
-            command: Command::Quit,
-            consumed: after_line,
-        },
-        other => ParseOutcome::Invalid {
-            consumed: after_line,
-            reason: format!("unknown command {other:?}"),
+        RefOutcome::Incomplete => ParseOutcome::Incomplete,
+        RefOutcome::Invalid { consumed, error } => ParseOutcome::Invalid {
+            consumed,
+            reason: error.message().to_string(),
         },
     }
 }
@@ -293,6 +564,124 @@ pub const MAX_LINE: usize = 8 * 1024;
 /// arrives, without ever holding it in memory.
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
 
+/// One step of [`RefDecoder::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decoded<'a> {
+    /// A complete request, borrowing from the presented buffer.
+    Request(RequestRef<'a>),
+    /// Malformed input; report the error and keep stepping (the offending
+    /// bytes are accounted for in the step's `consumed`).
+    Bad(BadRequest),
+    /// No complete request available — feed more bytes, then step again.
+    NeedMore,
+}
+
+/// The borrowed-decoding counterpart of [`RequestDecoder`]: the caller
+/// keeps ownership of the read buffer (typically the connection's input
+/// buffer) and the decoder holds only the defensive *skip* state —
+/// bytes of an abandoned oversized frame, or an overlong line being
+/// discarded up to its eventual CRLF.
+///
+/// Each [`RefDecoder::step`] consumes from the front of the presented
+/// slice and reports how many bytes it used; the caller advances its
+/// offset, handles the decoded request **while it still borrows the
+/// buffer**, and drains the consumed prefix when the batch is done:
+///
+/// ```
+/// use rp_kvcache::protocol::{Decoded, RefDecoder, RequestRef};
+///
+/// let mut input: Vec<u8> = b"get hot-key\r\nversion\r\nqu".to_vec();
+/// let mut decoder = RefDecoder::new();
+/// let mut offset = 0;
+/// loop {
+///     let (used, decoded) = decoder.step(&input[offset..]);
+///     offset += used;
+///     match decoded {
+///         Decoded::Request(RequestRef::Get { key }) => assert_eq!(key, b"hot-key"),
+///         Decoded::Request(request) => assert_eq!(request, RequestRef::Version),
+///         Decoded::Bad(error) => panic!("{}", error.message()),
+///         Decoded::NeedMore => break,
+///     }
+/// }
+/// input.drain(..offset); // "qu" stays buffered for the next read
+/// assert_eq!(input, b"qu");
+/// ```
+#[derive(Debug, Default)]
+pub struct RefDecoder {
+    /// Bytes of an abandoned oversized frame still to swallow.
+    skip: usize,
+    /// When set, discard until the next CRLF (oversized command line).
+    skip_line: bool,
+}
+
+impl RefDecoder {
+    /// Creates a decoder with no pending skip state.
+    pub fn new() -> RefDecoder {
+        RefDecoder::default()
+    }
+
+    /// Decodes the next request from the front of `buf`, returning how many
+    /// bytes were consumed alongside the outcome. Defensive limits match
+    /// [`RequestDecoder`]: an overlong line or oversized `set` frame yields
+    /// one [`Decoded::Bad`] and the offending bytes are discarded as they
+    /// stream through, without being buffered.
+    pub fn step<'a>(&mut self, buf: &'a [u8]) -> (usize, Decoded<'a>) {
+        let mut consumed = 0;
+        // Swallow the remainder of an abandoned oversized frame.
+        if self.skip > 0 {
+            let n = self.skip.min(buf.len());
+            consumed += n;
+            self.skip -= n;
+            if self.skip > 0 {
+                return (consumed, Decoded::NeedMore);
+            }
+        }
+        // Discard an overlong line up to its (eventual) CRLF.
+        if self.skip_line {
+            match find_crlf(&buf[consumed..]) {
+                Some(pos) => {
+                    consumed += pos + 2;
+                    self.skip_line = false;
+                }
+                None => {
+                    // Keep a trailing '\r': its '\n' may be next.
+                    let rest = &buf[consumed..];
+                    let keep = usize::from(rest.last() == Some(&b'\r'));
+                    consumed += rest.len() - keep;
+                    return (consumed, Decoded::NeedMore);
+                }
+            }
+        }
+        let rest = &buf[consumed..];
+        match parse_request_ref(rest) {
+            RefOutcome::Complete {
+                request,
+                consumed: n,
+            } => (consumed + n, Decoded::Request(request)),
+            RefOutcome::Invalid { consumed: n, error } => (consumed + n, Decoded::Bad(error)),
+            RefOutcome::Incomplete => match find_crlf(rest) {
+                None if rest.len() > MAX_LINE => {
+                    self.skip_line = true;
+                    (consumed, Decoded::Bad(BadRequest::LineTooLong))
+                }
+                Some(line_end) => {
+                    // A complete line that still parses Incomplete is a
+                    // `set` waiting for its data block; bound what we are
+                    // willing to buffer for it.
+                    match set_frame_len(&rest[..line_end], line_end) {
+                        Some(total) if total > MAX_FRAME => {
+                            self.skip = total;
+                            (consumed, Decoded::Bad(BadRequest::FrameTooLarge))
+                        }
+                        _ => (consumed, Decoded::NeedMore),
+                    }
+                }
+                None => (consumed, Decoded::NeedMore),
+            },
+        }
+    }
+}
+
 /// One request produced by [`RequestDecoder::next`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DecodedRequest {
@@ -306,7 +695,7 @@ pub enum DecodedRequest {
     },
 }
 
-/// A stateful, fully incremental protocol decoder.
+/// A stateful, fully incremental protocol decoder (owned form).
 ///
 /// [`parse_command`] is stateless: callers re-present the whole buffer
 /// until a frame completes. `RequestDecoder` owns the buffer between
@@ -318,6 +707,10 @@ pub enum DecodedRequest {
 ///   rest of the line is discarded as it streams in;
 /// * `set` frames declaring more than [`MAX_FRAME`] payload bytes produce
 ///   one `Invalid` and the payload is swallowed without being buffered.
+///
+/// The event-loop server decodes with the borrowed [`RefDecoder`] instead
+/// (same grammar, same limits, zero copies); this owned decoder serves the
+/// threaded server and anything that wants `String`-keyed [`Command`]s.
 ///
 /// ```
 /// use rp_kvcache::protocol::{Command, DecodedRequest, RequestDecoder};
@@ -337,10 +730,7 @@ pub enum DecodedRequest {
 #[derive(Debug, Default)]
 pub struct RequestDecoder {
     buf: Vec<u8>,
-    /// Bytes of an abandoned oversized frame still to swallow.
-    skip: usize,
-    /// When set, discard until the next CRLF (oversized command line).
-    skip_line: bool,
+    inner: RefDecoder,
 }
 
 impl RequestDecoder {
@@ -391,70 +781,32 @@ impl Iterator for RequestDecoder {
     type Item = DecodedRequest;
 
     fn next(&mut self) -> Option<DecodedRequest> {
-        // Swallow the remainder of an abandoned oversized frame.
-        if self.skip > 0 {
-            let n = self.skip.min(self.buf.len());
-            self.buf.drain(..n);
-            self.skip -= n;
-            if self.skip > 0 {
-                return None;
+        loop {
+            let (consumed, decoded) = {
+                let (consumed, decoded) = self.inner.step(&self.buf);
+                // Copy out of the borrow before draining.
+                let decoded = match decoded {
+                    Decoded::Request(request) => Some(DecodedRequest::Command(request.to_owned())),
+                    Decoded::Bad(error) => Some(DecodedRequest::Invalid {
+                        reason: error.message().to_string(),
+                    }),
+                    Decoded::NeedMore => None,
+                };
+                (consumed, decoded)
+            };
+            self.buf.drain(..consumed);
+            match decoded {
+                Some(request) => return Some(request),
+                None if consumed > 0 && !self.buf.is_empty() => continue,
+                None => return None,
             }
-        }
-        // Discard an overlong line up to its (eventual) CRLF.
-        if self.skip_line {
-            match find_crlf(&self.buf) {
-                Some(pos) => {
-                    self.buf.drain(..pos + 2);
-                    self.skip_line = false;
-                }
-                None => {
-                    // Keep a trailing '\r': its '\n' may be next.
-                    let keep = usize::from(self.buf.last() == Some(&b'\r'));
-                    let len = self.buf.len();
-                    self.buf.drain(..len - keep);
-                    return None;
-                }
-            }
-        }
-        match parse_command(&self.buf) {
-            ParseOutcome::Complete { command, consumed } => {
-                self.buf.drain(..consumed);
-                Some(DecodedRequest::Command(command))
-            }
-            ParseOutcome::Invalid { consumed, reason } => {
-                self.buf.drain(..consumed);
-                Some(DecodedRequest::Invalid { reason })
-            }
-            ParseOutcome::Incomplete => match find_crlf(&self.buf) {
-                None if self.buf.len() > MAX_LINE => {
-                    self.skip_line = true;
-                    Some(DecodedRequest::Invalid {
-                        reason: format!("command line exceeds {MAX_LINE} bytes"),
-                    })
-                }
-                Some(line_end) => {
-                    // A complete line that still parses Incomplete is a
-                    // `set` waiting for its data block; bound what we are
-                    // willing to buffer for it.
-                    match set_frame_len(&self.buf[..line_end], line_end) {
-                        Some(total) if total > MAX_FRAME => {
-                            self.skip = total;
-                            Some(DecodedRequest::Invalid {
-                                reason: format!("object larger than {MAX_FRAME} bytes"),
-                            })
-                        }
-                        _ => None,
-                    }
-                }
-                None => None,
-            },
         }
     }
 }
 
 /// For a complete `set` command line, the total frame length (line + CRLF +
 /// data block + CRLF). `None` for any other line, or on overflow (which
-/// [`parse_command`] has already rejected as `Invalid` by then).
+/// [`parse_request_ref`] has already rejected as `Invalid` by then).
 fn set_frame_len(line: &[u8], line_end: usize) -> Option<usize> {
     let line = std::str::from_utf8(line).ok()?;
     let mut parts = line.split_ascii_whitespace();
@@ -564,6 +916,115 @@ mod tests {
     }
 
     #[test]
+    fn borrowed_requests_borrow_from_the_buffer() {
+        let buf = b"get hot\r\n".to_vec();
+        match parse_request_ref(&buf) {
+            RefOutcome::Complete {
+                request: RequestRef::Get { key },
+                consumed,
+            } => {
+                assert_eq!(key, b"hot");
+                assert_eq!(consumed, buf.len());
+                // The key is a sub-slice of the input, not a copy.
+                let buf_range = buf.as_ptr() as usize..buf.as_ptr() as usize + buf.len();
+                assert!(buf_range.contains(&(key.as_ptr() as usize)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let buf = b"set k 1 0 3\r\nxyz\r\n".to_vec();
+        match parse_request_ref(&buf) {
+            RefOutcome::Complete {
+                request: RequestRef::Set { key, data, .. },
+                ..
+            } => {
+                assert_eq!(key, b"k");
+                assert_eq!(data, b"xyz");
+                let buf_range = buf.as_ptr() as usize..buf.as_ptr() as usize + buf.len();
+                assert!(buf_range.contains(&(data.as_ptr() as usize)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_key_get_iterates_lazily() {
+        match parse_request_ref(b"gets a  bb\tccc\r\n") {
+            RefOutcome::Complete {
+                request: RequestRef::GetMulti(keys),
+                ..
+            } => {
+                assert_eq!(keys.count(), 3);
+                let collected: Vec<&[u8]> = keys.iter().collect();
+                assert_eq!(collected, vec![&b"a"[..], &b"bb"[..], &b"ccc"[..]]);
+                // Iteration is repeatable (the response writer re-walks).
+                assert_eq!(keys.iter().count(), 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn borrowed_and_owned_forms_agree() {
+        let streams: [&[u8]; 6] = [
+            b"get one\r\n",
+            b"gets a b c\r\n",
+            b"set k 7 60 5 noreply\r\nhello\r\n",
+            b"delete gone\r\n",
+            b"stats\r\n",
+            b"quit\r\n",
+        ];
+        for stream in streams {
+            let owned = match parse_command(stream) {
+                ParseOutcome::Complete { command, consumed } => (command, consumed),
+                other => panic!("owned parse failed: {other:?}"),
+            };
+            let borrowed = match parse_request_ref(stream) {
+                RefOutcome::Complete { request, consumed } => (request.to_owned(), consumed),
+                other => panic!("borrowed parse failed: {other:?}"),
+            };
+            assert_eq!(owned, borrowed);
+        }
+    }
+
+    #[test]
+    fn client_error_wire_bytes_are_exact_and_static() {
+        let mut out = Vec::new();
+        BadRequest::Empty.write_wire(&mut out);
+        assert_eq!(out, b"CLIENT_ERROR empty command\r\n");
+
+        out.clear();
+        BadRequest::UnknownCommand.write_wire(&mut out);
+        assert_eq!(out, b"CLIENT_ERROR unknown command\r\n");
+
+        out.clear();
+        BadRequest::LineTooLong.write_wire(&mut out);
+        assert_eq!(
+            out,
+            b"CLIENT_ERROR command line exceeds the 8 KiB line limit\r\n"
+        );
+
+        // The legacy owned path produces the same bytes for the same error.
+        assert_eq!(
+            Response::ClientError(BadRequest::UnknownCommand.message().to_string()).to_bytes(),
+            b"CLIENT_ERROR unknown command\r\n"
+        );
+    }
+
+    #[test]
+    fn value_header_writes_exact_wire_bytes() {
+        let mut out = Vec::new();
+        write_value_header(&mut out, b"k", 5, 3);
+        assert_eq!(out, b"VALUE k 5 3\r\n");
+        out.clear();
+        write_value_header(&mut out, b"long-key:123", 0, 1048576);
+        assert_eq!(out, b"VALUE long-key:123 0 1048576\r\n");
+        out.clear();
+        write_value_header(&mut out, b"m", u32::MAX, 0);
+        assert_eq!(out, b"VALUE m 4294967295 0\r\n");
+    }
+
+    #[test]
     fn responses_serialize_to_protocol_text() {
         let values = Response::Values(vec![("k".into(), 5, Bytes::from_static(b"abc"))]);
         assert_eq!(values.to_bytes(), b"VALUE k 5 3\r\nabc\r\nEND\r\n");
@@ -613,6 +1074,45 @@ mod tests {
         ));
         assert_eq!(decoded[3], DecodedRequest::Command(Command::Quit));
         assert_eq!(decoder.buffered(), 0);
+    }
+
+    #[test]
+    fn ref_decoder_handles_byte_at_a_time_streams() {
+        let stream = b"set k 1 0 5\r\nhello\r\nget k\r\nquit\r\n";
+        let mut decoder = RefDecoder::new();
+        let mut buf: Vec<u8> = Vec::new();
+        let mut decoded = 0;
+        for &b in stream.iter() {
+            buf.push(b);
+            let mut offset = 0;
+            loop {
+                let (used, step) = decoder.step(&buf[offset..]);
+                offset += used;
+                match step {
+                    Decoded::Request(request) => {
+                        match decoded {
+                            0 => assert!(matches!(
+                                request,
+                                RequestRef::Set {
+                                    key: b"k",
+                                    data: b"hello",
+                                    ..
+                                }
+                            )),
+                            1 => assert!(matches!(request, RequestRef::Get { key: b"k" })),
+                            2 => assert_eq!(request, RequestRef::Quit),
+                            n => panic!("unexpected request #{n}: {request:?}"),
+                        }
+                        decoded += 1;
+                    }
+                    Decoded::Bad(error) => panic!("{}", error.message()),
+                    Decoded::NeedMore => break,
+                }
+            }
+            buf.drain(..offset);
+        }
+        assert_eq!(decoded, 3);
+        assert!(buf.is_empty());
     }
 
     #[test]

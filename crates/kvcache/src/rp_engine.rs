@@ -10,6 +10,128 @@ use crate::engine::{CacheEngine, CacheStats, EngineReadCtx, StoreOutcome};
 use crate::item::Item;
 use crate::lock_engine::EngineConfig;
 
+/// Hashes raw key bytes exactly as the engines' `String`-keyed indexes
+/// hash their keys (std's `str` hashing feeds the bytes then a `0xff`
+/// terminator into the hasher), so a `&[u8]` borrowed from a connection's
+/// read buffer can probe the index through the raw
+/// `get_matching_prehashed` lookups: hash once, compare bytes, allocate
+/// nothing. A unit test pins this against `FnvBuildHasher`'s `str` output
+/// in case std's `str` hashing scheme ever changes.
+pub(crate) fn str_bytes_hash(bytes: &[u8]) -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    let mut hasher = FnvBuildHasher.build_hasher();
+    hasher.write(bytes);
+    hasher.write_u8(0xff);
+    hasher.finish()
+}
+
+/// What a raw (byte-keyed) index probe found, with the LRU stamp already
+/// applied to a live hit — the shared classification behind both engines'
+/// [`CacheEngine::get_ref`](crate::CacheEngine::get_ref) paths, so the
+/// hit/expired/miss accounting lives in exactly one place.
+pub(crate) enum RawProbe {
+    /// A live item, copied out inside the read-side window.
+    Live(Item),
+    /// Present but expired: the caller removes it on the writer-side slow
+    /// path.
+    Expired,
+    /// Not present.
+    Miss,
+}
+
+/// Classifies a probe result and stamps a live hit's access time.
+fn classify_probe(stored: Option<&Arc<StoredItem>>, now: Instant, stamp: u64) -> RawProbe {
+    match stored {
+        Some(stored) if !stored.item.is_expired(now) => {
+            stored.last_access.store(stamp, Ordering::Relaxed);
+            RawProbe::Live(stored.item.clone())
+        }
+        Some(_) => RawProbe::Expired,
+        None => RawProbe::Miss,
+    }
+}
+
+/// An index that can be probed by a raw hash + borrowed key bytes under
+/// either read-side witness — the seam that lets both engines share one
+/// [`CacheEngine::get_ref`](crate::CacheEngine::get_ref) body
+/// ([`probe_ref`] + [`settle_probe`]) instead of copy-pasting the
+/// dispatch and accounting.
+pub(crate) trait ByteKeyIndex {
+    /// Raw lookup: `hash` must be [`str_bytes_hash`] of `key`.
+    fn probe<'g, P: rp_hash::ReadProtect>(
+        &'g self,
+        hash: u64,
+        key: &[u8],
+        protect: &'g P,
+    ) -> Option<&'g Arc<StoredItem>>;
+
+    /// Pins an EBR guard for the fallback flavor.
+    fn pin_guard(&self) -> rp_rcu::RcuGuard<'static>;
+}
+
+impl ByteKeyIndex for RpHashMap<String, Arc<StoredItem>, FnvBuildHasher> {
+    fn probe<'g, P: rp_hash::ReadProtect>(
+        &'g self,
+        hash: u64,
+        key: &[u8],
+        protect: &'g P,
+    ) -> Option<&'g Arc<StoredItem>> {
+        self.get_matching_prehashed(hash, |k| k.as_bytes() == key, protect)
+    }
+
+    fn pin_guard(&self) -> rp_rcu::RcuGuard<'static> {
+        self.pin()
+    }
+}
+
+/// Probes `index` for `key` through the context's read-side flavor — the
+/// barrier-free QSBR handle when the worker has one, a pinned EBR guard
+/// otherwise — and classifies the result (stamping a live hit's access
+/// time).
+pub(crate) fn probe_ref(
+    index: &impl ByteKeyIndex,
+    ctx: &EngineReadCtx,
+    hash: u64,
+    key: &[u8],
+    now: Instant,
+    stamp: u64,
+) -> RawProbe {
+    match ctx.qsbr_handle() {
+        Some(handle) => classify_probe(index.probe(hash, key, handle), now, stamp),
+        None => {
+            let guard = index.pin_guard();
+            classify_probe(index.probe(hash, key, &guard), now, stamp)
+        }
+    }
+}
+
+/// Applies the shared hit/miss/expired accounting for a raw probe.
+/// `remove_expired` is the engine-specific writer-side removal (cold
+/// path); it returns whether the expired entry was actually removed.
+pub(crate) fn settle_probe(
+    stats: &CacheStats,
+    probe: RawProbe,
+    remove_expired: impl FnOnce() -> bool,
+) -> Option<Item> {
+    match probe {
+        RawProbe::Live(item) => {
+            stats.bump(&stats.get_hits);
+            Some(item)
+        }
+        RawProbe::Miss => {
+            stats.bump(&stats.get_misses);
+            None
+        }
+        RawProbe::Expired => {
+            if remove_expired() {
+                stats.bump(&stats.expirations);
+            }
+            stats.bump(&stats.get_misses);
+            None
+        }
+    }
+}
+
 /// A stored item plus its approximate-LRU access stamp.
 ///
 /// The payload is immutable after publication; only the access stamp is
@@ -192,6 +314,22 @@ impl CacheEngine for RpEngine {
         }
     }
 
+    fn get_ref(&self, key: &[u8], ctx: &mut EngineReadCtx) -> Option<Item> {
+        // One hashing pass over the borrowed key bytes serves the whole
+        // lookup; the key is never copied and never re-validated.
+        let hash = str_bytes_hash(key);
+        let now = Instant::now();
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let probe = probe_ref(&self.index, ctx, hash, key, now, stamp);
+        settle_probe(&self.stats, probe, || {
+            // Expired: remove through the writer side (cold path; the
+            // UTF-8 view is free — stored keys are always valid UTF-8).
+            std::str::from_utf8(key)
+                .map(|key| self.index.remove_prehashed(hash, key))
+                .unwrap_or(false)
+        })
+    }
+
     fn set(&self, key: &str, item: Item) -> StoreOutcome {
         if item.len() > self.config.max_item_size {
             return StoreOutcome::NotStored;
@@ -246,6 +384,49 @@ impl CacheEngine for RpEngine {
 mod tests {
     use super::*;
     use std::time::Duration;
+
+    #[test]
+    fn str_bytes_hash_matches_the_index_hasher() {
+        use std::hash::BuildHasher;
+        // The byte-keyed hot path relies on hashing raw bytes exactly as
+        // the String-keyed index hashes its keys. If std's str hashing
+        // scheme ever changes, this test fails before any lookup can miss.
+        for key in ["", "k", "memtier-12345", "a:b:c_d-e", "日本語"] {
+            assert_eq!(
+                str_bytes_hash(key.as_bytes()),
+                FnvBuildHasher.hash_one(key),
+                "{key:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn get_ref_matches_get_for_both_read_sides() {
+        use crate::engine::{EngineReadCtx, ReadSide};
+        std::thread::spawn(|| {
+            let engine = RpEngine::new();
+            engine.set("present", Item::new(9, "val"));
+            let mut stale = Item::new(0, "old");
+            stale.expires_at = Some(Instant::now() - Duration::from_millis(1));
+            engine.set("stale", stale);
+
+            for read_side in [ReadSide::Ebr, ReadSide::Qsbr] {
+                let mut ctx = EngineReadCtx::new(read_side);
+                let hit = engine.get_ref(b"present", &mut ctx).unwrap();
+                assert_eq!(hit.flags, 9);
+                assert_eq!(&hit.data[..], b"val");
+                assert_eq!(engine.get_ref(b"missing", &mut ctx), None);
+                assert_eq!(engine.get_ref(b"\xff\xfe not utf8", &mut ctx), None);
+                ctx.quiescent();
+            }
+            // The expired entry fell back to the slow path and was removed.
+            assert_eq!(engine.get_ref(b"stale", &mut EngineReadCtx::ebr()), None);
+            assert_eq!(engine.len(), 1);
+            assert!(engine.stats().expirations.load(Ordering::Relaxed) >= 1);
+        })
+        .join()
+        .unwrap();
+    }
 
     #[test]
     fn get_set_delete_round_trip() {

@@ -17,9 +17,14 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use bytes::Bytes;
+use rp_net::BufWrite;
+
 use crate::engine::{CacheEngine, EngineReadCtx, ReadSide, StoreOutcome};
 use crate::event_server::EventServer;
-use crate::protocol::{Command, DecodedRequest, RequestDecoder, Response};
+use crate::protocol::{
+    write_value_header, Command, DecodedRequest, RequestDecoder, RequestRef, Response,
+};
 
 /// Version string reported by the `version` command.
 pub const SERVER_VERSION: &str = "relativist-kvcache 0.1.0";
@@ -50,6 +55,13 @@ pub struct ServerConfig {
     pub read_side: ReadSide,
     /// How long a graceful event-loop shutdown keeps flushing responses.
     pub drain_timeout: Duration,
+    /// Close event-loop connections that make no progress for this long
+    /// (`None` never reaps; threaded mode relies on its read timeout).
+    pub idle_timeout: Option<Duration>,
+    /// Close an event-loop connection after serving this many requests
+    /// (`None` is unlimited). A defensive per-peer budget for public
+    /// deployments.
+    pub max_requests_per_conn: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -60,6 +72,8 @@ impl Default for ServerConfig {
             workers: 2,
             read_side: ReadSide::default(),
             drain_timeout: Duration::from_secs(5),
+            idle_timeout: None,
+            max_requests_per_conn: None,
         }
     }
 }
@@ -144,14 +158,9 @@ pub fn start_server(
 ) -> std::io::Result<ServerHandle> {
     match config.mode {
         ServerMode::Threaded => CacheServer::start(engine, config.port).map(ServerHandle::Threaded),
-        ServerMode::EventLoop => EventServer::start_with_read_side(
-            engine,
-            config.port,
-            config.workers,
-            config.read_side,
-            config.drain_timeout,
-        )
-        .map(ServerHandle::EventLoop),
+        ServerMode::EventLoop => {
+            EventServer::start_from(engine, config).map(ServerHandle::EventLoop)
+        }
     }
 }
 
@@ -288,6 +297,99 @@ fn serve_connection(
             Err(e) => return Err(e),
         }
     }
+}
+
+/// Executes a **borrowed** request against the engine, serialising the
+/// reply straight into `out`. Returns `true` when the connection should
+/// close (`quit`).
+///
+/// This is the zero-allocation request pipeline the event-loop server
+/// runs: keys stay `&[u8]` slices into the connection's read buffer
+/// ([`CacheEngine::get_ref`] hashes them once and probes the index with no
+/// copy), `VALUE` headers are written digit-by-digit into the connection's
+/// pooled output queue, and payloads ride as reference-counted [`Bytes`]
+/// (copied only when small enough that coalescing beats scatter-gather).
+/// A steady-state GET or miss performs no heap allocation at all; SETs
+/// allocate only the key and payload that go *into* the table. The cold
+/// commands (`stats`, `version`) still build owned [`Response`]s.
+pub fn execute_ref(
+    engine: &dyn CacheEngine,
+    request: &RequestRef<'_>,
+    ctx: &mut EngineReadCtx,
+    out: &mut impl BufWrite,
+) -> bool {
+    match request {
+        RequestRef::Get { key } => {
+            if let Some(item) = engine.get_ref(key, ctx) {
+                write_value_header(out, key, item.flags, item.data.len());
+                out.put_shared(item.data);
+                out.put(b"\r\n");
+            }
+            out.put(b"END\r\n");
+        }
+        RequestRef::GetMulti(keys) => {
+            for key in keys.iter() {
+                if let Some(item) = engine.get_ref(key, ctx) {
+                    write_value_header(out, key, item.flags, item.data.len());
+                    out.put_shared(item.data);
+                    out.put(b"\r\n");
+                }
+            }
+            out.put(b"END\r\n");
+        }
+        RequestRef::Set {
+            key,
+            flags,
+            exptime,
+            data,
+            noreply,
+        } => {
+            // Keys are sub-slices of a validated UTF-8 line; the engine API
+            // takes &str, so re-view (a scan on this cold-enough write
+            // path, never a copy).
+            let outcome = match std::str::from_utf8(key) {
+                Ok(key) => engine.set(
+                    key,
+                    crate::Item::with_ttl(
+                        *flags,
+                        Bytes::copy_from_slice(data),
+                        Duration::from_secs(*exptime),
+                    ),
+                ),
+                Err(_) => StoreOutcome::NotStored,
+            };
+            if !noreply {
+                out.put(match outcome {
+                    StoreOutcome::Stored => &b"STORED\r\n"[..],
+                    StoreOutcome::NotStored => &b"NOT_STORED\r\n"[..],
+                });
+            }
+        }
+        RequestRef::Delete { key, noreply } => {
+            let deleted = std::str::from_utf8(key)
+                .map(|key| engine.delete(key))
+                .unwrap_or(false);
+            if !noreply {
+                out.put(if deleted {
+                    &b"DELETED\r\n"[..]
+                } else {
+                    &b"NOT_FOUND\r\n"[..]
+                });
+            }
+        }
+        RequestRef::Stats => {
+            if let Some(reply) = execute_via(engine, Command::Stats, ctx) {
+                reply.write_to(out);
+            }
+        }
+        RequestRef::Version => {
+            out.put(b"VERSION ");
+            out.put(SERVER_VERSION.as_bytes());
+            out.put(b"\r\n");
+        }
+        RequestRef::Quit => return true,
+    }
+    false
 }
 
 /// Executes a command against the engine, returning the reply to send (or

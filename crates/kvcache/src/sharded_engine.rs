@@ -14,7 +14,22 @@ use rp_shard::{ShardPolicy, ShardedRpMap};
 use crate::engine::{CacheEngine, CacheStats, EngineReadCtx, StoreOutcome};
 use crate::item::Item;
 use crate::lock_engine::EngineConfig;
-use crate::rp_engine::StoredItem;
+use crate::rp_engine::{ByteKeyIndex, StoredItem};
+
+impl ByteKeyIndex for ShardedRpMap<String, Arc<StoredItem>> {
+    fn probe<'g, P: rp_hash::ReadProtect>(
+        &'g self,
+        hash: u64,
+        key: &[u8],
+        protect: &'g P,
+    ) -> Option<&'g Arc<StoredItem>> {
+        self.get_matching_prehashed(hash, |k| k.as_bytes() == key, protect)
+    }
+
+    fn pin_guard(&self) -> rp_rcu::RcuGuard<'static> {
+        self.pin()
+    }
+}
 
 /// A cache engine whose index is a [`ShardedRpMap`].
 ///
@@ -319,6 +334,25 @@ impl CacheEngine for ShardedRpEngine {
             .collect()
     }
 
+    fn get_ref(&self, key: &[u8], ctx: &mut EngineReadCtx) -> Option<Item> {
+        use crate::rp_engine::{probe_ref, settle_probe, str_bytes_hash};
+        // One hashing pass drives shard routing and the in-shard probe; the
+        // borrowed key is never copied. Dispatch and accounting are shared
+        // with RpEngine (`probe_ref`/`settle_probe`); only the index type
+        // and the expired-removal call differ.
+        let hash = str_bytes_hash(key);
+        let now = Instant::now();
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let probe = probe_ref(&self.index, ctx, hash, key, now, stamp);
+        settle_probe(&self.stats, probe, || {
+            // Expired: remove through the writer side (cold path; the
+            // UTF-8 view is free — stored keys are always valid UTF-8).
+            std::str::from_utf8(key)
+                .map(|key| self.index.remove(key))
+                .unwrap_or(false)
+        })
+    }
+
     fn set(&self, key: &str, item: Item) -> StoreOutcome {
         if item.len() > self.config.max_item_size {
             return StoreOutcome::NotStored;
@@ -386,6 +420,32 @@ mod tests {
         assert_eq!(engine.get("k"), None);
         assert_eq!(engine.stats().hits(), 1);
         assert_eq!(engine.stats().misses(), 2);
+    }
+
+    #[test]
+    fn get_ref_matches_get_across_shards_and_read_sides() {
+        use crate::engine::{EngineReadCtx, ReadSide};
+        std::thread::spawn(|| {
+            let engine = ShardedRpEngine::with_shards_and_capacity(8, 10_000);
+            for i in 0..200 {
+                engine.set(&format!("k{i}"), Item::new(i, format!("v{i}")));
+            }
+            for read_side in [ReadSide::Ebr, ReadSide::Qsbr] {
+                let mut ctx = EngineReadCtx::new(read_side);
+                for i in 0..200_u32 {
+                    let key = format!("k{i}");
+                    assert_eq!(
+                        engine.get_ref(key.as_bytes(), &mut ctx),
+                        engine.get(&key),
+                        "{key} via {read_side:?}"
+                    );
+                }
+                assert_eq!(engine.get_ref(b"missing", &mut ctx), None);
+                ctx.quiescent();
+            }
+        })
+        .join()
+        .unwrap();
     }
 
     #[test]

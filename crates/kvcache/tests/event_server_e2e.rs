@@ -215,6 +215,66 @@ fn graceful_shutdown_answers_every_received_request() {
 }
 
 #[test]
+fn idle_connections_are_reaped_while_live_ones_are_served() {
+    let config = ServerConfig {
+        // Generous timeout-to-ping ratio (16:1) so a scheduler stall on a
+        // loaded CI runner cannot reap the live connection and flake the
+        // test.
+        idle_timeout: Some(Duration::from_millis(800)),
+        ..event_loop_config(2)
+    };
+    let mut server = start_server(Arc::new(RpEngine::new()), &config).unwrap();
+
+    let mut idle = TcpStream::connect(server.addr()).unwrap();
+    let mut live = CacheClient::connect(server.addr()).unwrap();
+    assert!(live.set("k", 0, 0, b"v").unwrap());
+
+    // The live client keeps issuing GETs well past the idle timeout; the
+    // idle connection never sends a byte.
+    for _ in 0..30 {
+        assert!(live.get("k").unwrap().is_some());
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    idle.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut got = Vec::new();
+    match idle.read_to_end(&mut got) {
+        Ok(_) => assert!(got.is_empty(), "idle connection received data: {got:?}"),
+        Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::ConnectionReset, "{e}"),
+    }
+    assert!(live.get("k").unwrap().is_some(), "live connection survives");
+    server.shutdown();
+}
+
+#[test]
+fn request_budget_answers_exactly_n_then_closes() {
+    let config = ServerConfig {
+        max_requests_per_conn: Some(3),
+        ..event_loop_config(1)
+    };
+    let mut server = start_server(Arc::new(RpEngine::new()), &config).unwrap();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    // Five pipelined requests; the budget allows three responses, already
+    // answered requests still flush, then the server closes.
+    stream
+        .write_all(b"version\r\nversion\r\nversion\r\nversion\r\nversion\r\n")
+        .unwrap();
+    let mut got = Vec::new();
+    let mut reader = BufReader::new(stream);
+    reader.read_to_end(&mut got).unwrap();
+    let text = String::from_utf8(got).unwrap();
+    assert_eq!(
+        text.matches("VERSION").count(),
+        3,
+        "exactly the budget is served: {text:?}"
+    );
+    // A fresh connection gets a fresh budget.
+    let mut fresh = CacheClient::connect(server.addr()).unwrap();
+    assert!(fresh.version().unwrap().contains("relativist"));
+    server.shutdown();
+}
+
+#[test]
 fn shutdown_is_idempotent_and_drop_is_safe() {
     let engine: Arc<dyn CacheEngine> = Arc::new(RpEngine::new());
     let mut server = start_server(Arc::clone(&engine), &event_loop_config(2)).unwrap();

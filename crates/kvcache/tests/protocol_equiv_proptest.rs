@@ -1,0 +1,213 @@
+//! Equivalence proptests between the two protocol representations: the
+//! borrowed zero-allocation decoder ([`RefDecoder`] / [`RequestRef`]) and
+//! the legacy owned decoder ([`RequestDecoder`] / [`Command`]) must agree
+//! on every byte stream, at every chunking — and the responses each path
+//! serialises must match **byte for byte**.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use rp_kvcache::protocol::{
+    Command, Decoded, DecodedRequest, RefDecoder, RequestDecoder, Response,
+};
+use rp_kvcache::server::{execute, execute_ref};
+use rp_kvcache::{CacheEngine, EngineReadCtx, LockEngine};
+
+fn key_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9:_-]{1,32}"
+}
+
+fn value_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..256)
+}
+
+/// Renders a command back into wire format (the inverse of the parser).
+fn encode(cmd: &Command) -> Vec<u8> {
+    match cmd {
+        Command::Get(keys) => format!("get {}\r\n", keys.join(" ")).into_bytes(),
+        Command::Set {
+            key,
+            flags,
+            exptime,
+            data,
+            noreply,
+        } => {
+            let mut out = format!(
+                "set {key} {flags} {exptime} {}{}\r\n",
+                data.len(),
+                if *noreply { " noreply" } else { "" }
+            )
+            .into_bytes();
+            out.extend_from_slice(data);
+            out.extend_from_slice(b"\r\n");
+            out
+        }
+        Command::Delete { key, noreply } => {
+            format!("delete {key}{}\r\n", if *noreply { " noreply" } else { "" }).into_bytes()
+        }
+        Command::Stats => b"stats\r\n".to_vec(),
+        Command::Version => b"version\r\n".to_vec(),
+        Command::Quit => b"quit\r\n".to_vec(),
+    }
+}
+
+/// Commands without `quit` (which ends a session and would truncate the
+/// comparison streams asymmetrically mid-test; quit parity is covered by
+/// the e2e suite).
+fn command_strategy() -> impl Strategy<Value = Command> {
+    prop_oneof![
+        proptest::collection::vec(key_strategy(), 1..4).prop_map(Command::Get),
+        (
+            key_strategy(),
+            any::<u32>(),
+            0_u64..100_000,
+            value_strategy(),
+            any::<bool>()
+        )
+            .prop_map(|(key, flags, exptime, data, noreply)| Command::Set {
+                key,
+                flags,
+                exptime,
+                data: Bytes::from(data),
+                noreply,
+            }),
+        (key_strategy(), any::<bool>()).prop_map(|(key, noreply)| Command::Delete { key, noreply }),
+        Just(Command::Stats),
+        Just(Command::Version),
+    ]
+}
+
+/// A line that parses as Invalid (never Incomplete), to exercise the error
+/// paths of both decoders identically.
+fn junk_line_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        Just(b"bogus nonsense\r\n".to_vec()),
+        Just(b"get\r\n".to_vec()),
+        Just(b"delete\r\n".to_vec()),
+        Just(b"set k x 0 5\r\n".to_vec()),
+        Just(b"set missing fields\r\n".to_vec()),
+        Just(b"\r\n".to_vec()),
+    ]
+}
+
+/// One element of a test stream: a valid command or a malformed line.
+fn stream_element() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        3 => command_strategy().prop_map(|cmd| encode(&cmd)),
+        1 => junk_line_strategy(),
+    ]
+}
+
+/// Runs the borrowed decoder over `stream` delivered in `chunks`, the way
+/// the event server does: decode in place, handle, drain. Returns the
+/// decoded sequence in owned form plus the serialised responses produced
+/// through `execute_ref` against `engine`.
+fn drive_borrowed(chunks: &[&[u8]], engine: &dyn CacheEngine) -> (Vec<DecodedRequest>, Vec<u8>) {
+    let mut decoder = RefDecoder::new();
+    let mut input: Vec<u8> = Vec::new();
+    let mut decoded = Vec::new();
+    let mut replies: Vec<u8> = Vec::new();
+    let mut ctx = EngineReadCtx::ebr();
+    for chunk in chunks {
+        input.extend_from_slice(chunk);
+        let mut offset = 0;
+        loop {
+            let (used, step) = decoder.step(&input[offset..]);
+            offset += used;
+            match step {
+                Decoded::Request(request) => {
+                    decoded.push(DecodedRequest::Command(request.to_owned()));
+                    execute_ref(engine, &request, &mut ctx, &mut replies);
+                }
+                Decoded::Bad(error) => {
+                    decoded.push(DecodedRequest::Invalid {
+                        reason: error.message().to_string(),
+                    });
+                    error.write_wire(&mut replies);
+                }
+                Decoded::NeedMore => break,
+            }
+        }
+        input.drain(..offset);
+    }
+    (decoded, replies)
+}
+
+/// The owned reference pipeline: [`RequestDecoder`] + [`execute`] +
+/// [`Response::to_bytes`], exactly as the threaded server serves it.
+fn drive_owned(chunks: &[&[u8]], engine: &dyn CacheEngine) -> (Vec<DecodedRequest>, Vec<u8>) {
+    let mut decoder = RequestDecoder::new();
+    let mut decoded = Vec::new();
+    let mut replies: Vec<u8> = Vec::new();
+    for chunk in chunks {
+        decoder.feed(chunk);
+        for request in decoder.by_ref() {
+            decoded.push(request.clone());
+            match request {
+                DecodedRequest::Command(command) => {
+                    if let Some(reply) = execute(engine, command) {
+                        replies.extend_from_slice(&reply.to_bytes());
+                    }
+                }
+                DecodedRequest::Invalid { reason } => {
+                    replies.extend_from_slice(&Response::ClientError(reason).to_bytes());
+                }
+            }
+        }
+    }
+    (decoded, replies)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn borrowed_and_owned_decoders_agree_at_every_split(
+        elements in proptest::collection::vec(stream_element(), 1..5)
+    ) {
+        let stream: Vec<u8> = elements.concat();
+        // Every two-chunk split: mid-verb, mid-CRLF, mid-data-block, …
+        for split in 0..=stream.len() {
+            let chunks = [&stream[..split], &stream[split..]];
+            let engine_a = LockEngine::new();
+            let engine_b = LockEngine::new();
+            let (owned, owned_bytes) = drive_owned(&chunks, &engine_a);
+            let (borrowed, borrowed_bytes) = drive_borrowed(&chunks, &engine_b);
+            prop_assert_eq!(&owned, &borrowed, "split at byte {}", split);
+            prop_assert_eq!(
+                &owned_bytes,
+                &borrowed_bytes,
+                "response bytes diverged at split {}",
+                split
+            );
+        }
+    }
+
+    #[test]
+    fn borrowed_and_owned_decoders_agree_at_arbitrary_chunkings(
+        elements in proptest::collection::vec(stream_element(), 1..8),
+        split in 1_usize..64
+    ) {
+        let stream: Vec<u8> = elements.concat();
+        let chunks: Vec<&[u8]> = stream.chunks(split).collect();
+        let engine_a = LockEngine::new();
+        let engine_b = LockEngine::new();
+        let (owned, owned_bytes) = drive_owned(&chunks, &engine_a);
+        let (borrowed, borrowed_bytes) = drive_borrowed(&chunks, &engine_b);
+        prop_assert_eq!(&owned, &borrowed);
+        prop_assert_eq!(&owned_bytes, &borrowed_bytes);
+    }
+
+    #[test]
+    fn arbitrary_junk_never_diverges_or_panics(
+        chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 0..12)
+    ) {
+        let refs: Vec<&[u8]> = chunks.iter().map(Vec::as_slice).collect();
+        let engine_a = LockEngine::new();
+        let engine_b = LockEngine::new();
+        let (owned, owned_bytes) = drive_owned(&refs, &engine_a);
+        let (borrowed, borrowed_bytes) = drive_borrowed(&refs, &engine_b);
+        prop_assert_eq!(&owned, &borrowed);
+        prop_assert_eq!(&owned_bytes, &borrowed_bytes);
+    }
+}

@@ -1,10 +1,40 @@
-//! Per-connection output buffering with partial-write tracking and a
-//! backpressure watermark.
+//! Per-connection output buffering with partial-write tracking, a
+//! backpressure watermark, and pooled zero-allocation response writes.
 
 use std::collections::VecDeque;
 use std::io::{self, Write};
 
 use bytes::Bytes;
+
+use crate::pool::BufPool;
+
+/// A byte sink responses are serialised into directly.
+///
+/// This is the seam that makes the serving hot path allocation-free:
+/// protocol code writes headers and payloads *into* the connection's
+/// [`WriteBuf`] (via [`PooledBuf`], which recycles segment buffers through
+/// the worker's [`BufPool`]) instead of assembling a fresh `Vec<u8>` per
+/// response and copying it in. `Vec<u8>` implements the trait too, so the
+/// same serialisation code serves buffered baseline paths and tests.
+pub trait BufWrite {
+    /// Appends raw bytes to the sink.
+    fn put(&mut self, bytes: &[u8]);
+
+    /// Appends a reference-counted segment. Implementations may copy small
+    /// segments (keeping pipelined replies in one `write(2)`) and queue
+    /// large ones by reference without copying the payload.
+    fn put_shared(&mut self, bytes: Bytes);
+}
+
+impl BufWrite for Vec<u8> {
+    fn put(&mut self, bytes: &[u8]) {
+        self.extend_from_slice(bytes);
+    }
+
+    fn put_shared(&mut self, bytes: Bytes) {
+        self.extend_from_slice(&bytes);
+    }
+}
 
 /// Result of flushing a [`WriteBuf`] to a socket.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,11 +48,13 @@ pub enum FlushState {
 
 /// A queue of response segments awaiting transmission.
 ///
-/// Responses are pushed as whole segments ([`Vec<u8>`] or [`Bytes`]);
-/// [`WriteBuf::flush_to`] writes them out honouring short writes — a
-/// partially written front segment is resumed at its cursor, never
-/// re-sent. Small segments are coalesced into the tail to keep pipelined
-/// replies from degenerating into one tiny `write(2)` each.
+/// Responses are pushed as whole segments ([`Vec<u8>`] or [`Bytes`]) or
+/// written incrementally through [`PooledBuf`]; [`WriteBuf::flush_to`]
+/// writes them out honouring short writes — a partially written front
+/// segment is resumed at its cursor, never re-sent — and returns finished
+/// owned segments to the worker's [`BufPool`] so steady-state serving
+/// allocates nothing. Small segments are coalesced into the tail to keep
+/// pipelined replies from degenerating into one tiny `write(2)` each.
 pub struct WriteBuf {
     segments: VecDeque<Segment>,
     /// Bytes of the front segment already written.
@@ -48,7 +80,12 @@ impl Segment {
 
 /// Below this size a pushed segment is copied into the previous tail
 /// segment instead of queued separately.
-const COALESCE_LIMIT: usize = 1024;
+pub(crate) const COALESCE_LIMIT: usize = 1024;
+
+/// An owned tail segment stops accepting appended bytes once it holds this
+/// much; the next write starts a fresh (pooled) segment. Bounds how much
+/// capacity a single recycled buffer can accrete.
+const SEGMENT_SPLIT: usize = 32 * 1024;
 
 impl WriteBuf {
     /// Creates an empty buffer. `high_watermark` is the queue size (bytes)
@@ -89,6 +126,32 @@ impl WriteBuf {
         self.segments.push_back(Segment::Shared(bytes));
     }
 
+    /// Appends raw bytes to the owned tail segment, starting a new segment
+    /// from `pool` when the tail is shared, full, or absent. This is the
+    /// allocation-free write primitive behind [`PooledBuf::put`].
+    fn put_pooled(&mut self, bytes: &[u8], pool: &mut BufPool) {
+        if bytes.is_empty() {
+            return;
+        }
+        self.len += bytes.len();
+        match self.segments.back_mut() {
+            Some(Segment::Owned(tail)) if tail.len() < SEGMENT_SPLIT => {
+                tail.extend_from_slice(bytes);
+            }
+            _ => {
+                let mut seg = pool.take();
+                seg.extend_from_slice(bytes);
+                self.segments.push_back(Segment::Owned(seg));
+            }
+        }
+    }
+
+    /// Borrows the buffer together with the worker's segment pool as a
+    /// [`BufWrite`] sink.
+    pub fn with_pool<'a>(&'a mut self, pool: &'a mut BufPool) -> PooledBuf<'a> {
+        PooledBuf { buf: self, pool }
+    }
+
     /// Unwritten bytes queued.
     pub fn len(&self) -> usize {
         self.len
@@ -110,8 +173,13 @@ impl WriteBuf {
     ///
     /// Retries on `EINTR`, resumes partial writes at the saved cursor,
     /// returns [`FlushState::Blocked`] on `EWOULDBLOCK`, and surfaces any
-    /// other error (a zero-length write is reported as `WriteZero`).
-    pub fn flush_to(&mut self, sink: &mut impl Write) -> io::Result<FlushState> {
+    /// other error (a zero-length write is reported as `WriteZero`). Owned
+    /// segments that finish flushing are recycled into `pool`.
+    pub fn flush_to(
+        &mut self,
+        sink: &mut impl Write,
+        pool: &mut BufPool,
+    ) -> io::Result<FlushState> {
         while let Some(front) = self.segments.front() {
             let pending = &front.as_slice()[self.cursor..];
             debug_assert!(!pending.is_empty());
@@ -126,7 +194,9 @@ impl WriteBuf {
                     self.cursor += n;
                     self.len -= n;
                     if self.cursor == front.as_slice().len() {
-                        self.segments.pop_front();
+                        if let Some(Segment::Owned(done)) = self.segments.pop_front() {
+                            pool.give(done);
+                        }
                         self.cursor = 0;
                     }
                 }
@@ -137,11 +207,69 @@ impl WriteBuf {
         }
         Ok(FlushState::Drained)
     }
+
+    /// Returns every queued segment's buffer to `pool` (connection
+    /// teardown; unwritten bytes are abandoned).
+    pub(crate) fn recycle_into(&mut self, pool: &mut BufPool) {
+        while let Some(seg) = self.segments.pop_front() {
+            if let Segment::Owned(buf) = seg {
+                pool.give(buf);
+            }
+        }
+        self.cursor = 0;
+        self.len = 0;
+    }
+}
+
+/// A [`WriteBuf`] borrowed together with its worker's [`BufPool`]: the
+/// [`BufWrite`] sink handed to services, writing straight into the
+/// connection's output queue with pooled segment buffers.
+pub struct PooledBuf<'a> {
+    buf: &'a mut WriteBuf,
+    pool: &'a mut BufPool,
+}
+
+impl PooledBuf<'_> {
+    /// Queues a pre-assembled owned segment (legacy services).
+    pub fn push(&mut self, bytes: Vec<u8>) {
+        self.buf.push(bytes);
+    }
+
+    /// Unwritten bytes queued on the underlying [`WriteBuf`].
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl BufWrite for PooledBuf<'_> {
+    fn put(&mut self, bytes: &[u8]) {
+        self.buf.put_pooled(bytes, self.pool);
+    }
+
+    fn put_shared(&mut self, bytes: Bytes) {
+        // Small payloads coalesce into the tail (one write(2) covers many
+        // pipelined replies); large ones are queued by reference so the
+        // payload is never copied.
+        if bytes.len() <= COALESCE_LIMIT {
+            self.put(&bytes);
+        } else {
+            self.buf.push_shared(bytes);
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn test_pool() -> BufPool {
+        BufPool::new(16, 1 << 20)
+    }
 
     /// A sink that accepts at most `quota` bytes per write call and can be
     /// told to report `WouldBlock` after a total budget.
@@ -168,6 +296,7 @@ mod tests {
 
     #[test]
     fn short_writes_resume_at_the_cursor() {
+        let mut pool = test_pool();
         let mut buf = WriteBuf::new(1 << 20);
         buf.push(b"hello ".to_vec());
         buf.push_shared(Bytes::from_static(b"world"));
@@ -176,13 +305,17 @@ mod tests {
             quota: 3,
             budget: usize::MAX,
         };
-        assert_eq!(buf.flush_to(&mut sink).unwrap(), FlushState::Drained);
+        assert_eq!(
+            buf.flush_to(&mut sink, &mut pool).unwrap(),
+            FlushState::Drained
+        );
         assert_eq!(sink.accepted, b"hello world");
         assert!(buf.is_empty());
     }
 
     #[test]
     fn would_block_preserves_unwritten_bytes() {
+        let mut pool = test_pool();
         let mut buf = WriteBuf::new(1 << 20);
         buf.push(vec![b'x'; 2000]);
         buf.push(vec![b'y'; 2000]);
@@ -191,11 +324,17 @@ mod tests {
             quota: 512,
             budget: 1500,
         };
-        assert_eq!(buf.flush_to(&mut sink).unwrap(), FlushState::Blocked);
+        assert_eq!(
+            buf.flush_to(&mut sink, &mut pool).unwrap(),
+            FlushState::Blocked
+        );
         assert_eq!(buf.len(), 2500);
         // Unblock and finish.
         sink.budget = usize::MAX;
-        assert_eq!(buf.flush_to(&mut sink).unwrap(), FlushState::Drained);
+        assert_eq!(
+            buf.flush_to(&mut sink, &mut pool).unwrap(),
+            FlushState::Drained
+        );
         assert_eq!(sink.accepted.len(), 4000);
         assert_eq!(&sink.accepted[..2000], &vec![b'x'; 2000][..]);
         assert_eq!(&sink.accepted[2000..], &vec![b'y'; 2000][..]);
@@ -217,6 +356,7 @@ mod tests {
 
     #[test]
     fn watermark_reports_backpressure() {
+        let mut pool = test_pool();
         let mut buf = WriteBuf::new(100);
         assert!(!buf.over_watermark());
         buf.push(vec![0; 101]);
@@ -226,7 +366,84 @@ mod tests {
             quota: usize::MAX,
             budget: usize::MAX,
         };
-        buf.flush_to(&mut sink).unwrap();
+        buf.flush_to(&mut sink, &mut pool).unwrap();
         assert!(!buf.over_watermark());
+    }
+
+    #[test]
+    fn pooled_writes_coalesce_and_recycle_through_the_pool() {
+        let mut pool = test_pool();
+        let mut buf = WriteBuf::new(1 << 20);
+        {
+            let mut out = buf.with_pool(&mut pool);
+            for _ in 0..50 {
+                out.put(b"VALUE k 0 3\r\n");
+                out.put_shared(Bytes::from_static(b"abc"));
+                out.put(b"\r\nEND\r\n");
+            }
+        }
+        assert_eq!(buf.segments.len(), 1, "small replies share one segment");
+        let expected = 50 * (b"VALUE k 0 3\r\nabc\r\nEND\r\n".len());
+        assert_eq!(buf.len(), expected);
+
+        let mut sink = Throttled {
+            accepted: Vec::new(),
+            quota: usize::MAX,
+            budget: usize::MAX,
+        };
+        buf.flush_to(&mut sink, &mut pool).unwrap();
+        assert_eq!(sink.accepted.len(), expected);
+        assert_eq!(pool.pooled(), 1, "flushed segment returns to the pool");
+
+        // The next response reuses the recycled buffer: no allocation.
+        let pooled_ptr = {
+            let mut out = buf.with_pool(&mut pool);
+            out.put(b"STORED\r\n");
+            buf.segments.back().unwrap().as_slice().as_ptr()
+        };
+        assert_eq!(pool.pooled(), 0);
+        buf.flush_to(&mut sink, &mut pool).unwrap();
+        assert_eq!(pool.pooled(), 1);
+        let again = pool.take();
+        assert_eq!(again.as_ptr(), pooled_ptr);
+    }
+
+    #[test]
+    fn large_shared_payloads_are_queued_by_reference() {
+        let mut pool = test_pool();
+        let mut buf = WriteBuf::new(1 << 20);
+        let payload = Bytes::from(vec![b'p'; 8192]);
+        let payload_ptr = payload.as_ptr();
+        {
+            let mut out = buf.with_pool(&mut pool);
+            out.put(b"VALUE big 0 8192\r\n");
+            out.put_shared(payload);
+            out.put(b"\r\nEND\r\n");
+        }
+        assert_eq!(buf.segments.len(), 3, "header / shared payload / trailer");
+        match &buf.segments[1] {
+            Segment::Shared(b) => assert_eq!(b.as_ptr(), payload_ptr, "payload not copied"),
+            Segment::Owned(_) => panic!("large payload must stay shared"),
+        }
+    }
+
+    #[test]
+    fn recycle_into_returns_segments_and_clears() {
+        let mut pool = test_pool();
+        let mut buf = WriteBuf::new(1 << 20);
+        buf.with_pool(&mut pool).put(b"abandoned");
+        buf.push_shared(Bytes::from(vec![1_u8; 2048]));
+        buf.recycle_into(&mut pool);
+        assert!(buf.is_empty());
+        assert_eq!(pool.pooled(), 1);
+    }
+
+    #[test]
+    fn vec_is_a_bufwrite_sink() {
+        let mut out = Vec::new();
+        out.put(b"VALUE k 1 2\r\n");
+        out.put_shared(Bytes::from_static(b"hi"));
+        out.put(b"\r\nEND\r\n");
+        assert_eq!(out, b"VALUE k 1 2\r\nhi\r\nEND\r\n");
     }
 }

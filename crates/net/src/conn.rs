@@ -3,17 +3,19 @@
 use std::io::{self, Read};
 use std::net::TcpStream;
 use std::os::unix::io::{AsRawFd, RawFd};
+use std::time::Instant;
 
 use crate::buffer::{FlushState, WriteBuf};
 use crate::poller::{EPOLLIN, EPOLLOUT, EPOLLRDHUP};
-use crate::{Action, NetConfig, Service};
+use crate::pool::BufPool;
+use crate::{Action, ConnIo, NetConfig, Service};
 
 /// Connection lifecycle.
 ///
 /// ```text
 ///        reads enabled            service said Close, peer EOF,
-///        (unless backpressured)   or server shutdown
-///   Open ────────────────────────────────────────────▶ Draining
+///        (unless backpressured)   request budget spent, idle reap,
+///   Open ──────────────────────── or server shutdown ─▶ Draining
 ///     │                                                   │ flush
 ///     │ io error                                          ▼
 ///     └─────────────────────────────────────────────▶  Closed
@@ -38,6 +40,11 @@ pub(crate) struct Connection<S: Service> {
     phase: ConnState,
     /// The interest mask currently registered with the poller.
     registered: u32,
+    /// Requests served over the connection's lifetime (the budget meter).
+    served: u64,
+    /// Last moment the connection made progress (bytes read from the peer
+    /// or response bytes flushed to it); drives the idle reaper.
+    last_activity: Instant,
 }
 
 impl<S: Service> Connection<S> {
@@ -49,6 +56,8 @@ impl<S: Service> Connection<S> {
             out: WriteBuf::new(config.high_watermark),
             phase: ConnState::Open,
             registered: EPOLLIN | EPOLLRDHUP,
+            served: 0,
+            last_activity: Instant::now(),
         }
     }
 
@@ -82,21 +91,30 @@ impl<S: Service> Connection<S> {
         matches!(self.phase, ConnState::Closed)
     }
 
+    /// `true` when the connection has made no progress for `now -
+    /// last_activity >= idle_timeout`.
+    pub(crate) fn idle_since(&self, now: Instant) -> std::time::Duration {
+        now.saturating_duration_since(self.last_activity)
+    }
+
     /// Reads until `EWOULDBLOCK`, EOF, or the per-turn budget is exhausted
     /// (level-triggered epoll re-arms if bytes remain), then processes and
     /// flushes. Any I/O error closes the connection. `chunk` is the
     /// worker's shared scratch buffer — allocating per readiness event
-    /// would put an alloc+memset on the hottest path.
+    /// would put an alloc+memset on the hottest path. `pool` is the
+    /// worker's buffer free list: the input buffer and response segments
+    /// cycle through it, so a steady-state request allocates nothing.
     pub(crate) fn on_readable(
         &mut self,
         service: &S,
         worker: &mut S::Worker,
         config: &NetConfig,
+        pool: &mut BufPool,
         chunk: &mut [u8],
     ) {
         if self.phase != ConnState::Open {
             // Late readiness after Close/Drain: nothing to read any more.
-            return self.flush(service);
+            return self.flush(pool);
         }
         let mut budget = config.read_budget;
         while budget > 0 {
@@ -109,10 +127,16 @@ impl<S: Service> Connection<S> {
                 }
                 Ok(n) => {
                     budget = budget.saturating_sub(n);
+                    self.last_activity = Instant::now();
+                    if self.input.capacity() == 0 {
+                        // First bytes since the buffer was recycled: start
+                        // from the worker's pool, not the allocator.
+                        self.input = pool.take();
+                    }
                     self.input.extend_from_slice(&chunk[..n]);
                     // Hand frames to the service between reads so one
                     // pipelining-heavy peer cannot queue unbounded input.
-                    self.process(service, worker);
+                    self.process(service, worker, config, pool);
                     if self.out.over_watermark() || self.phase != ConnState::Open {
                         break;
                     }
@@ -125,12 +149,17 @@ impl<S: Service> Connection<S> {
                 }
             }
         }
-        self.process(service, worker);
-        self.flush(service);
+        self.process(service, worker, config, pool);
+        self.flush(pool);
+        if self.input.is_empty() && self.input.capacity() > 0 {
+            // Fully consumed: hand the warm buffer back so an idle
+            // connection pins nothing.
+            pool.give(std::mem::take(&mut self.input));
+        }
     }
 
-    pub(crate) fn on_writable(&mut self, service: &S) {
-        self.flush(service);
+    pub(crate) fn on_writable(&mut self, pool: &mut BufPool) {
+        self.flush(pool);
     }
 
     /// Server shutdown: one final opportunistic read (requests the kernel
@@ -140,23 +169,50 @@ impl<S: Service> Connection<S> {
         service: &S,
         worker: &mut S::Worker,
         config: &NetConfig,
+        pool: &mut BufPool,
         chunk: &mut [u8],
     ) {
         if self.phase == ConnState::Open {
-            self.on_readable(service, worker, config, chunk);
+            self.on_readable(service, worker, config, pool, chunk);
         }
         if self.phase == ConnState::Open {
             self.phase = ConnState::Draining;
         }
-        self.flush(service);
+        self.flush(pool);
+    }
+
+    /// Idle reap: the peer made no progress for the configured timeout.
+    /// Whatever is queued is abandoned — an idle peer is by definition not
+    /// reading — and the connection closes on the next reconcile.
+    pub(crate) fn close_idle(&mut self) {
+        self.phase = ConnState::Closed;
     }
 
     /// Forwards buffered input to the service and queues its responses.
-    fn process(&mut self, service: &S, worker: &mut S::Worker) {
+    fn process(
+        &mut self,
+        service: &S,
+        worker: &mut S::Worker,
+        config: &NetConfig,
+        pool: &mut BufPool,
+    ) {
         if self.input.is_empty() || self.phase == ConnState::Closed {
             return;
         }
-        match service.on_data(worker, &mut self.state, &mut self.input, &mut self.out) {
+        let quota = match config.max_requests_per_conn {
+            Some(max) => max.saturating_sub(self.served),
+            None => u64::MAX,
+        };
+        let mut io = ConnIo {
+            input: &mut self.input,
+            out: self.out.with_pool(pool),
+            requests: 0,
+            request_quota: quota,
+        };
+        let action = service.on_data(worker, &mut self.state, &mut io);
+        let requests = io.requests;
+        self.served = self.served.saturating_add(requests);
+        match action {
             Action::Continue => {}
             Action::Close => {
                 if self.phase == ConnState::Open {
@@ -164,10 +220,18 @@ impl<S: Service> Connection<S> {
                 }
             }
         }
+        if let Some(max) = config.max_requests_per_conn {
+            if self.served >= max && self.phase == ConnState::Open {
+                // Budget spent: everything answered so far still flushes,
+                // then the connection closes.
+                self.phase = ConnState::Draining;
+            }
+        }
     }
 
-    fn flush(&mut self, _service: &S) {
-        match self.out.flush_to(&mut self.stream) {
+    fn flush(&mut self, pool: &mut BufPool) {
+        let before = self.out.len();
+        match self.out.flush_to(&mut self.stream, pool) {
             Ok(FlushState::Drained) => {
                 if self.phase == ConnState::Draining {
                     self.phase = ConnState::Closed;
@@ -176,10 +240,24 @@ impl<S: Service> Connection<S> {
             Ok(FlushState::Blocked) => {}
             Err(_) => self.phase = ConnState::Closed,
         }
+        if self.out.len() < before {
+            // The peer accepted bytes: that is progress too (a client
+            // slowly streaming a large response down is not idle).
+            self.last_activity = Instant::now();
+        }
     }
 
     /// Abandons the connection regardless of queued data (drain deadline).
     pub(crate) fn force_close(&mut self) {
         self.phase = ConnState::Closed;
+    }
+
+    /// Returns the connection's warm buffers to the worker's pool (called
+    /// once, as the worker deregisters a finished connection).
+    pub(crate) fn recycle(&mut self, pool: &mut BufPool) {
+        if self.input.capacity() > 0 {
+            pool.give(std::mem::take(&mut self.input));
+        }
+        self.out.recycle_into(pool);
     }
 }

@@ -17,8 +17,15 @@
 //!   at a cursor, small pipelined replies coalesce into one `write(2)`,
 //!   and a high watermark signals backpressure (the reactor stops
 //!   *reading* from a peer that is not draining its responses).
+//! * [`BufWrite`] + [`BufPool`] — the zero-allocation response path:
+//!   services serialise replies *directly* into the connection's output
+//!   queue through a pooled sink, and finished segment buffers recycle
+//!   through a per-worker free list (bounded, so idle connections pin no
+//!   warm buffers).
 //! * A per-connection state machine (`Open → Draining → Closed`) driving
-//!   incremental reads, pipelined writes and graceful shutdown.
+//!   incremental reads, pipelined writes, graceful shutdown, and the
+//!   defensive limits a public-facing deployment needs ([`NetConfig`]'s
+//!   `idle_timeout` and `max_requests_per_conn`).
 //! * [`EventLoop`] — N worker threads, each with its own poller and
 //!   connection table. All workers register the *single* listening socket
 //!   with `EPOLLEXCLUSIVE`, so the kernel shards accepts across workers
@@ -28,11 +35,12 @@
 //! Applications plug in with the [`Service`] trait; each accepted
 //! connection gets a `Service::Conn` value for protocol state (e.g. an
 //! incremental request decoder), and `Service::on_data` consumes raw bytes
-//! and queues response bytes:
+//! from [`ConnIo::input`] — borrowing slices straight out of the read
+//! buffer — and writes response bytes into [`ConnIo::out`]:
 //!
 //! ```
 //! use std::sync::Arc;
-//! use rp_net::{Action, EventLoop, NetConfig, Service, WriteBuf};
+//! use rp_net::{Action, BufWrite, ConnIo, EventLoop, NetConfig, Service};
 //!
 //! /// Upper-cases every line it receives.
 //! struct Shout;
@@ -41,14 +49,11 @@
 //!     type Worker = ();
 //!     fn on_worker_start(&self, _worker: usize) {}
 //!     fn on_connect(&self, _peer: std::net::SocketAddr) {}
-//!     fn on_data(
-//!         &self,
-//!         _worker: &mut (),
-//!         _conn: &mut (),
-//!         input: &mut Vec<u8>,
-//!         out: &mut WriteBuf,
-//!     ) -> Action {
-//!         out.push(input.drain(..).map(|b| b.to_ascii_uppercase()).collect());
+//!     fn on_data(&self, _worker: &mut (), _conn: &mut (), io: &mut ConnIo<'_>) -> Action {
+//!         let shouted: Vec<u8> = io.input.iter().map(u8::to_ascii_uppercase).collect();
+//!         io.input.clear();
+//!         io.out.put(&shouted);
+//!         io.requests += 1;
 //!         Action::Continue
 //!     }
 //! }
@@ -74,11 +79,13 @@
 mod buffer;
 mod conn;
 mod poller;
+mod pool;
 mod server;
 pub mod sys;
 
-pub use buffer::{FlushState, WriteBuf};
+pub use buffer::{BufWrite, FlushState, PooledBuf, WriteBuf};
 pub use poller::{waker_pair, Event, Poller, WakeReceiver, Waker};
+pub use pool::BufPool;
 pub use server::{EventLoop, NetStats};
 
 use std::net::SocketAddr;
@@ -92,6 +99,35 @@ pub enum Action {
     /// Flush any queued responses, then close (e.g. the client sent
     /// `quit`, or the protocol was violated beyond recovery).
     Close,
+}
+
+/// The I/O view a service gets for one [`Service::on_data`] call.
+///
+/// The fields are deliberately public and disjoint so a service can hold a
+/// borrow *into* `input` (a request parsed in place, keys as sub-slices of
+/// the read buffer) while simultaneously writing the response through
+/// `out` and bumping `requests` — the borrow checker verifies the
+/// zero-copy discipline field by field.
+pub struct ConnIo<'a> {
+    /// Everything received but not yet consumed. The service removes the
+    /// bytes it used (a frame may arrive across many reads — unconsumed
+    /// bytes are presented again, extended, after the next read).
+    pub input: &'a mut Vec<u8>,
+    /// The response sink: writes go straight into the connection's
+    /// [`WriteBuf`] with segment buffers recycled through the worker's
+    /// [`BufPool`].
+    pub out: PooledBuf<'a>,
+    /// Complete requests the service consumed in this call. The reactor
+    /// accumulates this into the connection's served-request count, which
+    /// drives [`NetConfig::max_requests_per_conn`].
+    pub requests: u64,
+    /// How many more requests this connection may be served before its
+    /// budget ([`NetConfig::max_requests_per_conn`]) is exhausted
+    /// (`u64::MAX` when unlimited). A well-behaved service stops consuming
+    /// once `requests` reaches this quota — anything already answered when
+    /// the budget trips is still flushed, but a pipelining peer cannot
+    /// overdraw the budget within a single batch.
+    pub request_quota: u64,
 }
 
 /// A protocol handler driven by the event loop.
@@ -124,17 +160,16 @@ pub trait Service: Send + Sync + 'static {
     /// Called once per accepted connection.
     fn on_connect(&self, peer: SocketAddr) -> Self::Conn;
 
-    /// Called whenever new bytes arrive. `input` holds everything received
-    /// but not yet consumed: the implementation removes the bytes it used
-    /// (a frame may arrive across many reads — unconsumed bytes are
-    /// presented again, extended, after the next read) and queues any
-    /// responses on `out`. Responses may cover several pipelined requests.
+    /// Called whenever new bytes arrive, with the connection's I/O view
+    /// ([`ConnIo`]): consume complete frames from `io.input` (borrowing
+    /// from the buffer is encouraged — decode in place, drain afterwards),
+    /// write responses into `io.out`, and report consumed requests in
+    /// `io.requests`. Responses may cover several pipelined requests.
     fn on_data(
         &self,
         worker: &mut Self::Worker,
         conn: &mut Self::Conn,
-        input: &mut Vec<u8>,
-        out: &mut WriteBuf,
+        io: &mut ConnIo<'_>,
     ) -> Action;
 
     /// Called after each batch of readiness events has been fully serviced
@@ -170,6 +205,22 @@ pub struct NetConfig {
     /// How long graceful shutdown keeps flushing queued responses before
     /// force-closing stragglers.
     pub drain_timeout: Duration,
+    /// Close a connection that has made no progress (no bytes read from
+    /// it, no response bytes flushed to it) for this long. `None` (the
+    /// default) never reaps.
+    pub idle_timeout: Option<Duration>,
+    /// Close a connection after it has been served this many requests
+    /// (queued responses still flush first) — a per-connection budget that
+    /// bounds what any single peer can extract from one accept, like
+    /// HTTP's max keep-alive requests. `None` (the default) is unlimited.
+    pub max_requests_per_conn: Option<u64>,
+    /// Per-worker buffer pool: at most this many recycled buffers are
+    /// retained (the cap that keeps thousands of idle connections from
+    /// pinning thousands of warm buffers).
+    pub pool_buffers: usize,
+    /// Per-buffer capacity cap for the pool; a buffer that grew beyond
+    /// this (one huge response) is dropped instead of pooled.
+    pub pool_buffer_capacity: usize,
 }
 
 impl Default for NetConfig {
@@ -182,6 +233,10 @@ impl Default for NetConfig {
             high_watermark: 1024 * 1024,
             max_connections: usize::MAX,
             drain_timeout: Duration::from_secs(5),
+            idle_timeout: None,
+            max_requests_per_conn: None,
+            pool_buffers: 64,
+            pool_buffer_capacity: 256 * 1024,
         }
     }
 }
@@ -206,30 +261,36 @@ mod tests {
         fn on_connect(&self, _peer: SocketAddr) {
             self.connects.fetch_add(1, Ordering::Relaxed);
         }
-        fn on_data(
-            &self,
-            _worker: &mut (),
-            _conn: &mut (),
-            input: &mut Vec<u8>,
-            out: &mut WriteBuf,
-        ) -> Action {
-            while let Some(pos) = input.iter().position(|&b| b == b'\n') {
-                let line: Vec<u8> = input.drain(..=pos).collect();
+        fn on_data(&self, _worker: &mut (), _conn: &mut (), io: &mut ConnIo<'_>) -> Action {
+            let mut consumed = 0;
+            while io.requests < io.request_quota {
+                let Some(pos) = io.input[consumed..].iter().position(|&b| b == b'\n') else {
+                    break;
+                };
+                let line = &io.input[consumed..consumed + pos + 1];
+                io.requests += 1;
                 if line == b"quit\n" {
+                    io.input.drain(..consumed + pos + 1);
                     return Action::Close;
                 }
-                out.push(line);
+                io.out.put(line);
+                consumed += pos + 1;
             }
+            io.input.drain(..consumed);
             Action::Continue
         }
+    }
+
+    fn echo_service() -> Arc<LineEcho> {
+        Arc::new(LineEcho {
+            connects: AtomicUsize::new(0),
+        })
     }
 
     fn start_echo(workers: usize) -> EventLoop {
         EventLoop::bind(
             "127.0.0.1:0".parse().unwrap(),
-            Arc::new(LineEcho {
-                connects: AtomicUsize::new(0),
-            }),
+            echo_service(),
             NetConfig {
                 workers,
                 ..NetConfig::default()
@@ -319,11 +380,11 @@ mod tests {
                 &self,
                 worker: &mut Self::Worker,
                 _conn: &mut (),
-                input: &mut Vec<u8>,
-                out: &mut WriteBuf,
+                io: &mut ConnIo<'_>,
             ) -> Action {
                 assert_eq!(**worker, std::thread::current().id());
-                out.push(std::mem::take(input));
+                let bytes = std::mem::take(io.input);
+                io.out.push(bytes);
                 Action::Continue
             }
             fn on_batch_end(&self, worker: &mut Self::Worker) {
@@ -396,9 +457,7 @@ mod tests {
     fn max_connections_sheds_excess_accepts() {
         let mut server = EventLoop::bind(
             "127.0.0.1:0".parse().unwrap(),
-            Arc::new(LineEcho {
-                connects: AtomicUsize::new(0),
-            }),
+            echo_service(),
             NetConfig {
                 workers: 1,
                 max_connections: 2,
@@ -425,6 +484,80 @@ mod tests {
             Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::ConnectionReset, "{e}"),
         }
         assert!(server.stats().refused >= 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_connections_are_reaped_but_live_ones_survive() {
+        let mut server = EventLoop::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            echo_service(),
+            NetConfig {
+                workers: 2,
+                // Generous timeout-to-ping ratio (16:1) so a scheduler
+                // stall on a loaded CI runner cannot reap the live
+                // connection and flake the test.
+                idle_timeout: Some(Duration::from_millis(800)),
+                ..NetConfig::default()
+            },
+        )
+        .unwrap();
+
+        let mut idle = TcpStream::connect(server.addr()).unwrap();
+        let mut live = TcpStream::connect(server.addr()).unwrap();
+
+        // The live connection keeps making requests well past the idle
+        // timeout; the idle one never sends a byte.
+        for i in 0..30 {
+            live.write_all(format!("tick-{i}\n").as_bytes()).unwrap();
+            let mut buf = vec![0_u8; format!("tick-{i}\n").len()];
+            live.read_exact(&mut buf).unwrap();
+            std::thread::sleep(Duration::from_millis(50));
+        }
+
+        // The idle connection must have been reaped: EOF (or a reset).
+        idle.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut got = Vec::new();
+        match idle.read_to_end(&mut got) {
+            Ok(_) => assert!(got.is_empty(), "idle connection received data"),
+            Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::ConnectionReset, "{e}"),
+        }
+
+        // The live connection still works after the reap.
+        live.write_all(b"still-here\n").unwrap();
+        let mut buf = [0_u8; 11];
+        live.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf[..], b"still-here\n");
+        assert_eq!(server.stats().current_connections, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn request_budget_closes_the_connection_after_n_requests() {
+        let mut server = EventLoop::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            echo_service(),
+            NetConfig {
+                workers: 1,
+                max_requests_per_conn: Some(3),
+                ..NetConfig::default()
+            },
+        )
+        .unwrap();
+        let mut client = TcpStream::connect(server.addr()).unwrap();
+        // Five pipelined requests in one write: exactly the budget's worth
+        // of responses come back, then the server closes.
+        client.write_all(b"one\ntwo\nthree\nfour\nfive\n").unwrap();
+        let mut got = Vec::new();
+        client.read_to_end(&mut got).unwrap();
+        assert_eq!(got, b"one\ntwo\nthree\n", "exactly the budget is served");
+
+        // A fresh connection starts with a fresh budget.
+        let mut fresh = TcpStream::connect(server.addr()).unwrap();
+        fresh.write_all(b"hello\n").unwrap();
+        let mut buf = [0_u8; 6];
+        fresh.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello\n");
         server.shutdown();
     }
 }

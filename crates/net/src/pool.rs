@@ -1,0 +1,106 @@
+//! A per-worker free list of byte buffers.
+//!
+//! The serving hot path wants warm `Vec<u8>` capacity for connection input
+//! and response segments without paying the allocator per request — but a
+//! *per-connection* spare would pin one warm buffer per idle connection,
+//! which at thousands of connections is exactly the memory profile the
+//! event loop exists to avoid. The pool is therefore **per worker**: when a
+//! connection's input drains or a response segment finishes flushing, the
+//! buffer goes back to the worker's pool; the next read or response on
+//! *any* of that worker's connections reuses it. Two caps bound the pool:
+//! at most [`BufPool::max_free`] buffers are retained, and a buffer whose
+//! capacity grew beyond [`BufPool::max_capacity`] (a one-off huge response)
+//! is dropped rather than pinned.
+
+/// A bounded free list of cleared `Vec<u8>` buffers.
+pub struct BufPool {
+    free: Vec<Vec<u8>>,
+    max_free: usize,
+    max_capacity: usize,
+}
+
+impl BufPool {
+    /// Creates a pool retaining at most `max_free` buffers of at most
+    /// `max_capacity` bytes of capacity each.
+    pub fn new(max_free: usize, max_capacity: usize) -> BufPool {
+        BufPool {
+            free: Vec::with_capacity(max_free.min(64)),
+            max_free,
+            max_capacity: max_capacity.max(1),
+        }
+    }
+
+    /// Takes a cleared buffer from the pool (empty, but typically with warm
+    /// capacity), or a fresh empty one when the pool is dry.
+    pub fn take(&mut self) -> Vec<u8> {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer to the pool. The buffer is cleared; it is dropped
+    /// instead of pooled when it has no capacity worth keeping, when its
+    /// capacity exceeds the per-buffer cap, or when the pool is full.
+    pub fn give(&mut self, mut buf: Vec<u8>) {
+        buf.clear();
+        if buf.capacity() == 0
+            || buf.capacity() > self.max_capacity
+            || self.free.len() >= self.max_free
+        {
+            return;
+        }
+        self.free.push(buf);
+    }
+
+    /// Number of buffers currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total capacity (bytes) currently pinned by the pool.
+    pub fn pooled_bytes(&self) -> usize {
+        self.free.iter().map(Vec::capacity).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_reuses_returned_capacity() {
+        let mut pool = BufPool::new(4, 1 << 20);
+        let mut buf = pool.take();
+        buf.extend_from_slice(&[1_u8; 4096]);
+        let ptr = buf.as_ptr();
+        pool.give(buf);
+        assert_eq!(pool.pooled(), 1);
+        let again = pool.take();
+        assert!(again.is_empty());
+        assert_eq!(
+            again.as_ptr(),
+            ptr,
+            "capacity must be reused, not reallocated"
+        );
+        assert!(again.capacity() >= 4096);
+        assert_eq!(pool.pooled(), 0);
+    }
+
+    #[test]
+    fn pool_respects_the_buffer_count_cap() {
+        let mut pool = BufPool::new(2, 1 << 20);
+        for _ in 0..5 {
+            pool.give(vec![0_u8; 64]);
+        }
+        assert_eq!(pool.pooled(), 2, "high-watermark cap on pooled buffers");
+    }
+
+    #[test]
+    fn oversized_and_empty_buffers_are_dropped() {
+        let mut pool = BufPool::new(8, 1024);
+        pool.give(Vec::new()); // no capacity: nothing worth pooling
+        pool.give(vec![0_u8; 4096]); // over the per-buffer capacity cap
+        assert_eq!(pool.pooled(), 0);
+        pool.give(vec![0_u8; 512]);
+        assert_eq!(pool.pooled(), 1);
+        assert!(pool.pooled_bytes() >= 512);
+    }
+}

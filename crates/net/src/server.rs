@@ -1,8 +1,8 @@
 //! The N-worker event loop: one nonblocking listener shared by every
 //! worker's epoll instance (`EPOLLEXCLUSIVE`, so the kernel hands each
 //! ready accept to exactly one worker — `SO_REUSEPORT`-style sharding with
-//! a single socket), plus per-worker connection tables and wakeup
-//! eventfds.
+//! a single socket), plus per-worker connection tables, buffer pools and
+//! wakeup eventfds.
 
 use std::collections::HashMap;
 use std::io;
@@ -15,6 +15,7 @@ use std::time::{Duration, Instant};
 
 use crate::conn::Connection;
 use crate::poller::{waker_pair, Event, Poller, WakeReceiver, Waker, EPOLLIN};
+use crate::pool::BufPool;
 use crate::sys::sys_set_nonblocking;
 use crate::{NetConfig, Service};
 
@@ -32,6 +33,8 @@ pub struct NetStats {
     pub current_connections: usize,
     /// Connections refused because `max_connections` was reached.
     pub refused: u64,
+    /// Connections closed by the idle reaper.
+    pub idle_reaped: u64,
 }
 
 struct Shared {
@@ -39,6 +42,7 @@ struct Shared {
     shutdown: AtomicBool,
     accepted: AtomicU64,
     refused: AtomicU64,
+    idle_reaped: AtomicU64,
     current: AtomicUsize,
 }
 
@@ -69,6 +73,7 @@ impl EventLoop {
             shutdown: AtomicBool::new(false),
             accepted: AtomicU64::new(0),
             refused: AtomicU64::new(0),
+            idle_reaped: AtomicU64::new(0),
             current: AtomicUsize::new(0),
         });
 
@@ -115,6 +120,7 @@ impl EventLoop {
         NetStats {
             accepted: self.shared.accepted.load(Ordering::Relaxed),
             refused: self.shared.refused.load(Ordering::Relaxed),
+            idle_reaped: self.shared.idle_reaped.load(Ordering::Relaxed),
             current_connections: self.shared.current.load(Ordering::Relaxed),
         }
     }
@@ -153,6 +159,9 @@ struct Worker<S: Service> {
     conns: HashMap<u64, Connection<S>>,
     /// Shared read scratch buffer (one per worker, not per event).
     scratch: Vec<u8>,
+    /// The worker's buffer free list: connection input buffers and
+    /// response segments cycle through here instead of the allocator.
+    pool: BufPool,
 }
 
 impl<S: Service> Worker<S> {
@@ -167,6 +176,7 @@ impl<S: Service> Worker<S> {
         poller.add(wake.raw_fd(), EPOLLIN, TOKEN_WAKER)?;
         poller.add_exclusive(shared.listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
         let scratch = vec![0_u8; config.read_chunk.max(512)];
+        let pool = BufPool::new(config.pool_buffers, config.pool_buffer_capacity);
         Ok(Worker {
             idx,
             shared,
@@ -176,6 +186,7 @@ impl<S: Service> Worker<S> {
             wake,
             conns: HashMap::new(),
             scratch,
+            pool,
         })
     }
 
@@ -183,6 +194,14 @@ impl<S: Service> Worker<S> {
         let mut pending: Vec<Event> = Vec::new();
         let mut draining = false;
         let mut drain_deadline = Instant::now();
+        // Idle reaping needs periodic wakeups even when no fd is ready; a
+        // quarter of the timeout keeps reap latency within ~1.25x of the
+        // configured value without busy-waking.
+        let sweep_every = self
+            .config
+            .idle_timeout
+            .map(|t| (t / 4).clamp(Duration::from_millis(10), Duration::from_secs(1)));
+        let mut next_sweep = sweep_every.map(|every| Instant::now() + every);
         // Created here — on the worker thread — so services can pin
         // thread-local resources (e.g. a QSBR read handle) to this worker.
         let mut wstate = self.service.on_worker_start(self.idx);
@@ -191,8 +210,10 @@ impl<S: Service> Worker<S> {
             let timeout = if draining {
                 Some(Duration::from_millis(10))
             } else {
-                // Block indefinitely; shutdown arrives via the waker.
-                None
+                // Wake in time for the next idle sweep; with no sweeps
+                // configured, block indefinitely (shutdown arrives via the
+                // waker).
+                next_sweep.map(|at| at.saturating_duration_since(Instant::now()))
             };
             self.service.on_park(&mut wstate);
             let waited = self.poller.wait(timeout, |ev| pending.push(ev));
@@ -217,6 +238,14 @@ impl<S: Service> Worker<S> {
             // flushed as far as the sockets allow, no borrowed state held.
             self.service.on_batch_end(&mut wstate);
 
+            if let (Some(every), Some(at)) = (sweep_every, next_sweep) {
+                let now = Instant::now();
+                if now >= at && !draining {
+                    self.reap_idle(now);
+                    next_sweep = Some(now + every);
+                }
+            }
+
             if !draining && self.shared.shutdown.load(Ordering::SeqCst) {
                 draining = true;
                 drain_deadline = Instant::now() + self.config.drain_timeout;
@@ -228,6 +257,7 @@ impl<S: Service> Worker<S> {
                             &self.service,
                             &mut wstate,
                             &self.config,
+                            &mut self.pool,
                             &mut self.scratch,
                         );
                     }
@@ -300,12 +330,39 @@ impl<S: Service> Worker<S> {
             return;
         };
         if ev.writable() {
-            conn.on_writable(&self.service);
+            conn.on_writable(&mut self.pool);
         }
         if ev.readable() || ev.closed() {
-            conn.on_readable(&self.service, wstate, &self.config, &mut self.scratch);
+            conn.on_readable(
+                &self.service,
+                wstate,
+                &self.config,
+                &mut self.pool,
+                &mut self.scratch,
+            );
         }
         self.reconcile(token);
+    }
+
+    /// Closes every connection that has made no progress for the configured
+    /// idle timeout.
+    fn reap_idle(&mut self, now: Instant) {
+        let Some(timeout) = self.config.idle_timeout else {
+            return;
+        };
+        let expired: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, conn)| conn.idle_since(now) >= timeout)
+            .map(|(token, _)| *token)
+            .collect();
+        for token in expired {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.close_idle();
+                self.shared.idle_reaped.fetch_add(1, Ordering::Relaxed);
+            }
+            self.reconcile(token);
+        }
     }
 
     /// Applies a connection's post-event state to the poller: deregisters
@@ -315,9 +372,7 @@ impl<S: Service> Worker<S> {
             return;
         };
         if conn.finished() {
-            let _ = self.poller.delete(conn.fd());
-            self.conns.remove(&token);
-            self.shared.current.fetch_sub(1, Ordering::Relaxed);
+            self.drop_connection(token);
             return;
         }
         let want = conn.desired_interest();
@@ -325,11 +380,18 @@ impl<S: Service> Worker<S> {
             if self.poller.modify(conn.fd(), want, token).is_ok() {
                 conn.set_registered_interest(want);
             } else {
-                conn.force_close();
-                let _ = self.poller.delete(conn.fd());
-                self.conns.remove(&token);
-                self.shared.current.fetch_sub(1, Ordering::Relaxed);
+                self.drop_connection(token);
             }
+        }
+    }
+
+    /// Deregisters and drops one connection, recycling its warm buffers
+    /// into the worker's pool.
+    fn drop_connection(&mut self, token: u64) {
+        if let Some(mut conn) = self.conns.remove(&token) {
+            let _ = self.poller.delete(conn.fd());
+            conn.recycle(&mut self.pool);
+            self.shared.current.fetch_sub(1, Ordering::Relaxed);
         }
     }
 }

@@ -526,6 +526,35 @@ where
         self.core.shards[self.shard_of_hash(hash)].get_key_value_prehashed(hash, key, protect)
     }
 
+    /// The hash this map's hasher produces for `key` — what
+    /// [`ShardedRpMap::get_matching_prehashed`] expects, driving both shard
+    /// routing (high bits) and the in-shard bucket selection (low bits).
+    pub fn hash_one<Q>(&self, key: &Q) -> u64
+    where
+        Q: Hash + ?Sized,
+    {
+        self.hash_of(key)
+    }
+
+    /// The "raw entry" lookup (see
+    /// [`RpHashMap::get_matching_prehashed`]): routes `hash` to its shard
+    /// and finds the entry whose key satisfies `matches`, without requiring
+    /// a probe key type that `K` can [`Borrow`] — e.g. a `&[u8]` slice
+    /// probing a `String`-keyed map without allocating. `hash` must be what
+    /// [`ShardedRpMap::hash_one`] produces for any key `matches` accepts.
+    pub fn get_matching_prehashed<'g, P, F>(
+        &'g self,
+        hash: u64,
+        matches: F,
+        protect: &'g P,
+    ) -> Option<&'g V>
+    where
+        P: ReadProtect,
+        F: FnMut(&K) -> bool,
+    {
+        self.core.shards[self.shard_of_hash(hash)].get_matching_prehashed(hash, matches, protect)
+    }
+
     /// Looks up `key` and clones the value.
     pub fn get_cloned<Q>(&self, key: &Q) -> Option<V>
     where
@@ -747,6 +776,30 @@ mod tests {
         assert!(!map.remove(&7));
         assert_eq!(map.len(), 99);
         map.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn matching_prehashed_routes_to_the_right_shard() {
+        let map: ShardedRpMap<String, u64> = ShardedRpMap::with_shards(8);
+        for i in 0..64 {
+            map.insert(format!("key-{i}"), i);
+        }
+        let guard = map.pin();
+        for i in 0..64_u64 {
+            let name = format!("key-{i}");
+            let probe = name.as_bytes();
+            let hash = map.hash_one(name.as_str());
+            assert_eq!(
+                map.get_matching_prehashed(hash, |k| k.as_bytes() == probe, &guard),
+                Some(&i),
+                "{name}"
+            );
+        }
+        let hash = map.hash_one("missing");
+        assert_eq!(
+            map.get_matching_prehashed(hash, |k| k.as_bytes() == b"missing", &guard),
+            None
+        );
     }
 
     #[test]

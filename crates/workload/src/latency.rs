@@ -74,6 +74,19 @@ impl LatencyHistogram {
         self.record_ns(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
     }
 
+    /// Records the same sample `count` times — window-based accounting for
+    /// pipelined drivers, where every request in a window observes (to
+    /// within the batch) the window's round-trip time.
+    pub fn record_many(&mut self, elapsed: Duration, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.counts[bucket_of(ns)] += count;
+        self.total += count;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
     /// Folds another histogram into this one (for per-thread histograms).
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {

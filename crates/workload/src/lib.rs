@@ -13,10 +13,15 @@
 //!   resizers), runs for a fixed duration and aggregates throughput.
 //! * [`latency`] — a fixed-size log-linear histogram for per-operation
 //!   latency percentiles (used by the `fig_maint` resize-latency figure).
-//! * [`netdriver`] — a multi-connection closed-loop *client* driver: N
-//!   connections shared across M driver threads with per-request latency
-//!   recording, used by `fig_server` to compare the thread-per-connection
-//!   and event-loop cache servers.
+//! * [`netdriver`] — a multi-connection *client* driver: N connections
+//!   shared across M driver threads with per-request latency recording,
+//!   in closed-loop ([`drive_connections`]) or pipelining
+//!   ([`drive_connections_windowed`] — batch N requests per write,
+//!   window-based latency accounting) form; used by `fig_server` and
+//!   `fig_hotpath` to benchmark the cache servers.
+//! * [`alloc`] — an installable counting global allocator with per-thread
+//!   tagged counters, the objective instrument behind `fig_hotpath`'s
+//!   allocations-per-operation gate.
 //! * [`report`] — turns measured series into CSV and markdown tables so the
 //!   benchmark binaries can print exactly the rows the paper's figures plot.
 //! * [`sysinfo`] — records the host configuration alongside results.
@@ -24,6 +29,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod alloc;
 pub mod driver;
 pub mod keys;
 pub mod latency;
@@ -35,6 +41,6 @@ mod zipf;
 pub use driver::{measure, measure_thread_local, BackgroundHandle, MeasureResult};
 pub use keys::{KeyDist, KeyGen};
 pub use latency::LatencyHistogram;
-pub use netdriver::{drive_connections, NetDriveResult};
+pub use netdriver::{drive_connections, drive_connections_windowed, NetDriveResult};
 pub use report::{Report, Series};
 pub use zipf::Zipf;

@@ -63,6 +63,38 @@ where
     MakeOp: Fn(usize) -> Op + Sync,
     Op: FnMut(&mut C, u64) -> io::Result<()> + Send,
 {
+    drive_connections_windowed(connections, threads, duration, connect, |thread_idx| {
+        let mut op = make_op(thread_idx);
+        move |conn: &mut C, ordinal: u64| op(conn, ordinal).map(|()| 1)
+    })
+}
+
+/// [`drive_connections`] for **pipelining** clients: each operation may
+/// complete a whole *window* of requests (batch N requests into one write,
+/// then read the N responses) and returns how many it completed.
+///
+/// The ordinal passed to the closure numbers *windows* (for the
+/// closed-loop wrapper a window is one request, so the numbering is
+/// unchanged there); key choice and read/write mixing key off it exactly
+/// as before. Latency uses window-based accounting: the window's
+/// round-trip time is recorded once **per completed request** — under
+/// pipelining each request's client-observable latency is (to within a
+/// batch) the window RTT, and counting per request keeps
+/// [`NetDriveResult::total_ops`] equal to `latency.count()` across
+/// pipelined and closed-loop runs.
+pub fn drive_connections_windowed<C, Connect, MakeOp, Op>(
+    connections: usize,
+    threads: usize,
+    duration: Duration,
+    connect: Connect,
+    make_op: MakeOp,
+) -> io::Result<NetDriveResult>
+where
+    C: Send,
+    Connect: Fn(usize) -> io::Result<C> + Sync,
+    MakeOp: Fn(usize) -> Op + Sync,
+    Op: FnMut(&mut C, u64) -> io::Result<u64> + Send,
+{
     assert!(connections > 0, "need at least one connection");
     let threads = threads.clamp(1, connections);
 
@@ -98,9 +130,9 @@ where
                     let ordinal = next_op.fetch_add(1, Ordering::Relaxed);
                     let begin = Instant::now();
                     match op(&mut conns[lane], ordinal) {
-                        Ok(()) => {
-                            hist.record(begin.elapsed());
-                            ops += 1;
+                        Ok(done) => {
+                            hist.record_many(begin.elapsed(), done);
+                            ops += done;
                         }
                         Err(_) => {
                             error_count.fetch_add(1, Ordering::Relaxed);
@@ -173,6 +205,42 @@ mod tests {
         assert_eq!(result.latency.count(), result.total_ops);
         assert!(result.elapsed >= Duration::from_millis(40));
         assert!(result.ops_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn windowed_driver_accounts_per_request() {
+        let depth = 8_u64;
+        let result = drive_connections_windowed(
+            4,
+            2,
+            Duration::from_millis(40),
+            |_idx| {
+                Ok(FakeConn {
+                    ops: 0,
+                    fail_after: None,
+                })
+            },
+            |_thread| {
+                move |conn: &mut FakeConn, _ordinal| {
+                    // One "window": depth requests complete per call.
+                    conn.ops += depth;
+                    Ok(depth)
+                }
+            },
+        )
+        .unwrap();
+        assert!(result.total_ops >= depth, "windows completed");
+        assert_eq!(
+            result.total_ops % depth,
+            0,
+            "ops advance a window at a time"
+        );
+        assert_eq!(
+            result.latency.count(),
+            result.total_ops,
+            "window RTT recorded once per request"
+        );
+        assert_eq!(result.errors, 0);
     }
 
     #[test]
