@@ -1,0 +1,13 @@
+//! Regenerates the telemetry figure: pipelined GET throughput with the
+//! `rp-obs` latency timers enabled versus disabled (the subsystem's ≤2%
+//! overhead gate), plus a QSBR-versus-EBR server comparison measured from
+//! the live `STATS` endpoint's per-opcode histograms.
+
+fn main() -> std::io::Result<()> {
+    let cfg = rp_bench::BenchConfig::from_env();
+    eprintln!("fig_obs on {}", cfg.host);
+    let report = rp_bench::fig_obs(&cfg);
+    report.write_files(&cfg.out_dir, "fig_obs")?;
+    print!("{}", report.to_markdown());
+    Ok(())
+}

@@ -18,6 +18,7 @@
 //! | `fig_server` | (repo addition) server architecture — requests/s and p99 vs connection count, thread-per-connection vs the `rp-net` event loop |
 //! | `fig_qsbr` | (repo addition) read-side flavors — lookups/s and p99 vs reader threads, EBR guard vs barrier-free QSBR, with and without continuous resizing |
 //! | `fig_hotpath` | (repo addition) zero-allocation serving — allocations/op for steady-state event-loop GETs (counting allocator; gated at 0) and pipelined GET throughput vs pipeline depth |
+//! | `fig_obs` | (repo addition) telemetry overhead — pipelined GET throughput with `rp-obs` timers on vs off (gated ≤2%), plus a QSBR-vs-EBR server comparison measured from the server's own `STATS` per-opcode histograms |
 //!
 //! Parameters are read from environment variables so CI and the
 //! EXPERIMENTS.md runs can trade accuracy for time:
@@ -1191,6 +1192,152 @@ pub fn fig_hotpath(cfg: &BenchConfig) -> Report {
     report
 }
 
+/// Telemetry-overhead ceiling (percent) `fig_obs` enforces on the GET hot
+/// path: with `rp-obs` latency timers enabled, best-case pipelined GET
+/// throughput must stay within this fraction of the timers-off run. Only
+/// gated when the measurement window is ≥ [`OBS_GATE_MIN_WINDOW`] — below
+/// that, scheduler noise swamps a 2% signal and the figure just reports.
+pub const OBS_OVERHEAD_GATE_PCT: f64 = 2.0;
+
+/// Minimum per-point window for the [`OBS_OVERHEAD_GATE_PCT`] assertion.
+pub const OBS_GATE_MIN_WINDOW: Duration = Duration::from_millis(200);
+
+/// Pulls one `prefix<value>` sample out of Prometheus exposition text.
+/// `prefix` must include the trailing space (or label block) so
+/// `kv_get_latency_ns_count ` does not match `kv_get_latency_ns_sum`.
+fn scrape_u64(text: &str, prefix: &str) -> Option<u64> {
+    text.lines()
+        .find_map(|line| line.strip_prefix(prefix)?.trim().parse().ok())
+}
+
+/// Figure "telemetry overhead" — what the always-on `rp-obs` layer costs,
+/// and what it can see:
+///
+/// 1. **Enabled-vs-disabled A/B** (the subsystem's acceptance gate):
+///    best-of-N pipelined GET throughput against the event-loop server
+///    with telemetry timers on versus off (`rp_obs::set_enabled`). The
+///    hot-path delta is two `Instant::now` reads plus one relaxed
+///    `fetch_add` per request; the gate asserts the best-case cost stays
+///    ≤ [`OBS_OVERHEAD_GATE_PCT`] on windows ≥ [`OBS_GATE_MIN_WINDOW`].
+/// 2. **QSBR vs EBR, measured by the server itself**: the same GET
+///    workload against each read-side flavor at the figure's top
+///    connection count, with per-opcode latency quantiles scraped from the
+///    live `STATS` endpoint — the flavor gap of `fig_qsbr`, re-observed at
+///    the server level through the new histograms instead of client-side
+///    timing.
+pub fn fig_obs(cfg: &BenchConfig) -> Report {
+    let mut report = Report::new(
+        "telemetry: rp-obs overhead (timers on vs off) and STATS-measured read flavors",
+        "trial / connections",
+        "kreq/s, overhead %, and server-side GET latency (µs)",
+    );
+    let depth = 8;
+    let trials = 5;
+
+    // Part 1: A/B the telemetry timers over one server, interleaved so
+    // drift hits both sides equally, keeping the best window of each.
+    let engine: Arc<dyn CacheEngine> = Arc::new(ShardedRpEngine::with_shards_and_capacity(
+        16,
+        (cfg.entries as usize).max(1024) * 2,
+    ));
+    fill_cache(&*engine, cfg.entries);
+    let config = ServerConfig::event_loop(cfg.server_workers);
+    let mut server = start_server(engine, &config).expect("start cache server");
+    let addr = server.addr();
+
+    let mut on_series = Series::new("stats-on kreq/s");
+    let mut off_series = Series::new("stats-off kreq/s");
+    let (mut best_on, mut best_off) = (0.0_f64, 0.0_f64);
+    for trial in 0..trials {
+        for enabled in [true, false] {
+            rp_obs::set_enabled(enabled);
+            let (ops_per_sec, _) = hotpath_throughput(
+                addr,
+                cfg.hotpath_connections,
+                depth,
+                cfg.duration,
+                cfg.entries,
+            );
+            if enabled {
+                best_on = best_on.max(ops_per_sec);
+                on_series.push(trial as f64, ops_per_sec / 1e3);
+            } else {
+                best_off = best_off.max(ops_per_sec);
+                off_series.push(trial as f64, ops_per_sec / 1e3);
+            }
+        }
+    }
+    rp_obs::set_enabled(true);
+    server.shutdown();
+    let overhead_pct = (1.0 - best_on / best_off) * 100.0;
+    eprintln!(
+        "  timers on: {:.0} kreq/s best, off: {:.0} kreq/s best -> overhead {overhead_pct:.2}%",
+        best_on / 1e3,
+        best_off / 1e3,
+    );
+    report.add_series(on_series);
+    report.add_series(off_series);
+    let mut overhead = Series::new("overhead %");
+    overhead.push(0.0, overhead_pct);
+    report.add_series(overhead);
+    if cfg.duration >= OBS_GATE_MIN_WINDOW {
+        assert!(
+            overhead_pct <= OBS_OVERHEAD_GATE_PCT,
+            "telemetry timers cost {overhead_pct:.2}% of GET throughput \
+             (gate {OBS_OVERHEAD_GATE_PCT}%: on {best_on:.0} req/s vs off {best_off:.0} req/s)",
+        );
+    }
+
+    // Part 2: the read-flavor gap, measured by the server's own histograms.
+    let connections = cfg.server_connections.last().copied().unwrap_or(64);
+    for read_side in [rp_kvcache::ReadSide::Qsbr, rp_kvcache::ReadSide::Ebr] {
+        let engine: Arc<dyn CacheEngine> = Arc::new(ShardedRpEngine::with_shards_and_capacity(
+            16,
+            (cfg.entries as usize).max(1024) * 2,
+        ));
+        fill_cache(&*engine, cfg.entries);
+        let config = ServerConfig::event_loop(cfg.server_workers).with_read_side(read_side);
+        let mut server = start_server(engine, &config).expect("start cache server");
+        let addr = server.addr();
+
+        // The registry is process-global: zero it so this run's scrape
+        // reflects only this flavor's traffic.
+        let mut scraper = CacheClient::connect(addr).expect("connect scraper");
+        scraper.stats_text("RESET").expect("STATS RESET");
+        let (ops_per_sec, client_p99_us) =
+            hotpath_throughput(addr, connections, depth, cfg.duration, cfg.entries);
+        let text = scraper.stats_text("").expect("scrape STATS");
+        server.shutdown();
+
+        let count = scrape_u64(&text, "kv_get_latency_ns_count ").unwrap_or(0);
+        let p50_ns = scrape_u64(&text, "kv_get_latency_ns{quantile=\"0.5\"} ").unwrap_or(0);
+        let p99_ns = scrape_u64(&text, "kv_get_latency_ns{quantile=\"0.99\"} ").unwrap_or(0);
+        assert!(
+            count > 0,
+            "STATS scrape saw no GETs for {read_side:?}; endpoint broken?\n{text}"
+        );
+        let label = match read_side {
+            rp_kvcache::ReadSide::Qsbr => "qsbr",
+            rp_kvcache::ReadSide::Ebr => "ebr",
+        };
+        eprintln!(
+            "  {label}: {connections} conn(s) -> {:.0} kreq/s client-side; server-side GET \
+             p50 {p50_ns} ns, p99 {p99_ns} ns over {count} GETs (client p99 {client_p99_us:.0} µs)",
+            ops_per_sec / 1e3,
+        );
+        let mut throughput = Series::new(format!("{label} kreq/s"));
+        throughput.push(connections as f64, ops_per_sec / 1e3);
+        report.add_series(throughput);
+        let mut server_p99 = Series::new(format!("{label} server GET p99 µs"));
+        server_p99.push(connections as f64, p99_ns as f64 / 1e3);
+        report.add_series(server_p99);
+        let mut server_p50 = Series::new(format!("{label} server GET p50 µs"));
+        server_p50.push(connections as f64, p50_ns as f64 / 1e3);
+        report.add_series(server_p50);
+    }
+    report
+}
+
 /// Runs every figure and writes CSV + markdown into `cfg.out_dir`, plus a
 /// combined `summary.md`. Returns the reports in figure order.
 pub fn run_all(cfg: &BenchConfig) -> std::io::Result<Vec<Report>> {
@@ -1206,6 +1353,7 @@ pub fn run_all(cfg: &BenchConfig) -> std::io::Result<Vec<Report>> {
         ("fig_server", fig_server),
         ("fig_qsbr", fig_qsbr),
         ("fig_hotpath", fig_hotpath),
+        ("fig_obs", fig_obs),
     ];
     let mut reports = Vec::new();
     let mut summary = String::new();
@@ -1299,6 +1447,32 @@ mod tests {
             Some((cfg.small_buckets, cfg.large_buckets)),
         );
         assert!(series.points.iter().all(|(_, mops)| *mops > 0.0));
+    }
+
+    #[test]
+    fn fig_obs_reports_overhead_and_scrapes_server_histograms() {
+        let cfg = BenchConfig::smoke_test();
+        let report = fig_obs(&cfg);
+        // The smoke window is far below OBS_GATE_MIN_WINDOW, so the ≤2%
+        // gate does not apply — but the A/B and both STATS-scraped flavor
+        // runs must all have produced data.
+        for name in [
+            "stats-on kreq/s",
+            "stats-off kreq/s",
+            "overhead %",
+            "qsbr kreq/s",
+            "ebr kreq/s",
+            "qsbr server GET p99 µs",
+            "ebr server GET p99 µs",
+        ] {
+            let series = report
+                .series
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("missing series {name}"));
+            assert!(!series.points.is_empty(), "empty series {name}");
+        }
+        assert!(rp_obs::enabled(), "fig_obs must re-enable telemetry");
     }
 
     #[test]

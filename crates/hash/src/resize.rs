@@ -59,6 +59,38 @@ use crate::table::BucketArray;
 /// Sentinel for a fully-unzipped bucket pair in [`UnzipOp::turn`].
 const PAIR_DONE: usize = usize::MAX;
 
+/// Telemetry: a resize began (`expand = true` for unzip, `false` for zip).
+fn observe_resize_begin(expand: bool) {
+    let obs = rp_obs::global();
+    obs.resize.begun_total.inc();
+    obs.trace
+        .record(rp_obs::TraceKind::ResizeBegin, u64::from(expand));
+}
+
+/// Telemetry: a resize absorbed one grace-period wait (timed when enabled).
+fn observe_resize_grace(timer: Option<std::time::Instant>) {
+    if let Some(ns) = rp_obs::elapsed_ns(timer) {
+        let obs = rp_obs::global();
+        obs.resize.grace_wait_ns.record(ns);
+        obs.trace.record(rp_obs::TraceKind::ResizeGrace, ns);
+    }
+}
+
+/// Telemetry: one bounded restructuring step ran; counts completions even
+/// with timing disabled.
+fn observe_resize_step(timer: Option<std::time::Instant>, step: ResizeStep) {
+    let obs = rp_obs::global();
+    if step != ResizeStep::Idle {
+        if let Some(ns) = rp_obs::elapsed_ns(timer) {
+            obs.resize.step_ns.record(ns);
+        }
+    }
+    if step == ResizeStep::Finished {
+        obs.resize.finished_total.inc();
+        obs.trace.record(rp_obs::TraceKind::ResizeFinish, 0);
+    }
+}
+
 /// The outcome of one [`RpHashMap::advance_resize`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ResizeStep {
@@ -339,14 +371,21 @@ where
                 // wait goes through `GraceSync`, covering QSBR readers of
                 // this map's chains as well as EBR guards.
                 drop(guard);
+                let timer = rp_obs::timer();
                 GraceSync::global().synchronize();
+                observe_resize_grace(timer);
                 let _w = self.writer_lock();
                 // SAFETY: writer lock held.
                 unsafe { self.resolve_grace_locked(id, round) };
                 ResizeStep::Grace
             }
-            // SAFETY: writer lock still held (guard is alive).
-            None => unsafe { self.resize_work_step_locked() },
+            None => {
+                let timer = rp_obs::timer();
+                // SAFETY: writer lock still held (guard is alive).
+                let step = unsafe { self.resize_work_step_locked() };
+                observe_resize_step(timer, step);
+                step
+            }
         }
     }
 
@@ -396,13 +435,18 @@ where
                 Some(op) => op.grace_key(),
             };
             if let Some((id, round)) = pending {
+                let timer = rp_obs::timer();
                 GraceSync::global().synchronize();
+                observe_resize_grace(timer);
                 // SAFETY: writer lock held.
                 unsafe { self.resolve_grace_locked(id, round) };
                 continue;
             }
+            let timer = rp_obs::timer();
             // SAFETY: writer lock held.
-            if unsafe { self.resize_work_step_locked() } == ResizeStep::Finished {
+            let step = unsafe { self.resize_work_step_locked() };
+            observe_resize_step(timer, step);
+            if step == ResizeStep::Finished {
                 return;
             }
         }
@@ -486,6 +530,7 @@ where
             };
             *self.resize_op_locked() = Some(ResizeOp::Unzip(op));
             self.set_resize_active(true);
+            observe_resize_begin(true);
             true
         }
     }
@@ -555,6 +600,7 @@ where
             };
             *self.resize_op_locked() = Some(ResizeOp::Zip(op));
             self.set_resize_active(true);
+            observe_resize_begin(false);
             true
         }
     }

@@ -34,6 +34,7 @@ fn main() {
         // The smoke run must not collide with a real daemon's port.
         opts.port = 0;
     }
+    rp_obs::set_enabled(opts.stats);
 
     let engine = opts.build_engine();
     let mut server = match start_server(Arc::clone(&engine), &opts.server_config()) {
@@ -146,7 +147,42 @@ fn smoke_workload(addr: std::net::SocketAddr, ops: usize) -> std::io::Result<()>
     if !other.version()?.contains("relativist") {
         return Err(err("unexpected version string".to_string()));
     }
+
+    // The live telemetry endpoint must answer with sane counters: every
+    // request above went through the server, and none of them misparsed.
+    let text = other.stats_text("")?;
+    let requests = metric_value(&text, "kv_requests_total")
+        .ok_or_else(|| err(format!("STATS missing kv_requests_total:\n{text}")))?;
+    if requests == 0 {
+        return Err(err("STATS reports zero requests served".to_string()));
+    }
+    let decode_errors = metric_value(&text, "kv_decode_errors_total")
+        .ok_or_else(|| err(format!("STATS missing kv_decode_errors_total:\n{text}")))?;
+    if decode_errors != 0 {
+        return Err(err(format!("STATS reports {decode_errors} decode errors")));
+    }
+    for family in [
+        "engine_get_hits_total",
+        "net_connections",
+        "maint_slices_total",
+    ] {
+        if !text.contains(family) {
+            return Err(err(format!("STATS output missing {family}")));
+        }
+    }
+    println!("smoke STATS ok: kv_requests_total={requests} kv_decode_errors_total=0");
+
     other.quit()?;
     client.quit()?;
     Ok(())
+}
+
+/// Pulls a plain `name value` sample line out of Prometheus exposition
+/// text (skipping `# HELP` / `# TYPE` comments and `name{...}` series with
+/// labels, such as histogram buckets).
+fn metric_value(text: &str, name: &str) -> Option<u64> {
+    text.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        rest.strip_prefix(' ')?.trim().parse().ok()
+    })
 }

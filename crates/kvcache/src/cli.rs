@@ -20,6 +20,7 @@
 //! | `--drain-timeout-ms N` | `RP_KV_DRAIN_TIMEOUT_MS` | `5000` |
 //! | `--idle-timeout-ms N` (0 = off) | `RP_KV_IDLE_TIMEOUT_MS` | `0` |
 //! | `--max-requests-per-conn N` (0 = off) | `RP_KV_MAX_REQUESTS_PER_CONN` | `0` |
+//! | `--stats on\|off` | `RP_KV_STATS` | `on` |
 //!
 //! `--read-side` selects the RCU flavor serving event-loop GETs: `qsbr`
 //! (the default — barrier-free lookups, quiescent states announced per
@@ -77,6 +78,9 @@ pub struct ServerOptions {
     /// Per-connection served-request budget (event-loop mode; `None` =
     /// unlimited).
     pub max_requests_per_conn: Option<u64>,
+    /// `rp-obs` telemetry timers (`--stats off` drops the two `Instant`
+    /// reads per request; untimed counters stay on either way).
+    pub stats: bool,
 }
 
 impl Default for ServerOptions {
@@ -93,6 +97,7 @@ impl Default for ServerOptions {
             drain_timeout: Duration::from_secs(5),
             idle_timeout: None,
             max_requests_per_conn: None,
+            stats: true,
         }
     }
 }
@@ -119,6 +124,7 @@ FLAGS (each falls back to the env var in brackets, then to the default):
     --drain-timeout-ms N          graceful shutdown budget      [RP_KV_DRAIN_TIMEOUT_MS, 5000]
     --idle-timeout-ms N           reap idle connections, 0=off  [RP_KV_IDLE_TIMEOUT_MS, 0]
     --max-requests-per-conn N     per-connection budget, 0=off  [RP_KV_MAX_REQUESTS_PER_CONN, 0]
+    --stats on|off                telemetry latency timers      [RP_KV_STATS, on]
     --help                        print this text
 ";
 
@@ -147,6 +153,7 @@ impl ServerOptions {
         let mut drain_ms = env("RP_KV_DRAIN_TIMEOUT_MS");
         let mut idle_timeout_ms = env("RP_KV_IDLE_TIMEOUT_MS");
         let mut max_requests = env("RP_KV_MAX_REQUESTS_PER_CONN");
+        let mut stats = env("RP_KV_STATS");
 
         let mut iter = args.iter();
         while let Some(flag) = iter.next() {
@@ -168,6 +175,7 @@ impl ServerOptions {
                 "--drain-timeout-ms" => &mut drain_ms,
                 "--idle-timeout-ms" => &mut idle_timeout_ms,
                 "--max-requests-per-conn" => &mut max_requests,
+                "--stats" => &mut stats,
                 other => return Err(format!("unknown flag {other:?}\n\n{USAGE}")),
             };
             let Some(value) = iter.next() else {
@@ -235,6 +243,12 @@ impl ServerOptions {
         if let Some(v) = max_requests {
             let n: u64 = parse_num(&v, "--max-requests-per-conn")?;
             opts.max_requests_per_conn = (n > 0).then_some(n);
+        }
+        if let Some(v) = stats {
+            opts.stats = !matches!(
+                v.trim().to_ascii_lowercase().as_str(),
+                "off" | "0" | "false" | "no"
+            );
         }
         Ok(opts)
     }
@@ -400,6 +414,22 @@ mod tests {
         let opts = ServerOptions::parse(&[], &env).unwrap();
         assert_eq!(opts.idle_timeout, None, "0 disables");
         assert_eq!(opts.max_requests_per_conn, Some(7));
+    }
+
+    #[test]
+    fn stats_toggle_parses_from_flag_and_env() {
+        let opts = ServerOptions::parse(&[], &no_env).unwrap();
+        assert!(opts.stats, "telemetry defaults on");
+        let opts = ServerOptions::parse(&strings(&["--stats", "off"]), &no_env).unwrap();
+        assert!(!opts.stats);
+        let env = |name: &str| match name {
+            "RP_KV_STATS" => Some("0".to_string()),
+            _ => None,
+        };
+        let opts = ServerOptions::parse(&[], &env).unwrap();
+        assert!(!opts.stats, "env beats default");
+        let opts = ServerOptions::parse(&strings(&["--stats", "on"]), &env).unwrap();
+        assert!(opts.stats, "flag beats env");
     }
 
     #[test]

@@ -142,6 +142,28 @@ impl CacheClient {
         }
     }
 
+    /// Issues one of the uppercase `STATS` telemetry commands (`""`,
+    /// `"RESET"` or `"TRACE"` as the subcommand) and returns the reply text
+    /// up to (excluding) the `END` frame marker. `STATS RESET` answers a
+    /// single `RESET` line instead of an `END`-framed body, so it is
+    /// handled on either terminator.
+    pub fn stats_text(&mut self, subcommand: &str) -> std::io::Result<String> {
+        if subcommand.is_empty() {
+            self.send(b"STATS\r\n")?;
+        } else {
+            self.send(format!("STATS {subcommand}\r\n").as_bytes())?;
+        }
+        let mut text = String::new();
+        loop {
+            let line = self.read_line()?;
+            let trimmed = line.trim_end();
+            if trimmed == "END" || trimmed == "RESET" {
+                return Ok(text);
+            }
+            text.push_str(&line);
+        }
+    }
+
     /// Sends `quit`, closing the connection server-side.
     pub fn quit(&mut self) -> std::io::Result<()> {
         self.send(b"quit\r\n")

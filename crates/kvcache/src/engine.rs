@@ -175,6 +175,21 @@ impl CacheStats {
     pub fn evicted(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
     }
+
+    /// Zeroes every counter (`STATS RESET`). Relaxed stores: counts
+    /// recorded concurrently with the reset land on either side of it.
+    pub fn reset(&self) {
+        for counter in [
+            &self.get_hits,
+            &self.get_misses,
+            &self.sets,
+            &self.deletes,
+            &self.evictions,
+            &self.expirations,
+        ] {
+            counter.store(0, Ordering::Relaxed);
+        }
+    }
 }
 
 /// A cache storage engine: the component the paper swaps out between stock
@@ -267,6 +282,12 @@ pub trait CacheEngine: Send + Sync {
     /// Removes expired items eagerly (both engines also expire lazily on
     /// GET). Returns how many were removed.
     fn purge_expired(&self) -> usize;
+
+    /// Scrape-time hook: push engine-derived level gauges (e.g. shard
+    /// imbalance) into the `rp-obs` registry. Called by the `STATS`
+    /// telemetry renderer just before it reads the registry; the default
+    /// does nothing.
+    fn observe_gauges(&self) {}
 }
 
 #[cfg(test)]

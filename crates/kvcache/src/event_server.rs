@@ -34,7 +34,7 @@ use rp_rcu::Reclaimer;
 
 use crate::engine::{CacheEngine, EngineReadCtx, ReadSide};
 use crate::protocol::{Decoded, RefDecoder};
-use crate::server::{execute_ref, ServerConfig};
+use crate::server::{execute_ref_observed, ServerConfig};
 
 /// The memcached text protocol as an [`rp_net::Service`].
 ///
@@ -65,14 +65,26 @@ impl KvService {
     }
 }
 
+/// A reactor worker's serving state: the read-side context plus the
+/// worker's private `rp-obs` metric shard (requests, decode errors,
+/// per-opcode latency histograms). Keeping a `&'static` shard reference
+/// here means the hot path never touches the shard-selection mask.
+pub struct KvWorker {
+    ctx: EngineReadCtx,
+    kv: &'static rp_obs::KvWorkerObs,
+}
+
 impl Service for KvService {
     type Conn = RefDecoder;
-    type Worker = EngineReadCtx;
+    type Worker = KvWorker;
 
-    fn on_worker_start(&self, _worker: usize) -> EngineReadCtx {
+    fn on_worker_start(&self, worker: usize) -> KvWorker {
         // Runs on the worker thread, so the QSBR registration (when chosen)
         // is pinned to the thread that will serve the lookups.
-        EngineReadCtx::new(self.read_side)
+        KvWorker {
+            ctx: EngineReadCtx::new(self.read_side),
+            kv: rp_obs::global().kv.shards.for_worker(worker),
+        }
     }
 
     fn on_connect(&self, _peer: SocketAddr) -> RefDecoder {
@@ -81,7 +93,7 @@ impl Service for KvService {
 
     fn on_data(
         &self,
-        ctx: &mut EngineReadCtx,
+        worker: &mut KvWorker,
         decoder: &mut RefDecoder,
         io: &mut ConnIo<'_>,
     ) -> Action {
@@ -97,12 +109,19 @@ impl Service for KvService {
             match decoded {
                 Decoded::Request(request) => {
                     io.requests += 1;
-                    if execute_ref(&*self.engine, &request, ctx, &mut io.out) {
+                    if execute_ref_observed(
+                        &*self.engine,
+                        &request,
+                        &mut worker.ctx,
+                        &mut io.out,
+                        worker.kv,
+                    ) {
                         break Action::Close;
                     }
                 }
                 Decoded::Bad(error) => {
                     io.requests += 1;
+                    worker.kv.decode_errors.inc();
                     error.write_wire(&mut io.out);
                 }
                 Decoded::NeedMore => break Action::Continue,
@@ -112,11 +131,11 @@ impl Service for KvService {
         action
     }
 
-    fn on_batch_end(&self, ctx: &mut EngineReadCtx) {
+    fn on_batch_end(&self, worker: &mut KvWorker) {
         // Every response of the batch has been copied out; the worker holds
         // no references into the engine's index. One announcement per
         // batch, amortised over every lookup the batch served.
-        ctx.quiescent();
+        worker.ctx.quiescent();
         // QSBR workers postpone writer-side grace work (auto-resize); if
         // every writer is a QSBR worker, someone must catch up or the
         // index never resizes. This is that someone: between batches, with
@@ -125,16 +144,16 @@ impl Service for KvService {
         // inside its load-factor bounds.
         if matches!(self.read_side, ReadSide::Qsbr) {
             let engine = &self.engine;
-            ctx.with_offline(|| engine.housekeeping());
+            worker.ctx.with_offline(|| engine.housekeeping());
         }
     }
 
-    fn on_park(&self, ctx: &mut EngineReadCtx) {
-        ctx.park();
+    fn on_park(&self, worker: &mut KvWorker) {
+        worker.ctx.park();
     }
 
-    fn on_unpark(&self, ctx: &mut EngineReadCtx) {
-        ctx.unpark();
+    fn on_unpark(&self, worker: &mut KvWorker) {
+        worker.ctx.unpark();
     }
 }
 

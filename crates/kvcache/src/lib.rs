@@ -59,6 +59,7 @@ pub mod cli;
 pub mod client;
 pub mod event_server;
 pub mod server;
+pub mod telemetry;
 
 pub use engine::{CacheEngine, CacheStats, EngineReadCtx, ReadSide, StoreOutcome};
 pub use event_server::{EventServer, KvService};

@@ -41,6 +41,24 @@ use rp_net::BufWrite;
 
 use crate::item::Item;
 
+/// Which `STATS` telemetry view the client asked for.
+///
+/// The uppercase `STATS` verb is this server's live-telemetry endpoint
+/// (Prometheus-style text from the `rp-obs` subsystem); the lowercase
+/// memcached `stats` command keeps its classic `STAT <name> <value>`
+/// reply, byte for byte. The verbs are distinct on the wire, so the two
+/// never collide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsSub {
+    /// `STATS` — render every metric as Prometheus exposition text.
+    Render,
+    /// `STATS RESET` — zero the counters and histograms (level gauges keep
+    /// their value) and mark the trace ring.
+    Reset,
+    /// `STATS TRACE` — dump the timestamped event ring.
+    Trace,
+}
+
 /// A parsed client command (owned form).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
@@ -68,6 +86,8 @@ pub enum Command {
     },
     /// `stats`.
     Stats,
+    /// Uppercase `STATS` (live telemetry; see [`StatsSub`]).
+    StatsProm(StatsSub),
     /// `version`.
     Version,
     /// `quit` (close the connection).
@@ -212,6 +232,8 @@ pub enum RequestRef<'a> {
     },
     /// `stats`.
     Stats,
+    /// Uppercase `STATS` (live telemetry; see [`StatsSub`]).
+    StatsProm(StatsSub),
     /// `version`.
     Version,
     /// `quit`.
@@ -243,6 +265,7 @@ impl RequestRef<'_> {
                 noreply: *noreply,
             },
             RequestRef::Stats => Command::Stats,
+            RequestRef::StatsProm(sub) => Command::StatsProm(*sub),
             RequestRef::Version => Command::Version,
             RequestRef::Quit => Command::Quit,
         }
@@ -264,6 +287,10 @@ pub enum Response {
     NotFound,
     /// `STAT` lines followed by `END`.
     Stats(Vec<(String, String)>),
+    /// Pre-rendered reply bytes, written verbatim (the owned-path carrier
+    /// for `STATS` telemetry text, which is rendered rather than built
+    /// from variants).
+    Raw(Bytes),
     /// `VERSION <x>`.
     Version(String),
     /// `ERROR` (unknown command).
@@ -329,6 +356,7 @@ impl Response {
                 }
                 out.put(b"END\r\n");
             }
+            Response::Raw(bytes) => out.put_shared(bytes.clone()),
             Response::Version(v) => {
                 out.put(b"VERSION ");
                 out.put(v.as_bytes());
@@ -496,6 +524,25 @@ pub fn parse_request_ref(buf: &[u8]) -> RefOutcome<'_> {
             request: RequestRef::Stats,
             consumed: after_line,
         },
+        "STATS" => {
+            let mut parts = rest.split_ascii_whitespace();
+            let sub = match (parts.next(), parts.next()) {
+                (None, _) => Some(StatsSub::Render),
+                (Some("RESET"), None) => Some(StatsSub::Reset),
+                (Some("TRACE"), None) => Some(StatsSub::Trace),
+                _ => None,
+            };
+            match sub {
+                Some(sub) => RefOutcome::Complete {
+                    request: RequestRef::StatsProm(sub),
+                    consumed: after_line,
+                },
+                None => RefOutcome::Invalid {
+                    consumed: after_line,
+                    error: BadRequest::UnknownCommand,
+                },
+            }
+        }
         "version" => RefOutcome::Complete {
             request: RequestRef::Version,
             consumed: after_line,
@@ -913,6 +960,36 @@ mod tests {
         assert_eq!(complete(b"stats\r\n").0, Command::Stats);
         assert_eq!(complete(b"version\r\n").0, Command::Version);
         assert_eq!(complete(b"quit\r\n").0, Command::Quit);
+    }
+
+    #[test]
+    fn uppercase_stats_telemetry_verbs_parse() {
+        assert_eq!(
+            complete(b"STATS\r\n").0,
+            Command::StatsProm(StatsSub::Render)
+        );
+        assert_eq!(
+            complete(b"STATS RESET\r\n").0,
+            Command::StatsProm(StatsSub::Reset)
+        );
+        assert_eq!(
+            complete(b"STATS TRACE\r\n").0,
+            Command::StatsProm(StatsSub::Trace)
+        );
+        // Lowercase `stats` stays the classic memcached command — the verbs
+        // are case-sensitive and must not shadow each other.
+        assert_eq!(complete(b"stats\r\n").0, Command::Stats);
+        // Unknown or lowercase subcommands are rejected, not guessed at.
+        for junk in [
+            &b"STATS bogus\r\n"[..],
+            b"STATS reset\r\n",
+            b"STATS RESET now\r\n",
+        ] {
+            match parse_command(junk) {
+                ParseOutcome::Invalid { consumed, .. } => assert_eq!(consumed, junk.len()),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -40,7 +40,11 @@ pub(crate) enum RawProbe {
 }
 
 /// Classifies a probe result and stamps a live hit's access time.
-fn classify_probe(stored: Option<&Arc<StoredItem>>, now: Instant, stamp: u64) -> RawProbe {
+pub(crate) fn classify_probe(
+    stored: Option<&Arc<StoredItem>>,
+    now: Instant,
+    stamp: u64,
+) -> RawProbe {
     match stored {
         Some(stored) if !stored.item.is_expired(now) => {
             stored.last_access.store(stamp, Ordering::Relaxed);
@@ -132,6 +136,100 @@ pub(crate) fn settle_probe(
     }
 }
 
+/// The bookkeeping both relativistic engines share — the capacity
+/// configuration, the approximate-LRU clock, and the operation counters —
+/// plus the stats/expiry/LRU logic over them, written once. An engine
+/// contributes its index type and the handful of index calls; everything
+/// that used to be copy-pasted between [`RpEngine`](crate::RpEngine) and
+/// [`ShardedRpEngine`](crate::ShardedRpEngine) lives here.
+pub(crate) struct EngineCore {
+    pub(crate) config: EngineConfig,
+    pub(crate) clock: AtomicU64,
+    pub(crate) stats: CacheStats,
+}
+
+impl EngineCore {
+    pub(crate) fn with_capacity(capacity: usize) -> EngineCore {
+        EngineCore {
+            config: EngineConfig {
+                capacity: capacity.max(1),
+                ..EngineConfig::default()
+            },
+            clock: AtomicU64::new(0),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Next approximate-LRU access stamp.
+    pub(crate) fn stamp(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Wraps `item` for storage, or `None` if it exceeds the per-item size
+    /// limit (the shared SET admission check).
+    pub(crate) fn admit(&self, item: Item) -> Option<Arc<StoredItem>> {
+        if item.len() > self.config.max_item_size {
+            return None;
+        }
+        Some(Arc::new(StoredItem {
+            item,
+            last_access: AtomicU64::new(self.stamp()),
+        }))
+    }
+
+    pub(crate) fn note_set(&self) {
+        self.stats.bump(&self.stats.sets);
+    }
+
+    pub(crate) fn note_delete(&self, removed: bool) -> bool {
+        if removed {
+            self.stats.bump(&self.stats.deletes);
+        }
+        removed
+    }
+
+    /// Applies the shared hit/expired/miss accounting ([`settle_probe`]).
+    pub(crate) fn settle(
+        &self,
+        probe: RawProbe,
+        remove_expired: impl FnOnce() -> bool,
+    ) -> Option<Item> {
+        settle_probe(&self.stats, probe, remove_expired)
+    }
+
+    /// Approximate LRU: collect `(key, stamp)` pairs, evict the stalest
+    /// entries until the cache is back under capacity. Runs on the writer
+    /// (SET) path only.
+    pub(crate) fn evict_if_needed(
+        &self,
+        len: impl Fn() -> usize,
+        candidates: impl Fn() -> Vec<(String, u64)>,
+        remove: impl Fn(&str) -> bool,
+    ) {
+        while len() > self.config.capacity {
+            let over = len() - self.config.capacity;
+            let mut candidates = candidates();
+            if candidates.is_empty() {
+                break;
+            }
+            candidates.sort_by_key(|(_, stamp)| *stamp);
+            for (key, _) in candidates.into_iter().take(over.max(1)) {
+                if remove(&key) {
+                    self.stats.bump(&self.stats.evictions);
+                }
+            }
+        }
+    }
+
+    /// Accounting for an eager purge sweep; returns `purged` back.
+    pub(crate) fn note_purged(&self, purged: usize) -> usize {
+        for _ in 0..purged {
+            self.stats.bump(&self.stats.expirations);
+        }
+        purged
+    }
+}
+
 /// A stored item plus its approximate-LRU access stamp.
 ///
 /// The payload is immutable after publication; only the access stamp is
@@ -156,9 +254,7 @@ pub(crate) struct StoredItem {
 ///   the writer samples the table and evicts the stalest entries it saw.
 pub struct RpEngine {
     index: RpHashMap<String, Arc<StoredItem>, FnvBuildHasher>,
-    config: EngineConfig,
-    clock: AtomicU64,
-    stats: CacheStats,
+    core: EngineCore,
 }
 
 impl Default for RpEngine {
@@ -189,12 +285,7 @@ impl RpEngine {
                     ..ResizePolicy::default()
                 },
             ),
-            config: EngineConfig {
-                capacity: capacity.max(1),
-                ..EngineConfig::default()
-            },
-            clock: AtomicU64::new(0),
-            stats: CacheStats::default(),
+            core: EngineCore::with_capacity(capacity),
         }
     }
 
@@ -205,28 +296,17 @@ impl RpEngine {
     }
 
     fn evict_if_needed(&self) {
-        // Approximate LRU: collect (key, stamp) pairs under a guard, then
-        // evict the oldest entries until we are back under capacity. Runs on
-        // the writer (SET) path only.
-        while self.index.len() > self.config.capacity {
-            let over = self.index.len() - self.config.capacity;
-            let mut candidates: Vec<(String, u64)> = {
+        self.core.evict_if_needed(
+            || self.index.len(),
+            || {
                 let guard = self.index.pin();
                 self.index
                     .iter(&guard)
                     .map(|(k, v)| (k.clone(), v.last_access.load(Ordering::Relaxed)))
                     .collect()
-            };
-            if candidates.is_empty() {
-                break;
-            }
-            candidates.sort_by_key(|(_, stamp)| *stamp);
-            for (key, _) in candidates.into_iter().take(over.max(1)) {
-                if self.index.remove(&key) {
-                    self.stats.bump(&self.stats.evictions);
-                }
-            }
-        }
+            },
+            |key| self.index.remove(key),
+        );
     }
 }
 
@@ -237,39 +317,16 @@ impl CacheEngine for RpEngine {
 
     fn get(&self, key: &str) -> Option<Item> {
         let now = Instant::now();
-        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let stamp = self.core.stamp();
         // Fast path: a relativistic lookup. No locks, no waiting; the value
         // is copied (cheaply — the payload is reference counted) while still
-        // inside the read-side critical section.
-        let result = {
+        // inside the read-side critical section. An expired entry falls back
+        // to the writer-side slow path inside `settle`.
+        let probe = {
             let guard = self.index.pin();
-            match self.index.get(key, &guard) {
-                Some(stored) if !stored.item.is_expired(now) => {
-                    stored.last_access.store(stamp, Ordering::Relaxed);
-                    Some(stored.item.clone())
-                }
-                Some(_) => None, // expired: handle on the slow path below
-                None => {
-                    self.stats.bump(&self.stats.get_misses);
-                    return None;
-                }
-            }
+            classify_probe(self.index.get(key, &guard), now, stamp)
         };
-        match result {
-            Some(item) => {
-                self.stats.bump(&self.stats.get_hits);
-                Some(item)
-            }
-            None => {
-                // Slow path: the entry exists but is expired; remove it
-                // through the writer side (the guard is already dropped).
-                if self.index.remove(key) {
-                    self.stats.bump(&self.stats.expirations);
-                }
-                self.stats.bump(&self.stats.get_misses);
-                None
-            }
-        }
+        self.core.settle(probe, || self.index.remove(key))
     }
 
     fn get_via(&self, key: &str, ctx: &mut EngineReadCtx) -> Option<Item> {
@@ -280,38 +337,15 @@ impl CacheEngine for RpEngine {
             return self.get(key);
         };
         let now = Instant::now();
-        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let stamp = self.core.stamp();
         // The QSBR fast path: no guard, no fence — the lookup is free. The
         // value is copied out while the context borrow (the quiescent
         // window) is still open, exactly like the guard-scoped EBR path.
-        let result = match self.index.get_qsbr(key, handle) {
-            Some(stored) if !stored.item.is_expired(now) => {
-                stored.last_access.store(stamp, Ordering::Relaxed);
-                Some(stored.item.clone())
-            }
-            Some(_) => None, // expired: slow path below
-            None => {
-                self.stats.bump(&self.stats.get_misses);
-                return None;
-            }
-        };
-        match result {
-            Some(item) => {
-                self.stats.bump(&self.stats.get_hits);
-                Some(item)
-            }
-            None => {
-                // Expired: remove through the writer side. Grace-period
-                // work (reclamation, auto-shrink) is postponed while this
-                // thread is a QSBR reader — the background maintainer or
-                // reclaimer absorbs it.
-                if self.index.remove(key) {
-                    self.stats.bump(&self.stats.expirations);
-                }
-                self.stats.bump(&self.stats.get_misses);
-                None
-            }
-        }
+        // Grace-period work a removal triggers is postponed while this
+        // thread is a QSBR reader — the background maintainer or reclaimer
+        // absorbs it.
+        let probe = classify_probe(self.index.get_qsbr(key, handle), now, stamp);
+        self.core.settle(probe, || self.index.remove(key))
     }
 
     fn get_ref(&self, key: &[u8], ctx: &mut EngineReadCtx) -> Option<Item> {
@@ -319,9 +353,9 @@ impl CacheEngine for RpEngine {
         // lookup; the key is never copied and never re-validated.
         let hash = str_bytes_hash(key);
         let now = Instant::now();
-        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let stamp = self.core.stamp();
         let probe = probe_ref(&self.index, ctx, hash, key, now, stamp);
-        settle_probe(&self.stats, probe, || {
+        self.core.settle(probe, || {
             // Expired: remove through the writer side (cold path; the
             // UTF-8 view is free — stored keys are always valid UTF-8).
             std::str::from_utf8(key)
@@ -331,26 +365,17 @@ impl CacheEngine for RpEngine {
     }
 
     fn set(&self, key: &str, item: Item) -> StoreOutcome {
-        if item.len() > self.config.max_item_size {
+        let Some(stored) = self.core.admit(item) else {
             return StoreOutcome::NotStored;
-        }
-        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
-        let stored = Arc::new(StoredItem {
-            item,
-            last_access: AtomicU64::new(stamp),
-        });
+        };
         self.index.insert(key.to_string(), stored);
         self.evict_if_needed();
-        self.stats.bump(&self.stats.sets);
+        self.core.note_set();
         StoreOutcome::Stored
     }
 
     fn delete(&self, key: &str) -> bool {
-        let removed = self.index.remove(key);
-        if removed {
-            self.stats.bump(&self.stats.deletes);
-        }
-        removed
+        self.core.note_delete(self.index.remove(key))
     }
 
     fn len(&self) -> usize {
@@ -365,18 +390,15 @@ impl CacheEngine for RpEngine {
     }
 
     fn stats(&self) -> &CacheStats {
-        &self.stats
+        &self.core.stats
     }
 
     fn purge_expired(&self) -> usize {
         let now = Instant::now();
         let before = self.index.len();
         self.index.retain(|_, stored| !stored.item.is_expired(now));
-        let purged = before.saturating_sub(self.index.len());
-        for _ in 0..purged {
-            self.stats.bump(&self.stats.expirations);
-        }
-        purged
+        self.core
+            .note_purged(before.saturating_sub(self.index.len()))
     }
 }
 

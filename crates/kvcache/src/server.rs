@@ -23,8 +23,9 @@ use rp_net::BufWrite;
 use crate::engine::{CacheEngine, EngineReadCtx, ReadSide, StoreOutcome};
 use crate::event_server::EventServer;
 use crate::protocol::{
-    write_value_header, Command, DecodedRequest, RequestDecoder, RequestRef, Response,
+    write_value_header, Command, Decoded, RefDecoder, RequestRef, Response, StatsSub,
 };
+use crate::telemetry;
 
 /// Version string reported by the `version` command.
 pub const SERVER_VERSION: &str = "relativist-kvcache 0.1.0";
@@ -253,6 +254,14 @@ impl Drop for CacheServer {
 }
 
 /// Serves one client connection until EOF, `quit`, or server shutdown.
+///
+/// Runs the same borrowed request pipeline as the event loop
+/// ([`execute_ref`] over a [`RefDecoder`]): requests are decoded in place
+/// out of the connection's input buffer and replies serialised into one
+/// reusable response buffer, so a steady-state GET allocates nothing —
+/// there is no owned [`Command`] and no per-reply `Vec` on this path any
+/// more. The threaded server always reads through EBR (its blocking
+/// per-connection threads have no natural quiescent points).
 fn serve_connection(
     mut stream: TcpStream,
     engine: &dyn CacheEngine,
@@ -260,26 +269,49 @@ fn serve_connection(
 ) -> std::io::Result<()> {
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(Duration::from_millis(200)))?;
-    let mut decoder = RequestDecoder::new();
+    let mut decoder = RefDecoder::new();
+    let mut ctx = EngineReadCtx::ebr();
+    let mut input: Vec<u8> = Vec::new();
+    let mut out: Vec<u8> = Vec::new();
     let mut chunk = [0_u8; 4096];
+    // Spread per-connection threads across the metric shards by fd (the
+    // event loop uses its worker index instead).
+    let kv = {
+        use std::os::unix::io::AsRawFd;
+        rp_obs::global()
+            .kv
+            .shards
+            .for_worker(stream.as_raw_fd() as usize)
+    };
 
     loop {
-        // Drain every complete command already buffered.
-        for request in decoder.by_ref() {
-            match request {
-                DecodedRequest::Invalid { reason } => {
-                    stream.write_all(&Response::ClientError(reason).to_bytes())?;
-                }
-                DecodedRequest::Command(command) => {
-                    let quit = matches!(command, Command::Quit);
-                    if let Some(reply) = execute(engine, command) {
-                        stream.write_all(&reply.to_bytes())?;
-                    }
-                    if quit {
-                        return Ok(());
+        // Drain every complete request already buffered.
+        let mut offset = 0;
+        let mut quit = false;
+        loop {
+            let (used, decoded) = decoder.step(&input[offset..]);
+            offset += used;
+            match decoded {
+                Decoded::Request(request) => {
+                    if execute_ref_observed(engine, &request, &mut ctx, &mut out, kv) {
+                        quit = true;
+                        break;
                     }
                 }
+                Decoded::Bad(error) => {
+                    kv.decode_errors.inc();
+                    error.write_wire(&mut out);
+                }
+                Decoded::NeedMore => break,
             }
+        }
+        input.drain(..offset);
+        if !out.is_empty() {
+            stream.write_all(&out)?;
+            out.clear();
+        }
+        if quit {
+            return Ok(());
         }
 
         if shutdown.load(Ordering::SeqCst) {
@@ -287,7 +319,7 @@ fn serve_connection(
         }
         match stream.read(&mut chunk) {
             Ok(0) => return Ok(()), // client closed the connection
-            Ok(n) => decoder.feed(&chunk[..n]),
+            Ok(n) => input.extend_from_slice(&chunk[..n]),
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
@@ -382,6 +414,11 @@ pub fn execute_ref(
                 reply.write_to(out);
             }
         }
+        RequestRef::StatsProm(sub) => match sub {
+            StatsSub::Render => telemetry::render_prometheus(engine, out),
+            StatsSub::Reset => telemetry::reset(engine, out),
+            StatsSub::Trace => telemetry::render_trace(out),
+        },
         RequestRef::Version => {
             out.put(b"VERSION ");
             out.put(SERVER_VERSION.as_bytes());
@@ -390,6 +427,40 @@ pub fn execute_ref(
         RequestRef::Quit => return true,
     }
     false
+}
+
+/// [`execute_ref`] wrapped in the per-opcode `rp-obs` accounting both
+/// servers share: bumps the worker shard's request counter (exact, one
+/// relaxed `fetch_add` — the whole telemetry cost for most requests) and
+/// records the service time of every [`rp_obs::LATENCY_SAMPLE`]-th request
+/// into the opcode's latency histogram. The two clock reads around a timed
+/// request are the only non-trivial cost, so quantiles come from the
+/// sample while counters stay exact; `--stats off` skips the clock reads
+/// entirely.
+pub(crate) fn execute_ref_observed(
+    engine: &dyn CacheEngine,
+    request: &RequestRef<'_>,
+    ctx: &mut EngineReadCtx,
+    out: &mut impl BufWrite,
+    kv: &rp_obs::KvWorkerObs,
+) -> bool {
+    let ordinal = kv.requests.inc_and_get();
+    let timer = if rp_obs::sample_latency(ordinal) {
+        rp_obs::timer()
+    } else {
+        None
+    };
+    let quit = execute_ref(engine, request, ctx, out);
+    if let Some(ns) = rp_obs::elapsed_ns(timer) {
+        let hist = match request {
+            RequestRef::Get { .. } | RequestRef::GetMulti(_) => &kv.get_ns,
+            RequestRef::Set { .. } => &kv.set_ns,
+            RequestRef::Delete { .. } => &kv.delete_ns,
+            _ => &kv.other_ns,
+        };
+        hist.record(ns);
+    }
+    quit
 }
 
 /// Executes a command against the engine, returning the reply to send (or
@@ -473,6 +544,17 @@ pub fn execute_via(
                 ("get_misses".to_string(), stats.misses().to_string()),
                 ("evictions".to_string(), stats.evicted().to_string()),
             ]))
+        }
+        Command::StatsProm(sub) => {
+            // The owned path renders into a buffer; Response::Raw carries
+            // the pre-rendered bytes verbatim.
+            let mut buf = Vec::new();
+            match sub {
+                StatsSub::Render => telemetry::render_prometheus(engine, &mut buf),
+                StatsSub::Reset => telemetry::reset(engine, &mut buf),
+                StatsSub::Trace => telemetry::render_trace(&mut buf),
+            }
+            Some(Response::Raw(Bytes::from(buf)))
         }
         Command::Version => Some(Response::Version(SERVER_VERSION.to_string())),
         Command::Quit => None,

@@ -3,7 +3,7 @@
 //! resizes of the index only contend within one shard, and multi-key GETs
 //! use the batched, shard-grouped read path.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -13,8 +13,7 @@ use rp_shard::{ShardPolicy, ShardedRpMap};
 
 use crate::engine::{CacheEngine, CacheStats, EngineReadCtx, StoreOutcome};
 use crate::item::Item;
-use crate::lock_engine::EngineConfig;
-use crate::rp_engine::{ByteKeyIndex, StoredItem};
+use crate::rp_engine::{classify_probe, ByteKeyIndex, EngineCore, RawProbe, StoredItem};
 
 impl ByteKeyIndex for ShardedRpMap<String, Arc<StoredItem>> {
     fn probe<'g, P: rp_hash::ReadProtect>(
@@ -48,9 +47,7 @@ impl ByteKeyIndex for ShardedRpMap<String, Arc<StoredItem>> {
 /// exactly what the `fig_maint` benchmark measures.
 pub struct ShardedRpEngine {
     index: ShardedRpMap<String, Arc<StoredItem>>,
-    config: EngineConfig,
-    clock: AtomicU64,
-    stats: CacheStats,
+    core: EngineCore,
 }
 
 impl Default for ShardedRpEngine {
@@ -122,12 +119,7 @@ impl ShardedRpEngine {
         };
         ShardedRpEngine {
             index,
-            config: EngineConfig {
-                capacity: capacity.max(1),
-                ..EngineConfig::default()
-            },
-            clock: AtomicU64::new(0),
-            stats: CacheStats::default(),
+            core: EngineCore::with_capacity(capacity),
         }
     }
 
@@ -160,27 +152,38 @@ impl ShardedRpEngine {
     }
 
     fn evict_if_needed(&self) {
-        // Approximate LRU, as in RpEngine: sample everything under a guard,
-        // evict the stalest entries. Runs on the SET path only.
-        while self.index.len() > self.config.capacity {
-            let over = self.index.len() - self.config.capacity;
-            let mut candidates: Vec<(String, u64)> = {
+        // Approximate LRU, as in RpEngine (the logic is EngineCore's):
+        // sample everything under a guard, evict the stalest entries. Runs
+        // on the SET path only.
+        self.core.evict_if_needed(
+            || self.index.len(),
+            || {
                 let guard = self.index.pin();
                 self.index
                     .iter(&guard)
                     .map(|(k, v)| (k.clone(), v.last_access.load(Ordering::Relaxed)))
                     .collect()
-            };
-            if candidates.is_empty() {
-                break;
-            }
-            candidates.sort_by_key(|(_, stamp)| *stamp);
-            for (key, _) in candidates.into_iter().take(over.max(1)) {
-                if self.index.remove(&key) {
-                    self.stats.bump(&self.stats.evictions);
-                }
-            }
-        }
+            },
+            |key| self.index.remove(key),
+        );
+    }
+
+    /// Applies the shared per-key accounting to a batched lookup's slots
+    /// (`Some(Some(_))` live hit, `Some(None)` present-but-expired, `None`
+    /// miss), removing expired entries through the writer side.
+    fn settle_batch(&self, stored: Vec<Option<Option<Item>>>, keys: &[&str]) -> Vec<Option<Item>> {
+        stored
+            .into_iter()
+            .zip(keys)
+            .map(|(slot, key)| {
+                let probe = match slot {
+                    Some(Some(item)) => RawProbe::Live(item),
+                    Some(None) => RawProbe::Expired,
+                    None => RawProbe::Miss,
+                };
+                self.core.settle(probe, || self.index.remove(*key))
+            })
+            .collect()
     }
 }
 
@@ -191,39 +194,17 @@ impl CacheEngine for ShardedRpEngine {
 
     fn get(&self, key: &str) -> Option<Item> {
         let now = Instant::now();
-        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
-        let result = {
+        let stamp = self.core.stamp();
+        let probe = {
             let guard = self.index.pin();
-            match self.index.get(key, &guard) {
-                Some(stored) if !stored.item.is_expired(now) => {
-                    stored.last_access.store(stamp, Ordering::Relaxed);
-                    Some(stored.item.clone())
-                }
-                Some(_) => None, // expired: slow path below
-                None => {
-                    self.stats.bump(&self.stats.get_misses);
-                    return None;
-                }
-            }
+            classify_probe(self.index.get(key, &guard), now, stamp)
         };
-        match result {
-            Some(item) => {
-                self.stats.bump(&self.stats.get_hits);
-                Some(item)
-            }
-            None => {
-                if self.index.remove(key) {
-                    self.stats.bump(&self.stats.expirations);
-                }
-                self.stats.bump(&self.stats.get_misses);
-                None
-            }
-        }
+        self.core.settle(probe, || self.index.remove(key))
     }
 
     fn get_many(&self, keys: &[&str]) -> Vec<Option<Item>> {
         let now = Instant::now();
-        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let stamp = self.core.stamp();
         // The batched read path: keys grouped by shard, one guard pin per
         // shard. Expired entries are copied out as None and deleted on the
         // slow path afterwards, preserving per-key `get` semantics.
@@ -235,28 +216,7 @@ impl CacheEngine for ShardedRpEngine {
                 Some(found.item.clone())
             }
         });
-        stored
-            .into_iter()
-            .zip(keys)
-            .map(|(slot, key)| match slot {
-                Some(Some(item)) => {
-                    self.stats.bump(&self.stats.get_hits);
-                    Some(item)
-                }
-                Some(None) => {
-                    // Present but expired: remove through the writer side.
-                    if self.index.remove(*key) {
-                        self.stats.bump(&self.stats.expirations);
-                    }
-                    self.stats.bump(&self.stats.get_misses);
-                    None
-                }
-                None => {
-                    self.stats.bump(&self.stats.get_misses);
-                    None
-                }
-            })
-            .collect()
+        self.settle_batch(stored, keys)
     }
 
     fn get_via(&self, key: &str, ctx: &mut EngineReadCtx) -> Option<Item> {
@@ -266,31 +226,9 @@ impl CacheEngine for ShardedRpEngine {
             return self.get(key);
         };
         let now = Instant::now();
-        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
-        let result = match self.index.get_qsbr(key, handle) {
-            Some(stored) if !stored.item.is_expired(now) => {
-                stored.last_access.store(stamp, Ordering::Relaxed);
-                Some(stored.item.clone())
-            }
-            Some(_) => None, // expired: slow path below
-            None => {
-                self.stats.bump(&self.stats.get_misses);
-                return None;
-            }
-        };
-        match result {
-            Some(item) => {
-                self.stats.bump(&self.stats.get_hits);
-                Some(item)
-            }
-            None => {
-                if self.index.remove(key) {
-                    self.stats.bump(&self.stats.expirations);
-                }
-                self.stats.bump(&self.stats.get_misses);
-                None
-            }
-        }
+        let stamp = self.core.stamp();
+        let probe = classify_probe(self.index.get_qsbr(key, handle), now, stamp);
+        self.core.settle(probe, || self.index.remove(key))
     }
 
     fn get_many_via(&self, keys: &[&str], ctx: &mut EngineReadCtx) -> Vec<Option<Item>> {
@@ -298,7 +236,7 @@ impl CacheEngine for ShardedRpEngine {
             return self.get_many(keys);
         };
         let now = Instant::now();
-        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let stamp = self.core.stamp();
         // The QSBR batch: every key served inside one quiescent window (the
         // borrow of the worker's handle), with no per-shard guard pins at
         // all. Expired entries are copied out as None and deleted on the
@@ -311,40 +249,20 @@ impl CacheEngine for ShardedRpEngine {
                 Some(found.item.clone())
             }
         });
-        stored
-            .into_iter()
-            .zip(keys)
-            .map(|(slot, key)| match slot {
-                Some(Some(item)) => {
-                    self.stats.bump(&self.stats.get_hits);
-                    Some(item)
-                }
-                Some(None) => {
-                    if self.index.remove(*key) {
-                        self.stats.bump(&self.stats.expirations);
-                    }
-                    self.stats.bump(&self.stats.get_misses);
-                    None
-                }
-                None => {
-                    self.stats.bump(&self.stats.get_misses);
-                    None
-                }
-            })
-            .collect()
+        self.settle_batch(stored, keys)
     }
 
     fn get_ref(&self, key: &[u8], ctx: &mut EngineReadCtx) -> Option<Item> {
-        use crate::rp_engine::{probe_ref, settle_probe, str_bytes_hash};
+        use crate::rp_engine::{probe_ref, str_bytes_hash};
         // One hashing pass drives shard routing and the in-shard probe; the
         // borrowed key is never copied. Dispatch and accounting are shared
-        // with RpEngine (`probe_ref`/`settle_probe`); only the index type
-        // and the expired-removal call differ.
+        // with RpEngine (`probe_ref`/`EngineCore::settle`); only the index
+        // type and the expired-removal call differ.
         let hash = str_bytes_hash(key);
         let now = Instant::now();
-        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let stamp = self.core.stamp();
         let probe = probe_ref(&self.index, ctx, hash, key, now, stamp);
-        settle_probe(&self.stats, probe, || {
+        self.core.settle(probe, || {
             // Expired: remove through the writer side (cold path; the
             // UTF-8 view is free — stored keys are always valid UTF-8).
             std::str::from_utf8(key)
@@ -354,26 +272,17 @@ impl CacheEngine for ShardedRpEngine {
     }
 
     fn set(&self, key: &str, item: Item) -> StoreOutcome {
-        if item.len() > self.config.max_item_size {
+        let Some(stored) = self.core.admit(item) else {
             return StoreOutcome::NotStored;
-        }
-        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
-        let stored = Arc::new(StoredItem {
-            item,
-            last_access: AtomicU64::new(stamp),
-        });
+        };
         self.index.insert(key.to_string(), stored);
         self.evict_if_needed();
-        self.stats.bump(&self.stats.sets);
+        self.core.note_set();
         StoreOutcome::Stored
     }
 
     fn delete(&self, key: &str) -> bool {
-        let removed = self.index.remove(key);
-        if removed {
-            self.stats.bump(&self.stats.deletes);
-        }
-        removed
+        self.core.note_delete(self.index.remove(key))
     }
 
     fn len(&self) -> usize {
@@ -388,18 +297,25 @@ impl CacheEngine for ShardedRpEngine {
     }
 
     fn stats(&self) -> &CacheStats {
-        &self.stats
+        &self.core.stats
     }
 
     fn purge_expired(&self) -> usize {
         let now = Instant::now();
         let before = self.index.len();
         self.index.retain(|_, stored| !stored.item.is_expired(now));
-        let purged = before.saturating_sub(self.index.len());
-        for _ in 0..purged {
-            self.stats.bump(&self.stats.expirations);
-        }
-        purged
+        self.core
+            .note_purged(before.saturating_sub(self.index.len()))
+    }
+
+    fn observe_gauges(&self) {
+        // Scrape-time level gauge: shard balance as max/mean occupancy, in
+        // thousandths (1000 = perfectly balanced).
+        let imbalance = self.index.stats().imbalance();
+        rp_obs::global()
+            .resize
+            .imbalance_milli
+            .set((imbalance * 1000.0) as u64);
     }
 }
 

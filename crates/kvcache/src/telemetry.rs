@@ -1,0 +1,186 @@
+//! The live `STATS` telemetry endpoint.
+//!
+//! The uppercase `STATS` verb renders the whole `rp-obs` registry —
+//! per-opcode latency histograms, reactor counters, maintenance and
+//! resize timings, grace-period latencies — as Prometheus-style
+//! exposition text, prefixed by a handful of engine-level metrics read
+//! from the serving engine itself. The text is written straight through
+//! the server's [`BufWrite`] path (the same zero-copy queue responses
+//! use), framed by a trailing `END\r\n` so clients can read it off a
+//! shared connection without special casing.
+//!
+//! `STATS RESET` zeroes counters and histograms (level gauges keep their
+//! value — their owners re-assert them) and `STATS TRACE` dumps the
+//! timestamped event ring. The lowercase memcached `stats` command is
+//! untouched.
+
+use rp_net::BufWrite;
+use rp_obs::MetricSink;
+
+use crate::engine::CacheEngine;
+
+/// Bridges the server's [`BufWrite`] response queue to the dependency-free
+/// [`MetricSink`] the `rp-obs` renderer writes into.
+struct SinkAdapter<'a, W: BufWrite>(&'a mut W);
+
+impl<W: BufWrite> MetricSink for SinkAdapter<'_, W> {
+    fn put_bytes(&mut self, bytes: &[u8]) {
+        self.0.put(bytes);
+    }
+}
+
+/// Renders the engine-level metrics (item count and the classic cache
+/// counters) as Prometheus text. Split out from [`render_prometheus`] so
+/// its output — a pure function of the engine's state — can be pinned
+/// byte-for-byte by tests.
+pub fn render_engine_metrics(engine: &dyn CacheEngine, out: &mut impl BufWrite) {
+    let mut sink = SinkAdapter(out);
+    let stats = engine.stats();
+    rp_obs::render::gauge(
+        &mut sink,
+        "engine_items",
+        "Items currently stored",
+        engine.len() as u64,
+    );
+    rp_obs::render::counter(
+        &mut sink,
+        "engine_get_hits_total",
+        "GETs that found a live item",
+        stats.hits(),
+    );
+    rp_obs::render::counter(
+        &mut sink,
+        "engine_get_misses_total",
+        "GETs that found nothing live",
+        stats.misses(),
+    );
+    rp_obs::render::counter(
+        &mut sink,
+        "engine_sets_total",
+        "Successful SETs",
+        stats.sets.load(std::sync::atomic::Ordering::Relaxed),
+    );
+    rp_obs::render::counter(
+        &mut sink,
+        "engine_deletes_total",
+        "Successful DELETEs",
+        stats.deletes.load(std::sync::atomic::Ordering::Relaxed),
+    );
+    rp_obs::render::counter(
+        &mut sink,
+        "engine_evictions_total",
+        "Items evicted to stay under capacity",
+        stats.evicted(),
+    );
+    rp_obs::render::counter(
+        &mut sink,
+        "engine_expirations_total",
+        "Items dropped because they were expired",
+        stats.expirations.load(std::sync::atomic::Ordering::Relaxed),
+    );
+}
+
+/// Serves `STATS`: engine-level metrics, then the full `rp-obs` registry,
+/// closed by the `END\r\n` frame marker.
+pub fn render_prometheus(engine: &dyn CacheEngine, out: &mut impl BufWrite) {
+    // Let the engine push scrape-time level gauges (shard imbalance) into
+    // the registry before it is read.
+    engine.observe_gauges();
+    render_engine_metrics(engine, out);
+    rp_obs::global().render_prometheus(&mut SinkAdapter(out));
+    out.put(b"END\r\n");
+}
+
+/// Serves `STATS RESET`: zeroes the engine's counters and the `rp-obs`
+/// registry (counters and histograms; level gauges keep their value), then
+/// acknowledges.
+pub fn reset(engine: &dyn CacheEngine, out: &mut impl BufWrite) {
+    engine.stats().reset();
+    rp_obs::global().reset();
+    out.put(b"RESET\r\n");
+}
+
+/// Serves `STATS TRACE`: dumps the timestamped event ring as `TRACE` lines
+/// closed by `END\r\n`.
+pub fn render_trace(out: &mut impl BufWrite) {
+    rp_obs::global().render_trace(&mut SinkAdapter(out));
+    out.put(b"END\r\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Item, LockEngine};
+
+    /// The engine-level section is a pure function of the engine's state:
+    /// pin its exact wire bytes (satellite of the exposition-format
+    /// contract; the shared-registry sections are covered structurally in
+    /// the server tests, since parallel tests write to the same registry).
+    #[test]
+    fn engine_metrics_exact_bytes() {
+        let engine = LockEngine::new();
+        engine.set("k", Item::new(0, "v"));
+        engine.get("k");
+        engine.get("missing");
+        engine.delete("k");
+        let mut out = Vec::new();
+        render_engine_metrics(&engine, &mut out);
+        let expected = "\
+# HELP engine_items Items currently stored\n\
+# TYPE engine_items gauge\n\
+engine_items 0\n\
+# HELP engine_get_hits_total GETs that found a live item\n\
+# TYPE engine_get_hits_total counter\n\
+engine_get_hits_total 1\n\
+# HELP engine_get_misses_total GETs that found nothing live\n\
+# TYPE engine_get_misses_total counter\n\
+engine_get_misses_total 1\n\
+# HELP engine_sets_total Successful SETs\n\
+# TYPE engine_sets_total counter\n\
+engine_sets_total 1\n\
+# HELP engine_deletes_total Successful DELETEs\n\
+# TYPE engine_deletes_total counter\n\
+engine_deletes_total 1\n\
+# HELP engine_evictions_total Items evicted to stay under capacity\n\
+# TYPE engine_evictions_total counter\n\
+engine_evictions_total 0\n\
+# HELP engine_expirations_total Items dropped because they were expired\n\
+# TYPE engine_expirations_total counter\n\
+engine_expirations_total 0\n";
+        assert_eq!(String::from_utf8(out).unwrap(), expected);
+    }
+
+    #[test]
+    fn prometheus_render_is_framed_and_covers_every_layer() {
+        let engine = LockEngine::new();
+        engine.set("k", Item::new(0, "v"));
+        let mut out = Vec::new();
+        render_prometheus(&engine, &mut out);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("# HELP engine_items"), "{text}");
+        assert!(text.ends_with("END\r\n"), "{text}");
+        for family in [
+            "kv_requests_total",
+            "kv_get_latency_ns",
+            "net_accepts_total",
+            "maint_slice_ns",
+            "resize_grace_wait_ns",
+            "rcu_sync_ebr_ns",
+        ] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn trace_render_is_framed() {
+        let mut out = Vec::new();
+        render_trace(&mut out);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.ends_with("END\r\n"));
+        for line in text.lines() {
+            if line != "END" {
+                assert!(line.starts_with("TRACE "), "unexpected line {line:?}");
+            }
+        }
+    }
+}

@@ -5,7 +5,9 @@
 use bytes::Bytes;
 use proptest::prelude::*;
 
-use rp_kvcache::protocol::{parse_command, Command, DecodedRequest, ParseOutcome, RequestDecoder};
+use rp_kvcache::protocol::{
+    parse_command, Command, DecodedRequest, ParseOutcome, RequestDecoder, StatsSub,
+};
 
 fn key_strategy() -> impl Strategy<Value = String> {
     "[a-zA-Z0-9:_-]{1,32}"
@@ -40,6 +42,9 @@ fn encode(cmd: &Command) -> Vec<u8> {
             format!("delete {key}{}\r\n", if *noreply { " noreply" } else { "" }).into_bytes()
         }
         Command::Stats => b"stats\r\n".to_vec(),
+        Command::StatsProm(StatsSub::Render) => b"STATS\r\n".to_vec(),
+        Command::StatsProm(StatsSub::Reset) => b"STATS RESET\r\n".to_vec(),
+        Command::StatsProm(StatsSub::Trace) => b"STATS TRACE\r\n".to_vec(),
         Command::Version => b"version\r\n".to_vec(),
         Command::Quit => b"quit\r\n".to_vec(),
     }
@@ -64,6 +69,9 @@ fn command_strategy() -> impl Strategy<Value = Command> {
             }),
         (key_strategy(), any::<bool>()).prop_map(|(key, noreply)| Command::Delete { key, noreply }),
         Just(Command::Stats),
+        Just(Command::StatsProm(StatsSub::Render)),
+        Just(Command::StatsProm(StatsSub::Reset)),
+        Just(Command::StatsProm(StatsSub::Trace)),
         Just(Command::Version),
         Just(Command::Quit),
     ]

@@ -114,6 +114,7 @@ impl MaintHandle {
         // `depth` is the resize debt this writer observed: how many units
         // were waiting for the maintainer at the moment of its request.
         self.shared.stats.observe_debt(depth);
+        rp_obs::global().maint.queue_depth.set(depth);
         self.shared.wakeup.notify_one();
     }
 
@@ -222,6 +223,7 @@ fn run(target: Arc<dyn MaintTarget>, shared: Arc<MaintShared>, config: MaintConf
             }
             Next::Unit(unit) => {
                 let mut steps = 0_usize;
+                let slice_timer = rp_obs::timer();
                 loop {
                     let step = target.step(unit, StepMode::Normal);
                     record(&shared.stats, step);
@@ -245,6 +247,19 @@ fn run(target: Arc<dyn MaintTarget>, shared: Arc<MaintShared>, config: MaintConf
                             shared.stats.requeues.fetch_add(1, Ordering::Relaxed);
                         }
                         break;
+                    }
+                }
+                if steps > 0 {
+                    // Telemetry: slice duration (the writer-visible cost the
+                    // maintainer absorbed in one fairness turn).
+                    if let Some(ns) = rp_obs::elapsed_ns(slice_timer) {
+                        let obs = rp_obs::global();
+                        obs.maint.slice_ns.record(ns);
+                        obs.maint.slices_total.inc();
+                        obs.trace.record(rp_obs::TraceKind::MaintSlice, ns);
+                        obs.maint
+                            .queue_depth
+                            .set(shared.queue.lock().items.len() as u64);
                     }
                 }
                 if GraceSync::global().reclaim_if_pending(config.reclaim_threshold) {

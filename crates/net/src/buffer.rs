@@ -230,11 +230,6 @@ pub struct PooledBuf<'a> {
 }
 
 impl PooledBuf<'_> {
-    /// Queues a pre-assembled owned segment (legacy services).
-    pub fn push(&mut self, bytes: Vec<u8>) {
-        self.buf.push(bytes);
-    }
-
     /// Unwritten bytes queued on the underlying [`WriteBuf`].
     pub fn len(&self) -> usize {
         self.buf.len()

@@ -137,7 +137,16 @@ impl<S: Service> Connection<S> {
                     // Hand frames to the service between reads so one
                     // pipelining-heavy peer cannot queue unbounded input.
                     self.process(service, worker, config, pool);
-                    if self.out.over_watermark() || self.phase != ConnState::Open {
+                    if self.out.over_watermark() {
+                        // Backpressure trip: reads pause until the queued
+                        // bytes drain below the watermark.
+                        let obs = rp_obs::global();
+                        obs.net.watermark_trips_total.inc();
+                        obs.trace
+                            .record(rp_obs::TraceKind::Backpressure, self.out.len() as u64);
+                        break;
+                    }
+                    if self.phase != ConnState::Open {
                         break;
                     }
                 }

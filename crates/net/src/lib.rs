@@ -384,7 +384,7 @@ mod tests {
             ) -> Action {
                 assert_eq!(**worker, std::thread::current().id());
                 let bytes = std::mem::take(io.input);
-                io.out.push(bytes);
+                io.out.put(&bytes);
                 Action::Continue
             }
             fn on_batch_end(&self, worker: &mut Self::Worker) {

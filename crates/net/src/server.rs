@@ -222,6 +222,13 @@ impl<S: Service> Worker<S> {
                 // epoll itself failed; nothing useful left to drive.
                 break;
             }
+            if !pending.is_empty() {
+                rp_obs::global()
+                    .net
+                    .batch_size
+                    .for_worker(self.idx)
+                    .record(pending.len() as u64);
+            }
 
             for ev in pending.drain(..) {
                 match ev.token {
@@ -282,9 +289,14 @@ impl<S: Service> Worker<S> {
                 }
             }
         }
-        self.shared
+        let live = self
+            .shared
             .current
             .fetch_sub(self.conns.len(), Ordering::Relaxed);
+        rp_obs::global()
+            .net
+            .connections
+            .set(live.saturating_sub(self.conns.len()) as u64);
     }
 
     /// Accepts until the backlog is empty (`EWOULDBLOCK`).
@@ -294,6 +306,12 @@ impl<S: Service> Worker<S> {
                 Ok((stream, peer)) => {
                     if self.shared.current.load(Ordering::Relaxed) >= self.config.max_connections {
                         self.shared.refused.fetch_add(1, Ordering::Relaxed);
+                        let obs = rp_obs::global();
+                        obs.net.sheds_total.inc();
+                        obs.trace.record(
+                            rp_obs::TraceKind::ConnShed,
+                            self.config.max_connections as u64,
+                        );
                         drop(stream);
                         continue;
                     }
@@ -314,7 +332,10 @@ impl<S: Service> Worker<S> {
                         continue;
                     }
                     self.shared.accepted.fetch_add(1, Ordering::Relaxed);
-                    self.shared.current.fetch_add(1, Ordering::Relaxed);
+                    let live = self.shared.current.fetch_add(1, Ordering::Relaxed) + 1;
+                    let obs = rp_obs::global();
+                    obs.net.accepts_total.inc();
+                    obs.net.connections.set(live as u64);
                     self.conns.insert(token, conn);
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
@@ -358,8 +379,12 @@ impl<S: Service> Worker<S> {
             .collect();
         for token in expired {
             if let Some(conn) = self.conns.get_mut(&token) {
+                let idle_us = conn.idle_since(now).as_micros() as u64;
                 conn.close_idle();
                 self.shared.idle_reaped.fetch_add(1, Ordering::Relaxed);
+                let obs = rp_obs::global();
+                obs.net.idle_reaped_total.inc();
+                obs.trace.record(rp_obs::TraceKind::IdleReap, idle_us);
             }
             self.reconcile(token);
         }
@@ -391,7 +416,11 @@ impl<S: Service> Worker<S> {
         if let Some(mut conn) = self.conns.remove(&token) {
             let _ = self.poller.delete(conn.fd());
             conn.recycle(&mut self.pool);
-            self.shared.current.fetch_sub(1, Ordering::Relaxed);
+            let live = self.shared.current.fetch_sub(1, Ordering::Relaxed);
+            rp_obs::global()
+                .net
+                .connections
+                .set(live.saturating_sub(1) as u64);
         }
     }
 }

@@ -1,0 +1,557 @@
+//! # rp-obs
+//!
+//! An allocation-free telemetry layer for the relativistic serving stack.
+//!
+//! The paper's central costs are *invisible* ones — grace-period waits,
+//! resize phases overlapping readers, maintenance work absorbed off the
+//! writer path. This crate makes them observable without perturbing them:
+//!
+//! * **Hot-path recording is one relaxed atomic.** A [`Counter`] bump, a
+//!   [`Gauge`] store, and a [`Histogram`] sample are each a single relaxed
+//!   atomic operation; histograms have no total or max on the write side —
+//!   everything derived is computed lazily at scrape time.
+//! * **Zero heap allocations in steady state.** Every metric is allocated
+//!   once, when the global schema is first touched (process start-up).
+//!   Recording, including trace-ring writes, never allocates — the serving
+//!   stack's 0-allocations-per-GET audit holds with telemetry enabled.
+//! * **Per-worker shards.** The hottest metrics (per-opcode latency,
+//!   event-batch sizes) are [`Sharded`]: each event-loop worker records
+//!   into its own cache line and a scrape merges all shards lazily.
+//! * **A trace ring for discrete events.** Resize phase transitions,
+//!   grace periods with their wait durations, maintenance slices,
+//!   backpressure trips, idle reaps, and connection sheds go into a
+//!   fixed-capacity [`TraceRing`] read back by `STATS TRACE`.
+//!
+//! The crate is dependency-free and sits at the bottom of the workspace:
+//! `rp-rcu`, `rp-hash`, `rp-maint`, `rp-net`, and `rp-kvcache` all record
+//! into the shared [`Obs`] schema ([`global`]), and the kvcache server
+//! renders it live through its `STATS` protocol command
+//! ([`Obs::render_prometheus`] via the [`render::MetricSink`] seam).
+//!
+//! Telemetry defaults to **on**; [`set_enabled`]`(false)` (the server's
+//! `--stats off` / `RP_KV_STATS=off`) short-circuits the timed
+//! instrumentation points to a single relaxed load.
+//!
+//! ```
+//! use rp_obs::TraceKind;
+//!
+//! let obs = rp_obs::global();
+//! let t = rp_obs::timer();
+//! // ... the work being measured ...
+//! if let Some(ns) = rp_obs::elapsed_ns(t) {
+//!     obs.rcu.sync_ebr_ns.record(ns);
+//!     obs.trace.record(TraceKind::GraceEbr, ns);
+//! }
+//! let mut text = Vec::new();
+//! obs.render_prometheus(&mut text);
+//! assert!(text.starts_with(b"# HELP"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod histogram;
+mod metric;
+pub mod render;
+mod ring;
+
+pub use histogram::{Histogram, Snapshot};
+pub use metric::{CachePadded, Counter, Gauge, Sharded, DEFAULT_SHARDS};
+pub use render::MetricSink;
+pub use ring::{TraceEvent, TraceKind, TraceRing, DEFAULT_RING_CAPACITY};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Global on/off switch, default on. Checked (one relaxed load) by every
+/// timed instrumentation point.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Is telemetry recording enabled?
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Enables or disables telemetry recording process-wide. Untimed counters
+/// keep counting either way (they cost the same as the check would);
+/// disabling short-circuits the clock reads around timed sections.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Starts a timing measurement: `Some(now)` when telemetry is enabled,
+/// `None` (no clock read) when disabled.
+#[inline]
+pub fn timer() -> Option<Instant> {
+    enabled().then(Instant::now)
+}
+
+/// Finishes a [`timer`] measurement, returning the elapsed nanoseconds
+/// (saturating) — or `None` when the timer was disabled at the start.
+#[inline]
+pub fn elapsed_ns(start: Option<Instant>) -> Option<u64> {
+    start.map(|t| u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX))
+}
+
+/// Per-request latency sampling rate: the serving hot path times one in
+/// this many requests (a request whose post-increment ordinal is divisible
+/// by it). Two clock reads per *timed* request are the dominant telemetry
+/// cost — at ~1 µs/request they are a few percent of the request itself —
+/// so quantiles are estimated from a 1-in-16 sample while every *counter*
+/// stays exact. Slow-path timers (grace periods, resize steps, maintenance
+/// slices) are rare and remain unsampled.
+pub const LATENCY_SAMPLE: u64 = 16;
+
+/// `true` when the request with post-increment ordinal `ordinal` should be
+/// timed: the first request and every [`LATENCY_SAMPLE`]-th thereafter
+/// (anchoring on 1 means a freshly started server has latency data after
+/// its very first request). The compiler folds this to a mask test.
+#[inline]
+pub fn sample_latency(ordinal: u64) -> bool {
+    ordinal % LATENCY_SAMPLE == 1
+}
+
+/// Telemetry epoch: the instant the schema (or a timestamp) was first
+/// touched.
+static START: OnceLock<Instant> = OnceLock::new();
+
+/// Microseconds since the telemetry epoch (trace-event timestamps).
+pub fn now_us() -> u64 {
+    let start = START.get_or_init(Instant::now);
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Grace-period and reclamation metrics (`rp-rcu`).
+#[derive(Debug, Default)]
+pub struct RcuObs {
+    /// EBR `synchronize` latency through the global funnel, nanoseconds.
+    pub sync_ebr_ns: Histogram,
+    /// QSBR `synchronize` latency through the global funnel, nanoseconds.
+    pub sync_qsbr_ns: Histogram,
+    /// Deferred callbacks awaiting a grace period (set when the funnel
+    /// queues or reclaims).
+    pub reclaim_pending: Gauge,
+    /// Deferred callbacks executed after their grace period.
+    pub reclaim_executed_total: Counter,
+}
+
+/// Incremental-resize metrics (`rp-hash`, aggregated across shards).
+#[derive(Debug, Default)]
+pub struct ResizeObs {
+    /// Duration of each grace-period wait a resize absorbed, nanoseconds.
+    pub grace_wait_ns: Histogram,
+    /// Duration of each bounded restructuring step (splice/finish work
+    /// under the writer lock), nanoseconds.
+    pub step_ns: Histogram,
+    /// Resizes started (expand or shrink).
+    pub begun_total: Counter,
+    /// Resizes driven to completion.
+    pub finished_total: Counter,
+    /// Fullest-shard / mean-shard occupancy ×1000, refreshed at scrape
+    /// time (1000 = perfectly balanced).
+    pub imbalance_milli: Gauge,
+}
+
+/// Background-maintenance metrics (`rp-maint`).
+#[derive(Debug, Default)]
+pub struct MaintObs {
+    /// Duration of each work slice (up to `fairness_slice` resize steps),
+    /// nanoseconds.
+    pub slice_ns: Histogram,
+    /// Resize-work queue depth as last observed by a requester or the
+    /// maintenance loop.
+    pub queue_depth: Gauge,
+    /// Work slices executed.
+    pub slices_total: Counter,
+}
+
+/// Reactor metrics (`rp-net`).
+#[derive(Debug, Default)]
+pub struct NetObs {
+    /// Connections accepted.
+    pub accepts_total: Counter,
+    /// Connections shed at the `max_connections` limit.
+    pub sheds_total: Counter,
+    /// Idle connections reaped.
+    pub idle_reaped_total: Counter,
+    /// Times a connection's output queue crossed the backpressure
+    /// watermark (reads paused until the peer drained).
+    pub watermark_trips_total: Counter,
+    /// Currently open connections.
+    pub connections: Gauge,
+    /// Readiness events delivered per `epoll_wait` wake (per-worker
+    /// shards; epoll occupancy).
+    pub batch_size: Sharded<Histogram>,
+}
+
+/// One event-loop worker's cache-serving metrics (a shard of
+/// [`KvObs::shards`]).
+#[derive(Debug, Default)]
+pub struct KvWorkerObs {
+    /// GET (single- and multi-key) service latency, nanoseconds.
+    pub get_ns: Histogram,
+    /// SET service latency, nanoseconds.
+    pub set_ns: Histogram,
+    /// DELETE service latency, nanoseconds.
+    pub delete_ns: Histogram,
+    /// Everything else (stats, version, …), nanoseconds.
+    pub other_ns: Histogram,
+    /// Requests served by this worker.
+    pub requests: Counter,
+    /// Protocol decode errors on this worker's connections.
+    pub decode_errors: Counter,
+}
+
+/// Cache-protocol metrics (`rp-kvcache`), sharded per worker.
+#[derive(Debug, Default)]
+pub struct KvObs {
+    /// Per-worker shards, merged lazily at scrape time.
+    pub shards: Sharded<KvWorkerObs>,
+}
+
+impl KvObs {
+    /// Total requests served across workers.
+    pub fn requests(&self) -> u64 {
+        self.shards.iter().map(|s| s.requests.get()).sum()
+    }
+
+    /// Total decode errors across workers.
+    pub fn decode_errors(&self) -> u64 {
+        self.shards.iter().map(|s| s.decode_errors.get()).sum()
+    }
+}
+
+/// The workspace-wide telemetry schema: one group per layer plus the
+/// trace ring. Allocated once by [`global`].
+#[derive(Debug, Default)]
+pub struct Obs {
+    /// `rp-rcu` metrics.
+    pub rcu: RcuObs,
+    /// `rp-hash` resize metrics.
+    pub resize: ResizeObs,
+    /// `rp-maint` metrics.
+    pub maint: MaintObs,
+    /// `rp-net` metrics.
+    pub net: NetObs,
+    /// `rp-kvcache` metrics.
+    pub kv: KvObs,
+    /// The discrete-event trace ring.
+    pub trace: TraceRing,
+}
+
+static GLOBAL: OnceLock<Obs> = OnceLock::new();
+
+/// The process-wide telemetry schema. First call allocates every metric;
+/// later calls are a single atomic load.
+pub fn global() -> &'static Obs {
+    GLOBAL.get_or_init(Obs::default)
+}
+
+impl Obs {
+    /// Renders every metric group as Prometheus exposition text. The
+    /// caller appends its own engine-level metrics and framing.
+    pub fn render_prometheus(&self, sink: &mut impl MetricSink) {
+        self.render_kv(sink);
+        self.render_net(sink);
+        self.render_maint(sink);
+        self.render_resize(sink);
+        self.render_rcu(sink);
+    }
+
+    fn render_kv(&self, sink: &mut impl MetricSink) {
+        let mut get = Snapshot::default();
+        let mut set = Snapshot::default();
+        let mut delete = Snapshot::default();
+        let mut other = Snapshot::default();
+        for shard in self.kv.shards.iter() {
+            get.merge(&shard.get_ns.snapshot());
+            set.merge(&shard.set_ns.snapshot());
+            delete.merge(&shard.delete_ns.snapshot());
+            other.merge(&shard.other_ns.snapshot());
+        }
+        render::counter(
+            sink,
+            "kv_requests_total",
+            "Cache protocol requests served.",
+            self.kv.requests(),
+        );
+        render::counter(
+            sink,
+            "kv_decode_errors_total",
+            "Protocol decode errors.",
+            self.kv.decode_errors(),
+        );
+        render::summary(sink, "kv_get_latency_ns", "GET service latency.", &get);
+        render::summary(sink, "kv_set_latency_ns", "SET service latency.", &set);
+        render::summary(
+            sink,
+            "kv_delete_latency_ns",
+            "DELETE service latency.",
+            &delete,
+        );
+        render::summary(
+            sink,
+            "kv_other_latency_ns",
+            "Service latency of remaining opcodes.",
+            &other,
+        );
+    }
+
+    fn render_net(&self, sink: &mut impl MetricSink) {
+        render::counter(
+            sink,
+            "net_accepts_total",
+            "Connections accepted.",
+            self.net.accepts_total.get(),
+        );
+        render::counter(
+            sink,
+            "net_sheds_total",
+            "Connections shed at the max_connections limit.",
+            self.net.sheds_total.get(),
+        );
+        render::counter(
+            sink,
+            "net_idle_reaped_total",
+            "Idle connections reaped.",
+            self.net.idle_reaped_total.get(),
+        );
+        render::counter(
+            sink,
+            "net_watermark_trips_total",
+            "Output queues that crossed the backpressure watermark.",
+            self.net.watermark_trips_total.get(),
+        );
+        render::gauge(
+            sink,
+            "net_connections",
+            "Currently open connections.",
+            self.net.connections.get(),
+        );
+        let mut batch = Snapshot::default();
+        for shard in self.net.batch_size.iter() {
+            batch.merge(&shard.snapshot());
+        }
+        render::summary(
+            sink,
+            "net_batch_size",
+            "Readiness events per epoll_wait wake.",
+            &batch,
+        );
+    }
+
+    fn render_maint(&self, sink: &mut impl MetricSink) {
+        render::summary(
+            sink,
+            "maint_slice_ns",
+            "Maintenance work-slice duration.",
+            &self.maint.slice_ns.snapshot(),
+        );
+        render::gauge(
+            sink,
+            "maint_queue_depth",
+            "Resize-work queue depth last observed.",
+            self.maint.queue_depth.get(),
+        );
+        render::counter(
+            sink,
+            "maint_slices_total",
+            "Maintenance work slices executed.",
+            self.maint.slices_total.get(),
+        );
+    }
+
+    fn render_resize(&self, sink: &mut impl MetricSink) {
+        render::summary(
+            sink,
+            "resize_grace_wait_ns",
+            "Grace-period waits absorbed by resizes.",
+            &self.resize.grace_wait_ns.snapshot(),
+        );
+        render::summary(
+            sink,
+            "resize_step_ns",
+            "Bounded resize restructuring steps.",
+            &self.resize.step_ns.snapshot(),
+        );
+        render::counter(
+            sink,
+            "resize_begun_total",
+            "Incremental resizes started.",
+            self.resize.begun_total.get(),
+        );
+        render::counter(
+            sink,
+            "resize_finished_total",
+            "Incremental resizes completed.",
+            self.resize.finished_total.get(),
+        );
+        render::gauge(
+            sink,
+            "shard_imbalance_milli",
+            "Fullest/mean shard occupancy x1000 at scrape time.",
+            self.resize.imbalance_milli.get(),
+        );
+    }
+
+    fn render_rcu(&self, sink: &mut impl MetricSink) {
+        render::summary(
+            sink,
+            "rcu_sync_ebr_ns",
+            "EBR synchronize latency.",
+            &self.rcu.sync_ebr_ns.snapshot(),
+        );
+        render::summary(
+            sink,
+            "rcu_sync_qsbr_ns",
+            "QSBR synchronize latency.",
+            &self.rcu.sync_qsbr_ns.snapshot(),
+        );
+        render::gauge(
+            sink,
+            "rcu_reclaim_pending",
+            "Deferred callbacks awaiting a grace period.",
+            self.rcu.reclaim_pending.get(),
+        );
+        render::counter(
+            sink,
+            "rcu_reclaim_executed_total",
+            "Deferred callbacks executed.",
+            self.rcu.reclaim_executed_total.get(),
+        );
+    }
+
+    /// Renders the retained trace events, oldest first, one
+    /// `TRACE <seq> <t_us> <label> <value>` line each (CRLF-terminated —
+    /// this output goes straight onto the cache protocol's wire).
+    pub fn render_trace(&self, sink: &mut impl MetricSink) {
+        for event in self.trace.events() {
+            sink.put_bytes(b"TRACE ");
+            render::put_u64(sink, event.seq);
+            sink.put_bytes(b" ");
+            render::put_u64(sink, event.at_us);
+            sink.put_bytes(b" ");
+            sink.put_bytes(event.kind.label().as_bytes());
+            sink.put_bytes(b" ");
+            render::put_u64(sink, event.value);
+            sink.put_bytes(b"\r\n");
+        }
+    }
+
+    /// Zeroes every counter, gauge, histogram, and the trace ring
+    /// (`STATS RESET`). Concurrent recording is safe; racing samples land
+    /// in whichever era their atomic write hits.
+    pub fn reset(&self) {
+        for shard in self.kv.shards.iter() {
+            shard.get_ns.reset();
+            shard.set_ns.reset();
+            shard.delete_ns.reset();
+            shard.other_ns.reset();
+            shard.requests.reset();
+            shard.decode_errors.reset();
+        }
+        self.net.accepts_total.reset();
+        self.net.sheds_total.reset();
+        self.net.idle_reaped_total.reset();
+        self.net.watermark_trips_total.reset();
+        for shard in self.net.batch_size.iter() {
+            shard.reset();
+        }
+        self.maint.slice_ns.reset();
+        self.maint.slices_total.reset();
+        self.resize.grace_wait_ns.reset();
+        self.resize.step_ns.reset();
+        self.resize.begun_total.reset();
+        self.resize.finished_total.reset();
+        self.rcu.sync_ebr_ns.reset();
+        self.rcu.sync_qsbr_ns.reset();
+        self.rcu.reclaim_executed_total.reset();
+        // Level gauges (connections, queue depth, pending, imbalance) are
+        // left alone: their owners re-assert the level, and a transient 0
+        // would simply be wrong.
+        self.trace.reset();
+        self.trace.record(TraceKind::StatsReset, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_respects_the_enabled_flag() {
+        // Tests share the process-global flag; restore it on exit.
+        assert!(enabled(), "telemetry defaults to on");
+        let t = timer();
+        assert!(t.is_some());
+        assert!(elapsed_ns(t).is_some());
+        set_enabled(false);
+        assert!(timer().is_none());
+        assert_eq!(elapsed_ns(timer()), None);
+        set_enabled(true);
+    }
+
+    #[test]
+    fn now_us_is_monotonic() {
+        let a = now_us();
+        let b = now_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn render_covers_every_group() {
+        let obs = Obs::default();
+        obs.kv.shards.for_worker(0).requests.add(5);
+        obs.net.accepts_total.add(2);
+        obs.maint.slices_total.inc();
+        obs.resize.begun_total.inc();
+        obs.rcu.sync_ebr_ns.record(1234);
+        let mut out = Vec::new();
+        obs.render_prometheus(&mut out);
+        let text = String::from_utf8(out).unwrap();
+        for needle in [
+            "kv_requests_total 5",
+            "kv_get_latency_ns_count 0",
+            "net_accepts_total 2",
+            "net_batch_size_count 0",
+            "maint_slices_total 1",
+            "resize_begun_total 1",
+            "rcu_sync_ebr_ns_count 1",
+            "rcu_reclaim_pending 0",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn reset_zeroes_and_leaves_a_trace_marker() {
+        let obs = Obs::default();
+        obs.kv.shards.for_worker(1).requests.add(9);
+        obs.trace.record(TraceKind::ConnShed, 7);
+        obs.reset();
+        assert_eq!(obs.kv.requests(), 0);
+        let events = obs.trace.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, TraceKind::StatsReset);
+    }
+
+    #[test]
+    fn trace_renders_crlf_lines() {
+        let obs = Obs::default();
+        obs.trace.record(TraceKind::MaintSlice, 42);
+        let mut out = Vec::new();
+        obs.render_trace(&mut out);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("TRACE 1 "));
+        assert!(text.ends_with(" maint_slice 42\r\n"));
+    }
+
+    #[test]
+    fn global_is_a_singleton() {
+        let a = global() as *const Obs;
+        let b = global() as *const Obs;
+        assert_eq!(a, b);
+    }
+}

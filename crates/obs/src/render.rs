@@ -1,0 +1,149 @@
+//! Prometheus-style text rendering, written through a caller-supplied
+//! byte sink.
+//!
+//! The sink trait mirrors the serving stack's `BufWrite` seam (this crate
+//! is dependency-free, so it declares its own single-method trait and the
+//! server provides a one-line adapter): rendering writes header and value
+//! bytes straight into the connection's output queue, formatting integers
+//! into a stack buffer — the scrape path allocates only in the sink's own
+//! segment management, never per metric.
+
+use crate::histogram::Snapshot;
+
+/// A byte sink metrics are rendered into. Implemented for `Vec<u8>`; the
+/// server adapts its pooled connection buffer.
+pub trait MetricSink {
+    /// Appends raw bytes.
+    fn put_bytes(&mut self, bytes: &[u8]);
+}
+
+impl MetricSink for Vec<u8> {
+    fn put_bytes(&mut self, bytes: &[u8]) {
+        self.extend_from_slice(bytes);
+    }
+}
+
+/// Writes `value` in decimal without allocating.
+pub fn put_u64(sink: &mut impl MetricSink, value: u64) {
+    let mut digits = [0_u8; 20];
+    let mut at = digits.len();
+    let mut rest = value;
+    loop {
+        at -= 1;
+        digits[at] = b'0' + (rest % 10) as u8;
+        rest /= 10;
+        if rest == 0 {
+            break;
+        }
+    }
+    sink.put_bytes(&digits[at..]);
+}
+
+fn header(sink: &mut impl MetricSink, name: &str, help: &str, kind: &str) {
+    sink.put_bytes(b"# HELP ");
+    sink.put_bytes(name.as_bytes());
+    sink.put_bytes(b" ");
+    sink.put_bytes(help.as_bytes());
+    sink.put_bytes(b"\n# TYPE ");
+    sink.put_bytes(name.as_bytes());
+    sink.put_bytes(b" ");
+    sink.put_bytes(kind.as_bytes());
+    sink.put_bytes(b"\n");
+}
+
+fn sample(sink: &mut impl MetricSink, name: &str, suffix: &str, value: u64) {
+    sink.put_bytes(name.as_bytes());
+    sink.put_bytes(suffix.as_bytes());
+    sink.put_bytes(b" ");
+    put_u64(sink, value);
+    sink.put_bytes(b"\n");
+}
+
+/// Renders one counter in Prometheus exposition format.
+pub fn counter(sink: &mut impl MetricSink, name: &str, help: &str, value: u64) {
+    header(sink, name, help, "counter");
+    sample(sink, name, "", value);
+}
+
+/// Renders one gauge in Prometheus exposition format.
+pub fn gauge(sink: &mut impl MetricSink, name: &str, help: &str, value: u64) {
+    header(sink, name, help, "gauge");
+    sample(sink, name, "", value);
+}
+
+/// Quantiles every histogram summary reports.
+const QUANTILES: [(&str, f64); 4] = [
+    ("{quantile=\"0.5\"}", 0.50),
+    ("{quantile=\"0.9\"}", 0.90),
+    ("{quantile=\"0.99\"}", 0.99),
+    ("{quantile=\"0.999\"}", 0.999),
+];
+
+/// Renders a histogram snapshot as a Prometheus summary: four quantiles,
+/// `_sum` (approximate, see [`Snapshot::sum_approx`]), `_count`, and a
+/// non-standard `_max` sample (the highest occupied bucket's upper bound).
+pub fn summary(sink: &mut impl MetricSink, name: &str, help: &str, snap: &Snapshot) {
+    header(sink, name, help, "summary");
+    for (label, q) in QUANTILES {
+        sample(sink, name, label, snap.percentile(q));
+    }
+    sample(sink, name, "_sum", snap.sum_approx());
+    sample(sink, name, "_count", snap.count());
+    sample(sink, name, "_max", snap.max());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram;
+
+    #[test]
+    fn u64_formatting_is_exact() {
+        for (value, want) in [
+            (0_u64, "0"),
+            (7, "7"),
+            (10, "10"),
+            (12345, "12345"),
+            (u64::MAX, "18446744073709551615"),
+        ] {
+            let mut out = Vec::new();
+            put_u64(&mut out, value);
+            assert_eq!(out, want.as_bytes());
+        }
+    }
+
+    #[test]
+    fn counter_and_gauge_render_exact_text() {
+        let mut out = Vec::new();
+        counter(&mut out, "kv_requests_total", "Requests served.", 42);
+        gauge(&mut out, "net_connections", "Open connections.", 3);
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(
+            text,
+            "# HELP kv_requests_total Requests served.\n\
+             # TYPE kv_requests_total counter\n\
+             kv_requests_total 42\n\
+             # HELP net_connections Open connections.\n\
+             # TYPE net_connections gauge\n\
+             net_connections 3\n"
+        );
+    }
+
+    #[test]
+    fn summary_renders_quantiles_count_sum_max() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(1000);
+        }
+        let mut out = Vec::new();
+        summary(&mut out, "kv_get_latency_ns", "GET latency.", &h.snapshot());
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with(
+            "# HELP kv_get_latency_ns GET latency.\n# TYPE kv_get_latency_ns summary\n"
+        ));
+        assert!(text.contains("kv_get_latency_ns{quantile=\"0.5\"} "));
+        assert!(text.contains("kv_get_latency_ns{quantile=\"0.999\"} "));
+        assert!(text.contains("kv_get_latency_ns_count 100\n"));
+        assert!(text.contains("kv_get_latency_ns_max "));
+    }
+}

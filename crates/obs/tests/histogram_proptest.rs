@@ -1,0 +1,131 @@
+//! Property tests pinning the atomic histogram to `rp-workload`'s
+//! single-threaded `LatencyHistogram` as a reference model — including
+//! while concurrent recorders race the scrape.
+
+use proptest::prelude::*;
+
+use rp_obs::{Histogram, Snapshot};
+use rp_workload::LatencyHistogram;
+
+fn samples_strategy() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            0_u64..64,
+            64_u64..100_000,
+            1_000_000_u64..u64::MAX / 2,
+            Just(u64::MAX),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Sequential recording agrees with the reference model on count,
+    /// every percentile, and (within bucket width) the max.
+    #[test]
+    fn matches_single_threaded_reference(samples in samples_strategy()) {
+        let atomic = Histogram::new();
+        let mut reference = LatencyHistogram::new();
+        for &s in &samples {
+            atomic.record(s);
+            reference.record_ns(s);
+        }
+        let snap = atomic.snapshot();
+        prop_assert_eq!(snap.count(), reference.count());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            // The reference tightens the top bucket with the exact max;
+            // the concurrent form reports the bucket upper bound.
+            let ours = snap.percentile(q);
+            let theirs = reference.percentile_ns(q);
+            prop_assert!(
+                ours >= theirs,
+                "q={} ours={} theirs={}", q, ours, theirs
+            );
+            // Same bucket → within the ≈6.25% bucket width of each other.
+            prop_assert!(
+                ours as f64 <= theirs as f64 * 1.0723 + 1.0,
+                "q={} ours={} theirs={}", q, ours, theirs
+            );
+        }
+        prop_assert!(snap.max() >= reference.max_ns());
+    }
+
+    /// Merging per-shard snapshots equals recording everything into one
+    /// histogram (the scrape-time aggregation path).
+    #[test]
+    fn shard_merge_equals_single_histogram(
+        a in samples_strategy(),
+        b in samples_strategy(),
+    ) {
+        let shard_a = Histogram::new();
+        let shard_b = Histogram::new();
+        let combined = Histogram::new();
+        for &s in &a {
+            shard_a.record(s);
+            combined.record(s);
+        }
+        for &s in &b {
+            shard_b.record(s);
+            combined.record(s);
+        }
+        let mut merged = Snapshot::default();
+        merged.merge(&shard_a.snapshot());
+        merged.merge(&shard_b.snapshot());
+        let want = combined.snapshot();
+        prop_assert_eq!(merged.count(), want.count());
+        for q in [0.1, 0.5, 0.99, 1.0] {
+            prop_assert_eq!(merged.percentile(q), want.percentile(q));
+        }
+        prop_assert_eq!(merged.max(), want.max());
+        prop_assert_eq!(merged.sum_approx(), want.sum_approx());
+    }
+
+    /// Snapshots taken while recorders are mid-flight are always
+    /// *consistent populations*: monotonically growing, never counting a
+    /// sample twice, and the final snapshot equals the reference model.
+    #[test]
+    fn concurrent_record_while_scrape_is_consistent(samples in samples_strategy()) {
+        let hist = std::sync::Arc::new(Histogram::new());
+        let threads = 4;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let hist = std::sync::Arc::clone(&hist);
+                let samples = samples.clone();
+                std::thread::spawn(move || {
+                    for (i, &s) in samples.iter().enumerate() {
+                        if i % threads == t {
+                            hist.record(s);
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        // Scrape while they record: counts must only grow.
+        let mut last = 0;
+        loop {
+            let snap = hist.snapshot();
+            prop_assert!(snap.count() >= last, "count went backwards");
+            last = snap.count();
+            if last >= samples.len() as u64 {
+                break;
+            }
+            std::hint::spin_loop();
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let mut reference = LatencyHistogram::new();
+        for &s in &samples {
+            reference.record_ns(s);
+        }
+        let snap = hist.snapshot();
+        prop_assert_eq!(snap.count(), reference.count());
+        for q in [0.5, 0.99, 1.0] {
+            prop_assert!(snap.percentile(q) >= reference.percentile_ns(q));
+        }
+    }
+}

@@ -68,9 +68,22 @@ impl GraceSync {
     /// registered, so programs that never use the QSBR path pay one atomic
     /// load here and nothing more.
     pub fn synchronize(&self) {
+        // Telemetry: one relaxed load when disabled; a clock pair, a
+        // histogram bump, and a trace-ring entry per flavor when enabled.
+        let obs = rp_obs::global();
+        let ebr_timer = rp_obs::timer();
         self.ebr.synchronize();
+        if let Some(ns) = rp_obs::elapsed_ns(ebr_timer) {
+            obs.rcu.sync_ebr_ns.record(ns);
+            obs.trace.record(rp_obs::TraceKind::GraceEbr, ns);
+        }
         if self.qsbr.registered_readers() > 0 {
+            let qsbr_timer = rp_obs::timer();
             self.qsbr.synchronize();
+            if let Some(ns) = rp_obs::elapsed_ns(qsbr_timer) {
+                obs.rcu.sync_qsbr_ns.record(ns);
+                obs.trace.record(rp_obs::TraceKind::GraceQsbr, ns);
+            }
         }
     }
 
@@ -85,8 +98,14 @@ impl GraceSync {
     /// [`RcuDomain::synchronize_and_reclaim`].
     pub fn synchronize_and_reclaim(&self) {
         let batch = self.ebr.take_deferred();
+        let executed = batch.len() as u64;
         self.synchronize();
         self.ebr.execute_deferred(batch);
+        let obs = rp_obs::global();
+        obs.rcu.reclaim_executed_total.add(executed);
+        obs.rcu
+            .reclaim_pending
+            .set(self.ebr.deferred_pending() as u64);
     }
 
     /// Runs [`GraceSync::synchronize_and_reclaim`] only if at least
