@@ -4,6 +4,7 @@ use std::hash::Hash;
 
 use rp_hash::RpHashMap;
 use rp_shard::ShardedRpMap;
+use rp_splitorder::SplitOrderMap;
 
 /// A concurrent map abstraction over every hash-table implementation in the
 /// workspace (the relativistic table and all baselines).
@@ -123,6 +124,41 @@ where
     }
 }
 
+impl<K, V, S> ConcurrentMap<K, V> for SplitOrderMap<K, V, S>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    S: std::hash::BuildHasher + Send + Sync,
+{
+    fn name(&self) -> &'static str {
+        "splitorder"
+    }
+
+    fn insert(&self, key: K, value: V) -> bool {
+        SplitOrderMap::insert(self, key, value)
+    }
+
+    fn remove(&self, key: &K) -> bool {
+        SplitOrderMap::remove(self, key)
+    }
+
+    fn lookup(&self, key: &K) -> Option<V> {
+        self.get_cloned(key)
+    }
+
+    fn len(&self) -> usize {
+        SplitOrderMap::len(self)
+    }
+
+    fn num_buckets(&self) -> usize {
+        SplitOrderMap::num_buckets(self)
+    }
+
+    fn resize_to(&self, buckets: usize) {
+        SplitOrderMap::resize_to(self, buckets)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,5 +195,12 @@ mod tests {
         let map: ShardedRpMap<u64, u64> = ShardedRpMap::with_shards(4);
         exercise(&map);
         assert_eq!(ConcurrentMap::name(&map), "rp-shard");
+    }
+
+    #[test]
+    fn split_order_map_implements_the_trait() {
+        let map: SplitOrderMap<u64, u64> = SplitOrderMap::with_buckets(8);
+        exercise(&map);
+        assert_eq!(ConcurrentMap::name(&map), "splitorder");
     }
 }

@@ -1,0 +1,14 @@
+//! Regenerates the engine-tournament figure: every map implementation
+//! (lock, rp, rp-shard, splitorder) under both read-side flavors across
+//! four workloads, plus the grow-path probe showing split-ordered growth
+//! issues zero synchronize calls where the relativistic resize waits out
+//! grace periods.
+
+fn main() -> std::io::Result<()> {
+    let cfg = rp_bench::BenchConfig::from_env();
+    eprintln!("fig_tournament on {}", cfg.host);
+    let report = rp_bench::fig_tournament(&cfg);
+    report.write_files(&cfg.out_dir, "fig_tournament")?;
+    print!("{}", report.to_markdown());
+    Ok(())
+}

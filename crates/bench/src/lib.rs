@@ -19,6 +19,7 @@
 //! | `fig_qsbr` | (repo addition) read-side flavors — lookups/s and p99 vs reader threads, EBR guard vs barrier-free QSBR, with and without continuous resizing |
 //! | `fig_hotpath` | (repo addition) zero-allocation serving — allocations/op for steady-state event-loop GETs (counting allocator; gated at 0) and pipelined GET throughput vs pipeline depth |
 //! | `fig_obs` | (repo addition) telemetry overhead — pipelined GET throughput with `rp-obs` timers on vs off (gated ≤2%), plus a QSBR-vs-EBR server comparison measured from the server's own `STATS` per-opcode histograms |
+//! | `fig_tournament` | (repo addition) engine tournament — every map implementation (lock, rp, rp-shard, splitorder) × EBR/QSBR × four workloads (read-heavy, write-heavy, resize-storm, hot-key), plus the grow-path synchronize-call probe (split-ordered must be 0) |
 //!
 //! Parameters are read from environment variables so CI and the
 //! EXPERIMENTS.md runs can trade accuracy for time:
@@ -53,12 +54,13 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
-use rp_baselines::{ConcurrentMap, DddsTable, RwLockTable};
+use rp_baselines::{ConcurrentMap, DddsTable, MutexTable, RwLockTable};
 use rp_hash::{FnvBuildHasher, QsbrReadHandle, RpHashMap};
 use rp_kvcache::client::CacheClient;
 use rp_kvcache::server::{start_server, ServerConfig};
 use rp_kvcache::{CacheEngine, Item, LockEngine, RpEngine, ShardedRpEngine};
 use rp_shard::{ShardPolicy, ShardedRpMap};
+use rp_splitorder::SplitOrderMap;
 use rp_workload::driver::BackgroundHandle;
 use rp_workload::sysinfo::HostInfo;
 use rp_workload::{
@@ -1338,6 +1340,259 @@ pub fn fig_obs(cfg: &BenchConfig) -> Report {
     report
 }
 
+/// One workload in the engine tournament.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TournamentWorkload {
+    /// 95% lookups / 5% writes, uniform keys.
+    ReadHeavy,
+    /// 50% lookups / 50% writes, uniform keys.
+    WriteHeavy,
+    /// 95/5 uniform while a background thread toggles the bucket count.
+    ResizeStorm,
+    /// 95/5 with Zipf(0.99)-skewed keys.
+    HotKey,
+}
+
+impl TournamentWorkload {
+    /// All four workloads, in figure order.
+    pub const ALL: [TournamentWorkload; 4] = [
+        TournamentWorkload::ReadHeavy,
+        TournamentWorkload::WriteHeavy,
+        TournamentWorkload::ResizeStorm,
+        TournamentWorkload::HotKey,
+    ];
+
+    fn write_percent(self) -> u64 {
+        match self {
+            TournamentWorkload::WriteHeavy => 50,
+            _ => 5,
+        }
+    }
+
+    fn dist(self) -> KeyDist {
+        match self {
+            TournamentWorkload::HotKey => KeyDist::Zipf(SHARD_ZIPF_EXPONENT),
+            _ => KeyDist::Uniform,
+        }
+    }
+
+    fn resizes(self) -> bool {
+        self == TournamentWorkload::ResizeStorm
+    }
+}
+
+/// What the tournament drives: any [`ConcurrentMap`] plus a QSBR lookup.
+/// Maps without a barrier-free path fall back to their ordinary lookup,
+/// mirroring the cache server's `LockEngine` fallback.
+pub trait TournamentMap: ConcurrentMap<u64, u64> {
+    /// Barrier-free lookup through a QSBR handle where supported.
+    fn lookup_qsbr(&self, key: &u64, handle: &QsbrReadHandle) -> Option<u64>;
+}
+
+impl<S: std::hash::BuildHasher + Send + Sync> TournamentMap for RpHashMap<u64, u64, S> {
+    fn lookup_qsbr(&self, key: &u64, handle: &QsbrReadHandle) -> Option<u64> {
+        self.get(key, handle).copied()
+    }
+}
+
+impl<S: std::hash::BuildHasher + Send + Sync> TournamentMap for ShardedRpMap<u64, u64, S> {
+    fn lookup_qsbr(&self, key: &u64, handle: &QsbrReadHandle) -> Option<u64> {
+        self.get_qsbr(key, handle).copied()
+    }
+}
+
+impl<S: std::hash::BuildHasher + Send + Sync> TournamentMap for SplitOrderMap<u64, u64, S> {
+    fn lookup_qsbr(&self, key: &u64, handle: &QsbrReadHandle) -> Option<u64> {
+        self.get(key, handle).copied()
+    }
+}
+
+impl TournamentMap for MutexTable<u64, u64> {
+    fn lookup_qsbr(&self, key: &u64, _handle: &QsbrReadHandle) -> Option<u64> {
+        self.lookup(key)
+    }
+}
+
+/// Measures one tournament cell: `threads` mixed readers/writers against a
+/// freshly loaded `map`, under one read-side flavor and one workload.
+/// Returns millions of operations per second.
+pub fn tournament_point(
+    map: Arc<dyn TournamentMap>,
+    cfg: &BenchConfig,
+    threads: usize,
+    qsbr: bool,
+    workload: TournamentWorkload,
+) -> f64 {
+    fill(&*map, cfg.entries);
+    let map_ref = &*map;
+    let background = if workload.resizes() && map.supports_resize() {
+        let (small, large) = (cfg.small_buckets, cfg.large_buckets);
+        vec![BackgroundHandle::new("resizer", move |iteration| {
+            let target = if iteration % 2 == 0 { large } else { small };
+            map_ref.resize_to(target);
+        })]
+    } else {
+        Vec::new()
+    };
+    let entries = cfg.entries;
+    let write_percent = workload.write_percent();
+    let (result, _hist) = measure_thread_local(
+        threads,
+        cfg.duration,
+        QSBR_SAMPLE_EVERY,
+        |idx| {
+            let mut keys = KeyGen::new(workload.dist(), entries, 0x70AD ^ idx as u64);
+            let map = Arc::clone(&map);
+            let mut handle = qsbr.then(QsbrReadHandle::register);
+            let mut since_quiescent = 0_u64;
+            let mut op = 0_u64;
+            move || {
+                let key = keys.next_key();
+                op = op.wrapping_add(1);
+                if op % 100 < write_percent {
+                    // Writes alternate insert/remove from the same
+                    // distribution so the population hovers around its
+                    // preloaded size. A QSBR thread goes offline for the
+                    // write, exactly like the event-loop server's slow
+                    // path: a writer blocked on the table's writer lock
+                    // while its handle is online and silent would deadlock
+                    // any resize waiting out the grace period.
+                    let write = || {
+                        if op.is_multiple_of(2) {
+                            black_box(map.insert(key, key));
+                        } else {
+                            black_box(map.remove(&key));
+                        }
+                    };
+                    match handle.as_mut() {
+                        Some(handle) => handle.offline_scope(write),
+                        None => write(),
+                    }
+                } else {
+                    match handle.as_mut() {
+                        Some(handle) => {
+                            black_box(map.lookup_qsbr(black_box(&key), handle));
+                            since_quiescent += 1;
+                            if since_quiescent >= QSBR_QUIESCENT_EVERY {
+                                handle.quiescent_state();
+                                since_quiescent = 0;
+                            }
+                        }
+                        None => {
+                            black_box(map.lookup(black_box(&key)));
+                        }
+                    }
+                }
+            }
+        },
+        background,
+    );
+    result.mops_per_sec()
+}
+
+/// Grow-path probe: inserts enough keys into a fresh map to force growth
+/// on the writer thread, then reports how many `synchronize` calls that
+/// thread issued. Split-ordered growth is a pointer publication — the
+/// count must be zero; the relativistic table's inline zip/unzip resize
+/// waits out grace periods — the count is positive. Run on a spawned
+/// thread so the counter only sees this probe.
+pub fn grow_synchronize_calls(splitorder: bool, inserts: u64) -> u64 {
+    std::thread::spawn(move || {
+        let before = rp_rcu::thread_synchronize_count();
+        if splitorder {
+            let map: SplitOrderMap<u64, u64> = SplitOrderMap::with_buckets(8);
+            for k in 0..inserts {
+                map.insert(k, k);
+            }
+            assert!(map.num_buckets() > 8, "probe never grew the table");
+        } else {
+            let map: RpHashMap<u64, u64, FnvBuildHasher> =
+                RpHashMap::with_buckets_and_hasher(8, FnvBuildHasher);
+            for k in 0..inserts {
+                map.insert(k, k);
+            }
+            map.resize_to((inserts as usize).next_power_of_two());
+            assert!(map.num_buckets() > 8, "probe never grew the table");
+        }
+        rp_rcu::thread_synchronize_count() - before
+    })
+    .join()
+    .expect("grow probe panicked")
+}
+
+/// Figure "engine tournament" (repo addition) — every map implementation ×
+/// read-side flavor × workload, one throughput cell each, plus the
+/// grow-path probe: synchronize calls issued by a writer growing each
+/// resizable design (split-ordered must be zero).
+pub fn fig_tournament(cfg: &BenchConfig) -> Report {
+    let mut report = Report::new(
+        "Engine tournament: every map × EBR/QSBR × workload \
+         (1=read-heavy, 2=write-heavy, 3=resize-storm, 4=hot-key)",
+        "workload",
+        "operations/second (millions)",
+    );
+    let threads = cfg.threads.last().copied().unwrap_or(2);
+
+    #[allow(clippy::type_complexity)]
+    let engines: Vec<(&str, Box<dyn Fn() -> Arc<dyn TournamentMap> + Sync>)> = vec![
+        (
+            "lock",
+            Box::new(|| Arc::new(MutexTable::with_buckets(8192))),
+        ),
+        (
+            "rp",
+            Box::new(|| {
+                Arc::new(
+                    RpHashMap::<u64, u64, FnvBuildHasher>::with_buckets_and_hasher(
+                        8192,
+                        FnvBuildHasher,
+                    ),
+                )
+            }),
+        ),
+        (
+            "rp-shard",
+            Box::new(|| Arc::new(ShardedRpMap::<u64, u64>::with_shards(8))),
+        ),
+        (
+            "splitorder",
+            Box::new(|| Arc::new(SplitOrderMap::<u64, u64>::with_buckets(8192))),
+        ),
+    ];
+
+    for (name, make) in &engines {
+        for (flavor, qsbr) in [("ebr", false), ("qsbr", true)] {
+            let mut series = Series::new(format!("{name}/{flavor}"));
+            for (ordinal, workload) in TournamentWorkload::ALL.iter().enumerate() {
+                // A fresh map per cell so earlier workloads cannot skew
+                // later ones (write-heavy churn, resize-storm end states).
+                let mops = tournament_point(make(), cfg, threads, qsbr, *workload);
+                eprintln!(
+                    "  {name}/{flavor} {workload:?}: {threads} thread(s) -> {mops:.2} Mops/s"
+                );
+                series.push((ordinal + 1) as f64, mops);
+            }
+            report.add_series(series);
+        }
+    }
+
+    // The resize-philosophy headline, as data: grow-path synchronize calls
+    // per design. Split-ordered growth must be free of grace waits.
+    let mut grow = Series::new("grow-path synchronize calls");
+    let so_syncs = grow_synchronize_calls(true, 20_000);
+    let rp_syncs = grow_synchronize_calls(false, 20_000);
+    assert_eq!(
+        so_syncs, 0,
+        "split-ordered growth must never synchronize on the writer"
+    );
+    eprintln!("  grow probe: splitorder {so_syncs} synchronize calls, rp {rp_syncs}");
+    grow.push(1.0, so_syncs as f64);
+    grow.push(2.0, rp_syncs as f64);
+    report.add_series(grow);
+
+    report
+}
+
 /// Runs every figure and writes CSV + markdown into `cfg.out_dir`, plus a
 /// combined `summary.md`. Returns the reports in figure order.
 pub fn run_all(cfg: &BenchConfig) -> std::io::Result<Vec<Report>> {
@@ -1354,6 +1609,7 @@ pub fn run_all(cfg: &BenchConfig) -> std::io::Result<Vec<Report>> {
         ("fig_qsbr", fig_qsbr),
         ("fig_hotpath", fig_hotpath),
         ("fig_obs", fig_obs),
+        ("fig_tournament", fig_tournament),
     ];
     let mut reports = Vec::new();
     let mut summary = String::new();
@@ -1473,6 +1729,35 @@ mod tests {
             assert!(!series.points.is_empty(), "empty series {name}");
         }
         assert!(rp_obs::enabled(), "fig_obs must re-enable telemetry");
+    }
+
+    #[test]
+    fn fig_tournament_covers_every_engine_flavor_and_workload() {
+        let cfg = BenchConfig::smoke_test();
+        let report = fig_tournament(&cfg);
+        for engine in ["lock", "rp", "rp-shard", "splitorder"] {
+            for flavor in ["ebr", "qsbr"] {
+                let name = format!("{engine}/{flavor}");
+                let series = report
+                    .series
+                    .iter()
+                    .find(|s| s.name == name)
+                    .unwrap_or_else(|| panic!("missing series {name}"));
+                assert_eq!(
+                    series.points.len(),
+                    TournamentWorkload::ALL.len(),
+                    "series {name} must have one point per workload"
+                );
+                assert!(series.points.iter().all(|(_, mops)| *mops > 0.0));
+            }
+        }
+        let grow = report
+            .series
+            .iter()
+            .find(|s| s.name == "grow-path synchronize calls")
+            .expect("missing grow-path probe series");
+        assert_eq!(grow.points[0].1, 0.0, "split-ordered growth synchronized");
+        assert!(grow.points[1].1 > 0.0, "rp resize should synchronize");
     }
 
     #[test]

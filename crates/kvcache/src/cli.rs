@@ -6,7 +6,7 @@
 //!
 //! | Flag | Env | Default |
 //! |---|---|---|
-//! | `--engine rp\|rp-shard\|lock` | `RP_KV_ENGINE` | `rp-shard` |
+//! | `--engine rp\|rp-shard\|splitorder\|lock` | `RP_KV_ENGINE` | `rp-shard` |
 //! | `--port N` | `RP_KV_PORT` | `11211` |
 //! | `--mode threaded\|event-loop` | `RP_KV_MODE` | `event-loop` |
 //! | `--workers N` | `RP_KV_WORKERS` | `2` |
@@ -37,7 +37,7 @@ use rp_maint::MaintConfig;
 
 use crate::engine::{CacheEngine, ReadSide};
 use crate::server::{ServerConfig, ServerMode};
-use crate::{LockEngine, RpEngine, ShardedRpEngine};
+use crate::{LockEngine, RpEngine, ShardedRpEngine, SplitOrderEngine};
 
 /// Which storage engine to serve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +46,8 @@ pub enum EngineKind {
     Rp,
     /// Sharded relativistic index ([`ShardedRpEngine`]).
     RpShard,
+    /// Lock-free split-ordered index ([`SplitOrderEngine`]).
+    SplitOrder,
     /// Global-lock baseline ([`LockEngine`]).
     Lock,
 }
@@ -110,7 +112,8 @@ USAGE:
     kvcached [FLAGS]
 
 FLAGS (each falls back to the env var in brackets, then to the default):
-    --engine rp|rp-shard|lock     storage engine                [RP_KV_ENGINE, rp-shard]
+    --engine rp|rp-shard|splitorder|lock
+                                  storage engine                [RP_KV_ENGINE, rp-shard]
     --port N                      TCP port, 0 = pick free       [RP_KV_PORT, 11211]
     --mode threaded|event-loop    connection architecture       [RP_KV_MODE, event-loop]
     --workers N                   event-loop worker threads     [RP_KV_WORKERS, 2]
@@ -188,8 +191,13 @@ impl ServerOptions {
             opts.engine = match v.as_str() {
                 "rp" => EngineKind::Rp,
                 "rp-shard" => EngineKind::RpShard,
+                "splitorder" => EngineKind::SplitOrder,
                 "lock" => EngineKind::Lock,
-                other => return Err(format!("bad engine {other:?} (rp | rp-shard | lock)")),
+                other => {
+                    return Err(format!(
+                        "bad engine {other:?} (rp | rp-shard | splitorder | lock)"
+                    ))
+                }
             };
         }
         if let Some(v) = port {
@@ -263,6 +271,7 @@ impl ServerOptions {
                 self.capacity,
                 self.maint.clone(),
             )),
+            EngineKind::SplitOrder => Arc::new(SplitOrderEngine::with_capacity(self.capacity)),
             EngineKind::Lock => Arc::new(LockEngine::with_capacity(self.capacity)),
         }
     }
@@ -452,6 +461,9 @@ mod tests {
         .unwrap();
         let engine = opts.build_engine();
         assert_eq!(engine.name(), "rp-shard");
+        let opts = ServerOptions::parse(&strings(&["--engine", "splitorder"]), &no_env).unwrap();
+        assert_eq!(opts.engine, EngineKind::SplitOrder);
+        assert_eq!(opts.build_engine().name(), "splitorder");
         let opts = ServerOptions::parse(&strings(&["--engine", "lock"]), &no_env).unwrap();
         assert_eq!(opts.build_engine().name(), "default");
     }

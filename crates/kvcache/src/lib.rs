@@ -25,6 +25,11 @@
 //!   shard-grouped read path. Index resizes run on a background `rp-maint`
 //!   maintenance thread by default, so SETs never wait for grace periods;
 //!   `RP_KV_MAINT=off` reverts to inline resizing.
+//! * [`SplitOrderEngine`] — the **split-ordered** engine: the index is an
+//!   [`rp_splitorder::SplitOrderMap`] (lock-free split-ordered list), so
+//!   SETs and DELETEs never serialise on a writer lock and index growth is
+//!   a single pointer publication with no grace-period wait — the
+//!   competing resize philosophy, behind the same trait.
 //! * [`server`] / [`client`] — the TCP front ends and a small blocking
 //!   client speaking the protocol, used by the end-to-end tests, the
 //!   `kv_server` example and (optionally) the memcached figure harness.
@@ -54,6 +59,7 @@ mod lock_engine;
 pub mod protocol;
 mod rp_engine;
 mod sharded_engine;
+mod splitorder_engine;
 
 pub mod cli;
 pub mod client;
@@ -68,3 +74,4 @@ pub use lock_engine::LockEngine;
 pub use rp_engine::RpEngine;
 pub use server::{start_server, ServerConfig, ServerHandle, ServerMode};
 pub use sharded_engine::ShardedRpEngine;
+pub use splitorder_engine::SplitOrderEngine;

@@ -57,6 +57,12 @@ pub enum StatsSub {
     Reset,
     /// `STATS TRACE` — dump the timestamped event ring.
     Trace,
+    /// `STATS WORKER <n>` — render one worker's per-shard metrics verbatim
+    /// (requests, decode errors, latency and batch-size summaries), so
+    /// accept-shard imbalance is directly observable instead of being
+    /// averaged away by the merged `STATS` scrape. Ordinals beyond the
+    /// shard count wrap, exactly as recording does.
+    Worker(usize),
 }
 
 /// A parsed client command (owned form).
@@ -526,10 +532,11 @@ pub fn parse_request_ref(buf: &[u8]) -> RefOutcome<'_> {
         },
         "STATS" => {
             let mut parts = rest.split_ascii_whitespace();
-            let sub = match (parts.next(), parts.next()) {
-                (None, _) => Some(StatsSub::Render),
-                (Some("RESET"), None) => Some(StatsSub::Reset),
-                (Some("TRACE"), None) => Some(StatsSub::Trace),
+            let sub = match (parts.next(), parts.next(), parts.next()) {
+                (None, _, _) => Some(StatsSub::Render),
+                (Some("RESET"), None, _) => Some(StatsSub::Reset),
+                (Some("TRACE"), None, _) => Some(StatsSub::Trace),
+                (Some("WORKER"), Some(n), None) => n.parse().ok().map(StatsSub::Worker),
                 _ => None,
             };
             match sub {
@@ -976,6 +983,10 @@ mod tests {
             complete(b"STATS TRACE\r\n").0,
             Command::StatsProm(StatsSub::Trace)
         );
+        assert_eq!(
+            complete(b"STATS WORKER 3\r\n").0,
+            Command::StatsProm(StatsSub::Worker(3))
+        );
         // Lowercase `stats` stays the classic memcached command — the verbs
         // are case-sensitive and must not shadow each other.
         assert_eq!(complete(b"stats\r\n").0, Command::Stats);
@@ -984,6 +995,9 @@ mod tests {
             &b"STATS bogus\r\n"[..],
             b"STATS reset\r\n",
             b"STATS RESET now\r\n",
+            b"STATS WORKER\r\n",
+            b"STATS WORKER x\r\n",
+            b"STATS WORKER 1 2\r\n",
         ] {
             match parse_command(junk) {
                 ParseOutcome::Invalid { consumed, .. } => assert_eq!(consumed, junk.len()),

@@ -418,6 +418,7 @@ pub fn execute_ref(
             StatsSub::Render => telemetry::render_prometheus(engine, out),
             StatsSub::Reset => telemetry::reset(engine, out),
             StatsSub::Trace => telemetry::render_trace(out),
+            StatsSub::Worker(n) => telemetry::render_worker(*n, out),
         },
         RequestRef::Version => {
             out.put(b"VERSION ");
@@ -553,6 +554,7 @@ pub fn execute_via(
                 StatsSub::Render => telemetry::render_prometheus(engine, &mut buf),
                 StatsSub::Reset => telemetry::reset(engine, &mut buf),
                 StatsSub::Trace => telemetry::render_trace(&mut buf),
+                StatsSub::Worker(n) => telemetry::render_worker(n, &mut buf),
             }
             Some(Response::Raw(Bytes::from(buf)))
         }

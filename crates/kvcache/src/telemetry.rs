@@ -107,6 +107,23 @@ pub fn render_trace(out: &mut impl BufWrite) {
     out.put(b"END\r\n");
 }
 
+/// Serves `STATS WORKER <n>` against `registry`: one worker's per-shard
+/// metrics rendered verbatim (requests, decode errors, per-opcode latency
+/// and epoll batch-size summaries), closed by the `END\r\n` frame marker.
+/// The merged `STATS` scrape aggregates shards, which averages accept-shard
+/// imbalance away; this view exposes one shard as recorded. Split from
+/// [`render_worker`] so its output — a pure function of the registry — can
+/// be pinned byte-for-byte by tests against a private registry.
+pub fn render_worker_from(registry: &rp_obs::Obs, worker: usize, out: &mut impl BufWrite) {
+    registry.render_worker(worker, &mut SinkAdapter(out));
+    out.put(b"END\r\n");
+}
+
+/// Serves `STATS WORKER <n>` against the process-global registry.
+pub fn render_worker(worker: usize, out: &mut impl BufWrite) {
+    render_worker_from(rp_obs::global(), worker, out);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +164,81 @@ engine_evictions_total 0\n\
 # HELP engine_expirations_total Items dropped because they were expired\n\
 # TYPE engine_expirations_total counter\n\
 engine_expirations_total 0\n";
+        assert_eq!(String::from_utf8(out).unwrap(), expected);
+    }
+
+    /// The per-worker view is a pure function of one shard's recordings:
+    /// pin its exact wire bytes. Values below 16 land in the histogram's
+    /// exact buckets, so every summary sample is deterministic. A private
+    /// registry keeps parallel tests (which write the global one) out.
+    #[test]
+    fn worker_render_exact_bytes() {
+        let registry = rp_obs::Obs::default();
+        let shard = registry.kv.shards.for_worker(3);
+        shard.requests.add(7);
+        for _ in 0..3 {
+            shard.get_ns.record(7);
+        }
+        shard.set_ns.record(2);
+        registry.net.batch_size.for_worker(3).record(4);
+        let mut out = Vec::new();
+        render_worker_from(&registry, 3, &mut out);
+        let expected = "\
+# HELP kv_worker Worker shard this view covers (ordinals wrap at the shard count).\n\
+# TYPE kv_worker gauge\n\
+kv_worker 3\n\
+# HELP kv_worker_requests_total Requests served by this worker.\n\
+# TYPE kv_worker_requests_total counter\n\
+kv_worker_requests_total 7\n\
+# HELP kv_worker_decode_errors_total Protocol decode errors on this worker's connections.\n\
+# TYPE kv_worker_decode_errors_total counter\n\
+kv_worker_decode_errors_total 0\n\
+# HELP kv_worker_get_latency_ns GET service latency on this worker.\n\
+# TYPE kv_worker_get_latency_ns summary\n\
+kv_worker_get_latency_ns{quantile=\"0.5\"} 7\n\
+kv_worker_get_latency_ns{quantile=\"0.9\"} 7\n\
+kv_worker_get_latency_ns{quantile=\"0.99\"} 7\n\
+kv_worker_get_latency_ns{quantile=\"0.999\"} 7\n\
+kv_worker_get_latency_ns_sum 21\n\
+kv_worker_get_latency_ns_count 3\n\
+kv_worker_get_latency_ns_max 7\n\
+# HELP kv_worker_set_latency_ns SET service latency on this worker.\n\
+# TYPE kv_worker_set_latency_ns summary\n\
+kv_worker_set_latency_ns{quantile=\"0.5\"} 2\n\
+kv_worker_set_latency_ns{quantile=\"0.9\"} 2\n\
+kv_worker_set_latency_ns{quantile=\"0.99\"} 2\n\
+kv_worker_set_latency_ns{quantile=\"0.999\"} 2\n\
+kv_worker_set_latency_ns_sum 2\n\
+kv_worker_set_latency_ns_count 1\n\
+kv_worker_set_latency_ns_max 2\n\
+# HELP kv_worker_delete_latency_ns DELETE service latency on this worker.\n\
+# TYPE kv_worker_delete_latency_ns summary\n\
+kv_worker_delete_latency_ns{quantile=\"0.5\"} 0\n\
+kv_worker_delete_latency_ns{quantile=\"0.9\"} 0\n\
+kv_worker_delete_latency_ns{quantile=\"0.99\"} 0\n\
+kv_worker_delete_latency_ns{quantile=\"0.999\"} 0\n\
+kv_worker_delete_latency_ns_sum 0\n\
+kv_worker_delete_latency_ns_count 0\n\
+kv_worker_delete_latency_ns_max 0\n\
+# HELP kv_worker_other_latency_ns Service latency of remaining opcodes on this worker.\n\
+# TYPE kv_worker_other_latency_ns summary\n\
+kv_worker_other_latency_ns{quantile=\"0.5\"} 0\n\
+kv_worker_other_latency_ns{quantile=\"0.9\"} 0\n\
+kv_worker_other_latency_ns{quantile=\"0.99\"} 0\n\
+kv_worker_other_latency_ns{quantile=\"0.999\"} 0\n\
+kv_worker_other_latency_ns_sum 0\n\
+kv_worker_other_latency_ns_count 0\n\
+kv_worker_other_latency_ns_max 0\n\
+# HELP net_worker_batch_size Readiness events per epoll_wait wake on this worker.\n\
+# TYPE net_worker_batch_size summary\n\
+net_worker_batch_size{quantile=\"0.5\"} 4\n\
+net_worker_batch_size{quantile=\"0.9\"} 4\n\
+net_worker_batch_size{quantile=\"0.99\"} 4\n\
+net_worker_batch_size{quantile=\"0.999\"} 4\n\
+net_worker_batch_size_sum 4\n\
+net_worker_batch_size_count 1\n\
+net_worker_batch_size_max 4\n\
+END\r\n";
         assert_eq!(String::from_utf8(out).unwrap(), expected);
     }
 

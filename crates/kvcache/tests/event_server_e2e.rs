@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use rp_kvcache::client::CacheClient;
 use rp_kvcache::server::{start_server, ServerConfig, ServerHandle, ServerMode};
-use rp_kvcache::{CacheEngine, LockEngine, ReadSide, RpEngine, ShardedRpEngine};
+use rp_kvcache::{CacheEngine, LockEngine, ReadSide, RpEngine, ShardedRpEngine, SplitOrderEngine};
 
 fn event_loop_config(workers: usize) -> ServerConfig {
     ServerConfig {
@@ -49,6 +49,7 @@ fn event_loop_matches_threaded_for_every_engine_and_read_side() {
         Arc::new(LockEngine::new()),
         Arc::new(RpEngine::new()),
         Arc::new(ShardedRpEngine::new()),
+        Arc::new(SplitOrderEngine::new()),
     ];
     for engine in engines {
         for config in [
@@ -66,25 +67,62 @@ fn event_loop_matches_threaded_for_every_engine_and_read_side() {
 #[test]
 fn explicit_read_side_flavors_serve_expiry_and_batches() {
     // The expiry slow path (a write from the serving worker) and the
-    // multi-GET batch path, explicitly under each flavor.
-    for read_side in [ReadSide::Ebr, ReadSide::Qsbr] {
-        let config = event_loop_config(2).with_read_side(read_side);
-        let mut server = start_server(Arc::new(ShardedRpEngine::new()), &config).expect("start");
-        let mut client = CacheClient::connect(server.addr()).unwrap();
-        assert!(client.set("ttl", 0, 1, b"fleeting").unwrap());
-        for i in 0..32 {
-            assert!(client.set(&format!("b{i}"), 0, 0, b"v").unwrap());
+    // multi-GET batch path, explicitly under each flavor — for the sharded
+    // engine (writer locks + background maintenance) and the split-ordered
+    // engine (lock-free writers, expiry removal is a CAS).
+    let engines: [fn() -> Arc<dyn CacheEngine>; 2] = [
+        || Arc::new(ShardedRpEngine::new()),
+        || Arc::new(SplitOrderEngine::new()),
+    ];
+    for make_engine in engines {
+        for read_side in [ReadSide::Ebr, ReadSide::Qsbr] {
+            let config = event_loop_config(2).with_read_side(read_side);
+            let mut server = start_server(make_engine(), &config).expect("start");
+            let mut client = CacheClient::connect(server.addr()).unwrap();
+            assert!(client.set("ttl", 0, 1, b"fleeting").unwrap());
+            for i in 0..32 {
+                assert!(client.set(&format!("b{i}"), 0, 0, b"v").unwrap());
+            }
+            let hits = client.get_many(&["b0", "b31", "missing", "b7"]).unwrap();
+            assert_eq!(hits.len(), 3, "{read_side:?}");
+            std::thread::sleep(Duration::from_millis(1100));
+            assert!(
+                client.get("ttl").unwrap().is_none(),
+                "{read_side:?}: item must expire through the worker's slow path"
+            );
+            client.quit().unwrap();
+            server.shutdown();
         }
-        let hits = client.get_many(&["b0", "b31", "missing", "b7"]).unwrap();
-        assert_eq!(hits.len(), 3, "{read_side:?}");
-        std::thread::sleep(Duration::from_millis(1100));
-        assert!(
-            client.get("ttl").unwrap().is_none(),
-            "{read_side:?}: item must expire through the worker's slow path"
-        );
-        client.quit().unwrap();
-        server.shutdown();
     }
+}
+
+#[test]
+fn stats_worker_serves_one_shard_over_the_wire() {
+    let mut server = start_server(Arc::new(RpEngine::new()), &event_loop_config(2)).unwrap();
+    let mut client = CacheClient::connect(server.addr()).unwrap();
+    assert!(client.set("k", 0, 0, b"v").unwrap());
+    assert!(client.get("k").unwrap().is_some());
+
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.write_all(b"STATS WORKER 0\r\nquit\r\n").unwrap();
+    let mut got = Vec::new();
+    BufReader::new(stream).read_to_end(&mut got).unwrap();
+    let text = String::from_utf8(got).unwrap();
+    assert!(text.contains("kv_worker 0\n"), "{text}");
+    assert!(text.contains("kv_worker_requests_total"), "{text}");
+    assert!(text.contains("net_worker_batch_size_count"), "{text}");
+    assert!(text.ends_with("END\r\n"), "{text}");
+    // The per-worker view must stay distinct from the merged scrape: no
+    // aggregated families leak in.
+    assert!(!text.contains("kv_requests_total"), "{text}");
+
+    // A malformed ordinal is rejected like any other unknown command.
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.write_all(b"STATS WORKER nope\r\nquit\r\n").unwrap();
+    let mut got = Vec::new();
+    BufReader::new(stream).read_to_end(&mut got).unwrap();
+    assert!(String::from_utf8(got).unwrap().starts_with("CLIENT_ERROR"));
+    server.shutdown();
 }
 
 #[test]

@@ -45,6 +45,7 @@ fn encode(cmd: &Command) -> Vec<u8> {
         Command::StatsProm(StatsSub::Render) => b"STATS\r\n".to_vec(),
         Command::StatsProm(StatsSub::Reset) => b"STATS RESET\r\n".to_vec(),
         Command::StatsProm(StatsSub::Trace) => b"STATS TRACE\r\n".to_vec(),
+        Command::StatsProm(StatsSub::Worker(n)) => format!("STATS WORKER {n}\r\n").into_bytes(),
         Command::Version => b"version\r\n".to_vec(),
         Command::Quit => b"quit\r\n".to_vec(),
     }
@@ -72,6 +73,7 @@ fn command_strategy() -> impl Strategy<Value = Command> {
         Just(Command::StatsProm(StatsSub::Render)),
         Just(Command::StatsProm(StatsSub::Reset)),
         Just(Command::StatsProm(StatsSub::Trace)),
+        any::<usize>().prop_map(|n| Command::StatsProm(StatsSub::Worker(n))),
         Just(Command::Version),
         Just(Command::Quit),
     ]

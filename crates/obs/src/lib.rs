@@ -423,6 +423,66 @@ impl Obs {
         );
     }
 
+    /// Renders one worker's shard of the per-worker metrics (the kvcache
+    /// server's `STATS WORKER <n>` view): the worker's request and
+    /// decode-error counters, its per-opcode latency summaries, and its
+    /// epoll batch-size summary. The merged scrape
+    /// ([`Obs::render_prometheus`]) aggregates these across workers, which
+    /// averages accept-shard imbalance away; this view exposes one shard
+    /// verbatim. Worker ordinals beyond the shard count wrap, exactly as
+    /// recording does ([`Sharded::for_worker`]).
+    pub fn render_worker(&self, worker: usize, sink: &mut impl MetricSink) {
+        let shard = self.kv.shards.for_worker(worker);
+        render::gauge(
+            sink,
+            "kv_worker",
+            "Worker shard this view covers (ordinals wrap at the shard count).",
+            (worker & (self.kv.shards.len() - 1)) as u64,
+        );
+        render::counter(
+            sink,
+            "kv_worker_requests_total",
+            "Requests served by this worker.",
+            shard.requests.get(),
+        );
+        render::counter(
+            sink,
+            "kv_worker_decode_errors_total",
+            "Protocol decode errors on this worker's connections.",
+            shard.decode_errors.get(),
+        );
+        render::summary(
+            sink,
+            "kv_worker_get_latency_ns",
+            "GET service latency on this worker.",
+            &shard.get_ns.snapshot(),
+        );
+        render::summary(
+            sink,
+            "kv_worker_set_latency_ns",
+            "SET service latency on this worker.",
+            &shard.set_ns.snapshot(),
+        );
+        render::summary(
+            sink,
+            "kv_worker_delete_latency_ns",
+            "DELETE service latency on this worker.",
+            &shard.delete_ns.snapshot(),
+        );
+        render::summary(
+            sink,
+            "kv_worker_other_latency_ns",
+            "Service latency of remaining opcodes on this worker.",
+            &shard.other_ns.snapshot(),
+        );
+        render::summary(
+            sink,
+            "net_worker_batch_size",
+            "Readiness events per epoll_wait wake on this worker.",
+            &self.net.batch_size.for_worker(worker).snapshot(),
+        );
+    }
+
     /// Renders the retained trace events, oldest first, one
     /// `TRACE <seq> <t_us> <label> <value>` line each (CRLF-terminated —
     /// this output goes straight onto the cache protocol's wire).
@@ -523,6 +583,27 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn worker_render_reads_exactly_one_shard() {
+        let obs = Obs::default();
+        obs.kv.shards.for_worker(3).requests.add(7);
+        obs.kv.shards.for_worker(4).requests.add(100);
+        obs.net.batch_size.for_worker(3).record(2);
+        let mut out = Vec::new();
+        obs.render_worker(3, &mut out);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("kv_worker 3\n"), "{text}");
+        assert!(
+            text.contains("kv_worker_requests_total 7\n"),
+            "worker 4's count must not leak in:\n{text}"
+        );
+        assert!(text.contains("net_worker_batch_size_count 1\n"), "{text}");
+        // Ordinals wrap at the shard count, mirroring recording.
+        let mut wrapped = Vec::new();
+        obs.render_worker(3 + obs.kv.shards.len(), &mut wrapped);
+        assert_eq!(wrapped, text.as_bytes());
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! Property-based model tests for the split-ordered map, mirroring
+//! `crates/hash/tests/model_proptest.rs`: arbitrary operation sequences are
+//! checked against a `BTreeMap` reference, resizes interleaved anywhere,
+//! plus the split-order specials — bucket-split boundary cases driven by an
+//! identity hasher (so bucket placement is exact) and dummy-node insertion
+//! races from threads that force concurrent lazy bucket initialization.
+
+use std::collections::BTreeMap;
+use std::hash::{BuildHasher, Hasher};
+
+use proptest::prelude::*;
+
+use rp_splitorder::SplitOrderMap;
+
+/// One step of a generated workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, u32),
+    Remove(u16),
+    Lookup(u16),
+    ResizeTo(u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        8 => (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        4 => any::<u16>().prop_map(Op::Remove),
+        8 => any::<u16>().prop_map(Op::Lookup),
+        2 => (1_u16..512).prop_map(Op::ResizeTo),
+    ]
+}
+
+/// Hashes an integer to itself, so `hash & (size - 1)` is the literal low
+/// bits of the key — bucket placement and split boundaries become exact.
+#[derive(Clone, Copy, Default)]
+struct IdentityBuild;
+
+struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 << 8) | u64::from(b);
+        }
+    }
+    fn write_u16(&mut self, v: u16) {
+        self.0 = u64::from(v);
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+impl BuildHasher for IdentityBuild {
+    type Hasher = IdentityHasher;
+    fn build_hasher(&self) -> IdentityHasher {
+        IdentityHasher(0)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn behaves_like_btreemap(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let map: SplitOrderMap<u16, u32> = SplitOrderMap::with_buckets(2);
+        let mut model: BTreeMap<u16, u32> = BTreeMap::new();
+
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => {
+                    let newly = map.insert(k, v);
+                    let model_newly = model.insert(k, v).is_none();
+                    prop_assert_eq!(newly, model_newly, "insert({}, {})", k, v);
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(map.remove(&k), model.remove(&k).is_some(), "remove({})", k);
+                }
+                Op::Lookup(k) => {
+                    prop_assert_eq!(map.get_cloned(&k), model.get(&k).copied(), "lookup({})", k);
+                }
+                Op::ResizeTo(n) => map.resize_to(n as usize),
+            }
+            prop_assert_eq!(map.len(), model.len());
+        }
+
+        // Structural invariants hold after any sequence.
+        map.check_invariants().map_err(TestCaseError::fail)?;
+
+        // Final contents match exactly.
+        let mut contents = map.to_vec();
+        contents.sort_unstable();
+        let expected: Vec<(u16, u32)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(contents, expected);
+    }
+
+    /// Bucket-split boundary cases, made exact by the identity hasher: keys
+    /// sharing their low bits collide into one bucket, and each doubling
+    /// must split them apart (bit-reversal ordering keeps every bucket's
+    /// run contiguous) without losing or duplicating anything. Shrinking
+    /// back re-merges buckets through the now-passive dummies.
+    #[test]
+    fn bucket_splits_move_no_entries(
+        low_bits in 0_u64..8,
+        count in 1_usize..48,
+        doublings in 1_u32..6,
+    ) {
+        let map: SplitOrderMap<u64, u64, IdentityBuild> =
+            SplitOrderMap::with_buckets_and_hasher(8, IdentityBuild);
+        // Every key lands in bucket `low_bits` of the initial 8-slot table.
+        let keys: Vec<u64> = (0..count as u64).map(|i| low_bits | (i << 3)).collect();
+        for &k in &keys {
+            map.insert(k, !k);
+        }
+        prop_assert_eq!(map.len(), keys.len());
+        for d in 0..doublings {
+            map.resize_to(8 << (d + 1));
+            // Touch every key so the freshly split buckets initialize
+            // their dummies, then verify nothing moved or vanished.
+            let guard = map.pin();
+            for &k in &keys {
+                prop_assert_eq!(map.get(&k, &guard).copied(), Some(!k), "after doubling {}", d);
+            }
+            drop(guard);
+            map.check_invariants().map_err(TestCaseError::fail)?;
+        }
+        map.resize_to(8);
+        let guard = map.pin();
+        for &k in &keys {
+            prop_assert_eq!(map.get(&k, &guard).copied(), Some(!k), "after shrink");
+        }
+        prop_assert_eq!(map.iter(&guard).count(), keys.len());
+        drop(guard);
+        map.check_invariants().map_err(TestCaseError::fail)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Linearizability-flavored check: threads run generated op sequences
+    /// over *disjoint* key ranges (so each thread's sequential model is
+    /// exact regardless of interleaving) while a resizer storms the bucket
+    /// array. The union of the per-thread models must equal the final map.
+    #[test]
+    fn threaded_interleavings_match_merged_models(
+        per_thread in proptest::collection::vec(
+            proptest::collection::vec(op_strategy(), 1..120),
+            2..4,
+        ),
+        resizes in proptest::collection::vec(1_u16..256, 1..8),
+    ) {
+        let map: SplitOrderMap<u32, u32> = SplitOrderMap::with_buckets(2);
+        let models: Vec<BTreeMap<u32, u32>> = std::thread::scope(|s| {
+            let resizer = {
+                let map = &map;
+                let resizes = &resizes;
+                s.spawn(move || {
+                    for &target in resizes {
+                        map.resize_to(target as usize);
+                        std::thread::yield_now();
+                    }
+                })
+            };
+            let handles: Vec<_> = per_thread
+                .iter()
+                .enumerate()
+                .map(|(tid, ops)| {
+                    let map = &map;
+                    s.spawn(move || {
+                        // Disjoint key space: the thread id rides in the
+                        // high bits, so models never interfere.
+                        let rebase = |k: u16| (tid as u32) << 16 | u32::from(k);
+                        let mut model = BTreeMap::new();
+                        for op in ops {
+                            match *op {
+                                Op::Insert(k, v) => {
+                                    assert_eq!(
+                                        map.insert(rebase(k), v),
+                                        model.insert(rebase(k), v).is_none(),
+                                        "insert({})", rebase(k),
+                                    );
+                                }
+                                Op::Remove(k) => {
+                                    assert_eq!(
+                                        map.remove(&rebase(k)),
+                                        model.remove(&rebase(k)).is_some(),
+                                        "remove({})", rebase(k),
+                                    );
+                                }
+                                Op::Lookup(k) => {
+                                    assert_eq!(
+                                        map.get_cloned(&rebase(k)),
+                                        model.get(&rebase(k)).copied(),
+                                        "lookup({})", rebase(k),
+                                    );
+                                }
+                                Op::ResizeTo(n) => map.resize_to(n as usize),
+                            }
+                        }
+                        model
+                    })
+                })
+                .collect();
+            resizer.join().unwrap();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        let mut expected: Vec<(u32, u32)> = models
+            .into_iter()
+            .flat_map(|m| m.into_iter())
+            .collect();
+        expected.sort_unstable();
+        let mut contents = map.to_vec();
+        contents.sort_unstable();
+        prop_assert_eq!(contents, expected);
+        map.check_invariants().map_err(TestCaseError::fail)?;
+        map.flush_retired();
+    }
+
+    /// Dummy-node insertion races: after a jump to a large table, threads
+    /// insert identity-hashed keys spread across many uninitialized
+    /// buckets, so lazy `init_bucket` chains race on shared parents. Every
+    /// bucket must end up with exactly one dummy (checked by the invariant
+    /// scan) and every key must survive.
+    #[test]
+    fn concurrent_bucket_initialization_races_are_safe(
+        threads in 2_usize..5,
+        span in 64_u64..512,
+    ) {
+        let map: SplitOrderMap<u64, u64, IdentityBuild> =
+            SplitOrderMap::with_buckets_and_hasher(1, IdentityBuild);
+        map.resize_to(1024); // a sea of uninitialized buckets
+        std::thread::scope(|s| {
+            for tid in 0..threads as u64 {
+                let map = &map;
+                s.spawn(move || {
+                    let mut k = tid;
+                    while k < span {
+                        assert!(map.insert(k, k + 1), "key {k} inserted twice");
+                        k += threads as u64;
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(map.len(), span as usize);
+        let guard = map.pin();
+        for k in 0..span {
+            prop_assert_eq!(map.get(&k, &guard).copied(), Some(k + 1));
+        }
+        drop(guard);
+        map.check_invariants().map_err(TestCaseError::fail)?;
+    }
+}

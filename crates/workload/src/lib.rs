@@ -25,6 +25,9 @@
 //! * [`report`] — turns measured series into CSV and markdown tables so the
 //!   benchmark binaries can print exactly the rows the paper's figures plot.
 //! * [`sysinfo`] — records the host configuration alongside results.
+//! * [`torture`] — a reusable rcutorture-style stress harness: checksummed
+//!   payloads, QSBR + EBR reader populations, generation-tagged writers and
+//!   a resize cycler, generic over every resizable map in the workspace.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -36,6 +39,7 @@ pub mod latency;
 pub mod netdriver;
 pub mod report;
 pub mod sysinfo;
+pub mod torture;
 mod zipf;
 
 pub use driver::{measure, measure_thread_local, BackgroundHandle, MeasureResult};

@@ -1,0 +1,31 @@
+//! The shared rcutorture-style storm, run against every resizable RCU map
+//! in the workspace: the plain relativistic table, the sharded table, and
+//! the split-ordered list. One harness, one contract — no freed or torn
+//! value observed, no stable key absent mid-resize, invariants intact
+//! after the storm. Duration per map is `RP_TORTURE_SECS` (default 2).
+
+use rp_hash::RpHashMap;
+use rp_shard::ShardedRpMap;
+use rp_splitorder::SplitOrderMap;
+use rp_workload::torture::{torture_storm, Payload, TortureConfig};
+
+#[test]
+fn rp_hash_map_survives_the_storm() {
+    let map: RpHashMap<u64, Payload> = RpHashMap::with_buckets(64);
+    let outcome = torture_storm(&map, &TortureConfig::default());
+    assert!(outcome.resize_transitions >= 1);
+}
+
+#[test]
+fn sharded_rp_map_survives_the_storm() {
+    let map: ShardedRpMap<u64, Payload> = ShardedRpMap::with_shards(4);
+    let outcome = torture_storm(&map, &TortureConfig::default());
+    assert!(outcome.resize_transitions >= 1);
+}
+
+#[test]
+fn split_order_map_survives_the_storm() {
+    let map: SplitOrderMap<u64, Payload> = SplitOrderMap::with_buckets(64);
+    let outcome = torture_storm(&map, &TortureConfig::default());
+    assert!(outcome.resize_transitions >= 1);
+}

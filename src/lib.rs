@@ -22,6 +22,11 @@
 //!   hit a load-factor trigger only *request* a resize and a maintenance
 //!   thread drives the incremental zip/unzip state machine, absorbing every
 //!   grace-period wait off the writer path.
+//! * [`splitorder`] — [`splitorder::SplitOrderMap`], the main *competing*
+//!   resize philosophy: a lock-free split-ordered list (Shalev & Shavit)
+//!   whose resizes move no data and never wait for a grace period, sharing
+//!   the workspace's `ReadProtect` lookup witnesses and `GraceSync`
+//!   reclamation funnel.
 //! * [`baselines`] — the designs the paper compares against (DDDS,
 //!   reader-writer locking, per-bucket locking, Herbert Xu's dual-chain
 //!   tables).
@@ -66,4 +71,5 @@ pub use rp_maint as maint;
 pub use rp_net as net;
 pub use rp_rcu as rcu;
 pub use rp_shard as shard;
+pub use rp_splitorder as splitorder;
 pub use rp_workload as workload;

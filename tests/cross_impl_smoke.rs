@@ -12,6 +12,7 @@ use relativist::baselines::{
 };
 use relativist::hash::{FnvBuildHasher, RpHashMap};
 use relativist::shard::ShardedRpMap;
+use relativist::splitorder::SplitOrderMap;
 
 const STABLE: u64 = 1024;
 
@@ -190,6 +191,23 @@ fn sharded_rp_map_qsbr_and_ebr_readers_survive_resizes() {
 }
 
 #[test]
+fn split_order_map_qsbr_and_ebr_readers_survive_resizes() {
+    let map = SplitOrderMap::<u64, u64>::with_buckets(256);
+    for k in 0..STABLE {
+        map.insert(k, k + 1);
+    }
+    hammer_with_qsbr_readers(
+        |k| {
+            let guard = map.pin();
+            map.get(&k, &guard).copied()
+        },
+        |k, handle| map.get(&k, handle).copied(),
+        |round| map.resize_to(if round.is_multiple_of(2) { 4096 } else { 256 }),
+    );
+    map.check_invariants().unwrap();
+}
+
+#[test]
 fn rp_hash_map_survives_concurrent_mixed_workload() {
     hammer(Arc::new(
         RpHashMap::<u64, u64, FnvBuildHasher>::with_buckets_and_hasher(256, FnvBuildHasher),
@@ -199,6 +217,11 @@ fn rp_hash_map_survives_concurrent_mixed_workload() {
 #[test]
 fn sharded_rp_map_survives_concurrent_mixed_workload() {
     hammer(Arc::new(ShardedRpMap::<u64, u64>::with_shards(8)));
+}
+
+#[test]
+fn split_order_map_survives_concurrent_mixed_workload() {
+    hammer(Arc::new(SplitOrderMap::<u64, u64>::with_buckets(256)));
 }
 
 #[test]
