@@ -72,6 +72,8 @@ impl KvService {
 pub struct KvWorker {
     ctx: EngineReadCtx,
     kv: &'static rp_obs::KvWorkerObs,
+    /// Reactor ordinal, stamped into slow-log spans as the serving worker.
+    ordinal: u64,
 }
 
 impl Service for KvService {
@@ -84,6 +86,7 @@ impl Service for KvService {
         KvWorker {
             ctx: EngineReadCtx::new(self.read_side),
             kv: rp_obs::global().kv.shards.for_worker(worker),
+            ordinal: worker as u64,
         }
     }
 
@@ -104,17 +107,30 @@ impl Service for KvService {
                 // been answered and closes.
                 break Action::Continue;
             }
+            // Predict whether the request this step may complete will be
+            // the sampled 1-in-N one (the shard counter is effectively
+            // single-writer, so the prediction is exact unless workers
+            // outnumber metric shards) and time the decode step only then
+            // — the unsampled path keeps zero clock reads.
+            let decode_timer = if rp_obs::sample_latency(worker.kv.requests.get() + 1) {
+                rp_obs::timer()
+            } else {
+                None
+            };
             let (used, decoded) = decoder.step(&io.input[offset..]);
             offset += used;
             match decoded {
                 Decoded::Request(request) => {
                     io.requests += 1;
+                    let decode_ns = rp_obs::elapsed_ns(decode_timer).unwrap_or(0);
                     if execute_ref_observed(
                         &*self.engine,
                         &request,
                         &mut worker.ctx,
                         &mut io.out,
                         worker.kv,
+                        worker.ordinal,
+                        decode_ns,
                     ) {
                         break Action::Close;
                     }
@@ -206,6 +222,10 @@ impl EventServer {
         engine: Arc<dyn CacheEngine>,
         config: &ServerConfig,
     ) -> io::Result<EventServer> {
+        // A serving process watches its own grace periods (see
+        // `rp_rcu::stall`): a wedged reader surfaces in STATS TRACE and
+        // `rcu_grace_stalls_total` instead of as a silent writer hang.
+        rp_rcu::stall::ensure_global_watchdog();
         let read_side = config.read_side;
         let net = NetConfig {
             workers: config.workers.max(1),

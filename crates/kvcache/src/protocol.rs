@@ -55,8 +55,17 @@ pub enum StatsSub {
     /// `STATS RESET` — zero the counters and histograms (level gauges keep
     /// their value) and mark the trace ring.
     Reset,
-    /// `STATS TRACE` — dump the timestamped event ring.
-    Trace,
+    /// `STATS TRACE` / `STATS TRACE <n>` — dump the timestamped event
+    /// ring (bare form: everything retained; with a count: only the most
+    /// recent `n` events). The reply header documents the ring capacity.
+    Trace(Option<usize>),
+    /// `STATS SLOW` — dump the slow-request log: sampled request spans
+    /// over the slow threshold, with their per-phase breakdown
+    /// (decode/index/serialize).
+    Slow,
+    /// `STATS JSON` — render the whole registry (plus the engine metrics)
+    /// as a single JSON object, same data as the Prometheus text form.
+    Json,
     /// `STATS WORKER <n>` — render one worker's per-shard metrics verbatim
     /// (requests, decode errors, latency and batch-size summaries), so
     /// accept-shard imbalance is directly observable instead of being
@@ -535,7 +544,10 @@ pub fn parse_request_ref(buf: &[u8]) -> RefOutcome<'_> {
             let sub = match (parts.next(), parts.next(), parts.next()) {
                 (None, _, _) => Some(StatsSub::Render),
                 (Some("RESET"), None, _) => Some(StatsSub::Reset),
-                (Some("TRACE"), None, _) => Some(StatsSub::Trace),
+                (Some("TRACE"), None, _) => Some(StatsSub::Trace(None)),
+                (Some("TRACE"), Some(n), None) => n.parse().ok().map(|n| StatsSub::Trace(Some(n))),
+                (Some("SLOW"), None, _) => Some(StatsSub::Slow),
+                (Some("JSON"), None, _) => Some(StatsSub::Json),
                 (Some("WORKER"), Some(n), None) => n.parse().ok().map(StatsSub::Worker),
                 _ => None,
             };
@@ -981,7 +993,19 @@ mod tests {
         );
         assert_eq!(
             complete(b"STATS TRACE\r\n").0,
-            Command::StatsProm(StatsSub::Trace)
+            Command::StatsProm(StatsSub::Trace(None))
+        );
+        assert_eq!(
+            complete(b"STATS TRACE 25\r\n").0,
+            Command::StatsProm(StatsSub::Trace(Some(25)))
+        );
+        assert_eq!(
+            complete(b"STATS SLOW\r\n").0,
+            Command::StatsProm(StatsSub::Slow)
+        );
+        assert_eq!(
+            complete(b"STATS JSON\r\n").0,
+            Command::StatsProm(StatsSub::Json)
         );
         assert_eq!(
             complete(b"STATS WORKER 3\r\n").0,
@@ -995,6 +1019,10 @@ mod tests {
             &b"STATS bogus\r\n"[..],
             b"STATS reset\r\n",
             b"STATS RESET now\r\n",
+            b"STATS TRACE x\r\n",
+            b"STATS TRACE 1 2\r\n",
+            b"STATS SLOW 5\r\n",
+            b"STATS JSON pretty\r\n",
             b"STATS WORKER\r\n",
             b"STATS WORKER x\r\n",
             b"STATS WORKER 1 2\r\n",

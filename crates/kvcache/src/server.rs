@@ -182,6 +182,10 @@ impl CacheServer {
     /// Binds to `127.0.0.1:<port>` (port 0 picks a free port) and starts
     /// serving `engine`.
     pub fn start(engine: Arc<dyn CacheEngine>, port: u16) -> std::io::Result<CacheServer> {
+        // Any serving process watches its own grace periods: a reader that
+        // wedges a writer's synchronize shows up in STATS TRACE instead of
+        // as a silent hang.
+        rp_rcu::stall::ensure_global_watchdog();
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -275,14 +279,13 @@ fn serve_connection(
     let mut out: Vec<u8> = Vec::new();
     let mut chunk = [0_u8; 4096];
     // Spread per-connection threads across the metric shards by fd (the
-    // event loop uses its worker index instead).
-    let kv = {
+    // event loop uses its worker index instead); the fd doubles as the
+    // "worker" name in slow-log entries.
+    let worker = {
         use std::os::unix::io::AsRawFd;
-        rp_obs::global()
-            .kv
-            .shards
-            .for_worker(stream.as_raw_fd() as usize)
+        stream.as_raw_fd() as usize
     };
+    let kv = rp_obs::global().kv.shards.for_worker(worker);
 
     loop {
         // Drain every complete request already buffered.
@@ -293,7 +296,17 @@ fn serve_connection(
             offset += used;
             match decoded {
                 Decoded::Request(request) => {
-                    if execute_ref_observed(engine, &request, &mut ctx, &mut out, kv) {
+                    // Decode cost is not attributed on this path (the
+                    // blocking read makes it meaningless anyway).
+                    if execute_ref_observed(
+                        engine,
+                        &request,
+                        &mut ctx,
+                        &mut out,
+                        kv,
+                        worker as u64,
+                        0,
+                    ) {
                         quit = true;
                         break;
                     }
@@ -417,7 +430,9 @@ pub fn execute_ref(
         RequestRef::StatsProm(sub) => match sub {
             StatsSub::Render => telemetry::render_prometheus(engine, out),
             StatsSub::Reset => telemetry::reset(engine, out),
-            StatsSub::Trace => telemetry::render_trace(out),
+            StatsSub::Trace(limit) => telemetry::render_trace(*limit, out),
+            StatsSub::Slow => telemetry::render_slow(out),
+            StatsSub::Json => telemetry::render_json(engine, out),
             StatsSub::Worker(n) => telemetry::render_worker(*n, out),
         },
         RequestRef::Version => {
@@ -430,28 +445,52 @@ pub fn execute_ref(
     false
 }
 
+/// FNV-1a over the request key — a stable fingerprint for the slow log
+/// (which must not hold on to borrowed key bytes).
+fn hash_key(key: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325_u64;
+    for &byte in key {
+        hash = (hash ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 /// [`execute_ref`] wrapped in the per-opcode `rp-obs` accounting both
 /// servers share: bumps the worker shard's request counter (exact, one
-/// relaxed `fetch_add` — the whole telemetry cost for most requests) and
-/// records the service time of every [`rp_obs::LATENCY_SAMPLE`]-th request
-/// into the opcode's latency histogram. The two clock reads around a timed
-/// request are the only non-trivial cost, so quantiles come from the
-/// sample while counters stay exact; `--stats off` skips the clock reads
-/// entirely.
+/// relaxed `fetch_add` — the whole telemetry cost for most requests), and
+/// gives every [`rp_obs::LATENCY_SAMPLE`]-th request a span: its service
+/// time feeds the opcode's latency histogram, and if it clears the slow
+/// threshold the whole span (worker, request id, opcode, key hash, phase
+/// breakdown) lands in the slow-request log served by `STATS SLOW`.
+/// Unsampled requests run the identical zero-allocation path as before —
+/// no clock reads, no span — so the sampling tick bounds the entire
+/// telemetry cost; `--stats off` skips the clock reads even when sampled.
+///
+/// `worker` names the serving thread in slow-log entries (reactor ordinal
+/// in event-loop mode, connection fd in threaded mode — matching the
+/// metric-shard spread); `decode_ns` is the measured cost of the final
+/// protocol-decode step when the caller sampled it, 0 otherwise.
 pub(crate) fn execute_ref_observed(
     engine: &dyn CacheEngine,
     request: &RequestRef<'_>,
     ctx: &mut EngineReadCtx,
     out: &mut impl BufWrite,
     kv: &rp_obs::KvWorkerObs,
+    worker: u64,
+    decode_ns: u64,
 ) -> bool {
     let ordinal = kv.requests.inc_and_get();
-    let timer = if rp_obs::sample_latency(ordinal) {
-        rp_obs::timer()
-    } else {
-        None
+    if !rp_obs::sample_latency(ordinal) {
+        return execute_ref(engine, request, ctx, out);
+    }
+    let timer = rp_obs::timer();
+    let mut span = rp_obs::SlowSpan {
+        worker,
+        request_id: ordinal,
+        decode_ns,
+        ..Default::default()
     };
-    let quit = execute_ref(engine, request, ctx, out);
+    let quit = execute_ref_spanned(engine, request, ctx, out, &mut span);
     if let Some(ns) = rp_obs::elapsed_ns(timer) {
         let hist = match request {
             RequestRef::Get { .. } | RequestRef::GetMulti(_) => &kv.get_ns,
@@ -460,8 +499,115 @@ pub(crate) fn execute_ref_observed(
             _ => &kv.other_ns,
         };
         hist.record(ns);
+        span.total_ns = ns + decode_ns;
+        rp_obs::global().kv.slow.record(&span);
     }
     quit
+}
+
+/// [`execute_ref`] with per-phase timing filled into `span`: the engine
+/// call is the *index* phase, response serialisation is the *serialize*
+/// phase. Only the sampled 1-in-[`rp_obs::LATENCY_SAMPLE`] requests come
+/// through here, so the extra clock reads never touch the common path.
+/// Cold opcodes (stats, version, quit) delegate to [`execute_ref`]
+/// unphased and are tagged [`rp_obs::slow::OP_OTHER`].
+fn execute_ref_spanned(
+    engine: &dyn CacheEngine,
+    request: &RequestRef<'_>,
+    ctx: &mut EngineReadCtx,
+    out: &mut impl BufWrite,
+    span: &mut rp_obs::SlowSpan,
+) -> bool {
+    match request {
+        RequestRef::Get { key } => {
+            span.op = rp_obs::slow::OP_GET;
+            span.key_hash = hash_key(key);
+            let index = rp_obs::timer();
+            let item = engine.get_ref(key, ctx);
+            span.index_ns = rp_obs::elapsed_ns(index).unwrap_or(0);
+            let serialize = rp_obs::timer();
+            if let Some(item) = item {
+                write_value_header(out, key, item.flags, item.data.len());
+                out.put_shared(item.data);
+                out.put(b"\r\n");
+            }
+            out.put(b"END\r\n");
+            span.serialize_ns = rp_obs::elapsed_ns(serialize).unwrap_or(0);
+        }
+        RequestRef::GetMulti(keys) => {
+            span.op = rp_obs::slow::OP_GET;
+            span.key_hash = keys.iter().next().map(hash_key).unwrap_or(0);
+            for key in keys.iter() {
+                let index = rp_obs::timer();
+                let item = engine.get_ref(key, ctx);
+                span.index_ns += rp_obs::elapsed_ns(index).unwrap_or(0);
+                let serialize = rp_obs::timer();
+                if let Some(item) = item {
+                    write_value_header(out, key, item.flags, item.data.len());
+                    out.put_shared(item.data);
+                    out.put(b"\r\n");
+                }
+                span.serialize_ns += rp_obs::elapsed_ns(serialize).unwrap_or(0);
+            }
+            let serialize = rp_obs::timer();
+            out.put(b"END\r\n");
+            span.serialize_ns += rp_obs::elapsed_ns(serialize).unwrap_or(0);
+        }
+        RequestRef::Set {
+            key,
+            flags,
+            exptime,
+            data,
+            noreply,
+        } => {
+            span.op = rp_obs::slow::OP_SET;
+            span.key_hash = hash_key(key);
+            let index = rp_obs::timer();
+            let outcome = match std::str::from_utf8(key) {
+                Ok(key) => engine.set(
+                    key,
+                    crate::Item::with_ttl(
+                        *flags,
+                        Bytes::copy_from_slice(data),
+                        Duration::from_secs(*exptime),
+                    ),
+                ),
+                Err(_) => StoreOutcome::NotStored,
+            };
+            span.index_ns = rp_obs::elapsed_ns(index).unwrap_or(0);
+            let serialize = rp_obs::timer();
+            if !noreply {
+                out.put(match outcome {
+                    StoreOutcome::Stored => &b"STORED\r\n"[..],
+                    StoreOutcome::NotStored => &b"NOT_STORED\r\n"[..],
+                });
+            }
+            span.serialize_ns = rp_obs::elapsed_ns(serialize).unwrap_or(0);
+        }
+        RequestRef::Delete { key, noreply } => {
+            span.op = rp_obs::slow::OP_DELETE;
+            span.key_hash = hash_key(key);
+            let index = rp_obs::timer();
+            let deleted = std::str::from_utf8(key)
+                .map(|key| engine.delete(key))
+                .unwrap_or(false);
+            span.index_ns = rp_obs::elapsed_ns(index).unwrap_or(0);
+            let serialize = rp_obs::timer();
+            if !noreply {
+                out.put(if deleted {
+                    &b"DELETED\r\n"[..]
+                } else {
+                    &b"NOT_FOUND\r\n"[..]
+                });
+            }
+            span.serialize_ns = rp_obs::elapsed_ns(serialize).unwrap_or(0);
+        }
+        _ => {
+            span.op = rp_obs::slow::OP_OTHER;
+            return execute_ref(engine, request, ctx, out);
+        }
+    }
+    false
 }
 
 /// Executes a command against the engine, returning the reply to send (or
@@ -553,7 +699,9 @@ pub fn execute_via(
             match sub {
                 StatsSub::Render => telemetry::render_prometheus(engine, &mut buf),
                 StatsSub::Reset => telemetry::reset(engine, &mut buf),
-                StatsSub::Trace => telemetry::render_trace(&mut buf),
+                StatsSub::Trace(limit) => telemetry::render_trace(limit, &mut buf),
+                StatsSub::Slow => telemetry::render_slow(&mut buf),
+                StatsSub::Json => telemetry::render_json(engine, &mut buf),
                 StatsSub::Worker(n) => telemetry::render_worker(n, &mut buf),
             }
             Some(Response::Raw(Bytes::from(buf)))

@@ -100,11 +100,110 @@ pub fn reset(engine: &dyn CacheEngine, out: &mut impl BufWrite) {
     out.put(b"RESET\r\n");
 }
 
-/// Serves `STATS TRACE`: dumps the timestamped event ring as `TRACE` lines
-/// closed by `END\r\n`.
-pub fn render_trace(out: &mut impl BufWrite) {
-    rp_obs::global().render_trace(&mut SinkAdapter(out));
+/// Serves `STATS TRACE` / `STATS TRACE <n>` against `registry`: a
+/// `TRACE-RING` header documenting the ring's capacity and lifetime event
+/// count, then the retained events (all of them, or only the most recent
+/// `n`) as `TRACE` lines, closed by `END\r\n`.
+pub fn render_trace_from(registry: &rp_obs::Obs, limit: Option<usize>, out: &mut impl BufWrite) {
+    let mut sink = SinkAdapter(out);
+    sink.put_bytes(b"TRACE-RING capacity=");
+    rp_obs::render::put_u64(&mut sink, registry.trace.capacity() as u64);
+    sink.put_bytes(b" recorded=");
+    rp_obs::render::put_u64(&mut sink, registry.trace.recorded());
+    sink.put_bytes(b"\r\n");
+    registry.render_trace_recent(limit, &mut sink);
     out.put(b"END\r\n");
+}
+
+/// Serves `STATS TRACE` / `STATS TRACE <n>` against the process-global
+/// registry.
+pub fn render_trace(limit: Option<usize>, out: &mut impl BufWrite) {
+    render_trace_from(rp_obs::global(), limit, out);
+}
+
+/// Serves `STATS SLOW` against `registry`: a `SLOW-LOG` header documenting
+/// the log's capacity, threshold, and lifetime count, then one
+/// `SLOW <seq> <t_us> <worker> <request_id> <op> <key_hash> <total_ns>
+/// <decode_ns> <index_ns> <serialize_ns>` line per retained span, oldest
+/// first, closed by `END\r\n`.
+pub fn render_slow_from(registry: &rp_obs::Obs, out: &mut impl BufWrite) {
+    let mut sink = SinkAdapter(out);
+    let log = &registry.kv.slow;
+    sink.put_bytes(b"SLOW-LOG capacity=");
+    rp_obs::render::put_u64(&mut sink, log.capacity() as u64);
+    sink.put_bytes(b" threshold_ns=");
+    rp_obs::render::put_u64(&mut sink, log.threshold_ns());
+    sink.put_bytes(b" logged=");
+    rp_obs::render::put_u64(&mut sink, log.recorded());
+    sink.put_bytes(b"\r\n");
+    for entry in log.entries() {
+        sink.put_bytes(b"SLOW ");
+        for value in [
+            entry.seq,
+            entry.at_us,
+            entry.span.worker,
+            entry.span.request_id,
+        ] {
+            rp_obs::render::put_u64(&mut sink, value);
+            sink.put_bytes(b" ");
+        }
+        sink.put_bytes(rp_obs::slow::op_label(entry.span.op).as_bytes());
+        for value in [
+            entry.span.key_hash,
+            entry.span.total_ns,
+            entry.span.decode_ns,
+            entry.span.index_ns,
+            entry.span.serialize_ns,
+        ] {
+            sink.put_bytes(b" ");
+            rp_obs::render::put_u64(&mut sink, value);
+        }
+        sink.put_bytes(b"\r\n");
+    }
+    out.put(b"END\r\n");
+}
+
+/// Serves `STATS SLOW` against the process-global registry.
+pub fn render_slow(out: &mut impl BufWrite) {
+    render_slow_from(rp_obs::global(), out);
+}
+
+/// Serves `STATS JSON` against `registry`: the engine metrics and the
+/// whole registry as one JSON object on a single line — the same data (and
+/// metric names) as the Prometheus text form, in one stable format
+/// scrapers can parse without a JSON library — closed by `END\r\n`.
+pub fn render_json_from(registry: &rp_obs::Obs, engine: &dyn CacheEngine, out: &mut impl BufWrite) {
+    let mut sink = SinkAdapter(out);
+    let mut root = rp_obs::render::JsonObject::begin(&mut sink);
+    let stats = engine.stats();
+    let mut eng = root.nested("engine");
+    eng.field("engine_items", engine.len() as u64);
+    eng.field("engine_get_hits_total", stats.hits());
+    eng.field("engine_get_misses_total", stats.misses());
+    eng.field(
+        "engine_sets_total",
+        stats.sets.load(std::sync::atomic::Ordering::Relaxed),
+    );
+    eng.field(
+        "engine_deletes_total",
+        stats.deletes.load(std::sync::atomic::Ordering::Relaxed),
+    );
+    eng.field("engine_evictions_total", stats.evicted());
+    eng.field(
+        "engine_expirations_total",
+        stats.expirations.load(std::sync::atomic::Ordering::Relaxed),
+    );
+    eng.end();
+    registry.render_json_groups(&mut root);
+    root.end();
+    out.put(b"\r\nEND\r\n");
+}
+
+/// Serves `STATS JSON` against the process-global registry.
+pub fn render_json(engine: &dyn CacheEngine, out: &mut impl BufWrite) {
+    // Scrape-time level gauges (shard imbalance) first, like `STATS`.
+    engine.observe_gauges();
+    render_json_from(rp_obs::global(), engine, out);
 }
 
 /// Serves `STATS WORKER <n>` against `registry`: one worker's per-shard
@@ -266,13 +365,114 @@ END\r\n";
     #[test]
     fn trace_render_is_framed() {
         let mut out = Vec::new();
-        render_trace(&mut out);
+        render_trace(None, &mut out);
         let text = String::from_utf8(out).unwrap();
         assert!(text.ends_with("END\r\n"));
-        for line in text.lines() {
+        let mut lines = text.lines();
+        let header = lines.next().unwrap();
+        assert!(
+            header.starts_with("TRACE-RING capacity=") && header.contains(" recorded="),
+            "unexpected header {header:?}"
+        );
+        for line in lines {
             if line != "END" {
                 assert!(line.starts_with("TRACE "), "unexpected line {line:?}");
             }
         }
+    }
+
+    /// `STATS TRACE <n>` keeps only the newest `n` events; the header still
+    /// documents the full ring. A private registry keeps parallel tests out.
+    #[test]
+    fn trace_render_honors_the_count() {
+        let registry = rp_obs::Obs::default();
+        for i in 0..5 {
+            registry
+                .trace
+                .record(rp_obs::TraceKind::ResizeBegin, 100 + i);
+        }
+        let mut out = Vec::new();
+        render_trace_from(&registry, Some(2), &mut out);
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("TRACE-RING capacity="));
+        assert!(lines[0].ends_with(" recorded=5"), "{:?}", lines[0]);
+        assert_eq!(lines.len(), 4, "{text}");
+        assert!(lines[1].starts_with("TRACE 4 "), "{:?}", lines[1]);
+        assert!(lines[2].starts_with("TRACE 5 "), "{:?}", lines[2]);
+        assert_eq!(lines[3], "END");
+    }
+
+    /// `STATS SLOW` is a pure function of the registry's slow log except
+    /// for each entry's wall-clock stamp: pin the header and every other
+    /// field of the one recorded span.
+    #[test]
+    fn slow_render_reports_the_span_fields() {
+        let registry = rp_obs::Obs::default();
+        registry.kv.slow.set_threshold_ns(100);
+        registry.kv.slow.record(&rp_obs::SlowSpan {
+            worker: 3,
+            request_id: 9,
+            op: rp_obs::slow::OP_GET,
+            key_hash: 7,
+            total_ns: 500,
+            decode_ns: 100,
+            index_ns: 200,
+            serialize_ns: 150,
+        });
+        let mut out = Vec::new();
+        render_slow_from(&registry, &mut out);
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "SLOW-LOG capacity=64 threshold_ns=100 logged=1");
+        let fields: Vec<&str> = lines[1].split(' ').collect();
+        assert_eq!(fields[0], "SLOW");
+        assert_eq!(fields[1], "1", "first span gets seq 1");
+        // fields[2] is the wall-clock stamp; everything after is pinned.
+        assert_eq!(
+            &fields[3..],
+            ["3", "9", "get", "7", "500", "100", "200", "150"]
+        );
+        assert_eq!(lines[2], "END");
+    }
+
+    /// `STATS JSON` carries the same data as the Prometheus text form in
+    /// one line scrapers can parse without a JSON library: pin its exact
+    /// wire bytes against a private registry.
+    #[test]
+    fn json_render_exact_bytes() {
+        let engine = LockEngine::new();
+        engine.set("k", Item::new(0, "v"));
+        engine.get("k");
+        engine.get("missing");
+        engine.delete("k");
+        let registry = rp_obs::Obs::default();
+        registry.net.accepts_total.inc();
+        let mut out = Vec::new();
+        render_json_from(&registry, &engine, &mut out);
+        let zero = "{\"p50\":0,\"p90\":0,\"p99\":0,\"p999\":0,\"sum\":0,\"count\":0,\"max\":0}";
+        let expected = concat!(
+            "{\"engine\":{\"engine_items\":0,\"engine_get_hits_total\":1,",
+            "\"engine_get_misses_total\":1,\"engine_sets_total\":1,",
+            "\"engine_deletes_total\":1,\"engine_evictions_total\":0,",
+            "\"engine_expirations_total\":0},",
+            "\"kv\":{\"kv_requests_total\":0,\"kv_decode_errors_total\":0,",
+            "\"kv_get_latency_ns\":Z,\"kv_set_latency_ns\":Z,",
+            "\"kv_delete_latency_ns\":Z,\"kv_other_latency_ns\":Z,",
+            "\"kv_slow_logged_total\":0},",
+            "\"net\":{\"net_accepts_total\":1,\"net_sheds_total\":0,",
+            "\"net_idle_reaped_total\":0,\"net_watermark_trips_total\":0,",
+            "\"net_connections\":0,\"net_batch_size\":Z},",
+            "\"maint\":{\"maint_slice_ns\":Z,\"maint_queue_depth\":0,",
+            "\"maint_slices_total\":0},",
+            "\"resize\":{\"resize_grace_wait_ns\":Z,\"resize_step_ns\":Z,",
+            "\"resize_begun_total\":0,\"resize_finished_total\":0,",
+            "\"shard_imbalance_milli\":0},",
+            "\"rcu\":{\"rcu_sync_ebr_ns\":Z,\"rcu_sync_qsbr_ns\":Z,",
+            "\"rcu_reclaim_pending\":0,\"rcu_reclaim_executed_total\":0,",
+            "\"rcu_grace_stalls_total\":0}}\r\nEND\r\n",
+        )
+        .replace('Z', zero);
+        assert_eq!(String::from_utf8(out).unwrap(), expected);
     }
 }

@@ -126,6 +126,57 @@ fn stats_worker_serves_one_shard_over_the_wire() {
 }
 
 #[test]
+fn stats_telemetry_views_serve_over_the_wire() {
+    // STATS TRACE <n>, STATS SLOW and STATS JSON round-trip end to end:
+    // headers document the rings, frames close with END, and the JSON view
+    // is one parsable object carrying the engine and registry sections.
+    let mut server = start_server(Arc::new(RpEngine::new()), &event_loop_config(2)).unwrap();
+    let mut client = CacheClient::connect(server.addr()).unwrap();
+    assert!(client.set("k", 0, 0, b"v").unwrap());
+    for _ in 0..40 {
+        assert!(client.get("k").unwrap().is_some());
+    }
+
+    let trace = client.stats_text("TRACE 3").unwrap();
+    let mut lines = trace.lines();
+    let header = lines.next().unwrap();
+    assert!(
+        header.starts_with("TRACE-RING capacity=") && header.contains(" recorded="),
+        "{header}"
+    );
+    assert!(
+        lines.filter(|l| l.starts_with("TRACE ")).count() <= 3,
+        "{trace}"
+    );
+
+    let slow = client.stats_text("SLOW").unwrap();
+    assert!(
+        slow.lines()
+            .next()
+            .unwrap()
+            .starts_with("SLOW-LOG capacity="),
+        "{slow}"
+    );
+
+    let json = client.stats_text("JSON").unwrap();
+    let line = json.lines().next().unwrap();
+    assert!(line.starts_with("{\"engine\":{\"engine_items\":"), "{json}");
+    assert!(line.ends_with("}}"), "{json}");
+    for section in [
+        "\"kv\":",
+        "\"net\":",
+        "\"maint\":",
+        "\"resize\":",
+        "\"rcu\":",
+    ] {
+        assert!(line.contains(section), "missing {section} in {json}");
+    }
+    assert!(line.contains("\"rcu_grace_stalls_total\":"), "{json}");
+    client.quit().unwrap();
+    server.shutdown();
+}
+
+#[test]
 fn pipelined_requests_get_ordered_responses() {
     let mut server = start_server(Arc::new(RpEngine::new()), &event_loop_config(1)).unwrap();
     let mut stream = TcpStream::connect(server.addr()).unwrap();

@@ -44,7 +44,10 @@ fn encode(cmd: &Command) -> Vec<u8> {
         Command::Stats => b"stats\r\n".to_vec(),
         Command::StatsProm(StatsSub::Render) => b"STATS\r\n".to_vec(),
         Command::StatsProm(StatsSub::Reset) => b"STATS RESET\r\n".to_vec(),
-        Command::StatsProm(StatsSub::Trace) => b"STATS TRACE\r\n".to_vec(),
+        Command::StatsProm(StatsSub::Trace(None)) => b"STATS TRACE\r\n".to_vec(),
+        Command::StatsProm(StatsSub::Trace(Some(n))) => format!("STATS TRACE {n}\r\n").into_bytes(),
+        Command::StatsProm(StatsSub::Slow) => b"STATS SLOW\r\n".to_vec(),
+        Command::StatsProm(StatsSub::Json) => b"STATS JSON\r\n".to_vec(),
         Command::StatsProm(StatsSub::Worker(n)) => format!("STATS WORKER {n}\r\n").into_bytes(),
         Command::Version => b"version\r\n".to_vec(),
         Command::Quit => b"quit\r\n".to_vec(),
@@ -72,7 +75,10 @@ fn command_strategy() -> impl Strategy<Value = Command> {
         Just(Command::Stats),
         Just(Command::StatsProm(StatsSub::Render)),
         Just(Command::StatsProm(StatsSub::Reset)),
-        Just(Command::StatsProm(StatsSub::Trace)),
+        Just(Command::StatsProm(StatsSub::Trace(None))),
+        any::<usize>().prop_map(|n| Command::StatsProm(StatsSub::Trace(Some(n)))),
+        Just(Command::StatsProm(StatsSub::Slow)),
+        Just(Command::StatsProm(StatsSub::Json)),
         any::<usize>().prop_map(|n| Command::StatsProm(StatsSub::Worker(n))),
         Just(Command::Version),
         Just(Command::Quit),

@@ -213,10 +213,15 @@ fn run(target: Arc<dyn MaintTarget>, shared: Arc<MaintShared>, config: MaintConf
         match next {
             Next::Shutdown => break,
             Next::Heartbeat => {
-                // Idle: absorb deferred reclamation so maintained maps never
-                // have to run it from a writer. The pass goes through
-                // `GraceSync`, so it waits for QSBR readers too whenever the
-                // QSBR read path is in use.
+                // Idle: check for overdue grace periods first — if a stalled
+                // reader exists, the reclamation pass below would hang in the
+                // same wait it is trying to absorb, so flag it before joining
+                // it.
+                rp_rcu::stall::check_global();
+                // Absorb deferred reclamation so maintained maps never have
+                // to run it from a writer. The pass goes through `GraceSync`,
+                // so it waits for QSBR readers too whenever the QSBR read
+                // path is in use.
                 if GraceSync::global().reclaim_if_pending(config.reclaim_threshold) {
                     shared.stats.reclaim_passes.fetch_add(1, Ordering::Relaxed);
                 }

@@ -54,11 +54,16 @@ mod histogram;
 mod metric;
 pub mod render;
 mod ring;
+pub mod slow;
 
 pub use histogram::{Histogram, Snapshot};
 pub use metric::{CachePadded, Counter, Gauge, Sharded, DEFAULT_SHARDS};
 pub use render::MetricSink;
-pub use ring::{TraceEvent, TraceKind, TraceRing, DEFAULT_RING_CAPACITY};
+pub use ring::{
+    pack_stall, unpack_stall, TraceEvent, TraceKind, TraceRing, DEFAULT_RING_CAPACITY,
+    STALL_FLAVOR_EBR, STALL_FLAVOR_QSBR,
+};
+pub use slow::{SlowEntry, SlowLog, SlowSpan};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
@@ -135,6 +140,9 @@ pub struct RcuObs {
     pub reclaim_pending: Gauge,
     /// Deferred callbacks executed after their grace period.
     pub reclaim_executed_total: Counter,
+    /// Grace periods flagged by the stall detector as exceeding the
+    /// configured threshold.
+    pub grace_stalls_total: Counter,
 }
 
 /// Incremental-resize metrics (`rp-hash`, aggregated across shards).
@@ -209,6 +217,9 @@ pub struct KvWorkerObs {
 pub struct KvObs {
     /// Per-worker shards, merged lazily at scrape time.
     pub shards: Sharded<KvWorkerObs>,
+    /// The slow-request log (sampled spans over the threshold),
+    /// read back by `STATS SLOW`.
+    pub slow: SlowLog,
 }
 
 impl KvObs {
@@ -421,6 +432,12 @@ impl Obs {
             "Deferred callbacks executed.",
             self.rcu.reclaim_executed_total.get(),
         );
+        render::counter(
+            sink,
+            "rcu_grace_stalls_total",
+            "Grace periods flagged as stalled past the threshold.",
+            self.rcu.grace_stalls_total.get(),
+        );
     }
 
     /// Renders one worker's shard of the per-worker metrics (the kvcache
@@ -486,18 +503,121 @@ impl Obs {
     /// Renders the retained trace events, oldest first, one
     /// `TRACE <seq> <t_us> <label> <value>` line each (CRLF-terminated —
     /// this output goes straight onto the cache protocol's wire).
+    /// [`TraceKind::GraceStall`] events unpack their flavor into the label
+    /// (`grace_stall_ebr` / `grace_stall_qsbr`) so a scrape attributes the
+    /// stall without decoding the packed value.
     pub fn render_trace(&self, sink: &mut impl MetricSink) {
-        for event in self.trace.events() {
+        self.render_trace_recent(None, sink);
+    }
+
+    /// Like [`Obs::render_trace`], but keeping only the most recent
+    /// `limit` events when one is given (`STATS TRACE <n>`).
+    pub fn render_trace_recent(&self, limit: Option<usize>, sink: &mut impl MetricSink) {
+        let events = self.trace.events();
+        let skip = limit.map_or(0, |n| events.len().saturating_sub(n));
+        for event in &events[skip..] {
             sink.put_bytes(b"TRACE ");
             render::put_u64(sink, event.seq);
             sink.put_bytes(b" ");
             render::put_u64(sink, event.at_us);
             sink.put_bytes(b" ");
-            sink.put_bytes(event.kind.label().as_bytes());
+            let value = if event.kind == TraceKind::GraceStall {
+                let (flavor, elapsed_ns) = unpack_stall(event.value);
+                sink.put_bytes(match flavor {
+                    ring::STALL_FLAVOR_EBR => b"grace_stall_ebr",
+                    ring::STALL_FLAVOR_QSBR => b"grace_stall_qsbr",
+                    _ => b"grace_stall",
+                });
+                elapsed_ns
+            } else {
+                sink.put_bytes(event.kind.label().as_bytes());
+                event.value
+            };
             sink.put_bytes(b" ");
-            render::put_u64(sink, event.value);
+            render::put_u64(sink, value);
             sink.put_bytes(b"\r\n");
         }
+    }
+
+    /// Renders every metric group as one JSON object — the same data as
+    /// [`Obs::render_prometheus`] under the same metric names, grouped per
+    /// layer, every value an unsigned integer. The caller appends its own
+    /// engine-level fields by writing into a root [`render::JsonObject`]
+    /// and calling [`Obs::render_json_groups`]; this convenience wraps a
+    /// complete object around just the registry.
+    pub fn render_json(&self, sink: &mut impl MetricSink) {
+        let mut root = render::JsonObject::begin(sink);
+        self.render_json_groups(&mut root);
+        root.end();
+    }
+
+    /// Writes the five metric groups as nested objects of `root`
+    /// (`"kv"`, `"net"`, `"maint"`, `"resize"`, `"rcu"` — same order and
+    /// metric names as the Prometheus text form).
+    pub fn render_json_groups<S: MetricSink>(&self, root: &mut render::JsonObject<'_, S>) {
+        let mut get = Snapshot::default();
+        let mut set = Snapshot::default();
+        let mut delete = Snapshot::default();
+        let mut other = Snapshot::default();
+        for shard in self.kv.shards.iter() {
+            get.merge(&shard.get_ns.snapshot());
+            set.merge(&shard.set_ns.snapshot());
+            delete.merge(&shard.delete_ns.snapshot());
+            other.merge(&shard.other_ns.snapshot());
+        }
+        let mut kv = root.nested("kv");
+        kv.field("kv_requests_total", self.kv.requests());
+        kv.field("kv_decode_errors_total", self.kv.decode_errors());
+        kv.summary("kv_get_latency_ns", &get);
+        kv.summary("kv_set_latency_ns", &set);
+        kv.summary("kv_delete_latency_ns", &delete);
+        kv.summary("kv_other_latency_ns", &other);
+        kv.field("kv_slow_logged_total", self.kv.slow.recorded());
+        kv.end();
+
+        let mut batch = Snapshot::default();
+        for shard in self.net.batch_size.iter() {
+            batch.merge(&shard.snapshot());
+        }
+        let mut net = root.nested("net");
+        net.field("net_accepts_total", self.net.accepts_total.get());
+        net.field("net_sheds_total", self.net.sheds_total.get());
+        net.field("net_idle_reaped_total", self.net.idle_reaped_total.get());
+        net.field(
+            "net_watermark_trips_total",
+            self.net.watermark_trips_total.get(),
+        );
+        net.field("net_connections", self.net.connections.get());
+        net.summary("net_batch_size", &batch);
+        net.end();
+
+        let mut maint = root.nested("maint");
+        maint.summary("maint_slice_ns", &self.maint.slice_ns.snapshot());
+        maint.field("maint_queue_depth", self.maint.queue_depth.get());
+        maint.field("maint_slices_total", self.maint.slices_total.get());
+        maint.end();
+
+        let mut resize = root.nested("resize");
+        resize.summary(
+            "resize_grace_wait_ns",
+            &self.resize.grace_wait_ns.snapshot(),
+        );
+        resize.summary("resize_step_ns", &self.resize.step_ns.snapshot());
+        resize.field("resize_begun_total", self.resize.begun_total.get());
+        resize.field("resize_finished_total", self.resize.finished_total.get());
+        resize.field("shard_imbalance_milli", self.resize.imbalance_milli.get());
+        resize.end();
+
+        let mut rcu = root.nested("rcu");
+        rcu.summary("rcu_sync_ebr_ns", &self.rcu.sync_ebr_ns.snapshot());
+        rcu.summary("rcu_sync_qsbr_ns", &self.rcu.sync_qsbr_ns.snapshot());
+        rcu.field("rcu_reclaim_pending", self.rcu.reclaim_pending.get());
+        rcu.field(
+            "rcu_reclaim_executed_total",
+            self.rcu.reclaim_executed_total.get(),
+        );
+        rcu.field("rcu_grace_stalls_total", self.rcu.grace_stalls_total.get());
+        rcu.end();
     }
 
     /// Zeroes every counter, gauge, histogram, and the trace ring
@@ -528,6 +648,8 @@ impl Obs {
         self.rcu.sync_ebr_ns.reset();
         self.rcu.sync_qsbr_ns.reset();
         self.rcu.reclaim_executed_total.reset();
+        self.rcu.grace_stalls_total.reset();
+        self.kv.slow.reset();
         // Level gauges (connections, queue depth, pending, imbalance) are
         // left alone: their owners re-assert the level, and a transient 0
         // would simply be wrong.
@@ -627,6 +749,77 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("TRACE 1 "));
         assert!(text.ends_with(" maint_slice 42\r\n"));
+    }
+
+    #[test]
+    fn trace_render_attributes_stall_flavor_in_the_label() {
+        let obs = Obs::default();
+        obs.trace
+            .record(TraceKind::GraceStall, pack_stall(STALL_FLAVOR_QSBR, 777));
+        obs.trace
+            .record(TraceKind::GraceStall, pack_stall(STALL_FLAVOR_EBR, 888));
+        let mut out = Vec::new();
+        obs.render_trace(&mut out);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains(" grace_stall_qsbr 777\r\n"), "{text}");
+        assert!(text.contains(" grace_stall_ebr 888\r\n"), "{text}");
+    }
+
+    #[test]
+    fn trace_render_recent_keeps_only_the_newest_n() {
+        let obs = Obs::default();
+        for i in 0..5 {
+            obs.trace.record(TraceKind::MaintSlice, i);
+        }
+        let mut out = Vec::new();
+        obs.render_trace_recent(Some(2), &mut out);
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text.matches("TRACE ").count(), 2);
+        assert!(text.starts_with("TRACE 4 "), "{text}");
+        assert!(text.ends_with(" maint_slice 4\r\n"), "{text}");
+        // A limit beyond the retained count degrades to everything.
+        let mut all = Vec::new();
+        obs.render_trace_recent(Some(100), &mut all);
+        assert_eq!(String::from_utf8(all).unwrap().matches("TRACE ").count(), 5);
+    }
+
+    #[test]
+    fn json_render_is_one_object_with_every_group() {
+        let obs = Obs::default();
+        obs.kv.shards.for_worker(0).requests.add(5);
+        obs.rcu.grace_stalls_total.add(2);
+        let mut out = Vec::new();
+        obs.render_json(&mut out);
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("{\"kv\":{\"kv_requests_total\":5,"),
+            "{text}"
+        );
+        assert!(text.ends_with("\"rcu_grace_stalls_total\":2}}"), "{text}");
+        for needle in [
+            "\"net\":{",
+            "\"maint\":{",
+            "\"resize\":{",
+            "\"rcu\":{",
+            "\"kv_get_latency_ns\":{\"p50\":",
+            "\"net_connections\":0",
+            "\"maint_queue_depth\":0",
+            "\"resize_begun_total\":0",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        assert!(!text.contains('\n'), "single-line output");
+    }
+
+    #[test]
+    fn reset_clears_the_slow_log_and_stall_counter() {
+        let obs = Obs::default();
+        obs.kv.slow.set_threshold_ns(0);
+        obs.kv.slow.record(&SlowSpan::default());
+        obs.rcu.grace_stalls_total.inc();
+        obs.reset();
+        assert_eq!(obs.kv.slow.recorded(), 0);
+        assert_eq!(obs.rcu.grace_stalls_total.get(), 0);
     }
 
     #[test]

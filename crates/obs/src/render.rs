@@ -92,6 +92,68 @@ pub fn summary(sink: &mut impl MetricSink, name: &str, help: &str, snap: &Snapsh
     sample(sink, name, "_max", snap.max());
 }
 
+/// An in-progress JSON object written through a [`MetricSink`]: tracks
+/// comma placement so callers emit fields in order without bookkeeping.
+/// Keys are written verbatim (metric names never need escaping) and every
+/// value is an unsigned integer or a nested object, which is all the
+/// telemetry schema contains — the `STATS JSON` view stays a single stable
+/// line that scrapers can parse without a JSON library.
+pub struct JsonObject<'a, S: MetricSink> {
+    sink: &'a mut S,
+    first: bool,
+}
+
+impl<'a, S: MetricSink> JsonObject<'a, S> {
+    /// Opens an object (writes `{`).
+    pub fn begin(sink: &'a mut S) -> JsonObject<'a, S> {
+        sink.put_bytes(b"{");
+        JsonObject { sink, first: true }
+    }
+
+    fn key(&mut self, name: &str) {
+        if !self.first {
+            self.sink.put_bytes(b",");
+        }
+        self.first = false;
+        self.sink.put_bytes(b"\"");
+        self.sink.put_bytes(name.as_bytes());
+        self.sink.put_bytes(b"\":");
+    }
+
+    /// Writes one integer field.
+    pub fn field(&mut self, name: &str, value: u64) {
+        self.key(name);
+        put_u64(self.sink, value);
+    }
+
+    /// Opens a nested object under `name`; close it with [`end`] before
+    /// touching this object again.
+    ///
+    /// [`end`]: JsonObject::end
+    pub fn nested(&mut self, name: &str) -> JsonObject<'_, S> {
+        self.key(name);
+        JsonObject::begin(self.sink)
+    }
+
+    /// Writes a histogram snapshot as a nested object carrying the same
+    /// samples as the Prometheus [`summary`] form.
+    pub fn summary(&mut self, name: &str, snap: &Snapshot) {
+        let mut s = self.nested(name);
+        for (label, q) in [("p50", 0.50), ("p90", 0.90), ("p99", 0.99), ("p999", 0.999)] {
+            s.field(label, snap.percentile(q));
+        }
+        s.field("sum", snap.sum_approx());
+        s.field("count", snap.count());
+        s.field("max", snap.max());
+        s.end();
+    }
+
+    /// Closes the object (writes `}`).
+    pub fn end(self) {
+        self.sink.put_bytes(b"}");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,5 +207,33 @@ mod tests {
         assert!(text.contains("kv_get_latency_ns{quantile=\"0.999\"} "));
         assert!(text.contains("kv_get_latency_ns_count 100\n"));
         assert!(text.contains("kv_get_latency_ns_max "));
+    }
+
+    #[test]
+    fn json_object_renders_exact_bytes() {
+        let h = Histogram::new();
+        h.record(1000);
+        let snap = h.snapshot();
+        let mut out = Vec::new();
+        let mut root = JsonObject::begin(&mut out);
+        root.field("a", 1);
+        {
+            let mut inner = root.nested("b");
+            inner.field("c", 2);
+            inner.end();
+        }
+        root.summary("lat", &snap);
+        root.end();
+        let text = String::from_utf8(out).unwrap();
+        let p = snap.percentile(0.50);
+        let sum = snap.sum_approx();
+        let max = snap.max();
+        assert_eq!(
+            text,
+            format!(
+                "{{\"a\":1,\"b\":{{\"c\":2}},\"lat\":{{\"p50\":{p},\"p90\":{p},\
+                 \"p99\":{p},\"p999\":{p},\"sum\":{sum},\"count\":1,\"max\":{max}}}}}"
+            )
+        );
     }
 }

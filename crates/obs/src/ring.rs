@@ -45,6 +45,26 @@ pub enum TraceKind {
     ConnShed = 9,
     /// `STATS RESET` zeroed the telemetry; value = 0.
     StatsReset = 10,
+    /// A grace period exceeded the stall threshold; value packs the
+    /// elapsed nanoseconds with the stalled read-side flavor — build and
+    /// split it with [`pack_stall`] / [`unpack_stall`].
+    GraceStall = 11,
+}
+
+/// Flavor tag for a [`TraceKind::GraceStall`] value: the EBR side stalled.
+pub const STALL_FLAVOR_EBR: u64 = 1;
+/// Flavor tag for a [`TraceKind::GraceStall`] value: the QSBR side stalled.
+pub const STALL_FLAVOR_QSBR: u64 = 2;
+
+/// Packs a stall's elapsed nanoseconds and read-side flavor into one trace
+/// value (flavor in the low two bits). Elapsed saturates at ~146 years.
+pub fn pack_stall(flavor: u64, elapsed_ns: u64) -> u64 {
+    (elapsed_ns.min(u64::MAX >> 2) << 2) | (flavor & 0b11)
+}
+
+/// Splits a [`pack_stall`] value back into `(flavor, elapsed_ns)`.
+pub fn unpack_stall(value: u64) -> (u64, u64) {
+    (value & 0b11, value >> 2)
 }
 
 impl TraceKind {
@@ -61,6 +81,7 @@ impl TraceKind {
             TraceKind::IdleReap => "idle_reap",
             TraceKind::ConnShed => "conn_shed",
             TraceKind::StatsReset => "stats_reset",
+            TraceKind::GraceStall => "grace_stall",
         }
     }
 
@@ -76,6 +97,7 @@ impl TraceKind {
             8 => TraceKind::IdleReap,
             9 => TraceKind::ConnShed,
             10 => TraceKind::StatsReset,
+            11 => TraceKind::GraceStall,
             _ => return None,
         })
     }
@@ -254,6 +276,17 @@ mod tests {
         assert_eq!(ring.recorded(), 0);
         ring.record(TraceKind::StatsReset, 0);
         assert_eq!(ring.events()[0].seq, 1, "sequence restarts after reset");
+    }
+
+    #[test]
+    fn stall_values_round_trip_flavor_and_elapsed() {
+        let v = pack_stall(STALL_FLAVOR_QSBR, 1_500_000);
+        assert_eq!(unpack_stall(v), (STALL_FLAVOR_QSBR, 1_500_000));
+        let v = pack_stall(STALL_FLAVOR_EBR, 0);
+        assert_eq!(unpack_stall(v), (STALL_FLAVOR_EBR, 0));
+        // Saturation keeps the flavor bits intact.
+        let v = pack_stall(STALL_FLAVOR_EBR, u64::MAX);
+        assert_eq!(unpack_stall(v), (STALL_FLAVOR_EBR, u64::MAX >> 2));
     }
 
     #[test]

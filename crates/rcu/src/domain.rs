@@ -302,6 +302,20 @@ impl RcuDomain {
     pub fn registered_readers(&self) -> usize {
         self.registry.lock().len()
     }
+
+    /// Number of registered readers currently inside a read-side critical
+    /// section that began before the current grace-period phase — the
+    /// readers a pending grace period is waiting on. The stall detector
+    /// ([`crate::stall`]) uses this to attribute an overdue EBR grace
+    /// period; outside a pending `synchronize` it is normally 0.
+    pub fn readers_blocking_grace(&self) -> usize {
+        let gp_ctr = self.gp_ctr.load(Ordering::SeqCst);
+        self.registry
+            .lock()
+            .iter()
+            .filter(|reader| reader.blocks_grace_period(gp_ctr))
+            .count()
+    }
 }
 
 impl Drop for RcuDomain {

@@ -29,6 +29,10 @@
 //!   waits so they cover *every* global flavor with registered readers:
 //!   structures whose readers may be either EBR or QSBR readers synchronize
 //!   and reclaim through it instead of a single domain.
+//! * **Stall detection** — [`stall`] watches every funnel wait and flags
+//!   (or, configured via `RP_RCU_STALL_PANIC`, panics on) grace periods
+//!   that exceed a threshold, attributing the stall to the misbehaving
+//!   read-side flavor and, for QSBR, the lagging reader's thread ordinal.
 //!
 //! # Example
 //!
@@ -65,6 +69,7 @@ mod guard;
 mod local;
 pub mod qsbr;
 mod reclaimer;
+pub mod stall;
 mod stats;
 mod sync;
 

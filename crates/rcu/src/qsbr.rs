@@ -80,6 +80,9 @@ struct QsbrReader {
     /// Last grace-period value this thread has passed through, or
     /// [`OFFLINE`].
     ctr: AtomicU64,
+    /// Registration ordinal, unique within the domain for its lifetime —
+    /// the identity stall reports attribute lagging readers by.
+    ordinal: u64,
 }
 
 /// A QSBR domain: registered threads plus the grace-period counter.
@@ -88,6 +91,7 @@ pub struct QsbrDomain {
     gp_ctr: AtomicU64,
     gp_lock: Mutex<()>,
     registry: Mutex<Vec<Arc<CachePadded<QsbrReader>>>>,
+    next_ordinal: AtomicU64,
     stats: AtomicStats,
 }
 
@@ -98,6 +102,7 @@ impl Default for QsbrDomain {
             gp_ctr: AtomicU64::new(1),
             gp_lock: Mutex::new(()),
             registry: Mutex::new(Vec::new()),
+            next_ordinal: AtomicU64::new(1),
             stats: AtomicStats::default(),
         }
     }
@@ -128,6 +133,7 @@ impl QsbrDomain {
     pub fn register(self: &Arc<Self>) -> QsbrHandle {
         let state = Arc::new(CachePadded::new(QsbrReader {
             ctr: AtomicU64::new(self.gp_ctr.load(Ordering::SeqCst)),
+            ordinal: self.next_ordinal.fetch_add(1, Ordering::Relaxed),
         }));
         self.registry.lock().push(Arc::clone(&state));
         let _ = THREAD_READERS.try_with(|readers| {
@@ -135,6 +141,15 @@ impl QsbrDomain {
                 .borrow_mut()
                 .push((domain_key(self), Arc::clone(&state)));
         });
+        if self.is_global() {
+            // The stall detector attributes lagging readers by ordinal;
+            // give it the thread name while we still know it.
+            let name = std::thread::current()
+                .name()
+                .unwrap_or("unnamed")
+                .to_string();
+            crate::stall::detector().track_thread(state.ordinal, name);
+        }
         self.stats
             .readers_registered
             .fetch_add(1, Ordering::Relaxed);
@@ -143,6 +158,10 @@ impl QsbrDomain {
             state,
             _not_send: PhantomData,
         }
+    }
+
+    fn is_global(&self) -> bool {
+        std::ptr::eq(self, Arc::as_ptr(Self::global()))
     }
 
     /// Waits until every online registered thread has passed through a
@@ -207,6 +226,25 @@ impl QsbrDomain {
         self.registry.lock().len()
     }
 
+    /// Ordinals of registered readers that are online but have not yet
+    /// observed the current grace-period counter — the readers a pending
+    /// QSBR grace period is waiting on. The stall detector
+    /// ([`crate::stall`]) uses this to attribute an overdue grace period;
+    /// outside a pending `synchronize` it is normally empty (the last
+    /// grace period ended only once everyone caught up or went offline).
+    pub fn lagging_ordinals(&self) -> Vec<u64> {
+        let target = self.gp_ctr.load(Ordering::SeqCst);
+        self.registry
+            .lock()
+            .iter()
+            .filter(|reader| {
+                let c = reader.ctr.load(Ordering::SeqCst);
+                c != OFFLINE && c < target
+            })
+            .map(|reader| reader.ordinal)
+            .collect()
+    }
+
     fn unregister(&self, state: &Arc<CachePadded<QsbrReader>>) {
         let mut registry = self.registry.lock();
         if let Some(pos) = registry.iter().position(|s| Arc::ptr_eq(s, state)) {
@@ -214,6 +252,13 @@ impl QsbrDomain {
             self.stats
                 .readers_unregistered
                 .fetch_add(1, Ordering::Relaxed);
+        }
+        drop(registry);
+        if self.is_global() {
+            // Symmetric with `register`: the detector must never keep a
+            // slot for a dead ordinal, even for a handle that was never
+            // used between registration and drop.
+            crate::stall::detector().untrack_thread(state.ordinal);
         }
     }
 }
@@ -282,6 +327,12 @@ impl QsbrHandle {
     /// The domain this handle is registered with.
     pub fn domain(&self) -> &Arc<QsbrDomain> {
         &self.domain
+    }
+
+    /// This registration's ordinal, unique within its domain — the
+    /// identity stall reports use for attribution.
+    pub fn ordinal(&self) -> u64 {
+        self.state.ordinal
     }
 
     /// Runs `f` with the thread marked offline, restoring the online state
@@ -473,6 +524,79 @@ mod tests {
         reader.join().unwrap();
         waiter.join().unwrap();
         assert_eq!(d.stats().grace_periods, 1);
+    }
+
+    #[test]
+    fn dropping_a_never_used_handle_clears_its_stall_tracking_slot() {
+        // Regression (alongside the stale-counter Drop test above): a
+        // handle registered on the *global* domain but never used — no
+        // quiescent state, no read lock — must not leave the stall
+        // detector's per-thread slot pointing at a dead ordinal.
+        thread::Builder::new()
+            .name("never-used-reader".into())
+            .spawn(|| {
+                let h = QsbrDomain::global().register();
+                let ordinal = h.ordinal();
+                assert!(
+                    crate::stall::detector()
+                        .tracked_ordinals()
+                        .contains(&ordinal),
+                    "registration tracks the ordinal"
+                );
+                drop(h);
+                assert!(
+                    !crate::stall::detector()
+                        .tracked_ordinals()
+                        .contains(&ordinal),
+                    "drop must untrack the ordinal"
+                );
+            })
+            .unwrap()
+            .join()
+            .unwrap();
+    }
+
+    #[test]
+    fn lagging_ordinals_names_the_reader_that_has_not_announced() {
+        let d = QsbrDomain::new();
+        let registered = Arc::new(AtomicBool::new(false));
+        let release = Arc::new(AtomicBool::new(false));
+        let laggard = {
+            let d = Arc::clone(&d);
+            let registered = Arc::clone(&registered);
+            let release = Arc::clone(&release);
+            thread::spawn(move || {
+                let h = d.register();
+                let ordinal = h.ordinal();
+                registered.store(true, Ordering::SeqCst);
+                while !release.load(Ordering::SeqCst) {
+                    std::hint::spin_loop();
+                }
+                h.quiescent_state();
+                ordinal
+            })
+        };
+        while !registered.load(Ordering::SeqCst) {
+            std::hint::spin_loop();
+        }
+        // No grace period pending yet: nobody lags.
+        assert!(d.lagging_ordinals().is_empty());
+        let waiter = {
+            let d = Arc::clone(&d);
+            thread::spawn(move || d.synchronize())
+        };
+        // The synchronize advanced gp_ctr; until the reader announces, it
+        // is the (only) laggard.
+        let mut lagging = d.lagging_ordinals();
+        while lagging.is_empty() {
+            std::hint::spin_loop();
+            lagging = d.lagging_ordinals();
+        }
+        release.store(true, Ordering::SeqCst);
+        let ordinal = laggard.join().unwrap();
+        waiter.join().unwrap();
+        assert_eq!(lagging, vec![ordinal]);
+        assert!(d.lagging_ordinals().is_empty(), "resolved after the GP");
     }
 
     #[test]

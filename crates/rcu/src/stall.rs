@@ -1,0 +1,496 @@
+//! A grace-period stall detector, in the spirit of the kernel's RCU CPU
+//! stall warnings.
+//!
+//! The paper's wait-free-reader guarantee has a writer-side dual: a grace
+//! period only ends when every reader cooperates (EBR readers by leaving
+//! their critical sections, QSBR readers by announcing quiescence or going
+//! offline). A reader that stops cooperating turns every
+//! [`crate::GraceSync::synchronize`] into a silent hang — the hardest class
+//! of bug to attribute in a relativistic system. This module makes such
+//! hangs *observable and attributable*:
+//!
+//! * Every flavor wait inside the funnel stamps its begin time into one of
+//!   a fixed set of shared [`detector`] slots (allocation-free, RAII-cleared
+//!   when the wait completes).
+//! * [`StallDetector::check_now`] — driven from the `rp-maint` heartbeat and from a
+//!   standalone [`spawn_watchdog`] thread for unmaintained deployments —
+//!   flags any wait that has exceeded the configured threshold, identifies
+//!   the culprit side (EBR readers still inside an old-phase critical
+//!   section vs. registered QSBR handles that have not announced
+//!   quiescence, by thread ordinal), bumps `rcu_grace_stalls_total`, and
+//!   records a [`rp_obs::TraceKind::GraceStall`] event carrying the flavor.
+//! * With [`StallConfig::panic_on_stall`] (env `RP_RCU_STALL_PANIC`), a
+//!   flagged stall panics with the report instead — torture suites convert
+//!   silent hangs into named failures.
+//!
+//! The detector observes only the global domains (the ones behind
+//! [`crate::GraceSync`]); private test domains never stamp.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::domain::RcuDomain;
+use crate::qsbr::QsbrDomain;
+
+/// Which read-side flavor a stamped grace-period wait covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallFlavor {
+    /// The EBR (epoch / memory-barrier) flavor.
+    Ebr,
+    /// The QSBR (quiescent-state) flavor.
+    Qsbr,
+}
+
+impl StallFlavor {
+    /// The flavor tag packed into `GraceStall` trace values.
+    pub fn as_bits(self) -> u64 {
+        match self {
+            StallFlavor::Ebr => rp_obs::STALL_FLAVOR_EBR,
+            StallFlavor::Qsbr => rp_obs::STALL_FLAVOR_QSBR,
+        }
+    }
+
+    /// Human-readable name used in stall reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            StallFlavor::Ebr => "ebr",
+            StallFlavor::Qsbr => "qsbr",
+        }
+    }
+}
+
+/// Stall-detection configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallConfig {
+    /// A grace-period wait pending longer than this is flagged.
+    pub threshold: Duration,
+    /// Panic with the stall report instead of only counting it
+    /// (env `RP_RCU_STALL_PANIC`).
+    pub panic_on_stall: bool,
+}
+
+/// Default stall threshold when `RP_RCU_STALL_THRESHOLD_MS` is unset: well
+/// past any healthy grace period (which completes in microseconds to
+/// milliseconds even under torture), so production deployments only ever
+/// flag genuine reader misbehavior.
+pub const DEFAULT_STALL_THRESHOLD: Duration = Duration::from_millis(1000);
+
+impl Default for StallConfig {
+    fn default() -> Self {
+        StallConfig {
+            threshold: DEFAULT_STALL_THRESHOLD,
+            panic_on_stall: false,
+        }
+    }
+}
+
+impl StallConfig {
+    /// Reads the configuration from the environment:
+    /// `RP_RCU_STALL_THRESHOLD_MS` (integer milliseconds, minimum 10) and
+    /// `RP_RCU_STALL_PANIC` (`1`/`true`/`on`).
+    pub fn from_env() -> StallConfig {
+        let threshold = std::env::var("RP_RCU_STALL_THRESHOLD_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(|ms| Duration::from_millis(ms.max(10)))
+            .unwrap_or(DEFAULT_STALL_THRESHOLD);
+        let panic_on_stall = std::env::var("RP_RCU_STALL_PANIC")
+            .map(|v| matches!(v.as_str(), "1" | "true" | "on"))
+            .unwrap_or(false);
+        StallConfig {
+            threshold,
+            panic_on_stall,
+        }
+    }
+}
+
+/// Concurrent grace-period waits the detector can track at once. Waits are
+/// serialized per domain (each holds its domain's `gp_lock`), so live
+/// stamps are bounded by the number of threads blocked in a funnel wait;
+/// overflow simply leaves the excess waits unstamped.
+const STALL_SLOTS: usize = 16;
+
+#[derive(Default)]
+struct StampSlot {
+    /// 1 = claimed (fields may be in flux), publishes via `begin_us`.
+    busy: AtomicU64,
+    /// Wait begin time ([`rp_obs::now_us`], saturated to at least 1);
+    /// 0 = no wait published in this slot.
+    begin_us: AtomicU64,
+    /// [`StallFlavor::as_bits`] of the stamped wait.
+    flavor: AtomicU64,
+    /// Set once the stall has been reported, so a wait is flagged at most
+    /// once however many checkers race.
+    reported: AtomicU64,
+}
+
+/// The process-wide stall detector: the stamp slots plus the table mapping
+/// registered QSBR reader ordinals to their thread names (for attribution).
+pub struct StallDetector {
+    slots: [StampSlot; STALL_SLOTS],
+    threads: Mutex<Vec<(u64, String)>>,
+}
+
+impl std::fmt::Debug for StallDetector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StallDetector")
+            .field("pending", &self.pending_waits())
+            .field("tracked_threads", &self.threads.lock().len())
+            .finish()
+    }
+}
+
+impl Default for StallDetector {
+    fn default() -> Self {
+        StallDetector::new()
+    }
+}
+
+/// Returns the process-wide stall detector.
+pub fn detector() -> &'static StallDetector {
+    static GLOBAL: OnceLock<StallDetector> = OnceLock::new();
+    GLOBAL.get_or_init(StallDetector::new)
+}
+
+/// RAII stamp of one in-progress grace-period wait; dropping it (the wait
+/// completed) clears the slot.
+#[derive(Debug)]
+pub struct StampGuard<'a> {
+    detector: &'a StallDetector,
+    slot: usize,
+}
+
+impl Drop for StampGuard<'_> {
+    fn drop(&mut self) {
+        let slot = &self.detector.slots[self.slot];
+        slot.begin_us.store(0, Ordering::Release);
+        slot.reported.store(0, Ordering::Relaxed);
+        slot.busy.store(0, Ordering::Release);
+    }
+}
+
+impl StallDetector {
+    /// Creates an isolated detector instance (tests; production code uses
+    /// [`detector`]).
+    pub fn new() -> StallDetector {
+        StallDetector {
+            slots: Default::default(),
+            threads: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Stamps the begin of a grace-period wait of `flavor`. Returns `None`
+    /// (the wait goes unwatched) when every slot is taken.
+    pub fn stamp_begin(&self, flavor: StallFlavor) -> Option<StampGuard<'_>> {
+        for (i, slot) in self.slots.iter().enumerate() {
+            if slot
+                .busy
+                .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+            {
+                continue;
+            }
+            slot.flavor.store(flavor.as_bits(), Ordering::Relaxed);
+            slot.reported.store(0, Ordering::Relaxed);
+            slot.begin_us
+                .store(rp_obs::now_us().max(1), Ordering::Release);
+            return Some(StampGuard {
+                detector: self,
+                slot: i,
+            });
+        }
+        None
+    }
+
+    /// Number of grace-period waits currently stamped (tests/diagnostics).
+    pub fn pending_waits(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.begin_us.load(Ordering::Acquire) != 0)
+            .count()
+    }
+
+    /// Records that QSBR reader `ordinal` belongs to a thread named `name`
+    /// (called by [`QsbrDomain`] registration on the global domain).
+    pub(crate) fn track_thread(&self, ordinal: u64, name: String) {
+        self.threads.lock().push((ordinal, name));
+    }
+
+    /// Forgets reader `ordinal` (called when the handle drops, so a
+    /// registered-but-never-used handle cannot leave a dead ordinal
+    /// behind).
+    pub(crate) fn untrack_thread(&self, ordinal: u64) {
+        let mut threads = self.threads.lock();
+        if let Some(pos) = threads.iter().position(|(o, _)| *o == ordinal) {
+            threads.swap_remove(pos);
+        }
+    }
+
+    /// The QSBR reader ordinals currently tracked (tests/diagnostics).
+    pub fn tracked_ordinals(&self) -> Vec<u64> {
+        self.threads.lock().iter().map(|(o, _)| *o).collect()
+    }
+
+    /// Scans the stamp slots and flags every wait pending longer than
+    /// `config.threshold` that has not already been flagged. Each flagged
+    /// stall bumps `rcu_grace_stalls_total`, records a
+    /// [`rp_obs::TraceKind::GraceStall`] trace event carrying the flavor
+    /// and elapsed nanoseconds, and prints an attribution report to
+    /// stderr; with `config.panic_on_stall` it panics with the report
+    /// instead. Returns how many stalls this call flagged.
+    pub fn check_now(&self, config: &StallConfig) -> usize {
+        let threshold_us = u64::try_from(config.threshold.as_micros()).unwrap_or(u64::MAX);
+        let now = rp_obs::now_us();
+        let mut flagged = 0;
+        for slot in self.slots.iter() {
+            let begin = slot.begin_us.load(Ordering::Acquire);
+            if begin == 0 || now.saturating_sub(begin) < threshold_us {
+                continue;
+            }
+            if slot
+                .reported
+                .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Relaxed)
+                .is_err()
+            {
+                continue; // already flagged (or a racing checker won)
+            }
+            // Re-read the begin time: the wait may have completed and the
+            // slot been reused between the first load and the CAS. A fresh
+            // wait is under threshold and is skipped; its `reported` flag
+            // was re-zeroed by the reuse, so it is still watchable.
+            let begin = slot.begin_us.load(Ordering::Acquire);
+            if begin == 0 || now.saturating_sub(begin) < threshold_us {
+                continue;
+            }
+            let elapsed_us = now - begin;
+            let flavor = match slot.flavor.load(Ordering::Relaxed) {
+                rp_obs::STALL_FLAVOR_QSBR => StallFlavor::Qsbr,
+                _ => StallFlavor::Ebr,
+            };
+            let obs = rp_obs::global();
+            obs.rcu.grace_stalls_total.inc();
+            obs.trace.record(
+                rp_obs::TraceKind::GraceStall,
+                rp_obs::pack_stall(flavor.as_bits(), elapsed_us.saturating_mul(1000)),
+            );
+            let report = self.report(flavor, elapsed_us);
+            if config.panic_on_stall {
+                panic!("{report}");
+            }
+            eprintln!("{report}");
+            flagged += 1;
+        }
+        flagged
+    }
+
+    /// Builds the human-readable attribution line for a flagged stall.
+    /// Slow path only — allocates freely.
+    fn report(&self, flavor: StallFlavor, elapsed_us: u64) -> String {
+        let culprit = match flavor {
+            StallFlavor::Ebr => {
+                let blocking = RcuDomain::global().readers_blocking_grace();
+                format!("{blocking} EBR reader(s) still inside an old-phase critical section")
+            }
+            StallFlavor::Qsbr => {
+                let lagging = QsbrDomain::global().lagging_ordinals();
+                if lagging.is_empty() {
+                    "no lagging QSBR reader found (it may have just resolved)".to_string()
+                } else {
+                    let threads = self.threads.lock();
+                    let names: Vec<String> = lagging
+                        .iter()
+                        .map(|o| {
+                            let name = threads
+                                .iter()
+                                .find(|(ord, _)| ord == o)
+                                .map(|(_, n)| n.as_str())
+                                .unwrap_or("?");
+                            format!("ordinal {o} ({name})")
+                        })
+                        .collect();
+                    format!("QSBR reader(s) not quiescent: {}", names.join(", "))
+                }
+            }
+        };
+        format!(
+            "rcu grace-period stall: {} grace period pending for {} ms \
+             (threshold exceeded); culprit: {}",
+            flavor.name(),
+            elapsed_us / 1000,
+            culprit
+        )
+    }
+}
+
+/// Runs [`StallDetector::check_now`] with the environment configuration
+/// ([`StallConfig::from_env`], read once per process). Called from the
+/// `rp-maint` heartbeat so maintained deployments need no extra thread.
+pub fn check_global() -> usize {
+    static CONFIG: OnceLock<StallConfig> = OnceLock::new();
+    detector().check_now(CONFIG.get_or_init(StallConfig::from_env))
+}
+
+/// A running stall watchdog thread; dropping the handle stops and joins
+/// it.
+#[derive(Debug)]
+pub struct StallWatchdog {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl StallWatchdog {
+    /// Signals the watchdog to exit and waits for it. Returns `Err` if the
+    /// watchdog thread panicked (i.e. `panic_on_stall` fired).
+    pub fn stop(mut self) -> std::thread::Result<()> {
+        self.stop.store(true, Ordering::SeqCst);
+        match self.thread.take() {
+            Some(t) => t.join(),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for StallWatchdog {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Spawns a standalone watchdog thread that checks for stalls every
+/// quarter threshold (clamped to 5–250 ms), guaranteeing detection within
+/// well under 2× the configured threshold even when no maintenance
+/// heartbeat runs.
+pub fn spawn_watchdog(config: StallConfig) -> StallWatchdog {
+    let stop = Arc::new(AtomicBool::new(false));
+    let tick = (config.threshold / 4).clamp(Duration::from_millis(5), Duration::from_millis(250));
+    let thread = {
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("rp-rcu-stall-watchdog".into())
+            .spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    detector().check_now(&config);
+                    std::thread::sleep(tick);
+                }
+            })
+            .expect("spawn stall watchdog")
+    };
+    StallWatchdog {
+        stop,
+        thread: Some(thread),
+    }
+}
+
+/// Ensures a process-wide watchdog with the environment configuration is
+/// running (idempotent; the thread lives for the rest of the process).
+/// Servers call this at startup so stalls are detected even with
+/// maintenance disabled.
+pub fn ensure_global_watchdog() {
+    static STARTED: OnceLock<()> = OnceLock::new();
+    STARTED.get_or_init(|| {
+        let config = StallConfig::from_env();
+        let tick =
+            (config.threshold / 4).clamp(Duration::from_millis(5), Duration::from_millis(250));
+        std::thread::Builder::new()
+            .name("rp-rcu-stall-watchdog".into())
+            .spawn(move || loop {
+                detector().check_now(&config);
+                std::thread::sleep(tick);
+            })
+            .expect("spawn stall watchdog");
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamp_publish_and_clear() {
+        let d = StallDetector::new();
+        assert_eq!(d.pending_waits(), 0);
+        let guard = d.stamp_begin(StallFlavor::Ebr).expect("a free slot");
+        assert_eq!(d.pending_waits(), 1);
+        drop(guard);
+        assert_eq!(d.pending_waits(), 0);
+    }
+
+    #[test]
+    fn fresh_waits_are_not_flagged() {
+        let d = StallDetector::new();
+        let _guard = d.stamp_begin(StallFlavor::Qsbr).expect("a free slot");
+        let config = StallConfig {
+            threshold: Duration::from_secs(3600),
+            panic_on_stall: false,
+        };
+        assert_eq!(d.check_now(&config), 0);
+    }
+
+    #[test]
+    fn an_overdue_wait_is_flagged_exactly_once() {
+        let d = StallDetector::new();
+        let guard = d.stamp_begin(StallFlavor::Ebr).expect("a free slot");
+        let config = StallConfig {
+            threshold: Duration::from_millis(10),
+            panic_on_stall: false,
+        };
+        std::thread::sleep(Duration::from_millis(25));
+        let before = rp_obs::global().rcu.grace_stalls_total.get();
+        assert_eq!(d.check_now(&config), 1);
+        assert_eq!(d.check_now(&config), 0, "a stall is reported once");
+        assert!(rp_obs::global().rcu.grace_stalls_total.get() > before);
+        drop(guard);
+    }
+
+    #[test]
+    fn slot_exhaustion_degrades_to_none() {
+        let d = StallDetector::new();
+        let guards: Vec<_> = (0..STALL_SLOTS)
+            .map(|_| d.stamp_begin(StallFlavor::Ebr).expect("a free slot"))
+            .collect();
+        assert!(d.stamp_begin(StallFlavor::Qsbr).is_none());
+        drop(guards);
+        assert!(d.stamp_begin(StallFlavor::Qsbr).is_some());
+    }
+
+    #[test]
+    fn config_from_env_parses_and_clamps() {
+        // Edition 2021: set_var is safe. Serialize against the other env
+        // test via a lock on the variable names.
+        static ENV_LOCK: Mutex<()> = Mutex::new(());
+        let _env = ENV_LOCK.lock();
+        std::env::remove_var("RP_RCU_STALL_THRESHOLD_MS");
+        std::env::remove_var("RP_RCU_STALL_PANIC");
+        assert_eq!(StallConfig::from_env(), StallConfig::default());
+        std::env::set_var("RP_RCU_STALL_THRESHOLD_MS", "250");
+        std::env::set_var("RP_RCU_STALL_PANIC", "1");
+        let config = StallConfig::from_env();
+        assert_eq!(config.threshold, Duration::from_millis(250));
+        assert!(config.panic_on_stall);
+        std::env::set_var("RP_RCU_STALL_THRESHOLD_MS", "3");
+        assert_eq!(
+            StallConfig::from_env().threshold,
+            Duration::from_millis(10),
+            "threshold clamps to a sane floor"
+        );
+        std::env::remove_var("RP_RCU_STALL_THRESHOLD_MS");
+        std::env::remove_var("RP_RCU_STALL_PANIC");
+    }
+
+    #[test]
+    fn watchdog_starts_and_stops_cleanly() {
+        let w = spawn_watchdog(StallConfig {
+            threshold: Duration::from_secs(3600),
+            panic_on_stall: false,
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        w.stop().expect("watchdog exits without panicking");
+    }
+}

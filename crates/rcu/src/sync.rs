@@ -70,16 +70,24 @@ impl GraceSync {
     pub fn synchronize(&self) {
         // Telemetry: one relaxed load when disabled; a clock pair, a
         // histogram bump, and a trace-ring entry per flavor when enabled.
+        // Each flavor's wait is also stamped into the stall detector so an
+        // uncooperative reader turns into an attributed report instead of
+        // a silent hang (the stamp guard clears on completion).
         let obs = rp_obs::global();
+        let detector = crate::stall::detector();
         let ebr_timer = rp_obs::timer();
+        let stamp = detector.stamp_begin(crate::stall::StallFlavor::Ebr);
         self.ebr.synchronize();
+        drop(stamp);
         if let Some(ns) = rp_obs::elapsed_ns(ebr_timer) {
             obs.rcu.sync_ebr_ns.record(ns);
             obs.trace.record(rp_obs::TraceKind::GraceEbr, ns);
         }
         if self.qsbr.registered_readers() > 0 {
             let qsbr_timer = rp_obs::timer();
+            let stamp = detector.stamp_begin(crate::stall::StallFlavor::Qsbr);
             self.qsbr.synchronize();
+            drop(stamp);
             if let Some(ns) = rp_obs::elapsed_ns(qsbr_timer) {
                 obs.rcu.sync_qsbr_ns.record(ns);
                 obs.trace.record(rp_obs::TraceKind::GraceQsbr, ns);
