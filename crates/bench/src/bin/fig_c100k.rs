@@ -1,0 +1,17 @@
+//! Regenerates the c100k figure: a live-connection ladder (held by child
+//! processes re-invoking this binary) against the event-loop server under
+//! global admission control, gating buffered bytes ≤ the byte budget,
+//! `SERVER_ERROR busy` sheds past the connection wall, and fewer `writev`
+//! syscalls than flushed segments.
+
+fn main() -> std::io::Result<()> {
+    if rp_bench::c100k_holder_main() {
+        return Ok(());
+    }
+    let cfg = rp_bench::BenchConfig::from_env();
+    eprintln!("fig_c100k on {}", cfg.host);
+    let report = rp_bench::fig_c100k(&cfg);
+    report.write_files(&cfg.out_dir, "fig_c100k")?;
+    print!("{}", report.to_markdown());
+    Ok(())
+}

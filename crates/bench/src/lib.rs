@@ -20,6 +20,7 @@
 //! | `fig_hotpath` | (repo addition) zero-allocation serving — allocations/op for steady-state event-loop GETs (counting allocator; gated at 0) and pipelined GET throughput vs pipeline depth |
 //! | `fig_obs` | (repo addition) telemetry overhead — pipelined GET throughput with `rp-obs` timers on vs off (gated ≤2%), plus a QSBR-vs-EBR server comparison measured from the server's own `STATS` per-opcode histograms |
 //! | `fig_tournament` | (repo addition) engine tournament — every map implementation (lock, rp, rp-shard, splitorder) × EBR/QSBR × four workloads (read-heavy, write-heavy, resize-storm, hot-key), plus the grow-path synchronize-call probe (split-ordered must be 0) |
+//! | `fig_c100k` | (repo addition) connection ladder — live idle connections (held by child processes) vs pipelined 4 KiB GET throughput under the global admission budget, gating buffered bytes ≤ `--max-bytes`, `SERVER_ERROR busy` sheds past `--max-conns`, and fewer `writev` syscalls than flushed segments |
 //!
 //! Parameters are read from environment variables so CI and the
 //! EXPERIMENTS.md runs can trade accuracy for time:
@@ -44,6 +45,8 @@
 //!   pipeline-depth ladder (default 16).
 //! * `RP_BENCH_HOTPATH_AUDIT_OPS` — operations measured (after as many of
 //!   warmup) by `fig_hotpath`'s allocation audit (default 4000).
+//! * `RP_BENCH_C100K_CONNS` — top of `fig_c100k`'s live-connection ladder
+//!   (default 10000).
 //! * `RP_BENCH_OUT_DIR` — output directory (default `results/`).
 
 #![warn(missing_docs)]
@@ -97,6 +100,8 @@ pub struct BenchConfig {
     /// GETs measured (after as many of warmup) by the `fig_hotpath`
     /// allocation audit.
     pub hotpath_audit_ops: u64,
+    /// Top of the live-connection ladder for `fig_c100k`.
+    pub c100k_connections: usize,
     /// Where CSV/markdown results are written.
     pub out_dir: PathBuf,
     /// Host description (recorded in the summary).
@@ -147,6 +152,7 @@ impl BenchConfig {
             server_workers: env_num("RP_BENCH_SERVER_WORKERS", 2_usize).max(1),
             hotpath_connections: env_num("RP_BENCH_HOTPATH_CONNECTIONS", 16_usize).max(1),
             hotpath_audit_ops: env_num("RP_BENCH_HOTPATH_AUDIT_OPS", 4000_u64).max(100),
+            c100k_connections: env_num("RP_BENCH_C100K_CONNS", 10_000_usize).max(8),
             out_dir: PathBuf::from(
                 std::env::var("RP_BENCH_OUT_DIR").unwrap_or_else(|_| "results".to_string()),
             ),
@@ -168,6 +174,7 @@ impl BenchConfig {
             server_workers: 2,
             hotpath_connections: 4,
             hotpath_audit_ops: 500,
+            c100k_connections: 64,
             out_dir: std::env::temp_dir().join("rp-bench-smoke"),
             host: HostInfo::collect(),
         }
@@ -1593,6 +1600,282 @@ pub fn fig_tournament(cfg: &BenchConfig) -> Report {
     report
 }
 
+/// Env var that flips a bench binary into `fig_c100k` connection-holder
+/// mode: `"<addr> <count>"`. The ladder's client sockets live in child
+/// processes so the serving process spends its `RLIMIT_NOFILE` budget on
+/// *its* side of each connection only — both ends in one process would
+/// halve the reachable ladder.
+pub const C100K_HOLDER_ENV: &str = "RP_BENCH_C100K_HOLD";
+
+/// Byte budget `fig_c100k` grants the server (`--max-bytes` equivalent) —
+/// the bound the figure asserts buffered response memory stays under at
+/// every rung of the ladder.
+pub const C100K_MAX_BYTES: usize = 64 * 1024 * 1024;
+
+/// Value size for `fig_c100k`'s GET traffic: above the reply-coalescing
+/// threshold, so every pipelined response batch flushes as a genuinely
+/// multi-segment `writev` and the scatter-gather gate measures real
+/// batching, not one coalesced buffer.
+const C100K_VALUE_LEN: usize = 4096;
+
+/// Runs connection-holder mode when [`C100K_HOLDER_ENV`] is set: connect
+/// and hold that many sockets against the given address until stdin hits
+/// EOF, then drop them all and exit. Returns `true` when it ran — the
+/// binary's `main` must return immediately. Every bench binary that can
+/// invoke [`fig_c100k`] calls this first thing.
+pub fn c100k_holder_main() -> bool {
+    use std::io::{BufRead, Write};
+    let Ok(spec) = std::env::var(C100K_HOLDER_ENV) else {
+        return false;
+    };
+    let mut parts = spec.split_whitespace();
+    let addr: std::net::SocketAddr = parts
+        .next()
+        .and_then(|v| v.parse().ok())
+        .expect("holder spec is \"<addr> <count>\"");
+    let count: usize = parts
+        .next()
+        .and_then(|v| v.parse().ok())
+        .expect("holder spec is \"<addr> <count>\"");
+    let mut conns = Vec::with_capacity(count);
+    let mut retries = 0_usize;
+    while conns.len() < count {
+        match std::net::TcpStream::connect(addr) {
+            Ok(stream) => conns.push(stream),
+            Err(error) => {
+                // A connect burst can overflow the accept backlog; back
+                // off briefly and retry.
+                retries += 1;
+                assert!(
+                    retries < count * 10 + 1_000,
+                    "holder cannot reach {addr}: {error}"
+                );
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+    let mut stdout = std::io::stdout();
+    writeln!(stdout, "HELD {count}").expect("holder stdout");
+    stdout.flush().expect("holder stdout");
+    // Hold everything until the parent closes our stdin.
+    let mut line = String::new();
+    let _ = std::io::stdin().lock().read_line(&mut line);
+    drop(conns);
+    true
+}
+
+/// Spawns this same binary as a connection holder and waits for its
+/// readiness line, so rung accounting is deterministic.
+fn spawn_c100k_holder(addr: std::net::SocketAddr, count: usize) -> std::process::Child {
+    use std::io::BufRead;
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut child = std::process::Command::new(exe)
+        .env(C100K_HOLDER_ENV, format!("{addr} {count}"))
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn connection holder");
+    let stdout = child.stdout.take().expect("holder stdout");
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("holder readiness line");
+    assert!(
+        line.starts_with("HELD"),
+        "connection holder said {line:?} instead of HELD"
+    );
+    child
+}
+
+/// Figure "c100k" — how many live connections the event-loop server holds
+/// while the global admission budget keeps memory bounded:
+///
+/// 1. **Connection ladder**: holder child processes pile live idle
+///    connections onto the server (up to `RP_BENCH_C100K_CONNS`, default
+///    10000). At every rung the figure waits until the server reports the
+///    rung live, drives pipelined 4 KiB GETs over a handful of driver
+///    connections, and scrapes the live `STATS` endpoint — asserting
+///    `net_bytes_buffered` stays ≤ the byte budget throughout while
+///    recording `net_backpressure_stalls_total` and `net_conns_shed_total`.
+/// 2. **Admission wall**: connections pushed past `max_connections` must
+///    hear `SERVER_ERROR busy` (and bump `net_conns_shed_total`) instead
+///    of hanging or silently dropping.
+/// 3. **Scatter-gather gate**: across the rung measurements the flush
+///    layer must have issued fewer `writev` syscalls than it submitted
+///    segments (`net_flush_syscalls_total` < `net_flush_segments_total`).
+pub fn fig_c100k(cfg: &BenchConfig) -> Report {
+    let mut report = Report::new(
+        "c100k: live-connection ladder under global admission control",
+        "live connections",
+        "kreq/s over 8 driver conns (4 KiB values), buffered KiB, shed/stall counters",
+    );
+    let target = cfg.c100k_connections.max(8);
+    // Headroom above the ladder top for the driver and scraper
+    // connections; the admission-wall probe then pushes past it.
+    let headroom = 64_usize;
+
+    let engine: Arc<dyn CacheEngine> =
+        Arc::new(ShardedRpEngine::with_shards_and_capacity(16, 4096));
+    let keys: Vec<String> = (0..64).map(|k| format!("c100k-{k}")).collect();
+    for key in &keys {
+        engine.set(key, Item::new(0, vec![0x42_u8; C100K_VALUE_LEN]));
+    }
+    let get_reqs: Arc<Vec<Vec<u8>>> = Arc::new(
+        keys.iter()
+            .map(|k| format!("get {k}\r\n").into_bytes())
+            .collect(),
+    );
+    let config = ServerConfig {
+        max_connections: target + headroom,
+        max_total_bytes: C100K_MAX_BYTES,
+        ..ServerConfig::event_loop(cfg.server_workers)
+    };
+    let mut server =
+        rp_kvcache::EventServer::start_from(engine, &config).expect("start event server");
+    let addr = server.addr();
+    let mut scraper = CacheClient::connect(addr).expect("connect scraper");
+    scraper.stats_text("RESET").expect("STATS RESET");
+    let baseline = scraper.stats_text("").expect("scrape STATS baseline");
+    let syscalls_before = scrape_u64(&baseline, "net_flush_syscalls_total ").unwrap_or(0);
+    let segments_before = scrape_u64(&baseline, "net_flush_segments_total ").unwrap_or(0);
+
+    // The ladder: spread below the target, ending exactly on it.
+    let mut ladder = vec![target / 100, target / 10, target / 4, target / 2, target];
+    ladder.retain(|&rung| rung > 0);
+    ladder.dedup();
+
+    let depth = 16_usize;
+    let driver_conns = 8_usize;
+    let mut kreq = Series::new("kreq/s");
+    let mut buffered = Series::new("buffered KiB");
+    let mut stalls_series = Series::new("backpressure stalls");
+    let mut holders: Vec<std::process::Child> = Vec::new();
+    let mut held = 0_usize;
+    for rung in ladder {
+        if rung > held {
+            holders.push(spawn_c100k_holder(addr, rung - held));
+            held = rung;
+        }
+        // Acceptance gate: the server actually holds the rung live.
+        let deadline = std::time::Instant::now() + Duration::from_secs(120);
+        loop {
+            let live = server.net_stats().current_connections;
+            if live >= rung {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "only {live} of {rung} ladder connections came up"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let result = rp_workload::drive_connections_windowed(
+            driver_conns,
+            driver_conns.min(4),
+            cfg.duration,
+            |_idx| {
+                let stream = std::net::TcpStream::connect(addr)?;
+                stream.set_nodelay(true)?;
+                Ok(PipeConn {
+                    stream,
+                    wbuf: Vec::with_capacity(depth * 32),
+                    rbuf: Vec::with_capacity(depth * (C100K_VALUE_LEN + 64)),
+                })
+            },
+            |_thread| {
+                let get_reqs = Arc::clone(&get_reqs);
+                move |conn: &mut PipeConn, ordinal: u64| {
+                    pipelined_get_window(conn, &get_reqs, depth, ordinal)
+                }
+            },
+        )
+        .expect("drive c100k driver connections");
+        assert_eq!(result.errors, 0, "driver connections failed at rung {rung}");
+        let stats = server.net_stats();
+        // Acceptance gate: buffer memory stays bounded by the byte budget.
+        assert!(
+            stats.bytes_buffered <= C100K_MAX_BYTES,
+            "buffered bytes {} exceed the {C100K_MAX_BYTES}-byte budget at rung {rung}",
+            stats.bytes_buffered,
+        );
+        let text = scraper.stats_text("").expect("scrape STATS");
+        let stalls = scrape_u64(&text, "net_backpressure_stalls_total ").unwrap_or(0);
+        let shed = scrape_u64(&text, "net_conns_shed_total ").unwrap_or(0);
+        eprintln!(
+            "  {rung} live ({} open) -> {:.0} kreq/s, {} KiB buffered, \
+             {stalls} backpressure stalls, {shed} shed",
+            stats.current_connections,
+            result.ops_per_sec() / 1e3,
+            stats.bytes_buffered / 1024,
+        );
+        kreq.push(rung as f64, result.ops_per_sec() / 1e3);
+        buffered.push(rung as f64, stats.bytes_buffered as f64 / 1024.0);
+        stalls_series.push(rung as f64, stalls as f64);
+    }
+    report.add_series(kreq);
+    report.add_series(buffered);
+    report.add_series(stalls_series);
+
+    // Part 2: the admission wall. Push past max_connections; the overflow
+    // must hear `SERVER_ERROR busy`, not hang or silently vanish.
+    use std::io::Read;
+    let mut overflow: Vec<std::net::TcpStream> = Vec::new();
+    for _ in 0..(headroom + 32) {
+        if let Ok(stream) = std::net::TcpStream::connect(addr) {
+            stream
+                .set_read_timeout(Some(Duration::from_millis(500)))
+                .expect("read timeout");
+            overflow.push(stream);
+        }
+    }
+    let mut shed_replies = 0_usize;
+    let mut reply = [0_u8; 64];
+    // Later connections are the likeliest to have been shed; one reply is
+    // proof enough (admitted ones would each block out the read timeout).
+    for stream in overflow.iter_mut().rev() {
+        if let Ok(n) = stream.read(&mut reply) {
+            if reply[..n].starts_with(b"SERVER_ERROR") {
+                shed_replies += 1;
+                break;
+            }
+        }
+    }
+    drop(overflow);
+    let text = scraper.stats_text("").expect("scrape STATS");
+    let shed_total = scrape_u64(&text, "net_conns_shed_total ").unwrap_or(0);
+    eprintln!("  admission wall: SERVER_ERROR busy heard, {shed_total} total sheds");
+    assert!(
+        shed_replies > 0 && shed_total > 0,
+        "pushing past max_connections shed nothing \
+         ({shed_replies} busy replies, {shed_total} counted)"
+    );
+    let mut shed_series = Series::new("conns shed at the wall");
+    shed_series.push(target as f64, shed_total as f64);
+    report.add_series(shed_series);
+
+    // Acceptance gate: scatter-gather flushing batched segments into fewer
+    // syscalls over the pipelined rung traffic.
+    let syscalls = scrape_u64(&text, "net_flush_syscalls_total ").unwrap_or(0) - syscalls_before;
+    let segments = scrape_u64(&text, "net_flush_segments_total ").unwrap_or(0) - segments_before;
+    eprintln!("  flush: {syscalls} writev syscalls for {segments} segments");
+    assert!(segments > 0, "no flushed segments recorded");
+    assert!(
+        syscalls < segments,
+        "scatter-gather flush must batch: {syscalls} syscalls for {segments} segments"
+    );
+    let mut flush_series = Series::new("segments per writev");
+    flush_series.push(target as f64, segments as f64 / syscalls.max(1) as f64);
+    report.add_series(flush_series);
+
+    // Teardown: release the holders first so shutdown drains quickly.
+    for mut holder in holders {
+        drop(holder.stdin.take());
+        let _ = holder.wait();
+    }
+    drop(scraper);
+    server.shutdown();
+    report
+}
+
 /// Runs every figure and writes CSV + markdown into `cfg.out_dir`, plus a
 /// combined `summary.md`. Returns the reports in figure order.
 pub fn run_all(cfg: &BenchConfig) -> std::io::Result<Vec<Report>> {
@@ -1610,6 +1893,7 @@ pub fn run_all(cfg: &BenchConfig) -> std::io::Result<Vec<Report>> {
         ("fig_hotpath", fig_hotpath),
         ("fig_obs", fig_obs),
         ("fig_tournament", fig_tournament),
+        ("fig_c100k", fig_c100k),
     ];
     let mut reports = Vec::new();
     let mut summary = String::new();

@@ -114,7 +114,7 @@ impl Sample {
             stalls: field(json, "rcu_grace_stalls_total")?,
             maint_queue: field(json, "maint_queue_depth")?,
             trips: field(json, "net_watermark_trips_total")?,
-            sheds: field(json, "net_sheds_total")?,
+            sheds: field(json, "net_conns_shed_total")?,
             reaps: field(json, "net_idle_reaped_total")?,
         })
     }

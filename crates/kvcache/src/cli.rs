@@ -14,12 +14,15 @@
 //! | `--shards N` | `RP_KV_SHARDS` | `16` |
 //! | `--capacity N` | `RP_KV_CAPACITY` | `1048576` |
 //! | `--maint on\|off` | `RP_KV_MAINT` | `on` |
+//! | `--maint-workers N` | `RP_KV_MAINT_WORKERS` | [`MaintConfig`] default |
 //! | `--maint-fairness-slice N` | `RP_KV_MAINT_FAIRNESS_SLICE` | [`MaintConfig`] default |
 //! | `--maint-reclaim-threshold N` | `RP_KV_MAINT_RECLAIM_THRESHOLD` | [`MaintConfig`] default |
 //! | `--maint-idle-wakeup-ms N` | `RP_KV_MAINT_IDLE_WAKEUP_MS` | [`MaintConfig`] default |
 //! | `--drain-timeout-ms N` | `RP_KV_DRAIN_TIMEOUT_MS` | `5000` |
 //! | `--idle-timeout-ms N` (0 = off) | `RP_KV_IDLE_TIMEOUT_MS` | `0` |
 //! | `--max-requests-per-conn N` (0 = off) | `RP_KV_MAX_REQUESTS_PER_CONN` | `0` |
+//! | `--max-conns N` (0 = off) | `RP_KV_MAX_CONNS` | `0` |
+//! | `--max-bytes N` (0 = off) | `RP_KV_MAX_BYTES` | `0` |
 //! | `--stats on\|off` | `RP_KV_STATS` | `on` |
 //!
 //! `--read-side` selects the RCU flavor serving event-loop GETs: `qsbr`
@@ -80,6 +83,12 @@ pub struct ServerOptions {
     /// Per-connection served-request budget (event-loop mode; `None` =
     /// unlimited).
     pub max_requests_per_conn: Option<u64>,
+    /// Admission wall: concurrent-connection cap (event-loop mode;
+    /// `usize::MAX` = unlimited). Peers over it get `SERVER_ERROR busy`.
+    pub max_connections: usize,
+    /// Global byte budget: total bytes buffered across all connections
+    /// (event-loop mode; `usize::MAX` = unlimited).
+    pub max_total_bytes: usize,
     /// `rp-obs` telemetry timers (`--stats off` drops the two `Instant`
     /// reads per request; untimed counters stay on either way).
     pub stats: bool,
@@ -99,6 +108,8 @@ impl Default for ServerOptions {
             drain_timeout: Duration::from_secs(5),
             idle_timeout: None,
             max_requests_per_conn: None,
+            max_connections: usize::MAX,
+            max_total_bytes: usize::MAX,
             stats: true,
         }
     }
@@ -121,12 +132,15 @@ FLAGS (each falls back to the env var in brackets, then to the default):
     --shards N                    index shards (rp-shard)       [RP_KV_SHARDS, 16]
     --capacity N                  max items                     [RP_KV_CAPACITY, 1048576]
     --maint on|off                background index resizes      [RP_KV_MAINT, on]
+    --maint-workers N             maintenance worker threads    [RP_KV_MAINT_WORKERS]
     --maint-fairness-slice N      resize steps per shard turn   [RP_KV_MAINT_FAIRNESS_SLICE]
     --maint-reclaim-threshold N   deferred-free batch trigger   [RP_KV_MAINT_RECLAIM_THRESHOLD]
     --maint-idle-wakeup-ms N      idle reclamation heartbeat    [RP_KV_MAINT_IDLE_WAKEUP_MS]
     --drain-timeout-ms N          graceful shutdown budget      [RP_KV_DRAIN_TIMEOUT_MS, 5000]
     --idle-timeout-ms N           reap idle connections, 0=off  [RP_KV_IDLE_TIMEOUT_MS, 0]
     --max-requests-per-conn N     per-connection budget, 0=off  [RP_KV_MAX_REQUESTS_PER_CONN, 0]
+    --max-conns N                 connection admission wall, 0=off  [RP_KV_MAX_CONNS, 0]
+    --max-bytes N                 global buffered-byte budget, 0=off  [RP_KV_MAX_BYTES, 0]
     --stats on|off                telemetry latency timers      [RP_KV_STATS, on]
     --help                        print this text
 ";
@@ -150,12 +164,15 @@ impl ServerOptions {
         let mut shards = env("RP_KV_SHARDS");
         let mut capacity = env("RP_KV_CAPACITY");
         let mut maint = env("RP_KV_MAINT");
+        let mut maint_workers = env("RP_KV_MAINT_WORKERS");
         let mut fairness = env("RP_KV_MAINT_FAIRNESS_SLICE");
         let mut reclaim = env("RP_KV_MAINT_RECLAIM_THRESHOLD");
         let mut idle_ms = env("RP_KV_MAINT_IDLE_WAKEUP_MS");
         let mut drain_ms = env("RP_KV_DRAIN_TIMEOUT_MS");
         let mut idle_timeout_ms = env("RP_KV_IDLE_TIMEOUT_MS");
         let mut max_requests = env("RP_KV_MAX_REQUESTS_PER_CONN");
+        let mut max_conns = env("RP_KV_MAX_CONNS");
+        let mut max_bytes = env("RP_KV_MAX_BYTES");
         let mut stats = env("RP_KV_STATS");
 
         let mut iter = args.iter();
@@ -172,12 +189,15 @@ impl ServerOptions {
                 "--shards" => &mut shards,
                 "--capacity" => &mut capacity,
                 "--maint" => &mut maint,
+                "--maint-workers" => &mut maint_workers,
                 "--maint-fairness-slice" => &mut fairness,
                 "--maint-reclaim-threshold" => &mut reclaim,
                 "--maint-idle-wakeup-ms" => &mut idle_ms,
                 "--drain-timeout-ms" => &mut drain_ms,
                 "--idle-timeout-ms" => &mut idle_timeout_ms,
                 "--max-requests-per-conn" => &mut max_requests,
+                "--max-conns" => &mut max_conns,
+                "--max-bytes" => &mut max_bytes,
                 "--stats" => &mut stats,
                 other => return Err(format!("unknown flag {other:?}\n\n{USAGE}")),
             };
@@ -230,6 +250,9 @@ impl ServerOptions {
             opts.maint = on.then(MaintConfig::default);
         }
         if let Some(config) = opts.maint.as_mut() {
+            if let Some(v) = maint_workers {
+                config.workers = parse_num::<usize>(&v, "--maint-workers")?.max(1);
+            }
             if let Some(v) = fairness {
                 config.fairness_slice = parse_num::<usize>(&v, "--maint-fairness-slice")?.max(1);
             }
@@ -251,6 +274,14 @@ impl ServerOptions {
         if let Some(v) = max_requests {
             let n: u64 = parse_num(&v, "--max-requests-per-conn")?;
             opts.max_requests_per_conn = (n > 0).then_some(n);
+        }
+        if let Some(v) = max_conns {
+            let n: usize = parse_num(&v, "--max-conns")?;
+            opts.max_connections = if n > 0 { n } else { usize::MAX };
+        }
+        if let Some(v) = max_bytes {
+            let n: usize = parse_num(&v, "--max-bytes")?;
+            opts.max_total_bytes = if n > 0 { n } else { usize::MAX };
         }
         if let Some(v) = stats {
             opts.stats = !matches!(
@@ -286,6 +317,8 @@ impl ServerOptions {
             drain_timeout: self.drain_timeout,
             idle_timeout: self.idle_timeout,
             max_requests_per_conn: self.max_requests_per_conn,
+            max_connections: self.max_connections,
+            max_total_bytes: self.max_total_bytes,
         }
     }
 }
@@ -423,6 +456,49 @@ mod tests {
         let opts = ServerOptions::parse(&[], &env).unwrap();
         assert_eq!(opts.idle_timeout, None, "0 disables");
         assert_eq!(opts.max_requests_per_conn, Some(7));
+    }
+
+    #[test]
+    fn admission_limits_parse_with_zero_meaning_off() {
+        let opts = ServerOptions::parse(&[], &no_env).unwrap();
+        assert_eq!(opts.max_connections, usize::MAX);
+        assert_eq!(opts.max_total_bytes, usize::MAX);
+        let opts = ServerOptions::parse(
+            &strings(&["--max-conns", "10000", "--max-bytes", "67108864"]),
+            &no_env,
+        )
+        .unwrap();
+        assert_eq!(opts.max_connections, 10_000);
+        assert_eq!(opts.max_total_bytes, 64 << 20);
+        let config = opts.server_config();
+        assert_eq!(config.max_connections, 10_000);
+        assert_eq!(config.max_total_bytes, 64 << 20);
+        let env = |name: &str| match name {
+            "RP_KV_MAX_CONNS" => Some("0".to_string()),
+            "RP_KV_MAX_BYTES" => Some("1024".to_string()),
+            _ => None,
+        };
+        let opts = ServerOptions::parse(&[], &env).unwrap();
+        assert_eq!(opts.max_connections, usize::MAX, "0 disables the wall");
+        assert_eq!(opts.max_total_bytes, 1024, "env beats default");
+    }
+
+    #[test]
+    fn maint_workers_flag_scales_the_pool() {
+        let opts = ServerOptions::parse(&[], &no_env).unwrap();
+        assert_eq!(opts.maint.as_ref().unwrap().workers, 1, "default pool");
+        let opts = ServerOptions::parse(&strings(&["--maint-workers", "3"]), &no_env).unwrap();
+        assert_eq!(opts.maint.as_ref().unwrap().workers, 3);
+        let env = |name: &str| match name {
+            "RP_KV_MAINT_WORKERS" => Some("2".to_string()),
+            _ => None,
+        };
+        let opts = ServerOptions::parse(&[], &env).unwrap();
+        assert_eq!(opts.maint.as_ref().unwrap().workers, 2, "env beats default");
+        // Tuning without a maintainer is silently dropped, like the rest
+        // of the --maint-* family.
+        let opts = ServerOptions::parse(&strings(&["--maint", "off"]), &env).unwrap();
+        assert!(opts.maint.is_none());
     }
 
     #[test]

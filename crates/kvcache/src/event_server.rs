@@ -232,6 +232,11 @@ impl EventServer {
             drain_timeout: config.drain_timeout,
             idle_timeout: config.idle_timeout,
             max_requests_per_conn: config.max_requests_per_conn,
+            max_connections: config.max_connections,
+            max_total_bytes: config.max_total_bytes,
+            // A peer shed at admission hears why, in protocol terms,
+            // instead of a bare close.
+            shed_reply: b"SERVER_ERROR busy\r\n".to_vec(),
             ..NetConfig::default()
         };
         let service = Arc::new(KvService::new(Arc::clone(&engine), read_side));

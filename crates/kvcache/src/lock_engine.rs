@@ -5,7 +5,7 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
-use crate::engine::{CacheEngine, CacheStats, StoreOutcome};
+use crate::engine::{CacheEngine, CacheStats, EngineReadCtx, StoreOutcome};
 use crate::item::Item;
 
 /// Configuration shared by both engines.
@@ -127,6 +127,23 @@ impl CacheEngine for LockEngine {
         }
     }
 
+    fn get_via(&self, key: &str, ctx: &mut EngineReadCtx) -> Option<Item> {
+        // The baseline has no relativistic read path — a lookup takes the
+        // global lock whichever flavor the server picked. What it must
+        // still honor is the QSBR discipline: a blocking lock acquisition
+        // from an online QSBR thread would stall every writer's grace
+        // period behind the lock queue, so the wait happens offline.
+        ctx.with_offline(|| self.get(key))
+    }
+
+    fn get_many_via(&self, keys: &[&str], ctx: &mut EngineReadCtx) -> Vec<Option<Item>> {
+        // One offline window for the whole batch — N keys pay the QSBR
+        // toggle once, mirroring the relativistic engines' one-window
+        // batches (except here the window covers lock waits, not
+        // barrier-free reads).
+        ctx.with_offline(|| keys.iter().map(|key| self.get(key)).collect())
+    }
+
     fn set(&self, key: &str, item: Item) -> StoreOutcome {
         if item.len() > self.config.max_item_size {
             return StoreOutcome::NotStored;
@@ -227,6 +244,22 @@ mod tests {
         let huge = vec![0_u8; (1 << 20) + 1];
         assert_eq!(engine.set("k", Item::new(0, huge)), StoreOutcome::NotStored);
         assert_eq!(engine.len(), 0);
+    }
+
+    #[test]
+    fn get_via_serves_both_read_side_contexts() {
+        use crate::engine::ReadSide;
+        let engine = LockEngine::new();
+        engine.set("k", Item::new(7, "v"));
+        for side in [ReadSide::Ebr, ReadSide::Qsbr] {
+            let mut ctx = EngineReadCtx::new(side);
+            let item = engine.get_via("k", &mut ctx).expect("hit via {side:?}");
+            assert_eq!(item.flags, 7);
+            let many = engine.get_many_via(&["k", "missing"], &mut ctx);
+            assert_eq!(many.len(), 2);
+            assert!(many[0].is_some(), "batch hit");
+            assert!(many[1].is_none(), "batch miss");
+        }
     }
 
     #[test]

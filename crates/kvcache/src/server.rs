@@ -63,6 +63,14 @@ pub struct ServerConfig {
     /// (`None` is unlimited). A defensive per-peer budget for public
     /// deployments.
     pub max_requests_per_conn: Option<u64>,
+    /// Event-loop admission wall: connections over this count are shed at
+    /// accept with a `SERVER_ERROR busy` reply (`usize::MAX` = unlimited).
+    pub max_connections: usize,
+    /// Event-loop global byte budget: once this many bytes sit in
+    /// connection buffers across all workers, new accepts are shed and
+    /// slow-reader connections stop being read until the level drains
+    /// (`usize::MAX` = unlimited).
+    pub max_total_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +83,8 @@ impl Default for ServerConfig {
             drain_timeout: Duration::from_secs(5),
             idle_timeout: None,
             max_requests_per_conn: None,
+            max_connections: usize::MAX,
+            max_total_bytes: usize::MAX,
         }
     }
 }

@@ -460,9 +460,13 @@ END\r\n";
             "\"kv_get_latency_ns\":Z,\"kv_set_latency_ns\":Z,",
             "\"kv_delete_latency_ns\":Z,\"kv_other_latency_ns\":Z,",
             "\"kv_slow_logged_total\":0},",
-            "\"net\":{\"net_accepts_total\":1,\"net_sheds_total\":0,",
+            "\"net\":{\"net_accepts_total\":1,\"net_conns_shed_total\":0,",
+            "\"net_accept_errors_total\":0,",
             "\"net_idle_reaped_total\":0,\"net_watermark_trips_total\":0,",
-            "\"net_connections\":0,\"net_batch_size\":Z},",
+            "\"net_backpressure_stalls_total\":0,",
+            "\"net_flush_syscalls_total\":0,\"net_flush_segments_total\":0,",
+            "\"net_connections\":0,\"net_bytes_buffered\":0,",
+            "\"net_batch_size\":Z},",
             "\"maint\":{\"maint_slice_ns\":Z,\"maint_queue_depth\":0,",
             "\"maint_slices_total\":0},",
             "\"resize\":{\"resize_grace_wait_ns\":Z,\"resize_step_ns\":Z,",

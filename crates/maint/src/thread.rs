@@ -1,8 +1,8 @@
-//! The maintenance thread: work queue, condvar wakeups, fairness and the
-//! shutdown drain handshake.
+//! The maintenance worker pool: one work queue, N worker threads, condvar
+//! wakeups, per-unit exclusion, fairness and the shutdown drain handshake.
 
 use std::collections::VecDeque;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -16,6 +16,12 @@ use crate::{MaintStats, MaintStep, MaintTarget, StepMode};
 /// Tuning knobs for a [`MaintThread`].
 #[derive(Debug, Clone)]
 pub struct MaintConfig {
+    /// Maintenance worker threads sharing the one work queue. Each unit is
+    /// stepped by at most one worker at a time (per-unit exclusion), so
+    /// extra workers add *across-unit* parallelism: two shards can resize
+    /// concurrently, and a long grace-period wait on one shard no longer
+    /// stalls every other shard's maintenance.
+    pub workers: usize,
     /// Maximum steps applied to one unit before it is re-queued behind the
     /// other waiting units (per-shard fairness under multi-shard storms).
     pub fairness_slice: usize,
@@ -23,14 +29,15 @@ pub struct MaintConfig {
     /// least this many retired objects are pending (the maintained
     /// counterpart of `rp_hash::ResizePolicy::reclaim_threshold`).
     pub reclaim_threshold: usize,
-    /// How long the thread sleeps waiting for requests before running an
-    /// idle reclamation heartbeat.
+    /// How long an idle worker sleeps waiting for requests before running
+    /// an idle reclamation heartbeat.
     pub idle_wakeup: Duration,
 }
 
 impl Default for MaintConfig {
     fn default() -> Self {
         MaintConfig {
+            workers: 1,
             fairness_slice: 8,
             reclaim_threshold: 256,
             idle_wakeup: Duration::from_millis(50),
@@ -38,16 +45,39 @@ impl Default for MaintConfig {
     }
 }
 
-/// State shared between requesters, the maintenance thread and the handle.
+/// State shared between requesters, the maintenance workers and the handle.
 struct MaintShared {
     queue: Mutex<QueueState>,
     wakeup: Condvar,
     stats: AtomicMaintStats,
+    /// Workers that have observed shutdown and left the main loop. The
+    /// *last* one to exit runs the drain sweep — by then no other worker
+    /// can be mid-step, so the sweep sees every unit quiesced.
+    exited: AtomicUsize,
 }
 
 struct QueueState {
     items: VecDeque<usize>,
+    /// Units currently being stepped by some worker. A queued unit whose
+    /// entry is in here is skipped (not popped) until its worker returns
+    /// it, which is what keeps two workers out of one unit's resize state
+    /// machine.
+    in_flight: Vec<usize>,
     shutdown: bool,
+}
+
+impl QueueState {
+    /// Pops the first queued unit that no worker is currently stepping,
+    /// marking it in-flight.
+    fn pop_available(&mut self) -> Option<usize> {
+        let pos = self
+            .items
+            .iter()
+            .position(|unit| !self.in_flight.contains(unit))?;
+        let unit = self.items.remove(pos).expect("position came from iter");
+        self.in_flight.push(unit);
+        Some(unit)
+    }
 }
 
 /// Spawns and owns maintenance threads. This is a namespace type; see
@@ -55,44 +85,49 @@ struct QueueState {
 pub struct MaintThread;
 
 impl MaintThread {
-    /// Spawns a maintenance thread driving `target` and returns its handle.
+    /// Spawns [`MaintConfig::workers`] maintenance threads driving `target`
+    /// and returns their shared handle.
     ///
-    /// The thread sleeps until a unit is requested via
-    /// [`MaintHandle::request`], runs periodic reclamation heartbeats while
-    /// idle, and exits — after draining all in-progress resizes — when the
-    /// handle shuts down.
+    /// Workers sleep until a unit is requested via [`MaintHandle::request`],
+    /// run periodic reclamation heartbeats while idle (worker 0 only — one
+    /// heartbeat per pool is enough), and exit — the last one draining all
+    /// in-progress resizes — when the handle shuts down.
     pub fn spawn(target: Arc<dyn MaintTarget>, config: MaintConfig) -> MaintHandle {
+        let workers = config.workers.max(1);
         let shared = Arc::new(MaintShared {
             queue: Mutex::new(QueueState {
                 items: VecDeque::new(),
+                in_flight: Vec::new(),
                 shutdown: false,
             }),
             wakeup: Condvar::new(),
             stats: AtomicMaintStats::default(),
+            exited: AtomicUsize::new(0),
         });
-        let thread = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("rp-maint".into())
-                .spawn(move || run(target, shared, config))
-                .expect("failed to spawn maintenance thread")
-        };
-        MaintHandle {
-            shared,
-            thread: Some(thread),
-        }
+        let threads = (0..workers)
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                let target = Arc::clone(&target);
+                let config = config.clone();
+                std::thread::Builder::new()
+                    .name(format!("rp-maint-{idx}"))
+                    .spawn(move || run(idx, workers, target, shared, config))
+                    .expect("failed to spawn maintenance worker")
+            })
+            .collect();
+        MaintHandle { shared, threads }
     }
 }
 
-/// Owner handle for a running maintenance thread.
+/// Owner handle for a running maintenance worker pool.
 ///
-/// Dropping the handle shuts the thread down: no further requests are
+/// Dropping the handle shuts the pool down: no further requests are
 /// accepted, every in-progress resize is drained to completion, and the
-/// thread is joined. Use [`MaintHandle::shutdown`] for an explicit,
+/// workers are joined. Use [`MaintHandle::shutdown`] for an explicit,
 /// nameable version of the same handshake.
 pub struct MaintHandle {
     shared: Arc<MaintShared>,
-    thread: Option<JoinHandle<()>>,
+    threads: Vec<JoinHandle<()>>,
 }
 
 impl MaintHandle {
@@ -128,8 +163,8 @@ impl MaintHandle {
         self.shared.queue.lock().items.len()
     }
 
-    /// Shuts the thread down: stops accepting requests, waits for it to
-    /// drain every in-progress resize, and joins it.
+    /// Shuts the pool down: stops accepting requests, waits for the
+    /// workers to drain every in-progress resize, and joins them.
     ///
     /// Idempotent; also runs on drop.
     ///
@@ -149,14 +184,15 @@ impl MaintHandle {
             q.shutdown = true;
         }
         self.shared.wakeup.notify_all();
-        let Some(thread) = self.thread.take() else {
+        if self.threads.is_empty() {
             return;
-        };
+        }
         if rp_rcu::global_read_nesting() > 0 {
             // The drain synchronizes; joining here would wait forever for
-            // our own guard to drop. Detach the thread (it exits once the
+            // our own guard to drop. Detach the workers (they exit once the
             // guard is gone) and make the bug loud — unless we are already
             // unwinding, where a second panic would abort.
+            self.threads.clear();
             if std::thread::panicking() {
                 return;
             }
@@ -165,7 +201,9 @@ impl MaintHandle {
                  drop the RcuGuard first (the drain would otherwise deadlock)"
             );
         }
-        let _ = thread.join();
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
     }
 }
 
@@ -191,17 +229,28 @@ enum Next {
     Shutdown,
 }
 
-fn run(target: Arc<dyn MaintTarget>, shared: Arc<MaintShared>, config: MaintConfig) {
+fn run(
+    idx: usize,
+    workers: usize,
+    target: Arc<dyn MaintTarget>,
+    shared: Arc<MaintShared>,
+    config: MaintConfig,
+) {
+    // Each maintenance worker is a dedicated synchronizer: *it* waits for
+    // grace periods so writers never do. The per-worker baseline lets the
+    // exit assertion below verify the division of labor from this side —
+    // whatever this worker synchronized, the writers did not.
+    let sync_baseline = rp_rcu::thread_synchronize_count();
     loop {
         let next = {
             let mut q = shared.queue.lock();
-            if let Some(unit) = q.items.pop_front() {
+            if let Some(unit) = q.pop_available() {
                 Next::Unit(unit)
             } else if q.shutdown {
                 Next::Shutdown
             } else {
                 shared.wakeup.wait_for(&mut q, config.idle_wakeup);
-                if let Some(unit) = q.items.pop_front() {
+                if let Some(unit) = q.pop_available() {
                     Next::Unit(unit)
                 } else if q.shutdown {
                     Next::Shutdown
@@ -213,6 +262,11 @@ fn run(target: Arc<dyn MaintTarget>, shared: Arc<MaintShared>, config: MaintConf
         match next {
             Next::Shutdown => break,
             Next::Heartbeat => {
+                // One heartbeat per pool is enough; workers 1..N just go
+                // back to waiting.
+                if idx != 0 {
+                    continue;
+                }
                 // Idle: check for overdue grace periods first — if a stalled
                 // reader exists, the reclamation pass below would hang in the
                 // same wait it is trying to absorb, so flag it before joining
@@ -228,6 +282,7 @@ fn run(target: Arc<dyn MaintTarget>, shared: Arc<MaintShared>, config: MaintConf
             }
             Next::Unit(unit) => {
                 let mut steps = 0_usize;
+                let mut exhausted_slice = false;
                 let slice_timer = rp_obs::timer();
                 loop {
                     let step = target.step(unit, StepMode::Normal);
@@ -239,20 +294,21 @@ fn run(target: Arc<dyn MaintTarget>, shared: Arc<MaintShared>, config: MaintConf
                     if steps >= config.fairness_slice.max(1) {
                         // Fairness: give other units a turn; this one goes
                         // to the back of the queue.
-                        let requeue = {
-                            let mut q = shared.queue.lock();
-                            if q.shutdown {
-                                false // the drain below will finish it
-                            } else {
-                                q.items.push_back(unit);
-                                true
-                            }
-                        };
-                        if requeue {
-                            shared.stats.requeues.fetch_add(1, Ordering::Relaxed);
-                        }
+                        exhausted_slice = true;
                         break;
                     }
+                }
+                // Return the unit: clear its in-flight mark (other workers
+                // may step it again) and requeue it if its slice ran out.
+                {
+                    let mut q = shared.queue.lock();
+                    q.in_flight.retain(|&held| held != unit);
+                    if exhausted_slice && !q.shutdown {
+                        q.items.push_back(unit);
+                        shared.stats.requeues.fetch_add(1, Ordering::Relaxed);
+                        shared.wakeup.notify_one();
+                    }
+                    // (under shutdown the drain below finishes the unit)
                 }
                 if steps > 0 {
                     // Telemetry: slice duration (the writer-visible cost the
@@ -274,22 +330,37 @@ fn run(target: Arc<dyn MaintTarget>, shared: Arc<MaintShared>, config: MaintConf
         }
     }
 
-    // Shutdown drain: every unit is stepped in Drain mode until idle, so no
-    // resize is left half-published. Requested-but-unstarted resizes are
-    // dropped (Drain mode never begins new work); in-progress ones complete.
-    for unit in 0..target.units() {
-        loop {
-            let step = target.step(unit, StepMode::Drain);
-            if step == MaintStep::Idle {
-                break;
+    // The last worker out runs the shutdown drain: every other worker has
+    // already left its loop (the `exited` count proves it), so no unit is
+    // mid-step and the sweep below sees them all quiesced. Every unit is
+    // stepped in Drain mode until idle, so no resize is left
+    // half-published. Requested-but-unstarted resizes are dropped (Drain
+    // mode never begins new work); in-progress ones complete.
+    let exited = shared.exited.fetch_add(1, Ordering::AcqRel) + 1;
+    if exited == workers {
+        for unit in 0..target.units() {
+            loop {
+                let step = target.step(unit, StepMode::Drain);
+                if step == MaintStep::Idle {
+                    break;
+                }
+                record(&shared.stats, step);
             }
-            record(&shared.stats, step);
+        }
+        // Leave no deferred destructors behind either.
+        if GraceSync::global().reclaim_if_pending(1) {
+            shared.stats.reclaim_passes.fetch_add(1, Ordering::Relaxed);
         }
     }
-    // Leave no deferred destructors behind either.
-    if GraceSync::global().reclaim_if_pending(1) {
-        shared.stats.reclaim_passes.fetch_add(1, Ordering::Relaxed);
-    }
+    // The writers-never-synchronize invariant, asserted from the worker's
+    // side: grace-period waits happened *here* (or not at all), never on a
+    // requesting thread — a worker that somehow never synchronized is fine,
+    // one whose count went *backwards* would mean the thread-local was
+    // corrupted.
+    debug_assert!(
+        rp_rcu::thread_synchronize_count() >= sync_baseline,
+        "maintenance worker {idx}'s synchronize count regressed"
+    );
 }
 
 fn record(stats: &AtomicMaintStats, step: MaintStep) {
@@ -451,6 +522,127 @@ mod tests {
         // ...while never-started units were left alone.
         assert_eq!(target.units[1].load(Ordering::SeqCst), 100);
         assert_eq!(target.units[2].load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn a_pool_of_workers_drains_many_units() {
+        let target = Arc::new(Countdown::new(8, 5));
+        let sync_before = rp_rcu::thread_synchronize_count();
+        let handle = MaintThread::spawn(
+            Arc::clone(&target) as Arc<dyn MaintTarget>,
+            MaintConfig {
+                workers: 3,
+                fairness_slice: 2,
+                ..MaintConfig::default()
+            },
+        );
+        for unit in 0..8 {
+            handle.request(unit);
+        }
+        for _ in 0..2000 {
+            if target.units.iter().all(|u| u.load(Ordering::SeqCst) == 0) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(
+            target.units.iter().all(|u| u.load(Ordering::SeqCst) == 0),
+            "all units drained by the pool"
+        );
+        let stats = handle.stats();
+        assert_eq!(stats.requests, 8);
+        assert_eq!(stats.resizes_finished, 8);
+        handle.shutdown();
+        // Writers never synchronize: all grace-period waits this pool
+        // needed happened on its own workers, none on the requesting
+        // thread.
+        assert_eq!(
+            rp_rcu::thread_synchronize_count(),
+            sync_before,
+            "the requesting thread must never wait for a grace period"
+        );
+    }
+
+    /// A target that detects two workers inside the same unit's `step` at
+    /// once — the per-unit exclusion the shared `in_flight` set must
+    /// provide, since a resize state machine is single-writer.
+    struct Exclusive {
+        remaining: Vec<AtomicUsize>,
+        inside: Vec<AtomicUsize>,
+        overlaps: AtomicUsize,
+    }
+
+    impl MaintTarget for Exclusive {
+        fn units(&self) -> usize {
+            self.remaining.len()
+        }
+
+        fn step(&self, unit: usize, _mode: StepMode) -> MaintStep {
+            let remaining = self.remaining[unit].load(Ordering::SeqCst);
+            if remaining == 0 {
+                return MaintStep::Idle;
+            }
+            if self.inside[unit].fetch_add(1, Ordering::SeqCst) != 0 {
+                self.overlaps.fetch_add(1, Ordering::SeqCst);
+            }
+            // Dwell long enough that a second worker entering this unit
+            // would reliably overlap.
+            std::thread::sleep(Duration::from_millis(1));
+            self.inside[unit].fetch_sub(1, Ordering::SeqCst);
+            self.remaining[unit].store(remaining - 1, Ordering::SeqCst);
+            if remaining == 1 {
+                MaintStep::Finished
+            } else {
+                MaintStep::Splice
+            }
+        }
+    }
+
+    #[test]
+    fn one_unit_is_never_stepped_by_two_workers_at_once() {
+        let target = Arc::new(Exclusive {
+            remaining: (0..2).map(|_| AtomicUsize::new(24)).collect(),
+            inside: (0..2).map(|_| AtomicUsize::new(0)).collect(),
+            overlaps: AtomicUsize::new(0),
+        });
+        let handle = MaintThread::spawn(
+            Arc::clone(&target) as Arc<dyn MaintTarget>,
+            MaintConfig {
+                workers: 4,
+                // One step per slice maximizes queue churn: units bounce
+                // between workers constantly, which is exactly when a
+                // missing in-flight mark would let two workers collide.
+                fairness_slice: 1,
+                ..MaintConfig::default()
+            },
+        );
+        // Duplicate requests for the same units put multiple queue entries
+        // in play at once — pop_available must hand duplicates to at most
+        // one worker at a time.
+        for _ in 0..4 {
+            handle.request(0);
+            handle.request(1);
+        }
+        for _ in 0..5000 {
+            if target
+                .remaining
+                .iter()
+                .all(|u| u.load(Ordering::SeqCst) == 0)
+            {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(target
+            .remaining
+            .iter()
+            .all(|u| u.load(Ordering::SeqCst) == 0));
+        assert_eq!(
+            target.overlaps.load(Ordering::SeqCst),
+            0,
+            "two workers entered the same unit's step concurrently"
+        );
+        handle.shutdown();
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! The process-wide byte budget behind global admission control.
+//!
+//! Per-worker [`BufPool`](crate::pool::BufPool) caps bound what each worker
+//! *recycles*, but nothing bounded what all connections together *hold*: a
+//! hundred thousand slow readers, each pinning a high-watermark's worth of
+//! queued responses, would OOM the process long before any single
+//! connection tripped its own limit. [`ByteBudget`] is the shared ledger:
+//! every connection charges the bytes sitting in its input and output
+//! buffers, accepts are refused while the ledger is exhausted, and open
+//! connections get their *reads* paused (which stops them producing more
+//! responses) until the ledger recovers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A shared ledger of buffered bytes with a hard ceiling.
+///
+/// Charging is relaxed-atomic and approximate by design: each connection
+/// settles its charge after a readiness event, so the ledger can overshoot
+/// the ceiling by at most one read chunk per actively reading connection —
+/// a bounded error that costs nothing on the hot path. The level is
+/// mirrored into the `net_bytes_buffered` gauge at every settle.
+#[derive(Debug)]
+pub struct ByteBudget {
+    used: AtomicUsize,
+    max: usize,
+}
+
+impl ByteBudget {
+    /// A ledger with ceiling `max` bytes (`usize::MAX` disables it).
+    pub fn new(max: usize) -> ByteBudget {
+        ByteBudget {
+            used: AtomicUsize::new(0),
+            max: max.max(1),
+        }
+    }
+
+    /// Adds `n` buffered bytes to the ledger.
+    pub fn charge(&self, n: usize) {
+        if n > 0 {
+            let now = self.used.fetch_add(n, Ordering::Relaxed) + n;
+            rp_obs::global().net.bytes_buffered.set(now as u64);
+        }
+    }
+
+    /// Removes `n` buffered bytes from the ledger.
+    pub fn release(&self, n: usize) {
+        if n > 0 {
+            let now = self.used.fetch_sub(n, Ordering::Relaxed).saturating_sub(n);
+            rp_obs::global().net.bytes_buffered.set(now as u64);
+        }
+    }
+
+    /// `true` while the ledger is at or over its ceiling — the signal to
+    /// refuse accepts and pause reads.
+    pub fn exhausted(&self) -> bool {
+        self.used.load(Ordering::Relaxed) >= self.max
+    }
+
+    /// `true` once the ledger has drained below ⅞ of the ceiling — the
+    /// hysteresis band that keeps throttled connections from flapping
+    /// between paused and resumed on every flushed byte.
+    pub fn recovered(&self) -> bool {
+        self.used.load(Ordering::Relaxed) <= self.max - self.max / 8
+    }
+
+    /// Bytes currently charged.
+    pub fn used(&self) -> usize {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// The configured ceiling.
+    pub fn max(&self) -> usize {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_and_releases_balance() {
+        let budget = ByteBudget::new(1000);
+        budget.charge(600);
+        assert_eq!(budget.used(), 600);
+        assert!(!budget.exhausted());
+        budget.charge(500);
+        assert!(budget.exhausted());
+        assert!(!budget.recovered());
+        budget.release(300);
+        assert_eq!(budget.used(), 800);
+        assert!(!budget.exhausted());
+        assert!(budget.recovered(), "875 is the recovery bound for 1000");
+        budget.release(800);
+        assert_eq!(budget.used(), 0);
+    }
+
+    #[test]
+    fn unlimited_budget_never_exhausts() {
+        let budget = ByteBudget::new(usize::MAX);
+        budget.charge(1 << 40);
+        assert!(!budget.exhausted());
+        assert!(budget.recovered());
+        budget.release(1 << 40);
+    }
+
+    #[test]
+    fn zero_sized_charges_are_free() {
+        let budget = ByteBudget::new(10);
+        budget.charge(0);
+        budget.release(0);
+        assert_eq!(budget.used(), 0);
+    }
+}

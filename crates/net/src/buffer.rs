@@ -1,12 +1,16 @@
 //! Per-connection output buffering with partial-write tracking, a
-//! backpressure watermark, and pooled zero-allocation response writes.
+//! backpressure watermark, pooled zero-allocation response writes, and a
+//! scatter-gather flush that submits every queued segment in one
+//! `writev(2)` batch.
 
 use std::collections::VecDeque;
 use std::io::{self, Write};
+use std::os::unix::io::RawFd;
 
 use bytes::Bytes;
 
 use crate::pool::BufPool;
+use crate::sys::{sys_writev, IoVec};
 
 /// A byte sink responses are serialised into directly.
 ///
@@ -44,6 +48,50 @@ pub enum FlushState {
     /// The socket's send buffer filled up; the caller should request
     /// `EPOLLOUT` and retry when the socket becomes writable again.
     Blocked,
+}
+
+/// Most segments one flush submits per `writev` batch — comfortably under
+/// Linux's `IOV_MAX` (1024) while keeping the gather array on the stack.
+pub(crate) const MAX_IOVECS: usize = 64;
+
+/// A sink accepting scatter-gather writes: many segments, one syscall.
+///
+/// The reactor's real sink is `FdSink` (raw `writev(2)` on the
+/// connection's fd); tests script arbitrary partial-acceptance patterns.
+/// Like [`Write::write`], a call may consume any prefix of the gathered
+/// bytes — [`WriteBuf::flush_vectored`] resumes from its cursor.
+pub trait VectoredWrite {
+    /// Writes from every buffer in order, returning bytes consumed.
+    fn writev(&mut self, bufs: &[&[u8]]) -> io::Result<usize>;
+}
+
+/// [`VectoredWrite`] over a raw socket fd via `writev(2)`. The fd is
+/// borrowed, not owned: the connection's stream keeps it open for the
+/// duration of the flush.
+pub(crate) struct FdSink {
+    pub(crate) fd: RawFd,
+}
+
+impl VectoredWrite for FdSink {
+    fn writev(&mut self, bufs: &[&[u8]]) -> io::Result<usize> {
+        let mut iov = [IoVec::empty(); MAX_IOVECS];
+        let n = bufs.len().min(MAX_IOVECS);
+        for (slot, buf) in iov.iter_mut().zip(bufs) {
+            *slot = IoVec::from_slice(buf);
+        }
+        sys_writev(self.fd, &iov[..n])
+    }
+}
+
+/// Adapts a plain [`Write`] sink to [`VectoredWrite`] by writing only the
+/// first gathered buffer per call — the degenerate one-segment-per-syscall
+/// flush the vectored path exists to beat, kept for in-memory sinks.
+struct WriteAdapter<'a, W: Write>(&'a mut W);
+
+impl<W: Write> VectoredWrite for WriteAdapter<'_, W> {
+    fn writev(&mut self, bufs: &[&[u8]]) -> io::Result<usize> {
+        self.0.write(bufs[0])
+    }
 }
 
 /// A queue of response segments awaiting transmission.
@@ -169,43 +217,89 @@ impl WriteBuf {
         self.len > self.high_watermark
     }
 
-    /// Writes as much queued data as the socket accepts.
-    ///
-    /// Retries on `EINTR`, resumes partial writes at the saved cursor,
-    /// returns [`FlushState::Blocked`] on `EWOULDBLOCK`, and surfaces any
-    /// other error (a zero-length write is reported as `WriteZero`). Owned
-    /// segments that finish flushing are recycled into `pool`.
+    /// Writes as much queued data as the socket accepts, one segment per
+    /// syscall (the [`Write`] adapter over [`WriteBuf::flush_vectored`];
+    /// in-memory sinks and tests use this form).
     pub fn flush_to(
         &mut self,
         sink: &mut impl Write,
         pool: &mut BufPool,
     ) -> io::Result<FlushState> {
-        while let Some(front) = self.segments.front() {
-            let pending = &front.as_slice()[self.cursor..];
-            debug_assert!(!pending.is_empty());
-            match sink.write(pending) {
+        self.flush_vectored(&mut WriteAdapter(sink), pool)
+    }
+
+    /// Writes as much queued data as the socket accepts, submitting up to
+    /// `MAX_IOVECS` (64) segments per syscall.
+    ///
+    /// Retries on `EINTR`, resumes partial writes at the saved cursor
+    /// (mid-segment, mid-batch — anywhere the kernel stopped), returns
+    /// [`FlushState::Blocked`] on `EWOULDBLOCK`, and surfaces any other
+    /// error (a zero-length write is reported as `WriteZero`). Owned
+    /// segments that finish flushing are recycled into `pool`. Each submit
+    /// bumps `net_flush_syscalls_total` and each completed segment
+    /// `net_flush_segments_total`: on pipelined workloads the first stays
+    /// below the second — the reduction `writev` buys.
+    pub fn flush_vectored(
+        &mut self,
+        sink: &mut impl VectoredWrite,
+        pool: &mut BufPool,
+    ) -> io::Result<FlushState> {
+        let net = &rp_obs::global().net;
+        while !self.segments.is_empty() {
+            let mut bufs: [&[u8]; MAX_IOVECS] = [&[]; MAX_IOVECS];
+            let mut count = 0;
+            for (slot, seg) in bufs.iter_mut().zip(self.segments.iter()) {
+                let bytes = seg.as_slice();
+                *slot = if count == 0 {
+                    &bytes[self.cursor..]
+                } else {
+                    bytes
+                };
+                count += 1;
+            }
+            debug_assert!(!bufs[0].is_empty());
+            net.flush_syscalls_total.inc();
+            match sink.writev(&bufs[..count]) {
                 Ok(0) => {
                     return Err(io::Error::new(
                         io::ErrorKind::WriteZero,
                         "socket accepted zero bytes",
                     ))
                 }
-                Ok(n) => {
-                    self.cursor += n;
-                    self.len -= n;
-                    if self.cursor == front.as_slice().len() {
-                        if let Some(Segment::Owned(done)) = self.segments.pop_front() {
-                            pool.give(done);
-                        }
-                        self.cursor = 0;
-                    }
-                }
+                Ok(n) => self.advance(n, pool),
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(FlushState::Blocked),
                 Err(e) => return Err(e),
             }
         }
         Ok(FlushState::Drained)
+    }
+
+    /// Consumes `written` flushed bytes: walks segment boundaries from the
+    /// front cursor, recycling finished owned segments into `pool`.
+    fn advance(&mut self, mut written: usize, pool: &mut BufPool) {
+        debug_assert!(written <= self.len);
+        self.len -= written;
+        let net = &rp_obs::global().net;
+        while written > 0 {
+            let front_pending = self
+                .segments
+                .front()
+                .expect("bytes imply a segment")
+                .as_slice()[self.cursor..]
+                .len();
+            if written >= front_pending {
+                written -= front_pending;
+                if let Some(Segment::Owned(done)) = self.segments.pop_front() {
+                    pool.give(done);
+                }
+                self.cursor = 0;
+                net.flush_segments_total.inc();
+            } else {
+                self.cursor += written;
+                written = 0;
+            }
+        }
     }
 
     /// Returns every queued segment's buffer to `pool` (connection
@@ -440,5 +534,202 @@ mod tests {
         out.put_shared(Bytes::from_static(b"hi"));
         out.put(b"\r\nEND\r\n");
         assert_eq!(out, b"VALUE k 1 2\r\nhi\r\nEND\r\n");
+    }
+
+    /// One scripted response of a [`Scripted`] vectored sink.
+    enum Step {
+        /// Consume up to this many bytes across the gathered buffers.
+        Accept(usize),
+        /// Fail with `EINTR` (the flush must retry transparently).
+        Eintr,
+        /// Fail with `EWOULDBLOCK` (the flush must stop and report it).
+        Block,
+    }
+
+    /// A [`VectoredWrite`] whose behavior is scripted step by step; after
+    /// the script runs out it accepts everything. Records what it consumed
+    /// plus how many "syscalls" it took and the widest batch it saw.
+    struct Scripted {
+        steps: VecDeque<Step>,
+        accepted: Vec<u8>,
+        calls: usize,
+        widest_batch: usize,
+    }
+
+    impl Scripted {
+        fn new(steps: Vec<Step>) -> Scripted {
+            Scripted {
+                steps: steps.into(),
+                accepted: Vec::new(),
+                calls: 0,
+                widest_batch: 0,
+            }
+        }
+    }
+
+    impl VectoredWrite for Scripted {
+        fn writev(&mut self, bufs: &[&[u8]]) -> io::Result<usize> {
+            self.calls += 1;
+            self.widest_batch = self.widest_batch.max(bufs.len());
+            match self.steps.pop_front().unwrap_or(Step::Accept(usize::MAX)) {
+                Step::Eintr => Err(io::Error::new(io::ErrorKind::Interrupted, "signal")),
+                Step::Block => Err(io::Error::new(io::ErrorKind::WouldBlock, "full")),
+                Step::Accept(mut quota) => {
+                    let mut n = 0;
+                    for buf in bufs {
+                        let take = buf.len().min(quota);
+                        self.accepted.extend_from_slice(&buf[..take]);
+                        n += take;
+                        quota -= take;
+                        if quota == 0 {
+                            break;
+                        }
+                    }
+                    Ok(n)
+                }
+            }
+        }
+    }
+
+    /// Three segments the coalescer cannot merge: pooled header, shared
+    /// payload (above the coalesce limit), pooled trailer — the exact
+    /// shape a large-value GET reply queues.
+    fn three_segment_buf(pool: &mut BufPool) -> (WriteBuf, Vec<u8>) {
+        let mut buf = WriteBuf::new(1 << 20);
+        let payload = vec![b'p'; COALESCE_LIMIT + 1];
+        {
+            let mut out = buf.with_pool(pool);
+            out.put(b"VALUE big 0 1025\r\n");
+            out.put_shared(Bytes::from(payload.clone()));
+            out.put(b"\r\nEND\r\n");
+        }
+        assert_eq!(buf.segments.len(), 3);
+        let mut wire = b"VALUE big 0 1025\r\n".to_vec();
+        wire.extend_from_slice(&payload);
+        wire.extend_from_slice(b"\r\nEND\r\n");
+        (buf, wire)
+    }
+
+    #[test]
+    fn vectored_flush_batches_every_segment_into_one_syscall() {
+        let mut pool = test_pool();
+        let (mut buf, wire) = three_segment_buf(&mut pool);
+        let mut sink = Scripted::new(Vec::new());
+        assert_eq!(
+            buf.flush_vectored(&mut sink, &mut pool).unwrap(),
+            FlushState::Drained
+        );
+        assert_eq!(sink.accepted, wire);
+        assert_eq!(sink.calls, 1, "three segments, one writev");
+        assert_eq!(sink.widest_batch, 3);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn partial_writev_resumes_at_every_split_boundary() {
+        let mut pool = test_pool();
+        let total = three_segment_buf(&mut pool).1.len();
+        // Cut the batch at every possible byte boundary — including both
+        // segment edges and every mid-segment position — and verify the
+        // cursor resumes exactly where the kernel stopped.
+        for cut in 1..total {
+            let (mut buf, wire) = three_segment_buf(&mut pool);
+            let mut sink = Scripted::new(vec![Step::Accept(cut)]);
+            assert_eq!(
+                buf.flush_vectored(&mut sink, &mut pool).unwrap(),
+                FlushState::Drained,
+                "cut at {cut}"
+            );
+            assert_eq!(sink.accepted, wire, "cut at {cut} lost or reordered bytes");
+            assert!(buf.is_empty());
+        }
+    }
+
+    #[test]
+    fn eintr_mid_iovec_retries_without_losing_the_cursor() {
+        let mut pool = test_pool();
+        let (mut buf, wire) = three_segment_buf(&mut pool);
+        let mut sink = Scripted::new(vec![Step::Accept(100), Step::Eintr, Step::Eintr]);
+        assert_eq!(
+            buf.flush_vectored(&mut sink, &mut pool).unwrap(),
+            FlushState::Drained
+        );
+        assert_eq!(sink.accepted, wire);
+        assert_eq!(sink.calls, 4, "partial, two EINTRs, final drain");
+    }
+
+    #[test]
+    fn would_block_with_a_half_consumed_segment_resumes_cleanly() {
+        let mut pool = test_pool();
+        let (mut buf, wire) = three_segment_buf(&mut pool);
+        // Stop halfway through the shared middle segment, then block.
+        let half = wire.len() / 2;
+        let mut sink = Scripted::new(vec![Step::Accept(half), Step::Block]);
+        assert_eq!(
+            buf.flush_vectored(&mut sink, &mut pool).unwrap(),
+            FlushState::Blocked
+        );
+        assert_eq!(buf.len(), wire.len() - half);
+        // Writability returns: the rest goes out from the saved cursor.
+        assert_eq!(
+            buf.flush_vectored(&mut sink, &mut pool).unwrap(),
+            FlushState::Drained
+        );
+        assert_eq!(sink.accepted, wire);
+    }
+
+    #[test]
+    fn batches_wider_than_max_iovecs_take_multiple_syscalls() {
+        let mut pool = test_pool();
+        let mut buf = WriteBuf::new(1 << 20);
+        for i in 0..(MAX_IOVECS + 6) {
+            // push_shared never coalesces, so each reply is its own segment.
+            buf.push_shared(Bytes::from(format!("seg-{i};")));
+        }
+        let mut sink = Scripted::new(Vec::new());
+        assert_eq!(
+            buf.flush_vectored(&mut sink, &mut pool).unwrap(),
+            FlushState::Drained
+        );
+        assert_eq!(sink.calls, 2);
+        assert_eq!(sink.widest_batch, MAX_IOVECS);
+        assert!(sink.accepted.starts_with(b"seg-0;seg-1;"));
+        assert!(sink
+            .accepted
+            .ends_with(format!("seg-{};", MAX_IOVECS + 5).as_bytes()));
+    }
+
+    #[test]
+    fn flush_counters_prove_fewer_syscalls_than_segments() {
+        // The counters are process-global; concurrent tests only inflate
+        // them, so assert on deltas with ≥.
+        let net = &rp_obs::global().net;
+        let syscalls_before = net.flush_syscalls_total.get();
+        let segments_before = net.flush_segments_total.get();
+        let mut pool = test_pool();
+        let (mut buf, _) = three_segment_buf(&mut pool);
+        let mut sink = Scripted::new(Vec::new());
+        buf.flush_vectored(&mut sink, &mut pool).unwrap();
+        assert!(net.flush_syscalls_total.get() > syscalls_before);
+        assert!(net.flush_segments_total.get() >= segments_before + 3);
+    }
+
+    #[test]
+    fn fd_sink_gathers_over_a_real_socket() {
+        use std::io::Read;
+        use std::os::unix::io::AsRawFd;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let tx = std::net::TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (mut rx, _) = listener.accept().unwrap();
+        let mut pool = test_pool();
+        let (mut buf, wire) = three_segment_buf(&mut pool);
+        let mut sink = FdSink { fd: tx.as_raw_fd() };
+        assert_eq!(
+            buf.flush_vectored(&mut sink, &mut pool).unwrap(),
+            FlushState::Drained
+        );
+        let mut got = vec![0_u8; wire.len()];
+        rx.read_exact(&mut got).unwrap();
+        assert_eq!(got, wire);
     }
 }

@@ -5,7 +5,8 @@ use std::net::TcpStream;
 use std::os::unix::io::{AsRawFd, RawFd};
 use std::time::Instant;
 
-use crate::buffer::{FlushState, WriteBuf};
+use crate::budget::ByteBudget;
+use crate::buffer::{FdSink, FlushState, WriteBuf};
 use crate::poller::{EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use crate::pool::BufPool;
 use crate::{Action, ConnIo, NetConfig, Service};
@@ -45,6 +46,12 @@ pub(crate) struct Connection<S: Service> {
     /// Last moment the connection made progress (bytes read from the peer
     /// or response bytes flushed to it); drives the idle reaper.
     last_activity: Instant,
+    /// Bytes currently charged against the global [`ByteBudget`] (the
+    /// input + output buffer level as of the last settle).
+    charged: usize,
+    /// Reads paused because the global byte budget was exhausted; cleared
+    /// by the worker once the budget recovers.
+    throttled: bool,
 }
 
 impl<S: Service> Connection<S> {
@@ -58,6 +65,8 @@ impl<S: Service> Connection<S> {
             registered: EPOLLIN | EPOLLRDHUP,
             served: 0,
             last_activity: Instant::now(),
+            charged: 0,
+            throttled: false,
         }
     }
 
@@ -69,7 +78,7 @@ impl<S: Service> Connection<S> {
     /// and under the backpressure watermark, writes while bytes are queued.
     pub(crate) fn desired_interest(&self) -> u32 {
         let mut mask = EPOLLRDHUP;
-        if self.phase == ConnState::Open && !self.out.over_watermark() {
+        if self.phase == ConnState::Open && !self.out.over_watermark() && !self.throttled {
             mask |= EPOLLIN;
         }
         if !self.out.is_empty() {
@@ -110,14 +119,27 @@ impl<S: Service> Connection<S> {
         worker: &mut S::Worker,
         config: &NetConfig,
         pool: &mut BufPool,
+        bytes: &ByteBudget,
         chunk: &mut [u8],
     ) {
         if self.phase != ConnState::Open {
             // Late readiness after Close/Drain: nothing to read any more.
-            return self.flush(pool);
+            self.flush(pool);
+            return self.settle(bytes);
         }
         let mut budget = config.read_budget;
         while budget > 0 {
+            if bytes.exhausted() {
+                // Global byte budget spent: pause this connection's reads
+                // (stopping it producing more buffered responses) until
+                // the worker sees the ledger recover.
+                self.throttled = true;
+                let obs = rp_obs::global();
+                obs.net.backpressure_stalls_total.inc();
+                obs.trace
+                    .record(rp_obs::TraceKind::Backpressure, bytes.used() as u64);
+                break;
+            }
             match self.stream.read(chunk) {
                 Ok(0) => {
                     // Peer finished sending. Answer what it already sent,
@@ -165,10 +187,36 @@ impl<S: Service> Connection<S> {
             // connection pins nothing.
             pool.give(std::mem::take(&mut self.input));
         }
+        self.settle(bytes);
     }
 
-    pub(crate) fn on_writable(&mut self, pool: &mut BufPool) {
+    pub(crate) fn on_writable(&mut self, pool: &mut BufPool, bytes: &ByteBudget) {
         self.flush(pool);
+        self.settle(bytes);
+    }
+
+    /// Reconciles this connection's buffered-byte charge with the global
+    /// ledger (called after every readiness event that may have changed
+    /// the buffer levels).
+    fn settle(&mut self, bytes: &ByteBudget) {
+        let now = self.input.len() + self.out.len();
+        if now > self.charged {
+            bytes.charge(now - self.charged);
+        } else {
+            bytes.release(self.charged - now);
+        }
+        self.charged = now;
+    }
+
+    /// `true` while reads are paused on the global byte budget.
+    pub(crate) fn is_throttled(&self) -> bool {
+        self.throttled
+    }
+
+    /// Resumes reads after the global byte budget recovered (the caller
+    /// reconciles the poller interest).
+    pub(crate) fn clear_throttle(&mut self) {
+        self.throttled = false;
     }
 
     /// Server shutdown: one final opportunistic read (requests the kernel
@@ -179,15 +227,17 @@ impl<S: Service> Connection<S> {
         worker: &mut S::Worker,
         config: &NetConfig,
         pool: &mut BufPool,
+        bytes: &ByteBudget,
         chunk: &mut [u8],
     ) {
         if self.phase == ConnState::Open {
-            self.on_readable(service, worker, config, pool, chunk);
+            self.on_readable(service, worker, config, pool, bytes, chunk);
         }
         if self.phase == ConnState::Open {
             self.phase = ConnState::Draining;
         }
         self.flush(pool);
+        self.settle(bytes);
     }
 
     /// Idle reap: the peer made no progress for the configured timeout.
@@ -240,7 +290,13 @@ impl<S: Service> Connection<S> {
 
     fn flush(&mut self, pool: &mut BufPool) {
         let before = self.out.len();
-        match self.out.flush_to(&mut self.stream, pool) {
+        // Scatter-gather: every queued segment (header, shared payload,
+        // trailer, the next pipelined reply...) goes out in one `writev`
+        // batch instead of one `write` each.
+        let mut sink = FdSink {
+            fd: self.stream.as_raw_fd(),
+        };
+        match self.out.flush_vectored(&mut sink, pool) {
             Ok(FlushState::Drained) => {
                 if self.phase == ConnState::Draining {
                     self.phase = ConnState::Closed;
@@ -261,12 +317,14 @@ impl<S: Service> Connection<S> {
         self.phase = ConnState::Closed;
     }
 
-    /// Returns the connection's warm buffers to the worker's pool (called
-    /// once, as the worker deregisters a finished connection).
-    pub(crate) fn recycle(&mut self, pool: &mut BufPool) {
+    /// Returns the connection's warm buffers to the worker's pool and
+    /// releases its byte-budget charge (called once, as the worker
+    /// deregisters a finished connection).
+    pub(crate) fn recycle(&mut self, pool: &mut BufPool, bytes: &ByteBudget) {
         if self.input.capacity() > 0 {
             pool.give(std::mem::take(&mut self.input));
         }
         self.out.recycle_into(pool);
+        self.settle(bytes);
     }
 }

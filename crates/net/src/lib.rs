@@ -8,15 +8,22 @@
 //! model with a classic readiness-driven reactor:
 //!
 //! * [`sys`] — raw `extern "C"` declarations of `epoll_create1` /
-//!   `epoll_ctl` / `epoll_wait` / `fcntl` / `eventfd` against the system
-//!   libc (the build environment has no crates.io access, so no `libc` or
-//!   `mio` dependency).
+//!   `epoll_ctl` / `epoll_wait` / `fcntl` / `eventfd` / `writev` against
+//!   the system libc (the build environment has no crates.io access, so no
+//!   `libc` or `mio` dependency).
 //! * [`Poller`] — one epoll instance; [`Waker`] — an eventfd that
 //!   interrupts a blocked wait from another thread.
 //! * [`WriteBuf`] — the per-connection output queue: partial writes resume
-//!   at a cursor, small pipelined replies coalesce into one `write(2)`,
-//!   and a high watermark signals backpressure (the reactor stops
-//!   *reading* from a peer that is not draining its responses).
+//!   at a cursor, small pipelined replies coalesce, and every flush
+//!   submits all queued segments as one `writev(2)` iovec batch (one
+//!   syscall per readiness event, not one per reply). A high watermark
+//!   signals backpressure (the reactor stops *reading* from a peer that is
+//!   not draining its responses).
+//! * [`ByteBudget`] — process-wide admission control: one ledger of
+//!   buffered bytes shared by every worker. Accepts are refused while it
+//!   is exhausted, and open connections get their reads paused until it
+//!   recovers, so total buffer memory is bounded no matter how many slow
+//!   readers connect.
 //! * [`BufWrite`] + [`BufPool`] — the zero-allocation response path:
 //!   services serialise replies *directly* into the connection's output
 //!   queue through a pooled sink, and finished segment buffers recycle
@@ -76,6 +83,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod budget;
 mod buffer;
 mod conn;
 mod poller;
@@ -83,7 +91,8 @@ mod pool;
 mod server;
 pub mod sys;
 
-pub use buffer::{BufWrite, FlushState, PooledBuf, WriteBuf};
+pub use budget::ByteBudget;
+pub use buffer::{BufWrite, FlushState, PooledBuf, VectoredWrite, WriteBuf};
 pub use poller::{waker_pair, Event, Poller, WakeReceiver, Waker};
 pub use pool::BufPool;
 pub use server::{EventLoop, NetStats};
@@ -200,8 +209,19 @@ pub struct NetConfig {
     /// Output-queue size above which the reactor stops reading from the
     /// connection until the peer drains its responses.
     pub high_watermark: usize,
-    /// Maximum concurrent connections; accepts beyond it are dropped.
+    /// Maximum concurrent connections; accepts beyond it are shed (the
+    /// peer gets [`NetConfig::shed_reply`], then a close).
     pub max_connections: usize,
+    /// Process-wide cap on bytes buffered across *all* connections (input
+    /// plus queued responses). At the cap, new accepts are shed and open
+    /// connections stop reading until the ledger drains below ⅞ of the
+    /// cap. `usize::MAX` (the default) disables the budget.
+    pub max_total_bytes: usize,
+    /// Best-effort bytes written to a connection shed at admission before
+    /// it is closed, so the peer sees *why* instead of a bare reset (e.g.
+    /// `SERVER_ERROR busy\r\n` for a memcache-flavored service). Empty
+    /// (the default) sheds silently.
+    pub shed_reply: Vec<u8>,
     /// How long graceful shutdown keeps flushing queued responses before
     /// force-closing stragglers.
     pub drain_timeout: Duration,
@@ -232,6 +252,8 @@ impl Default for NetConfig {
             read_budget: 256 * 1024,
             high_watermark: 1024 * 1024,
             max_connections: usize::MAX,
+            max_total_bytes: usize::MAX,
+            shed_reply: Vec::new(),
             drain_timeout: Duration::from_secs(5),
             idle_timeout: None,
             max_requests_per_conn: None,
@@ -454,13 +476,14 @@ mod tests {
     }
 
     #[test]
-    fn max_connections_sheds_excess_accepts() {
+    fn max_connections_sheds_excess_accepts_with_a_reply() {
         let mut server = EventLoop::bind(
             "127.0.0.1:0".parse().unwrap(),
             echo_service(),
             NetConfig {
                 workers: 1,
                 max_connections: 2,
+                shed_reply: b"BUSY\n".to_vec(),
                 ..NetConfig::default()
             },
         )
@@ -473,17 +496,155 @@ mod tests {
             let mut buf = vec![0_u8; 7];
             c.read_exact(&mut buf).unwrap();
         }
-        // The third connection is accepted then immediately dropped. The
-        // client sees clean EOF, or ECONNRESET if its bytes raced the drop
-        // into the server's kernel buffer — never a served request.
+        // The third connection is shed at accept: the configured reply
+        // arrives, then EOF — never a served request. The client sends
+        // nothing first, so its bytes cannot race the server's close into
+        // an ECONNRESET.
         let mut extra = TcpStream::connect(server.addr()).unwrap();
-        extra.write_all(b"x\n").unwrap();
         let mut buf = Vec::new();
-        match extra.read_to_end(&mut buf) {
-            Ok(_) => assert!(buf.is_empty(), "shed connection got data: {buf:?}"),
-            Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::ConnectionReset, "{e}"),
-        }
+        extra.read_to_end(&mut buf).unwrap();
+        assert_eq!(buf, b"BUSY\n", "shed connection gets the courtesy reply");
         assert!(server.stats().refused >= 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn exhausted_byte_budget_sheds_accepts_until_it_recovers() {
+        // A tiny byte budget and a client that refuses to read: the echoed
+        // responses pile up in the server's write buffer, exhausting the
+        // ledger, so the next accept is shed. Draining the pile recovers
+        // the budget and accepts resume.
+        let mut server = EventLoop::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            echo_service(),
+            NetConfig {
+                workers: 1,
+                max_total_bytes: 8 * 1024,
+                shed_reply: b"BUSY\n".to_vec(),
+                // A watermark above the byte budget so the *global* ledger,
+                // not the per-connection limit, is what trips.
+                high_watermark: 1024 * 1024,
+                ..NetConfig::default()
+            },
+        )
+        .unwrap();
+
+        let mut hog = TcpStream::connect(server.addr()).unwrap();
+        // Push newline-framed filler the client never reads until the
+        // echoed responses pile past the 8 KiB budget (kernel socket
+        // buffers absorb an unpredictable amount first). A plain
+        // `write_all` can wedge forever here: the server throttles this
+        // connection the instant the ledger trips, which may land *inside*
+        // a blocking write — so use a write timeout and partial writes,
+        // resuming mid-line so every 4096th byte is still a newline the
+        // echo service can frame on. Exit only once the ledger is over
+        // budget AND the hog's writes are blocked: with the client not
+        // reading, nothing can flush, so that state cannot un-exhaust
+        // behind our back.
+        hog.set_write_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let line = {
+            let mut l = vec![b'x'; 4095];
+            l.push(b'\n');
+            l
+        };
+        let mut sent = 0_usize;
+        let mut offset = 0_usize;
+        let mut write_blocked = false;
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while server.stats().bytes_buffered < 8 * 1024 || !write_blocked {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "budget never exhausted (buffered {} after {} bytes sent)",
+                server.stats().bytes_buffered,
+                sent
+            );
+            match hog.write(&line[offset..]) {
+                Ok(n) => {
+                    sent += n;
+                    offset = (offset + n) % line.len();
+                    write_blocked = false;
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    write_blocked = true;
+                }
+                Err(e) => panic!("pushing into hog: {e}"),
+            }
+        }
+
+        // With the ledger pinned over its ceiling, a fresh accept is shed.
+        // Retry with a read timeout in case a transiently admitted
+        // connection slips through a recovery blip — an admitted echo
+        // connection that was sent nothing would otherwise block forever.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let shed = loop {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "never saw a shed accept"
+            );
+            let mut refused = TcpStream::connect(server.addr()).unwrap();
+            refused
+                .set_read_timeout(Some(Duration::from_millis(500)))
+                .unwrap();
+            let mut buf = Vec::new();
+            match refused.read_to_end(&mut buf) {
+                Ok(_) => break buf, // reply then EOF: the shed path
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue; // admitted and idle — drop it, try again
+                }
+                Err(e) => panic!("probing the admission wall: {e}"),
+            }
+        };
+        assert_eq!(shed, b"BUSY\n", "byte-pressure shed gets the reply too");
+        assert!(server.stats().refused >= 1);
+
+        // Drain everything the server buffered; the ledger recovers and a
+        // new connection is admitted and served.
+        hog.set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        let mut sink = vec![0_u8; 64 * 1024];
+        let mut drain_hog = |hog: &mut TcpStream| loop {
+            match hog.read(&mut sink) {
+                Ok(0) => break,
+                Ok(_) => {}
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    break
+                }
+                Err(e) => panic!("draining hog: {e}"),
+            }
+        };
+        drain_hog(&mut hog);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let mut fresh = TcpStream::connect(server.addr()).unwrap();
+            fresh.write_all(b"hello\n").unwrap();
+            let mut first = [0_u8; 1];
+            fresh.read_exact(&mut first).unwrap();
+            if first[0] == b'h' {
+                let mut rest = [0_u8; 5];
+                fresh.read_exact(&mut rest).unwrap();
+                assert_eq!(&rest, b"ello\n");
+                break;
+            }
+            // Still shedding ("BUSY\n"): the ledger has not recovered yet.
+            // The server may also still be echoing previously pushed
+            // filler, so keep draining the hog between probes.
+            assert!(
+                std::time::Instant::now() < deadline,
+                "budget never recovered"
+            );
+            drain_hog(&mut hog);
+            std::thread::sleep(Duration::from_millis(20));
+        }
         server.shutdown();
     }
 

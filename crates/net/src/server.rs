@@ -13,6 +13,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crate::budget::ByteBudget;
 use crate::conn::Connection;
 use crate::poller::{waker_pair, Event, Poller, WakeReceiver, Waker, EPOLLIN};
 use crate::pool::BufPool;
@@ -31,10 +32,17 @@ pub struct NetStats {
     pub accepted: u64,
     /// Connections currently open.
     pub current_connections: usize,
-    /// Connections refused because `max_connections` was reached.
+    /// Connections refused at admission (the `max_connections` limit or
+    /// an exhausted byte budget).
     pub refused: u64,
+    /// Accepted connections lost to OS-level setup failures (nonblocking
+    /// toggle, epoll registration).
+    pub accept_errors: u64,
     /// Connections closed by the idle reaper.
     pub idle_reaped: u64,
+    /// Bytes currently buffered across all connections (the level the
+    /// global byte budget bounds).
+    pub bytes_buffered: usize,
 }
 
 struct Shared {
@@ -42,8 +50,11 @@ struct Shared {
     shutdown: AtomicBool,
     accepted: AtomicU64,
     refused: AtomicU64,
+    accept_errors: AtomicU64,
     idle_reaped: AtomicU64,
     current: AtomicUsize,
+    /// The process-wide buffered-byte ledger (admission control).
+    bytes: ByteBudget,
 }
 
 /// A running epoll event-loop server.
@@ -73,8 +84,10 @@ impl EventLoop {
             shutdown: AtomicBool::new(false),
             accepted: AtomicU64::new(0),
             refused: AtomicU64::new(0),
+            accept_errors: AtomicU64::new(0),
             idle_reaped: AtomicU64::new(0),
             current: AtomicUsize::new(0),
+            bytes: ByteBudget::new(config.max_total_bytes),
         });
 
         let workers_wanted = config.workers.max(1);
@@ -120,8 +133,10 @@ impl EventLoop {
         NetStats {
             accepted: self.shared.accepted.load(Ordering::Relaxed),
             refused: self.shared.refused.load(Ordering::Relaxed),
+            accept_errors: self.shared.accept_errors.load(Ordering::Relaxed),
             idle_reaped: self.shared.idle_reaped.load(Ordering::Relaxed),
             current_connections: self.shared.current.load(Ordering::Relaxed),
+            bytes_buffered: self.shared.bytes.used(),
         }
     }
 
@@ -162,6 +177,11 @@ struct Worker<S: Service> {
     /// The worker's buffer free list: connection input buffers and
     /// response segments cycle through here instead of the allocator.
     pool: BufPool,
+    /// Set when a dispatch left at least one connection throttled on the
+    /// global byte budget. While set, the worker polls on a short leash —
+    /// the budget may be freed by *another* worker's flushes, which cannot
+    /// wake this one's epoll.
+    throttled_reads: bool,
 }
 
 impl<S: Service> Worker<S> {
@@ -187,6 +207,7 @@ impl<S: Service> Worker<S> {
             conns: HashMap::new(),
             scratch,
             pool,
+            throttled_reads: false,
         })
     }
 
@@ -207,7 +228,10 @@ impl<S: Service> Worker<S> {
         let mut wstate = self.service.on_worker_start(self.idx);
 
         loop {
-            let timeout = if draining {
+            let timeout = if draining || self.throttled_reads {
+                // Draining: poll fast for the deadline. Throttled: the byte
+                // budget may recover via another worker's flushes, which
+                // cannot wake this epoll — check on a short leash.
                 Some(Duration::from_millis(10))
             } else {
                 // Wake in time for the next idle sweep; with no sweeps
@@ -245,6 +269,10 @@ impl<S: Service> Worker<S> {
             // flushed as far as the sockets allow, no borrowed state held.
             self.service.on_batch_end(&mut wstate);
 
+            if self.throttled_reads && self.shared.bytes.recovered() {
+                self.unthrottle_all();
+            }
+
             if let (Some(every), Some(at)) = (sweep_every, next_sweep) {
                 let now = Instant::now();
                 if now >= at && !draining {
@@ -265,6 +293,7 @@ impl<S: Service> Worker<S> {
                             &mut wstate,
                             &self.config,
                             &mut self.pool,
+                            &self.shared.bytes,
                             &mut self.scratch,
                         );
                     }
@@ -299,36 +328,53 @@ impl<S: Service> Worker<S> {
             .set(live.saturating_sub(self.conns.len()) as u64);
     }
 
-    /// Accepts until the backlog is empty (`EWOULDBLOCK`).
+    /// Accepts until the backlog is empty (`EWOULDBLOCK`). Admission is
+    /// checked here, before the connection costs anything: over the
+    /// connection limit or with the global byte budget exhausted, the peer
+    /// gets a best-effort shed reply and an immediate close instead of a
+    /// silent hang.
     fn accept_ready(&mut self) {
         loop {
             match self.shared.listener.accept() {
-                Ok((stream, peer)) => {
-                    if self.shared.current.load(Ordering::Relaxed) >= self.config.max_connections {
+                Ok((mut stream, peer)) => {
+                    let live = self.shared.current.load(Ordering::Relaxed);
+                    if live >= self.config.max_connections || self.shared.bytes.exhausted() {
                         self.shared.refused.fetch_add(1, Ordering::Relaxed);
                         let obs = rp_obs::global();
-                        obs.net.sheds_total.inc();
-                        obs.trace.record(
-                            rp_obs::TraceKind::ConnShed,
-                            self.config.max_connections as u64,
-                        );
+                        obs.net.conns_shed_total.inc();
+                        // The payload is the *live* connection count at the
+                        // moment of the shed, not the configured limit: a
+                        // trace reader can tell "shed at the connection
+                        // wall" from "shed under byte pressure" (live well
+                        // below the limit) at a glance.
+                        obs.trace.record(rp_obs::TraceKind::ConnShed, live as u64);
+                        // Courtesy reply so the peer sees *why* instead of a
+                        // bare RST. The just-accepted socket is still in
+                        // blocking mode with an empty send buffer, so this
+                        // small write cannot block; failures (peer already
+                        // gone) are ignored.
+                        if !self.config.shed_reply.is_empty() {
+                            use std::io::Write;
+                            let _ = stream.write_all(&self.config.shed_reply);
+                        }
                         drop(stream);
                         continue;
                     }
                     let _ = stream.set_nodelay(true);
                     // The reactor's contract is nonblocking I/O everywhere;
                     // the raw fcntl mirrors what std's set_nonblocking does.
-                    if sys_set_nonblocking(stream.as_raw_fd()).is_err() {
+                    if let Err(e) = sys_set_nonblocking(stream.as_raw_fd()) {
+                        self.lost_at_setup(e);
                         continue;
                     }
                     let state = self.service.on_connect(peer);
                     let conn = Connection::<S>::new(stream, state, &self.config);
                     let token = conn.fd() as u64;
-                    if self
+                    if let Err(e) = self
                         .poller
                         .add(conn.fd(), conn.registered_interest(), token)
-                        .is_err()
                     {
+                        self.lost_at_setup(e);
                         continue;
                     }
                     self.shared.accepted.fetch_add(1, Ordering::Relaxed);
@@ -346,12 +392,27 @@ impl<S: Service> Worker<S> {
         }
     }
 
+    /// Accounts for an accepted connection that died during OS-level setup
+    /// (nonblocking toggle or epoll registration). Without this the socket
+    /// just evaporated: no counter moved, no trace event fired, and a
+    /// `rpstat` watcher saw the kernel's accept queue shrink with nothing
+    /// to show for it.
+    fn lost_at_setup(&self, error: io::Error) {
+        self.shared.accept_errors.fetch_add(1, Ordering::Relaxed);
+        let obs = rp_obs::global();
+        obs.net.accept_errors_total.inc();
+        obs.trace.record(
+            rp_obs::TraceKind::AcceptError,
+            error.raw_os_error().unwrap_or(0) as u64,
+        );
+    }
+
     fn connection_event(&mut self, token: u64, ev: Event, wstate: &mut S::Worker) {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
         if ev.writable() {
-            conn.on_writable(&mut self.pool);
+            conn.on_writable(&mut self.pool, &self.shared.bytes);
         }
         if ev.readable() || ev.closed() {
             conn.on_readable(
@@ -359,10 +420,34 @@ impl<S: Service> Worker<S> {
                 wstate,
                 &self.config,
                 &mut self.pool,
+                &self.shared.bytes,
                 &mut self.scratch,
             );
         }
+        if conn.is_throttled() {
+            self.throttled_reads = true;
+        }
         self.reconcile(token);
+    }
+
+    /// Resumes reads on every budget-throttled connection once the global
+    /// byte ledger has recovered (hysteresis lives in
+    /// [`ByteBudget::recovered`]). Level-triggered epoll re-fires readiness
+    /// for bytes that arrived while reads were paused, so nothing is lost.
+    fn unthrottle_all(&mut self) {
+        let throttled: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, conn)| conn.is_throttled())
+            .map(|(token, _)| *token)
+            .collect();
+        for token in throttled {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.clear_throttle();
+            }
+            self.reconcile(token);
+        }
+        self.throttled_reads = false;
     }
 
     /// Closes every connection that has made no progress for the configured
@@ -415,7 +500,7 @@ impl<S: Service> Worker<S> {
     fn drop_connection(&mut self, token: u64) {
         if let Some(mut conn) = self.conns.remove(&token) {
             let _ = self.poller.delete(conn.fd());
-            conn.recycle(&mut self.pool);
+            conn.recycle(&mut self.pool, &self.shared.bytes);
             let live = self.shared.current.fetch_sub(1, Ordering::Relaxed);
             rp_obs::global()
                 .net

@@ -1,11 +1,11 @@
 //! Raw Linux syscall bindings for the reactor.
 //!
 //! The build environment has no crates.io access, so instead of a `libc`
-//! dependency this module declares exactly the five entry points the
-//! reactor needs (`epoll_create1`, `epoll_ctl`, `epoll_wait`, `fcntl`,
-//! `eventfd`, plus `read`/`write`/`close` for the eventfd) directly
-//! against the system C library, with thin safe wrappers that translate
-//! `-1`/`errno` into [`std::io::Error`].
+//! dependency this module declares exactly the entry points the reactor
+//! needs (`epoll_create1`, `epoll_ctl`, `epoll_wait`, `fcntl`, `eventfd`,
+//! `writev` for scatter-gather flushes, plus `read`/`write`/`close` for
+//! the eventfd) directly against the system C library, with thin safe
+//! wrappers that translate `-1`/`errno` into [`std::io::Error`].
 
 use std::io;
 use std::os::unix::io::RawFd;
@@ -67,6 +67,35 @@ impl EpollEvent {
     }
 }
 
+/// One scatter-gather segment for [`sys_writev`], layout-compatible with
+/// the kernel's `struct iovec`.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct IoVec {
+    /// Start of the segment.
+    pub iov_base: *const u8,
+    /// Length of the segment in bytes.
+    pub iov_len: usize,
+}
+
+impl IoVec {
+    /// Describes `bytes` as one iovec segment.
+    pub fn from_slice(bytes: &[u8]) -> IoVec {
+        IoVec {
+            iov_base: bytes.as_ptr(),
+            iov_len: bytes.len(),
+        }
+    }
+
+    /// An empty segment (used to initialise fixed iovec arrays).
+    pub const fn empty() -> IoVec {
+        IoVec {
+            iov_base: std::ptr::null(),
+            iov_len: 0,
+        }
+    }
+}
+
 extern "C" {
     fn epoll_create1(flags: i32) -> i32;
     fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
@@ -75,6 +104,7 @@ extern "C" {
     fn eventfd(initval: u32, flags: i32) -> i32;
     fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
     fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn writev(fd: i32, iov: *const IoVec, iovcnt: i32) -> isize;
     fn close(fd: i32) -> i32;
 }
 
@@ -194,6 +224,21 @@ pub fn sys_eventfd_drain(fd: RawFd) {
     let _ = unsafe { read(fd, buf.as_mut_ptr(), 8) };
 }
 
+/// `writev(fd, iov, iovcnt)` — submits every segment in one syscall.
+/// Returns the number of bytes written (possibly short of the total: the
+/// kernel stops at the socket buffer, and the caller resumes from its own
+/// cursor). Does **not** retry `EINTR`; the flush loop owns that policy.
+pub fn sys_writev(fd: RawFd, iov: &[IoVec]) -> io::Result<usize> {
+    // SAFETY: every `IoVec` was built from a live `&[u8]` borrowed for the
+    // duration of this call, and the count is clamped to the slice length.
+    let ret = unsafe { writev(fd, iov.as_ptr(), iov.len().min(i32::MAX as usize) as i32) };
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret as usize)
+    }
+}
+
 /// `close(fd)`; errors are ignored (nothing sensible to do in a destructor).
 pub fn sys_close(fd: RawFd) {
     // SAFETY: the callers own `fd` and never use it after this call.
@@ -247,6 +292,24 @@ mod tests {
         sys_epoll_delete(ep, ev).expect("del");
         sys_close(ev);
         sys_close(ep);
+    }
+
+    #[test]
+    fn writev_gathers_multiple_segments() {
+        use std::io::Read;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let tx = std::net::TcpStream::connect(addr).unwrap();
+        let (mut rx, _) = listener.accept().unwrap();
+        let fd = std::os::unix::io::AsRawFd::as_raw_fd(&tx);
+        let parts: [&[u8]; 3] = [b"VALUE k", b" 0 3\r\nabc", b"\r\nEND\r\n"];
+        let iov: Vec<IoVec> = parts.iter().map(|p| IoVec::from_slice(p)).collect();
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        let n = sys_writev(fd, &iov).expect("writev");
+        assert_eq!(n, total, "a tiny batch fits the socket buffer whole");
+        let mut got = vec![0_u8; total];
+        rx.read_exact(&mut got).unwrap();
+        assert_eq!(got, parts.concat());
     }
 
     #[test]

@@ -180,15 +180,31 @@ pub struct MaintObs {
 pub struct NetObs {
     /// Connections accepted.
     pub accepts_total: Counter,
-    /// Connections shed at the `max_connections` limit.
-    pub sheds_total: Counter,
+    /// Connections shed at admission (the `max_connections` limit or an
+    /// exhausted global byte budget).
+    pub conns_shed_total: Counter,
+    /// Accepted connections lost to OS-level setup failures (nonblocking
+    /// toggle, epoll registration).
+    pub accept_errors_total: Counter,
     /// Idle connections reaped.
     pub idle_reaped_total: Counter,
     /// Times a connection's output queue crossed the backpressure
     /// watermark (reads paused until the peer drained).
     pub watermark_trips_total: Counter,
+    /// Times a connection's reads were paused because the global byte
+    /// budget was exhausted (admission-control backpressure).
+    pub backpressure_stalls_total: Counter,
+    /// Flush syscalls issued (`writev` batches; one per vectored submit).
+    pub flush_syscalls_total: Counter,
+    /// Output segments fully flushed. With scatter-gather this exceeds
+    /// [`NetObs::flush_syscalls_total`] on pipelined workloads — the
+    /// whole point of `writev`.
+    pub flush_segments_total: Counter,
     /// Currently open connections.
     pub connections: Gauge,
+    /// Bytes currently held in per-connection buffers process-wide (the
+    /// level the global byte budget bounds).
+    pub bytes_buffered: Gauge,
     /// Readiness events delivered per `epoll_wait` wake (per-worker
     /// shards; epoll occupancy).
     pub batch_size: Sharded<Histogram>,
@@ -319,9 +335,15 @@ impl Obs {
         );
         render::counter(
             sink,
-            "net_sheds_total",
-            "Connections shed at the max_connections limit.",
-            self.net.sheds_total.get(),
+            "net_conns_shed_total",
+            "Connections shed at admission (connection or byte budget).",
+            self.net.conns_shed_total.get(),
+        );
+        render::counter(
+            sink,
+            "net_accept_errors_total",
+            "Accepted connections lost to OS-level setup failures.",
+            self.net.accept_errors_total.get(),
         );
         render::counter(
             sink,
@@ -335,11 +357,35 @@ impl Obs {
             "Output queues that crossed the backpressure watermark.",
             self.net.watermark_trips_total.get(),
         );
+        render::counter(
+            sink,
+            "net_backpressure_stalls_total",
+            "Reads paused because the global byte budget was exhausted.",
+            self.net.backpressure_stalls_total.get(),
+        );
+        render::counter(
+            sink,
+            "net_flush_syscalls_total",
+            "Flush syscalls issued (writev batches).",
+            self.net.flush_syscalls_total.get(),
+        );
+        render::counter(
+            sink,
+            "net_flush_segments_total",
+            "Output segments fully flushed.",
+            self.net.flush_segments_total.get(),
+        );
         render::gauge(
             sink,
             "net_connections",
             "Currently open connections.",
             self.net.connections.get(),
+        );
+        render::gauge(
+            sink,
+            "net_bytes_buffered",
+            "Bytes held in per-connection buffers process-wide.",
+            self.net.bytes_buffered.get(),
         );
         let mut batch = Snapshot::default();
         for shard in self.net.batch_size.iter() {
@@ -581,13 +627,30 @@ impl Obs {
         }
         let mut net = root.nested("net");
         net.field("net_accepts_total", self.net.accepts_total.get());
-        net.field("net_sheds_total", self.net.sheds_total.get());
+        net.field("net_conns_shed_total", self.net.conns_shed_total.get());
+        net.field(
+            "net_accept_errors_total",
+            self.net.accept_errors_total.get(),
+        );
         net.field("net_idle_reaped_total", self.net.idle_reaped_total.get());
         net.field(
             "net_watermark_trips_total",
             self.net.watermark_trips_total.get(),
         );
+        net.field(
+            "net_backpressure_stalls_total",
+            self.net.backpressure_stalls_total.get(),
+        );
+        net.field(
+            "net_flush_syscalls_total",
+            self.net.flush_syscalls_total.get(),
+        );
+        net.field(
+            "net_flush_segments_total",
+            self.net.flush_segments_total.get(),
+        );
         net.field("net_connections", self.net.connections.get());
+        net.field("net_bytes_buffered", self.net.bytes_buffered.get());
         net.summary("net_batch_size", &batch);
         net.end();
 
@@ -633,9 +696,13 @@ impl Obs {
             shard.decode_errors.reset();
         }
         self.net.accepts_total.reset();
-        self.net.sheds_total.reset();
+        self.net.conns_shed_total.reset();
+        self.net.accept_errors_total.reset();
         self.net.idle_reaped_total.reset();
         self.net.watermark_trips_total.reset();
+        self.net.backpressure_stalls_total.reset();
+        self.net.flush_syscalls_total.reset();
+        self.net.flush_segments_total.reset();
         for shard in self.net.batch_size.iter() {
             shard.reset();
         }

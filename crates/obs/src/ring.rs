@@ -49,6 +49,10 @@ pub enum TraceKind {
     /// elapsed nanoseconds with the stalled read-side flavor — build and
     /// split it with [`pack_stall`] / [`unpack_stall`].
     GraceStall = 11,
+    /// An accepted connection was lost to an OS-level setup failure
+    /// (nonblocking toggle or epoll registration); value = the raw OS
+    /// error code.
+    AcceptError = 12,
 }
 
 /// Flavor tag for a [`TraceKind::GraceStall`] value: the EBR side stalled.
@@ -82,6 +86,7 @@ impl TraceKind {
             TraceKind::ConnShed => "conn_shed",
             TraceKind::StatsReset => "stats_reset",
             TraceKind::GraceStall => "grace_stall",
+            TraceKind::AcceptError => "accept_error",
         }
     }
 
@@ -98,6 +103,7 @@ impl TraceKind {
             9 => TraceKind::ConnShed,
             10 => TraceKind::StatsReset,
             11 => TraceKind::GraceStall,
+            12 => TraceKind::AcceptError,
             _ => return None,
         })
     }

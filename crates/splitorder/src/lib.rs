@@ -31,10 +31,11 @@
 //!   [`rp_rcu::GraceSync`], covering both reader flavors.
 //!
 //! The price: every lookup walks a *shared global list segment* (cold
-//! buckets borrow their parent's dummy until first write), deletions leave
-//! marked nodes for later traversals to unlink, and shrinking only retires
-//! shortcuts — the dummies of dead buckets stay in the list as passive
-//! hops.
+//! buckets borrow their parent's dummy until first write) and deletions
+//! leave marked nodes for later traversals to unlink. Shrinking retires
+//! the shortcut array *and* compacts away the dead buckets' dummy nodes
+//! (marked like deleted data, swept, reclaimed through the deferred
+//! queue), so repeated grow→shrink cycles do not accrete passive hops.
 //!
 //! ```
 //! use rp_splitorder::SplitOrderMap;

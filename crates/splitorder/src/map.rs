@@ -71,7 +71,9 @@ struct Node<K, V> {
 }
 
 enum NodeKind<K, V> {
-    /// A bucket's dummy node. Never marked, never unlinked (until drop).
+    /// A bucket's dummy node. Stays unmarked while its bucket is inside
+    /// the shortcut array; a shrink's compaction pass marks and unlinks
+    /// the dummies of buckets that no longer exist.
     Bucket,
     /// A data entry. The value lives behind a pointer cell so updates can
     /// replace it in place (publish new, retire old) without touching the
@@ -161,6 +163,11 @@ enum FindResult<'g, K, V> {
         prev: &'g AtomicUsize,
         succ: *mut Node<K, V>,
     },
+    /// The dummy the walk started from was itself marked dead (a shrink's
+    /// compaction caught it between the caller resolving the bucket head
+    /// and the walk). The caller must re-resolve the head — writer-side
+    /// callers repair the stale shortcut via `init_bucket`.
+    HeadDead,
 }
 
 /// A lock-free split-ordered hash map (Shalev & Shavit).
@@ -362,6 +369,10 @@ where
                     NodeKind::Data { key, .. } => key == new_key,
                     NodeKind::Bucket => false,
                 }) {
+                    FindResult::HeadDead => {
+                        // The bucket head died to a shrink compaction
+                        // mid-walk; loop to re-resolve (and repair) it.
+                    }
                     FindResult::Found { node, .. } => {
                         let NodeKind::Data { value, .. } = &node.kind else {
                             unreachable!("found node matched the data predicate");
@@ -443,14 +454,20 @@ where
         let so_key = data_so_key(hash);
         let removed = {
             let _guard = rp_rcu::pin();
-            // SAFETY: pinned above.
-            let array = unsafe { &*self.buckets.load(Ordering::Acquire) };
-            let head = self.bucket_head(array, (hash & array.mask) as usize);
             loop {
+                // SAFETY: pinned above.
+                let array = unsafe { &*self.buckets.load(Ordering::Acquire) };
+                let bucket = (hash & array.mask) as usize;
+                let head = self.bucket_head(array, bucket);
                 match self.find(head, so_key, &mut |kind| match kind {
                     NodeKind::Data { key, .. } => matches(key),
                     NodeKind::Bucket => false,
                 }) {
+                    FindResult::HeadDead => {
+                        // Stale shortcut to a dummy a shrink compaction
+                        // killed — repair it like a writer and retry.
+                        self.init_bucket(array, bucket);
+                    }
                     FindResult::Missing { .. } => break false,
                     FindResult::Found {
                         prev,
@@ -502,29 +519,116 @@ where
 
     /// Grows or shrinks the shortcut array to `buckets` (rounded to a
     /// power of two). One `compare_exchange` publishes the new array; the
-    /// old one is retired without any grace-period wait. Shrinking only
-    /// drops shortcuts — dummies of dead buckets stay in the list as
-    /// passive hops, and data never moves either way.
+    /// old one is retired without any grace-period wait, and data never
+    /// moves either way. A shrink additionally runs a compaction pass that
+    /// marks, unlinks, and retires the dummies of the buckets that no
+    /// longer exist — without it every grow→shrink cycle would leak its
+    /// dummy nodes into the list as permanent hops.
     ///
     /// An explicit grow also initializes every new bucket's dummy shortcut
-    /// eagerly (re-adopting passive dummies left by an earlier shrink).
-    /// The auto-grow on insert stays lazy — a single pointer publication —
-    /// but an administrative resize is a writer that can afford the walk,
-    /// and leaving thousands of slots null would send readers down long
-    /// parent-chain fallbacks until ordinary writers happen to warm them.
+    /// eagerly (re-adopting passive dummies a racing shrink has not yet
+    /// compacted). The auto-grow on insert stays lazy — a single pointer
+    /// publication — but an administrative resize is a writer that can
+    /// afford the walk, and leaving thousands of slots null would send
+    /// readers down long parent-chain fallbacks until ordinary writers
+    /// happen to warm them.
     pub fn resize_to(&self, buckets: usize) {
         let target = buckets.clamp(1, MAX_BUCKETS).next_power_of_two();
-        let _guard = rp_rcu::pin();
-        self.publish_size(target, true);
-        // SAFETY: pinned above.
-        let array = unsafe { &*self.buckets.load(Ordering::Acquire) };
-        // A concurrent resize may have published a different size; only
-        // warm what is actually visible.
-        for bucket in 0..array.size().min(target) {
-            if array.slots[bucket].load(Ordering::Acquire).is_null() {
-                self.init_bucket(array, bucket);
+        let shrank = {
+            let _guard = rp_rcu::pin();
+            // SAFETY: pinned above.
+            let before = unsafe { &*self.buckets.load(Ordering::Acquire) }.size();
+            self.publish_size(target, true);
+            // SAFETY: pinned above.
+            let array = unsafe { &*self.buckets.load(Ordering::Acquire) };
+            // A concurrent resize may have published a different size; only
+            // warm what is actually visible.
+            for bucket in 0..array.size().min(target) {
+                if array.slots[bucket].load(Ordering::Acquire).is_null() {
+                    self.init_bucket(array, bucket);
+                }
             }
+            before > target
+        };
+        if shrank {
+            self.compact();
         }
+    }
+
+    /// Unlinks and retires the passive dummies a shrink leaves behind:
+    /// every bucket dummy whose index falls outside the current shortcut
+    /// array is marked dead (the same logical-delete bit data nodes use),
+    /// physically removed by a sweep, and reclaimed through the deferred
+    /// queue like any other node.
+    ///
+    /// A grow racing this pass may republish a shortcut to a dummy just
+    /// before it is marked. Writers recover via [`FindResult::HeadDead`]
+    /// (repairing the slot in `init_bucket`); readers are protected
+    /// because `find` scrubs the stale shortcut *before* retiring a dying
+    /// dummy and `publish_size` re-validates freshly copied slots.
+    fn compact(&self) {
+        let _guard = rp_rcu::pin();
+        // SAFETY: pinned — the array and every linked node stay alive.
+        let array = unsafe { &*self.buckets.load(Ordering::Acquire) };
+        let size = array.size();
+        let mut curr = self.head;
+        while !curr.is_null() {
+            // SAFETY: reachable node under the pin.
+            let node = unsafe { &*curr };
+            let next_tag = node.next.load(Ordering::Acquire);
+            if !is_marked(next_tag)
+                && matches!(node.kind, NodeKind::Bucket)
+                && node.so_key != 0
+                && node.so_key.reverse_bits() as usize >= size
+            {
+                // Logical delete. A CAS failure means the successor just
+                // changed under us — the next shrink's pass gets it.
+                let _ = node.next.compare_exchange(
+                    next_tag,
+                    next_tag | MARK,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
+            }
+            curr = ptr_of(node.next.load(Ordering::Acquire));
+        }
+        // Sweep: one full walk physically unlinks everything marked.
+        let _ = self.find(self.head, u64::MAX, &mut |_| false);
+    }
+
+    /// Clears the current array's shortcut to a dying dummy, if one still
+    /// points at it. Must run before the dummy is retired, so that no
+    /// reader pinning *after* its grace period can reach the freed node
+    /// through a stale slot (readers that already loaded the slot hold a
+    /// pin, which blocks the free).
+    fn scrub_shortcut(&self, dummy: *mut Node<K, V>) {
+        // SAFETY: the caller is pinned and has not retired `dummy` yet.
+        let bucket = unsafe { &*dummy }.so_key.reverse_bits() as usize;
+        let array = unsafe { &*self.buckets.load(Ordering::Acquire) };
+        if bucket < array.size() {
+            let _ = array.slots[bucket].compare_exchange(
+                dummy,
+                ptr::null_mut(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            );
+        }
+    }
+
+    /// Total nodes currently linked into the list — bucket dummies and
+    /// data nodes, marked ones included. A structural diagnostic (the
+    /// shrink-compaction tests assert the leak stays fixed with it);
+    /// meaningful when quiesced.
+    pub fn node_count(&self) -> usize {
+        let _guard = self.pin();
+        let mut nodes = 0;
+        let mut curr = self.head;
+        while !curr.is_null() {
+            nodes += 1;
+            // SAFETY: reachable node under the pin.
+            curr = ptr_of(unsafe { &*curr }.next.load(Ordering::Acquire));
+        }
+        nodes
     }
 
     /// Runs a reclamation pass over the global deferred queue if at least
@@ -588,8 +692,9 @@ where
     }
 
     /// Structural self-check (meaningful when quiesced): split-order keys
-    /// nondecreasing along the list, dummies unmarked and correctly keyed,
-    /// every shortcut pointing at a reachable dummy for its index, and the
+    /// nondecreasing along the list, dummies correctly keyed and unmarked
+    /// (except dead buckets' dummies awaiting a compaction sweep), every
+    /// shortcut pointing at a reachable dummy for its index, and the
     /// length counter matching the live data nodes.
     pub fn check_invariants(&self) -> Result<(), String> {
         let _guard = self.pin();
@@ -617,9 +722,15 @@ where
                         return Err(format!("dummy with odd so_key {:#x}", node.so_key));
                     }
                     if is_marked(next_tag) {
-                        return Err(format!("marked dummy at so_key {:#x}", node.so_key));
-                    }
-                    if dummies.insert(node.so_key, curr as usize).is_some() {
+                        // A dying passive dummy (marked by a shrink's
+                        // compaction, not yet swept) is legal only while
+                        // its bucket sits outside the current array. It is
+                        // not canonical, so it stays out of the dummy map.
+                        let bucket = node.so_key.reverse_bits() as usize;
+                        if bucket < array.size() {
+                            return Err(format!("marked dummy for live bucket {bucket}"));
+                        }
+                    } else if dummies.insert(node.so_key, curr as usize).is_some() {
                         return Err(format!("duplicate dummy for so_key {:#x}", node.so_key));
                     }
                 }
@@ -685,28 +796,58 @@ where
     /// concurrently-spliced one), and publish the shortcut. Idempotent and
     /// lock-free; recursion depth is at most `log2(MAX_BUCKETS)`.
     ///
+    /// Doubles as the repair path for shortcuts left pointing at a dummy a
+    /// shrink compaction killed: the loop returns only once the slot holds
+    /// an unmarked dummy, clearing and re-splicing anything marked. That
+    /// post-publish validation (under the caller's pin, which also blocks
+    /// the dummy's free) is what keeps a stale publish from outliving the
+    /// retire-time scrub.
+    ///
     /// Caller must be pinned.
     fn init_bucket(&self, array: &BucketArray<K, V>, bucket: usize) -> *mut Node<K, V> {
         let slot = &array.slots[bucket];
-        let existing = slot.load(Ordering::Acquire);
-        if !existing.is_null() {
-            return existing;
+        loop {
+            let existing = slot.load(Ordering::Acquire);
+            if !existing.is_null() {
+                // SAFETY: protected by the caller's pin.
+                if !is_marked(unsafe { &*existing }.next.load(Ordering::Acquire)) {
+                    return existing;
+                }
+                // The dummy died to a compaction after this shortcut was
+                // published (its bucket came back via a grow racing the
+                // shrink). Clear the slot and splice a fresh dummy.
+                let _ = slot.compare_exchange(
+                    existing,
+                    ptr::null_mut(),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
+                continue;
+            }
+            debug_assert!(bucket > 0, "bucket 0's dummy is never null or marked");
+            let dummy = self.insert_dummy(array, bucket);
+            // Losing this race is fine: the winner published the same dummy
+            // (there is exactly one unmarked dummy per split-order key) —
+            // and the next turn of the loop validates whatever is there.
+            let _ =
+                slot.compare_exchange(ptr::null_mut(), dummy, Ordering::AcqRel, Ordering::Acquire);
         }
-        let parent = self.init_bucket(array, parent_of(bucket));
-        let dummy = self.insert_dummy(parent, dummy_so_key(bucket));
-        // Losing this race is fine: the winner published the same dummy
-        // (there is exactly one unmarked dummy per split-order key).
-        let _ = slot.compare_exchange(ptr::null_mut(), dummy, Ordering::AcqRel, Ordering::Acquire);
-        slot.load(Ordering::Acquire)
     }
 
-    /// Finds bucket `so_key`'s dummy in the list starting at `head`, or
-    /// splices a new one in. Returns the canonical dummy. Caller must be
-    /// pinned.
-    fn insert_dummy(&self, head: *mut Node<K, V>, so_key: u64) -> *mut Node<K, V> {
+    /// Finds bucket `bucket`'s dummy in the list, or splices a new one in
+    /// under its parent. Returns the canonical (live at find time) dummy.
+    /// Caller must be pinned.
+    fn insert_dummy(&self, array: &BucketArray<K, V>, bucket: usize) -> *mut Node<K, V> {
+        let so_key = dummy_so_key(bucket);
         let mut spare: *mut Node<K, V> = ptr::null_mut();
         let found = loop {
+            let head = self.init_bucket(array, parent_of(bucket));
             match self.find(head, so_key, &mut |kind| matches!(kind, NodeKind::Bucket)) {
+                FindResult::HeadDead => {
+                    // The parent died to a compaction mid-walk; re-resolve
+                    // (and repair) it.
+                    continue;
+                }
                 FindResult::Found { node, .. } => {
                     break node as *const Node<K, V> as *mut Node<K, V>;
                 }
@@ -754,11 +895,18 @@ where
         F: FnMut(&NodeKind<K, V>) -> bool,
     {
         'retry: loop {
-            // SAFETY: `head` is a dummy node — never unlinked, alive while
-            // the caller is pinned.
+            // SAFETY: `head` is a dummy node, alive while the caller is
+            // pinned (a shrink's compaction may mark it dead, but cannot
+            // free it before the pin drops).
             let head_ref: &'g Node<K, V> = unsafe { &*head };
             let mut prev: &'g AtomicUsize = &head_ref.next;
-            let mut curr = ptr_of::<K, V>(prev.load(Ordering::Acquire));
+            let first_tag = prev.load(Ordering::Acquire);
+            if is_marked(first_tag) {
+                // The start dummy was killed by a compaction; any CAS
+                // through `prev` would spin forever against the mark bit.
+                return FindResult::HeadDead;
+            }
+            let mut curr = ptr_of::<K, V>(first_tag);
             loop {
                 if curr.is_null() {
                     return FindResult::Missing { prev, succ: curr };
@@ -780,6 +928,11 @@ where
                         .is_err()
                     {
                         continue 'retry;
+                    }
+                    // A dying dummy's stale shortcut (if any) must be
+                    // scrubbed *before* the retire — see `scrub_shortcut`.
+                    if matches!(node.kind, NodeKind::Bucket) {
+                        self.scrub_shortcut(curr);
                     }
                     // SAFETY: we won the unlink CAS — sole retirer.
                     unsafe { RcuDomain::global().defer_free(curr) };
@@ -837,6 +990,27 @@ where
                 Ordering::Acquire,
             ) {
                 Ok(_) => {
+                    // A copied shortcut may point at a dummy a concurrent
+                    // compaction marked *after* the copy — re-validate the
+                    // published slots under this same pin (which blocks
+                    // the dummy's free), so no stale pointer survives the
+                    // retire-time scrub into a fresh array.
+                    // SAFETY: pinned; a marked dummy cannot be freed
+                    // before this pin drops.
+                    let new = unsafe { &*new_ptr };
+                    for slot in new.slots.iter() {
+                        let ptr = slot.load(Ordering::Acquire);
+                        if !ptr.is_null()
+                            && is_marked(unsafe { &*ptr }.next.load(Ordering::Acquire))
+                        {
+                            let _ = slot.compare_exchange(
+                                ptr,
+                                ptr::null_mut(),
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            );
+                        }
+                    }
                     // SAFETY: unpublished now; readers still inside it are
                     // covered by the grace period the deferred queue waits
                     // out before freeing.
@@ -1027,7 +1201,7 @@ mod tests {
     }
 
     #[test]
-    fn shrink_keeps_entries_and_regrow_reuses_dummies() {
+    fn shrink_keeps_entries_and_regrow_rebuilds_dummies() {
         let map: SplitOrderMap<u64, u64> = SplitOrderMap::with_buckets(64);
         for i in 0..100 {
             map.insert(i, i * 2);
@@ -1043,13 +1217,57 @@ mod tests {
         drop(guard);
         map.resize_to(256);
         assert_eq!(map.num_buckets(), 256);
-        // Touch every key so lazy bucket init re-adopts the old dummies.
+        // Touch every key; lazy bucket init rebuilds the dummies the
+        // shrink's compaction reclaimed.
         for i in 0..100 {
             assert!(!map.insert(i, i * 3));
         }
         let guard = map.pin();
         for i in 0..100 {
             assert_eq!(map.get(&i, &guard), Some(&(i * 3)));
+        }
+        drop(guard);
+        map.check_invariants().unwrap();
+        map.flush_retired();
+    }
+
+    #[test]
+    fn shrink_compaction_reclaims_dead_dummies() {
+        let map: SplitOrderMap<u64, u64> = SplitOrderMap::with_buckets(4);
+        for i in 0..100 {
+            map.insert(i, i);
+        }
+        // Establish the baseline shape at 4 buckets (the inserts auto-grew
+        // the array, so this first shrink already compacts).
+        map.resize_to(4);
+        map.flush_retired();
+        let baseline = map.node_count();
+        map.check_invariants().unwrap();
+
+        map.resize_to(256); // eager warm links ~252 extra dummies
+        assert!(map.node_count() > baseline, "grow must add dummies");
+        map.resize_to(4); // shrink marks + sweeps them
+        map.flush_retired();
+        assert_eq!(
+            map.node_count(),
+            baseline,
+            "a grow→shrink cycle must not leak dummy nodes into the list"
+        );
+        map.check_invariants().unwrap();
+
+        // Entries survived and a later regrow rebuilds fresh dummies.
+        let guard = map.pin();
+        for i in 0..100 {
+            assert_eq!(map.get(&i, &guard), Some(&i));
+        }
+        drop(guard);
+        map.resize_to(64);
+        for i in 0..100 {
+            assert!(!map.insert(i, i + 1), "keys persist across compaction");
+        }
+        let guard = map.pin();
+        for i in 0..100 {
+            assert_eq!(map.get(&i, &guard), Some(&(i + 1)));
         }
         drop(guard);
         map.check_invariants().unwrap();
