@@ -1,0 +1,14 @@
+//! Regenerates the chaos figure: GET throughput against the event-loop
+//! server before, during and after a scripted `rp-fault` burst
+//! (connection resets, short writes, handler panics, grace-period
+//! delays), gating recovery to ≥90% of the pre-burst baseline within
+//! 10 seconds of the faults disarming.
+
+fn main() -> std::io::Result<()> {
+    let cfg = rp_bench::BenchConfig::from_env();
+    eprintln!("fig_chaos on {}", cfg.host);
+    let report = rp_bench::fig_chaos(&cfg);
+    report.write_files(&cfg.out_dir, "fig_chaos")?;
+    print!("{}", report.to_markdown());
+    Ok(())
+}

@@ -21,6 +21,7 @@
 //! | `fig_obs` | (repo addition) telemetry overhead — pipelined GET throughput with `rp-obs` timers on vs off (gated ≤2%), plus a QSBR-vs-EBR server comparison measured from the server's own `STATS` per-opcode histograms |
 //! | `fig_tournament` | (repo addition) engine tournament — every map implementation (lock, rp, rp-shard, splitorder) × EBR/QSBR × four workloads (read-heavy, write-heavy, resize-storm, hot-key), plus the grow-path synchronize-call probe (split-ordered must be 0) |
 //! | `fig_c100k` | (repo addition) connection ladder — live idle connections (held by child processes) vs pipelined 4 KiB GET throughput under the global admission budget, gating buffered bytes ≤ `--max-bytes`, `SERVER_ERROR busy` sheds past `--max-conns`, and fewer `writev` syscalls than flushed segments |
+//! | `fig_chaos` | (repo addition) fault burst — GET throughput before, during and after a scripted `rp-fault` burst (connection resets, short writes, handler panics, grace delays), gating recovery to ≥90% of the pre-burst baseline within 10 s of disarm |
 //!
 //! Parameters are read from environment variables so CI and the
 //! EXPERIMENTS.md runs can trade accuracy for time:
@@ -1876,6 +1877,167 @@ pub fn fig_c100k(cfg: &BenchConfig) -> Report {
     report
 }
 
+/// The scripted plan `fig_chaos` arms during its burst window: peer
+/// resets and short writes on the wire, handler panics in the service,
+/// and grace-period delays underneath — every fault class the stack
+/// claims to contain, firing probabilistically for the whole window.
+pub const CHAOS_BURST_PLAN: &str = "net.read=econnreset@0.002;net.on_data=panic@0.001;\
+                                    net.writev=short:7@0.01;rcu.grace=delay:1ms@0.1";
+
+/// Fraction of pre-burst throughput the server must regain after the
+/// faults disarm — the figure's acceptance gate.
+pub const CHAOS_RECOVERY_FLOOR: f64 = 0.90;
+
+/// Wall-clock budget for regaining [`CHAOS_RECOVERY_FLOOR`].
+pub const CHAOS_RECOVERY_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Quiets the default panic hook for the panics `fig_chaos` injects on
+/// purpose (each one is caught by the reactor and would otherwise print a
+/// full backtrace into the figure's output); real panics still print.
+fn quiet_injected_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let original = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let expected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.contains("injected panic at failpoint"));
+            if !expected {
+                original(info);
+            }
+        }));
+    });
+}
+
+/// Figure "chaos" — GET throughput through a scripted fault burst:
+///
+/// 1. **Pre-burst**: closed-loop GETs over reconnecting driver
+///    connections establish the healthy baseline (mean of two windows
+///    after one warmup window).
+/// 2. **Burst**: [`CHAOS_BURST_PLAN`] arms — probabilistic connection
+///    resets, short writes, handler panics and grace-period delays, all
+///    inside the serving process — while the driver keeps measuring and
+///    replacing killed connections.
+/// 3. **Recovery**: the plan disarms and windows keep running until
+///    throughput regains [`CHAOS_RECOVERY_FLOOR`] of the baseline.
+///
+/// Acceptance gates: the burst actually injected faults, and recovery
+/// lands within [`CHAOS_RECOVERY_DEADLINE`].
+pub fn fig_chaos(cfg: &BenchConfig) -> Report {
+    quiet_injected_panics();
+    let mut report = Report::new(
+        "chaos: GET throughput through a scripted fault burst and back",
+        "elapsed seconds (window end)",
+        "kreq/s per window; faults armed only during the burst windows",
+    );
+    let engine: Arc<dyn CacheEngine> = Arc::new(RpEngine::with_capacity(4096));
+    let keys: Arc<Vec<String>> = Arc::new((0..64).map(|k| format!("chaos-{k}")).collect());
+    for key in keys.iter() {
+        engine.set(key, Item::new(0, vec![0x42_u8; 256]));
+    }
+    let mut server =
+        rp_kvcache::EventServer::start_from(engine, &ServerConfig::event_loop(cfg.server_workers))
+            .expect("start event server");
+    let addr = server.addr();
+    let obs = rp_obs::global();
+    let panics_before = obs.net.conn_panics_total.get();
+
+    // Short smoke windows still need enough room for reconnect backoff
+    // inside the burst to amortise.
+    let window = cfg.duration.max(Duration::from_millis(100));
+    let started = std::time::Instant::now();
+    let mut throughput = Series::new("kreq/s");
+    let mut reconnects = Series::new("driver reconnects");
+    let drive_window = |throughput: &mut Series, reconnects: &mut Series, label: &str| {
+        let result = rp_workload::drive_connections_reconnecting(
+            8,
+            4,
+            window,
+            |_idx| CacheClient::connect(addr),
+            |_thread| {
+                let keys = Arc::clone(&keys);
+                move |conn: &mut CacheClient, ordinal: u64| {
+                    conn.get(&keys[(ordinal % keys.len() as u64) as usize])
+                        .map(|_| 1)
+                }
+            },
+            4096,
+        )
+        .expect("drive chaos window");
+        let at = started.elapsed().as_secs_f64();
+        eprintln!(
+            "  {label}: {:.0} kreq/s ({} errors, {} reconnects)",
+            result.ops_per_sec() / 1e3,
+            result.errors,
+            result.reconnects,
+        );
+        throughput.push(at, result.ops_per_sec() / 1e3);
+        reconnects.push(at, result.reconnects as f64);
+        result.ops_per_sec()
+    };
+
+    // Phase 1: warmup (recorded but excluded from the baseline), then the
+    // baseline itself.
+    drive_window(&mut throughput, &mut reconnects, "warmup");
+    let pre = (drive_window(&mut throughput, &mut reconnects, "pre-burst")
+        + drive_window(&mut throughput, &mut reconnects, "pre-burst"))
+        / 2.0;
+
+    // Phase 2: the burst. The guard keeps the plan armed for exactly
+    // these windows.
+    let injected_during_burst = {
+        let _arm = rp_fault::ArmGuard::new(CHAOS_BURST_PLAN, 0xC4405);
+        let before = rp_fault::injected_total();
+        drive_window(&mut throughput, &mut reconnects, "burst");
+        drive_window(&mut throughput, &mut reconnects, "burst");
+        rp_fault::injected_total() - before
+    };
+    let handler_panics = obs.net.conn_panics_total.get() - panics_before;
+    eprintln!("  burst: {injected_during_burst} faults injected, {handler_panics} handler panics contained");
+    assert!(
+        injected_during_burst > 0,
+        "the burst window never hit an armed failpoint"
+    );
+
+    // Phase 3: recovery — windows keep running until the gate is met.
+    let disarmed = std::time::Instant::now();
+    let floor = pre * CHAOS_RECOVERY_FLOOR;
+    let recovery_secs = loop {
+        let ops = drive_window(&mut throughput, &mut reconnects, "recovery");
+        let elapsed = disarmed.elapsed();
+        if ops >= floor {
+            break elapsed.as_secs_f64();
+        }
+        assert!(
+            elapsed < CHAOS_RECOVERY_DEADLINE,
+            "throughput stuck at {:.0}/s, below {:.0}% of the {pre:.0}/s baseline \
+             {:?} after the faults disarmed",
+            ops,
+            CHAOS_RECOVERY_FLOOR * 100.0,
+            CHAOS_RECOVERY_DEADLINE,
+        );
+    };
+    eprintln!(
+        "  recovered to >= {:.0}% of baseline {recovery_secs:.2}s after disarm",
+        CHAOS_RECOVERY_FLOOR * 100.0
+    );
+    report.add_series(throughput);
+    report.add_series(reconnects);
+    let mut burst_series = Series::new("faults injected during the burst");
+    burst_series.push(0.0, injected_during_burst as f64);
+    report.add_series(burst_series);
+    let mut panic_series = Series::new("handler panics contained");
+    panic_series.push(0.0, handler_panics as f64);
+    report.add_series(panic_series);
+    let mut recovery_series = Series::new("seconds to regain 90% of baseline");
+    recovery_series.push(0.0, recovery_secs);
+    report.add_series(recovery_series);
+    server.shutdown();
+    report
+}
+
 /// Runs every figure and writes CSV + markdown into `cfg.out_dir`, plus a
 /// combined `summary.md`. Returns the reports in figure order.
 pub fn run_all(cfg: &BenchConfig) -> std::io::Result<Vec<Report>> {
@@ -1894,6 +2056,7 @@ pub fn run_all(cfg: &BenchConfig) -> std::io::Result<Vec<Report>> {
         ("fig_obs", fig_obs),
         ("fig_tournament", fig_tournament),
         ("fig_c100k", fig_c100k),
+        ("fig_chaos", fig_chaos),
     ];
     let mut reports = Vec::new();
     let mut summary = String::new();

@@ -357,6 +357,12 @@ where
     /// grace periods — the calling thread must not hold an [`rp_rcu`] read
     /// guard.
     pub fn advance_resize(&self) -> ResizeStep {
+        // Chaos hook, *before* the writer lock: an injected delay widens
+        // the window between state-machine steps, and an injected panic
+        // lands at a step boundary — the table is reader-consistent and no
+        // lock is held, so the resize is simply left mid-flight for the
+        // next advancer (or Drop completion) to finish.
+        let _ = rp_fault::point("hash.resize.step");
         let guard = self.writer_lock();
         // SAFETY: writer lock held.
         let pending = match unsafe { self.resize_op_locked() } {
@@ -467,6 +473,11 @@ where
             if self.resize_op_locked().is_some() {
                 return false;
             }
+            // Chaos hook, inside the writer-lock critical section but
+            // before any mutation: an injected panic here unwinds while
+            // holding the writer lock, exercising the poisoned-lock
+            // recovery semantics without corrupting the table.
+            let _ = rp_fault::point("hash.resize.begin");
             let old_table = self.table_locked();
             let old_buckets = old_table.len();
             let new_buckets = match old_buckets.checked_mul(2) {

@@ -16,6 +16,10 @@
 //! * `--count N` — samples to print, 0 = forever (default 0).
 //! * `--csv` — machine-readable output: one CSV header, one row per
 //!   sample, rates scaled to per-second.
+//! * `--no-reconnect` — exit on the first poll error instead of retrying
+//!   through the bounded-backoff reconnect policy. By default a dropped
+//!   server connection (restart, chaos run, transient reset) is retried a
+//!   few times with seeded exponential backoff before rpstat gives up.
 //! * `--smoke` — self-contained CI mode: starts an embedded event-loop
 //!   server, drives pipelined GET traffic at it from a background thread,
 //!   polls itself a few times (default `--count 5`, `--interval-ms 200`)
@@ -27,7 +31,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use rp_kvcache::client::CacheClient;
+use rp_kvcache::client::{CacheClient, RetryClient, RetryPolicy};
 use rp_kvcache::server::{start_server, ServerConfig};
 use rp_kvcache::RpEngine;
 
@@ -35,6 +39,7 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let csv = take_flag(&mut args, "--csv");
     let smoke = take_flag(&mut args, "--smoke");
+    let no_reconnect = take_flag(&mut args, "--no-reconnect");
     let interval_ms: u64 = take_value(&mut args, "--interval-ms")
         .map(|v| v.parse().expect("--interval-ms needs a number"))
         .unwrap_or(if smoke { 200 } else { 1000 })
@@ -49,11 +54,16 @@ fn main() {
         std::process::exit(2);
     }
 
+    let policy = if no_reconnect {
+        RetryPolicy::no_reconnect()
+    } else {
+        RetryPolicy::default()
+    };
     let outcome = if smoke {
-        run_smoke(interval_ms, count.max(1), csv)
+        run_smoke(interval_ms, count.max(1), csv, policy)
     } else {
         let addr = addr.unwrap_or_else(|| "127.0.0.1:11211".parse().unwrap());
-        run(addr, interval_ms, count, csv).map(|_| ())
+        run(addr, interval_ms, count, csv, policy).map(|_| ())
     };
     if let Err(e) = outcome {
         eprintln!("rpstat: {e}");
@@ -236,8 +246,18 @@ fn print_row(row: &Row, csv: bool) {
 
 /// The polling loop: sample, diff, print, sleep. Returns the rows printed
 /// so `--smoke` can assert on them.
-fn run(addr: SocketAddr, interval_ms: u64, count: u64, csv: bool) -> std::io::Result<Vec<Row>> {
-    let mut client = CacheClient::connect(addr)?;
+///
+/// Polling goes through a [`RetryClient`], so a dropped connection is
+/// re-established under `policy` (bounded attempts with seeded backoff);
+/// only an error that outlives the whole retry budget ends the loop.
+fn run(
+    addr: SocketAddr,
+    interval_ms: u64,
+    count: u64,
+    csv: bool,
+    policy: RetryPolicy,
+) -> std::io::Result<Vec<Row>> {
+    let mut client = RetryClient::new(addr, policy);
     let parse_err =
         |json: &str| std::io::Error::other(format!("unparsable STATS JSON reply: {json}"));
     let started = std::time::Instant::now();
@@ -275,7 +295,7 @@ fn run(addr: SocketAddr, interval_ms: u64, count: u64, csv: bool) -> std::io::Re
 /// `--smoke`: an embedded server plus a pipelined GET loader, polled by
 /// the ordinary loop. Fails unless every sample parsed and the loader's
 /// traffic showed up as a nonzero GET rate.
-fn run_smoke(interval_ms: u64, count: u64, csv: bool) -> std::io::Result<()> {
+fn run_smoke(interval_ms: u64, count: u64, csv: bool, policy: RetryPolicy) -> std::io::Result<()> {
     let engine = Arc::new(RpEngine::new());
     let mut server = start_server(engine, &ServerConfig::event_loop(2))
         .map_err(|e| std::io::Error::other(format!("embedded server: {e}")))?;
@@ -290,7 +310,7 @@ fn run_smoke(interval_ms: u64, count: u64, csv: bool) -> std::io::Result<()> {
             .expect("spawn loader")
     };
 
-    let outcome = run(addr, interval_ms, count, csv);
+    let outcome = run(addr, interval_ms, count, csv, policy);
     stop.store(true, Ordering::SeqCst);
     let served = loader.join().expect("loader thread panicked")?;
     server.shutdown();

@@ -226,6 +226,10 @@ impl EventServer {
         // `rp_rcu::stall`): a wedged reader surfaces in STATS TRACE and
         // `rcu_grace_stalls_total` instead of as a silent writer hang.
         rp_rcu::stall::ensure_global_watchdog();
+        // Arm scripted fault injection when RP_FAULT_PLAN is set (no-op —
+        // one relaxed load per failpoint — otherwise). Serving binaries
+        // call through here, so chaos runs need no code changes.
+        rp_fault::arm_from_env();
         let read_side = config.read_side;
         let net = NetConfig {
             workers: config.workers.max(1),
@@ -237,6 +241,10 @@ impl EventServer {
             // A peer shed at admission hears why, in protocol terms,
             // instead of a bare close.
             shed_reply: b"SERVER_ERROR busy\r\n".to_vec(),
+            // A connection whose handler panicked hears why too; the panic
+            // itself is contained by the reactor (the worker keeps
+            // serving) and only the poisoned connection is shed.
+            panic_reply: b"SERVER_ERROR internal panic\r\n".to_vec(),
             ..NetConfig::default()
         };
         let service = Arc::new(KvService::new(Arc::clone(&engine), read_side));

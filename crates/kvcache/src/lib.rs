@@ -67,6 +67,7 @@ pub mod event_server;
 pub mod server;
 pub mod telemetry;
 
+pub use client::{CacheClient, RetryClient, RetryPolicy};
 pub use engine::{CacheEngine, CacheStats, EngineReadCtx, ReadSide, StoreOutcome};
 pub use event_server::{EventServer, KvService};
 pub use item::Item;

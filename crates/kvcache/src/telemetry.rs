@@ -462,13 +462,15 @@ END\r\n";
             "\"kv_slow_logged_total\":0},",
             "\"net\":{\"net_accepts_total\":1,\"net_conns_shed_total\":0,",
             "\"net_accept_errors_total\":0,",
-            "\"net_idle_reaped_total\":0,\"net_watermark_trips_total\":0,",
+            "\"net_idle_reaped_total\":0,\"net_conn_panics_total\":0,",
+            "\"net_accept_backoffs_total\":0,\"net_drains_expired_total\":0,",
+            "\"net_watermark_trips_total\":0,",
             "\"net_backpressure_stalls_total\":0,",
             "\"net_flush_syscalls_total\":0,\"net_flush_segments_total\":0,",
             "\"net_connections\":0,\"net_bytes_buffered\":0,",
             "\"net_batch_size\":Z},",
             "\"maint\":{\"maint_slice_ns\":Z,\"maint_queue_depth\":0,",
-            "\"maint_slices_total\":0},",
+            "\"maint_slices_total\":0,\"maint_worker_panics_total\":0},",
             "\"resize\":{\"resize_grace_wait_ns\":Z,\"resize_step_ns\":Z,",
             "\"resize_begun_total\":0,\"resize_finished_total\":0,",
             "\"shard_imbalance_milli\":0},",

@@ -13,6 +13,7 @@ pub(crate) struct AtomicMaintStats {
     pub(crate) resizes_finished: AtomicU64,
     pub(crate) requeues: AtomicU64,
     pub(crate) reclaim_passes: AtomicU64,
+    pub(crate) worker_panics: AtomicU64,
     pub(crate) max_debt: AtomicU64,
 }
 
@@ -27,6 +28,7 @@ impl AtomicMaintStats {
             resizes_finished: self.resizes_finished.load(Ordering::Relaxed),
             requeues: self.requeues.load(Ordering::Relaxed),
             reclaim_passes: self.reclaim_passes.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
             max_debt: self.max_debt.load(Ordering::Relaxed),
         }
     }
@@ -59,6 +61,10 @@ pub struct MaintStats {
     pub requeues: u64,
     /// Deferred-reclamation passes run on the global RCU domain.
     pub reclaim_passes: u64,
+    /// Panics caught by worker supervision: a `step` (or heartbeat /
+    /// drain pass) unwound and was contained — the worker kept serving
+    /// and the unit was re-queued at most once.
+    pub worker_panics: u64,
     /// Maximum work-queue depth observed by a requesting writer — the
     /// worst resize debt any writer has seen the maintainer carrying.
     pub max_debt: u64,

@@ -2,6 +2,7 @@
 //! wakeups, per-unit exclusion, fairness and the shutdown drain handshake.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -63,6 +64,12 @@ struct QueueState {
     /// it, which is what keeps two workers out of one unit's resize state
     /// machine.
     in_flight: Vec<usize>,
+    /// Units that panicked mid-step and were re-queued by the supervisor.
+    /// A unit in this set that panics *again* is dropped instead of
+    /// re-queued (re-queue **once**), so a deterministically-poisoned unit
+    /// cannot wedge the pool in a panic loop. A clean (non-panicking)
+    /// slice clears the mark.
+    panic_requeued: Vec<usize>,
     shutdown: bool,
 }
 
@@ -98,6 +105,7 @@ impl MaintThread {
             queue: Mutex::new(QueueState {
                 items: VecDeque::new(),
                 in_flight: Vec::new(),
+                panic_requeued: Vec::new(),
                 shutdown: false,
             }),
             wakeup: Condvar::new(),
@@ -111,7 +119,35 @@ impl MaintThread {
                 let config = config.clone();
                 std::thread::Builder::new()
                     .name(format!("rp-maint-{idx}"))
-                    .spawn(move || run(idx, workers, target, shared, config))
+                    .spawn(move || {
+                        // Supervision: unit-level panics are contained
+                        // inside `run` (the unit is re-queued once); a
+                        // panic that escapes anyway — from a heartbeat
+                        // reclamation pass or the shutdown drain — is
+                        // caught here and the worker re-enters its loop,
+                        // i.e. it is respawned in place on the same
+                        // thread. The pool never silently loses a worker.
+                        loop {
+                            let result = catch_unwind(AssertUnwindSafe(|| {
+                                run(
+                                    idx,
+                                    workers,
+                                    Arc::clone(&target),
+                                    Arc::clone(&shared),
+                                    config.clone(),
+                                )
+                            }));
+                            match result {
+                                Ok(()) => break,
+                                Err(_) => {
+                                    shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+                                    let obs = rp_obs::global();
+                                    obs.maint.worker_panics_total.inc();
+                                    obs.trace.record(rp_obs::TraceKind::MaintPanic, idx as u64);
+                                }
+                            }
+                        }
+                    })
                     .expect("failed to spawn maintenance worker")
             })
             .collect();
@@ -284,7 +320,13 @@ fn run(
                 let mut steps = 0_usize;
                 let mut exhausted_slice = false;
                 let slice_timer = rp_obs::timer();
-                loop {
+                // Panic containment: a `target.step` that unwinds (an
+                // injected failpoint, a bug in one shard's resize) must
+                // not kill the worker — the other units still need
+                // maintenance. The unit's in-flight mark is cleared and
+                // the unit is re-queued **once** so a transient panic gets
+                // a retry while a deterministic one cannot loop forever.
+                let outcome = catch_unwind(AssertUnwindSafe(|| loop {
                     let step = target.step(unit, StepMode::Normal);
                     record(&shared.stats, step);
                     if step == MaintStep::Idle {
@@ -297,12 +339,30 @@ fn run(
                         exhausted_slice = true;
                         break;
                     }
+                }));
+                if outcome.is_err() {
+                    shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+                    let obs = rp_obs::global();
+                    obs.maint.worker_panics_total.inc();
+                    obs.trace.record(rp_obs::TraceKind::MaintPanic, unit as u64);
+                    let mut q = shared.queue.lock();
+                    q.in_flight.retain(|&held| held != unit);
+                    if !q.shutdown && !q.panic_requeued.contains(&unit) {
+                        q.panic_requeued.push(unit);
+                        q.items.push_back(unit);
+                        shared.stats.requeues.fetch_add(1, Ordering::Relaxed);
+                        shared.wakeup.notify_one();
+                    }
+                    continue;
                 }
                 // Return the unit: clear its in-flight mark (other workers
                 // may step it again) and requeue it if its slice ran out.
                 {
                     let mut q = shared.queue.lock();
                     q.in_flight.retain(|&held| held != unit);
+                    // A clean slice proves the unit healthy again: it earns
+                    // back its one post-panic retry.
+                    q.panic_requeued.retain(|&held| held != unit);
                     if exhausted_slice && !q.shutdown {
                         q.items.push_back(unit);
                         shared.stats.requeues.fetch_add(1, Ordering::Relaxed);
@@ -339,12 +399,21 @@ fn run(
     let exited = shared.exited.fetch_add(1, Ordering::AcqRel) + 1;
     if exited == workers {
         for unit in 0..target.units() {
-            loop {
+            // A unit that panics mid-drain is abandoned (not retried:
+            // the process is shutting down) so the remaining units still
+            // get their drain sweep.
+            let outcome = catch_unwind(AssertUnwindSafe(|| loop {
                 let step = target.step(unit, StepMode::Drain);
                 if step == MaintStep::Idle {
                     break;
                 }
                 record(&shared.stats, step);
+            }));
+            if outcome.is_err() {
+                shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+                let obs = rp_obs::global();
+                obs.maint.worker_panics_total.inc();
+                obs.trace.record(rp_obs::TraceKind::MaintPanic, unit as u64);
             }
         }
         // Leave no deferred destructors behind either.

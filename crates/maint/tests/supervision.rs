@@ -1,0 +1,184 @@
+//! Maintenance-worker supervision: a panicking `MaintTarget::step` must be
+//! contained (the worker keeps serving other units), the panicked unit must
+//! be re-queued exactly once, and the panic must be counted.
+//!
+//! These tests panic on purpose; a quiet hook keeps the expected unwinds
+//! out of the test log while still letting *unexpected* panics print.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rp_maint::{MaintConfig, MaintStep, MaintTarget, MaintThread, StepMode};
+
+/// Installs a panic hook that suppresses messages for panics carrying the
+/// given marker (the supervisor catches them anyway).
+fn quiet_expected_panics(marker: &'static str) {
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let expected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| s.contains(marker))
+            .or_else(|| {
+                info.payload()
+                    .downcast_ref::<String>()
+                    .map(|s| s.contains(marker))
+            })
+            .unwrap_or(false);
+        if !expected {
+            default(info);
+        }
+    }));
+}
+
+/// Unit 0 panics on every `Normal` step (attempts are counted); the other
+/// units are 3-step countdowns. `Drain` mode is a no-op so shutdown stays
+/// quiet.
+struct PoisonedUnit {
+    attempts_on_poisoned: AtomicUsize,
+    countdowns: Vec<AtomicUsize>,
+}
+
+impl PoisonedUnit {
+    fn new(units: usize) -> Self {
+        PoisonedUnit {
+            attempts_on_poisoned: AtomicUsize::new(0),
+            countdowns: (0..units).map(|_| AtomicUsize::new(3)).collect(),
+        }
+    }
+}
+
+impl MaintTarget for PoisonedUnit {
+    fn units(&self) -> usize {
+        self.countdowns.len()
+    }
+
+    fn step(&self, unit: usize, mode: StepMode) -> MaintStep {
+        if mode == StepMode::Drain {
+            return MaintStep::Idle;
+        }
+        if unit == 0 {
+            self.attempts_on_poisoned.fetch_add(1, Ordering::SeqCst);
+            panic!("supervision-test: injected step panic");
+        }
+        let remaining = self.countdowns[unit].load(Ordering::SeqCst);
+        if remaining == 0 {
+            return MaintStep::Idle;
+        }
+        self.countdowns[unit].store(remaining - 1, Ordering::SeqCst);
+        match remaining {
+            1 => MaintStep::Finished,
+            3 => MaintStep::Began,
+            _ => MaintStep::Splice,
+        }
+    }
+}
+
+/// Unit 0 panics on its first `Normal` step only, then counts down like the
+/// rest — the transient-failure case the one-shot re-queue exists for.
+struct TransientPanic {
+    panicked: AtomicUsize,
+    countdown: AtomicUsize,
+}
+
+impl MaintTarget for TransientPanic {
+    fn units(&self) -> usize {
+        1
+    }
+
+    fn step(&self, _unit: usize, mode: StepMode) -> MaintStep {
+        if mode == StepMode::Drain {
+            return MaintStep::Idle;
+        }
+        if self.panicked.fetch_add(1, Ordering::SeqCst) == 0 {
+            panic!("supervision-test: transient step panic");
+        }
+        let remaining = self.countdown.load(Ordering::SeqCst);
+        if remaining == 0 {
+            return MaintStep::Idle;
+        }
+        self.countdown.store(remaining - 1, Ordering::SeqCst);
+        if remaining == 1 {
+            MaintStep::Finished
+        } else {
+            MaintStep::Splice
+        }
+    }
+}
+
+fn wait_until(mut done: impl FnMut() -> bool) {
+    for _ in 0..2000 {
+        if done() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(done(), "condition not reached within the bounded wait");
+}
+
+#[test]
+fn panicking_unit_is_contained_requeued_once_and_counted() {
+    quiet_expected_panics("supervision-test");
+    let target = Arc::new(PoisonedUnit::new(3));
+    let handle = MaintThread::spawn(
+        Arc::clone(&target) as Arc<dyn MaintTarget>,
+        MaintConfig::default(),
+    );
+
+    handle.request(0); // will panic
+    handle.request(1); // must still complete despite the panic
+
+    // The poisoned unit is attempted, re-queued once by the supervisor,
+    // attempted again, and then dropped: exactly two attempts.
+    wait_until(|| target.attempts_on_poisoned.load(Ordering::SeqCst) >= 2);
+    wait_until(|| target.countdowns[1].load(Ordering::SeqCst) == 0);
+    std::thread::sleep(Duration::from_millis(20));
+    assert_eq!(
+        target.attempts_on_poisoned.load(Ordering::SeqCst),
+        2,
+        "a deterministically-panicking unit gets its initial attempt plus \
+         exactly one supervised retry"
+    );
+
+    // The worker survived: it still serves fresh requests for other units
+    // and honors *new* external requests for the poisoned one (a single
+    // fresh attempt; still no supervised re-queue since it never completed
+    // a clean slice).
+    handle.request(2);
+    wait_until(|| target.countdowns[2].load(Ordering::SeqCst) == 0);
+    handle.request(0);
+    wait_until(|| target.attempts_on_poisoned.load(Ordering::SeqCst) >= 3);
+    std::thread::sleep(Duration::from_millis(20));
+    assert_eq!(target.attempts_on_poisoned.load(Ordering::SeqCst), 3);
+
+    let stats = handle.stats();
+    assert_eq!(
+        stats.worker_panics, 3,
+        "every contained panic is counted: {stats:?}"
+    );
+    assert_eq!(stats.resizes_finished, 2, "units 1 and 2 completed");
+    handle.shutdown();
+}
+
+#[test]
+fn transient_panic_recovers_via_the_single_requeue() {
+    quiet_expected_panics("supervision-test");
+    let target = Arc::new(TransientPanic {
+        panicked: AtomicUsize::new(0),
+        countdown: AtomicUsize::new(3),
+    });
+    let handle = MaintThread::spawn(
+        Arc::clone(&target) as Arc<dyn MaintTarget>,
+        MaintConfig::default(),
+    );
+    handle.request(0);
+    wait_until(|| target.countdown.load(Ordering::SeqCst) == 0);
+    let stats = handle.stats();
+    assert_eq!(stats.worker_panics, 1);
+    assert_eq!(
+        stats.resizes_finished, 1,
+        "the one-shot re-queue finished the unit after its transient panic"
+    );
+    handle.shutdown();
+}

@@ -51,8 +51,13 @@ impl ByteBudget {
     }
 
     /// `true` while the ledger is at or over its ceiling — the signal to
-    /// refuse accepts and pause reads.
+    /// refuse accepts and pause reads. The `net.budget` failpoint can
+    /// force exhaustion so chaos plans exercise the shed/throttle paths
+    /// without actually buffering gigabytes.
     pub fn exhausted(&self) -> bool {
+        if rp_fault::point("net.budget").is_some() {
+            return true;
+        }
         self.used.load(Ordering::Relaxed) >= self.max
     }
 

@@ -3,7 +3,8 @@
 use std::io::{self, Read};
 use std::net::TcpStream;
 use std::os::unix::io::{AsRawFd, RawFd};
-use std::time::Instant;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 use crate::budget::ByteBudget;
 use crate::buffer::{FdSink, FlushState, WriteBuf};
@@ -52,6 +53,11 @@ pub(crate) struct Connection<S: Service> {
     /// Reads paused because the global byte budget was exhausted; cleared
     /// by the worker once the budget recovers.
     throttled: bool,
+    /// When the connection entered `Draining`. A peer that never drains
+    /// its final flush (zero window, absent reader) is force-closed once
+    /// this is older than the drain timeout — a drain must not hang on
+    /// one unflushable socket.
+    draining_since: Option<Instant>,
 }
 
 impl<S: Service> Connection<S> {
@@ -67,7 +73,34 @@ impl<S: Service> Connection<S> {
             last_activity: Instant::now(),
             charged: 0,
             throttled: false,
+            draining_since: None,
         }
+    }
+
+    /// Open → Draining, stamping the drain clock exactly once.
+    fn start_draining(&mut self) {
+        if self.phase == ConnState::Open {
+            self.phase = ConnState::Draining;
+        }
+        if self.draining_since.is_none() {
+            self.draining_since = Some(Instant::now());
+        }
+    }
+
+    /// `true` when the connection has sat in `Draining` with bytes still
+    /// queued for at least `timeout` — the signal to stop waiting for a
+    /// peer that is never going to read its final responses.
+    pub(crate) fn drain_expired(&self, now: Instant, timeout: Duration) -> bool {
+        self.phase == ConnState::Draining
+            && self
+                .draining_since
+                .is_some_and(|since| now.saturating_duration_since(since) >= timeout)
+    }
+
+    /// Bytes still queued toward the peer (trace payload for an expired
+    /// drain).
+    pub(crate) fn queued_bytes(&self) -> usize {
+        self.out.len()
     }
 
     pub(crate) fn fd(&self) -> RawFd {
@@ -98,6 +131,10 @@ impl<S: Service> Connection<S> {
 
     pub(crate) fn finished(&self) -> bool {
         matches!(self.phase, ConnState::Closed)
+    }
+
+    pub(crate) fn is_draining(&self) -> bool {
+        matches!(self.phase, ConnState::Draining)
     }
 
     /// `true` when the connection has made no progress for `now -
@@ -140,11 +177,21 @@ impl<S: Service> Connection<S> {
                     .record(rp_obs::TraceKind::Backpressure, bytes.used() as u64);
                 break;
             }
-            match self.stream.read(chunk) {
+            let read_result = match rp_fault::point("net.read") {
+                Some(rp_fault::IoFault::Error(e)) => Err(e),
+                // A scripted short read still reads real bytes — it only
+                // clamps how many arrive per call.
+                Some(rp_fault::IoFault::Short(n)) => {
+                    let cap = n.clamp(1, chunk.len());
+                    self.stream.read(&mut chunk[..cap])
+                }
+                None => self.stream.read(chunk),
+            };
+            match read_result {
                 Ok(0) => {
                     // Peer finished sending. Answer what it already sent,
                     // flush, close.
-                    self.phase = ConnState::Draining;
+                    self.start_draining();
                     break;
                 }
                 Ok(n) => {
@@ -233,9 +280,7 @@ impl<S: Service> Connection<S> {
         if self.phase == ConnState::Open {
             self.on_readable(service, worker, config, pool, bytes, chunk);
         }
-        if self.phase == ConnState::Open {
-            self.phase = ConnState::Draining;
-        }
+        self.start_draining();
         self.flush(pool);
         self.settle(bytes);
     }
@@ -262,28 +307,60 @@ impl<S: Service> Connection<S> {
             Some(max) => max.saturating_sub(self.served),
             None => u64::MAX,
         };
-        let mut io = ConnIo {
-            input: &mut self.input,
-            out: self.out.with_pool(pool),
-            requests: 0,
-            request_quota: quota,
+        // A panicking service must not take the worker (and every other
+        // connection it serves) down with it. The connection's own state is
+        // what the unwind may have torn — connection state and buffers are
+        // poisoned-and-shed below, and the worker/service state is required
+        // to stay consistent across an unwinding `on_data` (the kv service
+        // keeps per-worker state in plain counters and a read-side handle,
+        // both fine to reuse), which is what the `AssertUnwindSafe` asserts.
+        let outcome = {
+            let input = &mut self.input;
+            let out = &mut self.out;
+            let state = &mut self.state;
+            catch_unwind(AssertUnwindSafe(move || {
+                // Lets a chaos plan inject a handler panic without needing a
+                // deliberately-broken service.
+                let _ = rp_fault::point("net.on_data");
+                let mut io = ConnIo {
+                    input,
+                    out: out.with_pool(pool),
+                    requests: 0,
+                    request_quota: quota,
+                };
+                let action = service.on_data(worker, state, &mut io);
+                (action, io.requests)
+            }))
         };
-        let action = service.on_data(worker, &mut self.state, &mut io);
-        let requests = io.requests;
+        let (action, requests) = match outcome {
+            Ok(pair) => pair,
+            Err(_) => {
+                // Poisoned connection: the decoder may have died mid-frame,
+                // so nothing buffered can be trusted. Drop the input, tell
+                // the peer in protocol terms, and shed the connection —
+                // the worker keeps serving everyone else.
+                self.input.clear();
+                if !config.panic_reply.is_empty() {
+                    self.out.push(config.panic_reply.clone());
+                }
+                self.start_draining();
+                let obs = rp_obs::global();
+                obs.net.conn_panics_total.inc();
+                obs.trace
+                    .record(rp_obs::TraceKind::ConnPanic, self.fd() as u64);
+                return;
+            }
+        };
         self.served = self.served.saturating_add(requests);
         match action {
             Action::Continue => {}
-            Action::Close => {
-                if self.phase == ConnState::Open {
-                    self.phase = ConnState::Draining;
-                }
-            }
+            Action::Close => self.start_draining(),
         }
         if let Some(max) = config.max_requests_per_conn {
-            if self.served >= max && self.phase == ConnState::Open {
+            if self.served >= max {
                 // Budget spent: everything answered so far still flushes,
                 // then the connection closes.
-                self.phase = ConnState::Draining;
+                self.start_draining();
             }
         }
     }

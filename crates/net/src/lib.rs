@@ -222,9 +222,21 @@ pub struct NetConfig {
     /// `SERVER_ERROR busy\r\n` for a memcache-flavored service). Empty
     /// (the default) sheds silently.
     pub shed_reply: Vec<u8>,
+    /// Queued toward a connection whose handler panicked, before the
+    /// connection is shed (the panic is contained: the worker keeps
+    /// serving its other connections). Empty (the default) sheds silently.
+    pub panic_reply: Vec<u8>,
     /// How long graceful shutdown keeps flushing queued responses before
-    /// force-closing stragglers.
+    /// force-closing stragglers. Also the deadline for a *single*
+    /// connection stuck in its drain during normal operation: a peer that
+    /// never reads its final responses is force-closed once the flush has
+    /// been pending this long.
     pub drain_timeout: Duration,
+    /// How long the listener stays disarmed after `accept()` returns
+    /// EMFILE/ENFILE (fd-table exhaustion). Without the backoff a
+    /// level-triggered listener would re-fire instantly and spin the
+    /// worker at 100% while accepting nothing.
+    pub accept_backoff: Duration,
     /// Close a connection that has made no progress (no bytes read from
     /// it, no response bytes flushed to it) for this long. `None` (the
     /// default) never reaps.
@@ -254,7 +266,9 @@ impl Default for NetConfig {
             max_connections: usize::MAX,
             max_total_bytes: usize::MAX,
             shed_reply: Vec::new(),
+            panic_reply: Vec::new(),
             drain_timeout: Duration::from_secs(5),
+            accept_backoff: Duration::from_millis(50),
             idle_timeout: None,
             max_requests_per_conn: None,
             pool_buffers: 64,

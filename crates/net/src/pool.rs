@@ -31,8 +31,13 @@ impl BufPool {
     }
 
     /// Takes a cleared buffer from the pool (empty, but typically with warm
-    /// capacity), or a fresh empty one when the pool is dry.
+    /// capacity), or a fresh empty one when the pool is dry. The
+    /// `net.pool` failpoint simulates a dry pool (a fresh, cold
+    /// allocation) so chaos plans cover the grant-miss path.
     pub fn take(&mut self) -> Vec<u8> {
+        if rp_fault::point("net.pool").is_some() {
+            return Vec::new();
+        }
         self.free.pop().unwrap_or_default()
     }
 

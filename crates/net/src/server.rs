@@ -4,7 +4,7 @@
 //! a single socket), plus per-worker connection tables, buffer pools and
 //! wakeup eventfds.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::os::unix::io::AsRawFd;
@@ -25,6 +25,15 @@ const TOKEN_LISTENER: u64 = u64::MAX;
 /// Token for a worker's wakeup eventfd.
 const TOKEN_WAKER: u64 = u64::MAX - 1;
 
+/// `ENFILE`: the system-wide file table is full.
+const ENFILE: i32 = 23;
+/// `EMFILE`: the process's fd table is full.
+const EMFILE: i32 = 24;
+
+fn min_timeout(current: Option<Duration>, candidate: Duration) -> Option<Duration> {
+    Some(current.map_or(candidate, |c| c.min(candidate)))
+}
+
 /// Counters aggregated across workers.
 #[derive(Debug, Clone, Default)]
 pub struct NetStats {
@@ -40,6 +49,12 @@ pub struct NetStats {
     pub accept_errors: u64,
     /// Connections closed by the idle reaper.
     pub idle_reaped: u64,
+    /// Draining connections force-closed at the drain deadline because
+    /// the peer never drained the final flush.
+    pub drains_expired: u64,
+    /// Times the listener was backed off after `accept()` returned
+    /// EMFILE/ENFILE (fd-table exhaustion).
+    pub accept_backoffs: u64,
     /// Bytes currently buffered across all connections (the level the
     /// global byte budget bounds).
     pub bytes_buffered: usize,
@@ -52,6 +67,8 @@ struct Shared {
     refused: AtomicU64,
     accept_errors: AtomicU64,
     idle_reaped: AtomicU64,
+    drains_expired: AtomicU64,
+    accept_backoffs: AtomicU64,
     current: AtomicUsize,
     /// The process-wide buffered-byte ledger (admission control).
     bytes: ByteBudget,
@@ -86,6 +103,8 @@ impl EventLoop {
             refused: AtomicU64::new(0),
             accept_errors: AtomicU64::new(0),
             idle_reaped: AtomicU64::new(0),
+            drains_expired: AtomicU64::new(0),
+            accept_backoffs: AtomicU64::new(0),
             current: AtomicUsize::new(0),
             bytes: ByteBudget::new(config.max_total_bytes),
         });
@@ -135,6 +154,8 @@ impl EventLoop {
             refused: self.shared.refused.load(Ordering::Relaxed),
             accept_errors: self.shared.accept_errors.load(Ordering::Relaxed),
             idle_reaped: self.shared.idle_reaped.load(Ordering::Relaxed),
+            drains_expired: self.shared.drains_expired.load(Ordering::Relaxed),
+            accept_backoffs: self.shared.accept_backoffs.load(Ordering::Relaxed),
             current_connections: self.shared.current.load(Ordering::Relaxed),
             bytes_buffered: self.shared.bytes.used(),
         }
@@ -182,6 +203,15 @@ struct Worker<S: Service> {
     /// the budget may be freed by *another* worker's flushes, which cannot
     /// wake this one's epoll.
     throttled_reads: bool,
+    /// Listener backed off after `accept()` hit EMFILE/ENFILE: EPOLLIN on
+    /// the (level-triggered) listener is disarmed until this deadline, or
+    /// the worker would spin re-accepting into an exhausted fd table.
+    listener_paused_until: Option<Instant>,
+    /// Connections currently in `Draining` during normal operation. The
+    /// drain-deadline sweep only visits these, and their presence puts the
+    /// poll timeout on a leash (an absent peer generates no events, so the
+    /// deadline needs a timer).
+    draining_conns: HashSet<u64>,
 }
 
 impl<S: Service> Worker<S> {
@@ -208,6 +238,8 @@ impl<S: Service> Worker<S> {
             scratch,
             pool,
             throttled_reads: false,
+            listener_paused_until: None,
+            draining_conns: HashSet::new(),
         })
     }
 
@@ -227,8 +259,27 @@ impl<S: Service> Worker<S> {
         // thread-local resources (e.g. a QSBR read handle) to this worker.
         let mut wstate = self.service.on_worker_start(self.idx);
 
+        // Draining connections need a timer (an absent peer generates no
+        // readiness), but the deadline does not need to be sharp.
+        let drain_leash = (self.config.drain_timeout / 4)
+            .clamp(Duration::from_millis(10), Duration::from_secs(1));
+
         loop {
-            let timeout = if draining || self.throttled_reads {
+            let now = Instant::now();
+            if let Some(at) = self.listener_paused_until {
+                if now >= at && !draining {
+                    // The backoff elapsed: re-arm the listener. Accept
+                    // sharding survives because the other workers kept
+                    // their EPOLLEXCLUSIVE registrations all along.
+                    let _ = self.poller.add_exclusive(
+                        self.shared.listener.as_raw_fd(),
+                        EPOLLIN,
+                        TOKEN_LISTENER,
+                    );
+                    self.listener_paused_until = None;
+                }
+            }
+            let mut timeout = if draining || self.throttled_reads {
                 // Draining: poll fast for the deadline. Throttled: the byte
                 // budget may recover via another worker's flushes, which
                 // cannot wake this epoll — check on a short leash.
@@ -237,8 +288,14 @@ impl<S: Service> Worker<S> {
                 // Wake in time for the next idle sweep; with no sweeps
                 // configured, block indefinitely (shutdown arrives via the
                 // waker).
-                next_sweep.map(|at| at.saturating_duration_since(Instant::now()))
+                next_sweep.map(|at| at.saturating_duration_since(now))
             };
+            if let Some(at) = self.listener_paused_until {
+                timeout = min_timeout(timeout, at.saturating_duration_since(now));
+            }
+            if !self.draining_conns.is_empty() {
+                timeout = min_timeout(timeout, drain_leash);
+            }
             self.service.on_park(&mut wstate);
             let waited = self.poller.wait(timeout, |ev| pending.push(ev));
             self.service.on_unpark(&mut wstate);
@@ -279,6 +336,10 @@ impl<S: Service> Worker<S> {
                     self.reap_idle(now);
                     next_sweep = Some(now + every);
                 }
+            }
+
+            if !draining {
+                self.expire_drains(Instant::now());
             }
 
             if !draining && self.shared.shutdown.load(Ordering::SeqCst) {
@@ -335,7 +396,12 @@ impl<S: Service> Worker<S> {
     /// silent hang.
     fn accept_ready(&mut self) {
         loop {
-            match self.shared.listener.accept() {
+            let accepted = match rp_fault::point("net.accept") {
+                Some(rp_fault::IoFault::Error(e)) => Err(e),
+                // A "short" accept has no meaning; fall through.
+                Some(rp_fault::IoFault::Short(_)) | None => self.shared.listener.accept(),
+            };
+            match accepted {
                 Ok((mut stream, peer)) => {
                     let live = self.shared.current.load(Ordering::Relaxed);
                     if live >= self.config.max_connections || self.shared.bytes.exhausted() {
@@ -386,10 +452,36 @@ impl<S: Service> Worker<S> {
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) if matches!(e.raw_os_error(), Some(EMFILE) | Some(ENFILE)) => {
+                    // The fd table is exhausted. The listener is
+                    // level-triggered, so breaking would re-fire its
+                    // readiness instantly and spin the worker at 100% while
+                    // accepting nothing — disarm EPOLLIN on it and come
+                    // back after a backoff instead. The pending peer waits
+                    // in the accept queue (or gets picked up by a worker
+                    // that still has fds).
+                    self.pause_listener(e);
+                    break;
+                }
                 // Transient accept errors (ECONNABORTED etc.): keep going.
                 Err(_) => break,
             }
         }
+    }
+
+    /// Disarms the listener until a short backoff elapses (see
+    /// `listener_paused_until`): `accept()` said the process is out of
+    /// file descriptors, and retrying in a tight loop cannot fix that.
+    fn pause_listener(&mut self, error: io::Error) {
+        let _ = self.poller.delete(self.shared.listener.as_raw_fd());
+        self.listener_paused_until = Some(Instant::now() + self.config.accept_backoff);
+        self.shared.accept_backoffs.fetch_add(1, Ordering::Relaxed);
+        let obs = rp_obs::global();
+        obs.net.accept_backoffs_total.inc();
+        obs.trace.record(
+            rp_obs::TraceKind::AcceptBackoff,
+            error.raw_os_error().unwrap_or(0) as u64,
+        );
     }
 
     /// Accounts for an accepted connection that died during OS-level setup
@@ -475,6 +567,39 @@ impl<S: Service> Worker<S> {
         }
     }
 
+    /// Force-closes every normal-operation draining connection whose peer
+    /// has not drained the final flush within the drain timeout. Without
+    /// this, one zero-window/absent reader with `idle_timeout: None` (the
+    /// default) holds its buffers and fd forever: its flush stays Blocked
+    /// and no further event ever fires for it.
+    fn expire_drains(&mut self, now: Instant) {
+        if self.draining_conns.is_empty() {
+            return;
+        }
+        let timeout = self.config.drain_timeout;
+        let expired: Vec<u64> = self
+            .draining_conns
+            .iter()
+            .copied()
+            .filter(|token| {
+                self.conns
+                    .get(token)
+                    .is_some_and(|conn| conn.drain_expired(now, timeout))
+            })
+            .collect();
+        for token in expired {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                let queued = conn.queued_bytes() as u64;
+                conn.force_close();
+                self.shared.drains_expired.fetch_add(1, Ordering::Relaxed);
+                let obs = rp_obs::global();
+                obs.net.drains_expired_total.inc();
+                obs.trace.record(rp_obs::TraceKind::DrainExpired, queued);
+            }
+            self.reconcile(token);
+        }
+    }
+
     /// Applies a connection's post-event state to the poller: deregisters
     /// finished connections, updates changed interest masks.
     fn reconcile(&mut self, token: u64) {
@@ -484,6 +609,11 @@ impl<S: Service> Worker<S> {
         if conn.finished() {
             self.drop_connection(token);
             return;
+        }
+        if conn.is_draining() {
+            // Draining is terminal (never back to Open); membership is
+            // cleared when the connection drops.
+            self.draining_conns.insert(token);
         }
         let want = conn.desired_interest();
         if want != conn.registered_interest() {
@@ -498,6 +628,7 @@ impl<S: Service> Worker<S> {
     /// Deregisters and drops one connection, recycling its warm buffers
     /// into the worker's pool.
     fn drop_connection(&mut self, token: u64) {
+        self.draining_conns.remove(&token);
         if let Some(mut conn) = self.conns.remove(&token) {
             let _ = self.poller.delete(conn.fd());
             conn.recycle(&mut self.pool, &self.shared.bytes);

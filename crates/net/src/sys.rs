@@ -123,6 +123,15 @@ pub fn sys_epoll_create() -> io::Result<RawFd> {
 }
 
 fn epoll_ctl_with(epfd: RawFd, op: i32, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+    if let Some(fault) = rp_fault::point("net.epoll_ctl") {
+        match fault {
+            rp_fault::IoFault::Error(e) => return Err(e),
+            // A "short" epoll_ctl has no meaning; treat it as an error too.
+            rp_fault::IoFault::Short(_) => {
+                return Err(io::Error::from_raw_os_error(12 /* ENOMEM */));
+            }
+        }
+    }
     let mut ev = EpollEvent {
         events: interest,
         data: token,
@@ -229,6 +238,35 @@ pub fn sys_eventfd_drain(fd: RawFd) {
 /// kernel stops at the socket buffer, and the caller resumes from its own
 /// cursor). Does **not** retry `EINTR`; the flush loop owns that policy.
 pub fn sys_writev(fd: RawFd, iov: &[IoVec]) -> io::Result<usize> {
+    if let Some(fault) = rp_fault::point("net.writev") {
+        match fault {
+            rp_fault::IoFault::Error(e) => return Err(e),
+            // A scripted short write must still *really write* the bytes it
+            // reports — reporting bytes the kernel never saw would advance
+            // the flush cursor past unsent data. Clamp the iovec to `n`
+            // bytes and submit that (cold path; the allocation is fine).
+            rp_fault::IoFault::Short(n) => {
+                let mut budget = n.max(1);
+                let mut clamped = Vec::with_capacity(iov.len());
+                for seg in iov {
+                    if budget == 0 {
+                        break;
+                    }
+                    let take = seg.iov_len.min(budget);
+                    budget -= take;
+                    clamped.push(IoVec {
+                        iov_base: seg.iov_base,
+                        iov_len: take,
+                    });
+                }
+                return sys_writev_raw(fd, &clamped);
+            }
+        }
+    }
+    sys_writev_raw(fd, iov)
+}
+
+fn sys_writev_raw(fd: RawFd, iov: &[IoVec]) -> io::Result<usize> {
     // SAFETY: every `IoVec` was built from a live `&[u8]` borrowed for the
     // duration of this call, and the count is clamped to the slice length.
     let ret = unsafe { writev(fd, iov.as_ptr(), iov.len().min(i32::MAX as usize) as i32) };

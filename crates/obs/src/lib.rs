@@ -173,6 +173,9 @@ pub struct MaintObs {
     pub queue_depth: Gauge,
     /// Work slices executed.
     pub slices_total: Counter,
+    /// Maintenance workers that panicked mid-slice and were recovered
+    /// (the in-flight unit is re-queued once; see `rp-maint`).
+    pub worker_panics_total: Counter,
 }
 
 /// Reactor metrics (`rp-net`).
@@ -188,6 +191,15 @@ pub struct NetObs {
     pub accept_errors_total: Counter,
     /// Idle connections reaped.
     pub idle_reaped_total: Counter,
+    /// Connection handlers that panicked; the connection was shed with a
+    /// protocol error reply and the worker kept serving.
+    pub conn_panics_total: Counter,
+    /// Times the listener was backed off because `accept()` returned
+    /// EMFILE/ENFILE (fd-table exhaustion).
+    pub accept_backoffs_total: Counter,
+    /// Draining connections force-closed at the drain deadline because
+    /// the peer never drained the final flush.
+    pub drains_expired_total: Counter,
     /// Times a connection's output queue crossed the backpressure
     /// watermark (reads paused until the peer drained).
     pub watermark_trips_total: Counter,
@@ -353,6 +365,24 @@ impl Obs {
         );
         render::counter(
             sink,
+            "net_conn_panics_total",
+            "Connection handlers that panicked (connection shed, worker kept).",
+            self.net.conn_panics_total.get(),
+        );
+        render::counter(
+            sink,
+            "net_accept_backoffs_total",
+            "Listener backoffs after accept() hit EMFILE/ENFILE.",
+            self.net.accept_backoffs_total.get(),
+        );
+        render::counter(
+            sink,
+            "net_drains_expired_total",
+            "Draining connections force-closed at the drain deadline.",
+            self.net.drains_expired_total.get(),
+        );
+        render::counter(
+            sink,
             "net_watermark_trips_total",
             "Output queues that crossed the backpressure watermark.",
             self.net.watermark_trips_total.get(),
@@ -417,6 +447,12 @@ impl Obs {
             "maint_slices_total",
             "Maintenance work slices executed.",
             self.maint.slices_total.get(),
+        );
+        render::counter(
+            sink,
+            "maint_worker_panics_total",
+            "Maintenance workers recovered after a mid-slice panic.",
+            self.maint.worker_panics_total.get(),
         );
     }
 
@@ -633,6 +669,15 @@ impl Obs {
             self.net.accept_errors_total.get(),
         );
         net.field("net_idle_reaped_total", self.net.idle_reaped_total.get());
+        net.field("net_conn_panics_total", self.net.conn_panics_total.get());
+        net.field(
+            "net_accept_backoffs_total",
+            self.net.accept_backoffs_total.get(),
+        );
+        net.field(
+            "net_drains_expired_total",
+            self.net.drains_expired_total.get(),
+        );
         net.field(
             "net_watermark_trips_total",
             self.net.watermark_trips_total.get(),
@@ -658,6 +703,10 @@ impl Obs {
         maint.summary("maint_slice_ns", &self.maint.slice_ns.snapshot());
         maint.field("maint_queue_depth", self.maint.queue_depth.get());
         maint.field("maint_slices_total", self.maint.slices_total.get());
+        maint.field(
+            "maint_worker_panics_total",
+            self.maint.worker_panics_total.get(),
+        );
         maint.end();
 
         let mut resize = root.nested("resize");
@@ -699,6 +748,9 @@ impl Obs {
         self.net.conns_shed_total.reset();
         self.net.accept_errors_total.reset();
         self.net.idle_reaped_total.reset();
+        self.net.conn_panics_total.reset();
+        self.net.accept_backoffs_total.reset();
+        self.net.drains_expired_total.reset();
         self.net.watermark_trips_total.reset();
         self.net.backpressure_stalls_total.reset();
         self.net.flush_syscalls_total.reset();
@@ -708,6 +760,7 @@ impl Obs {
         }
         self.maint.slice_ns.reset();
         self.maint.slices_total.reset();
+        self.maint.worker_panics_total.reset();
         self.resize.grace_wait_ns.reset();
         self.resize.step_ns.reset();
         self.resize.begun_total.reset();

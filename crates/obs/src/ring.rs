@@ -53,6 +53,18 @@ pub enum TraceKind {
     /// (nonblocking toggle or epoll registration); value = the raw OS
     /// error code.
     AcceptError = 12,
+    /// A connection handler panicked; the connection was shed and the
+    /// worker kept serving. Value = the connection's fd.
+    ConnPanic = 13,
+    /// `accept()` hit fd-table exhaustion (EMFILE/ENFILE) and the
+    /// listener was backed off; value = the raw OS error code.
+    AcceptBackoff = 14,
+    /// A maintenance worker panicked mid-slice and was recovered; value =
+    /// the unit index it was working on.
+    MaintPanic = 15,
+    /// A draining connection never drained and was force-closed at the
+    /// drain deadline; value = queued bytes abandoned.
+    DrainExpired = 16,
 }
 
 /// Flavor tag for a [`TraceKind::GraceStall`] value: the EBR side stalled.
@@ -87,6 +99,10 @@ impl TraceKind {
             TraceKind::StatsReset => "stats_reset",
             TraceKind::GraceStall => "grace_stall",
             TraceKind::AcceptError => "accept_error",
+            TraceKind::ConnPanic => "conn_panic",
+            TraceKind::AcceptBackoff => "accept_backoff",
+            TraceKind::MaintPanic => "maint_panic",
+            TraceKind::DrainExpired => "drain_expired",
         }
     }
 
@@ -104,6 +120,10 @@ impl TraceKind {
             10 => TraceKind::StatsReset,
             11 => TraceKind::GraceStall,
             12 => TraceKind::AcceptError,
+            13 => TraceKind::ConnPanic,
+            14 => TraceKind::AcceptBackoff,
+            15 => TraceKind::MaintPanic,
+            16 => TraceKind::DrainExpired,
             _ => return None,
         })
     }

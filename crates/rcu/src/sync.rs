@@ -68,6 +68,11 @@ impl GraceSync {
     /// registered, so programs that never use the QSBR path pay one atomic
     /// load here and nothing more.
     pub fn synchronize(&self) {
+        // Chaos hook: a `rcu.grace=delay:..` plan stretches every grace
+        // period, magnifying the window in which readers observe
+        // mid-resize states (errors/panics make no sense for a wait that
+        // cannot fail, so only the injected delay is honored).
+        let _ = rp_fault::point("rcu.grace");
         // Telemetry: one relaxed load when disabled; a clock pair, a
         // histogram bump, and a trace-ring entry per flavor when enabled.
         // Each flavor's wait is also stamped into the stall detector so an

@@ -45,6 +45,8 @@ mod zipf;
 pub use driver::{measure, measure_thread_local, BackgroundHandle, MeasureResult};
 pub use keys::{KeyDist, KeyGen};
 pub use latency::LatencyHistogram;
-pub use netdriver::{drive_connections, drive_connections_windowed, NetDriveResult};
+pub use netdriver::{
+    drive_connections, drive_connections_reconnecting, drive_connections_windowed, NetDriveResult,
+};
 pub use report::{Report, Series};
 pub use zipf::Zipf;

@@ -25,8 +25,12 @@ use crate::latency::LatencyHistogram;
 pub struct NetDriveResult {
     /// Completed operations across all connections.
     pub total_ops: u64,
-    /// Operations that returned an error (their connection is retired).
+    /// Operations that returned an error (their connection is retired, or
+    /// — with [`drive_connections_reconnecting`] — replaced).
     pub errors: u64,
+    /// Connections successfully re-established after an operation error
+    /// (always 0 for the non-reconnecting drivers).
+    pub reconnects: u64,
     /// Wall-clock measurement time.
     pub elapsed: Duration,
     /// Per-operation round-trip latency.
@@ -95,20 +99,74 @@ where
     MakeOp: Fn(usize) -> Op + Sync,
     Op: FnMut(&mut C, u64) -> io::Result<u64> + Send,
 {
+    drive_core(connections, threads, duration, connect, make_op, 0)
+}
+
+/// [`drive_connections_windowed`] with **reconnect-on-error**: an errored
+/// connection is replaced with a fresh one (via the same `connect`
+/// callback) instead of retired, up to `reconnect_budget` total
+/// replacements per driver thread. Past the budget, errors retire
+/// connections as usual.
+///
+/// This is the chaos-run driver: with faults injected server-side (reads
+/// erroring, handlers panicking), connection loss is *expected*, and the
+/// measurement should show the recovered throughput rather than bleed
+/// lanes until the run starves.
+pub fn drive_connections_reconnecting<C, Connect, MakeOp, Op>(
+    connections: usize,
+    threads: usize,
+    duration: Duration,
+    connect: Connect,
+    make_op: MakeOp,
+    reconnect_budget: usize,
+) -> io::Result<NetDriveResult>
+where
+    C: Send,
+    Connect: Fn(usize) -> io::Result<C> + Sync,
+    MakeOp: Fn(usize) -> Op + Sync,
+    Op: FnMut(&mut C, u64) -> io::Result<u64> + Send,
+{
+    drive_core(
+        connections,
+        threads,
+        duration,
+        connect,
+        make_op,
+        reconnect_budget,
+    )
+}
+
+fn drive_core<C, Connect, MakeOp, Op>(
+    connections: usize,
+    threads: usize,
+    duration: Duration,
+    connect: Connect,
+    make_op: MakeOp,
+    reconnect_budget: usize,
+) -> io::Result<NetDriveResult>
+where
+    C: Send,
+    Connect: Fn(usize) -> io::Result<C> + Sync,
+    MakeOp: Fn(usize) -> Op + Sync,
+    Op: FnMut(&mut C, u64) -> io::Result<u64> + Send,
+{
     assert!(connections > 0, "need at least one connection");
     let threads = threads.clamp(1, connections);
 
     // Connect up front so setup cost stays outside the measured window and
     // a refused connection fails the run loudly instead of skewing it.
-    let mut lanes: Vec<Vec<C>> = (0..threads).map(|_| Vec::new()).collect();
+    // Each lane remembers its original connection index so a reconnect can
+    // reproduce the original `connect` call.
+    let mut lanes: Vec<Vec<(usize, C)>> = (0..threads).map(|_| Vec::new()).collect();
     for idx in 0..connections {
-        lanes[idx % threads].push(connect(idx)?);
+        lanes[idx % threads].push((idx, connect(idx)?));
     }
 
     let stop = AtomicBool::new(false);
     let next_op = AtomicU64::new(0);
     let barrier = Barrier::new(threads + 1);
     let error_count = AtomicU64::new(0);
+    let reconnect_count = AtomicU64::new(0);
 
     let mut per_thread: Vec<(u64, LatencyHistogram)> = Vec::new();
     let started = std::thread::scope(|scope| -> io::Result<Instant> {
@@ -118,25 +176,35 @@ where
             let next_op = &next_op;
             let barrier = &barrier;
             let error_count = &error_count;
+            let reconnect_count = &reconnect_count;
             let make_op = &make_op;
+            let connect = &connect;
             handles.push(scope.spawn(move || {
                 let mut op = make_op(thread_idx);
                 let mut hist = LatencyHistogram::new();
                 let mut ops = 0_u64;
                 let mut lane = 0_usize;
+                let mut budget = reconnect_budget;
                 barrier.wait();
                 while !stop.load(Ordering::Relaxed) && !conns.is_empty() {
                     lane = (lane + 1) % conns.len();
                     let ordinal = next_op.fetch_add(1, Ordering::Relaxed);
                     let begin = Instant::now();
-                    match op(&mut conns[lane], ordinal) {
+                    match op(&mut conns[lane].1, ordinal) {
                         Ok(done) => {
                             hist.record_many(begin.elapsed(), done);
                             ops += done;
                         }
                         Err(_) => {
                             error_count.fetch_add(1, Ordering::Relaxed);
-                            conns.swap_remove(lane);
+                            let (idx, _dead) = conns.swap_remove(lane);
+                            if budget > 0 {
+                                budget -= 1;
+                                if let Ok(fresh) = connect(idx) {
+                                    reconnect_count.fetch_add(1, Ordering::Relaxed);
+                                    conns.push((idx, fresh));
+                                }
+                            }
                             lane = 0;
                         }
                     }
@@ -165,6 +233,7 @@ where
     Ok(NetDriveResult {
         total_ops,
         errors: error_count.load(Ordering::Relaxed),
+        reconnects: reconnect_count.load(Ordering::Relaxed),
         elapsed,
         latency,
     })
@@ -271,6 +340,53 @@ mod tests {
         .unwrap();
         assert_eq!(result.errors, 2);
         assert!(result.total_ops > 0, "surviving connections kept going");
+    }
+
+    #[test]
+    fn reconnecting_driver_replaces_dead_connections() {
+        use std::sync::atomic::AtomicU64 as Counter;
+        let connects = Counter::new(0);
+        let result = drive_connections_reconnecting(
+            2,
+            1,
+            Duration::from_millis(40),
+            |_idx| {
+                connects.fetch_add(1, Ordering::Relaxed);
+                Ok(FakeConn {
+                    ops: 0,
+                    // Every connection dies after 3 ops; the driver must
+                    // keep replacing them within its budget.
+                    fail_after: Some(3),
+                })
+            },
+            |_thread| {
+                |conn: &mut FakeConn, _ordinal| {
+                    conn.ops += 1;
+                    match conn.fail_after {
+                        Some(n) if conn.ops > n => {
+                            Err(io::Error::new(io::ErrorKind::BrokenPipe, "gone"))
+                        }
+                        _ => Ok(1),
+                    }
+                }
+            },
+            4,
+        )
+        .unwrap();
+        assert!(result.reconnects >= 1, "dead connections were replaced");
+        assert!(
+            result.reconnects <= 4,
+            "the per-thread reconnect budget is honored"
+        );
+        assert_eq!(
+            connects.load(Ordering::Relaxed),
+            2 + result.reconnects,
+            "each reconnect goes through the connect callback"
+        );
+        assert!(
+            result.total_ops > 6,
+            "ops continued past the first connection deaths"
+        );
     }
 
     #[test]
